@@ -1,0 +1,85 @@
+// Ablation: autoscaler warm-pool size and target utilization — the
+// efficiency/latency trade governing the Figure 12 advantage. Each cell
+// runs the full serving DES at a light ResNet-50 load.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/core/autoscaler.h"
+#include "src/workload/dl/serving.h"
+
+namespace soccluster {
+namespace {
+
+struct Outcome {
+  double samples_per_joule;
+  double p99_ms;
+};
+
+Outcome Measure(int warm_pool, double target_util, double rate) {
+  Simulator sim(97);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocGpu,
+                        DnnModel::kResNet50, Precision::kFp32);
+  fleet.SetActiveCount(1);
+  AutoscalerConfig config;
+  config.warm_pool = warm_pool;
+  config.target_utilization = target_util;
+  ClusterAutoscaler autoscaler(&sim, &cluster, &fleet, config);
+  autoscaler.Start();
+  OpenLoopSource source(&sim, rate, Duration::Seconds(150),
+                        [&fleet] { fleet.Submit(); });
+  source.Start();
+  status = sim.RunFor(Duration::Seconds(30));  // Converge.
+  SOC_CHECK(status.ok());
+  auto soc_energy = [&cluster] {
+    Energy total = Energy::Zero();
+    for (int i = 0; i < cluster.num_socs(); ++i) {
+      total += cluster.soc(i).TotalEnergy();
+    }
+    return total;
+  };
+  const Energy e0 = soc_energy();
+  const int64_t done0 = fleet.completed();
+  const size_t samples0 = fleet.latencies().count();
+  status = sim.RunFor(Duration::Seconds(120));
+  SOC_CHECK(status.ok());
+  const Energy spent = soc_energy() - e0;
+  SampleStats window;
+  const auto& all = fleet.latencies().samples();
+  for (size_t i = samples0; i < all.size(); ++i) {
+    window.Add(all[i]);
+  }
+  return {(fleet.completed() - done0) / spent.joules(),
+          window.count() > 0 ? window.Percentile(99) : 0.0};
+}
+
+void Run() {
+  std::printf("=== Ablation: autoscaler policy at 20 req/s (ResNet-50, "
+              "SoC GPU) ===\n\n");
+  TextTable table({"warm pool", "target util", "samples/J", "p99 ms"});
+  for (int warm : {0, 2, 6, 12}) {
+    for (double util : {0.5, 0.85}) {
+      const Outcome outcome = Measure(warm, util, 20.0);
+      table.AddRow({std::to_string(warm), FormatDouble(util, 2),
+                    FormatDouble(outcome.samples_per_joule, 2),
+                    FormatDouble(outcome.p99_ms, 1)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Takeaway: the warm pool buys burst headroom at ~1.3 W per "
+              "idle SoC; tight packing (high target util) maximizes "
+              "samples/J with a measurable tail-latency cost.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: CPU frequency governor at the operating-point level — how the
+// SoC's partial-load power depends on DVFS policy, and how well the
+// library's linear utilization->power abstraction tracks schedutil.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/hw/dvfs.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: DVFS governor on the Kryo 585 complex ===\n\n");
+  const auto curve = DvfsModel::Kryo585Curve();
+
+  TextTable table({"demand", "schedutil W", "performance W", "powersave W",
+                   "powersave served", "linear-model W"});
+  for (double demand : {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 1.0}) {
+    const DvfsDecision sched =
+        DvfsModel::Decide(curve, CpuGovernor::kSchedutil, demand);
+    const DvfsDecision perf =
+        DvfsModel::Decide(curve, CpuGovernor::kPerformance, demand);
+    const DvfsDecision save =
+        DvfsModel::Decide(curve, CpuGovernor::kPowersave, demand);
+    table.AddRow({FormatDouble(demand, 2),
+                  FormatDouble(sched.average_power.watts(), 2),
+                  FormatDouble(perf.average_power.watts(), 2),
+                  FormatDouble(save.average_power.watts(), 2),
+                  FormatDouble(save.served, 2),
+                  FormatDouble(7.8 * demand, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Energy for a fixed work item (10 s at top OPP):\n");
+  for (CpuGovernor governor : AllCpuGovernors()) {
+    std::printf("  %-12s %.1f J\n", CpuGovernorName(governor),
+                DvfsModel::EnergyForWork(curve, governor, 10.0).joules());
+  }
+  std::printf("\nMax deviation of the linear abstraction from schedutil: "
+              "%.0f%%\n",
+              DvfsModel::LinearModelMaxError(curve) * 100.0);
+  std::printf("Takeaway: the linear model (race-to-idle at the top OPP) is "
+              "an upper bound that coincides with schedutil at the "
+              "full-load calibration anchors; deadline-tolerant batch work "
+              "saves ~30%% energy at low OPPs.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: pack-vs-spread placement for live transcoding at partial load.
+// Spreading wakes one SoC per stream (paying the per-SoC wake adder);
+// packing concentrates streams and lets idle SoCs be powered off. The
+// DESIGN.md energy-proportionality choice quantified.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/video/live.h"
+
+namespace soccluster {
+namespace {
+
+struct Outcome {
+  double power_on_watts;      // All idle SoCs stay on.
+  double power_gated_watts;   // Unused SoCs powered off.
+  int socs_used;
+};
+
+Outcome Measure(PlacementPolicy policy, int streams) {
+  Simulator sim(93);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  LiveTranscodingService service(&sim, &cluster, policy);
+  for (int i = 0; i < streams; ++i) {
+    auto stream = service.StartStream(VbenchVideo::kV4Presentation,
+                                      TranscodeBackend::kSocCpu);
+    SOC_CHECK(stream.ok()) << stream.status().ToString();
+  }
+  Outcome outcome;
+  outcome.socs_used = 0;
+  for (int i = 0; i < cluster.num_socs(); ++i) {
+    outcome.socs_used += service.StreamsOnSoc(i) > 0 ? 1 : 0;
+  }
+  outcome.power_on_watts = cluster.CurrentPower().watts();
+  // Power-gate every idle SoC (what the autoscaler would do).
+  for (int i = 0; i < cluster.num_socs(); ++i) {
+    if (service.StreamsOnSoc(i) == 0) {
+      status = cluster.soc(i).PowerOff();
+      SOC_CHECK(status.ok());
+    }
+  }
+  outcome.power_gated_watts = cluster.CurrentPower().watts();
+  return outcome;
+}
+
+void Run() {
+  std::printf("=== Ablation: placement policy x power gating "
+              "(V4 live streams) ===\n\n");
+  TextTable table({"streams", "policy", "SoCs used", "W (all on)",
+                   "W (idle gated)"});
+  for (int streams : {6, 18, 54, 180}) {
+    for (PlacementPolicy policy :
+         {PlacementPolicy::kSpread, PlacementPolicy::kPack}) {
+      const Outcome outcome = Measure(policy, streams);
+      table.AddRow({std::to_string(streams),
+                    policy == PlacementPolicy::kSpread ? "spread" : "pack",
+                    std::to_string(outcome.socs_used),
+                    FormatDouble(outcome.power_on_watts, 1),
+                    FormatDouble(outcome.power_gated_watts, 1)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Takeaway: with idle SoCs left on, the policies are nearly "
+              "tied (the wake adder is small); once the autoscaler gates "
+              "idle SoCs, packing wins decisively at partial load — the "
+              "discrete-SoC design only pays off with consolidation + "
+              "power management, the §5.2 mechanism.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (§8 "Killer applications"): serverless keep-alive policy on the
+// SoC Cluster — the cold-start-rate vs. resident-energy trade-off, swept
+// over keep-alive windows under a Zipf-popularity function mix.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/serverless/serverless.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: serverless keep-alive on the SoC Cluster ===\n\n");
+  TextTable table({"keep-alive", "cold-start rate", "p50 ms", "p99 ms",
+                   "avg cluster W", "J per invocation"});
+  for (Duration keep_alive :
+       {Duration::Zero(), Duration::Seconds(30), Duration::Minutes(2),
+        Duration::Minutes(10), Duration::Minutes(60)}) {
+    Simulator sim(95);
+    SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+    cluster.PowerOnAll(nullptr);
+    Status status = sim.RunFor(Duration::Seconds(30));
+    SOC_CHECK(status.ok());
+    ServerlessConfig config;
+    config.keep_alive = keep_alive;
+    ServerlessPlatform platform(&sim, &cluster, config);
+    ServerlessWorkload workload(&sim, &platform, /*num_functions=*/40,
+                                /*total_rate_per_s=*/150.0, /*seed=*/3);
+    status = workload.Start(Duration::Minutes(20));
+    SOC_CHECK(status.ok());
+    const Energy e0 = cluster.TotalEnergy();
+    const SimTime t0 = sim.Now();
+    status = sim.RunFor(Duration::Minutes(20));
+    SOC_CHECK(status.ok());
+    const Energy spent = cluster.TotalEnergy() - e0;
+    const double avg_watts =
+        spent.joules() / (sim.Now() - t0).ToSeconds();
+    const InvocationStats& stats = platform.stats();
+    std::string label = keep_alive.IsZero()
+                            ? "none"
+                            : FormatDouble(keep_alive.ToSeconds(), 0) + " s";
+    table.AddRow({label,
+                  FormatDouble(stats.ColdStartRate() * 100.0, 1) + "%",
+                  FormatDouble(stats.latency_ms.Median(), 1),
+                  FormatDouble(stats.latency_ms.Percentile(99), 1),
+                  FormatDouble(avg_watts, 1),
+                  FormatDouble(spent.joules() / stats.invocations, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Takeaway: a few minutes of keep-alive removes nearly all "
+              "cold starts for the popular head of the Zipf mix at modest "
+              "resident-memory energy — SoC-granular scheduling handles "
+              "ephemeral functions as §8 anticipates.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation (§8): collaborative DL training on the SoC Cluster — scaling
+// efficiency of data-parallel ResNet-50 SGD vs cohort size, fabric speed,
+// and gradient precision. Quantifies the paper's statement that the
+// current network "is not equipped for workloads requiring high-volume
+// data exchanges across SoCs, such as collaborative DL training".
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/dl/training.h"
+
+namespace soccluster {
+namespace {
+
+TrainingStepResult RunStep(DataRate fabric, int socs, Precision gradients) {
+  Simulator sim(113);
+  ClusterChassisSpec chassis = DefaultChassisSpec();
+  chassis.pcb_uplink = fabric;
+  SocSpec soc = Snapdragon865Spec();
+  soc.nic = fabric;
+  SocCluster cluster(&sim, chassis, soc);
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  TrainingConfig config;
+  config.num_socs = socs;
+  config.gradient_precision = gradients;
+  CollaborativeTraining training(&sim, &cluster, config);
+  TrainingStepResult result;
+  training.Run(1, [&](const TrainingStepResult& r) { result = r; });
+  sim.Run();
+  return result;
+}
+
+void Run() {
+  std::printf("=== Ablation: collaborative ResNet-50 training ===\n\n");
+
+  std::printf("--- cohort size on the stock 1 Gbps fabric (FP32 grads) ---\n");
+  TextTable scale({"SoCs", "step ms", "compute ms", "all-reduce ms",
+                   "comm share", "samples/s", "scaling eff"});
+  const TrainingStepResult single =
+      RunStep(DataRate::Gbps(1.0), 1, Precision::kFp32);
+  for (int socs : {1, 2, 4, 8, 16}) {
+    const TrainingStepResult r =
+        RunStep(DataRate::Gbps(1.0), socs, Precision::kFp32);
+    scale.AddRow({std::to_string(socs),
+                  FormatDouble(r.step_time.ToMillis(), 0),
+                  FormatDouble(r.compute.ToMillis(), 0),
+                  FormatDouble(r.allreduce.ToMillis(), 0),
+                  FormatDouble(r.CommShare() * 100.0, 1) + "%",
+                  FormatDouble(r.samples_per_second, 1),
+                  FormatDouble(r.samples_per_second /
+                                   (socs * single.samples_per_second) *
+                                   100.0, 1) + "%"});
+  }
+  std::printf("%s\n", scale.Render().c_str());
+
+  std::printf("--- mitigations at 8 SoCs ---\n");
+  TextTable mitigation({"configuration", "step ms", "comm share",
+                        "samples/s"});
+  struct Case {
+    const char* label;
+    DataRate fabric;
+    Precision gradients;
+  };
+  const Case cases[] = {
+      {"1 Gbps, FP32 gradients (stock)", DataRate::Gbps(1.0),
+       Precision::kFp32},
+      {"1 Gbps, INT8 gradients", DataRate::Gbps(1.0), Precision::kInt8},
+      {"10 Gbps, FP32 gradients", DataRate::Gbps(10.0), Precision::kFp32},
+      {"25 Gbps, FP32 gradients", DataRate::Gbps(25.0), Precision::kFp32},
+  };
+  for (const Case& c : cases) {
+    const TrainingStepResult r = RunStep(c.fabric, 8, c.gradients);
+    mitigation.AddRow({c.label, FormatDouble(r.step_time.ToMillis(), 0),
+                       FormatDouble(r.CommShare() * 100.0, 1) + "%",
+                       FormatDouble(r.samples_per_second, 1)});
+  }
+  std::printf("%s\n", mitigation.Render().c_str());
+  std::printf("Takeaway: at 8 SoCs the stock fabric spends most of the step "
+              "in all-reduce; gradient quantization or a 10-25 Gbps fabric "
+              "restores compute-bound scaling — the §8 upgrade path.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Validation bench: the codec laboratory sweeps the content-complexity
+// axis with a real DCT codec and shows the laws behind the transcode
+// calibration tables — bits grow with entropy at matched quality, and
+// PSNR falls with entropy at matched bitrate (why V5 admits 3 streams
+// where V4 admits 9, Table 3; why MediaCodec's floor exists, Fig. 9).
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/videolab/codec_lab.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Codec lab: entropy vs bits vs quality (real DCT codec, "
+              "128x128 synthetic scenes) ===\n\n");
+  TextTable table({"complexity", "bits @ q=4", "PSNR @ q=4",
+                   "PSNR @ 1.5 KB/frame", "PSNR @ 6 KB/frame"});
+  for (double complexity : {0.05, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    SceneGenerator scene(128, 128, complexity, 17);
+    const Frame frame = scene.Render(0);
+    const EncodedFrame matched_q = DctCodec::Encode(frame, 4.0);
+    const EncodedFrame low_rate =
+        DctCodec::EncodeAtBitrate(frame, DataSize::Bytes(1500));
+    const EncodedFrame high_rate =
+        DctCodec::EncodeAtBitrate(frame, DataSize::Bytes(6000));
+    table.AddRow({FormatDouble(complexity, 2),
+                  FormatSi(static_cast<double>(matched_q.size.bits()), 1),
+                  FormatDouble(PsnrDb(frame, matched_q.reconstruction), 1) +
+                      " dB",
+                  FormatDouble(PsnrDb(frame, low_rate.reconstruction), 1) +
+                      " dB",
+                  FormatDouble(PsnrDb(frame, high_rate.reconstruction), 1) +
+                      " dB"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Reading: at matched quantization, busy scenes emit many more "
+              "bits; at a fixed budget they reconstruct worse — the paper's "
+              "entropy axis, reproduced with actual signal processing.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Regenerates Figure 1: CDF of VM resource subscriptions on Microsoft
+// Azure and Alibaba ENS, and the fraction of VMs that fit within one
+// evaluated SoC (8 cores / 12 GB / 256 GB).
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/trace/vm_distribution.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 1: CDF of VM resource subscription ===\n\n");
+  VmDistribution azure(VmCloud::kAzure);
+  VmDistribution ens(VmCloud::kAlibabaEns);
+
+  TextTable cores({"vCPU cores <=", "Azure CDF", "Alibaba ENS CDF"});
+  for (int threshold : {1, 2, 4, 8, 16, 32}) {
+    cores.AddRow({std::to_string(threshold),
+                  FormatDouble(azure.CoresCdf(threshold), 3),
+                  FormatDouble(ens.CoresCdf(threshold), 3)});
+  }
+  std::printf("%s\n", cores.Render().c_str());
+
+  TextTable memory({"memory GB <=", "Azure CDF", "Alibaba ENS CDF"});
+  for (double threshold : {2.0, 4.0, 8.0, 12.0, 16.0, 32.0, 64.0, 128.0}) {
+    memory.AddRow({FormatDouble(threshold, 0),
+                   FormatDouble(azure.MemoryCdf(threshold), 3),
+                   FormatDouble(ens.MemoryCdf(threshold), 3)});
+  }
+  std::printf("%s\n", memory.Render().c_str());
+
+  const SocFitLimits limits;
+  std::printf("Fraction of VMs fitting within one SoC "
+              "(%d cores, %.0f GB mem, %.0f GB storage):\n",
+              limits.cores, limits.memory_gb, limits.storage_gb);
+  std::printf("  Azure:       %.0f%%   (paper: ~66%%)\n",
+              azure.FitFraction(limits) * 100.0);
+  std::printf("  Alibaba ENS: %.0f%%   (paper: ~36%%)\n",
+              ens.FitFraction(limits) * 100.0);
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Figure 9: target vs achieved output bitrate per encoder in
+// live-streaming transcoding, exposing MediaCodec's bitrate floor.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/workload/video/quality.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 9: target vs output bitrate (Kbps) ===\n\n");
+  TextTable table({"Video", "Target", "libx264", "NVENC", "MediaCodec",
+                   "MC floor", "MC meets?"});
+  for (const VideoSpec& video : VbenchVideos()) {
+    const DataRate target = video.target_bitrate;
+    const DataRate x264 = VideoQualityModel::OutputBitrate(
+        VideoEncoder::kLibx264, video.id, target);
+    const DataRate nvenc = VideoQualityModel::OutputBitrate(
+        VideoEncoder::kNvenc, video.id, target);
+    const DataRate mediacodec = VideoQualityModel::OutputBitrate(
+        VideoEncoder::kMediaCodec, video.id, target);
+    const DataRate floor =
+        VideoQualityModel::MediaCodecBitrateFloor(video.id);
+    const bool meets = VideoQualityModel::MeetsBitrateTarget(
+        VideoEncoder::kMediaCodec, video.id, target);
+    table.AddRow({video.name, FormatDouble(target.ToKbps(), 1),
+                  FormatDouble(x264.ToKbps(), 1),
+                  FormatDouble(nvenc.ToKbps(), 1),
+                  FormatDouble(mediacodec.ToKbps(), 1),
+                  FormatDouble(floor.ToKbps(), 1), meets ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(paper: software encoders track the target; MediaCodec "
+              "overshoots low caps — V2's output even exceeds its 181 Kbps "
+              "source)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

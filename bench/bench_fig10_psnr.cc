@@ -1,0 +1,40 @@
+// Regenerates Figure 10: live-transcoding output quality (PSNR, dB) of the
+// three encoder stacks under identical bitrate constraints.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/workload/video/quality.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 10: transcoding quality (PSNR dB) ===\n\n");
+  TextTable table({"Video", "libx264 (SoC & Intel)", "NVENC", "MediaCodec",
+                   "MC loss"});
+  for (const VideoSpec& video : VbenchVideos()) {
+    const double x264 =
+        VideoQualityModel::PsnrDb(VideoEncoder::kLibx264, video.id);
+    const double nvenc =
+        VideoQualityModel::PsnrDb(VideoEncoder::kNvenc, video.id);
+    const double mediacodec =
+        VideoQualityModel::PsnrDb(VideoEncoder::kMediaCodec, video.id);
+    const double loss = VideoQualityModel::PsnrLossFraction(
+        VideoEncoder::kMediaCodec, video.id);
+    table.AddRow({video.name, FormatDouble(x264, 1), FormatDouble(nvenc, 1),
+                  FormatDouble(mediacodec, 1),
+                  FormatDouble(loss * 100.0, 2) + "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(paper: libx264 on SoC CPUs equals the Intel CPU exactly; "
+              "MediaCodec trails by 1.35%%-14.77%%)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Regenerates Figure 11: DL serving performance across all hardware —
+//  (a) inference latency (batch 1 on SoC/Intel; batches 1/8/64 on the
+//      discrete GPUs);
+//  (b) energy efficiency in samples per Joule.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/base/table.h"
+#include "src/core/benchmark_suite.h"
+
+namespace soccluster {
+namespace {
+
+struct Config {
+  DnnModel model;
+  Precision precision;
+};
+
+const std::vector<Config>& Configs() {
+  static const std::vector<Config> kConfigs = {
+      {DnnModel::kResNet50, Precision::kFp32},
+      {DnnModel::kResNet152, Precision::kFp32},
+      {DnnModel::kYoloV5x, Precision::kFp32},
+      {DnnModel::kBertBase, Precision::kFp32},
+      {DnnModel::kResNet50, Precision::kInt8},
+      {DnnModel::kResNet152, Precision::kInt8},
+  };
+  return kConfigs;
+}
+
+std::string Cell(DlDevice device, const Config& config, int batch,
+                 bool efficiency) {
+  if (!DlEngineModel::Supports(device, config.model, config.precision)) {
+    return "-";
+  }
+  const DlMeasurement m = BenchmarkSuite::DlFullLoad(
+      device, config.model, config.precision, batch);
+  return FormatDouble(efficiency ? m.samples_per_joule : m.latency_ms, 2);
+}
+
+void Run() {
+  std::printf("=== Figure 11a: inference latency (ms) ===\n\n");
+  TextTable latency({"Model", "SoC-CPU", "SoC-GPU", "SoC-DSP", "Intel-CPU",
+                     "A40 bs1", "A40 bs64", "A100 bs1", "A100 bs64"});
+  for (const Config& config : Configs()) {
+    latency.AddRow({std::string(DnnModelName(config.model)) + " " +
+                        PrecisionName(config.precision),
+                    Cell(DlDevice::kSocCpu, config, 1, false),
+                    Cell(DlDevice::kSocGpu, config, 1, false),
+                    Cell(DlDevice::kSocDsp, config, 1, false),
+                    Cell(DlDevice::kIntelContainer, config, 1, false),
+                    Cell(DlDevice::kA40, config, 1, false),
+                    Cell(DlDevice::kA40, config, 64, false),
+                    Cell(DlDevice::kA100, config, 1, false),
+                    Cell(DlDevice::kA100, config, 64, false)});
+  }
+  std::printf("%s\n", latency.Render().c_str());
+  std::printf("(paper anchors: R50 — 81.2 CPU / 32.5 GPU / 8.8 DSP; YOLOv5x "
+              "on the A40 at bs64 approaches the SoC GPU's 620.6 ms)\n\n");
+
+  std::printf("=== Figure 11b: energy efficiency (samples/J) ===\n\n");
+  TextTable eff({"Model", "SoC-CPU", "SoC-GPU", "SoC-DSP", "Intel-CPU",
+                 "A40 bs64", "A100 bs64"});
+  for (const Config& config : Configs()) {
+    eff.AddRow({std::string(DnnModelName(config.model)) + " " +
+                    PrecisionName(config.precision),
+                Cell(DlDevice::kSocCpu, config, 1, true),
+                Cell(DlDevice::kSocGpu, config, 1, true),
+                Cell(DlDevice::kSocDsp, config, 1, true),
+                Cell(DlDevice::kIntelContainer, config, 1, true),
+                Cell(DlDevice::kA40, config, 64, true),
+                Cell(DlDevice::kA100, config, 64, true)});
+  }
+  std::printf("%s\n", eff.Render().c_str());
+  std::printf("(paper anchors: SoC GPU ~18 samples/J on R50-FP32 — 7.09x "
+              "Intel, 1.78x A40, 1.15x A100; DSP on R152-INT8 is 42x Intel "
+              "and 1.5x A100)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Table 6 / Figure 14: the SoC longitudinal study across six
+// Snapdragon generations (2017-2022) — ResNet-50 inference latency per
+// processor, live-transcode throughput for V4/V5 on CPU and hardware
+// codec, and the DSP batch-8 throughput boost.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Table 6 / Figure 14: SoC longitudinal study ===\n\n");
+
+  std::printf("--- ResNet-50 inference latency (ms) ---\n");
+  TextTable dl({"SoC", "Year", "CPU FP32", "GPU FP32", "DSP INT8"});
+  for (SocGeneration gen : AllSocGenerations()) {
+    const SocSpec spec = SocSpecFor(gen);
+    dl.AddRow({spec.name, std::to_string(SocGenerationYear(gen)),
+               FormatDouble(DlEngineModel::SocLatency(
+                   spec, DlDevice::kSocCpu, DnnModel::kResNet50,
+                   Precision::kFp32).ToMillis(), 1),
+               FormatDouble(DlEngineModel::SocLatency(
+                   spec, DlDevice::kSocGpu, DnnModel::kResNet50,
+                   Precision::kFp32).ToMillis(), 1),
+               FormatDouble(DlEngineModel::SocLatency(
+                   spec, DlDevice::kSocDsp, DnnModel::kResNet50,
+                   Precision::kInt8).ToMillis(), 1)});
+  }
+  std::printf("%s", dl.Render().c_str());
+  std::printf("(paper: 2017->2022 latency falls 4.8x on CPU, 3.2x on GPU; "
+              "8.4x on DSP from the 845)\n\n");
+
+  std::printf("--- Live transcode throughput (frames/s per SoC) ---\n");
+  TextTable video({"SoC", "V4 CPU", "V4 HW codec", "V5 CPU", "V5 HW codec"});
+  for (SocGeneration gen : AllSocGenerations()) {
+    const SocSpec spec = SocSpecFor(gen);
+    video.AddRow({spec.name,
+                  FormatDouble(TranscodeModel::LiveThroughputFpsSocCpu(
+                      spec, VbenchVideo::kV4Presentation), 0),
+                  FormatDouble(TranscodeModel::LiveThroughputFpsSocHw(
+                      spec, VbenchVideo::kV4Presentation), 0),
+                  FormatDouble(TranscodeModel::LiveThroughputFpsSocCpu(
+                      spec, VbenchVideo::kV5Hall), 0),
+                  FormatDouble(TranscodeModel::LiveThroughputFpsSocHw(
+                      spec, VbenchVideo::kV5Hall), 0)});
+  }
+  std::printf("%s", video.Render().c_str());
+  std::printf("(paper: V4-CPU on the 865 is 1.42x/1.82x/2.3x over the "
+              "855/845/835; the 8+Gen1 adds another 1.8x; the 865 HW codec "
+              "is 3.8x the 835 on V4)\n\n");
+
+  std::printf("--- DSP batching (Snapdragon 8+Gen1, ResNet-50 INT8) ---\n");
+  const SocSpec gen1p = SocSpecFor(SocGeneration::kSd8Gen1Plus);
+  TextTable batch({"batch size", "DSP throughput (samples/s)"});
+  for (int size : {1, 2, 4, 8, 16}) {
+    batch.AddRow({std::to_string(size),
+                  FormatDouble(DlEngineModel::SocDspThroughput(
+                      gen1p, DnnModel::kResNet50, size), 0)});
+  }
+  std::printf("%s", batch.Render().c_str());
+  std::printf("(paper: batch 8 gives ~1.7x over batch 1)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

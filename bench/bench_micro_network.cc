@@ -1,0 +1,58 @@
+// Regenerates the §2.3 network micro-benchmarks: inter-SoC RTT (ping) and
+// TCP/UDP goodput (iperf3-style bulk transfer) across the PCB fabric.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== §2.3 micro-benchmarks: inter-SoC network ===\n\n");
+  Simulator sim(88);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+
+  // Ping: one RTT via SendMessage with an empty payload.
+  SimTime echo_time;
+  auto ping = cluster.network().SendMessage(
+      cluster.soc_node(0), cluster.soc_node(7), DataSize::Bytes(64),
+      [&] { echo_time = sim.Now(); });
+  SOC_CHECK(ping.ok());
+  sim.Run();
+  std::printf("RTT soc0 -> soc7 (cross-PCB): %.2f ms   (paper: ~0.44 ms)\n",
+              (echo_time - SimTime::Zero()).ToMillis());
+
+  // iperf3: 1 GB bulk transfer between two SoCs, TCP- and UDP-capped.
+  TextTable table({"protocol", "goodput Mbps"});
+  for (const auto& [name, cap] :
+       {std::pair<const char*, DataRate>{"TCP",
+                                         Network::TcpGoodput(DataRate::Gbps(1.0))},
+        std::pair<const char*, DataRate>{"UDP",
+                                         Network::UdpGoodput(DataRate::Gbps(1.0))}}) {
+    Simulator iperf_sim(89);
+    SocCluster iperf_cluster(&iperf_sim, DefaultChassisSpec(),
+                             Snapdragon865Spec());
+    const SimTime start = iperf_sim.Now();
+    SimTime end;
+    auto flow = iperf_cluster.network().StartFlow(
+        iperf_cluster.soc_node(0), iperf_cluster.soc_node(9),
+        DataSize::Gigabytes(1.0), cap, [&] { end = iperf_sim.Now(); });
+    SOC_CHECK(flow.ok());
+    iperf_sim.Run();
+    const double goodput_mbps =
+        DataSize::Gigabytes(1.0).ToMegabits() / (end - start).ToSeconds();
+    table.AddRow({name, FormatDouble(goodput_mbps, 0)});
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf("(paper: ~903 Mbps TCP, ~895 Mbps UDP over the 1GE fabric)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

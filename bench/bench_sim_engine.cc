@@ -1,0 +1,99 @@
+// Google-benchmark micro-benchmarks of the simulation substrate itself:
+// event-queue throughput, network reallocation, and SoC power-model
+// updates. Not a paper figure — harness health for the DES that backs the
+// other benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/cluster.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAfter(Duration::Micros(i), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PeriodicTaskTick(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    int64_t fired = 0;
+    PeriodicTask task(&sim, Duration::Millis(1), [&fired] { ++fired; });
+    task.Start();
+    const Status status = sim.RunFor(Duration::Seconds(1));
+    SOC_CHECK(status.ok());
+    task.Stop();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PeriodicTaskTick);
+
+void BM_NetworkFlowChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(1);
+    Network net(&sim, Duration::MicrosF(440.0));
+    const NetNodeId a = net.AddNode("a");
+    const NetNodeId b = net.AddNode("b");
+    net.AddBidirectionalLink(a, b, DataRate::Gbps(10.0));
+    for (int i = 0; i < flows; ++i) {
+      auto flow = net.StartFlow(a, b, DataSize::Megabytes(1.0),
+                                DataRate::Zero(), nullptr);
+      benchmark::DoNotOptimize(flow.ok());
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_NetworkFlowChurn)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ClusterConstantLoadChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+    std::vector<int64_t> loads;
+    for (int i = 0; i < 60; ++i) {
+      auto load = cluster.network().AddConstantLoad(
+          cluster.soc_node(i), cluster.external_node(), DataRate::Mbps(10.0));
+      loads.push_back(*load);
+    }
+    for (int64_t load : loads) {
+      const Status status = cluster.network().RemoveConstantLoad(load);
+      SOC_CHECK(status.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 120);
+}
+BENCHMARK(BM_ClusterConstantLoadChurn);
+
+void BM_SocPowerUpdate(benchmark::State& state) {
+  Simulator sim(1);
+  SocModel soc(&sim, Snapdragon865Spec(), 0);
+  const Status status = soc.PowerOn(Duration::Zero(), nullptr);
+  SOC_CHECK(status.ok());
+  sim.Run();
+  double util = 0.0;
+  for (auto _ : state) {
+    util = util < 0.5 ? util + 0.001 : 0.0;
+    benchmark::DoNotOptimize(soc.SetCpuUtil(util));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocPowerUpdate);
+
+}  // namespace
+}  // namespace soccluster
+
+BENCHMARK_MAIN();

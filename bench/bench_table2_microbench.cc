@@ -1,0 +1,60 @@
+// Regenerates Table 2: Geekbench-5-style micro-benchmark scores, per-core
+// and whole-server, for the SoC Cluster, the traditional edge server, and
+// AWS Graviton 2/3 instances.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/hw/microbench.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Table 2: micro-benchmarks on four platforms ===\n\n");
+  MicrobenchModel model;
+  TextTable table({"Micro Benchmark", "Ours/core", "Trad./core", "G2/core",
+                   "G3/core", "Ours server", "Trad. server", "G2 server",
+                   "G3 server"});
+  for (MicrobenchMetric metric : AllMicrobenchMetrics()) {
+    std::vector<std::string> row;
+    row.push_back(MicrobenchMetricName(metric));
+    for (BenchPlatform platform : AllBenchPlatforms()) {
+      row.push_back(FormatDouble(model.PerCoreScore(platform, metric), 1));
+    }
+    for (BenchPlatform platform : AllBenchPlatforms()) {
+      row.push_back(FormatDouble(model.WholeServerScore(platform, metric), 0));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Headline ratios (vs Graviton 3 whole-server):\n");
+  const double cpu = model.WholeServerScore(BenchPlatform::kSocCluster,
+                                            MicrobenchMetric::kCpuScore) /
+                     model.WholeServerScore(BenchPlatform::kGraviton3,
+                                            MicrobenchMetric::kCpuScore);
+  const double pdf = model.WholeServerScore(BenchPlatform::kSocCluster,
+                                            MicrobenchMetric::kPdfRender) /
+                     model.WholeServerScore(BenchPlatform::kGraviton3,
+                                            MicrobenchMetric::kPdfRender);
+  std::printf("  CPU score:  %.1fx  (paper: 3.8x)\n", cpu);
+  std::printf("  PDF render: %.1fx  (paper: 3.2x)\n\n", pdf);
+
+  std::printf("Cluster CPU score vs SoC count (extrapolation):\n");
+  TextTable scale({"SoCs", "CPU score"});
+  for (int socs : {15, 30, 60, 120}) {
+    scale.AddRow({std::to_string(socs),
+                  FormatDouble(model.SocClusterScore(
+                      MicrobenchMetric::kCpuScore, socs), 0)});
+  }
+  std::printf("%s", scale.Render().c_str());
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

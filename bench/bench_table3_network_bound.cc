@@ -1,0 +1,49 @@
+// Regenerates Table 3: per-video metadata plus the network-bound analysis
+// of live-streaming transcoding — max streams per SoC (CPU and hardware
+// codec) and the resulting network usage against the PCB's 1 Gbps and the
+// ESB's 20 Gbps.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/workload/video/transcode.h"
+#include "src/workload/video/video.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Table 3: video metadata and network-bound analysis ===\n\n");
+  TextTable table({"Video", "Resolution", "FPS", "Entropy", "Src bitrate",
+                   "Target bitrate", "Streams/SoC (CPU/HW)",
+                   "PCB Mbps (of 1000)", "Server Mbps (of 20000)"});
+  for (const VideoSpec& video : VbenchVideos()) {
+    const int cpu = TranscodeModel::MaxLiveStreamsSocCpu(video.id);
+    const int hw = TranscodeModel::MaxLiveStreamsSocHw(video.id);
+    const double per_stream = video.StreamNetworkRate().ToMbps();
+    const double pcb = per_stream * (cpu + hw) * 5;
+    const double server = per_stream * (cpu + hw) * 60;
+    table.AddRow({video.name,
+                  std::to_string(video.width) + "x" +
+                      std::to_string(video.height),
+                  std::to_string(video.fps), FormatDouble(video.entropy, 1),
+                  FormatDouble(video.source_bitrate.ToMbps(), 2) + " Mbps",
+                  FormatDouble(video.target_bitrate.ToKbps(), 1) + " Kbps",
+                  std::to_string(cpu) + " / " + std::to_string(hw),
+                  FormatDouble(pcb, 0) + " (" + FormatDouble(pcb / 10.0, 1) +
+                      "%)",
+                  FormatDouble(server, 0) + " (" +
+                      FormatDouble(server / 200.0, 1) + "%)"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Observation (§4.4): only V5 slightly exceeds a PCB's 1 Gbps; "
+              "the 20 Gbps ESB is never the bottleneck.\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Table 4: CapEx breakdown, OpEx (electricity + PUE), and
+// monthly TCO for the three servers.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cost/tco.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Table 4: total cost of ownership ===\n\n");
+  for (ServerKind kind : AllServerKinds()) {
+    const TcoBreakdown tco = TcoModel::Compute(kind);
+    std::printf("--- %s ---\n", ServerKindName(kind));
+    TextTable capex({"CapEx component", "cost", "share"});
+    for (const CapExItem& item : tco.capex_items) {
+      capex.AddRow({item.name, "$" + FormatDouble(item.cost_usd, 0),
+                    FormatDouble(item.cost_usd / tco.total_capex_usd * 100.0,
+                                 1) + "%"});
+    }
+    std::printf("%s", capex.Render().c_str());
+    std::printf("Total CapEx:            $%s\n",
+                FormatDouble(tco.total_capex_usd, 0).c_str());
+    std::printf("CapEx / 36 months:      $%s\n",
+                FormatDouble(tco.monthly_capex_usd, 0).c_str());
+    std::printf("Avg peak power:         %s W\n",
+                FormatDouble(tco.avg_peak_power.watts(), 0).c_str());
+    std::printf("Monthly kWh (50%% util): %s kWh\n",
+                FormatDouble(tco.monthly_kwh, 0).c_str());
+    std::printf("Server electricity:     $%s\n",
+                FormatDouble(tco.monthly_electricity_usd, 0).c_str());
+    std::printf("PUE overhead (PUE=2.0): $%s\n",
+                FormatDouble(tco.monthly_pue_overhead_usd, 0).c_str());
+    std::printf("Monthly TCO:            $%s\n\n",
+                FormatDouble(tco.monthly_tco_usd, 0).c_str());
+  }
+  std::printf("(paper: monthly TCO $1,410 / $399 / $1,042)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Regenerates Table 5: application throughput normalized to monthly TCO
+// (TpC) for live-streaming transcoding, archive transcoding, and DL
+// serving, across all hardware options.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cost/tco.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+void Run() {
+  std::printf("=== Table 5: throughput per monthly TCO ===\n\n");
+  const TcoBreakdown edge = TcoModel::Compute(ServerKind::kEdgeWithGpu);
+  const TcoBreakdown edge_no_gpu =
+      TcoModel::Compute(ServerKind::kEdgeWithoutGpu);
+  const TcoBreakdown cluster = TcoModel::Compute(ServerKind::kSocCluster);
+
+  std::printf("--- Live streaming transcoding TpC (streams/$) ---\n");
+  TextTable live({"Server / HW", "V1", "V2", "V3", "V4", "V5", "V6"});
+  auto live_row = [&](const char* name, TranscodeBackend backend, int units,
+                      const TcoBreakdown& tco) {
+    std::vector<std::string> row{name};
+    for (const VideoSpec& video : VbenchVideos()) {
+      const double streams =
+          TranscodeModel::MaxLiveStreams(backend, video.id) *
+          static_cast<double>(units);
+      row.push_back(FormatDouble(TcoModel::ThroughputPerCost(streams, tco), 3));
+    }
+    live.AddRow(row);
+  };
+  live_row("Edge (W/ GPU) Intel-CPU", TranscodeBackend::kIntelCpu, 10, edge);
+  live_row("Edge (W/ GPU) GPU-A40", TranscodeBackend::kNvidiaA40, 8, edge);
+  live_row("Edge (W/O GPU) Intel-CPU", TranscodeBackend::kIntelCpu, 10,
+           edge_no_gpu);
+  live_row("SoC Cluster SoC-CPU", TranscodeBackend::kSocCpu, 60, cluster);
+  std::printf("%s\n", live.Render().c_str());
+
+  std::printf("--- Archive transcoding TpC (frames/s/$, single job) ---\n");
+  TextTable archive({"Server / HW", "V1", "V2", "V3", "V4", "V5", "V6"});
+  auto archive_row = [&](const char* name, TranscodeBackend backend,
+                         const TcoBreakdown& tco) {
+    std::vector<std::string> row{name};
+    for (const VideoSpec& video : VbenchVideos()) {
+      const double fps = TranscodeModel::ArchiveJobFps(backend, video.id);
+      row.push_back(FormatDouble(TcoModel::ThroughputPerCost(fps, tco), 3));
+    }
+    archive.AddRow(row);
+  };
+  archive_row("Edge (W/ GPU) Intel-CPU", TranscodeBackend::kIntelCpu, edge);
+  archive_row("Edge (W/ GPU) GPU-A40", TranscodeBackend::kNvidiaA40, edge);
+  archive_row("Edge (W/O GPU) Intel-CPU", TranscodeBackend::kIntelCpu,
+              edge_no_gpu);
+  archive_row("SoC Cluster SoC-CPU", TranscodeBackend::kSocCpu, cluster);
+  std::printf("%s\n", archive.Render().c_str());
+
+  std::printf("--- DL serving TpC (samples/s/$) ---\n");
+  struct DlConfig {
+    const char* label;
+    DnnModel model;
+    Precision precision;
+  };
+  const DlConfig configs[] = {
+      {"R-50 FP32", DnnModel::kResNet50, Precision::kFp32},
+      {"R-152 FP32", DnnModel::kResNet152, Precision::kFp32},
+      {"YOLO FP32", DnnModel::kYoloV5x, Precision::kFp32},
+      {"BERT FP32", DnnModel::kBertBase, Precision::kFp32},
+      {"R-50 INT8", DnnModel::kResNet50, Precision::kInt8},
+      {"R-152 INT8", DnnModel::kResNet152, Precision::kInt8},
+  };
+  TextTable dl({"Server / HW", "R-50 FP32", "R-152 FP32", "YOLO FP32",
+                "BERT FP32", "R-50 INT8", "R-152 INT8"});
+  auto dl_row = [&](const char* name, DlDevice device, int units, int batch,
+                    const TcoBreakdown& tco) {
+    std::vector<std::string> row{name};
+    for (const DlConfig& config : configs) {
+      if (!DlEngineModel::Supports(device, config.model, config.precision)) {
+        row.push_back("-");
+        continue;
+      }
+      const double throughput =
+          DlEngineModel::Throughput(device, config.model, config.precision,
+                                    batch) * units;
+      row.push_back(
+          FormatDouble(TcoModel::ThroughputPerCost(throughput, tco), 3));
+    }
+    dl.AddRow(row);
+  };
+  dl_row("Edge (W/ GPU) Intel-CPU", DlDevice::kIntelContainer, 10, 1, edge);
+  dl_row("Edge (W/ GPU) GPU-A40", DlDevice::kA40, 8, 64, edge);
+  dl_row("Edge (W/O GPU) Intel-CPU", DlDevice::kIntelContainer, 10, 1,
+         edge_no_gpu);
+  dl_row("SoC Cluster SoC-CPU", DlDevice::kSocCpu, 60, 1, cluster);
+  dl_row("SoC Cluster SoC-GPU", DlDevice::kSocGpu, 60, 1, cluster);
+  dl_row("SoC Cluster SoC-DSP", DlDevice::kSocDsp, 60, 1, cluster);
+  std::printf("%s\n", dl.Render().c_str());
+  std::printf("(paper: SoC CPUs lead live streaming — geomean 2.23x over the "
+              "A40 and 4.28x over the GPU-server Intel; the A40 dominates "
+              "archive and DL serving)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

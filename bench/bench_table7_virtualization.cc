@@ -1,0 +1,73 @@
+// Regenerates Table 7: DL inference on physical vs virtualized
+// (containerized-Android) SoCs — latency and GPU-occupancy/memory deltas.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/virtualization.h"
+#include "src/workload/dl/engine.h"
+
+namespace soccluster {
+namespace {
+
+struct Row {
+  DnnModel model;
+  DlDevice device;
+  SocProcessor processor;
+  Precision precision;
+};
+
+void Run() {
+  std::printf("=== Table 7: physical vs virtualized SoC ===\n\n");
+  const Row rows[] = {
+      {DnnModel::kResNet50, DlDevice::kSocCpu, SocProcessor::kCpu,
+       Precision::kFp32},
+      {DnnModel::kResNet50, DlDevice::kSocGpu, SocProcessor::kGpu,
+       Precision::kFp32},
+      {DnnModel::kResNet50, DlDevice::kSocDsp, SocProcessor::kDsp,
+       Precision::kInt8},
+      {DnnModel::kResNet152, DlDevice::kSocCpu, SocProcessor::kCpu,
+       Precision::kFp32},
+      {DnnModel::kResNet152, DlDevice::kSocGpu, SocProcessor::kGpu,
+       Precision::kFp32},
+      {DnnModel::kResNet152, DlDevice::kSocDsp, SocProcessor::kDsp,
+       Precision::kInt8},
+      {DnnModel::kYoloV5x, DlDevice::kSocCpu, SocProcessor::kCpu,
+       Precision::kFp32},
+      {DnnModel::kYoloV5x, DlDevice::kSocGpu, SocProcessor::kGpu,
+       Precision::kFp32},
+  };
+  TextTable table({"Model", "Processor", "Phys latency ms", "Virt latency ms",
+                   "delta", "GPU util phys/virt", "mem overhead"});
+  for (const Row& row : rows) {
+    const Duration physical =
+        DlEngineModel::Latency(row.device, row.model, row.precision, 1);
+    const Duration virtualized = VirtualizationModel::AdjustLatency(
+        SocExecutionMode::kVirtualized, row.processor, physical);
+    const bool gpu = row.processor == SocProcessor::kGpu;
+    table.AddRow(
+        {DnnModelName(row.model), SocProcessorName(row.processor),
+         FormatDouble(physical.ToMillis(), 1),
+         FormatDouble(virtualized.ToMillis(), 1),
+         FormatDouble((virtualized / physical - 1.0) * 100.0, 1) + "%",
+         gpu ? FormatDouble(VirtualizationModel::GpuUtilizationCap(
+                   SocExecutionMode::kPhysical) * 100.0, 1) + "% / " +
+                   FormatDouble(VirtualizationModel::GpuUtilizationCap(
+                       SocExecutionMode::kVirtualized) * 100.0, 1) + "%"
+             : "-",
+         "+" + FormatDouble(VirtualizationModel::MemoryOverheadFraction(
+                   SocExecutionMode::kVirtualized) * 100.0, 1) + "pp"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(paper: CPU/DSP unchanged within noise; GPU loses occupancy "
+              "in containers — YOLOv5x slows ~60 ms; memory +~5pp from the "
+              "containerized Android framework)\n");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main() {
+  soccluster::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Overnight archive transcoding: a batch of mixed clips drains through the
+// cluster while latency-critical services keep most SoCs; compares FIFO
+// and shortest-job-first turnaround on the same batch.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/video/archive.h"
+
+using namespace soccluster;
+
+namespace {
+
+double RunBatch(ArchiveScheduling scheduling, const char* label) {
+  Simulator sim(23);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  // Only 2 SoCs are granted to batch work; the rest serve live traffic.
+  ArchiveTranscodingService service(&sim, &cluster, scheduling,
+                                    /*max_concurrent_socs=*/2);
+  // The nightly batch arrives features-first: two long clips grab the
+  // slots, two more long clips and thirty short clips queue behind them —
+  // the ordering decision is the scheduler's.
+  for (int i = 0; i < 4; ++i) {
+    status = service.SubmitJob(VbenchVideo::kV5Hall, Duration::Minutes(20),
+                               nullptr).status();
+    SOC_CHECK(status.ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    status = service.SubmitJob(i % 2 == 0 ? VbenchVideo::kV2Desktop
+                                          : VbenchVideo::kV4Presentation,
+                               Duration::Minutes(2), nullptr).status();
+    SOC_CHECK(status.ok());
+  }
+  const Energy e0 = cluster.TotalEnergy();
+  sim.Run();
+  const Energy spent = cluster.TotalEnergy() - e0;
+  std::printf("%-22s %2lld jobs, mean turnaround %6.1f min, p95 %6.1f min, "
+              "makespan %.1f h, %.0f kJ\n",
+              label, static_cast<long long>(service.completed_jobs()),
+              service.turnaround_minutes().Mean(),
+              service.turnaround_minutes().Percentile(95),
+              sim.Now().ToHours(), spent.joules() / 1000.0);
+  return service.turnaround_minutes().Mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== overnight archive batch on 2 SoCs ===\n\n");
+  const double fifo = RunBatch(ArchiveScheduling::kFifo, "FIFO:");
+  const double sjf =
+      RunBatch(ArchiveScheduling::kShortestJobFirst, "Shortest-job-first:");
+  std::printf("\nSJF cuts mean turnaround %.0f%% on the same batch and "
+              "energy.\n", (1.0 - sjf / fifo) * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Energy-proportional DL serving: an open-loop ResNet-50 request stream
+// whose rate steps up and down while the autoscaler powers SoCs on and off
+// to track it. Shows the §5.2 mechanism that lets the cluster beat a
+// monolithic GPU at light load.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/cluster/cluster.h"
+#include "src/core/autoscaler.h"
+#include "src/workload/dl/serving.h"
+
+using namespace soccluster;
+
+int main() {
+  Simulator sim(11);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocGpu,
+                        DnnModel::kResNet50, Precision::kFp32);
+  fleet.SetActiveCount(1);
+  ClusterAutoscaler autoscaler(&sim, &cluster, &fleet, AutoscalerConfig{});
+  autoscaler.Start();
+
+  std::printf("=== autoscaled ResNet-50 serving (SoC GPU fleet) ===\n\n");
+  TextTable table({"phase", "offered req/s", "active SoCs", "powered SoCs",
+                   "cluster W", "served", "p99 ms"});
+  const double phases[] = {10.0, 100.0, 1000.0, 2500.0, 100.0, 10.0};
+  for (double rate : phases) {
+    const int64_t before = fleet.completed();
+    const size_t sample_offset = fleet.latencies().count();
+    OpenLoopSource source(&sim, rate, Duration::Seconds(120),
+                          [&fleet] { fleet.Submit(); });
+    source.Start();
+    status = sim.RunFor(Duration::Seconds(120));
+    SOC_CHECK(status.ok());
+    // Per-phase p99 from the samples recorded during this phase only.
+    SampleStats phase_latency;
+    const auto& all = fleet.latencies().samples();
+    for (size_t i = sample_offset; i < all.size(); ++i) {
+      phase_latency.Add(all[i]);
+    }
+    table.AddRow({FormatDouble(rate, 0) + " req/s for 120s",
+                  FormatDouble(rate, 0),
+                  std::to_string(fleet.active_count()),
+                  std::to_string(autoscaler.PoweredCount()),
+                  FormatDouble(cluster.CurrentPower().watts(), 0),
+                  std::to_string(static_cast<long>(fleet.completed() - before)),
+                  phase_latency.count() > 0
+                      ? FormatDouble(phase_latency.Percentile(99), 1)
+                      : "-"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("total inferences: %lld, mean latency %.1f ms\n",
+              static_cast<long long>(fleet.completed()),
+              fleet.latencies().Mean());
+  std::printf("(SoCs power off behind the load; a discrete GPU would idle "
+              "at ~55 W regardless)\n");
+  return 0;
+}

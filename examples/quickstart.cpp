@@ -1,0 +1,63 @@
+// Quickstart: bring up a SoC Cluster, run a small mixed workload (live
+// video transcoding + DL serving), and read power/energy through the BMC —
+// the 60-second tour of the library's public API.
+
+#include <cstdio>
+
+#include "src/cluster/bmc.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/dl/serving.h"
+#include "src/workload/video/live.h"
+
+using namespace soccluster;
+
+int main() {
+  // 1. A simulator owns time; the cluster owns 60 Snapdragon 865 SoCs,
+  //    12 PCB switch boards, the 20 Gbps ESB, and the BMC.
+  Simulator sim(/*seed=*/42);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  BmcModel bmc(&sim, &cluster, BmcConfig{});
+  bmc.StartSampling();
+
+  // 2. Boot every SoC (Android cold boot takes ~25 s of simulated time).
+  cluster.PowerOnAll([] { std::printf("all 60 SoCs are up\n"); });
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  std::printf("idle cluster power: %.0f W\n",
+              cluster.CurrentPower().watts());
+
+  // 3. Admit twenty 1080p live streams onto SoC CPUs.
+  LiveTranscodingService video(&sim, &cluster, PlacementPolicy::kSpread);
+  for (int i = 0; i < 20; ++i) {
+    Result<int64_t> stream = video.StartStream(VbenchVideo::kV4Presentation,
+                                               TranscodeBackend::kSocCpu);
+    SOC_CHECK(stream.ok()) << stream.status().ToString();
+  }
+  std::printf("admitted %d live streams\n", video.active_streams());
+
+  // 4. Serve ResNet-50 on eight SoC GPUs under a 200 req/s open loop.
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocGpu,
+                        DnnModel::kResNet50, Precision::kFp32);
+  fleet.SetActiveCount(8);
+  OpenLoopSource requests(&sim, /*rate_per_s=*/200.0, Duration::Seconds(60),
+                          [&fleet] { fleet.Submit(); });
+  requests.Start();
+
+  // 5. Run a minute of simulated time and report.
+  const Energy energy_before = cluster.TotalEnergy();
+  status = sim.RunFor(Duration::Seconds(60));
+  SOC_CHECK(status.ok());
+  const Energy spent = cluster.TotalEnergy() - energy_before;
+
+  std::printf("\n-- after 60 s of mixed load --\n");
+  std::printf("cluster power now:     %.0f W (BMC sample: %.0f W)\n",
+              cluster.CurrentPower().watts(), bmc.LastPowerSample().watts());
+  std::printf("energy this minute:    %.0f J (%.4f kWh)\n", spent.joules(),
+              spent.ToKilowattHours());
+  std::printf("inferences completed:  %lld (p50 latency %.1f ms, p99 %.1f ms)\n",
+              static_cast<long long>(fleet.completed()),
+              fleet.latencies().Median(), fleet.latencies().Percentile(99));
+  std::printf("chassis temperature:   %.1f C, fans at %.0f%%\n",
+              bmc.TemperatureCelsius(), bmc.FanDuty() * 100.0);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Minimal leveled logging and CHECK-style invariant macros.
+//
+// The simulator is single-threaded and deterministic; logging writes to
+// stderr. CHECK failures abort, following the project rule that invariant
+// violations are programming errors rather than recoverable conditions.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace soccluster {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Internal: builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when a log statement is compiled out or disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace soccluster
+
+#define SOC_LOG(level)                                                      \
+  if (::soccluster::LogLevel::k##level < ::soccluster::GetLogLevel()) {    \
+  } else                                                                    \
+    ::soccluster::LogMessage(::soccluster::LogLevel::k##level, __FILE__,    \
+                             __LINE__)                                      \
+        .stream()
+
+#define SOC_CHECK(cond)                                                       \
+  if (cond) {                                                                 \
+  } else                                                                      \
+    ::soccluster::LogMessage(::soccluster::LogLevel::kFatal, __FILE__,        \
+                             __LINE__)                                        \
+            .stream()                                                         \
+        << "CHECK failed: " #cond " "
+
+#define SOC_CHECK_OP(a, b, op)                                               \
+  SOC_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define SOC_CHECK_EQ(a, b) SOC_CHECK_OP(a, b, ==)
+#define SOC_CHECK_NE(a, b) SOC_CHECK_OP(a, b, !=)
+#define SOC_CHECK_LT(a, b) SOC_CHECK_OP(a, b, <)
+#define SOC_CHECK_LE(a, b) SOC_CHECK_OP(a, b, <=)
+#define SOC_CHECK_GT(a, b) SOC_CHECK_OP(a, b, >)
+#define SOC_CHECK_GE(a, b) SOC_CHECK_OP(a, b, >=)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,140 @@
+// Error handling without exceptions: `Status` describes why an operation
+// failed, `Result<T>` carries either a value or a Status. Fallible public
+// APIs in this project return one of these two types.
+
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success/error outcome with an explanatory message on error.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a T (on success) or a Status (on failure).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::NotFound("nope"); }
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SOC_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    SOC_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    SOC_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    SOC_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace soccluster
+
+// Propagates an error Status from an expression that yields Status.
+#define SOC_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::soccluster::Status soc_status_ = (expr); \
+    if (!soc_status_.ok()) {                   \
+      return soc_status_;                      \
+    }                                          \
+  } while (0)
+
+#endif  // SRC_BASE_RESULT_H_

@@ -1,0 +1,145 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-for-bit reproducible across runs and platforms,
+// so it uses a self-contained xoshiro256++ generator (seeded via SplitMix64)
+// rather than std::mt19937 + std::distributions, whose exact sequences the
+// standard leaves implementation-defined for some distributions.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace soccluster {
+
+// SplitMix64: used for seeding and cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ with distribution helpers. Not thread-safe; each simulation
+// owns its own instance (or several, for independent streams).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+    have_gaussian_ = false;
+  }
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextUint64() % span);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  // Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (have_gaussian_) {
+      have_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Log-normal such that the *median* of the result is `median` and the
+  // underlying normal has standard deviation `sigma` (in log space).
+  double LogNormalMedian(double median, double sigma) {
+    return median * std::exp(sigma * Gaussian());
+  }
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64 to stay O(1)).
+  int64_t Poisson(double mean) {
+    if (mean <= 0.0) {
+      return 0;
+    }
+    if (mean > 64.0) {
+      const double v = Gaussian(mean, std::sqrt(mean));
+      return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+
+  // Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,37 @@
+// ASCII table and CSV rendering for the benchmark harness. Every bench
+// binary regenerates one of the paper's tables/figures as rows; this keeps
+// their output uniform and machine-diffable.
+
+#ifndef SRC_BASE_TABLE_H_
+#define SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace soccluster {
+
+// A simple right-padded ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column separators and a header rule.
+  std::string Render() const;
+  // Renders as CSV (no escaping of commas; callers avoid commas in cells).
+  std::string RenderCsv() const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers used when filling tables.
+std::string FormatDouble(double v, int decimals);
+std::string FormatSi(double v, int decimals);  // 1234567 -> "1.23M"
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_TABLE_H_

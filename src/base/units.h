@@ -1,0 +1,259 @@
+// Strongly-typed physical units used throughout the simulator.
+//
+// Simulated time is held as a signed 64-bit count of nanoseconds so that the
+// discrete-event core is exactly deterministic (no floating-point drift in the
+// event queue). Power, energy, and data quantities are double-precision
+// wrappers with explicit factory functions and named accessors, so call sites
+// always say which unit they mean (e.g. `Power::Watts(5.2)`, `rate.Mbps()`).
+
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace soccluster {
+
+// A span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration Micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000000); }
+  static constexpr Duration Minutes(int64_t m) { return Seconds(m * 60); }
+  static constexpr Duration Hours(int64_t h) { return Seconds(h * 3600); }
+  // Converts a floating-point second count, rounding to the nearest ns.
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration MillisF(double ms) { return SecondsF(ms * 1e-3); }
+  static constexpr Duration MicrosF(double us) { return SecondsF(us * 1e-6); }
+  static constexpr Duration Max() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+  constexpr bool IsNegative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(double k) const {
+    return SecondsF(ToSeconds() * k);
+  }
+  constexpr Duration operator/(double k) const {
+    return SecondsF(ToSeconds() / k);
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// An absolute point on the simulated clock (ns since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromNanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() {
+    return SimTime(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.nanos()); }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::Nanos(ns_ - o.ns_);
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// Instantaneous electrical power.
+class Power {
+ public:
+  constexpr Power() = default;
+  static constexpr Power Watts(double w) { return Power(w); }
+  static constexpr Power Milliwatts(double mw) { return Power(mw * 1e-3); }
+  static constexpr Power Zero() { return Power(0.0); }
+
+  constexpr double watts() const { return watts_; }
+  constexpr double milliwatts() const { return watts_ * 1e3; }
+
+  constexpr Power operator+(Power o) const { return Power(watts_ + o.watts_); }
+  constexpr Power operator-(Power o) const { return Power(watts_ - o.watts_); }
+  constexpr Power operator*(double k) const { return Power(watts_ * k); }
+  constexpr Power operator/(double k) const { return Power(watts_ / k); }
+  constexpr double operator/(Power o) const { return watts_ / o.watts_; }
+  Power& operator+=(Power o) {
+    watts_ += o.watts_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Power&) const = default;
+
+ private:
+  explicit constexpr Power(double w) : watts_(w) {}
+  double watts_ = 0.0;
+};
+
+// Accumulated electrical energy.
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy Joules(double j) { return Energy(j); }
+  static constexpr Energy KilowattHours(double kwh) {
+    return Energy(kwh * 3.6e6);
+  }
+  static constexpr Energy Zero() { return Energy(0.0); }
+
+  constexpr double joules() const { return joules_; }
+  constexpr double ToKilowattHours() const { return joules_ / 3.6e6; }
+
+  constexpr Energy operator+(Energy o) const { return Energy(joules_ + o.joules_); }
+  constexpr Energy operator-(Energy o) const { return Energy(joules_ - o.joules_); }
+  constexpr Energy operator*(double k) const { return Energy(joules_ * k); }
+  constexpr double operator/(Energy o) const { return joules_ / o.joules_; }
+  Energy& operator+=(Energy o) {
+    joules_ += o.joules_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Energy&) const = default;
+
+ private:
+  explicit constexpr Energy(double j) : joules_(j) {}
+  double joules_ = 0.0;
+};
+
+// Energy = Power x time.
+constexpr Energy operator*(Power p, Duration d) {
+  return Energy::Joules(p.watts() * d.ToSeconds());
+}
+constexpr Energy operator*(Duration d, Power p) { return p * d; }
+
+// A quantity of data, in bits internally (network rates are bit-oriented).
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize Bits(int64_t b) { return DataSize(b); }
+  static constexpr DataSize Bytes(int64_t by) { return DataSize(by * 8); }
+  static constexpr DataSize Kilobytes(double kb) {
+    return DataSize(static_cast<int64_t>(kb * 8e3));
+  }
+  static constexpr DataSize Megabytes(double mb) {
+    return DataSize(static_cast<int64_t>(mb * 8e6));
+  }
+  static constexpr DataSize Gigabytes(double gb) {
+    return DataSize(static_cast<int64_t>(gb * 8e9));
+  }
+  static constexpr DataSize Zero() { return DataSize(0); }
+
+  constexpr int64_t bits() const { return bits_; }
+  constexpr double ToBytes() const { return static_cast<double>(bits_) / 8.0; }
+  constexpr double ToKilobytes() const { return ToBytes() / 1e3; }
+  constexpr double ToMegabytes() const { return ToBytes() / 1e6; }
+  constexpr double ToGigabytes() const { return ToBytes() / 1e9; }
+  constexpr double ToMegabits() const { return static_cast<double>(bits_) / 1e6; }
+
+  constexpr DataSize operator+(DataSize o) const { return DataSize(bits_ + o.bits_); }
+  constexpr DataSize operator-(DataSize o) const { return DataSize(bits_ - o.bits_); }
+  constexpr DataSize operator*(double k) const {
+    return DataSize(static_cast<int64_t>(static_cast<double>(bits_) * k));
+  }
+  constexpr double operator/(DataSize o) const {
+    return static_cast<double>(bits_) / static_cast<double>(o.bits_);
+  }
+  DataSize& operator+=(DataSize o) {
+    bits_ += o.bits_;
+    return *this;
+  }
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+ private:
+  explicit constexpr DataSize(int64_t bits) : bits_(bits) {}
+  int64_t bits_ = 0;
+};
+
+// A data transfer rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate Bps(double bps) { return DataRate(bps); }
+  static constexpr DataRate Kbps(double kbps) { return DataRate(kbps * 1e3); }
+  static constexpr DataRate Mbps(double mbps) { return DataRate(mbps * 1e6); }
+  static constexpr DataRate Gbps(double gbps) { return DataRate(gbps * 1e9); }
+  static constexpr DataRate Zero() { return DataRate(0.0); }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double ToKbps() const { return bps_ / 1e3; }
+  constexpr double ToMbps() const { return bps_ / 1e6; }
+  constexpr double ToGbps() const { return bps_ / 1e9; }
+
+  constexpr DataRate operator+(DataRate o) const { return DataRate(bps_ + o.bps_); }
+  constexpr DataRate operator-(DataRate o) const { return DataRate(bps_ - o.bps_); }
+  constexpr DataRate operator*(double k) const { return DataRate(bps_ * k); }
+  constexpr DataRate operator/(double k) const { return DataRate(bps_ / k); }
+  constexpr double operator/(DataRate o) const { return bps_ / o.bps_; }
+  DataRate& operator+=(DataRate o) {
+    bps_ += o.bps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+// Transfer time for `size` at `rate`; Duration::Max() when the rate is zero.
+constexpr Duration TransferTime(DataSize size, DataRate rate) {
+  if (rate.bps() <= 0.0) {
+    return Duration::Max();
+  }
+  return Duration::SecondsF(static_cast<double>(size.bits()) / rate.bps());
+}
+
+// Data moved in `d` at `rate`.
+constexpr DataSize operator*(DataRate rate, Duration d) {
+  return DataSize::Bits(static_cast<int64_t>(rate.bps() * d.ToSeconds()));
+}
+constexpr DataSize operator*(Duration d, DataRate rate) { return rate * d; }
+
+// Rate needed to move `size` in `d`.
+constexpr DataRate operator/(DataSize size, Duration d) {
+  return DataRate::Bps(static_cast<double>(size.bits()) / d.ToSeconds());
+}
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_UNITS_H_

@@ -1,0 +1,59 @@
+#include "src/cluster/bmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+BmcModel::BmcModel(Simulator* sim, SocCluster* cluster, BmcConfig config)
+    : sim_(sim), cluster_(cluster), config_(config),
+      temperature_(config.ambient_celsius), last_sample_time_(sim->Now()) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  sampler_ = std::make_unique<PeriodicTask>(sim_, config_.sample_period,
+                                            [this] { Sample(); });
+}
+
+BmcModel::~BmcModel() = default;
+
+void BmcModel::StartSampling() { sampler_->Start(); }
+
+void BmcModel::StopSampling() { sampler_->Stop(); }
+
+void BmcModel::Sample() {
+  const SimTime now = sim_->Now();
+  last_power_ = cluster_->CurrentPower();
+  power_samples_.Add(last_power_.watts());
+
+  // First-order thermal response toward the steady-state temperature for
+  // the current power draw.
+  const double target =
+      config_.ambient_celsius + config_.celsius_per_watt * last_power_.watts();
+  const double dt = (now - last_sample_time_).ToSeconds();
+  const double tau = config_.thermal_tau.ToSeconds();
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  temperature_ += (target - temperature_) * alpha;
+  last_sample_time_ = now;
+}
+
+bool BmcModel::IsThrottling() const {
+  return temperature_ > config_.throttle_temp_celsius;
+}
+
+Power BmcModel::RecommendedPowerCap() const {
+  return Power::Watts(
+      (config_.throttle_temp_celsius - config_.ambient_celsius) /
+      config_.celsius_per_watt);
+}
+
+double BmcModel::FanDuty() const {
+  const double span =
+      config_.fan_full_temp_celsius - config_.ambient_celsius;
+  const double frac = (temperature_ - config_.ambient_celsius) / span;
+  return std::clamp(config_.fan_min_duty + frac * (1.0 - config_.fan_min_duty),
+                    config_.fan_min_duty, 1.0);
+}
+
+}  // namespace soccluster

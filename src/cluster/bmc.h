@@ -1,0 +1,71 @@
+// Baseboard Management Controller model (§2.2). The real BMC monitors
+// power, temperature, and hardware failures over I2C/USB/UART and exposes
+// them over its Ethernet port; the paper reads cluster power through its
+// API. This model samples the chassis on a fixed period, runs a first-order
+// thermal model, and drives fan duty from temperature.
+
+#ifndef SRC_CLUSTER_BMC_H_
+#define SRC_CLUSTER_BMC_H_
+
+#include <memory>
+
+#include "src/base/stats.h"
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+struct BmcConfig {
+  Duration sample_period = Duration::Seconds(1);
+  double ambient_celsius = 30.0;  // Edge sites run warm.
+  // Steady-state temperature rise per watt of chassis power.
+  double celsius_per_watt = 0.055;
+  // Thermal time constant of the chassis airflow.
+  Duration thermal_tau = Duration::Seconds(90);
+  double fan_min_duty = 0.25;
+  double fan_full_temp_celsius = 75.0;  // Duty reaches 1.0 here.
+  // Above this temperature the BMC asks the control plane to shed load.
+  double throttle_temp_celsius = 80.0;
+};
+
+class BmcModel {
+ public:
+  BmcModel(Simulator* sim, SocCluster* cluster, BmcConfig config);
+  ~BmcModel();
+  BmcModel(const BmcModel&) = delete;
+  BmcModel& operator=(const BmcModel&) = delete;
+
+  void StartSampling();
+  void StopSampling();
+
+  // Most recent power sample, as the paper's scripts would read it.
+  Power LastPowerSample() const { return last_power_; }
+  // Statistics over all samples so far.
+  const RunningStat& PowerSamples() const { return power_samples_; }
+  double TemperatureCelsius() const { return temperature_; }
+  double FanDuty() const;
+  // True when the chassis has exceeded its thermal envelope; the control
+  // plane should stop admitting work (and may power SoCs down) until the
+  // temperature recovers.
+  bool IsThrottling() const;
+  // Power level that would hold the chassis at the throttle temperature at
+  // steady state — a target for load shedding.
+  Power RecommendedPowerCap() const;
+  int64_t num_samples() const { return power_samples_.count(); }
+
+ private:
+  void Sample();
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  BmcConfig config_;
+  std::unique_ptr<PeriodicTask> sampler_;
+  Power last_power_ = Power::Zero();
+  RunningStat power_samples_;
+  double temperature_;
+  SimTime last_sample_time_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CLUSTER_BMC_H_

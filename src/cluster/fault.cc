@@ -1,0 +1,56 @@
+#include "src/cluster/fault.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+FaultInjector::FaultInjector(Simulator* sim, SocCluster* cluster,
+                             FaultConfig config)
+    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GT(config_.mtbf_per_soc.nanos(), 0);
+}
+
+void FaultInjector::Start(Duration horizon) {
+  const SimTime end = sim_->Now() + horizon;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    ScheduleNextFailure(i, end);
+  }
+}
+
+void FaultInjector::ScheduleNextFailure(int soc_index, SimTime horizon_end) {
+  const double rate = 1.0 / config_.mtbf_per_soc.ToSeconds();
+  // Compare in floating seconds first: exponential samples at long MTBFs
+  // can exceed the int64-nanosecond range of Duration.
+  const double wait_s = rng_.Exponential(rate);
+  if (sim_->Now().ToSeconds() + wait_s > horizon_end.ToSeconds()) {
+    return;
+  }
+  const SimTime when = sim_->Now() + Duration::SecondsF(wait_s);
+  sim_->ScheduleAt(when, [this, soc_index, horizon_end] {
+    InjectFailure(soc_index, horizon_end);
+  });
+}
+
+void FaultInjector::InjectFailure(int soc_index, SimTime horizon_end) {
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.state() == SocPowerState::kFailed) {
+    ScheduleNextFailure(soc_index, horizon_end);
+    return;
+  }
+  soc.Fail();
+  ++failures_injected_;
+  if (on_failure_) {
+    on_failure_(soc_index);
+  }
+  if (config_.repair_time.nanos() > 0) {
+    sim_->ScheduleAfter(config_.repair_time, [this, soc_index, horizon_end] {
+      cluster_->soc(soc_index).Repair();
+      ++repairs_completed_;
+      ScheduleNextFailure(soc_index, horizon_end);
+    });
+  }
+}
+
+}  // namespace soccluster

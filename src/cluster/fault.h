@@ -1,0 +1,60 @@
+// Fault injection for the cluster (§8: the failure of a single SoC
+// subsystem, such as flash, renders the whole SoC unusable, and mobile SoCs
+// are not designed for 24/7 full-speed operation). Failures arrive per-SoC
+// as a Poisson process; an optional repair delay returns the SoC to the
+// powered-off state for the orchestrator to re-admit.
+
+#ifndef SRC_CLUSTER_FAULT_H_
+#define SRC_CLUSTER_FAULT_H_
+
+#include <functional>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+struct FaultConfig {
+  // Mean time between failures of one SoC under sustained load.
+  Duration mtbf_per_soc = Duration::Hours(24 * 90);
+  // Time for an operator/automation to replace or reset a failed SoC.
+  // Zero disables repair.
+  Duration repair_time = Duration::Hours(24);
+  uint64_t seed = 42;
+};
+
+class FaultInjector {
+ public:
+  using FailureCallback = std::function<void(int soc_index)>;
+
+  FaultInjector(Simulator* sim, SocCluster* cluster, FaultConfig config);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Begins scheduling failures over `horizon` of simulated time. Each SoC
+  // draws independent exponential inter-failure times; only failures that
+  // land within the horizon are scheduled (keeps short runs event-free).
+  void Start(Duration horizon);
+
+  // Invoked (if set) after a SoC transitions to kFailed.
+  void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
+
+  int64_t failures_injected() const { return failures_injected_; }
+  int64_t repairs_completed() const { return repairs_completed_; }
+
+ private:
+  void ScheduleNextFailure(int soc_index, SimTime horizon_end);
+  void InjectFailure(int soc_index, SimTime horizon_end);
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  FaultConfig config_;
+  Rng rng_;
+  FailureCallback on_failure_;
+  int64_t failures_injected_ = 0;
+  int64_t repairs_completed_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CLUSTER_FAULT_H_

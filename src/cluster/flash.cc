@@ -1,0 +1,100 @@
+#include "src/cluster/flash.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+FlashWearModel::FlashWearModel(Simulator* sim, SocCluster* cluster,
+                               FlashSpec spec)
+    : sim_(sim), cluster_(cluster), spec_(spec),
+      flash_(static_cast<size_t>(cluster->num_socs())) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GT(spec_.EnduranceHostGb(), 0.0);
+  for (auto& state : flash_) {
+    state.last_update = sim_->Now();
+  }
+}
+
+void FlashWearModel::Advance(int soc_index) {
+  SocFlash& state = flash_[static_cast<size_t>(soc_index)];
+  const SimTime now = sim_->Now();
+  const double gb_written =
+      state.rate.bps() / 8.0 / 1e9 * (now - state.last_update).ToSeconds();
+  state.written_gb += gb_written;
+  state.last_update = now;
+}
+
+Status FlashWearModel::SetWriteRate(int soc_index, DataRate host_writes) {
+  if (soc_index < 0 || soc_index >= cluster_->num_socs()) {
+    return Status::OutOfRange("no such SoC");
+  }
+  if (host_writes.bps() < 0.0) {
+    return Status::InvalidArgument("negative write rate");
+  }
+  Advance(soc_index);
+  flash_[static_cast<size_t>(soc_index)].rate = host_writes;
+  Reschedule(soc_index);
+  return Status::Ok();
+}
+
+double FlashWearModel::WearFraction(int soc_index) {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  Advance(soc_index);
+  return flash_[static_cast<size_t>(soc_index)].written_gb /
+         spec_.EnduranceHostGb();
+}
+
+Duration FlashWearModel::RemainingLifetime(int soc_index) {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  Advance(soc_index);
+  const SocFlash& state = flash_[static_cast<size_t>(soc_index)];
+  if (state.worn_out || state.rate.bps() <= 0.0) {
+    return Duration::Max();
+  }
+  const double remaining_gb =
+      spec_.EnduranceHostGb() - state.written_gb;
+  if (remaining_gb <= 0.0) {
+    return Duration::Zero();
+  }
+  const double seconds = remaining_gb * 8.0 * 1e9 / state.rate.bps();
+  // Lifetimes beyond the representable range are effectively forever.
+  if (seconds > 250.0 * 365 * 24 * 3600) {
+    return Duration::Max();
+  }
+  return Duration::SecondsF(seconds);
+}
+
+void FlashWearModel::Reschedule(int soc_index) {
+  SocFlash& state = flash_[static_cast<size_t>(soc_index)];
+  sim_->Cancel(state.wearout_event);
+  state.wearout_event = EventHandle();
+  if (state.worn_out) {
+    return;
+  }
+  const Duration lifetime = RemainingLifetime(soc_index);
+  if (lifetime == Duration::Max()) {
+    return;
+  }
+  state.wearout_event =
+      sim_->ScheduleAfter(lifetime, [this, soc_index] { WearOut(soc_index); });
+}
+
+void FlashWearModel::WearOut(int soc_index) {
+  SocFlash& state = flash_[static_cast<size_t>(soc_index)];
+  if (state.worn_out) {
+    return;
+  }
+  Advance(soc_index);
+  state.worn_out = true;
+  state.rate = DataRate::Zero();
+  ++wearouts_;
+  cluster_->soc(soc_index).Fail();
+  if (on_wearout_) {
+    on_wearout_(soc_index);
+  }
+}
+
+}  // namespace soccluster

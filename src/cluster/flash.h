@@ -1,0 +1,78 @@
+// Flash endurance model (§8: mobile flash is not engineered for 24/7
+// server duty — "apps can quickly destroy your mobile's flash" [90] — and
+// a worn-out flash renders the whole SoC unusable).
+//
+// Each SoC's 256 GB UFS part has a program/erase budget. Workloads declare
+// their host write rates; wear accumulates as host-bytes x write
+// amplification over the endurance budget. When a SoC's wear fraction
+// crosses 1.0 the model fails the SoC through the normal fault path, so
+// the orchestrator's recovery machinery applies unchanged.
+
+#ifndef SRC_CLUSTER_FLASH_H_
+#define SRC_CLUSTER_FLASH_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cluster/cluster.h"
+
+namespace soccluster {
+
+struct FlashSpec {
+  double capacity_gb = 256.0;       // Table 1.
+  double endurance_cycles = 600.0;  // TLC UFS program/erase budget.
+  double write_amplification = 2.5;  // FTL overhead under mixed writes.
+
+  // Total host bytes the part can absorb before wear-out.
+  double EnduranceHostGb() const {
+    return capacity_gb * endurance_cycles / write_amplification;
+  }
+};
+
+class FlashWearModel {
+ public:
+  using WearoutCallback = std::function<void(int soc_index)>;
+
+  FlashWearModel(Simulator* sim, SocCluster* cluster, FlashSpec spec);
+  FlashWearModel(const FlashWearModel&) = delete;
+  FlashWearModel& operator=(const FlashWearModel&) = delete;
+
+  // Declares the current host write rate of a SoC's workload. Wear
+  // integrates from now at this rate; a wear-out failure is (re)scheduled
+  // accordingly.
+  Status SetWriteRate(int soc_index, DataRate host_writes);
+
+  // Wear in [0, 1+]; 1.0 means the endurance budget is exhausted.
+  double WearFraction(int soc_index);
+  // Remaining lifetime at the current write rate (Duration::Max() if the
+  // rate is zero or the SoC already failed).
+  Duration RemainingLifetime(int soc_index);
+
+  void set_on_wearout(WearoutCallback cb) { on_wearout_ = std::move(cb); }
+  int64_t wearouts() const { return wearouts_; }
+
+ private:
+  struct SocFlash {
+    double written_gb = 0.0;
+    DataRate rate;
+    SimTime last_update;
+    EventHandle wearout_event;
+    bool worn_out = false;
+  };
+
+  void Advance(int soc_index);
+  void Reschedule(int soc_index);
+  void WearOut(int soc_index);
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  FlashSpec spec_;
+  std::vector<SocFlash> flash_;
+  WearoutCallback on_wearout_;
+  int64_t wearouts_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CLUSTER_FLASH_H_

@@ -1,0 +1,73 @@
+#include "src/cluster/virtualization.h"
+
+namespace soccluster {
+
+const char* SocExecutionModeName(SocExecutionMode mode) {
+  switch (mode) {
+    case SocExecutionMode::kPhysical:
+      return "physical";
+    case SocExecutionMode::kVirtualized:
+      return "virtualized";
+  }
+  return "?";
+}
+
+const char* SocProcessorName(SocProcessor processor) {
+  switch (processor) {
+    case SocProcessor::kCpu:
+      return "SoC CPU";
+    case SocProcessor::kGpu:
+      return "SoC GPU";
+    case SocProcessor::kDsp:
+      return "SoC DSP";
+  }
+  return "?";
+}
+
+double VirtualizationModel::LatencyFactor(SocProcessor processor,
+                                          Duration base_latency) {
+  switch (processor) {
+    case SocProcessor::kCpu:
+      // Table 7: 81.2 -> 80.4 ms on R50; within noise.
+      return 0.995;
+    case SocProcessor::kDsp:
+      // Table 7: 11.0 -> 10.5 ms, 21.0 -> 20.4 ms.
+      return 0.97;
+    case SocProcessor::kGpu:
+      // Table 7: R50 32.5 -> 33.9 (+4%), R152 100.9 -> 102.8 (+2%),
+      // YOLOv5x 620.6 -> 683.7 (+10%): penalty grows with kernel length.
+      return 1.02 + 0.13 * base_latency.ToSeconds();
+  }
+  return 1.0;
+}
+
+double VirtualizationModel::GpuUtilizationCap(SocExecutionMode mode) {
+  switch (mode) {
+    case SocExecutionMode::kPhysical:
+      return 0.825;  // Table 7: 73.9-82.5% on GPU-bound models.
+    case SocExecutionMode::kVirtualized:
+      return 0.771;  // Table 7: 71.3-78.5%.
+  }
+  return 1.0;
+}
+
+double VirtualizationModel::MemoryOverheadFraction(SocExecutionMode mode) {
+  switch (mode) {
+    case SocExecutionMode::kPhysical:
+      return 0.0;
+    case SocExecutionMode::kVirtualized:
+      return 0.054;  // Table 7: e.g. 32.3% -> 37.7% memory on R50/CPU.
+  }
+  return 0.0;
+}
+
+Duration VirtualizationModel::AdjustLatency(SocExecutionMode mode,
+                                            SocProcessor processor,
+                                            Duration physical_latency) {
+  if (mode == SocExecutionMode::kPhysical) {
+    return physical_latency;
+  }
+  return physical_latency * LatencyFactor(processor, physical_latency);
+}
+
+}  // namespace soccluster

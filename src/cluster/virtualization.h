@@ -1,0 +1,58 @@
+// SoC virtualization overhead model (§8, Table 7).
+//
+// The cluster's virtualization solution runs the Android framework inside
+// Docker containers on the Android Linux kernel. Table 7 measures the cost:
+// memory use rises ~5 percentage points, CPU/DSP latency is essentially
+// unchanged, and GPU workloads lose utilization (the containerized graphics
+// stack cannot reach the same GPU occupancy), which slows large GPU models
+// (e.g. +60 ms on YOLOv5x).
+
+#ifndef SRC_CLUSTER_VIRTUALIZATION_H_
+#define SRC_CLUSTER_VIRTUALIZATION_H_
+
+#include "src/base/units.h"
+
+namespace soccluster {
+
+enum class SocExecutionMode {
+  kPhysical,     // Android directly on the SoC.
+  kVirtualized,  // Android framework inside a Docker container.
+};
+
+const char* SocExecutionModeName(SocExecutionMode mode);
+
+// Which on-SoC processor runs the workload (used by the overhead model and
+// the DL engines).
+enum class SocProcessor {
+  kCpu,
+  kGpu,
+  kDsp,
+};
+
+const char* SocProcessorName(SocProcessor processor);
+
+class VirtualizationModel {
+ public:
+  // Multiplier applied to a physical-SoC latency when containerized.
+  // CPU ~1.00 (memory-bound framework overhead does not slow inference),
+  // DSP ~0.97 (Table 7 measured virtualized DSP marginally faster — the
+  // container pins scheduling), GPU 1.02 + 0.13/s of base latency (longer
+  // kernels suffer more from the reduced GPU occupancy).
+  static double LatencyFactor(SocProcessor processor, Duration base_latency);
+
+  // GPU utilization achievable in each mode (Table 7: ~82% physical vs
+  // ~77% virtualized on large models).
+  static double GpuUtilizationCap(SocExecutionMode mode);
+
+  // Additional memory utilization from running the Android framework in a
+  // container (Table 7: ~+5 percentage points).
+  static double MemoryOverheadFraction(SocExecutionMode mode);
+
+  // Convenience: full latency for a workload in a mode.
+  static Duration AdjustLatency(SocExecutionMode mode, SocProcessor processor,
+                                Duration physical_latency);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CLUSTER_VIRTUALIZATION_H_

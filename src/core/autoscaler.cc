@@ -1,0 +1,87 @@
+#include "src/core/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+ClusterAutoscaler::ClusterAutoscaler(Simulator* sim, SocCluster* cluster,
+                                     SocServingFleet* fleet,
+                                     AutoscalerConfig config)
+    : sim_(sim), cluster_(cluster), fleet_(fleet), config_(config) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK(fleet_ != nullptr);
+  ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
+                                           [this] { Tick(); });
+}
+
+ClusterAutoscaler::~ClusterAutoscaler() = default;
+
+void ClusterAutoscaler::Start() { ticker_->Start(); }
+
+void ClusterAutoscaler::Stop() { ticker_->Stop(); }
+
+int ClusterAutoscaler::PoweredCount() const {
+  int powered = 0;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    const SocPowerState state = cluster_->soc(i).state();
+    if (state == SocPowerState::kOn || state == SocPowerState::kBooting) {
+      ++powered;
+    }
+  }
+  return powered;
+}
+
+void ClusterAutoscaler::Tick() {
+  // Estimate the serving rate from completions over the last period.
+  const int64_t completed = fleet_->completed();
+  const double window_rate =
+      static_cast<double>(completed - last_completed_) /
+      config_.period.ToSeconds();
+  last_completed_ = completed;
+  rate_estimate_ = config_.rate_ewma_alpha * window_rate +
+                   (1.0 - config_.rate_ewma_alpha) * rate_estimate_;
+
+  const double per_soc = fleet_->PerSocThroughput();
+  int desired = static_cast<int>(std::ceil(
+      rate_estimate_ / (per_soc * config_.target_utilization)));
+  // A backlog means we are under-provisioned regardless of the estimate;
+  // size the correction to drain the queue within one period.
+  if (fleet_->queue_length() > 0) {
+    const int drain = static_cast<int>(std::ceil(
+        fleet_->queue_length() / (per_soc * config_.period.ToSeconds())));
+    desired = std::max(desired, fleet_->active_count() + std::max(1, drain));
+  }
+  desired = std::clamp(desired, config_.min_active, cluster_->num_socs());
+  desired_active_ = desired;
+  fleet_->SetActiveCount(desired);
+  ApplyPowerStates(std::min(cluster_->num_socs(),
+                            desired + config_.warm_pool));
+}
+
+void ClusterAutoscaler::ApplyPowerStates(int keep_powered) {
+  // SoCs [0, keep_powered) stay on; the rest power off when drained. Serving
+  // always uses the lowest indices, so higher indices are safe to cut first.
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    SocModel& soc = cluster_->soc(i);
+    if (i < keep_powered) {
+      if (soc.state() == SocPowerState::kOff) {
+        const Status status =
+            soc.PowerOn(cluster_->chassis().soc_wake, nullptr);
+        SOC_CHECK(status.ok()) << status.ToString();
+      }
+      continue;
+    }
+    if (soc.state() == SocPowerState::kOn && soc.cpu_util() == 0.0 &&
+        soc.gpu_util() == 0.0 && soc.dsp_util() == 0.0 &&
+        soc.codec_sessions() == 0) {
+      const Status status = soc.PowerOff();
+      SOC_CHECK(status.ok()) << status.ToString();
+    }
+  }
+}
+
+}  // namespace soccluster

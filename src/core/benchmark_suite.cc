@@ -1,0 +1,274 @@
+#include "src/core/benchmark_suite.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/base/log.h"
+#include "src/cluster/cluster.h"
+#include "src/core/autoscaler.h"
+#include "src/hw/gpu.h"
+#include "src/hw/server.h"
+#include "src/workload/dl/serving.h"
+#include "src/workload/video/live.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+
+namespace {
+
+// Boots a cluster with all SoCs on and the clock past the boot transient.
+struct ClusterUnderTest {
+  Simulator sim{1234};
+  std::unique_ptr<SocCluster> cluster;
+
+  ClusterUnderTest() {
+    cluster = std::make_unique<SocCluster>(&sim, DefaultChassisSpec(),
+                                           Snapdragon865Spec());
+    cluster->PowerOnAll(nullptr);
+    const Status status =
+        sim.RunFor(DefaultChassisSpec().soc_boot + Duration::Seconds(1));
+    SOC_CHECK(status.ok());
+  }
+
+  Power IdlePower() const {
+    const SocSpec spec = Snapdragon865Spec();
+    return cluster->OverheadPower() +
+           spec.power_idle * cluster->num_socs();
+  }
+};
+
+// Average power over a measured window, from exact energy integration.
+Power MeasureClusterPower(ClusterUnderTest* cut, Duration window) {
+  const Energy e0 = cut->cluster->TotalEnergy();
+  const SimTime t0 = cut->sim.Now();
+  const Status status = cut->sim.RunFor(window);
+  SOC_CHECK(status.ok());
+  const Energy e1 = cut->cluster->TotalEnergy();
+  const Duration elapsed = cut->sim.Now() - t0;
+  return Power::Watts((e1 - e0).joules() / elapsed.ToSeconds());
+}
+
+TranscodeMeasurement MeasureSocLive(TranscodeBackend backend,
+                                    VbenchVideo video, int target_streams) {
+  ClusterUnderTest cut;
+  LiveTranscodingService service(&cut.sim, cut.cluster.get(),
+                                 PlacementPolicy::kSpread);
+  int admitted = 0;
+  for (int i = 0; i < target_streams; ++i) {
+    Result<int64_t> stream = service.StartStream(video, backend);
+    if (!stream.ok()) {
+      break;
+    }
+    ++admitted;
+  }
+  const Power avg = MeasureClusterPower(&cut, Duration::Seconds(60));
+  TranscodeMeasurement measurement;
+  measurement.backend = backend;
+  measurement.video = video;
+  measurement.units = cut.cluster->num_socs();
+  measurement.streams = admitted;
+  measurement.workload_power = avg - cut.IdlePower();
+  measurement.streams_per_watt =
+      admitted / measurement.workload_power.watts();
+  return measurement;
+}
+
+TranscodeMeasurement MeasureIntelLive(VbenchVideo video, int target_streams) {
+  Simulator sim(1);
+  EdgeServerModel server(&sim, DefaultEdgeServerSpec(), /*num_gpus=*/0);
+  const double per_stream = TranscodeModel::IntelUtilPerStream(video);
+  const int per_container =
+      TranscodeModel::MaxLiveStreamsIntelContainer(video);
+  int admitted = 0;
+  // Pack containers in order: the sweep of Fig. 7 loads one container
+  // before waking the next (waking a container costs uncore power).
+  std::vector<int> per(static_cast<size_t>(server.num_containers()), 0);
+  for (int i = 0; i < target_streams; ++i) {
+    for (auto& count : per) {
+      if (count < per_container) {
+        ++count;
+        ++admitted;
+        break;
+      }
+    }
+  }
+  for (int c = 0; c < server.num_containers(); ++c) {
+    const Status status = server.SetContainerUtil(
+        c, per[static_cast<size_t>(c)] * per_stream);
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  TranscodeMeasurement measurement;
+  measurement.backend = TranscodeBackend::kIntelCpu;
+  measurement.video = video;
+  measurement.units = server.num_containers();
+  measurement.streams = admitted;
+  measurement.workload_power =
+      server.HostPower() - server.spec().host_idle;
+  measurement.streams_per_watt =
+      admitted / measurement.workload_power.watts();
+  return measurement;
+}
+
+TranscodeMeasurement MeasureA40Live(VbenchVideo video, int target_streams) {
+  Simulator sim(1);
+  EdgeServerModel server(&sim, DefaultEdgeServerSpec(), /*num_gpus=*/8);
+  const int per_gpu = TranscodeModel::MaxLiveStreamsA40(video);
+  const Power per_stream = TranscodeModel::NvencPerStreamPower(video);
+  int admitted = 0;
+  // Pack onto the fewest GPUs: every active NVENC pays the clock-floor
+  // power, so spreading would multiply the floor.
+  std::vector<int> per(static_cast<size_t>(server.num_gpus()), 0);
+  for (int i = 0; i < target_streams; ++i) {
+    for (auto& count : per) {
+      if (count < per_gpu) {
+        ++count;
+        ++admitted;
+        break;
+      }
+    }
+  }
+  Power workload = Power::Zero();
+  for (int g = 0; g < server.num_gpus(); ++g) {
+    const int streams = per[static_cast<size_t>(g)];
+    if (streams == 0) {
+      continue;
+    }
+    const Power gpu_power =
+        TranscodeModel::NvencClockFloor() + per_stream * streams;
+    const Status status = server.gpu(g).SetVideoEnginePower(gpu_power);
+    SOC_CHECK(status.ok()) << status.ToString();
+    server.gpu(g).SetVideoSessions(streams);
+    workload += gpu_power;
+  }
+  TranscodeMeasurement measurement;
+  measurement.backend = TranscodeBackend::kNvidiaA40;
+  measurement.video = video;
+  measurement.units = server.num_gpus();
+  measurement.streams = admitted;
+  measurement.workload_power = workload;
+  measurement.streams_per_watt =
+      admitted > 0 ? admitted / workload.watts() : 0.0;
+  return measurement;
+}
+
+}  // namespace
+
+TranscodeMeasurement BenchmarkSuite::LiveFullLoad(TranscodeBackend backend,
+                                                  VbenchVideo video) {
+  switch (backend) {
+    case TranscodeBackend::kSocCpu:
+    case TranscodeBackend::kSocHwCodec: {
+      const int per_soc = TranscodeModel::MaxLiveStreams(backend, video);
+      return MeasureSocLive(backend, video, per_soc * 60);
+    }
+    case TranscodeBackend::kIntelCpu:
+      return MeasureIntelLive(
+          video, TranscodeModel::MaxLiveStreamsIntelContainer(video) * 10);
+    case TranscodeBackend::kNvidiaA40:
+      return MeasureA40Live(video,
+                            TranscodeModel::MaxLiveStreamsA40(video) * 8);
+  }
+  return TranscodeMeasurement{};
+}
+
+TranscodeMeasurement BenchmarkSuite::LiveAtStreamCount(
+    TranscodeBackend backend, VbenchVideo video, int streams) {
+  switch (backend) {
+    case TranscodeBackend::kSocCpu:
+    case TranscodeBackend::kSocHwCodec:
+      return MeasureSocLive(backend, video, streams);
+    case TranscodeBackend::kIntelCpu:
+      return MeasureIntelLive(video, streams);
+    case TranscodeBackend::kNvidiaA40:
+      return MeasureA40Live(video, streams);
+  }
+  return TranscodeMeasurement{};
+}
+
+DlMeasurement BenchmarkSuite::DlFullLoad(DlDevice device, DnnModel model,
+                                         Precision precision,
+                                         int batch_size) {
+  SOC_CHECK(DlEngineModel::Supports(device, model, precision));
+  DlMeasurement measurement;
+  measurement.device = device;
+  measurement.model = model;
+  measurement.precision = precision;
+  measurement.batch_size = batch_size;
+  measurement.latency_ms =
+      DlEngineModel::Latency(device, model, precision, batch_size).ToMillis();
+  measurement.throughput =
+      DlEngineModel::Throughput(device, model, precision, batch_size);
+  measurement.workload_power =
+      DlEngineModel::MarginalPower(device, model, precision, batch_size);
+  measurement.samples_per_joule =
+      DlEngineModel::SamplesPerJoule(device, model, precision, batch_size);
+  return measurement;
+}
+
+double BenchmarkSuite::SocClusterEffAtLoad(DlDevice soc_device,
+                                           DnnModel model,
+                                           Precision precision,
+                                           double rate_per_s,
+                                           Duration measure_window) {
+  ClusterUnderTest cut;
+  SocServingFleet fleet(&cut.sim, cut.cluster.get(), soc_device, model,
+                        precision);
+  fleet.SetActiveCount(1);
+  AutoscalerConfig config;
+  ClusterAutoscaler autoscaler(&cut.sim, cut.cluster.get(), &fleet, config);
+  autoscaler.Start();
+  OpenLoopSource source(&cut.sim, rate_per_s,
+                        Duration::Seconds(30) + measure_window,
+                        [&fleet] { fleet.Submit(); });
+  source.Start();
+  // Warm-up lets the autoscaler converge before measuring.
+  Status status = cut.sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+
+  // Energy scope: the SoC subsystem (all 60 sockets incl. off leakage).
+  auto soc_energy = [&cut] {
+    Energy total = Energy::Zero();
+    for (int i = 0; i < cut.cluster->num_socs(); ++i) {
+      total += cut.cluster->soc(i).TotalEnergy();
+    }
+    return total;
+  };
+  const Energy e0 = soc_energy();
+  const int64_t done0 = fleet.completed();
+  status = cut.sim.RunFor(measure_window);
+  SOC_CHECK(status.ok());
+  const Energy spent = soc_energy() - e0;
+  const int64_t done = fleet.completed() - done0;
+  autoscaler.Stop();
+  return static_cast<double>(done) / spent.joules();
+}
+
+double BenchmarkSuite::GpuEffAtLoad(DlDevice gpu_device, DnnModel model,
+                                    Precision precision, int max_batch,
+                                    double rate_per_s,
+                                    Duration measure_window) {
+  SOC_CHECK(IsDiscreteGpu(gpu_device));
+  Simulator sim(99);
+  DiscreteGpuModel gpu(&sim,
+                       GpuSpecFor(gpu_device == DlDevice::kA100
+                                      ? GpuModelKind::kA100
+                                      : GpuModelKind::kA40),
+                       0);
+  GpuBatchServer server(&sim, &gpu, gpu_device, model, precision, max_batch,
+                        Duration::MillisF(10.0));
+  OpenLoopSource source(&sim, rate_per_s,
+                        Duration::Seconds(30) + measure_window,
+                        [&server] { server.Submit(); });
+  source.Start();
+  Status status = sim.RunFor(Duration::Seconds(30));
+  SOC_CHECK(status.ok());
+  const Energy e0 = gpu.TotalEnergy();
+  const int64_t done0 = server.completed();
+  status = sim.RunFor(measure_window);
+  SOC_CHECK(status.ok());
+  const Energy spent = gpu.TotalEnergy() - e0;
+  const int64_t done = server.completed() - done0;
+  return static_cast<double>(done) / spent.joules();
+}
+
+}  // namespace soccluster

@@ -1,0 +1,74 @@
+// The §3 measurement methodology as a reusable harness: run an application
+// on a hardware target, observe throughput / latency / energy, and report
+// throughput-per-energy. Bench binaries call these entry points to
+// regenerate the paper's figures.
+//
+// SoC Cluster measurements run through the discrete-event simulation (real
+// placement, power integration, network loads); traditional-server
+// measurements drive the calibrated server/GPU models directly, mirroring
+// how the paper reads turbostat / nvidia-smi.
+
+#ifndef SRC_CORE_BENCHMARK_SUITE_H_
+#define SRC_CORE_BENCHMARK_SUITE_H_
+
+#include "src/base/units.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/video/video.h"
+
+namespace soccluster {
+
+struct TranscodeMeasurement {
+  TranscodeBackend backend = TranscodeBackend::kSocCpu;
+  VbenchVideo video = VbenchVideo::kV1Holi;
+  int units = 0;    // SoCs / containers / GPUs loaded.
+  int streams = 0;  // Live streams admitted.
+  Power workload_power;  // Above the platform's idle baseline.
+  double streams_per_watt = 0.0;
+};
+
+struct DlMeasurement {
+  DlDevice device = DlDevice::kSocCpu;
+  DnnModel model = DnnModel::kResNet50;
+  Precision precision = Precision::kFp32;
+  int batch_size = 1;
+  double latency_ms = 0.0;
+  double throughput = 0.0;  // Samples/s per unit.
+  Power workload_power;
+  double samples_per_joule = 0.0;
+};
+
+class BenchmarkSuite {
+ public:
+  // Live-streaming transcode with every unit at its stream limit (Fig. 6a,
+  // Fig. 8). SoC backends run on the simulated cluster; Intel/A40 on the
+  // calibrated server models.
+  static TranscodeMeasurement LiveFullLoad(TranscodeBackend backend,
+                                           VbenchVideo video);
+
+  // Live transcode with exactly `streams` cluster/server-wide (Fig. 7's
+  // 1..20 sweep). Streams spread across units, as the paper's setup does.
+  static TranscodeMeasurement LiveAtStreamCount(TranscodeBackend backend,
+                                                VbenchVideo video,
+                                                int streams);
+
+  // One DL engine at saturation (Fig. 11).
+  static DlMeasurement DlFullLoad(DlDevice device, DnnModel model,
+                                  Precision precision, int batch_size);
+
+  // Energy efficiency under an offered load (Fig. 12). The SoC variant runs
+  // the cluster DES with the autoscaler governing SoC power states; energy
+  // scope is the SoC subsystem (all 60 sockets, including off-state
+  // leakage). Returns samples/J.
+  static double SocClusterEffAtLoad(DlDevice soc_device, DnnModel model,
+                                    Precision precision, double rate_per_s,
+                                    Duration measure_window);
+  // The discrete-GPU variant: one card with a batching server; energy scope
+  // is the whole card including idle power.
+  static double GpuEffAtLoad(DlDevice gpu_device, DnnModel model,
+                             Precision precision, int max_batch,
+                             double rate_per_s, Duration measure_window);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_BENCHMARK_SUITE_H_

@@ -1,0 +1,295 @@
+#include "src/core/orchestrator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+Orchestrator::Orchestrator(Simulator* sim, SocCluster* cluster,
+                           PlacementPolicy policy)
+    : sim_(sim), cluster_(cluster), policy_(policy) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+}
+
+Status Orchestrator::RegisterWorkload(const std::string& name,
+                                      ReplicaDemand demand) {
+  if (name.empty()) {
+    return Status::InvalidArgument("workload name is empty");
+  }
+  if (workloads_.count(name) > 0) {
+    return Status::AlreadyExists("workload " + name + " already registered");
+  }
+  if (demand.cpu_util < 0.0 || demand.cpu_util > 1.0 ||
+      demand.gpu_util < 0.0 || demand.gpu_util > 1.0 ||
+      demand.dsp_util < 0.0 || demand.dsp_util > 1.0 ||
+      demand.memory_gb < 0.0) {
+    return Status::InvalidArgument("invalid replica demand");
+  }
+  workloads_.emplace(name, Workload{demand, {}});
+  return Status::Ok();
+}
+
+double Orchestrator::MemoryUsedGb(int soc_index) const {
+  double used = 0.0;
+  for (const auto& [name, workload] : workloads_) {
+    for (int placement : workload.placements) {
+      if (placement == soc_index) {
+        used += workload.demand.memory_gb;
+      }
+    }
+  }
+  return used;
+}
+
+int Orchestrator::PickSoc(const ReplicaDemand& demand) const {
+  int best = -1;
+  double best_key = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    const SocModel& soc = cluster_->soc(i);
+    if (!soc.IsUsable()) {
+      continue;
+    }
+    if (soc.CpuHeadroom() < demand.cpu_util ||
+        soc.gpu_util() + demand.gpu_util > 1.0 ||
+        soc.dsp_util() + demand.dsp_util > 1.0) {
+      continue;
+    }
+    if (MemoryUsedGb(i) + demand.memory_gb >
+        static_cast<double>(soc.spec().memory_gb)) {
+      continue;
+    }
+    const double load = soc.cpu_util() + soc.gpu_util() + soc.dsp_util();
+    const double key = policy_ == PlacementPolicy::kSpread ? load : -load;
+    if (key < best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status Orchestrator::Place(Workload* workload, const std::string& name) {
+  const int soc_index = PickSoc(workload->demand);
+  if (soc_index < 0) {
+    return Status::ResourceExhausted("no SoC can host a replica of " + name);
+  }
+  SocModel& soc = cluster_->soc(soc_index);
+  SOC_RETURN_IF_ERROR(soc.AddCpuUtil(workload->demand.cpu_util));
+  SOC_RETURN_IF_ERROR(soc.SetGpuUtil(soc.gpu_util() + workload->demand.gpu_util));
+  SOC_RETURN_IF_ERROR(soc.SetDspUtil(soc.dsp_util() + workload->demand.dsp_util));
+  workload->placements.push_back(soc_index);
+  return Status::Ok();
+}
+
+void Orchestrator::Evict(Workload* workload, size_t replica_index) {
+  SOC_CHECK_LT(replica_index, workload->placements.size());
+  const int soc_index = workload->placements[replica_index];
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.IsUsable()) {
+    Status status = soc.AddCpuUtil(-workload->demand.cpu_util);
+    SOC_CHECK(status.ok()) << status.ToString();
+    status = soc.SetGpuUtil(
+        std::max(0.0, soc.gpu_util() - workload->demand.gpu_util));
+    SOC_CHECK(status.ok()) << status.ToString();
+    status = soc.SetDspUtil(
+        std::max(0.0, soc.dsp_util() - workload->demand.dsp_util));
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  workload->placements.erase(workload->placements.begin() +
+                             static_cast<long>(replica_index));
+}
+
+Status Orchestrator::ScaleTo(const std::string& name, int replicas) {
+  if (replicas < 0) {
+    return Status::InvalidArgument("negative replica count");
+  }
+  const auto it = workloads_.find(name);
+  if (it == workloads_.end()) {
+    return Status::NotFound("workload " + name + " not registered");
+  }
+  Workload& workload = it->second;
+  // Scale down from the tail.
+  while (static_cast<int>(workload.placements.size()) > replicas) {
+    Evict(&workload, workload.placements.size() - 1);
+  }
+  // Scale up, rolling back on failure so the operation is atomic.
+  const size_t before = workload.placements.size();
+  while (static_cast<int>(workload.placements.size()) < replicas) {
+    const Status status = Place(&workload, name);
+    if (!status.ok()) {
+      while (workload.placements.size() > before) {
+        Evict(&workload, workload.placements.size() - 1);
+      }
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<WorkloadStatus> Orchestrator::GetStatus(const std::string& name) const {
+  const auto it = workloads_.find(name);
+  if (it == workloads_.end()) {
+    return Status::NotFound("workload " + name + " not registered");
+  }
+  WorkloadStatus status;
+  status.name = name;
+  status.desired_replicas = static_cast<int>(it->second.placements.size());
+  status.running_replicas = 0;
+  for (int placement : it->second.placements) {
+    if (cluster_->soc(placement).IsUsable()) {
+      ++status.running_replicas;
+    }
+  }
+  status.placements = it->second.placements;
+  return status;
+}
+
+int Orchestrator::TotalReplicas() const {
+  int total = 0;
+  for (const auto& [name, workload] : workloads_) {
+    total += static_cast<int>(workload.placements.size());
+  }
+  return total;
+}
+
+int Orchestrator::SocsInUse() const {
+  std::vector<bool> used(static_cast<size_t>(cluster_->num_socs()), false);
+  for (const auto& [name, workload] : workloads_) {
+    for (int placement : workload.placements) {
+      used[static_cast<size_t>(placement)] = true;
+    }
+  }
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+int Orchestrator::Consolidate() {
+  int freed = 0;
+  // Repeatedly try to empty the least-loaded occupied SoC by migrating its
+  // replicas onto fuller SoCs (never onto an emptier one, or the loop
+  // would thrash).
+  while (true) {
+    // Least-loaded occupied SoC.
+    int source = -1;
+    double source_load = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < cluster_->num_socs(); ++i) {
+      const SocModel& soc = cluster_->soc(i);
+      if (!soc.IsUsable() || soc.cpu_util() <= 0.0) {
+        continue;
+      }
+      if (soc.cpu_util() < source_load) {
+        source_load = soc.cpu_util();
+        source = i;
+      }
+    }
+    if (source < 0) {
+      break;
+    }
+    // Check every replica on `source` can move to a fuller SoC.
+    struct Move {
+      std::string workload;
+      size_t replica_index;
+      int destination;
+    };
+    std::vector<Move> moves;
+    // Tentative per-destination extra load while planning.
+    std::map<int, double> planned_extra;
+    bool feasible = true;
+    for (auto& [name, workload] : workloads_) {
+      for (size_t r = 0; r < workload.placements.size() && feasible; ++r) {
+        if (workload.placements[r] != source) {
+          continue;
+        }
+        int destination = -1;
+        double best_load = -1.0;
+        for (int i = 0; i < cluster_->num_socs(); ++i) {
+          if (i == source || !cluster_->soc(i).IsUsable()) {
+            continue;
+          }
+          const SocModel& candidate = cluster_->soc(i);
+          const double extra = planned_extra.count(i) ? planned_extra[i] : 0.0;
+          // Destinations must be at least as loaded as the source (ties
+          // allowed — moving between equals still empties the source).
+          if (candidate.cpu_util() + 1e-12 < source_load ||
+              candidate.CpuHeadroom() - extra < workload.demand.cpu_util ||
+              candidate.gpu_util() + workload.demand.gpu_util > 1.0 ||
+              candidate.dsp_util() + workload.demand.dsp_util > 1.0 ||
+              MemoryUsedGb(i) + workload.demand.memory_gb >
+                  static_cast<double>(candidate.spec().memory_gb)) {
+            continue;
+          }
+          if (candidate.cpu_util() > best_load) {
+            best_load = candidate.cpu_util();
+            destination = i;
+          }
+        }
+        if (destination < 0) {
+          feasible = false;
+          break;
+        }
+        planned_extra[destination] += workload.demand.cpu_util;
+        moves.push_back({name, r, destination});
+      }
+      if (!feasible) {
+        break;
+      }
+    }
+    if (!feasible || moves.empty()) {
+      break;
+    }
+    // Execute the planned migrations.
+    for (const Move& move : moves) {
+      Workload& workload = workloads_.at(move.workload);
+      SocModel& from = cluster_->soc(source);
+      SocModel& to = cluster_->soc(move.destination);
+      Status status = from.AddCpuUtil(-workload.demand.cpu_util);
+      SOC_CHECK(status.ok()) << status.ToString();
+      status = to.AddCpuUtil(workload.demand.cpu_util);
+      SOC_CHECK(status.ok()) << status.ToString();
+      status = from.SetGpuUtil(
+          std::max(0.0, from.gpu_util() - workload.demand.gpu_util));
+      SOC_CHECK(status.ok()) << status.ToString();
+      status = to.SetGpuUtil(to.gpu_util() + workload.demand.gpu_util);
+      SOC_CHECK(status.ok()) << status.ToString();
+      status = from.SetDspUtil(
+          std::max(0.0, from.dsp_util() - workload.demand.dsp_util));
+      SOC_CHECK(status.ok()) << status.ToString();
+      status = to.SetDspUtil(to.dsp_util() + workload.demand.dsp_util);
+      SOC_CHECK(status.ok()) << status.ToString();
+      workload.placements[move.replica_index] = move.destination;
+      ++replicas_migrated_;
+    }
+    ++freed;
+  }
+  return freed;
+}
+
+void Orchestrator::OnSocFailure(int soc_index) {
+  for (auto& [name, workload] : workloads_) {
+    // Collect indices first; eviction mutates the vector.
+    std::vector<size_t> displaced;
+    for (size_t r = 0; r < workload.placements.size(); ++r) {
+      if (workload.placements[r] == soc_index) {
+        displaced.push_back(r);
+      }
+    }
+    // Evict from the tail so earlier indices stay valid.
+    for (auto rit = displaced.rbegin(); rit != displaced.rend(); ++rit) {
+      Evict(&workload, *rit);
+    }
+    for (size_t i = 0; i < displaced.size(); ++i) {
+      const Status status = Place(&workload, name);
+      if (status.ok()) {
+        ++replicas_recovered_;
+      } else {
+        ++replicas_lost_;
+        SOC_LOG(Warning) << "replica of " << name
+                         << " lost after SoC failure: " << status.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace soccluster

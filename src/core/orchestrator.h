@@ -1,0 +1,92 @@
+// Cluster orchestrator: the missing software layer the paper calls for
+// (§1: "the utilization of the deployed SoC Clusters varies widely and is
+// generally low... advanced software that can orchestrate multiple SoCs is
+// urgently demanded"). It manages named workloads as replica sets placed
+// onto SoCs under CPU/memory constraints, with pack/spread policies and
+// automatic re-placement when a SoC fails.
+
+#ifndef SRC_CORE_ORCHESTRATOR_H_
+#define SRC_CORE_ORCHESTRATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/video/live.h"
+
+namespace soccluster {
+
+// Per-replica resource demand.
+struct ReplicaDemand {
+  double cpu_util = 0.0;          // Fraction of the 8-core CPU.
+  double memory_gb = 0.0;
+  double gpu_util = 0.0;
+  double dsp_util = 0.0;
+};
+
+struct WorkloadStatus {
+  std::string name;
+  int desired_replicas = 0;
+  int running_replicas = 0;
+  std::vector<int> placements;  // SoC index per replica.
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(Simulator* sim, SocCluster* cluster, PlacementPolicy policy);
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  // Declares a workload type. Fails on duplicate names or invalid demand.
+  Status RegisterWorkload(const std::string& name, ReplicaDemand demand);
+
+  // Scales a workload to `replicas` instances, placing or evicting as
+  // needed. Fails with RESOURCE_EXHAUSTED if capacity is insufficient (the
+  // workload keeps its previous size).
+  Status ScaleTo(const std::string& name, int replicas);
+
+  Result<WorkloadStatus> GetStatus(const std::string& name) const;
+  int TotalReplicas() const;
+  // Number of SoCs hosting at least one replica.
+  int SocsInUse() const;
+
+  // Handles a SoC failure: evicts its replicas and re-places them on the
+  // surviving SoCs (best effort; unplaceable replicas are dropped and
+  // counted). Wire this to FaultInjector::set_on_failure.
+  void OnSocFailure(int soc_index);
+  int64_t replicas_lost() const { return replicas_lost_; }
+  int64_t replicas_recovered() const { return replicas_recovered_; }
+
+  // Defragmentation: greedily migrates replicas off the least-loaded SoCs
+  // onto fuller ones, so freed SoCs can be powered down (the §5.2
+  // energy-proportionality lever). Returns the number of SoCs freed.
+  // Migration here is instantaneous; real systems pay a brief hand-off.
+  int Consolidate();
+  int64_t replicas_migrated() const { return replicas_migrated_; }
+
+ private:
+  struct Workload {
+    ReplicaDemand demand;
+    std::vector<int> placements;
+  };
+
+  // Picks a SoC able to host `demand`, or -1.
+  int PickSoc(const ReplicaDemand& demand) const;
+  double MemoryUsedGb(int soc_index) const;
+  Status Place(Workload* workload, const std::string& name);
+  void Evict(Workload* workload, size_t replica_index);
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  PlacementPolicy policy_;
+  std::map<std::string, Workload> workloads_;
+  int64_t replicas_lost_ = 0;
+  int64_t replicas_recovered_ = 0;
+  int64_t replicas_migrated_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,70 @@
+#include "src/core/powercap.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+PowerCapController::PowerCapController(Simulator* sim, SocCluster* cluster,
+                                       BmcModel* bmc, SocServingFleet* fleet,
+                                       PowerCapConfig config)
+    : sim_(sim), cluster_(cluster), bmc_(bmc), fleet_(fleet),
+      config_(config) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK(bmc_ != nullptr);
+  SOC_CHECK(fleet_ != nullptr);
+  SOC_CHECK_GE(config_.step_socs, 1);
+  ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
+                                           [this] { Tick(); });
+}
+
+PowerCapController::~PowerCapController() = default;
+
+void PowerCapController::Start() { ticker_->Start(); }
+
+void PowerCapController::Stop() { ticker_->Stop(); }
+
+Power PowerCapController::EffectiveCap() const {
+  if (config_.wall_cap.watts() > 0.0) {
+    return config_.wall_cap;
+  }
+  if (bmc_->IsThrottling()) {
+    return bmc_->RecommendedPowerCap();
+  }
+  return Power::Watts(std::numeric_limits<double>::max());
+}
+
+void PowerCapController::Tick() {
+  const Power cap = EffectiveCap();
+  const Power draw = cluster_->CurrentPower();
+  if (draw > cap) {
+    if (!shedding_) {
+      shedding_ = true;
+      ++shed_events_;
+      saved_active_ = fleet_->active_count();
+    }
+    const int next = std::max(config_.min_active,
+                              fleet_->active_count() - config_.step_socs);
+    fleet_->SetActiveCount(next);
+    return;
+  }
+  if (shedding_) {
+    // Restore gradually with hysteresis: only grow while comfortably
+    // below the cap (90%).
+    if (draw.watts() < cap.watts() * 0.9 &&
+        fleet_->active_count() < saved_active_) {
+      fleet_->SetActiveCount(std::min(
+          saved_active_, fleet_->active_count() + config_.step_socs));
+      return;
+    }
+    if (fleet_->active_count() >= saved_active_) {
+      shedding_ = false;
+      saved_active_ = -1;
+    }
+  }
+}
+
+}  // namespace soccluster

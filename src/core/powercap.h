@@ -1,0 +1,62 @@
+// Power-cap controller: closes the loop between the BMC's thermal
+// telemetry and the serving plane. When the chassis exceeds its thermal
+// envelope (or an operator-imposed wall-power cap), the controller sheds
+// serving capacity until the draw falls below the target, then restores
+// it. §2.2's ~700 W supplies and §8's cooling concerns make this a
+// first-class mechanism for a production cluster.
+
+#ifndef SRC_CORE_POWERCAP_H_
+#define SRC_CORE_POWERCAP_H_
+
+#include <memory>
+
+#include "src/cluster/bmc.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/dl/serving.h"
+
+namespace soccluster {
+
+struct PowerCapConfig {
+  Duration period = Duration::Seconds(2);
+  // Hard wall-power cap; Power::Zero() means "thermal-only" (use the BMC's
+  // recommended cap when throttling).
+  Power wall_cap = Power::Zero();
+  // Shed/restore one step of this many SoCs per period.
+  int step_socs = 4;
+  int min_active = 1;
+};
+
+class PowerCapController {
+ public:
+  PowerCapController(Simulator* sim, SocCluster* cluster, BmcModel* bmc,
+                     SocServingFleet* fleet, PowerCapConfig config);
+  ~PowerCapController();
+  PowerCapController(const PowerCapController&) = delete;
+  PowerCapController& operator=(const PowerCapController&) = delete;
+
+  void Start();
+  void Stop();
+
+  // The cap currently in force (wall cap, or the BMC recommendation when
+  // throttling; unbounded otherwise).
+  Power EffectiveCap() const;
+  bool IsShedding() const { return shedding_; }
+  int64_t shed_events() const { return shed_events_; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  BmcModel* bmc_;
+  SocServingFleet* fleet_;
+  PowerCapConfig config_;
+  std::unique_ptr<PeriodicTask> ticker_;
+  bool shedding_ = false;
+  int64_t shed_events_ = 0;
+  int saved_active_ = -1;  // Fleet size before shedding began.
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_POWERCAP_H_

@@ -1,0 +1,71 @@
+#include "src/core/telemetry.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+ClusterTelemetry::ClusterTelemetry(Simulator* sim, SocCluster* cluster,
+                                   Duration period)
+    : sim_(sim), cluster_(cluster) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  ticker_ = std::make_unique<PeriodicTask>(sim_, period, [this] { Capture(); });
+}
+
+ClusterTelemetry::~ClusterTelemetry() = default;
+
+void ClusterTelemetry::Start() { ticker_->Start(); }
+
+void ClusterTelemetry::Stop() { ticker_->Stop(); }
+
+void ClusterTelemetry::Capture() {
+  TelemetrySample sample;
+  sample.time = sim_->Now();
+  sample.power_watts = cluster_->CurrentPower().watts();
+  sample.mean_cpu_util = cluster_->MeanSocCpuUtil();
+  Network& net = cluster_->network();
+  sample.esb_out_gbps =
+      net.LinkOfferedRate(cluster_->esb_uplink_out()).ToGbps();
+  sample.esb_in_gbps = net.LinkOfferedRate(cluster_->esb_uplink_in()).ToGbps();
+  sample.usable_socs = cluster_->NumUsable();
+  samples_.push_back(sample);
+}
+
+double ClusterTelemetry::OutboundPeakToTrough() const {
+  double peak = 0.0;
+  double trough = std::numeric_limits<double>::infinity();
+  for (const TelemetrySample& sample : samples_) {
+    peak = std::max(peak, sample.esb_out_gbps);
+    trough = std::min(trough, sample.esb_out_gbps);
+  }
+  if (samples_.empty() || trough <= 0.0) {
+    return 0.0;
+  }
+  return peak / trough;
+}
+
+double ClusterTelemetry::PeakOutboundGbps() const {
+  double peak = 0.0;
+  for (const TelemetrySample& sample : samples_) {
+    peak = std::max(peak, sample.esb_out_gbps);
+  }
+  return peak;
+}
+
+double ClusterTelemetry::MeanOutboundUtilization() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const TelemetrySample& sample : samples_) {
+    sum += sample.esb_out_gbps;
+  }
+  const double capacity_gbps =
+      cluster_->chassis().esb_uplink.ToGbps();
+  return sum / static_cast<double>(samples_.size()) / capacity_gbps;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,54 @@
+// Cluster telemetry: periodic time-series capture of power, utilization,
+// and network throughput. Backs Figure 5 (38-hour network trace) and the
+// examples' reporting.
+
+#ifndef SRC_CORE_TELEMETRY_H_
+#define SRC_CORE_TELEMETRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+struct TelemetrySample {
+  SimTime time;
+  double power_watts = 0.0;
+  double mean_cpu_util = 0.0;
+  double esb_out_gbps = 0.0;  // ESB uplink, cluster -> external.
+  double esb_in_gbps = 0.0;
+  int usable_socs = 0;
+};
+
+class ClusterTelemetry {
+ public:
+  ClusterTelemetry(Simulator* sim, SocCluster* cluster, Duration period);
+  ~ClusterTelemetry();
+  ClusterTelemetry(const ClusterTelemetry&) = delete;
+  ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  void Start();
+  void Stop();
+
+  const std::vector<TelemetrySample>& samples() const { return samples_; }
+  // Peak-to-trough ratio of outbound network throughput over the capture
+  // (the paper observes up to 25x on in-the-wild gaming clusters).
+  double OutboundPeakToTrough() const;
+  double PeakOutboundGbps() const;
+  // Mean ESB uplink utilization against its 20 Gbps capacity.
+  double MeanOutboundUtilization() const;
+
+ private:
+  void Capture();
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  std::unique_ptr<PeriodicTask> ticker_;
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_TELEMETRY_H_

@@ -1,0 +1,102 @@
+#include "src/hw/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+const char* CpuGovernorName(CpuGovernor governor) {
+  switch (governor) {
+    case CpuGovernor::kPerformance:
+      return "performance";
+    case CpuGovernor::kSchedutil:
+      return "schedutil";
+    case CpuGovernor::kPowersave:
+      return "powersave";
+  }
+  return "?";
+}
+
+std::vector<CpuGovernor> AllCpuGovernors() {
+  return {CpuGovernor::kPerformance, CpuGovernor::kSchedutil,
+          CpuGovernor::kPowersave};
+}
+
+std::vector<OperatingPoint> DvfsModel::Kryo585Curve() {
+  // Aggregate OPPs for 1x prime + 3x gold + 4x silver; busy power follows
+  // ~f^2.2 (voltage tracks frequency) over a small static floor, scaled so
+  // the top OPP equals SocSpec's 7.8 W saturated-CPU figure.
+  return {
+      {0.60, 0.22, Power::Watts(1.25)},
+      {1.00, 0.36, Power::Watts(2.20)},
+      {1.40, 0.50, Power::Watts(3.25)},
+      {1.80, 0.65, Power::Watts(4.60)},
+      {2.20, 0.80, Power::Watts(5.90)},
+      {2.60, 0.92, Power::Watts(7.00)},
+      {2.84, 1.00, Power::Watts(7.80)},
+  };
+}
+
+DvfsDecision DvfsModel::Decide(const std::vector<OperatingPoint>& curve,
+                               CpuGovernor governor, double demand) {
+  SOC_CHECK(!curve.empty());
+  SOC_CHECK_GE(demand, 0.0);
+  demand = std::min(demand, 1.0);
+
+  const OperatingPoint* chosen = &curve.back();
+  switch (governor) {
+    case CpuGovernor::kPerformance:
+      chosen = &curve.back();
+      break;
+    case CpuGovernor::kPowersave:
+      chosen = &curve.front();
+      break;
+    case CpuGovernor::kSchedutil:
+      for (const OperatingPoint& opp : curve) {
+        if (opp.capacity >= demand) {
+          chosen = &opp;
+          break;
+        }
+      }
+      break;
+  }
+  DvfsDecision decision;
+  decision.opp = *chosen;
+  decision.served = std::min(demand, chosen->capacity);
+  // Race-to-idle within the quantum: busy for served/capacity of the time.
+  const double busy_fraction =
+      chosen->capacity > 0.0 ? decision.served / chosen->capacity : 0.0;
+  decision.average_power = chosen->busy_power * busy_fraction;
+  return decision;
+}
+
+Energy DvfsModel::EnergyForWork(const std::vector<OperatingPoint>& curve,
+                                CpuGovernor governor,
+                                double top_opp_seconds) {
+  SOC_CHECK_GE(top_opp_seconds, 0.0);
+  // The work stretches in time at slower OPPs; demand is "as fast as
+  // possible", so schedutil and performance both run the top OPP.
+  const DvfsDecision decision = Decide(curve, governor, 1.0);
+  const double seconds = top_opp_seconds / decision.opp.capacity;
+  return decision.opp.busy_power * Duration::SecondsF(seconds);
+}
+
+double DvfsModel::LinearModelMaxError(
+    const std::vector<OperatingPoint>& curve) {
+  const Power top = curve.back().busy_power;
+  double max_error = 0.0;
+  for (double demand = 0.05; demand <= 1.0; demand += 0.05) {
+    const DvfsDecision decision =
+        Decide(curve, CpuGovernor::kSchedutil, demand);
+    const double linear_watts = top.watts() * demand;
+    const double error =
+        std::fabs(decision.average_power.watts() - linear_watts) /
+        linear_watts;
+    max_error = std::max(max_error, error);
+  }
+  return max_error;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,75 @@
+// Operating-point-level DVFS model for the SoC's CPU complex.
+//
+// SocSpec abstracts CPU power as linear in utilization; this model works
+// at the frequency/voltage operating-point level and shows when that
+// abstraction holds. Under the schedutil governor (what the cluster's
+// Android builds run), the cluster picks the lowest OPP that meets demand,
+// which yields near-linear energy scaling; the performance governor pins
+// the top OPP and wastes idle power; powersave caps throughput.
+
+#ifndef SRC_HW_DVFS_H_
+#define SRC_HW_DVFS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace soccluster {
+
+enum class CpuGovernor {
+  kPerformance,  // Pin the highest operating point.
+  kSchedutil,    // Track demand with the lowest sufficient OPP.
+  kPowersave,    // Pin the lowest operating point.
+};
+
+const char* CpuGovernorName(CpuGovernor governor);
+std::vector<CpuGovernor> AllCpuGovernors();
+
+// One frequency/voltage step of the CPU complex.
+struct OperatingPoint {
+  double freq_ghz = 0.0;
+  // Compute capacity at this OPP as a fraction of the top OPP.
+  double capacity = 0.0;
+  // Cluster power with all cores busy at this OPP (dynamic only; the SoC's
+  // idle floor is layered by SocSpec).
+  Power busy_power;
+};
+
+struct DvfsDecision {
+  OperatingPoint opp;
+  // Demand actually served (min(demand, opp.capacity)).
+  double served = 0.0;
+  // Average power: busy fraction at the OPP plus nothing when idle (race-
+  // to-idle within the scheduling quantum).
+  Power average_power;
+};
+
+class DvfsModel {
+ public:
+  // The Kryo 585 complex (1x A77 prime + 3x A77 gold + 4x A55), reduced to
+  // aggregate OPPs. The top OPP's busy power matches SocSpec's
+  // cpu_dynamic_full + cpu_wake (7.8 W), so the two models agree at
+  // saturation by construction.
+  static std::vector<OperatingPoint> Kryo585Curve();
+
+  // Picks the OPP for `demand` (fraction of top-OPP capacity, in [0,1])
+  // under `governor`, and the resulting average power.
+  static DvfsDecision Decide(const std::vector<OperatingPoint>& curve,
+                             CpuGovernor governor, double demand);
+
+  // Energy to process a fixed amount of work (`demand_seconds` of top-OPP
+  // compute) under the governor, assuming the work can stretch in time
+  // when the OPP is slower.
+  static Energy EnergyForWork(const std::vector<OperatingPoint>& curve,
+                              CpuGovernor governor, double top_opp_seconds);
+
+  // Max relative error between the linear utilization->power abstraction
+  // and the OPP model under schedutil across a demand sweep; small values
+  // justify SocSpec's linear model.
+  static double LinearModelMaxError(const std::vector<OperatingPoint>& curve);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_HW_DVFS_H_

@@ -1,0 +1,49 @@
+#include "src/hw/gpu.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+DiscreteGpuModel::DiscreteGpuModel(Simulator* sim, DiscreteGpuSpec spec, int id)
+    : sim_(sim), spec_(std::move(spec)), id_(id) {
+  SOC_CHECK(sim_ != nullptr);
+  meter_.SetPower(sim_->Now(), CurrentPower());
+}
+
+Status DiscreteGpuModel::SetComputeUtil(double util) {
+  if (util < 0.0 || util > 1.0) {
+    return Status::OutOfRange("GPU utilization out of range");
+  }
+  compute_util_ = util;
+  Recompute();
+  return Status::Ok();
+}
+
+Status DiscreteGpuModel::SetVideoEnginePower(Power extra) {
+  if (!spec_.has_nvenc) {
+    return Status::FailedPrecondition(spec_.name + " has no NVENC");
+  }
+  if (extra.watts() < 0.0) {
+    return Status::OutOfRange("negative video-engine power");
+  }
+  video_extra_ = extra;
+  Recompute();
+  return Status::Ok();
+}
+
+Power DiscreteGpuModel::CurrentPower() const {
+  Power power =
+      spec_.idle + (spec_.max_power - spec_.idle) * compute_util_;
+  power += video_extra_;
+  // The board caps at its power limit regardless of stacked demands.
+  if (power > spec_.max_power) {
+    power = spec_.max_power;
+  }
+  return power;
+}
+
+void DiscreteGpuModel::Recompute() { meter_.SetPower(sim_->Now(), CurrentPower()); }
+
+}  // namespace soccluster

@@ -1,0 +1,58 @@
+// Runtime model of a discrete datacenter GPU (NVIDIA A40 / A100).
+//
+// Two behaviours from the paper matter here: (1) high idle power and coarse
+// power gating — the GPU cannot scale down with light load the way discrete
+// SoCs can (Fig. 7, Fig. 12); (2) when the NVENC video engine is active the
+// GPU holds high clocks even for low-entropy streams (§4.1), captured as a
+// clock-floor power adder.
+
+#ifndef SRC_HW_GPU_H_
+#define SRC_HW_GPU_H_
+
+#include "src/base/result.h"
+#include "src/hw/power.h"
+#include "src/hw/specs.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+class DiscreteGpuModel {
+ public:
+  DiscreteGpuModel(Simulator* sim, DiscreteGpuSpec spec, int id);
+  DiscreteGpuModel(const DiscreteGpuModel&) = delete;
+  DiscreteGpuModel& operator=(const DiscreteGpuModel&) = delete;
+
+  int id() const { return id_; }
+  const DiscreteGpuSpec& spec() const { return spec_; }
+
+  // Compute utilization in [0, 1]; power scales linearly idle -> max.
+  Status SetComputeUtil(double util);
+  double compute_util() const { return compute_util_; }
+
+  // Additional power charged by the video engine (clock floor + per-stream
+  // cost, computed by the video workload model). Requires NVENC.
+  Status SetVideoEnginePower(Power extra);
+  // Active NVENC sessions; informational, capacity is enforced by the video
+  // workload model.
+  void SetVideoSessions(int sessions) { video_sessions_ = sessions; }
+  int video_sessions() const { return video_sessions_; }
+
+  Power CurrentPower() const;
+  Energy TotalEnergy() { return meter_.TotalEnergy(sim_->Now()); }
+  Power AveragePower() { return meter_.AveragePower(sim_->Now()); }
+
+ private:
+  void Recompute();
+
+  Simulator* sim_;
+  DiscreteGpuSpec spec_;
+  int id_;
+  double compute_util_ = 0.0;
+  Power video_extra_ = Power::Zero();
+  int video_sessions_ = 0;
+  EnergyMeter meter_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_HW_GPU_H_

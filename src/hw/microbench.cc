@@ -1,0 +1,121 @@
+#include "src/hw/microbench.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+namespace {
+
+constexpr int kNumMetrics = 6;
+constexpr int kNumPlatforms = 4;
+
+// Per-core score anchors, Table 2 ("Per-core Performance").
+// Rows: platform; columns: metric (CPU, Int, Float, Text, SQLite, PDF).
+constexpr double kPerCore[kNumPlatforms][kNumMetrics] = {
+    {911.0, 842.0, 948.0, 4.4, 257.0, 52.0},    // SoC Cluster (SD865 core)
+    {840.0, 800.0, 886.0, 4.1, 249.0, 41.0},    // Xeon Gold 5218R
+    {762.0, 735.0, 790.0, 4.2, 208.0, 37.0},    // Graviton 2
+    {1121.0, 1039.0, 1214.0, 4.9, 279.0, 66.0}, // Graviton 3
+};
+
+// Multicore scaling efficiency derived from Table 2:
+//   whole_server_anchor / (per_core_anchor x reference_cores).
+// The SoC Cluster's ~0.44 reflects big.LITTLE (4 of the 8 Kryo cores are
+// efficiency cores); the Gravitons' ~0.7-0.9 reflect uniform server cores.
+constexpr double kEfficiency[kNumPlatforms][kNumMetrics] = {
+    {0.4439, 0.4565, 0.4216, 0.4290, 0.4861, 0.5029},  // SoC Cluster
+    {0.4598, 0.5070, 0.4456, 0.8232, 0.9277, 0.4329},  // Traditional
+    {0.7401, 0.7791, 0.7083, 0.7254, 0.9164, 0.9037},  // Graviton 2
+    {0.7161, 0.7624, 0.6421, 0.6569, 0.9073, 0.9375},  // Graviton 3
+};
+
+constexpr int kReferenceCores[kNumPlatforms] = {480, 40, 64, 64};
+
+int MetricIndex(MicrobenchMetric metric) {
+  const int i = static_cast<int>(metric);
+  SOC_CHECK_GE(i, 0);
+  SOC_CHECK_LT(i, kNumMetrics);
+  return i;
+}
+
+int PlatformIndex(BenchPlatform platform) {
+  const int i = static_cast<int>(platform);
+  SOC_CHECK_GE(i, 0);
+  SOC_CHECK_LT(i, kNumPlatforms);
+  return i;
+}
+
+}  // namespace
+
+const char* MicrobenchMetricName(MicrobenchMetric metric) {
+  switch (metric) {
+    case MicrobenchMetric::kCpuScore:
+      return "CPU Score";
+    case MicrobenchMetric::kIntegerScore:
+      return "Integer Score";
+    case MicrobenchMetric::kFloatingScore:
+      return "Floating Score";
+    case MicrobenchMetric::kTextCompress:
+      return "Text Compress";
+    case MicrobenchMetric::kSqliteQuery:
+      return "SQLite Query";
+    case MicrobenchMetric::kPdfRender:
+      return "PDF Render";
+  }
+  return "?";
+}
+
+const char* BenchPlatformName(BenchPlatform platform) {
+  switch (platform) {
+    case BenchPlatform::kSocCluster:
+      return "SoC Cluster";
+    case BenchPlatform::kTraditional:
+      return "Traditional";
+    case BenchPlatform::kGraviton2:
+      return "Graviton 2";
+    case BenchPlatform::kGraviton3:
+      return "Graviton 3";
+  }
+  return "?";
+}
+
+std::vector<MicrobenchMetric> AllMicrobenchMetrics() {
+  return {MicrobenchMetric::kCpuScore,      MicrobenchMetric::kIntegerScore,
+          MicrobenchMetric::kFloatingScore, MicrobenchMetric::kTextCompress,
+          MicrobenchMetric::kSqliteQuery,   MicrobenchMetric::kPdfRender};
+}
+
+std::vector<BenchPlatform> AllBenchPlatforms() {
+  return {BenchPlatform::kSocCluster, BenchPlatform::kTraditional,
+          BenchPlatform::kGraviton2, BenchPlatform::kGraviton3};
+}
+
+double MicrobenchModel::PerCoreScore(BenchPlatform platform,
+                                     MicrobenchMetric metric) const {
+  return kPerCore[PlatformIndex(platform)][MetricIndex(metric)];
+}
+
+double MicrobenchModel::MulticoreEfficiency(BenchPlatform platform,
+                                            MicrobenchMetric metric) const {
+  return kEfficiency[PlatformIndex(platform)][MetricIndex(metric)];
+}
+
+int MicrobenchModel::ReferenceCores(BenchPlatform platform) const {
+  return kReferenceCores[PlatformIndex(platform)];
+}
+
+double MicrobenchModel::WholeServerScore(BenchPlatform platform,
+                                         MicrobenchMetric metric) const {
+  return PerCoreScore(platform, metric) * ReferenceCores(platform) *
+         MulticoreEfficiency(platform, metric);
+}
+
+double MicrobenchModel::SocClusterScore(MicrobenchMetric metric,
+                                        int num_socs) const {
+  SOC_CHECK_GE(num_socs, 0);
+  return PerCoreScore(BenchPlatform::kSocCluster, metric) * 8.0 *
+         static_cast<double>(num_socs) *
+         MulticoreEfficiency(BenchPlatform::kSocCluster, metric);
+}
+
+}  // namespace soccluster

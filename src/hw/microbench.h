@@ -1,0 +1,58 @@
+// Geekbench-5-style micro-benchmark score model (Table 2).
+//
+// The paper reports per-core and whole-server scores for four platforms. We
+// store the per-core anchors plus each platform's measured multicore scaling
+// efficiency per metric, and reconstruct whole-server scores as
+//   per_core x cores x efficiency.
+// The model also extrapolates to other node counts (e.g. a 40-SoC cluster).
+
+#ifndef SRC_HW_MICROBENCH_H_
+#define SRC_HW_MICROBENCH_H_
+
+#include <string>
+#include <vector>
+
+namespace soccluster {
+
+enum class MicrobenchMetric {
+  kCpuScore = 0,
+  kIntegerScore,
+  kFloatingScore,
+  kTextCompress,
+  kSqliteQuery,
+  kPdfRender,
+};
+
+enum class BenchPlatform {
+  kSocCluster = 0,  // "Ours": 60x SD865, 8 cores each.
+  kTraditional,     // Intel Xeon Gold 5218R, 40 cores.
+  kGraviton2,       // AWS m6g.metal, 64 cores.
+  kGraviton3,       // AWS m7g.metal, 64 cores.
+};
+
+const char* MicrobenchMetricName(MicrobenchMetric metric);
+const char* BenchPlatformName(BenchPlatform platform);
+std::vector<MicrobenchMetric> AllMicrobenchMetrics();
+std::vector<BenchPlatform> AllBenchPlatforms();
+
+class MicrobenchModel {
+ public:
+  MicrobenchModel() = default;
+
+  // Single-core score anchor (Table 2, "Per-core Performance").
+  double PerCoreScore(BenchPlatform platform, MicrobenchMetric metric) const;
+  // Measured multicore scaling efficiency in (0, 1].
+  double MulticoreEfficiency(BenchPlatform platform,
+                             MicrobenchMetric metric) const;
+  // Total hardware cores for the platform's reference configuration.
+  int ReferenceCores(BenchPlatform platform) const;
+  // Whole-server score for the reference configuration.
+  double WholeServerScore(BenchPlatform platform,
+                          MicrobenchMetric metric) const;
+  // Whole-server score for a SoC Cluster with `num_socs` SoCs (8 cores each).
+  double SocClusterScore(MicrobenchMetric metric, int num_socs) const;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_HW_MICROBENCH_H_

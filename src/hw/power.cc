@@ -1,0 +1,31 @@
+#include "src/hw/power.h"
+
+namespace soccluster {
+
+void EnergyMeter::SetPower(SimTime now, Power power) {
+  stat_.Update(now, power.watts());
+}
+
+Energy EnergyMeter::TotalEnergy(SimTime now) {
+  stat_.Update(now, stat_.CurrentValue());
+  return Energy::Joules(stat_.Integral());
+}
+
+Power EnergyMeter::AveragePower(SimTime now) {
+  stat_.Update(now, stat_.CurrentValue());
+  return Power::Watts(stat_.Mean());
+}
+
+Duration EnergyMeter::Observed(SimTime now) {
+  stat_.Update(now, stat_.CurrentValue());
+  return stat_.Elapsed();
+}
+
+Energy WorkloadEnergyMeter::WorkloadEnergy(SimTime now) {
+  const Energy total = meter_->TotalEnergy(now);
+  const double elapsed_s = meter_->Observed(now).ToSeconds();
+  const double workload_j = total.joules() - baseline_.watts() * elapsed_s;
+  return Energy::Joules(workload_j > 0.0 ? workload_j : 0.0);
+}
+
+}  // namespace soccluster

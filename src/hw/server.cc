@@ -1,0 +1,79 @@
+#include "src/hw/server.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+EdgeServerModel::EdgeServerModel(Simulator* sim, EdgeServerSpec spec,
+                                 int num_gpus)
+    : sim_(sim), spec_(std::move(spec)),
+      container_util_(static_cast<size_t>(spec_.containers), 0.0) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK_GE(num_gpus, 0);
+  const DiscreteGpuSpec gpu_spec = GpuSpecFor(GpuModelKind::kA40);
+  for (int i = 0; i < num_gpus; ++i) {
+    gpus_.push_back(std::make_unique<DiscreteGpuModel>(sim_, gpu_spec, i));
+  }
+  host_meter_.SetPower(sim_->Now(), HostPower());
+}
+
+Status EdgeServerModel::SetContainerUtil(int container, double util) {
+  if (container < 0 || container >= spec_.containers) {
+    return Status::OutOfRange("no such container");
+  }
+  if (util < 0.0 || util > 1.0) {
+    return Status::OutOfRange("container utilization out of range");
+  }
+  container_util_[static_cast<size_t>(container)] = util;
+  Recompute();
+  return Status::Ok();
+}
+
+double EdgeServerModel::container_util(int container) const {
+  SOC_CHECK_GE(container, 0);
+  SOC_CHECK_LT(container, spec_.containers);
+  return container_util_[static_cast<size_t>(container)];
+}
+
+double EdgeServerModel::TotalCpuUtil() const {
+  double sum = 0.0;
+  for (double u : container_util_) {
+    sum += u;
+  }
+  return sum / static_cast<double>(container_util_.size());
+}
+
+Power EdgeServerModel::HostPower() const {
+  Power power = spec_.host_idle;
+  for (double util : container_util_) {
+    if (util > 0.0) {
+      power += spec_.container_wake;
+    }
+  }
+  power += spec_.cpu_dynamic_full * TotalCpuUtil();
+  return power;
+}
+
+Power EdgeServerModel::CurrentPower() const {
+  Power power = HostPower();
+  for (const auto& gpu : gpus_) {
+    power += gpu->CurrentPower();
+  }
+  return power;
+}
+
+Energy EdgeServerModel::TotalEnergy() {
+  Energy total = HostEnergy();
+  for (const auto& gpu : gpus_) {
+    total += gpu->TotalEnergy();
+  }
+  return total;
+}
+
+void EdgeServerModel::Recompute() {
+  host_meter_.SetPower(sim_->Now(), HostPower());
+}
+
+}  // namespace soccluster

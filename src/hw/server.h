@@ -1,0 +1,59 @@
+// Runtime model of the traditional edge server (Table 1): a dual Xeon Gold
+// 5218R host partitioned into ten 8-core Docker containers, with eight
+// NVIDIA A40 GPUs on PCIe. Container CPU utilization drives host power; each
+// GPU carries its own model and meter.
+
+#ifndef SRC_HW_SERVER_H_
+#define SRC_HW_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/gpu.h"
+#include "src/hw/power.h"
+#include "src/hw/specs.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+class EdgeServerModel {
+ public:
+  // `num_gpus` may be zero to model the paper's "virtual server" without
+  // GPUs (Table 4, middle column).
+  EdgeServerModel(Simulator* sim, EdgeServerSpec spec, int num_gpus);
+  EdgeServerModel(const EdgeServerModel&) = delete;
+  EdgeServerModel& operator=(const EdgeServerModel&) = delete;
+
+  const EdgeServerSpec& spec() const { return spec_; }
+  int num_containers() const { return spec_.containers; }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+
+  // Per-container CPU utilization in [0, 1].
+  Status SetContainerUtil(int container, double util);
+  double container_util(int container) const;
+  double TotalCpuUtil() const;  // Mean across containers.
+
+  DiscreteGpuModel& gpu(int i) { return *gpus_[i]; }
+
+  // Host power (CPU + RAM + board + fans), excluding GPUs.
+  Power HostPower() const;
+  // Host plus all GPUs.
+  Power CurrentPower() const;
+  Energy HostEnergy() { return host_meter_.TotalEnergy(sim_->Now()); }
+  Power HostAveragePower() { return host_meter_.AveragePower(sim_->Now()); }
+  Energy TotalEnergy();
+
+ private:
+  void Recompute();
+
+  Simulator* sim_;
+  EdgeServerSpec spec_;
+  std::vector<double> container_util_;
+  std::vector<std::unique_ptr<DiscreteGpuModel>> gpus_;
+  EnergyMeter host_meter_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_HW_SERVER_H_

@@ -1,0 +1,95 @@
+// Runtime model of one mobile SoC: power states, per-component utilization,
+// and exact energy accounting. Workload models drive utilization; the SoC
+// turns it into watts using its calibrated spec.
+
+#ifndef SRC_HW_SOC_H_
+#define SRC_HW_SOC_H_
+
+#include <functional>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/hw/power.h"
+#include "src/hw/specs.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+enum class SocPowerState {
+  kOff,
+  kBooting,   // PowerOn() in progress.
+  kOn,
+  kFailed,    // Fault-injected; unusable until Repair().
+};
+
+const char* SocPowerStateName(SocPowerState state);
+
+// One SoC. All mutators update the energy meter at the current sim time, so
+// Joules are exact under the piecewise-constant power model.
+class SocModel {
+ public:
+  SocModel(Simulator* sim, SocSpec spec, int id);
+  SocModel(const SocModel&) = delete;
+  SocModel& operator=(const SocModel&) = delete;
+
+  int id() const { return id_; }
+  const SocSpec& spec() const { return spec_; }
+  SocPowerState state() const { return state_; }
+  bool IsUsable() const { return state_ == SocPowerState::kOn; }
+
+  // Power management. PowerOn() boots Android (spec boot latency) and then
+  // invokes `on_ready` (may be null). PowerOff() is immediate-effect for
+  // capacity purposes; callers must have drained work first.
+  Status PowerOn(Duration boot_latency, std::function<void()> on_ready);
+  Status PowerOff();
+
+  // Fault injection (§8: a single subsystem failure renders the SoC
+  // unusable). Repair() returns it to kOff.
+  void Fail();
+  void Repair();
+
+  // Component utilization, each in [0, 1]. Fails if the SoC is not usable
+  // or the new value is out of range / over capacity.
+  Status SetCpuUtil(double util);
+  Status AddCpuUtil(double delta);
+  Status SetGpuUtil(double util);
+  Status SetDspUtil(double util);
+  // Hardware-codec sessions (bounded by spec.max_codec_sessions). Each
+  // session processes `pixel_rate` pixels/s (drives ASIC power) and charges
+  // the delegation daemon's CPU share. Remove with the same pixel rate.
+  Status AddCodecSession(double pixel_rate);
+  Status RemoveCodecSession(double pixel_rate);
+
+  double cpu_util() const { return cpu_util_; }
+  double gpu_util() const { return gpu_util_; }
+  double dsp_util() const { return dsp_util_; }
+  int codec_sessions() const { return codec_sessions_; }
+  double codec_pixel_rate() const { return codec_pixel_rate_; }
+  // CPU headroom after the codec delegation daemons are charged.
+  double CpuHeadroom() const;
+
+  // Instantaneous wall power of this SoC (including board regulators).
+  Power CurrentPower() const;
+  Energy TotalEnergy() { return meter_.TotalEnergy(sim_->Now()); }
+  Power AveragePower() { return meter_.AveragePower(sim_->Now()); }
+
+ private:
+  void Recompute();
+  Power ComputePower() const;
+
+  Simulator* sim_;
+  SocSpec spec_;
+  int id_;
+  SocPowerState state_ = SocPowerState::kOff;
+  double cpu_util_ = 0.0;
+  double gpu_util_ = 0.0;
+  double dsp_util_ = 0.0;
+  int codec_sessions_ = 0;
+  double codec_pixel_rate_ = 0.0;
+  EventHandle boot_event_;
+  EnergyMeter meter_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_HW_SOC_H_

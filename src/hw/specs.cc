@@ -1,0 +1,134 @@
+#include "src/hw/specs.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+const char* SocGenerationName(SocGeneration gen) {
+  switch (gen) {
+    case SocGeneration::kSd835:
+      return "Snapdragon 835";
+    case SocGeneration::kSd845:
+      return "Snapdragon 845";
+    case SocGeneration::kSd855:
+      return "Snapdragon 855";
+    case SocGeneration::kSd865:
+      return "Snapdragon 865";
+    case SocGeneration::kSd888:
+      return "Snapdragon 888";
+    case SocGeneration::kSd8Gen1Plus:
+      return "Snapdragon 8+Gen1";
+  }
+  return "?";
+}
+
+int SocGenerationYear(SocGeneration gen) {
+  switch (gen) {
+    case SocGeneration::kSd835:
+      return 2017;
+    case SocGeneration::kSd845:
+      return 2018;
+    case SocGeneration::kSd855:
+      return 2019;
+    case SocGeneration::kSd865:
+      return 2020;
+    case SocGeneration::kSd888:
+      return 2021;
+    case SocGeneration::kSd8Gen1Plus:
+      return 2022;
+  }
+  return 0;
+}
+
+std::vector<SocGeneration> AllSocGenerations() {
+  return {SocGeneration::kSd835, SocGeneration::kSd845, SocGeneration::kSd855,
+          SocGeneration::kSd865, SocGeneration::kSd888,
+          SocGeneration::kSd8Gen1Plus};
+}
+
+SocSpec SocSpecFor(SocGeneration gen) {
+  SocSpec spec;
+  spec.generation = gen;
+  spec.name = SocGenerationName(gen);
+  switch (gen) {
+    case SocGeneration::kSd835:
+      // V4 transcode on the 865 is 2.3x the 835 (§7); DL-CPU improves 4.8x
+      // and GPU 3.2x across 2017->2022 (Fig. 14).
+      spec.cpu_transcode_factor = 1.0 / 2.3;   // 0.435
+      spec.cpu_dl_factor = 0.40;
+      spec.gpu_dl_factor = 0.50;
+      spec.dsp_dl_factor = 0.25;  // Hexagon 682: no tensor accelerator yet.
+      spec.codec_factor = 1.0 / 3.8;  // 865 is 3.8x over 835 on V4 (§7).
+      spec.memory_gb = 6;  // Xiaomi 6 (Table 6).
+      break;
+    case SocGeneration::kSd845:
+      spec.cpu_transcode_factor = 1.0 / 1.82;  // 0.549
+      spec.cpu_dl_factor = 0.52;
+      spec.gpu_dl_factor = 0.62;
+      spec.dsp_dl_factor = 0.32;  // Anchor of the 8.4x DSP improvement.
+      spec.codec_factor = 0.45;
+      spec.memory_gb = 6;  // Xiaomi 8.
+      break;
+    case SocGeneration::kSd855:
+      spec.cpu_transcode_factor = 1.0 / 1.42;  // 0.704
+      spec.cpu_dl_factor = 0.70;
+      spec.gpu_dl_factor = 0.78;
+      spec.dsp_dl_factor = 0.55;
+      spec.codec_factor = 0.70;
+      spec.memory_gb = 6;  // Meizu 16T.
+      break;
+    case SocGeneration::kSd865:
+      // Reference silicon; all factors are 1.0 by definition.
+      spec.memory_gb = 12;
+      break;
+    case SocGeneration::kSd888:
+      spec.cpu_transcode_factor = 1.35;
+      spec.cpu_dl_factor = 1.35;
+      spec.gpu_dl_factor = 1.25;
+      spec.dsp_dl_factor = 1.75;
+      spec.codec_factor = 1.30;
+      spec.memory_gb = 8;  // Xiaomi 11 Pro.
+      break;
+    case SocGeneration::kSd8Gen1Plus:
+      // 1.8x CPU transcode over the 865 (§7); 4.8x DL-CPU and 3.2x GPU over
+      // the 835; DSP 8.4x over the 845 (0.32 * 8.4 = 2.69).
+      spec.cpu_transcode_factor = 1.80;
+      spec.cpu_dl_factor = 1.92;
+      spec.gpu_dl_factor = 1.60;
+      spec.dsp_dl_factor = 2.69;
+      spec.codec_factor = 1.70;
+      spec.memory_gb = 12;  // Xiaomi 12S.
+      break;
+  }
+  return spec;
+}
+
+SocSpec Snapdragon865Spec() { return SocSpecFor(SocGeneration::kSd865); }
+
+ClusterChassisSpec DefaultChassisSpec() { return ClusterChassisSpec(); }
+
+EdgeServerSpec DefaultEdgeServerSpec() { return EdgeServerSpec(); }
+
+DiscreteGpuSpec GpuSpecFor(GpuModelKind kind) {
+  DiscreteGpuSpec spec;
+  spec.kind = kind;
+  switch (kind) {
+    case GpuModelKind::kA40:
+      spec.name = "NVIDIA A40";
+      spec.idle = Power::Watts(40.0);
+      spec.max_power = Power::Watts(300.0);
+      spec.has_nvenc = true;
+      spec.memory_gb = 48;
+      break;
+    case GpuModelKind::kA100:
+      spec.name = "NVIDIA A100";
+      spec.idle = Power::Watts(55.0);
+      spec.max_power = Power::Watts(290.0);
+      spec.has_nvenc = false;  // §3: A100 lacks NVENC as of May 2024.
+      spec.memory_gb = 40;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace soccluster

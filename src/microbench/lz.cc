@@ -1,0 +1,171 @@
+#include "src/microbench/lz.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/rng.h"
+
+namespace soccluster {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 12;
+constexpr size_t kWindow = 1 << 16;
+constexpr uint8_t kLiteralTag = 0x00;
+constexpr uint8_t kMatchTag = 0x01;
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint(const std::vector<uint8_t>& data, size_t* pos,
+               uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    const uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 18;  // 14-bit table.
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCodec::Compress(const std::string& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  PutVarint(&out, input.size());
+
+  // Hash table of most recent position per 4-byte prefix.
+  std::vector<int64_t> table(1 << 14, -1);
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      out.push_back(kLiteralTag);
+      PutVarint(&out, end - literal_start);
+      out.insert(out.end(), input.begin() + static_cast<long>(literal_start),
+                 input.begin() + static_cast<long>(end));
+    }
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    const uint32_t hash = Hash4(input.data() + pos);
+    const int64_t candidate = table[hash];
+    table[hash] = static_cast<int64_t>(pos);
+    size_t match_len = 0;
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kWindow) {
+      const size_t cand = static_cast<size_t>(candidate);
+      const size_t limit = std::min(input.size() - pos, kMaxMatch);
+      while (match_len < limit &&
+             input[cand + match_len] == input[pos + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      flush_literals(pos);
+      out.push_back(kMatchTag);
+      PutVarint(&out, match_len);
+      PutVarint(&out, pos - static_cast<size_t>(candidate));
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+Result<std::string> LzCodec::Decompress(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  uint64_t expected_size = 0;
+  if (!GetVarint(data, &pos, &expected_size)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  std::string out;
+  out.reserve(expected_size);
+  while (pos < data.size()) {
+    const uint8_t tag = data[pos++];
+    uint64_t length = 0;
+    if (!GetVarint(data, &pos, &length)) {
+      return Status::InvalidArgument("truncated token length");
+    }
+    if (tag == kLiteralTag) {
+      if (pos + length > data.size()) {
+        return Status::InvalidArgument("truncated literal run");
+      }
+      out.append(reinterpret_cast<const char*>(data.data()) + pos,
+                 static_cast<size_t>(length));
+      pos += length;
+    } else if (tag == kMatchTag) {
+      uint64_t distance = 0;
+      if (!GetVarint(data, &pos, &distance)) {
+        return Status::InvalidArgument("truncated match distance");
+      }
+      if (distance == 0 || distance > out.size()) {
+        return Status::InvalidArgument("match distance out of range");
+      }
+      // Byte-by-byte copy: overlapping matches are legal (RLE-style).
+      const size_t start = out.size() - static_cast<size_t>(distance);
+      for (uint64_t i = 0; i < length; ++i) {
+        out.push_back(out[start + static_cast<size_t>(i)]);
+      }
+    } else {
+      return Status::InvalidArgument("unknown token tag");
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::InvalidArgument("size mismatch after decompression");
+  }
+  return out;
+}
+
+double LzCodec::CompressionRatio(const std::string& input) {
+  if (input.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(Compress(input).size()) /
+         static_cast<double>(input.size());
+}
+
+std::string MakeBenchmarkText(size_t approx_bytes, uint64_t seed) {
+  static const char* kWords[] = {
+      "the",     "cluster", "of",      "mobile", "soc",    "edge",
+      "server",  "energy",  "watt",    "stream", "video",  "frame",
+      "power",   "network", "packet",  "model",  "tensor", "joule",
+      "latency", "quality", "monitor", "cost",   "deploy", "cloud",
+      "scale",   "gaming",  "session", "measure"};
+  constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+  Rng rng(seed);
+  std::string out;
+  out.reserve(approx_bytes + 16);
+  while (out.size() < approx_bytes) {
+    // Zipf-ish pick: squaring the uniform skews toward low ranks.
+    const double u = rng.NextDouble();
+    const size_t index =
+        static_cast<size_t>(u * u * static_cast<double>(kNumWords));
+    out += kWords[std::min(index, kNumWords - 1)];
+    out += rng.Bernoulli(0.12) ? ".\n" : " ";
+  }
+  return out;
+}
+
+}  // namespace soccluster

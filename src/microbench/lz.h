@@ -1,0 +1,37 @@
+// Text-compression kernel (the "Text Compress" micro-benchmark category,
+// Table 2): a real LZ77-family compressor with greedy matching over a
+// rolling hash chain, plus the decompressor. Self-contained and
+// deterministic, so the benchmark measures the same work on every
+// platform, in the spirit of Geekbench's compression test.
+
+#ifndef SRC_MICROBENCH_LZ_H_
+#define SRC_MICROBENCH_LZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace soccluster {
+
+class LzCodec {
+ public:
+  // Compresses `input` into a token stream. Always succeeds; incompressible
+  // data grows by at most ~1/16.
+  static std::vector<uint8_t> Compress(const std::string& input);
+
+  // Inverse of Compress. Fails on corrupt streams.
+  static Result<std::string> Decompress(const std::vector<uint8_t>& data);
+
+  // Compressed/original size for reporting.
+  static double CompressionRatio(const std::string& input);
+};
+
+// Deterministic English-like text generator for benchmarking (Markov-ish
+// word soup with Zipf word frequencies).
+std::string MakeBenchmarkText(size_t approx_bytes, uint64_t seed);
+
+}  // namespace soccluster
+
+#endif  // SRC_MICROBENCH_LZ_H_

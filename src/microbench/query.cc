@@ -1,0 +1,100 @@
+#include "src/microbench/query.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+
+namespace soccluster {
+
+void ColumnTable::Reserve(size_t rows) {
+  id_.reserve(rows);
+  region_.reserve(rows);
+  amount_.reserve(rows);
+  quantity_.reserve(rows);
+}
+
+void ColumnTable::Append(int64_t id, int32_t region, double amount,
+                         int32_t quantity) {
+  id_.push_back(id);
+  region_.push_back(region);
+  amount_.push_back(amount);
+  quantity_.push_back(quantity);
+  index_valid_ = false;
+}
+
+std::vector<ColumnTable::GroupRow> ColumnTable::FilterGroupTopK(
+    double lo, double hi, int32_t min_quantity, size_t k) const {
+  // Hash aggregation over a dense region domain.
+  std::map<int32_t, GroupRow> groups;
+  for (size_t row = 0; row < id_.size(); ++row) {
+    const double amount = amount_[row];
+    if (amount < lo || amount > hi || quantity_[row] < min_quantity) {
+      continue;
+    }
+    GroupRow& group = groups[region_[row]];
+    group.region = region_[row];
+    group.total_amount += amount;
+    ++group.count;
+  }
+  std::vector<GroupRow> rows;
+  rows.reserve(groups.size());
+  for (const auto& [region, group] : groups) {
+    rows.push_back(group);
+  }
+  std::sort(rows.begin(), rows.end(), [](const GroupRow& a, const GroupRow& b) {
+    return a.total_amount > b.total_amount;
+  });
+  if (rows.size() > k) {
+    rows.resize(k);
+  }
+  return rows;
+}
+
+int64_t ColumnTable::CountAbove(double threshold) const {
+  int64_t count = 0;
+  for (double amount : amount_) {
+    count += amount >= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+void ColumnTable::BuildIndexIfNeeded() const {
+  if (index_valid_) {
+    return;
+  }
+  index_.resize(id_.size());
+  std::iota(index_.begin(), index_.end(), 0u);
+  std::sort(index_.begin(), index_.end(), [this](uint32_t a, uint32_t b) {
+    return id_[a] < id_[b];
+  });
+  index_valid_ = true;
+}
+
+Result<double> ColumnTable::AmountForId(int64_t id) const {
+  BuildIndexIfNeeded();
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), id,
+      [this](uint32_t row, int64_t key) { return id_[row] < key; });
+  if (it == index_.end() || id_[*it] != id) {
+    return Status::NotFound("no row with id " + std::to_string(id));
+  }
+  return amount_[*it];
+}
+
+ColumnTable MakeBenchmarkTable(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  ColumnTable table;
+  table.Reserve(rows);
+  for (size_t row = 0; row < rows; ++row) {
+    table.Append(static_cast<int64_t>(row) * 7 + 3,
+                 static_cast<int32_t>(rng.UniformInt(0, 15)),
+                 rng.LogNormalMedian(50.0, 1.0),
+                 static_cast<int32_t>(rng.UniformInt(1, 20)));
+  }
+  return table;
+}
+
+}  // namespace soccluster

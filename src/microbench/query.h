@@ -1,0 +1,58 @@
+// Query-engine kernel (the "SQLite Query" micro-benchmark category,
+// Table 2): an in-memory columnar table with filter, grouped aggregation,
+// and top-k ordering — the operator mix of Geekbench's SQLite workload,
+// implemented for real.
+
+#ifndef SRC_MICROBENCH_QUERY_H_
+#define SRC_MICROBENCH_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace soccluster {
+
+// A fixed-schema fact table: orders(id, region, amount, quantity).
+class ColumnTable {
+ public:
+  void Reserve(size_t rows);
+  void Append(int64_t id, int32_t region, double amount, int32_t quantity);
+  size_t NumRows() const { return id_.size(); }
+
+  // SELECT region, SUM(amount), COUNT(*) FROM t
+  //   WHERE amount BETWEEN lo AND hi AND quantity >= min_quantity
+  //   GROUP BY region ORDER BY SUM(amount) DESC LIMIT k;
+  struct GroupRow {
+    int32_t region = 0;
+    double total_amount = 0.0;
+    int64_t count = 0;
+  };
+  std::vector<GroupRow> FilterGroupTopK(double lo, double hi,
+                                        int32_t min_quantity, size_t k) const;
+
+  // SELECT COUNT(*) FROM t WHERE amount >= threshold; (scan microkernel)
+  int64_t CountAbove(double threshold) const;
+
+  // Point lookup by id over a sorted index (built lazily).
+  Result<double> AmountForId(int64_t id) const;
+
+ private:
+  void BuildIndexIfNeeded() const;
+
+  std::vector<int64_t> id_;
+  std::vector<int32_t> region_;
+  std::vector<double> amount_;
+  std::vector<int32_t> quantity_;
+  // Lazily built (row permutation sorted by id).
+  mutable std::vector<uint32_t> index_;
+  mutable bool index_valid_ = false;
+};
+
+// Deterministic synthetic fact table for benchmarking.
+ColumnTable MakeBenchmarkTable(size_t rows, uint64_t seed);
+
+}  // namespace soccluster
+
+#endif  // SRC_MICROBENCH_QUERY_H_

@@ -1,0 +1,148 @@
+#include "src/microbench/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+
+namespace soccluster {
+
+namespace {
+constexpr int kSubsamples = 4;  // Vertical supersampling for anti-aliasing.
+}
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height),
+      pixels_(static_cast<size_t>(width) * height, 0) {
+  SOC_CHECK_GT(width, 0);
+  SOC_CHECK_GT(height, 0);
+}
+
+uint8_t Framebuffer::At(int x, int y) const {
+  SOC_CHECK_GE(x, 0);
+  SOC_CHECK_LT(x, width_);
+  SOC_CHECK_GE(y, 0);
+  SOC_CHECK_LT(y, height_);
+  return pixels_[static_cast<size_t>(y) * width_ + x];
+}
+
+void Framebuffer::Clear() {
+  std::fill(pixels_.begin(), pixels_.end(), 0);
+}
+
+void Framebuffer::FillPolygon(const std::vector<RasterPoint>& polygon,
+                              uint8_t ink) {
+  if (polygon.size() < 3) {
+    return;
+  }
+  double min_y = polygon[0].y;
+  double max_y = polygon[0].y;
+  for (const RasterPoint& point : polygon) {
+    min_y = std::min(min_y, point.y);
+    max_y = std::max(max_y, point.y);
+  }
+  const int y_start = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y_end =
+      std::min(height_ - 1, static_cast<int>(std::ceil(max_y)));
+
+  std::vector<float> coverage(static_cast<size_t>(width_));
+  std::vector<double> crossings;
+  for (int y = y_start; y <= y_end; ++y) {
+    std::fill(coverage.begin(), coverage.end(), 0.0f);
+    for (int sub = 0; sub < kSubsamples; ++sub) {
+      const double sample_y =
+          y + (sub + 0.5) / static_cast<double>(kSubsamples);
+      crossings.clear();
+      for (size_t i = 0; i < polygon.size(); ++i) {
+        const RasterPoint& a = polygon[i];
+        const RasterPoint& b = polygon[(i + 1) % polygon.size()];
+        if ((a.y <= sample_y && b.y > sample_y) ||
+            (b.y <= sample_y && a.y > sample_y)) {
+          const double t = (sample_y - a.y) / (b.y - a.y);
+          crossings.push_back(a.x + t * (b.x - a.x));
+        }
+      }
+      std::sort(crossings.begin(), crossings.end());
+      // Even-odd spans with horizontal edge coverage.
+      for (size_t i = 0; i + 1 < crossings.size(); i += 2) {
+        const double x0 = std::max(0.0, crossings[i]);
+        const double x1 =
+            std::min(static_cast<double>(width_), crossings[i + 1]);
+        if (x1 <= x0) {
+          continue;
+        }
+        int px0 = static_cast<int>(std::floor(x0));
+        const int px1 = static_cast<int>(std::ceil(x1)) - 1;
+        for (int px = px0; px <= px1 && px < width_; ++px) {
+          const double left = std::max(x0, static_cast<double>(px));
+          const double right = std::min(x1, static_cast<double>(px + 1));
+          coverage[static_cast<size_t>(px)] +=
+              static_cast<float>(std::max(0.0, right - left) / kSubsamples);
+        }
+      }
+    }
+    uint8_t* row = &pixels_[static_cast<size_t>(y) * width_];
+    for (int x = 0; x < width_; ++x) {
+      const float alpha = std::min(1.0f, coverage[static_cast<size_t>(x)]);
+      if (alpha <= 0.0f) {
+        continue;
+      }
+      const float blended = row[x] * (1.0f - alpha) + ink * alpha;
+      row[x] = static_cast<uint8_t>(blended + 0.5f);
+    }
+  }
+}
+
+int64_t Framebuffer::InkSum() const {
+  int64_t sum = 0;
+  for (uint8_t pixel : pixels_) {
+    sum += pixel;
+  }
+  return sum;
+}
+
+int RenderBenchmarkPage(Framebuffer* framebuffer, uint64_t seed) {
+  SOC_CHECK(framebuffer != nullptr);
+  Rng rng(seed);
+  framebuffer->Clear();
+  const double width = framebuffer->width();
+  const double height = framebuffer->height();
+  int polygons = 0;
+
+  // "Glyph" rows: small skewed quads, like justified text.
+  for (double y = height * 0.08; y < height * 0.7; y += height * 0.035) {
+    for (double x = width * 0.08; x < width * 0.9;) {
+      const double glyph_width = rng.Uniform(3.0, 9.0);
+      const double glyph_height = rng.Uniform(6.0, 11.0);
+      const double skew = rng.Uniform(-1.5, 1.5);
+      framebuffer->FillPolygon(
+          {{x + skew, y}, {x + glyph_width + skew, y},
+           {x + glyph_width, y + glyph_height}, {x, y + glyph_height}},
+          200);
+      ++polygons;
+      x += glyph_width + rng.Uniform(1.0, 3.0);
+    }
+  }
+  // Horizontal rules.
+  for (double y : {height * 0.05, height * 0.72}) {
+    framebuffer->FillPolygon({{width * 0.06, y}, {width * 0.94, y},
+                              {width * 0.94, y + 1.5}, {width * 0.06, y + 1.5}},
+                             255);
+    ++polygons;
+  }
+  // A "figure": concentric triangles.
+  const double cx = width * 0.5;
+  const double cy = height * 0.86;
+  for (int ring = 0; ring < 8; ++ring) {
+    const double r = height * 0.015 * (8 - ring);
+    framebuffer->FillPolygon({{cx, cy - r},
+                              {cx + r * 0.87, cy + r * 0.5},
+                              {cx - r * 0.87, cy + r * 0.5}},
+                             static_cast<uint8_t>(90 + ring * 20));
+    ++polygons;
+  }
+  return polygons;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,49 @@
+// Rasterization kernel (the "PDF Render" micro-benchmark category,
+// Table 2): scan-line polygon fill with anti-aliased coverage and alpha
+// blending into an 8-bit framebuffer — the inner loop a PDF renderer
+// spends its time in, implemented for real.
+
+#ifndef SRC_MICROBENCH_RASTER_H_
+#define SRC_MICROBENCH_RASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace soccluster {
+
+struct RasterPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// A grayscale framebuffer (0 = white page, 255 = full ink).
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  uint8_t At(int x, int y) const;
+  void Clear();
+
+  // Fills a simple polygon (even-odd rule) with `ink` in [0,255], alpha-
+  // blended over existing content with per-pixel edge coverage.
+  void FillPolygon(const std::vector<RasterPoint>& polygon, uint8_t ink);
+
+  // Total ink on the page (sum of pixel values) — a content checksum.
+  int64_t InkSum() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<uint8_t> pixels_;
+};
+
+// Renders one synthetic "page" (rows of glyph-like quads plus rules and a
+// figure) into the framebuffer; returns polygons drawn. Deterministic in
+// `seed`, so every platform rasterizes identical pages.
+int RenderBenchmarkPage(Framebuffer* framebuffer, uint64_t seed);
+
+}  // namespace soccluster
+
+#endif  // SRC_MICROBENCH_RASTER_H_

@@ -1,0 +1,101 @@
+#include "src/microbench/suite.h"
+
+#include <chrono>
+
+#include "src/base/log.h"
+#include "src/microbench/lz.h"
+#include "src/microbench/query.h"
+#include "src/microbench/raster.h"
+
+namespace soccluster {
+
+namespace {
+
+Duration WallSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return Duration::Nanos(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace
+
+HostMicrobenchSuite::HostMicrobenchSuite(int scale) : scale_(scale) {
+  SOC_CHECK_GE(scale_, 1);
+}
+
+KernelResult HostMicrobenchSuite::RunTextCompress() const {
+  const std::string text = MakeBenchmarkText(1 << 20, 42);  // 1 MiB.
+  const auto start = std::chrono::steady_clock::now();
+  size_t compressed_bytes = 0;
+  std::string check;
+  for (int round = 0; round < scale_; ++round) {
+    const std::vector<uint8_t> compressed = LzCodec::Compress(text);
+    compressed_bytes += compressed.size();
+    Result<std::string> restored = LzCodec::Decompress(compressed);
+    SOC_CHECK(restored.ok()) << restored.status().ToString();
+    check = std::move(restored).value();
+  }
+  const Duration wall = WallSince(start);
+  SOC_CHECK_EQ(check.size(), text.size());
+  KernelResult result;
+  result.name = "Text Compress";
+  result.unit = "MB/s (compress+decompress)";
+  result.ops_per_second =
+      text.size() * static_cast<double>(scale_) / 1e6 / wall.ToSeconds();
+  result.checksum = static_cast<double>(compressed_bytes) / scale_;
+  result.wall_time = wall;
+  return result;
+}
+
+KernelResult HostMicrobenchSuite::RunSqliteQuery() const {
+  const ColumnTable table = MakeBenchmarkTable(200000, 7);
+  const auto start = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  int64_t queries = 0;
+  for (int round = 0; round < scale_ * 20; ++round) {
+    const auto groups =
+        table.FilterGroupTopK(20.0, 400.0, 3 + round % 5, 8);
+    for (const auto& group : groups) {
+      checksum += group.total_amount;
+    }
+    checksum += static_cast<double>(table.CountAbove(100.0 + round));
+    const Result<double> amount = table.AmountForId(3 + 7 * (round % 1000));
+    SOC_CHECK(amount.ok());
+    checksum += *amount;
+    ++queries;
+  }
+  const Duration wall = WallSince(start);
+  KernelResult result;
+  result.name = "SQLite Query";
+  result.unit = "query-batches/s";
+  result.ops_per_second = static_cast<double>(queries) / wall.ToSeconds();
+  result.checksum = checksum;
+  result.wall_time = wall;
+  return result;
+}
+
+KernelResult HostMicrobenchSuite::RunPdfRender() const {
+  Framebuffer framebuffer(612, 792);  // US Letter at 72 dpi.
+  const auto start = std::chrono::steady_clock::now();
+  int64_t pages = 0;
+  int64_t ink = 0;
+  for (int round = 0; round < scale_ * 4; ++round) {
+    RenderBenchmarkPage(&framebuffer, static_cast<uint64_t>(round));
+    ink += framebuffer.InkSum();
+    ++pages;
+  }
+  const Duration wall = WallSince(start);
+  KernelResult result;
+  result.name = "PDF Render";
+  result.unit = "pages/s";
+  result.ops_per_second = static_cast<double>(pages) / wall.ToSeconds();
+  result.checksum = static_cast<double>(ink) / pages;
+  result.wall_time = wall;
+  return result;
+}
+
+std::vector<KernelResult> HostMicrobenchSuite::RunAll() const {
+  return {RunTextCompress(), RunSqliteQuery(), RunPdfRender()};
+}
+
+}  // namespace soccluster

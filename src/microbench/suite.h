@@ -1,0 +1,43 @@
+// Host micro-benchmark runner: executes the real kernels (LZ compression,
+// columnar query, polygon rasterization) on the machine running the
+// simulator and reports throughput. Companion to the Table 2 score model:
+// the model carries the paper's cross-platform anchors, the suite is the
+// actual implementation of the categories, runnable anywhere this library
+// compiles (including an actual SoC).
+
+#ifndef SRC_MICROBENCH_SUITE_H_
+#define SRC_MICROBENCH_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace soccluster {
+
+struct KernelResult {
+  std::string name;
+  double ops_per_second = 0.0;  // Category-specific unit, see `unit`.
+  std::string unit;
+  double checksum = 0.0;  // Guards against dead-code elimination + drift.
+  Duration wall_time;
+};
+
+class HostMicrobenchSuite {
+ public:
+  // Workload sizes scale with `scale` (1 = quick CI run, 10+ = stable
+  // measurements).
+  explicit HostMicrobenchSuite(int scale = 1);
+
+  KernelResult RunTextCompress() const;
+  KernelResult RunSqliteQuery() const;
+  KernelResult RunPdfRender() const;
+  std::vector<KernelResult> RunAll() const;
+
+ private:
+  int scale_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_MICROBENCH_SUITE_H_

@@ -1,0 +1,136 @@
+// Fluid-flow network model with max-min fair bandwidth sharing.
+//
+// Nodes are connected by directed links with fixed capacity. Bulk transfers
+// ("flows") receive max-min fair rates, recomputed on every flow arrival and
+// departure (progressive filling with per-flow rate caps, which models both
+// TCP sharing and application-limited senders). Constant-rate loads (live
+// video streams, gaming sessions) occupy capacity without adapting.
+//
+// This reproduces TCP behaviour at the >=100 ms timescales the paper
+// measures, and is exact for the bulk-transfer phases of collaborative
+// inference (§5.3).
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/stats.h"
+#include "src/base/units.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+using NetNodeId = int;
+using LinkId = int;
+using FlowId = int64_t;
+
+class Network {
+ public:
+  // `rtt` is the base round-trip time between any two nodes (the cluster
+  // fabric measures ~0.44 ms SoC-to-SoC, §2.3).
+  Network(Simulator* sim, Duration rtt);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Topology (build once, before starting traffic) ---
+  NetNodeId AddNode(std::string name);
+  // Adds a pair of directed links (one per direction), each with `capacity`.
+  // Returns the id of the forward link; the reverse link is id+1.
+  LinkId AddBidirectionalLink(NetNodeId a, NetNodeId b, DataRate capacity);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  Duration rtt() const { return rtt_; }
+  const std::string& node_name(NetNodeId node) const;
+
+  // --- Bulk flows (max-min fair) ---
+  // Starts a transfer of `size` from src to dst. `rate_cap` bounds the
+  // flow's rate (use DataRate::Zero() for uncapped). `on_complete` fires
+  // when the last byte is delivered. Fails if no route exists.
+  Result<FlowId> StartFlow(NetNodeId src, NetNodeId dst, DataSize size,
+                           DataRate rate_cap,
+                           std::function<void()> on_complete);
+  // Current fair-share rate of an active flow.
+  Result<DataRate> FlowRate(FlowId flow) const;
+  // The links an active flow traverses (in order).
+  Result<std::vector<LinkId>> FlowPath(FlowId flow) const;
+  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Convenience: a request/response-style message — one RTT of latency plus
+  // the bulk transfer time.
+  Result<FlowId> SendMessage(NetNodeId src, NetNodeId dst, DataSize size,
+                             std::function<void()> on_complete);
+
+  // --- Constant-rate loads (non-adaptive traffic) ---
+  // Reserves `rate` along the path; reduces capacity seen by flows. The
+  // load may oversubscribe a link (the model records utilization > 100%
+  // rather than failing, matching the paper's Table 3 analysis).
+  Result<int64_t> AddConstantLoad(NetNodeId src, NetNodeId dst, DataRate rate);
+  Status RemoveConstantLoad(int64_t load_id);
+
+  // --- Introspection ---
+  // Instantaneous offered rate on a link (flows + constant loads).
+  DataRate LinkOfferedRate(LinkId link) const;
+  DataRate LinkCapacity(LinkId link) const;
+  // Offered / capacity; may exceed 1.0 under constant-load oversubscription.
+  double LinkUtilization(LinkId link) const;
+  // Time-weighted mean utilization since simulation start.
+  double LinkMeanUtilization(LinkId link);
+
+  // Measured-goodput model: effective bulk rate cap for a protocol over a
+  // raw link rate (§2.3: TCP reaches ~903 Mbps over 1GE).
+  static DataRate TcpGoodput(DataRate raw) { return raw * 0.903; }
+  static DataRate UdpGoodput(DataRate raw) { return raw * 0.895; }
+
+ private:
+  struct LinkState {
+    NetNodeId from = 0;
+    NetNodeId to = 0;
+    DataRate capacity;
+    DataRate constant_load;
+    std::vector<FlowId> active_flows;
+    TimeWeightedStat utilization;
+  };
+  struct FlowState {
+    std::vector<LinkId> path;
+    double bits_remaining = 0.0;
+    DataRate rate;
+    DataRate cap;
+    SimTime last_update;
+    std::function<void()> on_complete;
+    EventHandle completion;
+  };
+  struct ConstantLoad {
+    std::vector<LinkId> path;
+    DataRate rate;
+  };
+
+  // BFS over links; cached per (src, dst).
+  Result<std::vector<LinkId>> Route(NetNodeId src, NetNodeId dst);
+  // Advances every active flow's bits_remaining to now, recomputes max-min
+  // fair rates, and reschedules completion events.
+  void Reallocate();
+  void CompleteFlow(FlowId flow);
+  void UpdateLinkMeters();
+
+  Simulator* sim_;
+  Duration rtt_;
+  std::vector<std::string> nodes_;
+  std::vector<LinkState> links_;
+  std::vector<std::vector<LinkId>> out_links_;  // Per node.
+  std::map<FlowId, FlowState> flows_;
+  std::map<int64_t, ConstantLoad> constant_loads_;
+  std::map<std::pair<NetNodeId, NetNodeId>, std::vector<LinkId>> route_cache_;
+  FlowId next_flow_id_ = 1;
+  int64_t next_load_id_ = 1;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,143 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
+  SOC_CHECK_GE(t.nanos(), now_.nanos()) << "scheduling into the past";
+  SOC_CHECK(cb != nullptr);
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, seq, std::move(cb)});
+  return EventHandle(seq);
+}
+
+EventHandle Simulator::ScheduleAfter(Duration d, Callback cb) {
+  SOC_CHECK(!d.IsNegative()) << "negative delay";
+  return ScheduleAt(now_ + d, std::move(cb));
+}
+
+bool Simulator::Cancel(EventHandle handle) {
+  if (!handle.valid()) {
+    return false;
+  }
+  // Lazy cancellation: the event stays in the heap and is skipped when
+  // popped. The cancelled set is pruned at that point.
+  if (handle.id() >= next_seq_) {
+    return false;
+  }
+  return cancelled_.insert(handle.id()).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    now_ = ev.time;
+    ++events_processed_;
+    ev.callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+Status Simulator::RunUntil(SimTime t) {
+  if (t < now_) {
+    return Status::InvalidArgument("RunUntil target is in the past");
+  }
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = t;
+  return Status::Ok();
+}
+
+Status Simulator::RunFor(Duration d) { return RunUntil(now_ + d); }
+
+PeriodicTask::PeriodicTask(Simulator* sim, Duration period,
+                           Simulator::Callback cb)
+    : sim_(sim), period_(period), callback_(std::move(cb)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK_GT(period_.nanos(), 0);
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Arm();
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_->Cancel(pending_);
+  pending_ = EventHandle();
+}
+
+void PeriodicTask::Arm() {
+  pending_ = sim_->ScheduleAfter(period_, [this] {
+    if (!running_) {
+      return;
+    }
+    // Re-arm before running the callback so the callback may Stop() us.
+    Arm();
+    callback_();
+  });
+}
+
+Resource::Resource(Simulator* sim, int64_t capacity)
+    : sim_(sim), capacity_(capacity) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK_GT(capacity_, 0);
+}
+
+void Resource::Acquire(Simulator::Callback on_grant) {
+  SOC_CHECK(on_grant != nullptr);
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    on_grant();
+    return;
+  }
+  waiters_.push(std::move(on_grant));
+}
+
+void Resource::Release() {
+  SOC_CHECK_GT(in_use_, 0) << "Release without matching Acquire";
+  if (!waiters_.empty()) {
+    Simulator::Callback next = std::move(waiters_.front());
+    waiters_.pop();
+    // Hand the unit straight to the next waiter; in_use_ is unchanged.
+    next();
+    return;
+  }
+  --in_use_;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,141 @@
+// Discrete-event simulation core.
+//
+// Single-threaded, callback-driven, deterministic: events at equal timestamps
+// fire in the order they were scheduled (FIFO tie-break on a monotonically
+// increasing sequence number), so a given seed always produces identical runs.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace soccluster {
+
+// Identifies a scheduled event for cancellation. Default-constructed handles
+// are invalid.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+// The event loop. Owns simulated time and a deterministic RNG.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` to run at absolute time `t` (must be >= Now()).
+  EventHandle ScheduleAt(SimTime t, Callback cb);
+  // Schedules `cb` to run `d` from now (d must be >= 0).
+  EventHandle ScheduleAfter(Duration d, Callback cb);
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // yet fired. Cancelling an already-fired or invalid handle is a no-op.
+  bool Cancel(EventHandle handle);
+
+  // Runs until the event queue is empty.
+  void Run();
+  // Processes all events with time <= `t`, then advances the clock to `t`.
+  // Fails if `t` is in the past.
+  Status RunUntil(SimTime t);
+  // Convenience: RunUntil(Now() + d).
+  Status RunFor(Duration d);
+  // Executes exactly one event if any is pending; returns false when idle.
+  bool Step();
+
+  int64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    uint64_t id;
+    Callback callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 1;
+  int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+  Rng rng_;
+};
+
+// Re-runs a callback on a fixed period until stopped. The callback fires
+// first at `start + period`.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, Duration period, Simulator::Callback cb);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Arm();
+
+  Simulator* sim_;
+  Duration period_;
+  Simulator::Callback callback_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+// A counted resource with FIFO waiters (e.g. hardware codec sessions).
+// Grant callbacks run inline from Acquire()/Release() when capacity allows.
+class Resource {
+ public:
+  Resource(Simulator* sim, int64_t capacity);
+
+  // Requests one unit; `on_grant` runs when a unit is assigned (possibly
+  // immediately). Callers must balance each grant with Release().
+  void Acquire(Simulator::Callback on_grant);
+  void Release();
+
+  int64_t capacity() const { return capacity_; }
+  int64_t in_use() const { return in_use_; }
+  int64_t queue_length() const { return static_cast<int64_t>(waiters_.size()); }
+
+ private:
+  Simulator* sim_;
+  int64_t capacity_;
+  int64_t in_use_ = 0;
+  std::queue<Simulator::Callback> waiters_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_SIM_SIMULATOR_H_

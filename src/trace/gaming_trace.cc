@@ -1,0 +1,125 @@
+#include "src/trace/gaming_trace.h"
+
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+GamingWorkload::GamingWorkload(Simulator* sim, SocCluster* cluster,
+                               GamingWorkloadConfig config)
+    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+}
+
+double GamingWorkload::ArrivalRate(SimTime t) const {
+  // Diurnal curve: a raised cosine peaking at `peak_hour` with a sharpened
+  // evening shoulder, floored at the overnight trough.
+  const double hour = std::fmod(t.ToHours(), 24.0);
+  const double phase = (hour - config_.peak_hour) / 24.0 * 2.0 * M_PI;
+  const double base = 0.5 * (1.0 + std::cos(phase));
+  const double shaped = std::pow(base, 2.2);  // Sharpen the peak.
+  const double fraction =
+      config_.trough_fraction + (1.0 - config_.trough_fraction) * shaped;
+  return config_.peak_arrivals_per_hour * fraction;
+}
+
+void GamingWorkload::Start(Duration horizon) {
+  ScheduleNextArrival(sim_->Now() + horizon);
+}
+
+void GamingWorkload::ScheduleNextArrival(SimTime horizon_end) {
+  // Thinning: propose with the peak rate, accept with rate(t)/peak.
+  SimTime t = sim_->Now();
+  const double peak_per_s = config_.peak_arrivals_per_hour / 3600.0;
+  while (true) {
+    t = t + Duration::SecondsF(rng_.Exponential(peak_per_s));
+    if (t > horizon_end) {
+      return;
+    }
+    if (rng_.NextDouble() <
+        ArrivalRate(t) / config_.peak_arrivals_per_hour) {
+      break;
+    }
+  }
+  sim_->ScheduleAt(t, [this, horizon_end] {
+    StartSession();
+    ScheduleNextArrival(horizon_end);
+  });
+}
+
+int GamingWorkload::PickSoc() const {
+  int best = -1;
+  int best_count = config_.max_sessions_per_soc;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    if (!cluster_->soc(i).IsUsable()) {
+      continue;
+    }
+    const auto it = sessions_per_soc_.find(i);
+    const int count = it == sessions_per_soc_.end() ? 0 : it->second;
+    if (count < best_count) {
+      best_count = count;
+      best = i;
+      if (count == 0) {
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void GamingWorkload::StartSession() {
+  const int soc_index = PickSoc();
+  if (soc_index < 0) {
+    ++rejected_;
+    return;
+  }
+  SocModel& soc = cluster_->soc(soc_index);
+  const Status status = soc.AddCpuUtil(config_.cpu_util_per_session);
+  if (!status.ok()) {
+    ++rejected_;
+    return;
+  }
+  Network& net = cluster_->network();
+  Result<int64_t> outbound = net.AddConstantLoad(
+      cluster_->soc_node(soc_index), cluster_->external_node(),
+      config_.outbound_per_session);
+  SOC_CHECK(outbound.ok()) << outbound.status().ToString();
+  Result<int64_t> inbound = net.AddConstantLoad(
+      cluster_->external_node(), cluster_->soc_node(soc_index),
+      config_.inbound_per_session);
+  SOC_CHECK(inbound.ok()) << inbound.status().ToString();
+
+  const int64_t id = next_id_++;
+  sessions_.emplace(id, Session{soc_index, *outbound, *inbound});
+  ++sessions_per_soc_[soc_index];
+  ++started_;
+
+  const double median_s = config_.median_session.ToSeconds();
+  const Duration length = Duration::SecondsF(
+      rng_.LogNormalMedian(median_s, config_.session_sigma));
+  sim_->ScheduleAfter(length, [this, id] { EndSession(id); });
+}
+
+void GamingWorkload::EndSession(int64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  const Session& session = it->second;
+  SocModel& soc = cluster_->soc(session.soc_index);
+  if (soc.IsUsable()) {
+    const Status status = soc.AddCpuUtil(-config_.cpu_util_per_session);
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  Network& net = cluster_->network();
+  Status status = net.RemoveConstantLoad(session.outbound_load);
+  SOC_CHECK(status.ok()) << status.ToString();
+  status = net.RemoveConstantLoad(session.inbound_load);
+  SOC_CHECK(status.ok()) << status.ToString();
+  --sessions_per_soc_[session.soc_index];
+  sessions_.erase(it);
+}
+
+}  // namespace soccluster

@@ -1,0 +1,84 @@
+// Cloud-gaming workload generator for the in-the-wild trace analysis
+// (§2.3, Figure 5): the deployed SoC Clusters mainly serve native mobile
+// game sessions whose arrival rate follows a strong diurnal pattern, giving
+// outbound-traffic peak/trough ratios of up to ~25x and overall resource
+// usage below 20%.
+//
+// Sessions arrive as a non-homogeneous Poisson process (thinning method),
+// occupy a SoC slot (up to two sessions per SoC), stream game video out of
+// the cluster, and leave after a log-normal session length.
+
+#ifndef SRC_TRACE_GAMING_TRACE_H_
+#define SRC_TRACE_GAMING_TRACE_H_
+
+#include <map>
+#include <memory>
+
+#include "src/base/result.h"
+#include "src/cluster/cluster.h"
+
+namespace soccluster {
+
+struct GamingWorkloadConfig {
+  // Peak arrival rate (sessions per hour) at the evening maximum.
+  double peak_arrivals_per_hour = 220.0;
+  // Overnight floor as a fraction of the peak (sets the ~25x traffic swing
+  // together with session-count dynamics).
+  double trough_fraction = 0.08;
+  // Hour of local time with peak demand.
+  double peak_hour = 21.0;
+  // Median session length and log-space sigma.
+  Duration median_session = Duration::Minutes(28);
+  double session_sigma = 0.8;
+  // Per-session streaming rates (720p60 game video plus control inbound).
+  DataRate outbound_per_session = DataRate::Mbps(15.0);
+  DataRate inbound_per_session = DataRate::Kbps(300.0);
+  // Per-session SoC demands: game render/encode pipeline.
+  double cpu_util_per_session = 0.34;
+  int max_sessions_per_soc = 2;
+  uint64_t seed = 7;
+};
+
+class GamingWorkload {
+ public:
+  GamingWorkload(Simulator* sim, SocCluster* cluster,
+                 GamingWorkloadConfig config);
+  GamingWorkload(const GamingWorkload&) = delete;
+  GamingWorkload& operator=(const GamingWorkload&) = delete;
+
+  // Generates arrivals over [now, now + horizon).
+  void Start(Duration horizon);
+
+  // Instantaneous arrival rate (sessions/hour) at simulated time `t`.
+  double ArrivalRate(SimTime t) const;
+
+  int active_sessions() const { return static_cast<int>(sessions_.size()); }
+  int64_t sessions_started() const { return started_; }
+  int64_t sessions_rejected() const { return rejected_; }
+
+ private:
+  struct Session {
+    int soc_index;
+    int64_t outbound_load;
+    int64_t inbound_load;
+  };
+
+  void ScheduleNextArrival(SimTime horizon_end);
+  void StartSession();
+  void EndSession(int64_t id);
+  int PickSoc() const;
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  GamingWorkloadConfig config_;
+  Rng rng_;
+  std::map<int64_t, Session> sessions_;
+  std::map<int, int> sessions_per_soc_;
+  int64_t next_id_ = 1;
+  int64_t started_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_TRACE_GAMING_TRACE_H_

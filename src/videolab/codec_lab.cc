@@ -1,0 +1,214 @@
+#include "src/videolab/codec_lab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+namespace {
+
+constexpr int kBlock = 8;
+
+// Precomputed DCT-II basis for 8-point transforms.
+struct DctBasis {
+  double c[kBlock][kBlock];
+  DctBasis() {
+    for (int k = 0; k < kBlock; ++k) {
+      const double scale = k == 0 ? std::sqrt(1.0 / kBlock)
+                                  : std::sqrt(2.0 / kBlock);
+      for (int n = 0; n < kBlock; ++n) {
+        c[k][n] = scale * std::cos(M_PI * (n + 0.5) * k / kBlock);
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+void ForwardDct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  const DctBasis& basis = Basis();
+  double tmp[kBlock][kBlock];
+  for (int y = 0; y < kBlock; ++y) {
+    for (int k = 0; k < kBlock; ++k) {
+      double acc = 0.0;
+      for (int x = 0; x < kBlock; ++x) {
+        acc += in[y][x] * basis.c[k][x];
+      }
+      tmp[y][k] = acc;
+    }
+  }
+  for (int k = 0; k < kBlock; ++k) {
+    for (int j = 0; j < kBlock; ++j) {
+      double acc = 0.0;
+      for (int y = 0; y < kBlock; ++y) {
+        acc += tmp[y][k] * basis.c[j][y];
+      }
+      out[j][k] = acc;
+    }
+  }
+}
+
+void InverseDct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  const DctBasis& basis = Basis();
+  double tmp[kBlock][kBlock];
+  for (int j = 0; j < kBlock; ++j) {
+    for (int x = 0; x < kBlock; ++x) {
+      double acc = 0.0;
+      for (int k = 0; k < kBlock; ++k) {
+        acc += in[j][k] * basis.c[k][x];
+      }
+      tmp[j][x] = acc;
+    }
+  }
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      double acc = 0.0;
+      for (int j = 0; j < kBlock; ++j) {
+        acc += tmp[j][x] * basis.c[j][y];
+      }
+      out[y][x] = acc;
+    }
+  }
+}
+
+// Frequency-dependent quantizer weight (JPEG-style ramp).
+double QWeight(int j, int k) { return 1.0 + 0.28 * (j + k); }
+
+uint64_t HashCoord(uint64_t seed, int64_t x, int64_t y) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(x) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+Frame::Frame(int width, int height)
+    : width_(width), height_(height),
+      pixels_(static_cast<size_t>(width) * height, 128) {
+  SOC_CHECK_GT(width, 0);
+  SOC_CHECK_GT(height, 0);
+}
+
+double PsnrDb(const Frame& reference, const Frame& other) {
+  SOC_CHECK_EQ(reference.width(), other.width());
+  SOC_CHECK_EQ(reference.height(), other.height());
+  double mse = 0.0;
+  for (int y = 0; y < reference.height(); ++y) {
+    for (int x = 0; x < reference.width(); ++x) {
+      const double diff = static_cast<double>(reference.At(x, y)) -
+                          static_cast<double>(other.At(x, y));
+      mse += diff * diff;
+    }
+  }
+  mse /= static_cast<double>(reference.width()) * reference.height();
+  if (mse < 1e-9) {
+    return 99.0;
+  }
+  return 20.0 * std::log10(255.0 / std::sqrt(mse));
+}
+
+SceneGenerator::SceneGenerator(int width, int height, double complexity,
+                               uint64_t seed)
+    : width_(width), height_(height),
+      complexity_(std::clamp(complexity, 0.0, 1.0)), seed_(seed) {
+  SOC_CHECK_GT(width, 0);
+  SOC_CHECK_GT(height, 0);
+}
+
+Frame SceneGenerator::Render(int t) const {
+  Frame frame(width_, height_);
+  // Texture octaves grow in frequency and amplitude with complexity; the
+  // whole field pans with t at a complexity-scaled velocity.
+  const double motion = 0.5 + 6.0 * complexity_;
+  const double dx = t * motion;
+  const double fine_amp = 38.0 * complexity_;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const double u = x + dx;
+      double value = 128.0 + 34.0 * std::sin(u * 0.018 + y * 0.013) +
+                     18.0 * std::sin(u * 0.061 - y * 0.047 + t * 0.11);
+      // High-frequency detail: hash noise over a complexity-scaled grid.
+      if (complexity_ > 0.0) {
+        const int64_t cell_x = static_cast<int64_t>(std::floor(u / 2.0));
+        const int64_t cell_y = y / 2;
+        const uint64_t hash = HashCoord(seed_, cell_x, cell_y);
+        value += fine_amp * ((hash >> 16 & 0xffff) / 65535.0 - 0.5) * 2.0;
+        value += 9.0 * complexity_ * std::sin(u * 0.71 + y * 0.53);
+      }
+      frame.Set(x, y, static_cast<uint8_t>(std::clamp(value, 0.0, 255.0)));
+    }
+  }
+  return frame;
+}
+
+EncodedFrame DctCodec::Encode(const Frame& frame, double q) {
+  SOC_CHECK_GE(q, 0.25);
+  Frame reconstruction(frame.width(), frame.height());
+  double bits = 0.0;
+  for (int by = 0; by + kBlock <= frame.height(); by += kBlock) {
+    for (int bx = 0; bx + kBlock <= frame.width(); bx += kBlock) {
+      double block[kBlock][kBlock];
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          block[y][x] = static_cast<double>(frame.At(bx + x, by + y)) - 128.0;
+        }
+      }
+      double coefficients[kBlock][kBlock];
+      ForwardDct(block, coefficients);
+      // Quantize, estimate entropy-coded size, dequantize.
+      double quantized[kBlock][kBlock];
+      bits += 4.0;  // Block header / EOB.
+      for (int j = 0; j < kBlock; ++j) {
+        for (int k = 0; k < kBlock; ++k) {
+          const double step = q * QWeight(j, k);
+          const double level = std::round(coefficients[j][k] / step);
+          quantized[j][k] = level * step;
+          if (level != 0.0) {
+            // Size/run token: ~2 bits overhead + magnitude bits.
+            bits += 2.0 + 2.0 * std::log2(1.0 + std::fabs(level));
+          }
+        }
+      }
+      double restored[kBlock][kBlock];
+      InverseDct(quantized, restored);
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          reconstruction.Set(
+              bx + x, by + y,
+              static_cast<uint8_t>(
+                  std::clamp(restored[y][x] + 128.0, 0.0, 255.0)));
+        }
+      }
+    }
+  }
+  return {DataSize::Bits(static_cast<int64_t>(bits)),
+          std::move(reconstruction)};
+}
+
+EncodedFrame DctCodec::EncodeAtBitrate(const Frame& frame, DataSize budget) {
+  SOC_CHECK_GT(budget.bits(), 0);
+  double lo = 0.25;
+  double hi = 256.0;
+  EncodedFrame best = Encode(frame, hi);
+  for (int iter = 0; iter < 16; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    EncodedFrame attempt = Encode(frame, mid);
+    if (attempt.size.bits() <= budget.bits()) {
+      best = std::move(attempt);
+      hi = mid;  // Under budget: refine toward finer quantization.
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,172 @@
+#include "src/workload/dl/collab.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/net/network.h"
+
+namespace soccluster {
+
+CollabConfig DefaultCollabConfig(DnnModel model) {
+  CollabConfig config;
+  config.model = model;
+  switch (model) {
+    case DnnModel::kResNet50:
+      config.single_soc_compute = Duration::MillisF(80.0);  // §5.3 anchor.
+      break;
+    case DnnModel::kResNet152:
+      config.single_soc_compute = Duration::MillisF(258.0);
+      break;
+    case DnnModel::kYoloV5x:
+      config.single_soc_compute = Duration::MillisF(1100.0);
+      break;
+    case DnnModel::kBertBase:
+      SOC_CHECK(false) << "BERT does not width-partition (§5.3)";
+      break;
+  }
+  return config;
+}
+
+CollaborativeInference::CollaborativeInference(Simulator* sim,
+                                               SocCluster* cluster,
+                                               CollabConfig config,
+                                               int num_socs, bool pipelined)
+    : sim_(sim), cluster_(cluster), config_(config), num_socs_(num_socs),
+      pipelined_(pipelined), spec_(&GetDnnModel(config.model)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GE(num_socs_, 1);
+  SOC_CHECK_LE(num_socs_, cluster_->num_socs());
+  SOC_CHECK(!spec_->blocks.empty())
+      << spec_->name << " has no partitionable blocks";
+}
+
+Duration CollaborativeInference::TotalCompute() const {
+  const double n = static_cast<double>(num_socs_);
+  const double scale =
+      1.0 / n + config_.partition_overhead * (n - 1.0) / n;
+  return config_.single_soc_compute * scale;
+}
+
+Duration CollaborativeInference::BlockCompute(int block_index) const {
+  SOC_CHECK_GE(block_index, 0);
+  SOC_CHECK_LT(block_index, static_cast<int>(spec_->blocks.size()));
+  const double share =
+      spec_->blocks[static_cast<size_t>(block_index)].gflops / spec_->gflops;
+  return TotalCompute() * share;
+}
+
+void CollaborativeInference::Run(DoneCallback done) {
+  SOC_CHECK(done_ == nullptr) << "a run is already in progress";
+  done_ = std::move(done);
+  run_start_ = sim_->Now();
+  compute_accum_ = Duration::Zero();
+  current_block_ = 0;
+  prev_exchange_in_flight_ = false;
+  waiting_on_prev_exchange_ = false;
+  for (int i = 0; i < num_socs_; ++i) {
+    SOC_CHECK(cluster_->soc(i).IsUsable()) << "SoC " << i << " not usable";
+    const Status status = cluster_->soc(i).SetCpuUtil(1.0);
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  StartBlock(0);
+}
+
+void CollaborativeInference::StartBlock(size_t block_index) {
+  current_block_ = block_index;
+  sim_->ScheduleAfter(BlockCompute(static_cast<int>(block_index)),
+                      [this, block_index] { BlockComputeDone(block_index); });
+}
+
+void CollaborativeInference::BlockComputeDone(size_t block_index) {
+  compute_accum_ += BlockCompute(static_cast<int>(block_index));
+  // The next block needs this block's halos; in pipelined mode the previous
+  // exchange may still be draining the NICs.
+  if (pipelined_ && prev_exchange_in_flight_) {
+    waiting_on_prev_exchange_ = true;
+    return;
+  }
+  ExchangeDone(block_index);  // Directly proceed to this block's exchange.
+}
+
+void CollaborativeInference::ExchangeDone(size_t block_index) {
+  // Reached when the pipeline is clear to handle `block_index`'s boundary.
+  if (block_index + 1 >= spec_->blocks.size() || num_socs_ == 1) {
+    if (block_index + 1 >= spec_->blocks.size()) {
+      Finish();
+      return;
+    }
+    StartBlock(block_index + 1);
+    return;
+  }
+  // Blocking handshake: tensor pack/unpack plus one RTT.
+  const Duration handshake =
+      config_.serialize_cost + cluster_->network().rtt();
+  sim_->ScheduleAfter(handshake, [this, block_index] {
+    LaunchExchange(block_index, [this, block_index] {
+      prev_exchange_in_flight_ = false;
+      if (!pipelined_) {
+        StartBlock(block_index + 1);
+        return;
+      }
+      if (waiting_on_prev_exchange_) {
+        waiting_on_prev_exchange_ = false;
+        ExchangeDone(current_block_);
+      }
+    });
+    prev_exchange_in_flight_ = true;
+    if (pipelined_) {
+      StartBlock(block_index + 1);
+    }
+  });
+}
+
+void CollaborativeInference::LaunchExchange(size_t block_index,
+                                            std::function<void()> on_all_done) {
+  const DnnBlock& block = spec_->blocks[block_index];
+  const DataSize halo = block.HaloBytes(config_.precision);
+  Network& net = cluster_->network();
+  // TCP goodput over whatever NIC this cluster generation ships.
+  const DataRate cap = Network::TcpGoodput(cluster_->soc(0).spec().nic);
+
+  auto remaining = std::make_shared<int>(0);
+  auto all_done = std::make_shared<std::function<void()>>(std::move(on_all_done));
+  auto flow_done = [remaining, all_done] {
+    if (--*remaining == 0) {
+      (*all_done)();
+    }
+  };
+  // Width partition: a chain of SoCs, each exchanging boundary columns with
+  // its neighbours (both directions per adjacent pair).
+  for (int i = 0; i + 1 < num_socs_; ++i) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const NetNodeId src = cluster_->soc_node(dir == 0 ? i : i + 1);
+      const NetNodeId dst = cluster_->soc_node(dir == 0 ? i + 1 : i);
+      ++*remaining;
+      Result<FlowId> flow = net.StartFlow(src, dst, halo, cap, flow_done);
+      SOC_CHECK(flow.ok()) << flow.status().ToString();
+    }
+  }
+  SOC_CHECK_GT(*remaining, 0);
+}
+
+void CollaborativeInference::Finish() {
+  for (int i = 0; i < num_socs_; ++i) {
+    if (cluster_->soc(i).IsUsable()) {
+      const Status status = cluster_->soc(i).SetCpuUtil(0.0);
+      SOC_CHECK(status.ok()) << status.ToString();
+    }
+  }
+  CollabResult result;
+  result.num_socs = num_socs_;
+  result.pipelined = pipelined_;
+  result.total = sim_->Now() - run_start_;
+  result.compute = compute_accum_;
+  result.comm = result.total - result.compute;
+  DoneCallback done = std::move(done_);
+  done_ = nullptr;
+  done(result);
+}
+
+}  // namespace soccluster

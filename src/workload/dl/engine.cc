@@ -1,0 +1,308 @@
+#include "src/workload/dl/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+namespace {
+
+// Index helpers: 4 models x 2 precisions.
+constexpr int kNumModels = 4;
+
+int ModelIndex(DnnModel model) {
+  const int i = static_cast<int>(model);
+  SOC_CHECK_GE(i, 0);
+  SOC_CHECK_LT(i, kNumModels);
+  return i;
+}
+
+constexpr double kUnsupported = -1.0;
+
+// ----- SoC (SD865) anchors, per device -----
+// {latency_ms, throughput_per_s}. Latencies: Fig. 11a / Table 7 physical
+// (R50 DSP uses the 8.8 ms figure from §5.1). Throughput exceeds
+// 1/latency where the stack pipelines pre/post-processing with execution
+// (TFLite GPU delegate ~1.8x).
+struct SocAnchor {
+  double latency_ms;
+  double throughput;
+};
+
+constexpr SocAnchor kSocCpuFp32[kNumModels] = {
+    {81.2, 12.9},    // ResNet-50
+    {258.3, 4.07},   // ResNet-152
+    {1121.3, 0.94},  // YOLOv5x
+    {31.5, 33.3},    // BERT (short-sequence serving config; Table 5).
+};
+constexpr SocAnchor kSocGpuFp32[kNumModels] = {
+    {32.5, 55.4},
+    {100.9, 17.8},
+    {620.6, 2.9},
+    {kUnsupported, kUnsupported},  // GPU delegate lacks BERT coverage.
+};
+constexpr SocAnchor kSocDspInt8[kNumModels] = {
+    {8.8, 116.0},
+    {21.0, 47.6},
+    {kUnsupported, kUnsupported},
+    {kUnsupported, kUnsupported},
+};
+
+// Marginal power at saturation. GPU/DSP figures include their share of the
+// delegate daemons; calibrated to Fig. 11b (18 samples/J on R50-FP32 GPU;
+// DSP 42x the Intel CPU on R152-INT8).
+constexpr double kSocCpuWatts = 7.8;
+constexpr double kSocGpuWatts = 3.08;
+constexpr double kSocDspWatts = 1.30;
+
+// ----- Intel Xeon container (TVM) anchors -----
+constexpr SocAnchor kIntelFp32[kNumModels] = {
+    {15.0, 88.0},
+    {45.0, 26.0},
+    {690.0, 1.45},
+    {160.0, 6.1},
+};
+constexpr SocAnchor kIntelInt8[kNumModels] = {
+    {7.0, 170.0},
+    {22.0, 33.0},
+    {kUnsupported, kUnsupported},
+    {kUnsupported, kUnsupported},
+};
+constexpr double kIntelContainerWatts = 38.8;  // container_wake + share.
+
+// ----- Discrete GPU (TensorRT) anchors -----
+// {bs1 latency ms, bs64 throughput/s}; t(bs) = t0 + bs*t1 fitted through
+// both. Derived from Table 5 TpC (A40) and the Fig. 11b ratios (A100).
+struct GpuAnchor {
+  double bs1_latency_ms;
+  double bs64_throughput;
+};
+
+constexpr GpuAnchor kA40Fp32[kNumModels] = {
+    {2.0, 2580.0},
+    {5.5, 799.0},
+    {14.0, 100.6},  // bs64 latency ~636 ms: the §5.1 crossover vs SoC GPU.
+    {3.5, 1288.0},
+};
+constexpr GpuAnchor kA40Int8[kNumModels] = {
+    {1.0, 8052.0},
+    {2.8, 3497.0},
+    {kUnsupported, kUnsupported},
+    {kUnsupported, kUnsupported},
+};
+constexpr GpuAnchor kA100Fp32[kNumModels] = {
+    {1.5, 3678.0},
+    {4.0, 1160.0},
+    {10.0, 146.0},
+    {2.5, 1870.0},
+};
+constexpr GpuAnchor kA100Int8[kNumModels] = {
+    {0.8, 11500.0},
+    {2.0, 5700.0},
+    {kUnsupported, kUnsupported},
+    {kUnsupported, kUnsupported},
+};
+
+// Marginal power: bs=1 keeps the GPU partially idle; bs=64 saturates it.
+constexpr double kA40WattsBs1 = 90.0;
+constexpr double kA40WattsBs64 = 260.0;
+constexpr double kA100WattsBs1 = 80.0;
+constexpr double kA100WattsBs64 = 235.0;
+
+const SocAnchor* SocAnchorsFor(DlDevice device, Precision precision) {
+  switch (device) {
+    case DlDevice::kSocCpu:
+      return precision == Precision::kFp32 ? kSocCpuFp32 : nullptr;
+    case DlDevice::kSocGpu:
+      return precision == Precision::kFp32 ? kSocGpuFp32 : nullptr;
+    case DlDevice::kSocDsp:
+      return precision == Precision::kInt8 ? kSocDspInt8 : nullptr;
+    case DlDevice::kIntelContainer:
+      return precision == Precision::kFp32 ? kIntelFp32 : kIntelInt8;
+    default:
+      return nullptr;
+  }
+}
+
+const GpuAnchor* GpuAnchorsFor(DlDevice device, Precision precision) {
+  switch (device) {
+    case DlDevice::kA40:
+      return precision == Precision::kFp32 ? kA40Fp32 : kA40Int8;
+    case DlDevice::kA100:
+      return precision == Precision::kFp32 ? kA100Fp32 : kA100Int8;
+    default:
+      return nullptr;
+  }
+}
+
+// Fitted per-batch slope/intercept for a GPU anchor.
+void FitBatchModel(const GpuAnchor& anchor, double* t0_ms, double* t1_ms) {
+  const double bs64_latency_ms = 64.0 / anchor.bs64_throughput * 1e3;
+  *t1_ms = (bs64_latency_ms - anchor.bs1_latency_ms) / 63.0;
+  *t0_ms = anchor.bs1_latency_ms - *t1_ms;
+}
+
+// DSP batch boost (§7): up to ~1.7x at batch 8 and beyond.
+double DspBatchBoost(int batch_size) {
+  if (batch_size <= 1) {
+    return 1.0;
+  }
+  return 1.0 + 0.8 * (1.0 - 1.0 / batch_size);
+}
+
+}  // namespace
+
+const char* DlDeviceName(DlDevice device) {
+  switch (device) {
+    case DlDevice::kSocCpu:
+      return "SoC-CPU";
+    case DlDevice::kSocGpu:
+      return "SoC-GPU";
+    case DlDevice::kSocDsp:
+      return "SoC-DSP";
+    case DlDevice::kIntelContainer:
+      return "Intel-CPU";
+    case DlDevice::kA40:
+      return "GPU-A40";
+    case DlDevice::kA100:
+      return "GPU-A100";
+  }
+  return "?";
+}
+
+const char* DlStackName(DlDevice device) {
+  switch (device) {
+    case DlDevice::kSocCpu:
+    case DlDevice::kSocGpu:
+      return "TFLite";
+    case DlDevice::kSocDsp:
+      return "TFLite+Hexagon";
+    case DlDevice::kIntelContainer:
+      return "TVM";
+    case DlDevice::kA40:
+    case DlDevice::kA100:
+      return "TensorRT";
+  }
+  return "?";
+}
+
+std::vector<DlDevice> AllDlDevices() {
+  return {DlDevice::kSocCpu, DlDevice::kSocGpu,  DlDevice::kSocDsp,
+          DlDevice::kIntelContainer, DlDevice::kA40, DlDevice::kA100};
+}
+
+bool IsDiscreteGpu(DlDevice device) {
+  return device == DlDevice::kA40 || device == DlDevice::kA100;
+}
+
+bool DlEngineModel::Supports(DlDevice device, DnnModel model,
+                             Precision precision) {
+  if (IsDiscreteGpu(device)) {
+    const GpuAnchor* anchors = GpuAnchorsFor(device, precision);
+    return anchors != nullptr &&
+           anchors[ModelIndex(model)].bs1_latency_ms > 0.0;
+  }
+  const SocAnchor* anchors = SocAnchorsFor(device, precision);
+  return anchors != nullptr && anchors[ModelIndex(model)].latency_ms > 0.0;
+}
+
+Duration DlEngineModel::Latency(DlDevice device, DnnModel model,
+                                Precision precision, int batch_size) {
+  SOC_CHECK_GE(batch_size, 1);
+  SOC_CHECK(Supports(device, model, precision))
+      << DlDeviceName(device) << " does not run " << DnnModelName(model)
+      << " " << PrecisionName(precision);
+  if (IsDiscreteGpu(device)) {
+    const GpuAnchor& anchor = GpuAnchorsFor(device, precision)[ModelIndex(model)];
+    double t0_ms = 0.0;
+    double t1_ms = 0.0;
+    FitBatchModel(anchor, &t0_ms, &t1_ms);
+    return Duration::MillisF(t0_ms + t1_ms * batch_size);
+  }
+  const SocAnchor& anchor = SocAnchorsFor(device, precision)[ModelIndex(model)];
+  if (device == DlDevice::kSocDsp) {
+    return Duration::MillisF(anchor.latency_ms * batch_size /
+                             DspBatchBoost(batch_size));
+  }
+  // Non-batching devices serialize the batch (§5.1).
+  return Duration::MillisF(anchor.latency_ms * batch_size);
+}
+
+double DlEngineModel::Throughput(DlDevice device, DnnModel model,
+                                 Precision precision, int batch_size) {
+  SOC_CHECK_GE(batch_size, 1);
+  SOC_CHECK(Supports(device, model, precision));
+  if (IsDiscreteGpu(device)) {
+    const Duration batch_latency =
+        Latency(device, model, precision, batch_size);
+    return batch_size / batch_latency.ToSeconds();
+  }
+  const SocAnchor& anchor = SocAnchorsFor(device, precision)[ModelIndex(model)];
+  if (device == DlDevice::kSocDsp) {
+    return anchor.throughput * DspBatchBoost(batch_size);
+  }
+  return anchor.throughput;
+}
+
+Power DlEngineModel::MarginalPower(DlDevice device, DnnModel model,
+                                   Precision precision, int batch_size) {
+  SOC_CHECK(Supports(device, model, precision));
+  (void)model;
+  switch (device) {
+    case DlDevice::kSocCpu:
+      return Power::Watts(kSocCpuWatts);
+    case DlDevice::kSocGpu:
+      return Power::Watts(kSocGpuWatts);
+    case DlDevice::kSocDsp:
+      return Power::Watts(kSocDspWatts);
+    case DlDevice::kIntelContainer:
+      return Power::Watts(kIntelContainerWatts);
+    case DlDevice::kA40:
+    case DlDevice::kA100: {
+      const double p1 =
+          device == DlDevice::kA40 ? kA40WattsBs1 : kA100WattsBs1;
+      const double p64 =
+          device == DlDevice::kA40 ? kA40WattsBs64 : kA100WattsBs64;
+      const double frac =
+          std::min(1.0, (batch_size - 1) / 63.0);
+      return Power::Watts(p1 + (p64 - p1) * frac);
+    }
+  }
+  return Power::Zero();
+}
+
+double DlEngineModel::SamplesPerJoule(DlDevice device, DnnModel model,
+                                      Precision precision, int batch_size) {
+  const Power power = MarginalPower(device, model, precision, batch_size);
+  return Throughput(device, model, precision, batch_size) / power.watts();
+}
+
+Duration DlEngineModel::SocLatency(const SocSpec& spec, DlDevice soc_device,
+                                   DnnModel model, Precision precision) {
+  const Duration base = Latency(soc_device, model, precision, 1);
+  double factor = 1.0;
+  switch (soc_device) {
+    case DlDevice::kSocCpu:
+      factor = spec.cpu_dl_factor;
+      break;
+    case DlDevice::kSocGpu:
+      factor = spec.gpu_dl_factor;
+      break;
+    case DlDevice::kSocDsp:
+      factor = spec.dsp_dl_factor;
+      break;
+    default:
+      SOC_CHECK(false) << "not a SoC device";
+  }
+  return base / factor;
+}
+
+double DlEngineModel::SocDspThroughput(const SocSpec& spec, DnnModel model,
+                                       int batch_size) {
+  const double base = Throughput(DlDevice::kSocDsp, model, Precision::kInt8, 1);
+  return base * spec.dsp_dl_factor * DspBatchBoost(batch_size);
+}
+
+}  // namespace soccluster

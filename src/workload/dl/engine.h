@@ -1,0 +1,75 @@
+// Calibrated DL inference engines (§3 benchmark suite): TFLite on the SoC
+// CPU/GPU, the Hexagon delegate on the SoC DSP, TVM on the Intel containers,
+// and TensorRT on the discrete GPUs.
+//
+// Each (device, model, precision) is an operating point: single-sample
+// latency, saturated throughput (pipelined stacks exceed 1/latency), and
+// marginal power. Discrete GPUs add a batching model
+// t(bs) = t0 + bs*t1 fitted through the bs=1 latency and bs=64 throughput
+// anchors. Anchor provenance: Fig. 11a/b, Table 5 (TpC x monthly TCO), and
+// Table 7.
+
+#ifndef SRC_WORKLOAD_DL_ENGINE_H_
+#define SRC_WORKLOAD_DL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/specs.h"
+#include "src/workload/dl/model.h"
+
+namespace soccluster {
+
+enum class DlDevice {
+  kSocCpu = 0,         // TFLite + XNNPACK on the Kryo CPU.
+  kSocGpu = 1,         // TFLite GPU delegate on the Adreno 650.
+  kSocDsp = 2,         // Hexagon/QNN delegate (INT8 only).
+  kIntelContainer = 3,  // TVM on one 8-core Xeon container.
+  kA40 = 4,            // TensorRT on one NVIDIA A40.
+  kA100 = 5,           // TensorRT on one NVIDIA A100.
+};
+
+const char* DlDeviceName(DlDevice device);
+// The software stack used on this device (§3).
+const char* DlStackName(DlDevice device);
+std::vector<DlDevice> AllDlDevices();
+bool IsDiscreteGpu(DlDevice device);
+
+class DlEngineModel {
+ public:
+  // Whether the paper's software stack runs this combination (e.g. the
+  // TFLite GPU delegate does not run BERT; the DSP is INT8-only).
+  static bool Supports(DlDevice device, DnnModel model, Precision precision);
+
+  // End-to-end latency of one batch. Batch > 1 is meaningful on discrete
+  // GPUs; on other devices batching adds latency without throughput (§5.1),
+  // modelled as batch x single-sample service time. The DSP gains up to
+  // ~1.7x throughput at batch 8 on recent generations (§7).
+  static Duration Latency(DlDevice device, DnnModel model,
+                          Precision precision, int batch_size);
+
+  // Saturated throughput in samples/s at the given batch size.
+  static double Throughput(DlDevice device, DnnModel model,
+                           Precision precision, int batch_size);
+
+  // Marginal ("workload", idle-excluded) power at saturation.
+  static Power MarginalPower(DlDevice device, DnnModel model,
+                             Precision precision, int batch_size);
+
+  // Energy efficiency: Throughput / MarginalPower (Fig. 11b).
+  static double SamplesPerJoule(DlDevice device, DnnModel model,
+                                Precision precision, int batch_size);
+
+  // Latency on another SoC generation: the SD865 anchor scaled by the
+  // generation's per-processor DL factor (Fig. 14).
+  static Duration SocLatency(const SocSpec& spec, DlDevice soc_device,
+                             DnnModel model, Precision precision);
+  // DSP batch-8 throughput boost on a generation (§7: 1.7x on the 8+Gen1).
+  static double SocDspThroughput(const SocSpec& spec, DnnModel model,
+                                 int batch_size);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_DL_ENGINE_H_

@@ -1,0 +1,130 @@
+#include "src/workload/dl/model.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+namespace {
+
+// Builds the residual-stage block list for a ResNet: `counts` blocks per
+// stage at the canonical 224x224-input geometries. FLOPs are distributed
+// uniformly across blocks (ResNet stages are FLOP-balanced by design).
+std::vector<DnnBlock> ResNetBlocks(double total_gflops,
+                                   const std::vector<int>& counts) {
+  // Stage output geometry: (H=W, C_out of the bottleneck).
+  const int dims[4] = {56, 28, 14, 7};
+  const int channels[4] = {256, 512, 1024, 2048};
+  int total_blocks = 0;
+  for (int c : counts) {
+    total_blocks += c;
+  }
+  std::vector<DnnBlock> blocks;
+  const double per_block = total_gflops / total_blocks;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < counts[static_cast<size_t>(stage)]; ++b) {
+      DnnBlock block;
+      block.name = "stage" + std::to_string(stage + 1) + "_block" +
+                   std::to_string(b + 1);
+      block.gflops = per_block;
+      block.out_height = dims[stage];
+      block.out_width = dims[stage];
+      block.out_channels = channels[stage];
+      block.halo_cols = 1;  // 3x3 bottleneck convs.
+      blocks.push_back(block);
+    }
+  }
+  return blocks;
+}
+
+// YOLOv5x backbone/neck stages at 640x640 input; geometry from the CSP
+// stage outputs. Used only for collaborative-inference what-ifs.
+std::vector<DnnBlock> YoloBlocks(double total_gflops) {
+  struct Stage {
+    const char* name;
+    int dim;
+    int channels;
+    int repeat;
+  };
+  const Stage stages[] = {
+      {"csp1", 160, 160, 4}, {"csp2", 80, 320, 8},
+      {"csp3", 40, 640, 12}, {"csp4", 20, 1280, 4},
+      {"neck", 40, 640, 6},
+  };
+  int total = 0;
+  for (const Stage& s : stages) {
+    total += s.repeat;
+  }
+  std::vector<DnnBlock> blocks;
+  const double per_block = total_gflops / total;
+  for (const Stage& s : stages) {
+    for (int b = 0; b < s.repeat; ++b) {
+      DnnBlock block;
+      block.name = std::string(s.name) + "_" + std::to_string(b + 1);
+      block.gflops = per_block;
+      block.out_height = s.dim;
+      block.out_width = s.dim;
+      block.out_channels = s.channels;
+      block.halo_cols = 1;
+      blocks.push_back(block);
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+const char* DnnModelName(DnnModel model) {
+  switch (model) {
+    case DnnModel::kResNet50:
+      return "ResNet-50";
+    case DnnModel::kResNet152:
+      return "ResNet-152";
+    case DnnModel::kYoloV5x:
+      return "YOLOv5x";
+    case DnnModel::kBertBase:
+      return "BERT";
+  }
+  return "?";
+}
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "FP32";
+    case Precision::kInt8:
+      return "INT8";
+  }
+  return "?";
+}
+
+std::vector<DnnModel> AllDnnModels() {
+  return {DnnModel::kResNet50, DnnModel::kResNet152, DnnModel::kYoloV5x,
+          DnnModel::kBertBase};
+}
+
+const DnnModelSpec& GetDnnModel(DnnModel model) {
+  static const DnnModelSpec kResNet50Spec = {
+      DnnModel::kResNet50, "ResNet-50", 25.6, 4.1,
+      ResNetBlocks(4.1, {3, 4, 6, 3})};
+  static const DnnModelSpec kResNet152Spec = {
+      DnnModel::kResNet152, "ResNet-152", 60.2, 11.6,
+      ResNetBlocks(11.6, {3, 8, 36, 3})};
+  static const DnnModelSpec kYoloSpec = {
+      DnnModel::kYoloV5x, "YOLOv5x", 86.7, 205.7, YoloBlocks(205.7)};
+  static const DnnModelSpec kBertSpec = {
+      DnnModel::kBertBase, "BERT", 110.0, 5.6, {}};
+  switch (model) {
+    case DnnModel::kResNet50:
+      return kResNet50Spec;
+    case DnnModel::kResNet152:
+      return kResNet152Spec;
+    case DnnModel::kYoloV5x:
+      return kYoloSpec;
+    case DnnModel::kBertBase:
+      return kBertSpec;
+  }
+  SOC_CHECK(false) << "unknown model";
+  return kResNet50Spec;
+}
+
+}  // namespace soccluster

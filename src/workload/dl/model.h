@@ -1,0 +1,68 @@
+// DNN model zoo (§3): ResNet-50, ResNet-152, YOLOv5x, and BERT-base, with
+// per-block structure for the tensor-parallel collaborative-inference
+// experiments (§5.3). Activation geometry determines the halo-exchange
+// bytes when a convolution is partitioned along the width dimension.
+
+#ifndef SRC_WORKLOAD_DL_MODEL_H_
+#define SRC_WORKLOAD_DL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace soccluster {
+
+enum class DnnModel {
+  kResNet50 = 0,
+  kResNet152 = 1,
+  kYoloV5x = 2,
+  kBertBase = 3,
+};
+
+enum class Precision {
+  kFp32,
+  kInt8,
+};
+
+const char* DnnModelName(DnnModel model);
+const char* PrecisionName(Precision precision);
+std::vector<DnnModel> AllDnnModels();
+
+// One partitionable block (a residual block / conv stage). Under width-wise
+// tensor parallelism each participant holds out_width/N columns and must
+// fetch `halo_cols` boundary columns per side from its neighbours before
+// the next block.
+struct DnnBlock {
+  std::string name;
+  double gflops = 0.0;   // Forward FLOPs of the block (batch 1).
+  int out_height = 0;    // Output activation height.
+  int out_width = 0;     // Output activation width.
+  int out_channels = 0;
+  int halo_cols = 1;     // Boundary columns needed per side (3x3 convs).
+
+  // Bytes one participant sends to ONE neighbour at the block boundary.
+  DataSize HaloBytes(Precision precision) const {
+    const int64_t elems = static_cast<int64_t>(out_height) * halo_cols *
+                          out_channels;
+    const int64_t bytes = precision == Precision::kFp32 ? elems * 4 : elems;
+    return DataSize::Bytes(bytes);
+  }
+};
+
+struct DnnModelSpec {
+  DnnModel id = DnnModel::kResNet50;
+  std::string name;
+  double params_millions = 0.0;
+  double gflops = 0.0;  // Total forward GFLOPs (batch 1).
+  // Partitionable blocks, in execution order. Empty for models the paper
+  // does not run collaboratively (BERT's sequence dimension does not
+  // width-partition the same way).
+  std::vector<DnnBlock> blocks;
+};
+
+const DnnModelSpec& GetDnnModel(DnnModel model);
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_DL_MODEL_H_

@@ -1,0 +1,70 @@
+#include "src/workload/dl/roofline.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+DeviceRoofline RooflineModel::For(DlDevice device, Precision precision) {
+  // Peaks are datasheet figures; efficiencies are fitted so the ResNet-50
+  // roofline meets the measured anchor (other models then test physical
+  // consistency).
+  const bool fp32 = precision == Precision::kFp32;
+  switch (device) {
+    case DlDevice::kSocCpu:
+      SOC_CHECK(fp32);
+      // 8x Kryo 585 with NEON FMA at sustained clocks; LPDDR5 shared bus.
+      return {230.0, 0.220, 34.0};
+    case DlDevice::kSocGpu:
+      SOC_CHECK(fp32);
+      // Adreno 650: ~1.2 FP32 TFLOPS; the TFLite delegate reaches ~10%.
+      return {1200.0, 0.105, 34.0};
+    case DlDevice::kSocDsp:
+      SOC_CHECK(!fp32);
+      // Hexagon 698 tensor accelerator: ~7 INT8 TOPS.
+      return {7000.0, 0.0665, 34.0};
+    case DlDevice::kIntelContainer:
+      // 8 Xeon cores at 4 GHz with AVX-512 (FP32) / VNNI (INT8).
+      return fp32 ? DeviceRoofline{1024.0, 0.267, 30.0}
+                  : DeviceRoofline{2048.0, 0.286, 30.0};
+    case DlDevice::kA40:
+      // 37.4 FP32 TFLOPS / 299 INT8 tensor TOPS; 696 GB/s GDDR6.
+      return fp32 ? DeviceRoofline{37400.0, 0.055, 696.0}
+                  : DeviceRoofline{299000.0, 0.0137, 696.0};
+    case DlDevice::kA100:
+      // 156 TF32 TFLOPS / 624 INT8 TOPS; 1555 GB/s HBM2.
+      return fp32 ? DeviceRoofline{156000.0, 0.0175, 1555.0}
+                  : DeviceRoofline{624000.0, 0.0082, 1555.0};
+  }
+  SOC_CHECK(false) << "unknown device";
+  return {};
+}
+
+Duration RooflineModel::LatencyOn(const DeviceRoofline& device, DnnModel model,
+                                  Precision precision) {
+  SOC_CHECK_GT(device.EffectiveGops(), 0.0);
+  SOC_CHECK_GT(device.mem_bw_gbps, 0.0);
+  const DnnModelSpec& spec = GetDnnModel(model);
+  const double compute_s = spec.gflops / device.EffectiveGops();
+  // Batch 1 streams the weights once per inference.
+  const double bytes_per_param = precision == Precision::kFp32 ? 4.0 : 1.0;
+  const double weight_gb = spec.params_millions * 1e6 * bytes_per_param / 1e9;
+  const double memory_s = weight_gb / device.mem_bw_gbps;
+  return Duration::SecondsF(std::max(compute_s, memory_s));
+}
+
+Duration RooflineModel::Latency(DlDevice device, DnnModel model,
+                                Precision precision) {
+  return LatencyOn(For(device, precision), model, precision);
+}
+
+double RooflineModel::AnchorAgreement(DlDevice device, DnnModel model,
+                                      Precision precision) {
+  SOC_CHECK(DlEngineModel::Supports(device, model, precision));
+  const Duration roofline = Latency(device, model, precision);
+  const Duration anchor = DlEngineModel::Latency(device, model, precision, 1);
+  return roofline / anchor;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,52 @@
+// Roofline cross-validation of the anchor-calibrated DL engines.
+//
+// The engine tables in engine.cc are measured operating points from the
+// paper. This model re-derives batch-1 latency from first principles —
+// peak arithmetic throughput x achievable efficiency vs. weight-traffic
+// over memory bandwidth — and the tests assert the two agree within 2x for
+// every supported (device, model, precision). It also answers what-ifs the
+// anchor table cannot (hypothetical accelerators, future SoCs).
+
+#ifndef SRC_WORKLOAD_DL_ROOFLINE_H_
+#define SRC_WORKLOAD_DL_ROOFLINE_H_
+
+#include "src/base/units.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/dl/model.h"
+
+namespace soccluster {
+
+struct DeviceRoofline {
+  // Peak arithmetic throughput for this precision (GFLOP/s or GOP/s).
+  double peak_gops = 0.0;
+  // Fraction of peak the software stack achieves on convnets.
+  double efficiency = 0.0;
+  // Memory bandwidth available to the accelerator.
+  double mem_bw_gbps = 0.0;
+
+  double EffectiveGops() const { return peak_gops * efficiency; }
+};
+
+class RooflineModel {
+ public:
+  // Datasheet peak + measured-stack efficiency for each device/precision.
+  // Fails (CHECK) for combinations the stack does not support.
+  static DeviceRoofline For(DlDevice device, Precision precision);
+
+  // Batch-1 latency: max(compute time, weight-streaming time).
+  static Duration Latency(DlDevice device, DnnModel model,
+                          Precision precision);
+
+  // Ratio of roofline latency to the calibrated anchor latency; ~1 means
+  // the anchor is physically consistent.
+  static double AnchorAgreement(DlDevice device, DnnModel model,
+                                Precision precision);
+
+  // What-if: latency on a hypothetical device.
+  static Duration LatencyOn(const DeviceRoofline& device, DnnModel model,
+                            Precision precision);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_DL_ROOFLINE_H_

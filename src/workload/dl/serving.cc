@@ -1,0 +1,200 @@
+#include "src/workload/dl/serving.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+OpenLoopSource::OpenLoopSource(Simulator* sim, double rate_per_s,
+                               Duration duration, Sink sink)
+    : sim_(sim), rate_(rate_per_s), end_time_(sim->Now() + duration),
+      sink_(std::move(sink)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK_GT(rate_, 0.0);
+  SOC_CHECK(sink_ != nullptr);
+}
+
+void OpenLoopSource::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  Arm();
+}
+
+void OpenLoopSource::Arm() {
+  const Duration gap = Duration::SecondsF(sim_->rng().Exponential(rate_));
+  const SimTime next = sim_->Now() + gap;
+  if (next > end_time_) {
+    return;
+  }
+  sim_->ScheduleAt(next, [this] {
+    ++generated_;
+    sink_();
+    Arm();
+  });
+}
+
+SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
+                                 DlDevice soc_device, DnnModel model,
+                                 Precision precision)
+    : sim_(sim), cluster_(cluster), device_(soc_device), model_(model),
+      precision_(precision),
+      busy_(static_cast<size_t>(cluster->num_socs()), false) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK(soc_device == DlDevice::kSocCpu ||
+            soc_device == DlDevice::kSocGpu || soc_device == DlDevice::kSocDsp)
+      << "fleet devices must live on the SoC";
+  SOC_CHECK(DlEngineModel::Supports(device_, model_, precision_));
+}
+
+double SocServingFleet::PerSocThroughput() const {
+  return DlEngineModel::Throughput(device_, model_, precision_, 1);
+}
+
+void SocServingFleet::SetActiveCount(int count) {
+  SOC_CHECK_GE(count, 0);
+  SOC_CHECK_LE(count, cluster_->num_socs());
+  active_count_ = count;
+  TryDispatch();
+}
+
+void SocServingFleet::Submit() {
+  queue_.push_back(sim_->Now());
+  TryDispatch();
+}
+
+void SocServingFleet::TryDispatch() {
+  while (!queue_.empty()) {
+    int chosen = -1;
+    for (int i = 0; i < active_count_; ++i) {
+      if (!busy_[static_cast<size_t>(i)] && cluster_->soc(i).IsUsable()) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      return;
+    }
+    const SimTime enqueue_time = queue_.front();
+    queue_.pop_front();
+    busy_[static_cast<size_t>(chosen)] = true;
+    SocModel& soc = cluster_->soc(chosen);
+    Status status;
+    switch (device_) {
+      case DlDevice::kSocCpu:
+        status = soc.SetCpuUtil(1.0);
+        break;
+      case DlDevice::kSocGpu:
+        status = soc.SetGpuUtil(1.0);
+        break;
+      default:
+        status = soc.SetDspUtil(1.0);
+        break;
+    }
+    SOC_CHECK(status.ok()) << status.ToString();
+    const Duration service =
+        Duration::SecondsF(1.0 / PerSocThroughput());
+    sim_->ScheduleAfter(service, [this, chosen, enqueue_time] {
+      FinishOn(chosen, enqueue_time);
+    });
+  }
+}
+
+void SocServingFleet::FinishOn(int soc_index, SimTime enqueue_time) {
+  busy_[static_cast<size_t>(soc_index)] = false;
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.IsUsable()) {
+    Status status;
+    switch (device_) {
+      case DlDevice::kSocCpu:
+        status = soc.SetCpuUtil(0.0);
+        break;
+      case DlDevice::kSocGpu:
+        status = soc.SetGpuUtil(0.0);
+        break;
+      default:
+        status = soc.SetDspUtil(0.0);
+        break;
+    }
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  ++completed_;
+  latencies_.Add((sim_->Now() - enqueue_time).ToMillis());
+  TryDispatch();
+}
+
+GpuBatchServer::GpuBatchServer(Simulator* sim, DiscreteGpuModel* gpu,
+                               DlDevice device, DnnModel model,
+                               Precision precision, int max_batch,
+                               Duration batch_timeout)
+    : sim_(sim), gpu_(gpu), device_(device), model_(model),
+      precision_(precision), max_batch_(max_batch),
+      batch_timeout_(batch_timeout) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(gpu_ != nullptr);
+  SOC_CHECK(IsDiscreteGpu(device));
+  SOC_CHECK_GE(max_batch_, 1);
+  SOC_CHECK(DlEngineModel::Supports(device_, model_, precision_));
+}
+
+void GpuBatchServer::Submit() {
+  queue_.push_back(sim_->Now());
+  MaybeLaunch(/*timeout_expired=*/false);
+}
+
+void GpuBatchServer::MaybeLaunch(bool timeout_expired) {
+  if (running_ || queue_.empty()) {
+    return;
+  }
+  const bool full = static_cast<int>(queue_.size()) >= max_batch_;
+  if (!full && !timeout_expired) {
+    if (!timeout_event_.valid()) {
+      timeout_event_ = sim_->ScheduleAfter(batch_timeout_, [this] {
+        timeout_event_ = EventHandle();
+        MaybeLaunch(/*timeout_expired=*/true);
+      });
+    }
+    return;
+  }
+  sim_->Cancel(timeout_event_);
+  timeout_event_ = EventHandle();
+
+  const int batch = std::min<int>(max_batch_, static_cast<int>(queue_.size()));
+  std::vector<SimTime> members;
+  members.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    members.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  running_ = true;
+  // Drive the GPU meter at the batch's marginal power.
+  const Power marginal =
+      DlEngineModel::MarginalPower(device_, model_, precision_, batch);
+  const double util =
+      marginal.watts() / (gpu_->spec().max_power - gpu_->spec().idle).watts();
+  Status status = gpu_->SetComputeUtil(std::min(1.0, util));
+  SOC_CHECK(status.ok()) << status.ToString();
+
+  const Duration latency =
+      DlEngineModel::Latency(device_, model_, precision_, batch);
+  sim_->ScheduleAfter(latency, [this, members = std::move(members)]() mutable {
+    FinishBatch(std::move(members));
+  });
+}
+
+void GpuBatchServer::FinishBatch(std::vector<SimTime> batch) {
+  running_ = false;
+  Status status = gpu_->SetComputeUtil(0.0);
+  SOC_CHECK(status.ok()) << status.ToString();
+  const SimTime now = sim_->Now();
+  for (SimTime enqueue_time : batch) {
+    ++completed_;
+    latencies_.Add((now - enqueue_time).ToMillis());
+  }
+  MaybeLaunch(/*timeout_expired=*/false);
+}
+
+}  // namespace soccluster

@@ -1,0 +1,118 @@
+// DES components of the DL-serving study (§5): an open-loop Poisson request
+// source, a per-SoC serving fleet (one engine per SoC, central FIFO queue),
+// and a batching server for discrete GPUs (TensorRT-style: collect up to
+// max_batch requests or wait out a timeout, then run the batch).
+
+#ifndef SRC_WORKLOAD_DL_SERVING_H_
+#define SRC_WORKLOAD_DL_SERVING_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/cluster/cluster.h"
+#include "src/hw/gpu.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/dl/model.h"
+
+namespace soccluster {
+
+// Poisson arrivals at `rate` req/s for `duration`, submitted via `sink`.
+class OpenLoopSource {
+ public:
+  using Sink = std::function<void()>;
+
+  OpenLoopSource(Simulator* sim, double rate_per_s, Duration duration,
+                 Sink sink);
+  void Start();
+  int64_t generated() const { return generated_; }
+
+ private:
+  void Arm();
+
+  Simulator* sim_;
+  double rate_;
+  SimTime end_time_;
+  Sink sink_;
+  int64_t generated_ = 0;
+  bool started_ = false;
+};
+
+// Serves single requests on a set of cluster SoCs. Each active SoC runs one
+// request at a time at the engine's service rate; requests queue centrally.
+// Driving the per-SoC utilization through SocModel makes the cluster's
+// power track load — the mechanism behind Figure 12.
+class SocServingFleet {
+ public:
+  SocServingFleet(Simulator* sim, SocCluster* cluster, DlDevice soc_device,
+                  DnnModel model, Precision precision);
+  SocServingFleet(const SocServingFleet&) = delete;
+  SocServingFleet& operator=(const SocServingFleet&) = delete;
+
+  // Declares the first `count` usable SoCs as the active serving set.
+  // Shrinking does not abort in-flight work.
+  void SetActiveCount(int count);
+  int active_count() const { return active_count_; }
+
+  void Submit();
+
+  int64_t completed() const { return completed_; }
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  const SampleStats& latencies() const { return latencies_; }
+  // Engine service rate of one SoC (samples/s).
+  double PerSocThroughput() const;
+
+ private:
+  void TryDispatch();
+  void FinishOn(int soc_index, SimTime enqueue_time);
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  DlDevice device_;
+  DnnModel model_;
+  Precision precision_;
+  int active_count_ = 0;
+  std::vector<bool> busy_;
+  std::deque<SimTime> queue_;  // Enqueue timestamps.
+  int64_t completed_ = 0;
+  SampleStats latencies_;
+};
+
+// Batching server for one discrete GPU.
+class GpuBatchServer {
+ public:
+  GpuBatchServer(Simulator* sim, DiscreteGpuModel* gpu, DlDevice device,
+                 DnnModel model, Precision precision, int max_batch,
+                 Duration batch_timeout);
+  GpuBatchServer(const GpuBatchServer&) = delete;
+  GpuBatchServer& operator=(const GpuBatchServer&) = delete;
+
+  void Submit();
+
+  int64_t completed() const { return completed_; }
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  const SampleStats& latencies() const { return latencies_; }
+
+ private:
+  void MaybeLaunch(bool timeout_expired);
+  void FinishBatch(std::vector<SimTime> batch);
+
+  Simulator* sim_;
+  DiscreteGpuModel* gpu_;
+  DlDevice device_;
+  DnnModel model_;
+  Precision precision_;
+  int max_batch_;
+  Duration batch_timeout_;
+  std::deque<SimTime> queue_;
+  bool running_ = false;
+  EventHandle timeout_event_;
+  int64_t completed_ = 0;
+  SampleStats latencies_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_DL_SERVING_H_

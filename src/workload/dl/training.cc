@@ -1,0 +1,112 @@
+#include "src/workload/dl/training.h"
+
+#include <memory>
+
+#include "src/base/log.h"
+#include "src/net/network.h"
+
+namespace soccluster {
+
+CollaborativeTraining::CollaborativeTraining(Simulator* sim,
+                                             SocCluster* cluster,
+                                             TrainingConfig config)
+    : sim_(sim), cluster_(cluster), config_(config),
+      spec_(&GetDnnModel(config.model)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GE(config_.num_socs, 1);
+  SOC_CHECK_LE(config_.num_socs, cluster_->num_socs());
+  SOC_CHECK_GE(config_.micro_batch, 1);
+}
+
+DataSize CollaborativeTraining::PhaseBytes() const {
+  // Ring all-reduce moves |gradients|/N per neighbor pair per phase.
+  const double bytes_per_param =
+      config_.gradient_precision == Precision::kFp32 ? 4.0 : 1.0;
+  const double total_bytes = spec_->params_millions * 1e6 * bytes_per_param;
+  return DataSize::Bytes(
+      static_cast<int64_t>(total_bytes / config_.num_socs));
+}
+
+Duration CollaborativeTraining::ComputePerStep() const {
+  return config_.per_sample_fwd_bwd * config_.micro_batch;
+}
+
+void CollaborativeTraining::Run(int steps, StepCallback on_step) {
+  SOC_CHECK_GE(steps, 1);
+  on_step_ = std::move(on_step);
+  for (int i = 0; i < config_.num_socs; ++i) {
+    SOC_CHECK(cluster_->soc(i).IsUsable()) << "SoC " << i << " not usable";
+    const Status status = cluster_->soc(i).SetCpuUtil(1.0);
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  StartStep(steps);
+}
+
+void CollaborativeTraining::StartStep(int remaining) {
+  const SimTime step_start = sim_->Now();
+  sim_->ScheduleAfter(ComputePerStep(), [this, remaining, step_start] {
+    const SimTime compute_end = sim_->Now();
+    if (config_.num_socs == 1) {
+      FinishStep(remaining, step_start, compute_end);
+      return;
+    }
+    StartAllReducePhase(remaining, 0, step_start, compute_end);
+  });
+}
+
+void CollaborativeTraining::StartAllReducePhase(int remaining_steps, int phase,
+                                                SimTime step_start,
+                                                SimTime compute_end) {
+  const int total_phases = 2 * (config_.num_socs - 1);
+  if (phase >= total_phases) {
+    FinishStep(remaining_steps, step_start, compute_end);
+    return;
+  }
+  // Each phase: every SoC sends a gradient chunk to its ring successor,
+  // all transfers concurrently through the fabric.
+  Network& net = cluster_->network();
+  const DataRate cap = Network::TcpGoodput(cluster_->soc(0).spec().nic);
+  const DataSize chunk = PhaseBytes();
+  auto remaining_flows = std::make_shared<int>(config_.num_socs);
+  auto on_flow_done = [this, remaining_steps, phase, step_start, compute_end,
+                       remaining_flows] {
+    if (--*remaining_flows == 0) {
+      StartAllReducePhase(remaining_steps, phase + 1, step_start,
+                          compute_end);
+    }
+  };
+  for (int i = 0; i < config_.num_socs; ++i) {
+    const int next = (i + 1) % config_.num_socs;
+    Result<FlowId> flow =
+        net.StartFlow(cluster_->soc_node(i), cluster_->soc_node(next), chunk,
+                      cap, on_flow_done);
+    SOC_CHECK(flow.ok()) << flow.status().ToString();
+  }
+}
+
+void CollaborativeTraining::FinishStep(int remaining_steps, SimTime step_start,
+                                       SimTime compute_end) {
+  TrainingStepResult result;
+  result.step_time = sim_->Now() - step_start;
+  result.compute = compute_end - step_start;
+  result.allreduce = sim_->Now() - compute_end;
+  result.samples_per_second =
+      config_.micro_batch * config_.num_socs /
+      result.step_time.ToSeconds();
+  if (on_step_) {
+    on_step_(result);
+  }
+  if (remaining_steps > 1) {
+    StartStep(remaining_steps - 1);
+    return;
+  }
+  for (int i = 0; i < config_.num_socs; ++i) {
+    if (cluster_->soc(i).IsUsable()) {
+      const Status status = cluster_->soc(i).SetCpuUtil(0.0);
+      SOC_CHECK(status.ok()) << status.ToString();
+    }
+  }
+}
+
+}  // namespace soccluster

@@ -1,0 +1,260 @@
+#include "src/workload/serverless/serverless.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
+                                       ServerlessConfig config)
+    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed),
+      soc_memory_mb_(static_cast<size_t>(cluster->num_socs()), 0.0) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+}
+
+Status ServerlessPlatform::RegisterFunction(const FunctionSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("function name is empty");
+  }
+  if (functions_.count(spec.name) > 0) {
+    return Status::AlreadyExists("function " + spec.name +
+                                 " already registered");
+  }
+  if (spec.memory_mb <= 0.0 || spec.memory_mb > config_.soc_memory_budget_mb ||
+      spec.cpu_util <= 0.0 || spec.cpu_util > 1.0 ||
+      spec.exec_median.nanos() <= 0) {
+    return Status::InvalidArgument("invalid function spec");
+  }
+  functions_.emplace(spec.name, spec);
+  return Status::Ok();
+}
+
+ServerlessPlatform::Instance* ServerlessPlatform::FindWarmInstance(
+    const std::string& function) {
+  for (auto& [id, instance] : instances_) {
+    if (instance.function == function && !instance.busy &&
+        cluster_->soc(instance.soc_index).IsUsable()) {
+      return &instance;
+    }
+  }
+  return nullptr;
+}
+
+int ServerlessPlatform::PickSocForNewInstance(double memory_mb) const {
+  int best = -1;
+  double best_free = -1.0;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    if (!cluster_->soc(i).IsUsable()) {
+      continue;
+    }
+    const double free =
+        config_.soc_memory_budget_mb - soc_memory_mb_[static_cast<size_t>(i)];
+    if (free >= memory_mb && free > best_free) {
+      best_free = free;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status ServerlessPlatform::Invoke(const std::string& function,
+                                  Callback on_done) {
+  const auto it = functions_.find(function);
+  if (it == functions_.end()) {
+    return Status::NotFound("function " + function + " not registered");
+  }
+  const FunctionSpec& spec = it->second;
+  ++stats_.invocations;
+  const SimTime enqueue = sim_->Now();
+
+  if (Instance* warm = FindWarmInstance(function)) {
+    sim_->Cancel(warm->eviction);
+    warm->eviction = EventHandle();
+    RunOn(warm, spec, enqueue, std::move(on_done));
+    return Status::Ok();
+  }
+
+  // Cold path: provision a new instance.
+  const int soc_index = PickSocForNewInstance(spec.memory_mb);
+  if (soc_index < 0) {
+    ++stats_.rejected;
+    return Status::Ok();  // Shed, not an API error.
+  }
+  ++stats_.cold_starts;
+  soc_memory_mb_[static_cast<size_t>(soc_index)] += spec.memory_mb;
+  const int64_t id = next_instance_id_++;
+  instances_.emplace(id, Instance{id, function, soc_index, true,
+                                  EventHandle()});
+  sim_->ScheduleAfter(spec.cold_start, [this, id, spec, enqueue,
+                                        cb = std::move(on_done)]() mutable {
+    const auto inst = instances_.find(id);
+    if (inst == instances_.end()) {
+      return;  // SoC failed mid-provision.
+    }
+    inst->second.busy = true;
+    RunOn(&inst->second, spec, enqueue, std::move(cb));
+  });
+  return Status::Ok();
+}
+
+void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
+                               SimTime enqueue, Callback on_done) {
+  SocModel& soc = cluster_->soc(instance->soc_index);
+  // The SoC may have failed between provisioning and bring-up; shed the
+  // invocation and reclaim the instance's memory.
+  if (!soc.IsUsable()) {
+    ++stats_.rejected;
+    instance->busy = false;
+    Evict(instance->id);
+    return;
+  }
+  instance->busy = true;
+  // CPU may be saturated by co-resident invocations; clamp to headroom
+  // (a real runtime would time-slice — the power model only needs the
+  // aggregate utilization, which saturates the same way).
+  const double grant = std::min(spec.cpu_util, soc.CpuHeadroom());
+  if (grant > 0.0) {
+    const Status status = soc.AddCpuUtil(grant);
+    SOC_CHECK(status.ok()) << status.ToString();
+  }
+  const Duration exec = Duration::SecondsF(rng_.LogNormalMedian(
+      spec.exec_median.ToSeconds(), spec.exec_sigma));
+  const int64_t id = instance->id;
+  sim_->ScheduleAfter(exec, [this, id, grant, enqueue,
+                             cb = std::move(on_done)]() mutable {
+    const auto it = instances_.find(id);
+    if (it != instances_.end()) {
+      SocModel& host = cluster_->soc(it->second.soc_index);
+      if (host.IsUsable() && grant > 0.0) {
+        const Status status = host.AddCpuUtil(-grant);
+        SOC_CHECK(status.ok()) << status.ToString();
+      }
+    }
+    FinishInvocation(id, enqueue, std::move(cb));
+  });
+}
+
+void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
+                                          Callback on_done) {
+  stats_.latency_ms.Add((sim_->Now() - enqueue).ToMillis());
+  const auto it = instances_.find(instance_id);
+  if (it != instances_.end()) {
+    it->second.busy = false;
+    if (config_.keep_alive.IsZero()) {
+      Evict(instance_id);
+    } else {
+      ArmEviction(&it->second);
+    }
+  }
+  if (on_done) {
+    on_done();
+  }
+}
+
+void ServerlessPlatform::ArmEviction(Instance* instance) {
+  const int64_t id = instance->id;
+  instance->eviction =
+      sim_->ScheduleAfter(config_.keep_alive, [this, id] { Evict(id); });
+}
+
+void ServerlessPlatform::Evict(int64_t instance_id) {
+  const auto it = instances_.find(instance_id);
+  if (it == instances_.end() || it->second.busy) {
+    return;
+  }
+  const auto spec = functions_.find(it->second.function);
+  SOC_CHECK(spec != functions_.end());
+  soc_memory_mb_[static_cast<size_t>(it->second.soc_index)] -=
+      spec->second.memory_mb;
+  sim_->Cancel(it->second.eviction);
+  instances_.erase(it);
+}
+
+int ServerlessPlatform::InstanceCount(const std::string& function) const {
+  int count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.function == function) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int ServerlessPlatform::WarmInstanceCount(const std::string& function) const {
+  int count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.function == function && !instance.busy) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double ServerlessPlatform::SocMemoryMb(int soc_index) const {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  return soc_memory_mb_[static_cast<size_t>(soc_index)];
+}
+
+ServerlessWorkload::ServerlessWorkload(Simulator* sim,
+                                       ServerlessPlatform* platform,
+                                       int num_functions,
+                                       double total_rate_per_s, uint64_t seed)
+    : sim_(sim), platform_(platform), num_functions_(num_functions),
+      total_rate_(total_rate_per_s), rng_(seed) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(platform_ != nullptr);
+  SOC_CHECK_GT(num_functions_, 0);
+  SOC_CHECK_GT(total_rate_, 0.0);
+}
+
+Status ServerlessWorkload::Start(Duration duration) {
+  // Zipf(1.1) popularity; execution profiles scale with rank (popular
+  // functions are short and light, tail functions are heavier).
+  double normalizer = 0.0;
+  for (int rank = 1; rank <= num_functions_; ++rank) {
+    normalizer += 1.0 / std::pow(rank, 1.1);
+  }
+  double cumulative = 0.0;
+  for (int rank = 1; rank <= num_functions_; ++rank) {
+    FunctionSpec spec;
+    spec.name = "fn" + std::to_string(rank);
+    spec.memory_mb = 128.0 + 64.0 * (rank % 5);
+    spec.exec_median = Duration::MillisF(40.0 + 30.0 * (rank % 7));
+    spec.exec_sigma = 0.6;
+    spec.cpu_util = 0.10 + 0.04 * (rank % 4);
+    SOC_RETURN_IF_ERROR(platform_->RegisterFunction(spec));
+    names_.push_back(spec.name);
+    cumulative += (1.0 / std::pow(rank, 1.1)) / normalizer;
+    cumulative_popularity_.push_back(cumulative);
+  }
+  Arm(sim_->Now() + duration);
+  return Status::Ok();
+}
+
+void ServerlessWorkload::Arm(SimTime end) {
+  const SimTime next =
+      sim_->Now() + Duration::SecondsF(rng_.Exponential(total_rate_));
+  if (next > end) {
+    return;
+  }
+  sim_->ScheduleAt(next, [this, end] {
+    const double u = rng_.NextDouble();
+    size_t pick = cumulative_popularity_.size() - 1;
+    for (size_t i = 0; i < cumulative_popularity_.size(); ++i) {
+      if (u < cumulative_popularity_[i]) {
+        pick = i;
+        break;
+      }
+    }
+    ++generated_;
+    const Status status = platform_->Invoke(names_[pick], nullptr);
+    SOC_CHECK(status.ok()) << status.ToString();
+    Arm(end);
+  });
+}
+
+}  // namespace soccluster

@@ -1,0 +1,145 @@
+// Serverless functions on the SoC Cluster (§8 "Killer applications": the
+// SoC-level scheduling granularity lends itself to ephemeral serverless
+// workloads [76]).
+//
+// The platform manages per-function warm instances pinned to SoCs. An
+// invocation reuses a warm instance when one is idle, otherwise pays a
+// cold start (instance provisioning + runtime bring-up) on a SoC with
+// spare memory. Finished instances stay warm for a keep-alive window, then
+// evict and release their memory. Instance memory occupancy and execution
+// CPU drive the SoCs' power, so the energy cost of keep-alive policies is
+// measurable — the classic cold-start/energy trade-off.
+
+#ifndef SRC_WORKLOAD_SERVERLESS_SERVERLESS_H_
+#define SRC_WORKLOAD_SERVERLESS_SERVERLESS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/stats.h"
+#include "src/cluster/cluster.h"
+
+namespace soccluster {
+
+struct FunctionSpec {
+  std::string name;
+  double memory_mb = 256.0;
+  // Execution time: log-normal with this median and sigma (serverless
+  // durations are heavy-tailed [76]).
+  Duration exec_median = Duration::MillisF(80.0);
+  double exec_sigma = 0.6;
+  // CPU demand while executing (fraction of the 8-core SoC).
+  double cpu_util = 0.25;
+  // Cold start: pulling the image + runtime bring-up on a mobile SoC.
+  Duration cold_start = Duration::MillisF(900.0);
+};
+
+struct ServerlessConfig {
+  // How long an idle instance stays warm before eviction.
+  Duration keep_alive = Duration::Minutes(10);
+  // Per-instance resident memory is charged against the SoC's 12 GB.
+  double soc_memory_budget_mb = 10240.0;  // Leave 2 GB to Android.
+  uint64_t seed = 97;
+};
+
+struct InvocationStats {
+  int64_t invocations = 0;
+  int64_t cold_starts = 0;
+  int64_t rejected = 0;  // No SoC had memory for a new instance.
+  SampleStats latency_ms;
+
+  double ColdStartRate() const {
+    return invocations > 0
+               ? static_cast<double>(cold_starts) / invocations
+               : 0.0;
+  }
+};
+
+class ServerlessPlatform {
+ public:
+  using Callback = std::function<void()>;
+
+  ServerlessPlatform(Simulator* sim, SocCluster* cluster,
+                     ServerlessConfig config);
+  ServerlessPlatform(const ServerlessPlatform&) = delete;
+  ServerlessPlatform& operator=(const ServerlessPlatform&) = delete;
+
+  // Registers a function type. Fails on duplicates or invalid specs.
+  Status RegisterFunction(const FunctionSpec& spec);
+
+  // Invokes a function; `on_done` (may be null) fires at completion.
+  // Returns kNotFound for unregistered functions; a rejection for lack of
+  // memory is *not* an error (it is counted in stats, as a real platform
+  // would shed the invocation).
+  Status Invoke(const std::string& function, Callback on_done);
+
+  const InvocationStats& stats() const { return stats_; }
+  // Warm (idle) + active instances of a function across the cluster.
+  int InstanceCount(const std::string& function) const;
+  int WarmInstanceCount(const std::string& function) const;
+  // Total resident function memory on one SoC.
+  double SocMemoryMb(int soc_index) const;
+
+ private:
+  struct Instance {
+    int64_t id;
+    std::string function;
+    int soc_index;
+    bool busy = false;
+    EventHandle eviction;
+  };
+
+  Instance* FindWarmInstance(const std::string& function);
+  // Picks the SoC with the most free memory; -1 when none fits.
+  int PickSocForNewInstance(double memory_mb) const;
+  void RunOn(Instance* instance, const FunctionSpec& spec, SimTime enqueue,
+             Callback on_done);
+  void FinishInvocation(int64_t instance_id, SimTime enqueue,
+                        Callback on_done);
+  void Evict(int64_t instance_id);
+  void ArmEviction(Instance* instance);
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  ServerlessConfig config_;
+  Rng rng_;
+  std::map<std::string, FunctionSpec> functions_;
+  std::map<int64_t, Instance> instances_;
+  std::vector<double> soc_memory_mb_;
+  int64_t next_instance_id_ = 1;
+  InvocationStats stats_;
+};
+
+// A heavy-tailed multi-function workload driver: function popularity is
+// Zipf-like, arrivals are Poisson per function.
+class ServerlessWorkload {
+ public:
+  ServerlessWorkload(Simulator* sim, ServerlessPlatform* platform,
+                     int num_functions, double total_rate_per_s,
+                     uint64_t seed);
+
+  // Registers `num_functions` synthetic functions and starts arrivals for
+  // `duration`.
+  Status Start(Duration duration);
+  int64_t generated() const { return generated_; }
+
+ private:
+  void Arm(SimTime end);
+
+  Simulator* sim_;
+  ServerlessPlatform* platform_;
+  int num_functions_;
+  double total_rate_;
+  Rng rng_;
+  std::vector<std::string> names_;
+  std::vector<double> cumulative_popularity_;
+  int64_t generated_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_SERVERLESS_SERVERLESS_H_

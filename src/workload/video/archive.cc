@@ -1,0 +1,117 @@
+#include "src/workload/video/archive.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+ArchiveTranscodingService::ArchiveTranscodingService(Simulator* sim,
+                                                     SocCluster* cluster,
+                                                     ArchiveScheduling
+                                                         scheduling,
+                                                     int max_concurrent_socs)
+    : sim_(sim), cluster_(cluster), scheduling_(scheduling),
+      max_concurrent_(max_concurrent_socs == 0 ? cluster->num_socs()
+                                               : max_concurrent_socs) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GT(max_concurrent_, 0);
+}
+
+Result<int64_t> ArchiveTranscodingService::SubmitJob(
+    VbenchVideo video, Duration duration_of_video, JobCallback on_done) {
+  if (duration_of_video.nanos() <= 0) {
+    return Status::InvalidArgument("empty clip");
+  }
+  Job job;
+  job.id = next_id_++;
+  job.video = video;
+  job.frames = static_cast<int64_t>(duration_of_video.ToSeconds() *
+                                    GetVideo(video).fps);
+  job.submitted = sim_->Now();
+  job.on_done = std::move(on_done);
+  const int64_t id = job.id;
+  queue_.push_back(std::move(job));
+  TryDispatch();
+  return id;
+}
+
+Duration ArchiveTranscodingService::ProcessingTime(const Job& job) const {
+  const double fps =
+      TranscodeModel::ArchiveJobFps(TranscodeBackend::kSocCpu, job.video);
+  SOC_CHECK_GT(fps, 0.0);
+  return Duration::SecondsF(static_cast<double>(job.frames) / fps);
+}
+
+int ArchiveTranscodingService::PickIdleSoc() const {
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    const SocModel& soc = cluster_->soc(i);
+    if (!soc.IsUsable() || soc.cpu_util() > 0.0) {
+      continue;
+    }
+    bool busy_with_archive = false;
+    for (const auto& [job_id, soc_index] : running_) {
+      if (soc_index == i) {
+        busy_with_archive = true;
+        break;
+      }
+    }
+    if (!busy_with_archive) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void ArchiveTranscodingService::TryDispatch() {
+  while (!queue_.empty() && running_jobs() < max_concurrent_) {
+    const int soc_index = PickIdleSoc();
+    if (soc_index < 0) {
+      return;
+    }
+    // Pick the next job per policy.
+    auto it = queue_.begin();
+    if (scheduling_ == ArchiveScheduling::kShortestJobFirst) {
+      it = std::min_element(queue_.begin(), queue_.end(),
+                            [this](const Job& a, const Job& b) {
+                              return ProcessingTime(a) < ProcessingTime(b);
+                            });
+    }
+    Job job = std::move(*it);
+    queue_.erase(it);
+
+    SocModel& soc = cluster_->soc(soc_index);
+    // A quality-matched archive job saturates the SoC CPU (§4's x264
+    // "slow"-class settings use all cores).
+    const Status status = soc.SetCpuUtil(1.0);
+    SOC_CHECK(status.ok()) << status.ToString();
+    running_.emplace(job.id, soc_index);
+    const SimTime started = sim_->Now();
+    const Duration processing = ProcessingTime(job);
+    sim_->ScheduleAfter(processing, [this, job = std::move(job), soc_index,
+                                     started]() mutable {
+      SocModel& host = cluster_->soc(soc_index);
+      if (host.IsUsable()) {
+        const Status clear = host.SetCpuUtil(0.0);
+        SOC_CHECK(clear.ok()) << clear.ToString();
+      }
+      running_.erase(job.id);
+      ++completed_;
+      ArchiveJobReport report;
+      report.job_id = job.id;
+      report.video = job.video;
+      report.frames = job.frames;
+      report.queue_wait = started - job.submitted;
+      report.processing = sim_->Now() - started;
+      report.turnaround = sim_->Now() - job.submitted;
+      turnaround_minutes_.Add(report.turnaround.ToSeconds() / 60.0);
+      if (job.on_done) {
+        job.on_done(report);
+      }
+      TryDispatch();
+    });
+  }
+}
+
+}  // namespace soccluster

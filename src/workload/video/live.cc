@@ -1,0 +1,159 @@
+#include "src/workload/video/live.h"
+
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+LiveTranscodingService::LiveTranscodingService(Simulator* sim,
+                                               SocCluster* cluster,
+                                               PlacementPolicy policy)
+    : sim_(sim), cluster_(cluster), policy_(policy) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+}
+
+int LiveTranscodingService::StreamsOnSoc(int soc_index) const {
+  int count = 0;
+  for (const auto& [id, stream] : streams_) {
+    if (stream.soc_index == soc_index) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int LiveTranscodingService::HwStreamsOnSoc(int soc_index) const {
+  int count = 0;
+  for (const auto& [id, stream] : streams_) {
+    if (stream.soc_index == soc_index &&
+        stream.backend == TranscodeBackend::kSocHwCodec) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<int> LiveTranscodingService::PickSoc(VbenchVideo video,
+                                            TranscodeBackend backend) const {
+  int best = -1;
+  double best_key = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    const SocModel& soc = cluster_->soc(i);
+    if (!soc.IsUsable()) {
+      continue;
+    }
+    bool fits = false;
+    if (backend == TranscodeBackend::kSocCpu) {
+      // Per-generation CPU demand (Fig. 14 factors).
+      const double cpu_demand = TranscodeModel::SocCpuUtilPerStream(video) /
+                                soc.spec().cpu_transcode_factor;
+      fits = soc.CpuHeadroom() >= cpu_demand;
+    } else {
+      const int hw_limit =
+          TranscodeModel::MaxLiveStreamsSocHw(soc.spec(), video);
+      fits = HwStreamsOnSoc(i) < hw_limit &&
+             soc.codec_sessions() < soc.spec().max_codec_sessions;
+    }
+    if (!fits) {
+      continue;
+    }
+    // kSpread favours the emptiest SoC; kPack the fullest that still fits.
+    const double load = soc.cpu_util() + soc.codec_sessions() * 0.05;
+    const double key =
+        policy_ == PlacementPolicy::kSpread ? load : -load;
+    if (key < best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  if (best < 0) {
+    return Status::ResourceExhausted("no SoC can admit this stream");
+  }
+  return best;
+}
+
+Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
+                                                    TranscodeBackend backend) {
+  if (backend != TranscodeBackend::kSocCpu &&
+      backend != TranscodeBackend::kSocHwCodec) {
+    return Status::InvalidArgument(
+        "LiveTranscodingService runs on the SoC Cluster only");
+  }
+  Result<int> soc_index = PickSoc(video, backend);
+  if (!soc_index.ok()) {
+    return soc_index.status();
+  }
+  SocModel& soc = cluster_->soc(*soc_index);
+  const VideoSpec& spec = GetVideo(video);
+
+  if (backend == TranscodeBackend::kSocCpu) {
+    SOC_RETURN_IF_ERROR(
+        soc.AddCpuUtil(TranscodeModel::SocCpuUtilPerStream(video) /
+                       soc.spec().cpu_transcode_factor));
+  } else {
+    SOC_RETURN_IF_ERROR(soc.AddCodecSession(spec.PixelRate()));
+  }
+
+  // Source stream in from the edge, transcoded stream back out.
+  Network& net = cluster_->network();
+  Result<int64_t> inbound = net.AddConstantLoad(
+      cluster_->external_node(), cluster_->soc_node(*soc_index),
+      spec.source_bitrate);
+  SOC_CHECK(inbound.ok()) << inbound.status().ToString();
+  Result<int64_t> outbound = net.AddConstantLoad(
+      cluster_->soc_node(*soc_index), cluster_->external_node(),
+      spec.target_bitrate);
+  SOC_CHECK(outbound.ok()) << outbound.status().ToString();
+
+  const int64_t id = next_id_++;
+  streams_.emplace(id, Stream{video, backend, *soc_index, *inbound,
+                              *outbound});
+  return id;
+}
+
+Status LiveTranscodingService::StopStream(int64_t stream_id) {
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no such stream");
+  }
+  const Stream& stream = it->second;
+  SocModel& soc = cluster_->soc(stream.soc_index);
+  if (soc.IsUsable()) {
+    if (stream.backend == TranscodeBackend::kSocCpu) {
+      SOC_RETURN_IF_ERROR(soc.AddCpuUtil(
+          -TranscodeModel::SocCpuUtilPerStream(stream.video) /
+          soc.spec().cpu_transcode_factor));
+    } else {
+      SOC_RETURN_IF_ERROR(
+          soc.RemoveCodecSession(GetVideo(stream.video).PixelRate()));
+    }
+  }
+  Network& net = cluster_->network();
+  SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.inbound_load));
+  SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.outbound_load));
+  streams_.erase(it);
+  return Status::Ok();
+}
+
+int LiveTranscodingService::ClusterCapacity(VbenchVideo video,
+                                            TranscodeBackend backend) const {
+  if (backend != TranscodeBackend::kSocCpu &&
+      backend != TranscodeBackend::kSocHwCodec) {
+    return 0;
+  }
+  int capacity = 0;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    const SocModel& soc = cluster_->soc(i);
+    if (!soc.IsUsable()) {
+      continue;
+    }
+    capacity += backend == TranscodeBackend::kSocCpu
+                    ? TranscodeModel::MaxLiveStreamsSocCpu(soc.spec(), video)
+                    : TranscodeModel::MaxLiveStreamsSocHw(soc.spec(), video);
+  }
+  return capacity;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,64 @@
+// Live-streaming transcoding service on the SoC Cluster (§4). Each stream
+// occupies CPU capacity (software path) or a hardware-codec session, plus
+// inbound/outbound network bandwidth through the PCB/ESB fabric. The
+// service handles placement, admission control, and teardown, and is what
+// the Figure 7 energy-proportionality sweep and Table 3 network-bound
+// analysis drive.
+
+#ifndef SRC_WORKLOAD_VIDEO_LIVE_H_
+#define SRC_WORKLOAD_VIDEO_LIVE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/base/result.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/video/transcode.h"
+#include "src/workload/video/video.h"
+
+namespace soccluster {
+
+enum class PlacementPolicy {
+  kSpread,  // Least-loaded SoC first (energy-proportional, paper default).
+  kPack,    // Fill one SoC before waking the next (consolidation).
+};
+
+class LiveTranscodingService {
+ public:
+  LiveTranscodingService(Simulator* sim, SocCluster* cluster,
+                         PlacementPolicy policy);
+  LiveTranscodingService(const LiveTranscodingService&) = delete;
+  LiveTranscodingService& operator=(const LiveTranscodingService&) = delete;
+
+  // Admits one live stream; fails with RESOURCE_EXHAUSTED when no SoC has
+  // capacity. The stream runs until StopStream().
+  Result<int64_t> StartStream(VbenchVideo video, TranscodeBackend backend);
+  Status StopStream(int64_t stream_id);
+
+  int active_streams() const { return static_cast<int>(streams_.size()); }
+  int StreamsOnSoc(int soc_index) const;
+  // Total streams the whole cluster can admit for this video/backend.
+  int ClusterCapacity(VbenchVideo video, TranscodeBackend backend) const;
+
+ private:
+  struct Stream {
+    VbenchVideo video;
+    TranscodeBackend backend;
+    int soc_index;
+    int64_t inbound_load;
+    int64_t outbound_load;
+  };
+
+  Result<int> PickSoc(VbenchVideo video, TranscodeBackend backend) const;
+  int HwStreamsOnSoc(int soc_index) const;
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  PlacementPolicy policy_;
+  std::map<int64_t, Stream> streams_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_VIDEO_LIVE_H_

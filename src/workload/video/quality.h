@@ -1,0 +1,49 @@
+// Output-quality models for the three encoder stacks (§4.2-§4.3):
+// rate control (target vs. achieved bitrate, Fig. 9) and PSNR under a fixed
+// bitrate constraint (Fig. 10).
+
+#ifndef SRC_WORKLOAD_VIDEO_QUALITY_H_
+#define SRC_WORKLOAD_VIDEO_QUALITY_H_
+
+#include "src/base/units.h"
+#include "src/workload/video/video.h"
+
+namespace soccluster {
+
+enum class VideoEncoder {
+  kLibx264,     // Software x264 — SoC CPU and Intel CPU (identical output).
+  kMediaCodec,  // Android hardware encoder via LiTr.
+  kNvenc,       // NVIDIA hardware encoder.
+};
+
+const char* VideoEncoderName(VideoEncoder encoder);
+
+class VideoQualityModel {
+ public:
+  // Achieved output bitrate for a requested target. Software encoders track
+  // the target closely; MediaCodec enforces a resolution-dependent bitrate
+  // floor (~0.007 bits/pixel/frame) and overshoots ~3%, so very low targets
+  // (V2, and V4's 215 kbps at 1080p) come out above the cap — sometimes
+  // above the source bitrate itself (§4.2).
+  static DataRate OutputBitrate(VideoEncoder encoder, VbenchVideo video,
+                                DataRate target);
+
+  // True when the encoder honours the target within 5%.
+  static bool MeetsBitrateTarget(VideoEncoder encoder, VbenchVideo video,
+                                 DataRate target);
+
+  // MediaCodec's minimum achievable output rate for this geometry.
+  static DataRate MediaCodecBitrateFloor(VbenchVideo video);
+
+  // PSNR (dB) of a live transcode at the video's Table 3 target bitrate.
+  // libx264 values are the vbench-style baselines; MediaCodec loses
+  // 1.35-14.77% (Fig. 10), NVENC a fixed ~0.4 dB.
+  static double PsnrDb(VideoEncoder encoder, VbenchVideo video);
+
+  // Fractional PSNR deficit vs. libx264 (0 for libx264 itself).
+  static double PsnrLossFraction(VideoEncoder encoder, VbenchVideo video);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_VIDEO_QUALITY_H_

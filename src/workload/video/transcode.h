@@ -1,0 +1,75 @@
+// Transcode cost model: how many live streams each execution unit supports,
+// what CPU/codec/GPU resources one stream consumes, and the archive
+// (quality-matched, file-to-file) throughput and power of a single job.
+//
+// Calibration: live per-unit stream limits come from Table 3 (SoC) and from
+// the Table 5 TpC rows divided by monthly TCO (Intel: streams/container;
+// A40: streams/GPU). Power coefficients are chosen so the Figure 6a/7/8b
+// efficiency ratios land on the paper's values; see each table's comment.
+
+#ifndef SRC_WORKLOAD_VIDEO_TRANSCODE_H_
+#define SRC_WORKLOAD_VIDEO_TRANSCODE_H_
+
+#include "src/base/units.h"
+#include "src/hw/specs.h"
+#include "src/workload/video/video.h"
+
+namespace soccluster {
+
+class TranscodeModel {
+ public:
+  // ----- Live streaming (constant frame-rate, must keep up) -----
+
+  // Streams one SD865 SoC CPU sustains without dropping below source FPS
+  // (Table 3 "Max. Stream Num", CPU column).
+  static int MaxLiveStreamsSocCpu(VbenchVideo video);
+  // Same for the SoC hardware codec (Table 3, HW column).
+  static int MaxLiveStreamsSocHw(VbenchVideo video);
+  // Streams per 8-core Xeon container (Table 5 live TpC x monthly TCO / 10).
+  static int MaxLiveStreamsIntelContainer(VbenchVideo video);
+  // Streams per A40 (Table 5 live TpC x monthly TCO / 8).
+  static int MaxLiveStreamsA40(VbenchVideo video);
+  static int MaxLiveStreams(TranscodeBackend backend, VbenchVideo video);
+
+  // Fractional CPU capacity one live stream consumes. The denominator
+  // carries sub-stream headroom (e.g. V1 fits 13 streams but not 14).
+  static double SocCpuUtilPerStream(VbenchVideo video);
+  static double IntelUtilPerStream(VbenchVideo video);
+
+  // Live-stream capacity of a non-865 SoC generation: the per-stream CPU
+  // demand shrinks with the generation's transcode factor (Fig. 14).
+  static int MaxLiveStreamsSocCpu(const SocSpec& spec, VbenchVideo video);
+  static int MaxLiveStreamsSocHw(const SocSpec& spec, VbenchVideo video);
+
+  // Marginal power of one NVENC live stream on the A40 (above the clock
+  // floor). Low-entropy videos still pay the floor — the §4.1 observation
+  // that the GPU holds high clocks regardless of content.
+  static Power NvencPerStreamPower(VbenchVideo video);
+  static Power NvencClockFloor() { return Power::Watts(48.0); }
+
+  // ----- Archive transcoding (single quality-matched job) -----
+
+  // Frames/s of one archive job (FFmpeg two-pass "slow"-class settings on
+  // CPUs; NVDEC+NVENC on the A40). Per-job, matching the paper's archive
+  // methodology of repeating a single transcode.
+  static double ArchiveJobFps(TranscodeBackend backend, VbenchVideo video);
+  // Marginal power while that job runs.
+  static Power ArchiveJobPower(TranscodeBackend backend, VbenchVideo video);
+  // Energy efficiency in frames per Joule (Fig. 6b).
+  static double ArchiveFramesPerJoule(TranscodeBackend backend,
+                                      VbenchVideo video);
+  // Archive throughput for a non-865 generation (Fig. 14 uses V4/V5 fps).
+  static double ArchiveJobFps(const SocSpec& spec, VbenchVideo video);
+
+  // ----- Live-stream transcode throughput in frames/s -----
+  // Aggregate fps a fully loaded unit produces (streams x video fps); the
+  // longitudinal study (Fig. 14) reports this for V4/V5.
+  static double LiveThroughputFpsSocCpu(const SocSpec& spec,
+                                        VbenchVideo video);
+  static double LiveThroughputFpsSocHw(const SocSpec& spec,
+                                       VbenchVideo video);
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_VIDEO_TRANSCODE_H_

@@ -1,0 +1,52 @@
+#include "src/workload/video/video.h"
+
+#include "src/base/log.h"
+
+namespace soccluster {
+
+const std::vector<VideoSpec>& VbenchVideos() {
+  // Table 3, "Video Metadata" columns.
+  static const std::vector<VideoSpec> kVideos = {
+      {VbenchVideo::kV1Holi, "V1:holi", 854, 480, 30, 7.0,
+       DataRate::Mbps(2.8), DataRate::Kbps(819.8)},
+      {VbenchVideo::kV2Desktop, "V2:desktop", 1280, 720, 30, 0.2,
+       DataRate::Kbps(181.0), DataRate::Kbps(90.5)},
+      {VbenchVideo::kV3Game3, "V3:game3", 1280, 720, 59, 6.1,
+       DataRate::Mbps(5.6), DataRate::Mbps(2.7)},
+      {VbenchVideo::kV4Presentation, "V4:presentation", 1920, 1080, 25, 0.2,
+       DataRate::Kbps(430.0), DataRate::Kbps(215.0)},
+      {VbenchVideo::kV5Hall, "V5:hall", 1920, 1080, 29, 7.7,
+       DataRate::Mbps(16.0), DataRate::Mbps(4.1)},
+      {VbenchVideo::kV6Chicken, "V6:chicken", 3840, 2160, 30, 5.9,
+       DataRate::Mbps(49.0), DataRate::Mbps(16.6)},
+  };
+  return kVideos;
+}
+
+const VideoSpec& GetVideo(VbenchVideo id) {
+  const auto& videos = VbenchVideos();
+  const size_t index = static_cast<size_t>(id);
+  SOC_CHECK_LT(index, videos.size());
+  return videos[index];
+}
+
+const char* TranscodeBackendName(TranscodeBackend backend) {
+  switch (backend) {
+    case TranscodeBackend::kSocCpu:
+      return "SoC-CPU";
+    case TranscodeBackend::kSocHwCodec:
+      return "SoC-HW";
+    case TranscodeBackend::kIntelCpu:
+      return "Intel-CPU";
+    case TranscodeBackend::kNvidiaA40:
+      return "GPU-A40";
+  }
+  return "?";
+}
+
+std::vector<TranscodeBackend> AllTranscodeBackends() {
+  return {TranscodeBackend::kSocCpu, TranscodeBackend::kSocHwCodec,
+          TranscodeBackend::kIntelCpu, TranscodeBackend::kNvidiaA40};
+}
+
+}  // namespace soccluster

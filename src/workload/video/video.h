@@ -1,0 +1,63 @@
+// The six vbench videos of the transcoding study (Table 3 metadata) and the
+// transcode backends compared in §4.
+
+#ifndef SRC_WORKLOAD_VIDEO_VIDEO_H_
+#define SRC_WORKLOAD_VIDEO_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace soccluster {
+
+enum class VbenchVideo {
+  kV1Holi = 0,        // 854x480@30, entropy 7.0 (crowd scene).
+  kV2Desktop = 1,     // 1280x720@30, entropy 0.2 (static desktop capture).
+  kV3Game3 = 2,       // 1280x720@59, entropy 6.1 (game footage).
+  kV4Presentation = 3,  // 1920x1080@25, entropy 0.2 (slides).
+  kV5Hall = 4,        // 1920x1080@29, entropy 7.7 (busy hall).
+  kV6Chicken = 5,     // 3840x2160@30, entropy 5.9 (4K nature).
+};
+
+struct VideoSpec {
+  VbenchVideo id = VbenchVideo::kV1Holi;
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int fps = 0;
+  double entropy = 0.0;  // Bits per pixel per second (scene complexity).
+  DataRate source_bitrate;
+  DataRate target_bitrate;  // Live-streaming transcode target (Table 3).
+
+  int64_t PixelsPerFrame() const {
+    return static_cast<int64_t>(width) * height;
+  }
+  // Pixels processed per second of video.
+  double PixelRate() const {
+    return static_cast<double>(PixelsPerFrame()) * fps;
+  }
+  // Network traffic of one live stream: inbound source + outbound target.
+  DataRate StreamNetworkRate() const {
+    return source_bitrate + target_bitrate;
+  }
+};
+
+// All six videos, indexed by VbenchVideo.
+const std::vector<VideoSpec>& VbenchVideos();
+const VideoSpec& GetVideo(VbenchVideo id);
+
+// The hardware that can run a transcode.
+enum class TranscodeBackend {
+  kSocCpu,       // FFmpeg/libx264 with NEON on the SoC's Kryo CPU.
+  kSocHwCodec,   // LiTr/MediaCodec on the SoC's hardware codec.
+  kIntelCpu,     // FFmpeg/libx264 in an 8-core Docker container.
+  kNvidiaA40,    // FFmpeg with NVDEC/NVENC on one A40.
+};
+
+const char* TranscodeBackendName(TranscodeBackend backend);
+std::vector<TranscodeBackend> AllTranscodeBackends();
+
+}  // namespace soccluster
+
+#endif  // SRC_WORKLOAD_VIDEO_VIDEO_H_

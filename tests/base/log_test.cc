@@ -1,0 +1,46 @@
+#include "src/base/log.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+TEST(LogTest, LevelFiltering) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold statements are skipped entirely (the side effect in
+  // the stream must not run).
+  int evaluated = 0;
+  SOC_LOG(Info) << "hidden " << ++evaluated;
+  EXPECT_EQ(evaluated, 0);
+  SetLogLevel(saved);
+}
+
+TEST(LogTest, EmitsToStderr) {
+  testing::internal::CaptureStderr();
+  SOC_LOG(Warning) << "watch out " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("watch out 42"), std::string::npos);
+  EXPECT_NE(out.find("log_test.cc"), std::string::npos);
+}
+
+TEST(LogDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SOC_CHECK(1 == 2) << "impossible"; }, "CHECK failed");
+  EXPECT_DEATH({ SOC_CHECK_EQ(3, 4); }, "3 vs 4");
+  EXPECT_DEATH({ SOC_CHECK_LT(5, 2); }, "5 vs 2");
+}
+
+TEST(LogTest, CheckPassesSilently) {
+  testing::internal::CaptureStderr();
+  SOC_CHECK(true) << "never shown";
+  SOC_CHECK_GE(2, 2);
+  SOC_CHECK_NE(1, 2);
+  SOC_CHECK_LE(1, 2);
+  SOC_CHECK_GT(2, 1);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace soccluster

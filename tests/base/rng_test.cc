@@ -1,0 +1,159 @@
+#include "src/base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace soccluster {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(7);
+  const uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(7);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 9.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.UniformInt(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    saw_lo = saw_lo || x == 2;
+    saw_hi = saw_hi || x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);  // Mean 0.5.
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Gaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(23);
+  double sum_small = 0.0;
+  double sum_large = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_small += static_cast<double>(rng.Poisson(3.0));
+    sum_large += static_cast<double>(rng.Poisson(100.0));
+  }
+  EXPECT_NEAR(sum_small / n, 3.0, 0.1);
+  EXPECT_NEAR(sum_large / n, 100.0, 1.0);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(29);
+  std::vector<double> samples;
+  const int n = 20001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.LogNormalMedian(100.0, 0.5));
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[n / 2], 100.0, 5.0);
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), a);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,48 @@
+#include "src/base/table.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable table({"h"});
+  table.AddRow({"wide-cell"});
+  const std::string out = table.Render();
+  // Header line padded to the widest cell width ("wide-cell" = 9 chars).
+  EXPECT_NE(out.find("| h         |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.RenderCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatSiTest, Suffixes) {
+  EXPECT_EQ(FormatSi(950.0, 0), "950");
+  EXPECT_EQ(FormatSi(1234.0, 2), "1.23K");
+  EXPECT_EQ(FormatSi(5600000.0, 1), "5.6M");
+  EXPECT_EQ(FormatSi(7.2e9, 1), "7.2G");
+  EXPECT_EQ(FormatSi(-1234.0, 2), "-1.23K");
+}
+
+}  // namespace
+}  // namespace soccluster

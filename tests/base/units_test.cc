@@ -1,0 +1,94 @@
+#include "src/base/units.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+TEST(DurationTest, FactoryConversions) {
+  EXPECT_EQ(Duration::Seconds(3).nanos(), 3000000000LL);
+  EXPECT_EQ(Duration::Millis(5).nanos(), 5000000LL);
+  EXPECT_EQ(Duration::Micros(7).nanos(), 7000LL);
+  EXPECT_EQ(Duration::Minutes(2).nanos(), 120000000000LL);
+  EXPECT_EQ(Duration::Hours(1).nanos(), 3600000000000LL);
+}
+
+TEST(DurationTest, FloatingFactoriesRound) {
+  EXPECT_EQ(Duration::SecondsF(1.5).nanos(), 1500000000LL);
+  EXPECT_EQ(Duration::MillisF(0.0005).nanos(), 500LL);
+  EXPECT_EQ(Duration::SecondsF(-1.5).nanos(), -1500000000LL);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Seconds(2);
+  const Duration b = Duration::Millis(500);
+  EXPECT_EQ((a + b).ToMillis(), 2500.0);
+  EXPECT_EQ((a - b).ToMillis(), 1500.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).ToSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).ToSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_TRUE(Duration::Zero().IsZero());
+  EXPECT_TRUE((Duration::Zero() - Duration::Millis(1)).IsNegative());
+}
+
+TEST(SimTimeTest, OffsetAndDifference) {
+  const SimTime t0 = SimTime::Zero();
+  const SimTime t1 = t0 + Duration::Seconds(10);
+  EXPECT_EQ((t1 - t0).ToSeconds(), 10.0);
+  EXPECT_EQ((t1 - Duration::Seconds(4)).ToSeconds(), 6.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(PowerTest, ArithmeticAndUnits) {
+  const Power p = Power::Watts(2.5);
+  EXPECT_DOUBLE_EQ(p.milliwatts(), 2500.0);
+  EXPECT_DOUBLE_EQ((p + Power::Watts(1.5)).watts(), 4.0);
+  EXPECT_DOUBLE_EQ((p * 4.0).watts(), 10.0);
+  EXPECT_DOUBLE_EQ(p / Power::Watts(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Power::Milliwatts(1500.0).watts(), 1.5);
+}
+
+TEST(EnergyTest, PowerTimesTime) {
+  const Energy e = Power::Watts(10.0) * Duration::Seconds(60);
+  EXPECT_DOUBLE_EQ(e.joules(), 600.0);
+  EXPECT_DOUBLE_EQ(Energy::KilowattHours(1.0).joules(), 3.6e6);
+  EXPECT_DOUBLE_EQ(Energy::Joules(3.6e6).ToKilowattHours(), 1.0);
+}
+
+TEST(DataSizeTest, UnitsRoundTrip) {
+  EXPECT_EQ(DataSize::Bytes(100).bits(), 800);
+  EXPECT_DOUBLE_EQ(DataSize::Megabytes(1.0).ToBytes(), 1e6);
+  EXPECT_DOUBLE_EQ(DataSize::Bytes(1000000).ToMegabits(), 8.0);
+  EXPECT_DOUBLE_EQ(DataSize::Kilobytes(2.0).ToBytes(), 2000.0);
+}
+
+TEST(DataRateTest, UnitsAndArithmetic) {
+  const DataRate rate = DataRate::Mbps(100.0);
+  EXPECT_DOUBLE_EQ(rate.ToGbps(), 0.1);
+  EXPECT_DOUBLE_EQ(rate.ToKbps(), 100000.0);
+  EXPECT_DOUBLE_EQ((rate * 10.0).ToGbps(), 1.0);
+  EXPECT_DOUBLE_EQ(DataRate::Gbps(1.0) / DataRate::Mbps(100.0), 10.0);
+}
+
+TEST(TransferTimeTest, BasicAndZeroRate) {
+  const Duration t = TransferTime(DataSize::Megabytes(1.0),
+                                  DataRate::Mbps(8.0));
+  EXPECT_DOUBLE_EQ(t.ToSeconds(), 1.0);
+  EXPECT_EQ(TransferTime(DataSize::Bytes(1), DataRate::Zero()),
+            Duration::Max());
+}
+
+TEST(TransferTimeTest, RateTimesDurationGivesSize) {
+  const DataSize moved = DataRate::Mbps(10.0) * Duration::Seconds(2);
+  EXPECT_EQ(moved.bits(), 20000000);
+  const DataRate needed = DataSize::Megabytes(1.0) / Duration::Seconds(4);
+  EXPECT_DOUBLE_EQ(needed.ToMbps(), 2.0);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,109 @@
+#include "src/cluster/flash.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/bmc.h"
+
+namespace soccluster {
+namespace {
+
+class FlashWearTest : public ::testing::Test {
+ protected:
+  FlashWearTest()
+      : cluster_(&sim_, DefaultChassisSpec(), Snapdragon865Spec()) {
+    cluster_.PowerOnAll(nullptr);
+    const Status status = sim_.RunFor(Duration::Seconds(26));
+    SOC_CHECK(status.ok());
+  }
+
+  Simulator sim_{71};
+  SocCluster cluster_;
+};
+
+TEST_F(FlashWearTest, EnduranceArithmetic) {
+  FlashSpec spec;
+  // 256 GB x 600 cycles / 2.5 WA = 61,440 GB of host writes.
+  EXPECT_NEAR(spec.EnduranceHostGb(), 61440.0, 1e-6);
+}
+
+TEST_F(FlashWearTest, WearAccumulatesWithWrites) {
+  FlashWearModel flash(&sim_, &cluster_, FlashSpec{});
+  ASSERT_TRUE(flash.SetWriteRate(0, DataRate::Mbps(800.0)).ok());  // 100 MB/s.
+  ASSERT_TRUE(sim_.RunFor(Duration::Hours(24)).ok());
+  // 100 MB/s x 86400 s = 8640 GB -> 14.06% of the 61,440 GB budget.
+  EXPECT_NEAR(flash.WearFraction(0), 8640.0 / 61440.0, 1e-3);
+  // Unwritten SoCs stay pristine.
+  EXPECT_EQ(flash.WearFraction(1), 0.0);
+}
+
+TEST_F(FlashWearTest, WearoutFailsTheSoc) {
+  FlashWearModel flash(&sim_, &cluster_, FlashSpec{});
+  int failed_soc = -1;
+  flash.set_on_wearout([&](int soc_index) { failed_soc = soc_index; });
+  ASSERT_TRUE(flash.SetWriteRate(3, DataRate::Gbps(8.0)).ok());  // 1 GB/s.
+  const Duration lifetime = flash.RemainingLifetime(3);
+  // 61,440 GB at 1 GB/s = 61,440 s ~ 17 h.
+  EXPECT_NEAR(lifetime.ToHours(), 17.07, 0.1);
+  sim_.Run();
+  EXPECT_EQ(failed_soc, 3);
+  EXPECT_EQ(cluster_.soc(3).state(), SocPowerState::kFailed);
+  EXPECT_EQ(flash.wearouts(), 1);
+  EXPECT_GE(flash.WearFraction(3), 0.999);
+}
+
+TEST_F(FlashWearTest, RateChangeReschedulesWearout) {
+  FlashWearModel flash(&sim_, &cluster_, FlashSpec{});
+  ASSERT_TRUE(flash.SetWriteRate(0, DataRate::Gbps(8.0)).ok());
+  ASSERT_TRUE(sim_.RunFor(Duration::Hours(8)).ok());
+  // Drop to zero: the scheduled wear-out must not fire.
+  ASSERT_TRUE(flash.SetWriteRate(0, DataRate::Zero()).ok());
+  const double wear = flash.WearFraction(0);
+  EXPECT_GT(wear, 0.4);
+  EXPECT_LT(wear, 0.5);
+  sim_.Run();
+  EXPECT_EQ(flash.wearouts(), 0);
+  EXPECT_TRUE(cluster_.soc(0).IsUsable());
+  EXPECT_EQ(flash.RemainingLifetime(0), Duration::Max());
+}
+
+TEST_F(FlashWearTest, ValidatesArguments) {
+  FlashWearModel flash(&sim_, &cluster_, FlashSpec{});
+  EXPECT_EQ(flash.SetWriteRate(-1, DataRate::Mbps(1.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(flash.SetWriteRate(60, DataRate::Mbps(1.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(flash.SetWriteRate(0, DataRate::Bps(-1.0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlashWearTest, TinyWriteRatesNeverWearOut) {
+  FlashWearModel flash(&sim_, &cluster_, FlashSpec{});
+  ASSERT_TRUE(flash.SetWriteRate(0, DataRate::Kbps(1.0)).ok());
+  EXPECT_EQ(flash.RemainingLifetime(0), Duration::Max());
+  ASSERT_TRUE(sim_.RunFor(Duration::Hours(24 * 365)).ok());
+  EXPECT_EQ(flash.wearouts(), 0);
+}
+
+TEST(BmcThrottleTest, ThrottlesAboveEnvelope) {
+  Simulator sim(73);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(30)).ok());
+  BmcConfig config;
+  config.celsius_per_watt = 0.12;  // Poorly cooled site.
+  BmcModel bmc(&sim, &cluster, config);
+  bmc.StartSampling();
+  EXPECT_FALSE(bmc.IsThrottling());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster.soc(i).SetCpuUtil(1.0).ok());
+  }
+  ASSERT_TRUE(sim.RunFor(Duration::Minutes(30)).ok());
+  EXPECT_TRUE(bmc.IsThrottling());
+  // The recommended cap would hold ~80 C: (80-30)/0.12 ~ 417 W.
+  EXPECT_NEAR(bmc.RecommendedPowerCap().watts(), 416.7, 1.0);
+  EXPECT_LT(bmc.RecommendedPowerCap().watts(),
+            cluster.CurrentPower().watts());
+}
+
+}  // namespace
+}  // namespace soccluster

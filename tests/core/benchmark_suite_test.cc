@@ -1,0 +1,83 @@
+// Direct tests of the measurement harness (the integration suite asserts
+// the paper anchors; this one checks harness mechanics).
+
+#include "src/core/benchmark_suite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+TEST(BenchmarkSuiteTest, SocLiveFullLoadAdmitsClusterCapacity) {
+  const TranscodeMeasurement m = BenchmarkSuite::LiveFullLoad(
+      TranscodeBackend::kSocCpu, VbenchVideo::kV5Hall);
+  EXPECT_EQ(m.streams, 180);  // 60 x 3.
+  EXPECT_EQ(m.units, 60);
+  EXPECT_GT(m.workload_power.watts(), 0.0);
+  EXPECT_GT(m.streams_per_watt, 0.0);
+}
+
+TEST(BenchmarkSuiteTest, HwFullLoadHitsSessionLimits) {
+  const TranscodeMeasurement m = BenchmarkSuite::LiveFullLoad(
+      TranscodeBackend::kSocHwCodec, VbenchVideo::kV1Holi);
+  EXPECT_EQ(m.streams, 960);  // 60 x 16 MediaCodec sessions.
+}
+
+TEST(BenchmarkSuiteTest, PartialLoadAdmitsExactCount) {
+  const TranscodeMeasurement m = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kSocCpu, VbenchVideo::kV4Presentation, 7);
+  EXPECT_EQ(m.streams, 7);
+  // Seven spread streams: 7 x (wake + util x dynamic) within rounding.
+  const double per_stream =
+      0.6 + (1.0 / 9.3) * 7.2;
+  EXPECT_NEAR(m.workload_power.watts(), 7.0 * per_stream, 0.5);
+}
+
+TEST(BenchmarkSuiteTest, IntelMeasurementScalesWithStreams) {
+  const TranscodeMeasurement one = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kIntelCpu, VbenchVideo::kV4Presentation, 1);
+  const TranscodeMeasurement ten = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kIntelCpu, VbenchVideo::kV4Presentation, 10);
+  EXPECT_EQ(one.streams, 1);
+  EXPECT_EQ(ten.streams, 10);
+  EXPECT_GT(ten.workload_power.watts(), one.workload_power.watts() * 5.0);
+  // Packing: ten V4 streams still fit one container (limit 14); only one
+  // wake adder is paid.
+  EXPECT_NEAR(ten.workload_power.watts(), 1.2 + 10.0 / 14.5 * 37.6, 0.1);
+}
+
+TEST(BenchmarkSuiteTest, A40MeasurementPaysClockFloorOnce) {
+  const TranscodeMeasurement m = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kNvidiaA40, VbenchVideo::kV4Presentation, 10);
+  // One GPU: floor 48 W + 10 x 2.3 W.
+  EXPECT_NEAR(m.workload_power.watts(), 48.0 + 23.0, 0.1);
+}
+
+TEST(BenchmarkSuiteTest, OverCapacityRequestsClampToLimit) {
+  const TranscodeMeasurement m = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kNvidiaA40, VbenchVideo::kV6Chicken, 1000);
+  EXPECT_EQ(m.streams, 48);  // 8 GPUs x 6 V6 streams.
+}
+
+TEST(BenchmarkSuiteTest, DlFullLoadMatchesEngineModel) {
+  const DlMeasurement m = BenchmarkSuite::DlFullLoad(
+      DlDevice::kSocDsp, DnnModel::kResNet50, Precision::kInt8, 1);
+  EXPECT_NEAR(m.latency_ms, 8.8, 1e-9);
+  EXPECT_NEAR(m.throughput, 116.0, 1e-9);
+  EXPECT_NEAR(m.samples_per_joule, 116.0 / 1.3, 1e-9);
+}
+
+TEST(BenchmarkSuiteTest, GpuEffAtLoadSaturatesTowardFullLoadEfficiency) {
+  const double saturated = BenchmarkSuite::GpuEffAtLoad(
+      DlDevice::kA100, DnnModel::kResNet50, Precision::kFp32, 64, 3000.0,
+      Duration::Seconds(60));
+  const double full = DlEngineModel::Throughput(
+      DlDevice::kA100, DnnModel::kResNet50, Precision::kFp32, 64) /
+      290.0;  // Whole-card scope at max power.
+  EXPECT_NEAR(saturated, full, full * 0.25);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,119 @@
+// Tests for orchestrator consolidation and heterogeneous (mixed-
+// generation) clusters.
+
+#include <gtest/gtest.h>
+
+#include "src/core/orchestrator.h"
+#include "src/workload/video/live.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+class ConsolidateTest : public ::testing::Test {
+ protected:
+  ConsolidateTest()
+      : cluster_(&sim_, DefaultChassisSpec(), Snapdragon865Spec()),
+        orchestrator_(&sim_, &cluster_, PlacementPolicy::kSpread) {
+    cluster_.PowerOnAll(nullptr);
+    const Status status = sim_.RunFor(Duration::Seconds(26));
+    SOC_CHECK(status.ok());
+  }
+
+  Simulator sim_{121};
+  SocCluster cluster_;
+  Orchestrator orchestrator_;
+};
+
+TEST_F(ConsolidateTest, PacksSpreadReplicasOntoFewerSocs) {
+  ASSERT_TRUE(orchestrator_.RegisterWorkload("svc", {0.25, 1.0, 0.0, 0.0}).ok());
+  ASSERT_TRUE(orchestrator_.ScaleTo("svc", 12).ok());
+  EXPECT_EQ(orchestrator_.SocsInUse(), 12);  // Spread: one each.
+  const int freed = orchestrator_.Consolidate();
+  // Four replicas fit per SoC -> 12 replicas need 3 SoCs; 9 freed.
+  EXPECT_EQ(freed, 9);
+  EXPECT_EQ(orchestrator_.SocsInUse(), 3);
+  EXPECT_EQ(orchestrator_.replicas_migrated(), 9);
+  // Accounting stays exact.
+  double total = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    total += cluster_.soc(i).cpu_util();
+  }
+  EXPECT_NEAR(total, 3.0, 1e-9);
+}
+
+TEST_F(ConsolidateTest, NoopWhenAlreadyPacked) {
+  Orchestrator packer(&sim_, &cluster_, PlacementPolicy::kPack);
+  ASSERT_TRUE(packer.RegisterWorkload("svc", {0.5, 1.0, 0.0, 0.0}).ok());
+  ASSERT_TRUE(packer.ScaleTo("svc", 4).ok());
+  EXPECT_EQ(packer.SocsInUse(), 2);
+  EXPECT_EQ(packer.Consolidate(), 0);
+  EXPECT_EQ(packer.SocsInUse(), 2);
+}
+
+TEST_F(ConsolidateTest, FreedSocsCanPowerOff) {
+  ASSERT_TRUE(orchestrator_.RegisterWorkload("svc", {0.2, 1.0, 0.0, 0.0}).ok());
+  ASSERT_TRUE(orchestrator_.ScaleTo("svc", 10).ok());
+  orchestrator_.Consolidate();
+  int powered_off = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (cluster_.soc(i).cpu_util() == 0.0 &&
+        cluster_.soc(i).PowerOff().ok()) {
+      ++powered_off;
+    }
+  }
+  EXPECT_GE(powered_off, 57);  // 10 replicas pack into <= 3 SoCs.
+}
+
+TEST_F(ConsolidateTest, MigratesCoProcessorDemands) {
+  ASSERT_TRUE(
+      orchestrator_.RegisterWorkload("gpu-svc", {0.1, 1.0, 0.4, 0.0}).ok());
+  ASSERT_TRUE(orchestrator_.ScaleTo("gpu-svc", 4).ok());
+  orchestrator_.Consolidate();
+  // GPU demand moved with the replicas: total GPU util conserved.
+  double gpu_total = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    gpu_total += cluster_.soc(i).gpu_util();
+  }
+  EXPECT_NEAR(gpu_total, 1.6, 1e-9);
+  // And never exceeds 1.0 anywhere.
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_LE(cluster_.soc(i).gpu_util(), 1.0);
+  }
+}
+
+TEST(HeterogeneousClusterTest, MixedGenerationsHaveMixedCapacity) {
+  Simulator sim(123);
+  // Half the slots upgraded to Snapdragon 8+Gen1.
+  std::vector<SocSpec> specs;
+  for (int i = 0; i < 60; ++i) {
+    specs.push_back(i < 30 ? SocSpecFor(SocGeneration::kSd865)
+                           : SocSpecFor(SocGeneration::kSd8Gen1Plus));
+  }
+  SocCluster cluster(&sim, DefaultChassisSpec(), std::move(specs));
+  cluster.PowerOnAll(nullptr);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(26)).ok());
+  LiveTranscodingService service(&sim, &cluster, PlacementPolicy::kSpread);
+  // V5 on the 865: 3 streams; on the 8+Gen1: floor(3.2 x 1.8) = 5.
+  const int capacity =
+      service.ClusterCapacity(VbenchVideo::kV5Hall, TranscodeBackend::kSocCpu);
+  EXPECT_EQ(capacity, 30 * 3 + 30 * 5);
+  // Admission actually reaches that capacity.
+  int admitted = 0;
+  while (service.StartStream(VbenchVideo::kV5Hall,
+                             TranscodeBackend::kSocCpu).ok()) {
+    ++admitted;
+    ASSERT_LE(admitted, capacity);
+  }
+  EXPECT_EQ(admitted, capacity);
+}
+
+TEST(HeterogeneousClusterTest, SpecVectorSizeMustMatch) {
+  Simulator sim(125);
+  std::vector<SocSpec> too_few(10, Snapdragon865Spec());
+  EXPECT_DEATH(SocCluster(&sim, DefaultChassisSpec(), std::move(too_few)),
+               "");
+}
+
+}  // namespace
+}  // namespace soccluster

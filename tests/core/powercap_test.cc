@@ -1,0 +1,110 @@
+#include "src/core/powercap.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+class PowerCapTest : public ::testing::Test {
+ protected:
+  PowerCapTest()
+      : cluster_(&sim_, DefaultChassisSpec(), Snapdragon865Spec()),
+        bmc_(&sim_, &cluster_, BmcConfig{}),
+        fleet_(&sim_, &cluster_, DlDevice::kSocCpu, DnnModel::kResNet50,
+               Precision::kFp32) {
+    cluster_.PowerOnAll(nullptr);
+    const Status status = sim_.RunFor(Duration::Seconds(26));
+    SOC_CHECK(status.ok());
+    bmc_.StartSampling();
+  }
+
+  // Saturates the fleet with a steady request backlog.
+  void Saturate() {
+    for (int i = 0; i < 100000; ++i) {
+      fleet_.Submit();
+    }
+  }
+
+  Simulator sim_{141};
+  SocCluster cluster_;
+  BmcModel bmc_;
+  SocServingFleet fleet_;
+};
+
+TEST_F(PowerCapTest, UnboundedWithoutCapOrThrottle) {
+  PowerCapController controller(&sim_, &cluster_, &bmc_, &fleet_,
+                                PowerCapConfig{});
+  controller.Start();
+  fleet_.SetActiveCount(20);
+  Saturate();
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  EXPECT_FALSE(controller.IsShedding());
+  EXPECT_EQ(fleet_.active_count(), 20);
+  EXPECT_EQ(controller.shed_events(), 0);
+}
+
+TEST_F(PowerCapTest, WallCapShedsCapacity) {
+  PowerCapConfig config;
+  config.wall_cap = Power::Watts(300.0);
+  PowerCapController controller(&sim_, &cluster_, &bmc_, &fleet_, config);
+  controller.Start();
+  fleet_.SetActiveCount(60);  // ~614 W saturated on CPUs.
+  Saturate();
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(60)).ok());
+  EXPECT_TRUE(controller.IsShedding());
+  EXPECT_GT(controller.shed_events(), 0);
+  EXPECT_LE(cluster_.CurrentPower().watts(), 300.0 + 15.0);
+  EXPECT_LT(fleet_.active_count(), 60);
+}
+
+TEST_F(PowerCapTest, RestoresAfterLoadDrops) {
+  PowerCapConfig config;
+  config.wall_cap = Power::Watts(300.0);
+  PowerCapController controller(&sim_, &cluster_, &bmc_, &fleet_, config);
+  controller.Start();
+  fleet_.SetActiveCount(60);
+  for (int i = 0; i < 20000; ++i) {
+    fleet_.Submit();
+  }
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  ASSERT_TRUE(controller.IsShedding());
+  // Drain: once the backlog finishes, busy SoCs go idle, power falls, and
+  // the controller restores the fleet. (Bounded run: the BMC sampler and
+  // the controller tick forever, so Run() would never return.)
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(300)).ok());
+  EXPECT_EQ(fleet_.queue_length(), 0);
+  EXPECT_FALSE(controller.IsShedding());
+  EXPECT_EQ(fleet_.active_count(), 60);
+}
+
+TEST_F(PowerCapTest, ThermalThrottleEngagesWithoutWallCap) {
+  // Poorly cooled chassis: full CPU load pushes past 80 C.
+  Simulator sim(143);
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(26)).ok());
+  BmcConfig bmc_config;
+  bmc_config.celsius_per_watt = 0.12;
+  BmcModel bmc(&sim, &cluster, bmc_config);
+  bmc.StartSampling();
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocCpu,
+                        DnnModel::kResNet50, Precision::kFp32);
+  PowerCapController controller(&sim, &cluster, &bmc, &fleet,
+                                PowerCapConfig{});
+  controller.Start();
+  fleet.SetActiveCount(60);
+  for (int i = 0; i < 500000; ++i) {
+    fleet.Submit();
+  }
+  // Mid-flight (the backlog still deep): the thermal cap has engaged and
+  // shed capacity to hold the draw near the BMC's recommendation.
+  ASSERT_TRUE(sim.RunFor(Duration::Minutes(10)).ok());
+  EXPECT_GT(controller.shed_events(), 0);
+  EXPECT_LT(fleet.active_count(), 60);
+  EXPECT_LE(cluster.CurrentPower().watts(),
+            bmc.RecommendedPowerCap().watts() * 1.15);
+  EXPECT_GT(fleet.queue_length(), 0);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,98 @@
+#include "src/hw/dvfs.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+TEST(DvfsTest, CurveIsWellFormed) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  ASSERT_GE(curve.size(), 3u);
+  double prev_freq = 0.0;
+  double prev_cap = 0.0;
+  double prev_watts = 0.0;
+  for (const OperatingPoint& opp : curve) {
+    EXPECT_GT(opp.freq_ghz, prev_freq);
+    EXPECT_GT(opp.capacity, prev_cap);
+    EXPECT_GT(opp.busy_power.watts(), prev_watts);
+    prev_freq = opp.freq_ghz;
+    prev_cap = opp.capacity;
+    prev_watts = opp.busy_power.watts();
+  }
+  EXPECT_DOUBLE_EQ(curve.back().capacity, 1.0);
+  // Agrees with SocSpec's saturated-CPU figure (7.2 dynamic + 0.6 wake).
+  EXPECT_NEAR(curve.back().busy_power.watts(), 7.8, 1e-9);
+}
+
+TEST(DvfsTest, SchedutilPicksLowestSufficientOpp) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  const DvfsDecision low =
+      DvfsModel::Decide(curve, CpuGovernor::kSchedutil, 0.2);
+  EXPECT_DOUBLE_EQ(low.opp.capacity, 0.22);
+  const DvfsDecision mid =
+      DvfsModel::Decide(curve, CpuGovernor::kSchedutil, 0.55);
+  EXPECT_DOUBLE_EQ(mid.opp.capacity, 0.65);
+  const DvfsDecision full =
+      DvfsModel::Decide(curve, CpuGovernor::kSchedutil, 1.0);
+  EXPECT_DOUBLE_EQ(full.opp.capacity, 1.0);
+}
+
+TEST(DvfsTest, PerformancePinsTopOpp) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  const DvfsDecision decision =
+      DvfsModel::Decide(curve, CpuGovernor::kPerformance, 0.1);
+  EXPECT_DOUBLE_EQ(decision.opp.capacity, 1.0);
+  // Race-to-idle: average power is demand-proportional at the top OPP.
+  EXPECT_NEAR(decision.average_power.watts(), 7.8 * 0.1, 1e-9);
+}
+
+TEST(DvfsTest, PowersaveCapsThroughput) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  const DvfsDecision decision =
+      DvfsModel::Decide(curve, CpuGovernor::kPowersave, 0.8);
+  EXPECT_DOUBLE_EQ(decision.served, 0.22);  // Capped at the lowest OPP.
+  EXPECT_NEAR(decision.average_power.watts(), 1.25, 1e-9);
+}
+
+TEST(DvfsTest, SchedutilBeatsPerformanceAtPartialLoad) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  for (double demand : {0.1, 0.3, 0.5, 0.7}) {
+    const Power sched =
+        DvfsModel::Decide(curve, CpuGovernor::kSchedutil, demand)
+            .average_power;
+    const Power perf =
+        DvfsModel::Decide(curve, CpuGovernor::kPerformance, demand)
+            .average_power;
+    EXPECT_LT(sched.watts(), perf.watts() * 1.0 + 1e-9) << demand;
+  }
+  // At saturation they coincide.
+  EXPECT_NEAR(DvfsModel::Decide(curve, CpuGovernor::kSchedutil, 1.0)
+                  .average_power.watts(),
+              DvfsModel::Decide(curve, CpuGovernor::kPerformance, 1.0)
+                  .average_power.watts(),
+              1e-9);
+}
+
+TEST(DvfsTest, EnergyForWorkOrdersGovernors) {
+  const auto curve = DvfsModel::Kryo585Curve();
+  const Energy powersave =
+      DvfsModel::EnergyForWork(curve, CpuGovernor::kPowersave, 10.0);
+  const Energy performance =
+      DvfsModel::EnergyForWork(curve, CpuGovernor::kPerformance, 10.0);
+  // Low-voltage OPPs do the same work in fewer Joules (but more time).
+  EXPECT_LT(powersave.joules(), performance.joules());
+  EXPECT_NEAR(performance.joules(), 78.0, 1e-9);
+}
+
+TEST(DvfsTest, LinearAbstractionWithinEnvelope) {
+  // SocSpec's linear utilization->power model is a race-to-idle upper
+  // bound; schedutil undercuts it by at most ~20% on this curve, and the
+  // two coincide at the full-load calibration anchors.
+  const double error =
+      DvfsModel::LinearModelMaxError(DvfsModel::Kryo585Curve());
+  EXPECT_GT(error, 0.0);
+  EXPECT_LT(error, 0.35);
+}
+
+}  // namespace
+}  // namespace soccluster

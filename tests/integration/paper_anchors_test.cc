@@ -1,0 +1,190 @@
+// End-to-end reproduction checks: each test runs a measurement through the
+// BenchmarkSuite harness (DES where applicable) and asserts the paper's
+// headline numbers/ratios within tolerance. These are the guardrails for
+// the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/benchmark_suite.h"
+#include "src/cost/tco.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+TEST(PaperAnchorsTest, Fig7SingleStreamOperatingPoints) {
+  // Fig. 7 / §4.1: a single V4 stream yields 0.018 streams/W on the A40,
+  // 14.9x less than the Intel CPU and 40.8x less than SoC CPUs.
+  const TranscodeMeasurement a40 = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kNvidiaA40, VbenchVideo::kV4Presentation, 1);
+  const TranscodeMeasurement intel = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kIntelCpu, VbenchVideo::kV4Presentation, 1);
+  const TranscodeMeasurement soc = BenchmarkSuite::LiveAtStreamCount(
+      TranscodeBackend::kSocCpu, VbenchVideo::kV4Presentation, 1);
+  EXPECT_NEAR(a40.streams_per_watt, 0.018, 0.004);
+  EXPECT_NEAR(intel.streams_per_watt / a40.streams_per_watt, 14.9, 2.0);
+  EXPECT_NEAR(soc.streams_per_watt / a40.streams_per_watt, 40.8, 5.0);
+}
+
+TEST(PaperAnchorsTest, Fig6aLiveEfficiencyRatios) {
+  // §4.1: SoC CPUs are 2.58x-3.21x more energy-efficient than the Intel
+  // CPU and 1.83x-4.53x more than the A40 across the six videos.
+  for (VbenchVideo video :
+       {VbenchVideo::kV1Holi, VbenchVideo::kV2Desktop, VbenchVideo::kV3Game3,
+        VbenchVideo::kV4Presentation, VbenchVideo::kV5Hall,
+        VbenchVideo::kV6Chicken}) {
+    const TranscodeMeasurement soc =
+        BenchmarkSuite::LiveFullLoad(TranscodeBackend::kSocCpu, video);
+    const TranscodeMeasurement intel =
+        BenchmarkSuite::LiveFullLoad(TranscodeBackend::kIntelCpu, video);
+    const TranscodeMeasurement a40 =
+        BenchmarkSuite::LiveFullLoad(TranscodeBackend::kNvidiaA40, video);
+    const double vs_intel = soc.streams_per_watt / intel.streams_per_watt;
+    const double vs_a40 = soc.streams_per_watt / a40.streams_per_watt;
+    EXPECT_GE(vs_intel, 2.3) << GetVideo(video).name;
+    EXPECT_LE(vs_intel, 3.6) << GetVideo(video).name;
+    EXPECT_GE(vs_a40, 1.6) << GetVideo(video).name;
+    EXPECT_LE(vs_a40, 4.9) << GetVideo(video).name;
+  }
+}
+
+TEST(PaperAnchorsTest, Fig8HwCodecGains) {
+  // §4.2: the hardware codec supports 1.07x-3x more streams than the SoC
+  // CPU, with 2.5x (low-complexity geomean) to 4.7-5.5x (high-complexity)
+  // better streams/W.
+  double low_product = 1.0;
+  int low_count = 0;
+  for (VbenchVideo video :
+       {VbenchVideo::kV1Holi, VbenchVideo::kV2Desktop, VbenchVideo::kV3Game3,
+        VbenchVideo::kV4Presentation, VbenchVideo::kV5Hall,
+        VbenchVideo::kV6Chicken}) {
+    const TranscodeMeasurement cpu =
+        BenchmarkSuite::LiveFullLoad(TranscodeBackend::kSocCpu, video);
+    const TranscodeMeasurement hw =
+        BenchmarkSuite::LiveFullLoad(TranscodeBackend::kSocHwCodec, video);
+    const double stream_ratio =
+        static_cast<double>(hw.streams) / cpu.streams;
+    EXPECT_GE(stream_ratio, 1.0) << GetVideo(video).name;
+    EXPECT_LE(stream_ratio, 3.05) << GetVideo(video).name;
+    const double eff_ratio = hw.streams_per_watt / cpu.streams_per_watt;
+    if (GetVideo(video).entropy < 1.0 || video == VbenchVideo::kV1Holi) {
+      low_product *= eff_ratio;
+      ++low_count;
+    } else {
+      EXPECT_GE(eff_ratio, 4.2) << GetVideo(video).name;
+      EXPECT_LE(eff_ratio, 6.5) << GetVideo(video).name;
+    }
+  }
+  const double low_geomean = std::pow(low_product, 1.0 / low_count);
+  EXPECT_NEAR(low_geomean, 2.5, 0.5);
+}
+
+TEST(PaperAnchorsTest, Fig12LightLoadAdvantage) {
+  // §5.2: at ~5 samples/s on ResNet-50, the autoscaled SoC fleet is ~5.71x
+  // more energy-efficient than the A100.
+  const double soc = BenchmarkSuite::SocClusterEffAtLoad(
+      DlDevice::kSocGpu, DnnModel::kResNet50, Precision::kFp32, 5.0,
+      Duration::Seconds(120));
+  const double a100 = BenchmarkSuite::GpuEffAtLoad(
+      DlDevice::kA100, DnnModel::kResNet50, Precision::kFp32, 64, 5.0,
+      Duration::Seconds(120));
+  EXPECT_GT(soc, a100);
+  EXPECT_NEAR(soc / a100, 5.71, 2.0);
+}
+
+TEST(PaperAnchorsTest, Fig12AdvantageShrinksWithLoad) {
+  const double soc_light = BenchmarkSuite::SocClusterEffAtLoad(
+      DlDevice::kSocGpu, DnnModel::kResNet50, Precision::kFp32, 5.0,
+      Duration::Seconds(60));
+  const double a100_light = BenchmarkSuite::GpuEffAtLoad(
+      DlDevice::kA100, DnnModel::kResNet50, Precision::kFp32, 64, 5.0,
+      Duration::Seconds(60));
+  const double soc_heavy = BenchmarkSuite::SocClusterEffAtLoad(
+      DlDevice::kSocGpu, DnnModel::kResNet50, Precision::kFp32, 2000.0,
+      Duration::Seconds(60));
+  const double a100_heavy = BenchmarkSuite::GpuEffAtLoad(
+      DlDevice::kA100, DnnModel::kResNet50, Precision::kFp32, 64, 2000.0,
+      Duration::Seconds(60));
+  const double light_ratio = soc_light / a100_light;
+  const double heavy_ratio = soc_heavy / a100_heavy;
+  EXPECT_GT(light_ratio, heavy_ratio);
+  // At saturation the two platforms converge (within ~2.2x).
+  EXPECT_LT(heavy_ratio, 2.2);
+}
+
+TEST(PaperAnchorsTest, Table5LiveTpcRanking) {
+  // Table 5, live-streaming TpC: SoC CPU > A40 > Intel (GPU-server TCO) on
+  // every video; geomean SoC/A40 ~2.23x.
+  const TcoBreakdown cluster_tco = TcoModel::Compute(ServerKind::kSocCluster);
+  const TcoBreakdown edge_tco = TcoModel::Compute(ServerKind::kEdgeWithGpu);
+  double product = 1.0;
+  int count = 0;
+  for (VbenchVideo video :
+       {VbenchVideo::kV1Holi, VbenchVideo::kV2Desktop, VbenchVideo::kV3Game3,
+        VbenchVideo::kV4Presentation, VbenchVideo::kV5Hall,
+        VbenchVideo::kV6Chicken}) {
+    const double soc_tpc = TcoModel::ThroughputPerCost(
+        TranscodeModel::MaxLiveStreamsSocCpu(video) * 60.0, cluster_tco);
+    const double a40_tpc = TcoModel::ThroughputPerCost(
+        TranscodeModel::MaxLiveStreamsA40(video) * 8.0, edge_tco);
+    const double intel_tpc = TcoModel::ThroughputPerCost(
+        TranscodeModel::MaxLiveStreamsIntelContainer(video) * 10.0, edge_tco);
+    EXPECT_GT(soc_tpc, a40_tpc) << GetVideo(video).name;
+    // The A40 beats the GPU-server Intel CPU on every video except V2,
+    // where Table 5 itself has Intel ahead (0.223 vs 0.210).
+    if (video != VbenchVideo::kV2Desktop) {
+      EXPECT_GT(a40_tpc, intel_tpc) << GetVideo(video).name;
+    }
+    product *= soc_tpc / a40_tpc;
+    ++count;
+  }
+  EXPECT_NEAR(std::pow(product, 1.0 / count), 2.23, 0.3);
+}
+
+TEST(PaperAnchorsTest, Table5DlTpcGpuDominates) {
+  // Table 5, DL serving: the A40 server's TpC far exceeds the cluster's on
+  // every model.
+  const TcoBreakdown cluster_tco = TcoModel::Compute(ServerKind::kSocCluster);
+  const TcoBreakdown edge_tco = TcoModel::Compute(ServerKind::kEdgeWithGpu);
+  for (DnnModel model : AllDnnModels()) {
+    const double a40_thpt =
+        DlEngineModel::Throughput(DlDevice::kA40, model, Precision::kFp32, 64) *
+        8.0;
+    DlDevice best_soc = DlDevice::kSocCpu;
+    if (DlEngineModel::Supports(DlDevice::kSocGpu, model, Precision::kFp32)) {
+      best_soc = DlDevice::kSocGpu;
+    }
+    const double soc_thpt =
+        DlEngineModel::Throughput(best_soc, model, Precision::kFp32, 1) * 60.0;
+    EXPECT_GT(TcoModel::ThroughputPerCost(a40_thpt, edge_tco),
+              2.0 * TcoModel::ThroughputPerCost(soc_thpt, cluster_tco))
+        << DnnModelName(model);
+  }
+}
+
+TEST(PaperAnchorsTest, DlFullLoadHeadline) {
+  // §5 summary: up to 42x CPU energy-efficiency advantage, and a GPU
+  // advantage of up to ~6.5x depending on the A40's batch regime (our
+  // measured max lands between the bs=64 comparison ~2.7x and the bs=1
+  // comparison ~9x — the paper's 6.5x sits inside that bracket).
+  const DlMeasurement dsp = BenchmarkSuite::DlFullLoad(
+      DlDevice::kSocDsp, DnnModel::kResNet152, Precision::kInt8, 1);
+  const DlMeasurement intel = BenchmarkSuite::DlFullLoad(
+      DlDevice::kIntelContainer, DnnModel::kResNet152, Precision::kInt8, 1);
+  EXPECT_NEAR(dsp.samples_per_joule / intel.samples_per_joule, 42.0, 6.0);
+  const DlMeasurement a40_bs64 = BenchmarkSuite::DlFullLoad(
+      DlDevice::kA40, DnnModel::kResNet152, Precision::kInt8, 64);
+  const DlMeasurement a40_bs1 = BenchmarkSuite::DlFullLoad(
+      DlDevice::kA40, DnnModel::kResNet152, Precision::kInt8, 1);
+  const double vs_bs64 = dsp.samples_per_joule / a40_bs64.samples_per_joule;
+  const double vs_bs1 = dsp.samples_per_joule / a40_bs1.samples_per_joule;
+  EXPECT_GT(vs_bs64, 1.5);
+  EXPECT_LT(vs_bs64, 6.5);
+  EXPECT_GT(vs_bs1, 6.5);
+  EXPECT_LT(vs_bs1, 14.0);
+}
+
+}  // namespace
+}  // namespace soccluster

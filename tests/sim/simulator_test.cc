@@ -1,0 +1,225 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace soccluster {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+  EXPECT_EQ(sim.events_processed(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(Duration::Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAfter(Duration::Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + Duration::Seconds(3));
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(Duration::Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.ScheduleAfter(Duration::Millis(250), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, SimTime::Zero() + Duration::Millis(250));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(Duration::Seconds(1), [&] {
+    ++fired;
+    sim.ScheduleAfter(Duration::Seconds(1), [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + Duration::Seconds(2));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle = sim.ScheduleAfter(Duration::Seconds(1),
+                                         [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(handle));
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_processed(), 0);
+}
+
+TEST(SimulatorTest, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventHandle()));
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  EventHandle handle = sim.ScheduleAfter(Duration::Seconds(1), [] {});
+  EXPECT_TRUE(sim.Cancel(handle));
+  EXPECT_FALSE(sim.Cancel(handle));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { ++fired; });
+  sim.ScheduleAfter(Duration::Seconds(5), [&] { ++fired; });
+  ASSERT_TRUE(sim.RunUntil(SimTime::Zero() + Duration::Seconds(2)).ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + Duration::Seconds(2));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAfter(Duration::Seconds(2), [&] { ran = true; });
+  ASSERT_TRUE(sim.RunUntil(SimTime::Zero() + Duration::Seconds(2)).ok());
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunUntilPastIsError) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(5)).ok());
+  EXPECT_FALSE(sim.RunUntil(SimTime::Zero() + Duration::Seconds(1)).ok());
+}
+
+TEST(SimulatorTest, RunForAdvancesEvenWithNoEvents) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunFor(Duration::Hours(10)).ok());
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + Duration::Hours(10));
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { ++fired; });
+  sim.ScheduleAfter(Duration::Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim(42);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 5; ++i) {
+      sim.ScheduleAfter(Duration::SecondsF(sim.rng().NextDouble()),
+                        [&values, &sim] { values.push_back(sim.rng().NextUint64()); });
+    }
+    sim.Run();
+    return values;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PeriodicTaskTest, FiresOnPeriod) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, Duration::Seconds(1), [&] { ++fired; });
+  task.Start();
+  ASSERT_TRUE(sim.RunFor(Duration::SecondsF(5.5)).ok());
+  EXPECT_EQ(fired, 5);
+  task.Stop();
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(5)).ok());
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTaskTest, StartIsIdempotent) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, Duration::Seconds(1), [&] { ++fired; });
+  task.Start();
+  task.Start();
+  ASSERT_TRUE(sim.RunFor(Duration::SecondsF(2.5)).ok());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopTask) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, Duration::Seconds(1), [&] {
+    if (++fired == 3) {
+      task.Stop();
+    }
+  });
+  task.Start();
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(10)).ok());
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestructorCancelsPendingEvent) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTask task(&sim, Duration::Seconds(1), [&] { ++fired; });
+    task.Start();
+  }
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(5)).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ResourceTest, GrantsUpToCapacity) {
+  Simulator sim;
+  Resource resource(&sim, 2);
+  int granted = 0;
+  resource.Acquire([&] { ++granted; });
+  resource.Acquire([&] { ++granted; });
+  resource.Acquire([&] { ++granted; });  // Queued.
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(resource.in_use(), 2);
+  EXPECT_EQ(resource.queue_length(), 1);
+  resource.Release();
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(resource.queue_length(), 0);
+}
+
+TEST(ResourceTest, ReleaseWithoutWaitersFreesUnit) {
+  Simulator sim;
+  Resource resource(&sim, 1);
+  resource.Acquire([] {});
+  EXPECT_EQ(resource.in_use(), 1);
+  resource.Release();
+  EXPECT_EQ(resource.in_use(), 0);
+}
+
+TEST(ResourceTest, FifoGrantOrder) {
+  Simulator sim;
+  Resource resource(&sim, 1);
+  std::vector<int> order;
+  resource.Acquire([&] { order.push_back(0); });
+  resource.Acquire([&] { order.push_back(1); });
+  resource.Acquire([&] { order.push_back(2); });
+  resource.Release();
+  resource.Release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace soccluster

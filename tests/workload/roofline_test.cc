@@ -1,0 +1,108 @@
+#include "src/workload/dl/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+namespace soccluster {
+namespace {
+
+TEST(RooflineTest, ResNet50AnchorsAreTight) {
+  // Efficiencies were fitted on ResNet-50, so the agreement there is ~1.
+  for (DlDevice device :
+       {DlDevice::kSocCpu, DlDevice::kSocGpu, DlDevice::kIntelContainer,
+        DlDevice::kA40, DlDevice::kA100}) {
+    const double agreement = RooflineModel::AnchorAgreement(
+        device, DnnModel::kResNet50, Precision::kFp32);
+    EXPECT_NEAR(agreement, 1.0, 0.12) << DlDeviceName(device);
+  }
+  EXPECT_NEAR(RooflineModel::AnchorAgreement(DlDevice::kSocDsp,
+                                             DnnModel::kResNet50,
+                                             Precision::kInt8),
+              1.0, 0.12);
+}
+
+// Physical-consistency sweep: the roofline and the measured anchors agree
+// within a small constant factor for every supported combination — i.e.
+// none of the paper's numbers require impossible silicon.
+struct RooflineCase {
+  DlDevice device;
+  DnnModel model;
+  Precision precision;
+};
+
+class RooflineConsistency : public ::testing::TestWithParam<RooflineCase> {};
+
+TEST_P(RooflineConsistency, AnchorWithinPhysicalEnvelope) {
+  const RooflineCase& test_case = GetParam();
+  const double agreement = RooflineModel::AnchorAgreement(
+      test_case.device, test_case.model, test_case.precision);
+  // Model-dependent kernel efficiency varies; an 8x envelope still rules
+  // out anything unphysical (the large YOLO/BERT kernels batch better
+  // internally than ResNet's thin layers, and the paper's BERT/YOLO
+  // operating points bake in stack-specific slowdowns).
+  EXPECT_GT(agreement, 1.0 / 8.0)
+      << DlDeviceName(test_case.device) << " "
+      << DnnModelName(test_case.model);
+  EXPECT_LT(agreement, 8.0) << DlDeviceName(test_case.device) << " "
+                            << DnnModelName(test_case.model);
+}
+
+std::vector<RooflineCase> AllSupportedCases() {
+  std::vector<RooflineCase> cases;
+  for (DlDevice device : AllDlDevices()) {
+    for (DnnModel model : AllDnnModels()) {
+      for (Precision precision : {Precision::kFp32, Precision::kInt8}) {
+        if (DlEngineModel::Supports(device, model, precision)) {
+          cases.push_back({device, model, precision});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupported, RooflineConsistency,
+    ::testing::ValuesIn(AllSupportedCases()),
+    [](const ::testing::TestParamInfo<RooflineCase>& info) {
+      std::string name = std::string(DlDeviceName(info.param.device)) + "_" +
+                         DnnModelName(info.param.model) + "_" +
+                         PrecisionName(info.param.precision);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(RooflineTest, WhatIfFasterFabricDevice) {
+  // A hypothetical next-generation DSP: 4x the TOPS at the same
+  // efficiency should quarter the compute-bound latency.
+  DeviceRoofline dsp = RooflineModel::For(DlDevice::kSocDsp, Precision::kInt8);
+  const Duration base = RooflineModel::LatencyOn(dsp, DnnModel::kResNet50,
+                                                 Precision::kInt8);
+  dsp.peak_gops *= 4.0;
+  const Duration faster = RooflineModel::LatencyOn(dsp, DnnModel::kResNet50,
+                                                   Precision::kInt8);
+  EXPECT_NEAR(base / faster, 4.0, 0.5);
+}
+
+TEST(RooflineTest, MemoryBoundRegime) {
+  // Starve the bandwidth and the model becomes weight-streaming bound.
+  DeviceRoofline device = RooflineModel::For(DlDevice::kA100, Precision::kFp32);
+  device.mem_bw_gbps = 1.0;  // 1 GB/s.
+  const Duration latency = RooflineModel::LatencyOn(
+      device, DnnModel::kResNet50, Precision::kFp32);
+  // 25.6M params x 4 B = 102.4 MB at 1 GB/s ~ 102 ms.
+  EXPECT_NEAR(latency.ToMillis(), 102.4, 1.0);
+}
+
+TEST(RooflineTest, UnsupportedCombinationsAbort) {
+  EXPECT_DEATH(RooflineModel::For(DlDevice::kSocDsp, Precision::kFp32), "");
+  EXPECT_DEATH(RooflineModel::For(DlDevice::kSocGpu, Precision::kInt8), "");
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,125 @@
+#include "src/workload/dl/training.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace soccluster {
+namespace {
+
+class TrainingTest : public ::testing::Test {
+ protected:
+  TrainingTest()
+      : cluster_(&sim_, DefaultChassisSpec(), Snapdragon865Spec()) {
+    cluster_.PowerOnAll(nullptr);
+    const Status status = sim_.RunFor(Duration::Seconds(26));
+    SOC_CHECK(status.ok());
+  }
+
+  std::vector<TrainingStepResult> RunSteps(TrainingConfig config, int steps) {
+    CollaborativeTraining training(&sim_, &cluster_, config);
+    std::vector<TrainingStepResult> results;
+    training.Run(steps, [&](const TrainingStepResult& r) {
+      results.push_back(r);
+    });
+    sim_.Run();
+    return results;
+  }
+
+  Simulator sim_{111};
+  SocCluster cluster_;
+};
+
+TEST_F(TrainingTest, SingleSocHasNoCommunication) {
+  TrainingConfig config;
+  config.num_socs = 1;
+  const auto results = RunSteps(config, 3);
+  ASSERT_EQ(results.size(), 3u);
+  for (const TrainingStepResult& r : results) {
+    EXPECT_EQ(r.allreduce.nanos(), 0);
+    // 8 samples x 240 ms.
+    EXPECT_NEAR(r.step_time.ToMillis(), 1920.0, 1.0);
+  }
+}
+
+TEST_F(TrainingTest, PhaseBytesFollowRingAllReduce) {
+  TrainingConfig config;
+  config.num_socs = 4;
+  CollaborativeTraining training(&sim_, &cluster_, config);
+  // 25.6 M params x 4 B / 4 SoCs = 25.6 MB per phase.
+  EXPECT_NEAR(training.PhaseBytes().ToMegabytes(), 25.6, 0.1);
+}
+
+TEST_F(TrainingTest, AllReduceDominatesOnStockFabric) {
+  // §8's point, quantified: on 1 Gbps links the gradient exchange is a
+  // large share of every step.
+  TrainingConfig config;
+  config.num_socs = 4;
+  const auto results = RunSteps(config, 2);
+  ASSERT_EQ(results.size(), 2u);
+  // Ring all-reduce: 6 phases x 25.6 MB at ~903 Mbps ~ 1.36 s against
+  // 1.92 s of compute -> ~40% comm share.
+  EXPECT_GT(results[0].CommShare(), 0.30);
+  EXPECT_LT(results[0].CommShare(), 0.55);
+}
+
+TEST_F(TrainingTest, Int8GradientsCutCommFourfold) {
+  TrainingConfig fp32;
+  fp32.num_socs = 4;
+  TrainingConfig int8 = fp32;
+  int8.gradient_precision = Precision::kInt8;
+  const auto fp32_results = RunSteps(fp32, 1);
+  const auto int8_results = RunSteps(int8, 1);
+  ASSERT_EQ(fp32_results.size(), 1u);
+  ASSERT_EQ(int8_results.size(), 1u);
+  EXPECT_NEAR(fp32_results[0].allreduce.ToSeconds() /
+                  int8_results[0].allreduce.ToSeconds(),
+              4.0, 0.2);
+}
+
+TEST_F(TrainingTest, ScalingEfficiencyDegradesWithN) {
+  TrainingConfig config;
+  std::vector<double> throughput;
+  for (int socs : {1, 2, 4, 8}) {
+    config.num_socs = socs;
+    const auto results = RunSteps(config, 1);
+    ASSERT_EQ(results.size(), 1u);
+    throughput.push_back(results[0].samples_per_second);
+  }
+  // Throughput grows with N but at falling efficiency.
+  for (size_t i = 1; i < throughput.size(); ++i) {
+    EXPECT_GT(throughput[i], throughput[i - 1]);
+  }
+  const double efficiency_8 = throughput[3] / (8.0 * throughput[0]);
+  EXPECT_LT(efficiency_8, 0.75);  // Far from linear on 1 Gbps.
+}
+
+TEST_F(TrainingTest, SocsReleasedAfterRun) {
+  TrainingConfig config;
+  config.num_socs = 4;
+  RunSteps(config, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster_.soc(i).cpu_util(), 0.0);
+  }
+}
+
+TEST_F(TrainingTest, FasterFabricShrinksCommShare) {
+  Simulator sim(112);
+  ClusterChassisSpec chassis = DefaultChassisSpec();
+  chassis.pcb_uplink = DataRate::Gbps(10.0);
+  SocSpec soc = Snapdragon865Spec();
+  soc.nic = DataRate::Gbps(10.0);
+  SocCluster cluster(&sim, chassis, soc);
+  cluster.PowerOnAll(nullptr);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(26)).ok());
+  TrainingConfig config;
+  config.num_socs = 4;
+  CollaborativeTraining training(&sim, &cluster, config);
+  TrainingStepResult result;
+  training.Run(1, [&](const TrainingStepResult& r) { result = r; });
+  sim.Run();
+  EXPECT_LT(result.CommShare(), 0.10);
+}
+
+}  // namespace
+}  // namespace soccluster
