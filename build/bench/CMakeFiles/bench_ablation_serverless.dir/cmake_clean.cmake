@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_serverless.dir/bench_ablation_serverless.cc.o"
+  "CMakeFiles/bench_ablation_serverless.dir/bench_ablation_serverless.cc.o.d"
+  "bench_ablation_serverless"
+  "bench_ablation_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upgrade.dir/bench_ablation_upgrade.cc.o"
+  "CMakeFiles/bench_ablation_upgrade.dir/bench_ablation_upgrade.cc.o.d"
+  "bench_ablation_upgrade"
+  "bench_ablation_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

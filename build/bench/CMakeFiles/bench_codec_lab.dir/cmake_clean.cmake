@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_lab.dir/bench_codec_lab.cc.o"
+  "CMakeFiles/bench_codec_lab.dir/bench_codec_lab.cc.o.d"
+  "bench_codec_lab"
+  "bench_codec_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_network_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_transcode_efficiency.dir/bench_fig06_transcode_efficiency.cc.o"
+  "CMakeFiles/bench_fig06_transcode_efficiency.dir/bench_fig06_transcode_efficiency.cc.o.d"
+  "bench_fig06_transcode_efficiency"
+  "bench_fig06_transcode_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_transcode_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_hw_codec.dir/bench_fig08_hw_codec.cc.o"
+  "CMakeFiles/bench_fig08_hw_codec.dir/bench_fig08_hw_codec.cc.o.d"
+  "bench_fig08_hw_codec"
+  "bench_fig08_hw_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_hw_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_bitrate.dir/bench_fig09_bitrate.cc.o"
+  "CMakeFiles/bench_fig09_bitrate.dir/bench_fig09_bitrate.cc.o.d"
+  "bench_fig09_bitrate"
+  "bench_fig09_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

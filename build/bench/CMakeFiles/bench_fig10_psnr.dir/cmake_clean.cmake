@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_psnr.dir/bench_fig10_psnr.cc.o"
+  "CMakeFiles/bench_fig10_psnr.dir/bench_fig10_psnr.cc.o.d"
+  "bench_fig10_psnr"
+  "bench_fig10_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

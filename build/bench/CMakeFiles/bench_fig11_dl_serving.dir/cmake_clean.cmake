@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dl_serving.dir/bench_fig11_dl_serving.cc.o"
+  "CMakeFiles/bench_fig11_dl_serving.dir/bench_fig11_dl_serving.cc.o.d"
+  "bench_fig11_dl_serving"
+  "bench_fig11_dl_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dl_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

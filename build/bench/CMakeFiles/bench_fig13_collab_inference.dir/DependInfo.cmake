@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_collab_inference.cc" "bench/CMakeFiles/bench_fig13_collab_inference.dir/bench_fig13_collab_inference.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_collab_inference.dir/bench_fig13_collab_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/soc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/soc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/soc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/soc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/soc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/soc_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/videolab/CMakeFiles/soc_videolab.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

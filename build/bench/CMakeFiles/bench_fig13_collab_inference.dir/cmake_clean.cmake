@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_collab_inference.dir/bench_fig13_collab_inference.cc.o"
+  "CMakeFiles/bench_fig13_collab_inference.dir/bench_fig13_collab_inference.cc.o.d"
+  "bench_fig13_collab_inference"
+  "bench_fig13_collab_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_collab_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_microbench.dir/bench_host_microbench.cc.o"
+  "CMakeFiles/bench_host_microbench.dir/bench_host_microbench.cc.o.d"
+  "bench_host_microbench"
+  "bench_host_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

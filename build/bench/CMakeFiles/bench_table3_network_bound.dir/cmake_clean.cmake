@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_network_bound.dir/bench_table3_network_bound.cc.o"
+  "CMakeFiles/bench_table3_network_bound.dir/bench_table3_network_bound.cc.o.d"
+  "bench_table3_network_bound"
+  "bench_table3_network_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_network_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tco.dir/bench_table4_tco.cc.o"
+  "CMakeFiles/bench_table4_tco.dir/bench_table4_tco.cc.o.d"
+  "bench_table4_tco"
+  "bench_table4_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tpc.dir/bench_table5_tpc.cc.o"
+  "CMakeFiles/bench_table5_tpc.dir/bench_table5_tpc.cc.o.d"
+  "bench_table5_tpc"
+  "bench_table5_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_virtualization.dir/bench_table7_virtualization.cc.o"
+  "CMakeFiles/bench_table7_virtualization.dir/bench_table7_virtualization.cc.o.d"
+  "bench_table7_virtualization"
+  "bench_table7_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_batch.dir/archive_batch.cpp.o"
+  "CMakeFiles/archive_batch.dir/archive_batch.cpp.o.d"
+  "archive_batch"
+  "archive_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_inference.dir/collaborative_inference.cpp.o"
+  "CMakeFiles/collaborative_inference.dir/collaborative_inference.cpp.o.d"
+  "collaborative_inference"
+  "collaborative_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_serving_autoscale.dir/dl_serving_autoscale.cpp.o"
+  "CMakeFiles/dl_serving_autoscale.dir/dl_serving_autoscale.cpp.o.d"
+  "dl_serving_autoscale"
+  "dl_serving_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_serving_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

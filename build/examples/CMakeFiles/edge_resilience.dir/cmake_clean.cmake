@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_resilience.dir/edge_resilience.cpp.o"
+  "CMakeFiles/edge_resilience.dir/edge_resilience.cpp.o.d"
+  "edge_resilience"
+  "edge_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

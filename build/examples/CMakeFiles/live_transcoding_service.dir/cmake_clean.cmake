@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_transcoding_service.dir/live_transcoding_service.cpp.o"
+  "CMakeFiles/live_transcoding_service.dir/live_transcoding_service.cpp.o.d"
+  "live_transcoding_service"
+  "live_transcoding_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_transcoding_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_platform.dir/serverless_platform.cpp.o"
+  "CMakeFiles/serverless_platform.dir/serverless_platform.cpp.o.d"
+  "serverless_platform"
+  "serverless_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_base.dir/log.cc.o"
+  "CMakeFiles/soc_base.dir/log.cc.o.d"
+  "CMakeFiles/soc_base.dir/result.cc.o"
+  "CMakeFiles/soc_base.dir/result.cc.o.d"
+  "CMakeFiles/soc_base.dir/stats.cc.o"
+  "CMakeFiles/soc_base.dir/stats.cc.o.d"
+  "CMakeFiles/soc_base.dir/table.cc.o"
+  "CMakeFiles/soc_base.dir/table.cc.o.d"
+  "libsoc_base.a"
+  "libsoc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

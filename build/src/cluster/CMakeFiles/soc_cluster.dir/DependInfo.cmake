@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bmc.cc" "src/cluster/CMakeFiles/soc_cluster.dir/bmc.cc.o" "gcc" "src/cluster/CMakeFiles/soc_cluster.dir/bmc.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/soc_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/soc_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/fault.cc" "src/cluster/CMakeFiles/soc_cluster.dir/fault.cc.o" "gcc" "src/cluster/CMakeFiles/soc_cluster.dir/fault.cc.o.d"
+  "/root/repo/src/cluster/flash.cc" "src/cluster/CMakeFiles/soc_cluster.dir/flash.cc.o" "gcc" "src/cluster/CMakeFiles/soc_cluster.dir/flash.cc.o.d"
+  "/root/repo/src/cluster/virtualization.cc" "src/cluster/CMakeFiles/soc_cluster.dir/virtualization.cc.o" "gcc" "src/cluster/CMakeFiles/soc_cluster.dir/virtualization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/soc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_cluster.dir/bmc.cc.o"
+  "CMakeFiles/soc_cluster.dir/bmc.cc.o.d"
+  "CMakeFiles/soc_cluster.dir/cluster.cc.o"
+  "CMakeFiles/soc_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/soc_cluster.dir/fault.cc.o"
+  "CMakeFiles/soc_cluster.dir/fault.cc.o.d"
+  "CMakeFiles/soc_cluster.dir/flash.cc.o"
+  "CMakeFiles/soc_cluster.dir/flash.cc.o.d"
+  "CMakeFiles/soc_cluster.dir/virtualization.cc.o"
+  "CMakeFiles/soc_cluster.dir/virtualization.cc.o.d"
+  "libsoc_cluster.a"
+  "libsoc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoscaler.cc" "src/core/CMakeFiles/soc_core.dir/autoscaler.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/autoscaler.cc.o.d"
+  "/root/repo/src/core/benchmark_suite.cc" "src/core/CMakeFiles/soc_core.dir/benchmark_suite.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/soc_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/powercap.cc" "src/core/CMakeFiles/soc_core.dir/powercap.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/powercap.cc.o.d"
+  "/root/repo/src/core/telemetry.cc" "src/core/CMakeFiles/soc_core.dir/telemetry.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/soc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/soc_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_core.dir/autoscaler.cc.o"
+  "CMakeFiles/soc_core.dir/autoscaler.cc.o.d"
+  "CMakeFiles/soc_core.dir/benchmark_suite.cc.o"
+  "CMakeFiles/soc_core.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/soc_core.dir/orchestrator.cc.o"
+  "CMakeFiles/soc_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/soc_core.dir/powercap.cc.o"
+  "CMakeFiles/soc_core.dir/powercap.cc.o.d"
+  "CMakeFiles/soc_core.dir/telemetry.cc.o"
+  "CMakeFiles/soc_core.dir/telemetry.cc.o.d"
+  "libsoc_core.a"
+  "libsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

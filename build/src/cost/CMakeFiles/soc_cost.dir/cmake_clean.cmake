@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_cost.dir/tco.cc.o"
+  "CMakeFiles/soc_cost.dir/tco.cc.o.d"
+  "libsoc_cost.a"
+  "libsoc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/dvfs.cc" "src/hw/CMakeFiles/soc_hw.dir/dvfs.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/dvfs.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/soc_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/microbench.cc" "src/hw/CMakeFiles/soc_hw.dir/microbench.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/microbench.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/soc_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/server.cc" "src/hw/CMakeFiles/soc_hw.dir/server.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/server.cc.o.d"
+  "/root/repo/src/hw/soc.cc" "src/hw/CMakeFiles/soc_hw.dir/soc.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/soc.cc.o.d"
+  "/root/repo/src/hw/specs.cc" "src/hw/CMakeFiles/soc_hw.dir/specs.cc.o" "gcc" "src/hw/CMakeFiles/soc_hw.dir/specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_hw.dir/dvfs.cc.o"
+  "CMakeFiles/soc_hw.dir/dvfs.cc.o.d"
+  "CMakeFiles/soc_hw.dir/gpu.cc.o"
+  "CMakeFiles/soc_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/soc_hw.dir/microbench.cc.o"
+  "CMakeFiles/soc_hw.dir/microbench.cc.o.d"
+  "CMakeFiles/soc_hw.dir/power.cc.o"
+  "CMakeFiles/soc_hw.dir/power.cc.o.d"
+  "CMakeFiles/soc_hw.dir/server.cc.o"
+  "CMakeFiles/soc_hw.dir/server.cc.o.d"
+  "CMakeFiles/soc_hw.dir/soc.cc.o"
+  "CMakeFiles/soc_hw.dir/soc.cc.o.d"
+  "CMakeFiles/soc_hw.dir/specs.cc.o"
+  "CMakeFiles/soc_hw.dir/specs.cc.o.d"
+  "libsoc_hw.a"
+  "libsoc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/lz.cc" "src/microbench/CMakeFiles/soc_microbench.dir/lz.cc.o" "gcc" "src/microbench/CMakeFiles/soc_microbench.dir/lz.cc.o.d"
+  "/root/repo/src/microbench/query.cc" "src/microbench/CMakeFiles/soc_microbench.dir/query.cc.o" "gcc" "src/microbench/CMakeFiles/soc_microbench.dir/query.cc.o.d"
+  "/root/repo/src/microbench/raster.cc" "src/microbench/CMakeFiles/soc_microbench.dir/raster.cc.o" "gcc" "src/microbench/CMakeFiles/soc_microbench.dir/raster.cc.o.d"
+  "/root/repo/src/microbench/suite.cc" "src/microbench/CMakeFiles/soc_microbench.dir/suite.cc.o" "gcc" "src/microbench/CMakeFiles/soc_microbench.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_microbench.dir/lz.cc.o"
+  "CMakeFiles/soc_microbench.dir/lz.cc.o.d"
+  "CMakeFiles/soc_microbench.dir/query.cc.o"
+  "CMakeFiles/soc_microbench.dir/query.cc.o.d"
+  "CMakeFiles/soc_microbench.dir/raster.cc.o"
+  "CMakeFiles/soc_microbench.dir/raster.cc.o.d"
+  "CMakeFiles/soc_microbench.dir/suite.cc.o"
+  "CMakeFiles/soc_microbench.dir/suite.cc.o.d"
+  "libsoc_microbench.a"
+  "libsoc_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

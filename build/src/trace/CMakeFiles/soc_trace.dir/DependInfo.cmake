@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/gaming_trace.cc" "src/trace/CMakeFiles/soc_trace.dir/gaming_trace.cc.o" "gcc" "src/trace/CMakeFiles/soc_trace.dir/gaming_trace.cc.o.d"
+  "/root/repo/src/trace/vm_distribution.cc" "src/trace/CMakeFiles/soc_trace.dir/vm_distribution.cc.o" "gcc" "src/trace/CMakeFiles/soc_trace.dir/vm_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/soc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

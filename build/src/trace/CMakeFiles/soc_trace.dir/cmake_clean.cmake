@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_trace.dir/gaming_trace.cc.o"
+  "CMakeFiles/soc_trace.dir/gaming_trace.cc.o.d"
+  "CMakeFiles/soc_trace.dir/vm_distribution.cc.o"
+  "CMakeFiles/soc_trace.dir/vm_distribution.cc.o.d"
+  "libsoc_trace.a"
+  "libsoc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

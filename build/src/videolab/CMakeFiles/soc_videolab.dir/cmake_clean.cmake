@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_videolab.dir/codec_lab.cc.o"
+  "CMakeFiles/soc_videolab.dir/codec_lab.cc.o.d"
+  "libsoc_videolab.a"
+  "libsoc_videolab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_videolab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

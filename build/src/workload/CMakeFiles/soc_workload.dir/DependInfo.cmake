@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dl/collab.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/collab.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/collab.cc.o.d"
+  "/root/repo/src/workload/dl/engine.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/engine.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/engine.cc.o.d"
+  "/root/repo/src/workload/dl/model.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/model.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/model.cc.o.d"
+  "/root/repo/src/workload/dl/roofline.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/roofline.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/roofline.cc.o.d"
+  "/root/repo/src/workload/dl/serving.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/serving.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/serving.cc.o.d"
+  "/root/repo/src/workload/dl/training.cc" "src/workload/CMakeFiles/soc_workload.dir/dl/training.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/dl/training.cc.o.d"
+  "/root/repo/src/workload/serverless/serverless.cc" "src/workload/CMakeFiles/soc_workload.dir/serverless/serverless.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/serverless/serverless.cc.o.d"
+  "/root/repo/src/workload/video/archive.cc" "src/workload/CMakeFiles/soc_workload.dir/video/archive.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/video/archive.cc.o.d"
+  "/root/repo/src/workload/video/live.cc" "src/workload/CMakeFiles/soc_workload.dir/video/live.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/video/live.cc.o.d"
+  "/root/repo/src/workload/video/quality.cc" "src/workload/CMakeFiles/soc_workload.dir/video/quality.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/video/quality.cc.o.d"
+  "/root/repo/src/workload/video/transcode.cc" "src/workload/CMakeFiles/soc_workload.dir/video/transcode.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/video/transcode.cc.o.d"
+  "/root/repo/src/workload/video/video.cc" "src/workload/CMakeFiles/soc_workload.dir/video/video.cc.o" "gcc" "src/workload/CMakeFiles/soc_workload.dir/video/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/soc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/soc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

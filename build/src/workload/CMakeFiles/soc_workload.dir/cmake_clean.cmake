@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_workload.dir/dl/collab.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/collab.cc.o.d"
+  "CMakeFiles/soc_workload.dir/dl/engine.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/engine.cc.o.d"
+  "CMakeFiles/soc_workload.dir/dl/model.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/model.cc.o.d"
+  "CMakeFiles/soc_workload.dir/dl/roofline.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/roofline.cc.o.d"
+  "CMakeFiles/soc_workload.dir/dl/serving.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/serving.cc.o.d"
+  "CMakeFiles/soc_workload.dir/dl/training.cc.o"
+  "CMakeFiles/soc_workload.dir/dl/training.cc.o.d"
+  "CMakeFiles/soc_workload.dir/serverless/serverless.cc.o"
+  "CMakeFiles/soc_workload.dir/serverless/serverless.cc.o.d"
+  "CMakeFiles/soc_workload.dir/video/archive.cc.o"
+  "CMakeFiles/soc_workload.dir/video/archive.cc.o.d"
+  "CMakeFiles/soc_workload.dir/video/live.cc.o"
+  "CMakeFiles/soc_workload.dir/video/live.cc.o.d"
+  "CMakeFiles/soc_workload.dir/video/quality.cc.o"
+  "CMakeFiles/soc_workload.dir/video/quality.cc.o.d"
+  "CMakeFiles/soc_workload.dir/video/transcode.cc.o"
+  "CMakeFiles/soc_workload.dir/video/transcode.cc.o.d"
+  "CMakeFiles/soc_workload.dir/video/video.cc.o"
+  "CMakeFiles/soc_workload.dir/video/video.cc.o.d"
+  "libsoc_workload.a"
+  "libsoc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

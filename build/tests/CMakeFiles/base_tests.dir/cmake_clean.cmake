@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/log_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/log_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/result_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/result_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/rng_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/rng_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/stats_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/table_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/table_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/units_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/units_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/base_tests.dir/sim/simulator_test.cc.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

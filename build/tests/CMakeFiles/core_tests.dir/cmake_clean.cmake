@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/benchmark_suite_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/benchmark_suite_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/consolidate_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/consolidate_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/core_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/core_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/powercap_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/powercap_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/cost/tco_test.cc.o"
+  "CMakeFiles/core_tests.dir/cost/tco_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/trace/trace_test.cc.o"
+  "CMakeFiles/core_tests.dir/trace/trace_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_tests.dir/microbench/microbench_test.cc.o"
+  "CMakeFiles/microbench_tests.dir/microbench/microbench_test.cc.o.d"
+  "microbench_tests"
+  "microbench_tests.pdb"
+  "microbench_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

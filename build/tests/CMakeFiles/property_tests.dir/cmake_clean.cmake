@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/codec_lab_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/codec_lab_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/model_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/model_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/network_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/network_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/platform_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/platform_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/serverless_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/serverless_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/sim_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/sim_property_test.cc.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

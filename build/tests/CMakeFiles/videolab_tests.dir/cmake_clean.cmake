@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videolab_tests.dir/videolab/codec_lab_test.cc.o"
+  "CMakeFiles/videolab_tests.dir/videolab/codec_lab_test.cc.o.d"
+  "videolab_tests"
+  "videolab_tests.pdb"
+  "videolab_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videolab_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

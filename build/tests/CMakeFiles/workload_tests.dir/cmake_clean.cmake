@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/archive_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/archive_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/dl_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/dl_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/roofline_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/roofline_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/serverless_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/serverless_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/training_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/training_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/video_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/video_test.cc.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

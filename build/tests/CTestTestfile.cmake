@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_tests[1]_include.cmake")
+include("/root/repo/build/tests/hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/microbench_tests[1]_include.cmake")
+include("/root/repo/build/tests/videolab_tests[1]_include.cmake")
