@@ -35,7 +35,7 @@ void Run() {
   std::printf("Energy for a fixed work item (10 s at top OPP):\n");
   for (CpuGovernor governor : AllCpuGovernors()) {
     std::printf("  %-12s %.1f J\n", CpuGovernorName(governor),
-                DvfsModel::EnergyForWork(curve, governor, 10.0).joules());
+                DvfsModel::EnergyForWork(curve, governor, Duration::Seconds(10)).joules());
   }
   std::printf("\nMax deviation of the linear abstraction from schedutil: "
               "%.0f%%\n",

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/workload/serverless/serverless.h"

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/telemetry.h"

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"

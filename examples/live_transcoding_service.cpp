@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/server.h"

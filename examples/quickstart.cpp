@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
 #include "src/workload/dl/serving.h"

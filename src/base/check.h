@@ -1,0 +1,57 @@
+// CHECK-style invariant macros.
+//
+// SOC_CHECK* verify invariants in every build mode; a failure logs the
+// condition (with file:line, via src/base/log.h) and aborts, following the
+// project rule that invariant violations are programming errors rather than
+// recoverable conditions. SOC_DCHECK* are the same checks compiled only into
+// debug (!NDEBUG) builds; use them on hot paths where the predicate itself
+// is too expensive to evaluate in release, never for conditions whose side
+// effects the surrounding code depends on.
+//
+// All macros stream extra context: SOC_CHECK_GE(i, 0) << "soc index";
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include "src/base/log.h"
+
+#define SOC_CHECK(cond)                                                       \
+  if (cond) {                                                                 \
+  } else                                                                      \
+    ::soccluster::LogMessage(::soccluster::LogLevel::kFatal, __FILE__,        \
+                             __LINE__)                                        \
+            .stream()                                                         \
+        << "CHECK failed: " #cond " "
+
+#define SOC_CHECK_OP(a, b, op)                                               \
+  SOC_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define SOC_CHECK_EQ(a, b) SOC_CHECK_OP(a, b, ==)
+#define SOC_CHECK_NE(a, b) SOC_CHECK_OP(a, b, !=)
+#define SOC_CHECK_LT(a, b) SOC_CHECK_OP(a, b, <)
+#define SOC_CHECK_LE(a, b) SOC_CHECK_OP(a, b, <=)
+#define SOC_CHECK_GT(a, b) SOC_CHECK_OP(a, b, >)
+#define SOC_CHECK_GE(a, b) SOC_CHECK_OP(a, b, >=)
+
+// Debug-only variants: compiled out under NDEBUG. The condition is never
+// evaluated at runtime (so it must be side-effect free), but it still
+// compiles, keeping the operands odr-used and -Wunused clean.
+#ifdef NDEBUG
+#define SOC_DCHECK(cond) \
+  if (true || (cond)) {  \
+  } else                 \
+    ::soccluster::NullStream()
+#define SOC_DCHECK_OP(a, b, op) SOC_DCHECK((a)op(b))
+#else
+#define SOC_DCHECK(cond) SOC_CHECK(cond)
+#define SOC_DCHECK_OP(a, b, op) SOC_CHECK_OP(a, b, op)
+#endif
+
+#define SOC_DCHECK_EQ(a, b) SOC_DCHECK_OP(a, b, ==)
+#define SOC_DCHECK_NE(a, b) SOC_DCHECK_OP(a, b, !=)
+#define SOC_DCHECK_LT(a, b) SOC_DCHECK_OP(a, b, <)
+#define SOC_DCHECK_LE(a, b) SOC_DCHECK_OP(a, b, <=)
+#define SOC_DCHECK_GT(a, b) SOC_DCHECK_OP(a, b, >)
+#define SOC_DCHECK_GE(a, b) SOC_DCHECK_OP(a, b, >=)
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,8 +1,8 @@
-// Minimal leveled logging and CHECK-style invariant macros.
+// Minimal leveled logging.
 //
 // The simulator is single-threaded and deterministic; logging writes to
-// stderr. CHECK failures abort, following the project rule that invariant
-// violations are programming errors rather than recoverable conditions.
+// stderr. CHECK-style invariant macros live in src/base/check.h and log
+// through this header's LogMessage at kFatal.
 
 #ifndef SRC_BASE_LOG_H_
 #define SRC_BASE_LOG_H_
@@ -57,23 +57,5 @@ class NullStream {
     ::soccluster::LogMessage(::soccluster::LogLevel::k##level, __FILE__,    \
                              __LINE__)                                      \
         .stream()
-
-#define SOC_CHECK(cond)                                                       \
-  if (cond) {                                                                 \
-  } else                                                                      \
-    ::soccluster::LogMessage(::soccluster::LogLevel::kFatal, __FILE__,        \
-                             __LINE__)                                        \
-            .stream()                                                         \
-        << "CHECK failed: " #cond " "
-
-#define SOC_CHECK_OP(a, b, op)                                               \
-  SOC_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
-
-#define SOC_CHECK_EQ(a, b) SOC_CHECK_OP(a, b, ==)
-#define SOC_CHECK_NE(a, b) SOC_CHECK_OP(a, b, !=)
-#define SOC_CHECK_LT(a, b) SOC_CHECK_OP(a, b, <)
-#define SOC_CHECK_LE(a, b) SOC_CHECK_OP(a, b, <=)
-#define SOC_CHECK_GT(a, b) SOC_CHECK_OP(a, b, >)
-#define SOC_CHECK_GE(a, b) SOC_CHECK_OP(a, b, >=)
 
 #endif  // SRC_BASE_LOG_H_

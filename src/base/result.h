@@ -9,7 +9,7 @@
 #include <utility>
 #include <variant>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -13,6 +13,8 @@
 #include <compare>
 #include <limits>
 
+#include "src/base/check.h"
+
 namespace soccluster {
 
 // A span of simulated time with nanosecond resolution.
@@ -27,8 +29,9 @@ class Duration {
   static constexpr Duration Minutes(int64_t m) { return Seconds(m * 60); }
   static constexpr Duration Hours(int64_t h) { return Seconds(h * 3600); }
   // Converts a floating-point second count, rounding to the nearest ns.
+  // CHECK-fails if the result does not fit in the int64_t ns count.
   static constexpr Duration SecondsF(double s) {
-    return Duration(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+    return FromNanosF(static_cast<long double>(s) * 1e9L);
   }
   static constexpr Duration MillisF(double ms) { return SecondsF(ms * 1e-3); }
   static constexpr Duration MicrosF(double us) { return SecondsF(us * 1e-6); }
@@ -48,11 +51,16 @@ class Duration {
 
   constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
   constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  // Scalar arithmetic stays in nanoseconds (long double keeps the full
+  // 64-bit ns count exact) instead of round-tripping through double
+  // seconds, which silently dropped sub-second precision on large counts.
   constexpr Duration operator*(double k) const {
-    return SecondsF(ToSeconds() * k);
+    return FromNanosF(static_cast<long double>(ns_) *
+                      static_cast<long double>(k));
   }
   constexpr Duration operator/(double k) const {
-    return SecondsF(ToSeconds() / k);
+    return FromNanosF(static_cast<long double>(ns_) /
+                      static_cast<long double>(k));
   }
   constexpr double operator/(Duration o) const {
     return static_cast<double>(ns_) / static_cast<double>(o.ns_);
@@ -69,6 +77,25 @@ class Duration {
 
  private:
   explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+
+  // Rounds a floating-point ns count to the nearest integer ns and
+  // CHECK-fails on int64_t overflow (including NaN) instead of invoking
+  // undefined behavior in the cast.
+  static constexpr Duration FromNanosF(long double ns) {
+    const long double rounded = ns >= 0 ? ns + 0.5L : ns - 0.5L;
+    // The cast truncates toward zero, so any |rounded| strictly below 2^63
+    // lands in range; 2^63-1 itself (Duration::Max()) rounds to 2^63-0.5
+    // and truncates back. NaN fails both comparisons.
+    SOC_CHECK(
+        rounded >= static_cast<long double>(
+                       std::numeric_limits<int64_t>::min()) &&
+        rounded < static_cast<long double>(
+                      std::numeric_limits<int64_t>::max()) +
+                      1.0L)
+        << "Duration overflows int64 nanoseconds";
+    return Duration(static_cast<int64_t>(rounded));
+  }
+
   int64_t ns_ = 0;
 };
 

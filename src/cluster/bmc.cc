@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -12,6 +12,15 @@ BmcModel::BmcModel(Simulator* sim, SocCluster* cluster, BmcConfig config)
       temperature_(config.ambient_celsius), last_sample_time_(sim->Now()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  // Config sanity: a non-positive thermal model or an inverted temperature
+  // ladder silently produces NaN temperatures and bogus power caps.
+  SOC_CHECK_GT(config_.sample_period.nanos(), 0);
+  SOC_CHECK_GT(config_.thermal_tau.nanos(), 0);
+  SOC_CHECK_GT(config_.celsius_per_watt, 0.0);
+  SOC_CHECK_GT(config_.throttle_temp_celsius, config_.ambient_celsius);
+  SOC_CHECK_GT(config_.fan_full_temp_celsius, config_.ambient_celsius);
+  SOC_CHECK_GE(config_.fan_min_duty, 0.0);
+  SOC_CHECK_LE(config_.fan_min_duty, 1.0);
   sampler_ = std::make_unique<PeriodicTask>(sim_, config_.sample_period,
                                             [this] { Sample(); });
 }
@@ -25,6 +34,12 @@ void BmcModel::StopSampling() { sampler_->Stop(); }
 void BmcModel::Sample() {
   const SimTime now = sim_->Now();
   last_power_ = cluster_->CurrentPower();
+  // Telemetry sanity: cluster power is a sum of non-negative component
+  // meters, and the thermal state must stay finite — a NaN here would
+  // propagate into every downstream table.
+  SOC_CHECK_GE(last_power_.watts(), 0.0) << "negative cluster power";
+  SOC_CHECK(std::isfinite(last_power_.watts())) << "non-finite cluster power";
+  SOC_DCHECK(std::isfinite(temperature_)) << "non-finite BMC temperature";
   power_samples_.Add(last_power_.watts());
 
   // First-order thermal response toward the steady-state temperature for

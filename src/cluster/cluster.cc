@@ -3,7 +3,7 @@
 #include <memory>
 #include <utility>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -1,6 +1,6 @@
 #include "src/cluster/flash.h"
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

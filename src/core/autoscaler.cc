@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -14,6 +14,16 @@ ClusterAutoscaler::ClusterAutoscaler(Simulator* sim, SocCluster* cluster,
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   SOC_CHECK(fleet_ != nullptr);
+  // Config sanity: these feed divisions and clamps in Tick(); a zero or
+  // out-of-range value would quietly pin the fleet at min or max size.
+  SOC_CHECK_GT(config_.period.nanos(), 0);
+  SOC_CHECK_GT(config_.target_utilization, 0.0);
+  SOC_CHECK_LE(config_.target_utilization, 1.0);
+  SOC_CHECK_GT(config_.rate_ewma_alpha, 0.0);
+  SOC_CHECK_LE(config_.rate_ewma_alpha, 1.0);
+  SOC_CHECK_GE(config_.min_active, 0);
+  SOC_CHECK_LE(config_.min_active, cluster_->num_socs());
+  SOC_CHECK_GE(config_.warm_pool, 0);
   ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
                                            [this] { Tick(); });
 }
@@ -46,6 +56,7 @@ void ClusterAutoscaler::Tick() {
                    (1.0 - config_.rate_ewma_alpha) * rate_estimate_;
 
   const double per_soc = fleet_->PerSocThroughput();
+  SOC_CHECK_GT(per_soc, 0.0) << "fleet reports non-positive per-SoC capacity";
   int desired = static_cast<int>(std::ceil(
       rate_estimate_ / (per_soc * config_.target_utilization)));
   // A backlog means we are under-provisioned regardless of the estimate;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <memory>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/core/autoscaler.h"
 #include "src/hw/gpu.h"

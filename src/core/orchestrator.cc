@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/base/check.h"
 #include "src/base/log.h"
 
 namespace soccluster {
@@ -19,7 +20,7 @@ Status Orchestrator::RegisterWorkload(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("workload name is empty");
   }
-  if (workloads_.count(name) > 0) {
+  if (workloads_.contains(name)) {
     return Status::AlreadyExists("workload " + name + " already registered");
   }
   if (demand.cpu_util < 0.0 || demand.cpu_util > 1.0 ||
@@ -33,6 +34,8 @@ Status Orchestrator::RegisterWorkload(const std::string& name,
 }
 
 double Orchestrator::MemoryUsedGb(int soc_index) const {
+  SOC_DCHECK_GE(soc_index, 0);
+  SOC_DCHECK_LT(soc_index, cluster_->num_socs());
   double used = 0.0;
   for (const auto& [name, workload] : workloads_) {
     for (int placement : workload.placements) {
@@ -80,6 +83,12 @@ Status Orchestrator::Place(Workload* workload, const std::string& name) {
   SOC_RETURN_IF_ERROR(soc.AddCpuUtil(workload->demand.cpu_util));
   SOC_RETURN_IF_ERROR(soc.SetGpuUtil(soc.gpu_util() + workload->demand.gpu_util));
   SOC_RETURN_IF_ERROR(soc.SetDspUtil(soc.dsp_util() + workload->demand.dsp_util));
+  // Placement must never drive a SoC past its capacity: PickSoc admitted
+  // this replica, so post-placement headroom stays non-negative.
+  SOC_DCHECK_GE(soc.CpuHeadroom(), 0.0) << "placement overcommitted SoC "
+                                        << soc_index;
+  SOC_DCHECK_LE(soc.gpu_util(), 1.0);
+  SOC_DCHECK_LE(soc.dsp_util(), 1.0);
   workload->placements.push_back(soc_index);
   return Status::Ok();
 }
@@ -209,7 +218,9 @@ int Orchestrator::Consolidate() {
             continue;
           }
           const SocModel& candidate = cluster_->soc(i);
-          const double extra = planned_extra.count(i) ? planned_extra[i] : 0.0;
+          const auto extra_it = planned_extra.find(i);
+          const double extra =
+              extra_it != planned_extra.end() ? extra_it->second : 0.0;
           // Destinations must be at least as loaded as the source (ties
           // allowed — moving between equals still empties the source).
           if (candidate.cpu_util() + 1e-12 < source_load ||
@@ -267,6 +278,8 @@ int Orchestrator::Consolidate() {
 }
 
 void Orchestrator::OnSocFailure(int soc_index) {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
   for (auto& [name, workload] : workloads_) {
     // Collect indices first; eviction mutates the vector.
     std::vector<size_t> displaced;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -17,6 +17,16 @@ PowerCapController::PowerCapController(Simulator* sim, SocCluster* cluster,
   SOC_CHECK(bmc_ != nullptr);
   SOC_CHECK(fleet_ != nullptr);
   SOC_CHECK_GE(config_.step_socs, 1);
+  SOC_CHECK_GT(config_.period.nanos(), 0);
+  SOC_CHECK_GE(config_.min_active, 0);
+  // Feasibility: a wall cap below the chassis overhead (fans + ESB + BMC)
+  // can never be met by shedding SoCs — the controller would shed to
+  // min_active and still sit over the cap forever.
+  if (config_.wall_cap.watts() > 0.0) {
+    SOC_CHECK_GE(config_.wall_cap.watts(),
+                 cluster_->OverheadPower().watts())
+        << "wall cap below chassis overhead is infeasible";
+  }
   ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
                                            [this] { Tick(); });
 }

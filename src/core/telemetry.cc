@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

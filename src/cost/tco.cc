@@ -1,6 +1,6 @@
 #include "src/cost/tco.h"
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -39,10 +39,37 @@ std::vector<OperatingPoint> DvfsModel::Kryo585Curve() {
   };
 }
 
+namespace {
+
+// An OPP table is usable only if it is sorted: governors walk it assuming
+// frequency and capacity both rise monotonically, and capacities are
+// fractions of the top OPP.
+void DcheckCurveWellFormed(const std::vector<OperatingPoint>& curve) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < curve.size(); ++i) {
+    SOC_DCHECK_GT(curve[i].freq_ghz, 0.0) << "OPP " << i;
+    SOC_DCHECK_GT(curve[i].capacity, 0.0) << "OPP " << i;
+    SOC_DCHECK_LE(curve[i].capacity, 1.0) << "OPP " << i;
+    SOC_DCHECK_GE(curve[i].busy_power.watts(), 0.0) << "OPP " << i;
+    if (i > 0) {
+      SOC_DCHECK_GT(curve[i].freq_ghz, curve[i - 1].freq_ghz)
+          << "OPP table not sorted by frequency at " << i;
+      SOC_DCHECK_GT(curve[i].capacity, curve[i - 1].capacity)
+          << "OPP table not sorted by capacity at " << i;
+    }
+  }
+#else
+  (void)curve;
+#endif
+}
+
+}  // namespace
+
 DvfsDecision DvfsModel::Decide(const std::vector<OperatingPoint>& curve,
                                CpuGovernor governor, double demand) {
   SOC_CHECK(!curve.empty());
   SOC_CHECK_GE(demand, 0.0);
+  DcheckCurveWellFormed(curve);
   demand = std::min(demand, 1.0);
 
   const OperatingPoint* chosen = &curve.back();
@@ -62,6 +89,10 @@ DvfsDecision DvfsModel::Decide(const std::vector<OperatingPoint>& curve,
       }
       break;
   }
+  // The decision must come from the table: a frequency outside
+  // [min OPP, max OPP] means the governor fabricated an operating point.
+  SOC_CHECK_GE(chosen->freq_ghz, curve.front().freq_ghz);
+  SOC_CHECK_LE(chosen->freq_ghz, curve.back().freq_ghz);
   DvfsDecision decision;
   decision.opp = *chosen;
   decision.served = std::min(demand, chosen->capacity);
@@ -73,14 +104,13 @@ DvfsDecision DvfsModel::Decide(const std::vector<OperatingPoint>& curve,
 }
 
 Energy DvfsModel::EnergyForWork(const std::vector<OperatingPoint>& curve,
-                                CpuGovernor governor,
-                                double top_opp_seconds) {
-  SOC_CHECK_GE(top_opp_seconds, 0.0);
+                                CpuGovernor governor, Duration top_opp_work) {
+  SOC_CHECK(!top_opp_work.IsNegative());
   // The work stretches in time at slower OPPs; demand is "as fast as
   // possible", so schedutil and performance both run the top OPP.
   const DvfsDecision decision = Decide(curve, governor, 1.0);
-  const double seconds = top_opp_seconds / decision.opp.capacity;
-  return decision.opp.busy_power * Duration::SecondsF(seconds);
+  SOC_CHECK_GT(decision.opp.capacity, 0.0) << "zero-capacity operating point";
+  return decision.opp.busy_power * (top_opp_work / decision.opp.capacity);
 }
 
 double DvfsModel::LinearModelMaxError(

@@ -58,11 +58,11 @@ class DvfsModel {
   static DvfsDecision Decide(const std::vector<OperatingPoint>& curve,
                              CpuGovernor governor, double demand);
 
-  // Energy to process a fixed amount of work (`demand_seconds` of top-OPP
-  // compute) under the governor, assuming the work can stretch in time
-  // when the OPP is slower.
+  // Energy to process a fixed amount of work (`top_opp_work` of top-OPP
+  // compute time) under the governor, assuming the work can stretch in
+  // time when the OPP is slower.
   static Energy EnergyForWork(const std::vector<OperatingPoint>& curve,
-                              CpuGovernor governor, double top_opp_seconds);
+                              CpuGovernor governor, Duration top_opp_work);
 
   // Max relative error between the linear utilization->power abstraction
   // and the OPP model under schedutil across a demand sweep; small values

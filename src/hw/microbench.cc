@@ -1,6 +1,6 @@
 #include "src/hw/microbench.h"
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

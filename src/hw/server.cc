@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

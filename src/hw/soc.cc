@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/hw/soc.h"
 
 #include <utility>

@@ -2,7 +2,7 @@
 
 #include <chrono>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 #include "src/microbench/lz.h"
 #include "src/microbench/query.h"
 #include "src/microbench/raster.h"

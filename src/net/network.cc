@@ -5,7 +5,7 @@
 #include <limits>
 #include <utility>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

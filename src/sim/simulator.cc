@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -13,6 +13,7 @@ EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
   SOC_CHECK(cb != nullptr);
   const uint64_t seq = next_seq_++;
   queue_.push(Event{t, seq, seq, std::move(cb)});
+  pending_ids_.insert(seq);
   return EventHandle(seq);
 }
 
@@ -25,12 +26,17 @@ bool Simulator::Cancel(EventHandle handle) {
   if (!handle.valid()) {
     return false;
   }
-  // Lazy cancellation: the event stays in the heap and is skipped when
-  // popped. The cancelled set is pruned at that point.
-  if (handle.id() >= next_seq_) {
+  // Only a live id may be cancelled: an already-fired or already-cancelled
+  // handle must not poison the lazy-cancellation set, or pending_events()
+  // and future pops would see phantom cancellations.
+  if (pending_ids_.erase(handle.id()) == 0) {
     return false;
   }
-  return cancelled_.insert(handle.id()).second;
+  // Lazy cancellation: the event stays in the heap and is skipped when
+  // popped. The cancelled set is pruned at that point.
+  const bool inserted = cancelled_.insert(handle.id()).second;
+  SOC_DCHECK(inserted) << "cancelled set out of sync with pending set";
+  return true;
 }
 
 bool Simulator::Step() {
@@ -40,6 +46,16 @@ bool Simulator::Step() {
     if (cancelled_.erase(ev.id) > 0) {
       continue;
     }
+    // Determinism contract (simulator.h): fired events are strictly ordered
+    // by (time, seq) — equal-timestamp events fire in schedule order.
+    SOC_CHECK_GE(ev.time.nanos(), last_fired_time_.nanos())
+        << "event queue fired out of time order";
+    SOC_DCHECK(ev.time > last_fired_time_ || ev.seq > last_fired_seq_)
+        << "FIFO tie-break violated: seq " << ev.seq << " after "
+        << last_fired_seq_;
+    last_fired_time_ = ev.time;
+    last_fired_seq_ = ev.seq;
+    pending_ids_.erase(ev.id);
     now_ = ev.time;
     ++events_processed_;
     ev.callback();
@@ -59,7 +75,7 @@ Status Simulator::RunUntil(SimTime t) {
   }
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
+    if (cancelled_.contains(top.id)) {
       cancelled_.erase(top.id);
       queue_.pop();
       continue;

@@ -51,7 +51,8 @@ class Simulator {
   EventHandle ScheduleAfter(Duration d, Callback cb);
 
   // Cancels a pending event. Returns true if the event existed and had not
-  // yet fired. Cancelling an already-fired or invalid handle is a no-op.
+  // yet fired. Cancelling an already-fired, already-cancelled, or invalid
+  // handle is a no-op returning false.
   bool Cancel(EventHandle handle);
 
   // Runs until the event queue is empty.
@@ -65,7 +66,7 @@ class Simulator {
   bool Step();
 
   int64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  size_t pending_events() const { return pending_ids_.size(); }
 
  private:
   struct Event {
@@ -86,7 +87,16 @@ class Simulator {
   SimTime now_;
   uint64_t next_seq_ = 1;
   int64_t events_processed_ = 0;
+  // Sequence number of the event fired most recently; together with now_
+  // this witnesses the determinism contract (time, seq) strictly increases
+  // across fired events.
+  uint64_t last_fired_seq_ = 0;
+  SimTime last_fired_time_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Ids scheduled but neither fired nor cancelled. Distinguishes a live
+  // handle from an already-fired one so Cancel() cannot corrupt state.
+  std::unordered_set<uint64_t> pending_ids_;
+  // Lazily-cancelled ids still sitting in the heap; skipped when popped.
   std::unordered_set<uint64_t> cancelled_;
   Rng rng_;
 };

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -1,6 +1,6 @@
 #include "src/workload/dl/model.h"
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

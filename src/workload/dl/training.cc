@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 #include "src/net/network.h"
 
 namespace soccluster {

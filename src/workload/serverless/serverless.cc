@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 
@@ -19,7 +19,7 @@ Status ServerlessPlatform::RegisterFunction(const FunctionSpec& spec) {
   if (spec.name.empty()) {
     return Status::InvalidArgument("function name is empty");
   }
-  if (functions_.count(spec.name) > 0) {
+  if (functions_.contains(spec.name)) {
     return Status::AlreadyExists("function " + spec.name +
                                  " already registered");
   }

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

@@ -1,6 +1,6 @@
 #include "src/workload/video/video.h"
 
-#include "src/base/log.h"
+#include "src/base/check.h"
 
 namespace soccluster {
 

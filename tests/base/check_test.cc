@@ -1,0 +1,60 @@
+// Behavior of the SOC_CHECK / SOC_DCHECK invariant layer (src/base/check.h):
+// release checks always fire, debug checks compile out under NDEBUG without
+// evaluating their operands' side effects — and both swallow streamed
+// context without evaluating it on the success path.
+
+#include "src/base/check.h"
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNotAbort) {
+  SOC_CHECK(true) << "never printed";
+  SOC_CHECK_EQ(2, 2);
+  SOC_CHECK_NE(1, 2);
+  SOC_CHECK_LT(1, 2);
+  SOC_CHECK_LE(2, 2);
+  SOC_CHECK_GT(2, 1);
+  SOC_CHECK_GE(2, 2);
+}
+
+TEST(CheckTest, StreamedContextNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto describe = [&evaluations] {
+    ++evaluations;
+    return "context";
+  };
+  SOC_CHECK(1 + 1 == 2) << describe();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailingChecksAbortWithFileAndCondition) {
+  EXPECT_DEATH({ SOC_CHECK(1 == 2) << "extra detail"; },
+               "CHECK failed: 1 == 2.*extra detail");
+  EXPECT_DEATH({ SOC_CHECK_GE(3, 5); }, "3 vs 5");
+  EXPECT_DEATH({ SOC_CHECK(false); }, "check_test");
+}
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  // Compiled out: the condition must not even be evaluated.
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  SOC_DCHECK(touch()) << "unreachable";
+  SOC_DCHECK_EQ(1, 2);
+  EXPECT_EQ(evaluations, 0);
+#else
+  SOC_DCHECK(true);
+  SOC_DCHECK_EQ(7, 7);
+  EXPECT_DEATH({ SOC_DCHECK(false); }, "CHECK failed");
+  EXPECT_DEATH({ SOC_DCHECK_LT(9, 1); }, "9 vs 1");
+#endif
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/base/log.h"
 
 #include <gtest/gtest.h>

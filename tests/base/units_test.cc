@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace soccluster {
 namespace {
 
@@ -65,6 +67,52 @@ TEST(DataSizeTest, UnitsRoundTrip) {
   EXPECT_DOUBLE_EQ(DataSize::Megabytes(1.0).ToBytes(), 1e6);
   EXPECT_DOUBLE_EQ(DataSize::Bytes(1000000).ToMegabits(), 8.0);
   EXPECT_DOUBLE_EQ(DataSize::Kilobytes(2.0).ToBytes(), 2000.0);
+}
+
+// --- Regression: Duration scalar arithmetic must not round-trip through
+// double seconds. A double holds 53 mantissa bits, so converting a large
+// ns count to seconds and back silently loses nanoseconds; the overflow
+// cast was UB. Arithmetic now stays in (long double) nanoseconds and
+// CHECK-fails on overflow.
+
+TEST(DurationScalarTest, MultiplyByOneIsExactForLargeCounts) {
+  // ~4 months of ns: 1e16 + 1 does not survive a double-seconds round
+  // trip (1e16 + 1 has no exact double representation in seconds).
+  const int64_t ns = 10000000000000001;
+  EXPECT_EQ((Duration::Nanos(ns) * 1.0).nanos(), ns);
+  EXPECT_EQ((Duration::Nanos(ns) / 1.0).nanos(), ns);
+}
+
+TEST(DurationScalarTest, MultiplyByIntegerScalarIsExact) {
+  const int64_t ns = 1234567890123456789;
+  EXPECT_EQ((Duration::Nanos(ns) * 2.0).nanos(), 2469135780246913578);
+  EXPECT_EQ((Duration::Nanos(2469135780246913578) / 2.0).nanos(),
+            2469135780246913578 / 2);
+}
+
+TEST(DurationScalarTest, MaxTimesOneStaysMax) {
+  EXPECT_EQ(Duration::Max() * 1.0, Duration::Max());
+}
+
+TEST(DurationScalarTest, NegativeDurationsRoundSymmetrically) {
+  EXPECT_EQ((Duration::Nanos(-3) * 0.5).nanos(), -2);  // -1.5 rounds away.
+  EXPECT_EQ((Duration::Nanos(3) * 0.5).nanos(), 2);    // 1.5 rounds away.
+  EXPECT_EQ((Duration::Nanos(-10000000000000001) * 1.0).nanos(),
+            -10000000000000001);
+}
+
+TEST(DurationScalarTest, FractionalScalarRoundsToNearestNs) {
+  EXPECT_EQ((Duration::Seconds(1) * 0.25).nanos(), 250000000);
+  EXPECT_EQ((Duration::Nanos(10) * 0.26).nanos(), 3);  // 2.6 -> 3.
+  EXPECT_EQ((Duration::Nanos(10) / 4.0).nanos(), 3);   // 2.5 rounds away.
+}
+
+TEST(DurationScalarDeathTest, OverflowIsCaughtNotUndefined) {
+  EXPECT_DEATH((void)(Duration::Max() * 2.0), "overflows int64 nanoseconds");
+  EXPECT_DEATH((void)(Duration::Nanos(1) / 0.0), "overflows int64 nanoseconds");
+  EXPECT_DEATH((void)Duration::SecondsF(1e300), "overflows int64 nanoseconds");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH((void)(Duration::Seconds(1) * nan), "overflows int64 nanoseconds");
 }
 
 TEST(DataRateTest, UnitsAndArithmetic) {

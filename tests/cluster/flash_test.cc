@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/cluster/flash.h"
 
 #include <gtest/gtest.h>

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/check.h"
 #include "src/core/orchestrator.h"
 #include "src/workload/video/live.h"
 #include "src/workload/video/transcode.h"

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/check.h"
 #include "src/cluster/fault.h"
 #include "src/core/autoscaler.h"
 #include "src/core/orchestrator.h"

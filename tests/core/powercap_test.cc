@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/core/powercap.h"
 
 #include <gtest/gtest.h>

@@ -6,7 +6,6 @@ namespace soccluster {
 namespace {
 
 TEST(TcoTest, CapExTotalsMatchTable4) {
-  TcoModel model;
   double edge = 0.0;
   for (const CapExItem& item : TcoModel::CapExFor(ServerKind::kEdgeWithGpu)) {
     edge += item.cost_usd;

@@ -76,9 +76,9 @@ TEST(DvfsTest, SchedutilBeatsPerformanceAtPartialLoad) {
 TEST(DvfsTest, EnergyForWorkOrdersGovernors) {
   const auto curve = DvfsModel::Kryo585Curve();
   const Energy powersave =
-      DvfsModel::EnergyForWork(curve, CpuGovernor::kPowersave, 10.0);
+      DvfsModel::EnergyForWork(curve, CpuGovernor::kPowersave, Duration::Seconds(10));
   const Energy performance =
-      DvfsModel::EnergyForWork(curve, CpuGovernor::kPerformance, 10.0);
+      DvfsModel::EnergyForWork(curve, CpuGovernor::kPerformance, Duration::Seconds(10));
   // Low-voltage OPPs do the same work in fewer Joules (but more time).
   EXPECT_LT(powersave.joules(), performance.joules());
   EXPECT_NEAR(performance.joules(), 78.0, 1e-9);

@@ -72,10 +72,10 @@ std::vector<LabCase> LabCases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Axis, CodecLabSweep, ::testing::ValuesIn(LabCases()),
-    [](const ::testing::TestParamInfo<LabCase>& info) {
+    [](const ::testing::TestParamInfo<LabCase>& param_info) {
       return "c" + std::to_string(static_cast<int>(
-                       info.param.complexity * 100.0)) +
-             "_s" + std::to_string(info.param.seed);
+                       param_info.param.complexity * 100.0)) +
+             "_s" + std::to_string(param_info.param.seed);
     });
 
 }  // namespace

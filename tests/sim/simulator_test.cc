@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace soccluster {
@@ -136,6 +137,125 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
     return values;
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- Cancel edge cases: these are the invariants the pending-id set in
+// Simulator::Cancel() guards (a stale handle must never poison the
+// lazy-cancellation state or the pending_events() count).
+
+TEST(SimulatorTest, CancelAlreadyFiredHandleReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle =
+      sim.ScheduleAfter(Duration::Seconds(1), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(handle));
+  // A stale cancel must not skip unrelated future events or corrupt the
+  // pending count.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelTwiceLeavesPendingCountConsistent) {
+  Simulator sim;
+  EventHandle handle = sim.ScheduleAfter(Duration::Seconds(1), [] {});
+  sim.ScheduleAfter(Duration::Seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.Cancel(handle));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.Cancel(handle));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 1);
+}
+
+TEST(SimulatorTest, CancelDuringCallbackExecution) {
+  Simulator sim;
+  bool victim_ran = false;
+  EventHandle victim;
+  // Both events share a timestamp; the first callback cancels the second
+  // while the event loop is mid-dispatch.
+  sim.ScheduleAfter(Duration::Seconds(1),
+                    [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  victim = sim.ScheduleAfter(Duration::Seconds(1), [&] { victim_ran = true; });
+  sim.Run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.events_processed(), 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CallbackCancellingItsOwnHandleIsNoop) {
+  Simulator sim;
+  auto handle = std::make_shared<EventHandle>();
+  bool ran = false;
+  *handle = sim.ScheduleAfter(Duration::Seconds(1), [&, handle] {
+    ran = true;
+    // The event is already executing, so its handle is dead.
+    EXPECT_FALSE(sim.Cancel(*handle));
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, DefaultConstructedHandleIsInvalidAndUncancellable) {
+  Simulator sim;
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(sim.Cancel(handle));
+  // Repeated attempts stay no-ops even with traffic in the queue.
+  sim.ScheduleAfter(Duration::Seconds(1), [] {});
+  EXPECT_FALSE(sim.Cancel(handle));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, FifoOrderSurvivesCancellationAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.ScheduleAfter(
+        Duration::Seconds(1), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel a prefix element, a middle run, and the tail; the survivors
+  // must still fire in schedule order.
+  EXPECT_TRUE(sim.Cancel(handles[0]));
+  EXPECT_TRUE(sim.Cancel(handles[4]));
+  EXPECT_TRUE(sim.Cancel(handles[5]));
+  EXPECT_TRUE(sim.Cancel(handles[9]));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 6, 7, 8}));
+  EXPECT_EQ(sim.events_processed(), 6);
+}
+
+TEST(SimulatorTest, RescheduleAfterCancelKeepsFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { order.push_back(0); });
+  EventHandle cancelled =
+      sim.ScheduleAfter(Duration::Seconds(1), [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.Cancel(cancelled));
+  // Scheduled after the cancellation, so it must fire last at the shared
+  // timestamp even though a slot "freed up" earlier in the queue.
+  sim.ScheduleAfter(Duration::Seconds(1), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledBoundaryEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle =
+      sim.ScheduleAfter(Duration::Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(handle));
+  EXPECT_TRUE(sim.RunUntil(SimTime::Zero() + Duration::Seconds(1)).ok());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + Duration::Seconds(1));
 }
 
 TEST(PeriodicTaskTest, FiresOnPeriod) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/base/check.h"
 #include "src/core/telemetry.h"
 #include "src/trace/gaming_trace.h"
 #include "src/trace/vm_distribution.h"

@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/workload/video/archive.h"
 
 #include <gtest/gtest.h>

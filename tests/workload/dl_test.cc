@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/workload/dl/collab.h"
 #include "src/workload/dl/engine.h"

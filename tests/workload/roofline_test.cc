@@ -65,10 +65,10 @@ std::vector<RooflineCase> AllSupportedCases() {
 INSTANTIATE_TEST_SUITE_P(
     AllSupported, RooflineConsistency,
     ::testing::ValuesIn(AllSupportedCases()),
-    [](const ::testing::TestParamInfo<RooflineCase>& info) {
-      std::string name = std::string(DlDeviceName(info.param.device)) + "_" +
-                         DnnModelName(info.param.model) + "_" +
-                         PrecisionName(info.param.precision);
+    [](const ::testing::TestParamInfo<RooflineCase>& param_info) {
+      std::string name = std::string(DlDeviceName(param_info.param.device)) + "_" +
+                         DnnModelName(param_info.param.model) + "_" +
+                         PrecisionName(param_info.param.precision);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) {
           c = '_';

@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/workload/serverless/serverless.h"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "src/base/check.h"
 #include "src/workload/dl/training.h"
 
 #include <gtest/gtest.h>

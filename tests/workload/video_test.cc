@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/workload/video/live.h"
 #include "src/workload/video/quality.h"

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that generic tools cannot express.
+
+Registered as the `lint.repo` ctest. Rules:
+
+  determinism   No wall-clock/nondeterminism primitives under
+                src/{sim,cluster,core,workload}. The simulator's core
+                contract (src/sim/simulator.h) is that a given seed always
+                produces identical runs; one stray system_clock or rand()
+                call breaks every calibrated table downstream. Simulation
+                code must take time from Simulator::Now() and randomness
+                from src/base/rng.h.
+
+  units         No raw `double` function parameters named like physical
+                quantities (watts/seconds/joules/bytes/...) in public
+                headers: src/base/units.h has strong types (Power,
+                Duration, Energy, DataSize) precisely so call sites cannot
+                swap or mis-scale magnitudes. Ratio names (x_per_y) are
+                exempt — no unit type exists for them.
+
+  guards        Include guards must be SRC_<PATH>_H_ (path uppercased,
+                separators to underscores), so guards never collide as the
+                tree grows.
+
+  include-cc    Never `#include` a .cc file; it duplicates definitions and
+                breaks the one-TU-per-source build model.
+
+Suppress a finding by appending `// lint:allow(<rule>)` to the offending
+line, e.g. `// lint:allow(units)`.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DETERMINISM_DIRS = ("src/sim", "src/cluster", "src/core", "src/workload")
+
+# Each pattern is (regex, human-readable reason).
+DETERMINISM_PATTERNS = [
+    (re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+     "std::chrono clocks read host time; use Simulator::Now()"),
+    (re.compile(r"\b(std::)?(rand|srand|rand_r)\s*\("),
+     "C rand() is hidden global state; use src/base/rng.h"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic; seed Rng explicitly"),
+    (re.compile(r"\bmt19937(_64)?\b"),
+     "std::mt19937 distributions are implementation-defined; use src/base/rng.h"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\("),
+     "wall-clock time breaks reproducibility; use Simulator::Now()"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "wall-clock time breaks reproducibility; use Simulator::Now()"),
+]
+
+# double parameters named like unit-typed quantities. `per` names are
+# ratios (e.g. celsius_per_watt) with no unit type, so they are exempt.
+UNIT_NAME = re.compile(
+    r"\bdouble\s+(\w*(?:watt|second|sec|joule|byte|millis|micros|nanos)\w*)")
+RATIO_HINT = re.compile(r"per", re.IGNORECASE)
+
+ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+IGNORED_DIRS = {".git", "build", "third_party", ".github"}
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving offsets/newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed(raw_line, rule):
+    m = ALLOW.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, path, lineno, rule, message):
+        self.findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+    def lint_determinism(self, path, raw_lines, code_lines):
+        if not path.startswith(DETERMINISM_DIRS):
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            for pattern, reason in DETERMINISM_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "determinism"):
+                    self.report(path, lineno, "determinism", reason)
+
+    def lint_units(self, path, raw_lines, code_text):
+        if not (path.startswith("src/") and path.endswith(".h")):
+            return
+        for m in UNIT_NAME.finditer(code_text):
+            name = m.group(1)
+            if RATIO_HINT.search(name):
+                continue
+            # Only function parameters: the declaration must sit inside an
+            # unbalanced '(' — struct fields and locals are at depth 0.
+            depth = (code_text.count("(", 0, m.start()) -
+                     code_text.count(")", 0, m.start()))
+            if depth <= 0:
+                continue
+            lineno = code_text.count("\n", 0, m.start()) + 1
+            if allowed(raw_lines[lineno - 1], "units"):
+                continue
+            self.report(
+                path, lineno, "units",
+                f"raw `double {name}` parameter in a public header; use the "
+                "matching src/base/units.h type (Power/Duration/Energy/"
+                "DataSize)")
+
+    def lint_guards(self, path, raw_lines, code_text):
+        if not (path.startswith("src/") and path.endswith(".h")):
+            return
+        want = path.upper().replace("/", "_").replace(".", "_") + "_"
+        m = re.search(r"#ifndef\s+(\S+)", code_text)
+        if m is None:
+            self.report(path, 1, "guards", f"missing include guard {want}")
+            return
+        lineno = code_text.count("\n", 0, m.start()) + 1
+        if m.group(1) != want and not allowed(raw_lines[lineno - 1], "guards"):
+            self.report(path, lineno, "guards",
+                        f"include guard {m.group(1)} should be {want}")
+
+    def lint_include_cc(self, path, raw_lines, code_lines):
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            if (re.search(r'#include\s+"[^"]+\.cc"', code)
+                    and not allowed(raw, "include-cc")):
+                self.report(path, lineno, "include-cc",
+                            "never #include a .cc file")
+
+    def run(self):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = [d for d in sorted(dirnames)
+                           if d not in IGNORED_DIRS and
+                           not d.startswith("build")]
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc", ".cpp")):
+                    continue
+                full = os.path.join(dirpath, name)
+                path = os.path.relpath(full, self.root).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    text = f.read()
+                code_text = strip_comments_and_strings(text)
+                raw_lines = text.split("\n")
+                code_lines = code_text.split("\n")
+                self.lint_determinism(path, raw_lines, code_lines)
+                self.lint_units(path, raw_lines, code_text)
+                self.lint_guards(path, raw_lines, code_text)
+                self.lint_include_cc(path, raw_lines, code_lines)
+        return self.findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root to lint")
+    args = parser.parse_args()
+    findings = Linter(os.path.abspath(args.root)).run()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} lint finding(s). Suppress intentional "
+              "cases with `// lint:allow(<rule>)`.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
