@@ -8,6 +8,7 @@
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/autoscaler.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {
@@ -62,10 +63,17 @@ Outcome Measure(int warm_pool, double target_util, double rate) {
 void Run() {
   std::printf("=== Ablation: autoscaler policy at 20 req/s (ResNet-50, "
               "SoC GPU) ===\n\n");
+  BenchReport report("ablation_autoscaler");
+  report.SetParam("rate_per_s", 20.0);
   TextTable table({"warm pool", "target util", "samples/J", "p99 ms"});
   for (int warm : {0, 2, 6, 12}) {
     for (double util : {0.5, 0.85}) {
       const Outcome outcome = Measure(warm, util, 20.0);
+      const std::string prefix = "warm" + std::to_string(warm) + "_util" +
+                                 FormatDouble(util, 2) + "_";
+      report.Add(prefix + "samples_per_joule", outcome.samples_per_joule,
+                 "samples/J");
+      report.Add(prefix + "p99_ms", outcome.p99_ms, "ms");
       table.AddRow({std::to_string(warm), FormatDouble(util, 2),
                     FormatDouble(outcome.samples_per_joule, 2),
                     FormatDouble(outcome.p99_ms, 1)});

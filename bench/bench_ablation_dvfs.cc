@@ -4,8 +4,11 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/table.h"
 #include "src/hw/dvfs.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
@@ -32,11 +35,18 @@ void Run() {
   }
   std::printf("%s\n", table.Render().c_str());
 
+  BenchReport report("ablation_dvfs");
   std::printf("Energy for a fixed work item (10 s at top OPP):\n");
   for (CpuGovernor governor : AllCpuGovernors()) {
+    const Energy energy =
+        DvfsModel::EnergyForWork(curve, governor, Duration::Seconds(10));
+    report.Add(std::string(CpuGovernorName(governor)) + "_work_energy_j",
+               energy.joules(), "J");
     std::printf("  %-12s %.1f J\n", CpuGovernorName(governor),
-                DvfsModel::EnergyForWork(curve, governor, Duration::Seconds(10)).joules());
+                energy.joules());
   }
+  report.Add("linear_model_max_error", DvfsModel::LinearModelMaxError(curve),
+             "ratio");
   std::printf("\nMax deviation of the linear abstraction from schedutil: "
               "%.0f%%\n",
               DvfsModel::LinearModelMaxError(curve) * 100.0);

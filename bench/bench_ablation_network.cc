@@ -9,6 +9,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/collab.h"
 
 namespace soccluster {
@@ -35,6 +36,8 @@ CollabResult RunAt(DataRate fabric, DnnModel model, bool pipelined) {
 void Run() {
   std::printf("=== Ablation: intra-cluster fabric bandwidth "
               "(collaborative ResNet-50, N=5) ===\n\n");
+  BenchReport report("ablation_network");
+  report.SetParam("num_socs", static_cast<int64_t>(5));
   TextTable table({"fabric", "seq total ms", "seq comm %", "pipe total ms",
                    "pipe comm %", "speedup vs 1 SoC (80 ms)"});
   for (double gbps : {1.0, 2.5, 10.0, 25.0, 100.0}) {
@@ -42,6 +45,9 @@ void Run() {
         RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, false);
     const CollabResult pipe =
         RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, true);
+    const std::string prefix = "fabric_" + FormatDouble(gbps, 1) + "gbps_";
+    report.Add(prefix + "pipe_total_ms", pipe.total.ToMillis(), "ms");
+    report.Add(prefix + "pipe_comm_share", pipe.CommShare(), "ratio");
     table.AddRow({FormatDouble(gbps, 1) + " Gbps",
                   FormatDouble(seq.total.ToMillis(), 1),
                   FormatDouble(seq.CommShare() * 100.0, 1) + "%",

@@ -8,6 +8,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/video/live.h"
 
 namespace soccluster {
@@ -51,12 +52,19 @@ Outcome Measure(PlacementPolicy policy, int streams) {
 void Run() {
   std::printf("=== Ablation: placement policy x power gating "
               "(V4 live streams) ===\n\n");
+  BenchReport report("ablation_placement");
   TextTable table({"streams", "policy", "SoCs used", "W (all on)",
                    "W (idle gated)"});
   for (int streams : {6, 18, 54, 180}) {
     for (PlacementPolicy policy :
          {PlacementPolicy::kSpread, PlacementPolicy::kPack}) {
       const Outcome outcome = Measure(policy, streams);
+      const std::string prefix =
+          std::string(policy == PlacementPolicy::kSpread ? "spread" : "pack") +
+          "_" + std::to_string(streams) + "streams_";
+      report.Add(prefix + "gated_watts", outcome.power_gated_watts, "W");
+      report.Add(prefix + "socs_used",
+                 static_cast<double>(outcome.socs_used), "socs");
       table.AddRow({std::to_string(streams),
                     policy == PlacementPolicy::kSpread ? "spread" : "pack",
                     std::to_string(outcome.socs_used),

@@ -7,6 +7,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/serverless/serverless.h"
 
 namespace soccluster {
@@ -14,6 +15,7 @@ namespace {
 
 void Run() {
   std::printf("=== Ablation: serverless keep-alive on the SoC Cluster ===\n\n");
+  BenchReport report("ablation_serverless");
   TextTable table({"keep-alive", "cold-start rate", "p50 ms", "p99 ms",
                    "avg cluster W", "J per invocation"});
   for (Duration keep_alive :
@@ -42,6 +44,12 @@ void Run() {
     std::string label = keep_alive.IsZero()
                             ? "none"
                             : FormatDouble(keep_alive.ToSeconds(), 0) + " s";
+    const std::string prefix =
+        "keepalive_" + FormatDouble(keep_alive.ToSeconds(), 0) + "s_";
+    report.Add(prefix + "cold_start_rate", stats.ColdStartRate(), "ratio");
+    report.Add(prefix + "p99_ms", stats.latency_ms.Percentile(99), "ms");
+    report.Add(prefix + "joules_per_invocation",
+               spent.joules() / stats.invocations, "J");
     table.AddRow({label,
                   FormatDouble(stats.ColdStartRate() * 100.0, 1) + "%",
                   FormatDouble(stats.latency_ms.Median(), 1),

@@ -9,6 +9,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/training.h"
 
 namespace soccluster {
@@ -40,11 +41,18 @@ void Run() {
   std::printf("--- cohort size on the stock 1 Gbps fabric (FP32 grads) ---\n");
   TextTable scale({"SoCs", "step ms", "compute ms", "all-reduce ms",
                    "comm share", "samples/s", "scaling eff"});
+  BenchReport report("ablation_training");
   const TrainingStepResult single =
       RunStep(DataRate::Gbps(1.0), 1, Precision::kFp32);
   for (int socs : {1, 2, 4, 8, 16}) {
     const TrainingStepResult r =
         RunStep(DataRate::Gbps(1.0), socs, Precision::kFp32);
+    if (socs == 8) {
+      report.Add("stock_8socs_comm_share", r.CommShare(), "ratio");
+      report.Add("stock_8socs_scaling_eff",
+                 r.samples_per_second / (socs * single.samples_per_second),
+                 "ratio");
+    }
     scale.AddRow({std::to_string(socs),
                   FormatDouble(r.step_time.ToMillis(), 0),
                   FormatDouble(r.compute.ToMillis(), 0),
@@ -74,6 +82,10 @@ void Run() {
   };
   for (const Case& c : cases) {
     const TrainingStepResult r = RunStep(c.fabric, 8, c.gradients);
+    if (c.gradients == Precision::kInt8) {
+      report.Add("int8_grads_8socs_samples_per_second", r.samples_per_second,
+                 "samples/s");
+    }
     mitigation.AddRow({c.label, FormatDouble(r.step_time.ToMillis(), 0),
                        FormatDouble(r.CommShare() * 100.0, 1) + "%",
                        FormatDouble(r.samples_per_second, 1)});

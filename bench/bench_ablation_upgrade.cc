@@ -5,9 +5,12 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/live.h"
 
@@ -16,6 +19,7 @@ namespace {
 
 void Run() {
   std::printf("=== Ablation: mixed-generation fleet (865 -> 8+Gen1) ===\n\n");
+  BenchReport report("ablation_upgrade");
   TextTable table({"8+Gen1 slots", "V4 live capacity", "V5 live capacity",
                    "R50 DSP capacity (inf/s)", "idle W"});
   for (int upgraded : {0, 15, 30, 45, 60}) {
@@ -38,6 +42,14 @@ void Run() {
     for (int i = 0; i < cluster.num_socs(); ++i) {
       dsp_capacity += DlEngineModel::SocDspThroughput(
           cluster.soc(i).spec(), DnnModel::kResNet50, 1);
+    }
+    if (upgraded == 0 || upgraded == 60) {
+      const std::string prefix =
+          "upgraded_" + std::to_string(upgraded) + "_";
+      report.Add(prefix + "v4_live_capacity", static_cast<double>(v4),
+                 "streams");
+      report.Add(prefix + "r50_dsp_capacity", dsp_capacity, "inferences/s");
+      report.Add(prefix + "idle_watts", cluster.CurrentPower().watts(), "W");
     }
     table.AddRow({std::to_string(upgraded), std::to_string(v4),
                   std::to_string(v5), FormatDouble(dsp_capacity, 0),

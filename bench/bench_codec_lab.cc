@@ -6,7 +6,10 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/videolab/codec_lab.h"
 
 namespace soccluster {
@@ -15,6 +18,7 @@ namespace {
 void Run() {
   std::printf("=== Codec lab: entropy vs bits vs quality (real DCT codec, "
               "128x128 synthetic scenes) ===\n\n");
+  BenchReport report("codec_lab");
   TextTable table({"complexity", "bits @ q=4", "PSNR @ q=4",
                    "PSNR @ 1.5 KB/frame", "PSNR @ 6 KB/frame"});
   for (double complexity : {0.05, 0.2, 0.4, 0.6, 0.8, 0.95}) {
@@ -25,6 +29,16 @@ void Run() {
         DctCodec::EncodeAtBitrate(frame, DataSize::Bytes(1500));
     const EncodedFrame high_rate =
         DctCodec::EncodeAtBitrate(frame, DataSize::Bytes(6000));
+    if (complexity == 0.05 || complexity == 0.95) {
+      const std::string prefix =
+          "complexity_" + FormatDouble(complexity, 2) + "_";
+      report.Add(prefix + "bits_at_q4",
+                 static_cast<double>(matched_q.size.bits()), "bits");
+      report.Add(prefix + "psnr_at_q4_db",
+                 PsnrDb(frame, matched_q.reconstruction), "dB");
+      report.Add(prefix + "psnr_at_1500B_db",
+                 PsnrDb(frame, low_rate.reconstruction), "dB");
+    }
     table.AddRow({FormatDouble(complexity, 2),
                   FormatSi(static_cast<double>(matched_q.size.bits()), 1),
                   FormatDouble(PsnrDb(frame, matched_q.reconstruction), 1) +

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/trace/vm_distribution.h"
 
 namespace soccluster {
@@ -39,6 +40,14 @@ void Run() {
               azure.FitFraction(limits) * 100.0);
   std::printf("  Alibaba ENS: %.0f%%   (paper: ~36%%)\n",
               ens.FitFraction(limits) * 100.0);
+
+  BenchReport report("fig01_vm_cdf");
+  report.SetParam("soc_cores", static_cast<int64_t>(limits.cores));
+  report.SetParam("soc_memory_gb", limits.memory_gb);
+  report.Add("azure_fit_fraction", azure.FitFraction(limits), "ratio");
+  report.Add("ens_fit_fraction", ens.FitFraction(limits), "ratio");
+  report.Add("azure_cores_cdf_8", azure.CoresCdf(8), "ratio");
+  report.Add("ens_cores_cdf_8", ens.CoresCdf(8), "ratio");
 }
 
 }  // namespace

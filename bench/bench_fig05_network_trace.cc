@@ -10,14 +10,17 @@
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/telemetry.h"
+#include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/trace/gaming_trace.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 5: 38-hour cloud-gaming network trace ===\n\n");
   Simulator sim(2024);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -59,12 +62,26 @@ void Run() {
               telemetry.OutboundPeakToTrough());
   std::printf("Mean uplink utilization: %.1f%%   (paper: < 20%%)\n",
               telemetry.MeanOutboundUtilization() * 100.0);
+
+  BenchReport report("fig05_network_trace");
+  report.SetParam("hours", static_cast<int64_t>(38));
+  report.Add("peak_outbound_gbps", telemetry.PeakOutboundGbps(), "Gbps");
+  report.Add("peak_to_trough_ratio", telemetry.OutboundPeakToTrough(), "x");
+  report.Add("mean_uplink_utilization", telemetry.MeanOutboundUtilization(),
+             "ratio");
+  report.Add("sessions_started",
+             static_cast<double>(workload.sessions_started()), "sessions");
+  report.Add("sessions_rejected",
+             static_cast<double>(workload.sessions_rejected()), "sessions");
+
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/video/transcode.h"
 
 namespace soccluster {
@@ -14,6 +15,7 @@ namespace {
 
 void Run() {
   std::printf("=== Figure 6a: live streaming transcoding (streams/W) ===\n\n");
+  BenchReport report("fig06_transcode_efficiency");
   TextTable live({"Video", "SoC-CPU", "Intel-CPU", "GPU-A40",
                   "SoC/Intel", "SoC/A40"});
   for (const VideoSpec& video : VbenchVideos()) {
@@ -23,6 +25,12 @@ void Run() {
         BenchmarkSuite::LiveFullLoad(TranscodeBackend::kIntelCpu, video.id);
     const TranscodeMeasurement a40 =
         BenchmarkSuite::LiveFullLoad(TranscodeBackend::kNvidiaA40, video.id);
+    report.Add(std::string(video.name) + "_soc_streams_per_watt",
+               soc.streams_per_watt, "streams/W");
+    report.Add(std::string(video.name) + "_soc_vs_intel",
+               soc.streams_per_watt / intel.streams_per_watt, "x");
+    report.Add(std::string(video.name) + "_soc_vs_a40",
+               soc.streams_per_watt / a40.streams_per_watt, "x");
     live.AddRow({video.name, FormatDouble(soc.streams_per_watt, 3),
                  FormatDouble(intel.streams_per_watt, 3),
                  FormatDouble(a40.streams_per_watt, 3),
@@ -44,6 +52,8 @@ void Run() {
     const char* best = soc >= intel && soc >= a40
                            ? "SoC-CPU"
                            : (a40 >= intel ? "GPU-A40" : "Intel-CPU");
+    report.Add(std::string(video.name) + "_archive_soc_frames_per_joule", soc,
+               "frames/J");
     archive.AddRow({video.name, FormatDouble(soc, 2), FormatDouble(intel, 2),
                     FormatDouble(a40, 2), best});
   }

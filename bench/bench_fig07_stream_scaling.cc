@@ -8,11 +8,13 @@
 
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
 
-void SweepVideo(VbenchVideo video, const char* label) {
+void SweepVideo(VbenchVideo video, const char* label, const char* tag,
+                BenchReport* report) {
   std::printf("--- %s ---\n", label);
   TextTable table({"streams", "SoC-CPU streams/W", "Intel streams/W",
                    "A40 streams/W"});
@@ -27,14 +29,27 @@ void SweepVideo(VbenchVideo video, const char* label) {
                   FormatDouble(soc.streams_per_watt, 3),
                   FormatDouble(intel.streams_per_watt, 3),
                   FormatDouble(a40.streams_per_watt, 3)});
+    if (streams == 1 || streams == 20) {
+      const std::string prefix =
+          std::string(tag) + "_at_" + std::to_string(streams) + "_";
+      report->Add(prefix + "soc_streams_per_watt", soc.streams_per_watt,
+                  "streams/W");
+      report->Add(prefix + "intel_streams_per_watt", intel.streams_per_watt,
+                  "streams/W");
+      report->Add(prefix + "a40_streams_per_watt", a40.streams_per_watt,
+                  "streams/W");
+    }
   }
   std::printf("%s\n", table.Render().c_str());
 }
 
 void Run() {
   std::printf("=== Figure 7: efficiency vs number of live streams ===\n\n");
-  SweepVideo(VbenchVideo::kV4Presentation, "V4: presentation (1080p25, low entropy)");
-  SweepVideo(VbenchVideo::kV5Hall, "V5: hall (1080p29, high entropy)");
+  BenchReport report("fig07_stream_scaling");
+  SweepVideo(VbenchVideo::kV4Presentation,
+             "V4: presentation (1080p25, low entropy)", "v4", &report);
+  SweepVideo(VbenchVideo::kV5Hall, "V5: hall (1080p29, high entropy)", "v5",
+             &report);
   std::printf("(paper: SoC and Intel CPUs nearly flat; the A40 starts at "
               "0.018 streams/W on one V4 stream — 14.9x behind Intel, 40.8x "
               "behind SoC CPUs — and climbs with load but stays below SoC)\n");

@@ -5,12 +5,14 @@
 
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
 
 void Run() {
   std::printf("=== Figure 8: SoC CPU vs hardware codec (whole cluster) ===\n\n");
+  BenchReport report("fig08_hw_codec");
   TextTable table({"Video", "CPU streams", "HW streams", "HW/CPU",
                    "CPU streams/W", "HW streams/W", "eff HW/CPU"});
   for (const VideoSpec& video : VbenchVideos()) {
@@ -18,6 +20,10 @@ void Run() {
         BenchmarkSuite::LiveFullLoad(TranscodeBackend::kSocCpu, video.id);
     const TranscodeMeasurement hw =
         BenchmarkSuite::LiveFullLoad(TranscodeBackend::kSocHwCodec, video.id);
+    report.Add(std::string(video.name) + "_hw_over_cpu_streams",
+               static_cast<double>(hw.streams) / cpu.streams, "x");
+    report.Add(std::string(video.name) + "_hw_over_cpu_streams_per_watt",
+               hw.streams_per_watt / cpu.streams_per_watt, "x");
     table.AddRow({video.name, std::to_string(cpu.streams),
                   std::to_string(hw.streams),
                   FormatDouble(static_cast<double>(hw.streams) / cpu.streams,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/video/quality.h"
 
 namespace soccluster {
@@ -11,6 +12,7 @@ namespace {
 
 void Run() {
   std::printf("=== Figure 9: target vs output bitrate (Kbps) ===\n\n");
+  BenchReport report("fig09_bitrate");
   TextTable table({"Video", "Target", "libx264", "NVENC", "MediaCodec",
                    "MC floor", "MC meets?"});
   for (const VideoSpec& video : VbenchVideos()) {
@@ -25,6 +27,12 @@ void Run() {
         VideoQualityModel::MediaCodecBitrateFloor(video.id);
     const bool meets = VideoQualityModel::MeetsBitrateTarget(
         VideoEncoder::kMediaCodec, video.id, target);
+    report.Add(std::string(video.name) + "_target_kbps", target.ToKbps(),
+               "Kbps");
+    report.Add(std::string(video.name) + "_mediacodec_kbps",
+               mediacodec.ToKbps(), "Kbps");
+    report.Add(std::string(video.name) + "_mediacodec_floor_kbps",
+               floor.ToKbps(), "Kbps");
     table.AddRow({video.name, FormatDouble(target.ToKbps(), 1),
                   FormatDouble(x264.ToKbps(), 1),
                   FormatDouble(nvenc.ToKbps(), 1),

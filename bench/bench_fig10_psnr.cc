@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/video/quality.h"
 
 namespace soccluster {
@@ -11,6 +12,7 @@ namespace {
 
 void Run() {
   std::printf("=== Figure 10: transcoding quality (PSNR dB) ===\n\n");
+  BenchReport report("fig10_psnr");
   TextTable table({"Video", "libx264 (SoC & Intel)", "NVENC", "MediaCodec",
                    "MC loss"});
   for (const VideoSpec& video : VbenchVideos()) {
@@ -22,6 +24,11 @@ void Run() {
         VideoQualityModel::PsnrDb(VideoEncoder::kMediaCodec, video.id);
     const double loss = VideoQualityModel::PsnrLossFraction(
         VideoEncoder::kMediaCodec, video.id);
+    report.Add(std::string(video.name) + "_libx264_psnr_db", x264, "dB");
+    report.Add(std::string(video.name) + "_mediacodec_psnr_db", mediacodec,
+               "dB");
+    report.Add(std::string(video.name) + "_mediacodec_psnr_loss", loss,
+               "ratio");
     table.AddRow({video.name, FormatDouble(x264, 1), FormatDouble(nvenc, 1),
                   FormatDouble(mediacodec, 1),
                   FormatDouble(loss * 100.0, 2) + "%"});

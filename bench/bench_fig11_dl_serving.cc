@@ -8,6 +8,7 @@
 
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
@@ -76,6 +77,23 @@ void Run() {
   std::printf("(paper anchors: SoC GPU ~18 samples/J on R50-FP32 — 7.09x "
               "Intel, 1.78x A40, 1.15x A100; DSP on R152-INT8 is 42x Intel "
               "and 1.5x A100)\n");
+
+  BenchReport report("fig11_dl_serving");
+  const DlMeasurement cpu = BenchmarkSuite::DlFullLoad(
+      DlDevice::kSocCpu, DnnModel::kResNet50, Precision::kFp32, 1);
+  const DlMeasurement gpu = BenchmarkSuite::DlFullLoad(
+      DlDevice::kSocGpu, DnnModel::kResNet50, Precision::kFp32, 1);
+  const DlMeasurement dsp = BenchmarkSuite::DlFullLoad(
+      DlDevice::kSocDsp, DnnModel::kResNet50, Precision::kInt8, 1);
+  const DlMeasurement intel = BenchmarkSuite::DlFullLoad(
+      DlDevice::kIntelContainer, DnnModel::kResNet50, Precision::kFp32, 1);
+  report.Add("r50_fp32_soc_cpu_latency_ms", cpu.latency_ms, "ms");
+  report.Add("r50_fp32_soc_gpu_latency_ms", gpu.latency_ms, "ms");
+  report.Add("r50_int8_soc_dsp_latency_ms", dsp.latency_ms, "ms");
+  report.Add("r50_fp32_soc_gpu_samples_per_joule", gpu.samples_per_joule,
+             "samples/J");
+  report.Add("r50_fp32_gpu_vs_intel_samples_per_joule",
+             gpu.samples_per_joule / intel.samples_per_joule, "x");
 }
 
 }  // namespace

@@ -7,11 +7,13 @@
 
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
 
-void Sweep(DnnModel model, const char* label) {
+void Sweep(DnnModel model, const char* label, const char* tag,
+           BenchReport* report) {
   std::printf("--- %s (FP32, SoC GPU fleet vs A100 bs<=64) ---\n", label);
   TextTable table({"offered load (req/s)", "SoC Cluster samples/J",
                    "A100 samples/J", "advantage"});
@@ -24,14 +26,21 @@ void Sweep(DnnModel model, const char* label) {
     table.AddRow({FormatDouble(rate, 0), FormatDouble(soc, 3),
                   FormatDouble(a100, 3),
                   FormatDouble(soc / a100, 2) + "x"});
+    if (rate == 5.0 || rate == 1000.0) {
+      const std::string prefix = std::string(tag) + "_at_" +
+                                 FormatDouble(rate, 0) + "rps_";
+      report->Add(prefix + "soc_samples_per_joule", soc, "samples/J");
+      report->Add(prefix + "advantage_vs_a100", soc / a100, "x");
+    }
   }
   std::printf("%s\n", table.Render().c_str());
 }
 
 void Run() {
   std::printf("=== Figure 12: efficiency vs offered DL load ===\n\n");
-  Sweep(DnnModel::kResNet50, "ResNet-50");
-  Sweep(DnnModel::kResNet152, "ResNet-152");
+  BenchReport report("fig12_dl_load_scaling");
+  Sweep(DnnModel::kResNet50, "ResNet-50", "r50", &report);
+  Sweep(DnnModel::kResNet152, "ResNet-152", "r152", &report);
   std::printf("(paper: ~5.71x advantage for the cluster at five samples/s "
               "on ResNet-50; the gap narrows as load saturates the A100)\n");
 }

@@ -8,6 +8,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/collab.h"
 
 namespace soccluster {
@@ -23,7 +24,8 @@ CollabResult RunOnce(Simulator* sim, SocCluster* cluster, DnnModel model,
   return result;
 }
 
-void Sweep(Simulator* sim, SocCluster* cluster, DnnModel model) {
+void Sweep(Simulator* sim, SocCluster* cluster, DnnModel model,
+           const char* tag, BenchReport* report) {
   std::printf("--- %s (FP32, MNN tensor parallelism) ---\n",
               GetDnnModel(model).name.c_str());
   TextTable table({"SoCs", "seq total ms", "seq compute", "seq comm",
@@ -42,6 +44,13 @@ void Sweep(Simulator* sim, SocCluster* cluster, DnnModel model) {
                   FormatDouble(pipe.total.ToMillis(), 1),
                   FormatDouble(pipe.CommShare() * 100.0, 1) + "%",
                   FormatDouble(seq.Speedup(single), 2) + "x"});
+    if (socs == 5) {
+      const std::string prefix = std::string(tag) + "_at_5socs_";
+      report->Add(prefix + "seq_total_ms", seq.total.ToMillis(), "ms");
+      report->Add(prefix + "seq_comm_share", seq.CommShare(), "ratio");
+      report->Add(prefix + "pipe_comm_share", pipe.CommShare(), "ratio");
+      report->Add(prefix + "speedup", seq.Speedup(single), "x");
+    }
   }
   std::printf("%s\n", table.Render().c_str());
 }
@@ -53,8 +62,9 @@ void Run() {
   cluster.PowerOnAll(nullptr);
   const Status status = sim.RunFor(Duration::Seconds(30));
   SOC_CHECK(status.ok());
-  Sweep(&sim, &cluster, DnnModel::kResNet50);
-  Sweep(&sim, &cluster, DnnModel::kResNet152);
+  BenchReport report("fig13_collab_inference");
+  Sweep(&sim, &cluster, DnnModel::kResNet50, "r50", &report);
+  Sweep(&sim, &cluster, DnnModel::kResNet152, "r152", &report);
   std::printf("(paper, ResNet-50: compute 80 -> 34 ms at N=5 but only a "
               "1.38x end-to-end speedup; communication is 41.5%% of latency, "
               "22.9%% with pipelining)\n");

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/transcode.h"
 
@@ -63,6 +64,25 @@ void Run() {
   }
   std::printf("%s", batch.Render().c_str());
   std::printf("(paper: batch 8 gives ~1.7x over batch 1)\n");
+
+  BenchReport report("fig14_longitudinal");
+  const SocSpec first = SocSpecFor(AllSocGenerations().front());
+  const SocSpec last = SocSpecFor(AllSocGenerations().back());
+  const auto cpu_ms = [](const SocSpec& spec) {
+    return DlEngineModel::SocLatency(spec, DlDevice::kSocCpu,
+                                     DnnModel::kResNet50, Precision::kFp32)
+        .ToMillis();
+  };
+  report.Add("r50_cpu_latency_gain_2017_to_2022",
+             cpu_ms(first) / cpu_ms(last), "x");
+  report.Add("v4_cpu_fps_865",
+             TranscodeModel::LiveThroughputFpsSocCpu(
+                 SocSpecFor(SocGeneration::kSd865),
+                 VbenchVideo::kV4Presentation), "fps");
+  report.Add("dsp_batch8_over_batch1",
+             DlEngineModel::SocDspThroughput(gen1p, DnnModel::kResNet50, 8) /
+                 DlEngineModel::SocDspThroughput(gen1p, DnnModel::kResNet50,
+                                                 1), "x");
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/table.h"
 #include "src/hw/microbench.h"
 #include "src/microbench/suite.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
@@ -17,8 +20,12 @@ namespace {
 void Run() {
   std::printf("=== Host micro-benchmark kernels (real implementations) ===\n\n");
   HostMicrobenchSuite suite(/*scale=*/3);
+  BenchReport report("host_microbench");
+  report.SetParam("scale", static_cast<int64_t>(3));
   TextTable table({"kernel", "throughput", "unit", "wall ms", "checksum"});
   for (const KernelResult& result : suite.RunAll()) {
+    report.Add(std::string(result.name) + "_ops_per_second",
+               result.ops_per_second, result.unit);
     table.AddRow({result.name, FormatDouble(result.ops_per_second, 1),
                   result.unit, FormatDouble(result.wall_time.ToMillis(), 1),
                   FormatSi(result.checksum, 2)});

@@ -6,6 +6,7 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
@@ -24,6 +25,9 @@ void Run() {
   sim.Run();
   std::printf("RTT soc0 -> soc7 (cross-PCB): %.2f ms   (paper: ~0.44 ms)\n",
               (echo_time - SimTime::Zero()).ToMillis());
+  BenchReport report("micro_network");
+  report.Add("rtt_cross_pcb_ms", (echo_time - SimTime::Zero()).ToMillis(),
+             "ms");
 
   // iperf3: 1 GB bulk transfer between two SoCs, TCP- and UDP-capped.
   TextTable table({"protocol", "goodput Mbps"});
@@ -44,6 +48,7 @@ void Run() {
     iperf_sim.Run();
     const double goodput_mbps =
         DataSize::Gigabytes(1.0).ToMegabits() / (end - start).ToSeconds();
+    report.Add(std::string(name) + "_goodput_mbps", goodput_mbps, "Mbps");
     table.AddRow({name, FormatDouble(goodput_mbps, 0)});
   }
   std::printf("\n%s\n", table.Render().c_str());

@@ -8,6 +8,7 @@
 #include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/net/network.h"
+#include "src/obs/bench_report.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
@@ -94,7 +95,44 @@ void BM_SocPowerUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_SocPowerUpdate);
 
+// Mirrors each finished run into the BENCH_sim_engine.json report while
+// keeping the stock console output. (A display reporter, not a file
+// reporter — google-benchmark rejects file reporters without
+// --benchmark_out.)
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      report_->Add(run.benchmark_name() + "_real_time",
+                   run.GetAdjustedRealTime(), "ns");
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_->Add(run.benchmark_name() + "_items_per_second",
+                     items->second, "items/s");
+      }
+    }
+  }
+
+ private:
+  BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace soccluster
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  soccluster::BenchReport report("sim_engine");
+  soccluster::ReportingConsole console(&report);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "src/base/table.h"
 #include "src/hw/microbench.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
@@ -40,6 +41,12 @@ void Run() {
                                             MicrobenchMetric::kPdfRender);
   std::printf("  CPU score:  %.1fx  (paper: 3.8x)\n", cpu);
   std::printf("  PDF render: %.1fx  (paper: 3.2x)\n\n", pdf);
+
+  BenchReport report("table2_microbench");
+  report.Add("cpu_score_ratio_vs_g3", cpu, "x");
+  report.Add("pdf_render_ratio_vs_g3", pdf, "x");
+  report.Add("cluster_cpu_score_60socs",
+             model.SocClusterScore(MicrobenchMetric::kCpuScore, 60), "score");
 
   std::printf("Cluster CPU score vs SoC count (extrapolation):\n");
   TextTable scale({"SoCs", "CPU score"});

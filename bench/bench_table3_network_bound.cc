@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "src/base/table.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/video/transcode.h"
 #include "src/workload/video/video.h"
 
@@ -14,6 +15,7 @@ namespace {
 
 void Run() {
   std::printf("=== Table 3: video metadata and network-bound analysis ===\n\n");
+  BenchReport report("table3_network_bound");
   TextTable table({"Video", "Resolution", "FPS", "Entropy", "Src bitrate",
                    "Target bitrate", "Streams/SoC (CPU/HW)",
                    "PCB Mbps (of 1000)", "Server Mbps (of 20000)"});
@@ -23,6 +25,12 @@ void Run() {
     const double per_stream = video.StreamNetworkRate().ToMbps();
     const double pcb = per_stream * (cpu + hw) * 5;
     const double server = per_stream * (cpu + hw) * 60;
+    report.Add(std::string(video.name) + "_streams_per_soc_cpu",
+               static_cast<double>(cpu), "streams");
+    report.Add(std::string(video.name) + "_streams_per_soc_hw",
+               static_cast<double>(hw), "streams");
+    report.Add(std::string(video.name) + "_pcb_mbps", pcb, "Mbps");
+    report.Add(std::string(video.name) + "_server_mbps", server, "Mbps");
     table.AddRow({video.name,
                   std::to_string(video.width) + "x" +
                       std::to_string(video.height),

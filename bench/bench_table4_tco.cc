@@ -3,14 +3,18 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/table.h"
 #include "src/cost/tco.h"
+#include "src/obs/bench_report.h"
 
 namespace soccluster {
 namespace {
 
 void Run() {
   std::printf("=== Table 4: total cost of ownership ===\n\n");
+  BenchReport report("table4_tco");
   for (ServerKind kind : AllServerKinds()) {
     const TcoBreakdown tco = TcoModel::Compute(kind);
     std::printf("--- %s ---\n", ServerKindName(kind));
@@ -35,6 +39,9 @@ void Run() {
                 FormatDouble(tco.monthly_pue_overhead_usd, 0).c_str());
     std::printf("Monthly TCO:            $%s\n\n",
                 FormatDouble(tco.monthly_tco_usd, 0).c_str());
+    const std::string prefix = ServerKindName(kind);
+    report.Add(prefix + "_total_capex_usd", tco.total_capex_usd, "USD");
+    report.Add(prefix + "_monthly_tco_usd", tco.monthly_tco_usd, "USD/month");
   }
   std::printf("(paper: monthly TCO $1,410 / $399 / $1,042)\n");
 }

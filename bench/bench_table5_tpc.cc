@@ -6,6 +6,7 @@
 
 #include "src/base/table.h"
 #include "src/cost/tco.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/transcode.h"
 
@@ -100,6 +101,24 @@ void Run() {
   std::printf("(paper: SoC CPUs lead live streaming — geomean 2.23x over the "
               "A40 and 4.28x over the GPU-server Intel; the A40 dominates "
               "archive and DL serving)\n");
+
+  BenchReport report("table5_tpc");
+  const double soc_v4_tpc = TcoModel::ThroughputPerCost(
+      TranscodeModel::MaxLiveStreams(TranscodeBackend::kSocCpu,
+                                     VbenchVideo::kV4Presentation) * 60.0,
+      cluster);
+  const double a40_v4_tpc = TcoModel::ThroughputPerCost(
+      TranscodeModel::MaxLiveStreams(TranscodeBackend::kNvidiaA40,
+                                     VbenchVideo::kV4Presentation) * 8.0,
+      edge);
+  report.Add("live_v4_soc_cluster_tpc", soc_v4_tpc, "streams/USD");
+  report.Add("live_v4_soc_over_a40", soc_v4_tpc / a40_v4_tpc, "x");
+  report.Add("dl_r50_fp32_soc_gpu_tpc",
+             TcoModel::ThroughputPerCost(
+                 DlEngineModel::Throughput(DlDevice::kSocGpu,
+                                           DnnModel::kResNet50,
+                                           Precision::kFp32, 1) * 60.0,
+                 cluster), "samples/s/USD");
 }
 
 }  // namespace

@@ -3,8 +3,11 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "src/base/table.h"
 #include "src/cluster/virtualization.h"
+#include "src/obs/bench_report.h"
 #include "src/workload/dl/engine.h"
 
 namespace soccluster {
@@ -39,12 +42,22 @@ void Run() {
   };
   TextTable table({"Model", "Processor", "Phys latency ms", "Virt latency ms",
                    "delta", "GPU util phys/virt", "mem overhead"});
+  BenchReport report("table7_virtualization");
+  report.Add("gpu_util_cap_virtualized",
+             VirtualizationModel::GpuUtilizationCap(
+                 SocExecutionMode::kVirtualized), "ratio");
+  report.Add("memory_overhead_fraction",
+             VirtualizationModel::MemoryOverheadFraction(
+                 SocExecutionMode::kVirtualized), "ratio");
   for (const Row& row : rows) {
     const Duration physical =
         DlEngineModel::Latency(row.device, row.model, row.precision, 1);
     const Duration virtualized = VirtualizationModel::AdjustLatency(
         SocExecutionMode::kVirtualized, row.processor, physical);
     const bool gpu = row.processor == SocProcessor::kGpu;
+    report.Add(std::string(DnnModelName(row.model)) + "_" +
+                   SocProcessorName(row.processor) + "_virt_slowdown",
+               virtualized / physical, "x");
     table.AddRow(
         {DnnModelName(row.model), SocProcessorName(row.processor),
          FormatDouble(physical.ToMillis(), 1),

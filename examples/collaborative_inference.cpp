@@ -7,12 +7,15 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/collab.h"
 
 using namespace soccluster;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   Simulator sim(13);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -52,5 +55,7 @@ int main() {
               "per-block halo exchanges over the 1 Gbps fabric cap the "
               "end-to-end speedup near 1.4x; pipelining hides roughly half "
               "of the communication.\n");
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

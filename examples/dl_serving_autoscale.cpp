@@ -9,12 +9,16 @@
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/autoscaler.h"
+#include "src/core/telemetry.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/serving.h"
 
 using namespace soccluster;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   Simulator sim(11);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -23,8 +27,14 @@ int main() {
   SocServingFleet fleet(&sim, &cluster, DlDevice::kSocGpu,
                         DnnModel::kResNet50, Precision::kFp32);
   fleet.SetActiveCount(1);
+  // Responses leave over the ESB, so the trace shows the network phase of
+  // each request and a non-flat ESB throughput track.
+  fleet.SetResponseSize(DataSize::Kilobytes(64.0));
   ClusterAutoscaler autoscaler(&sim, &cluster, &fleet, AutoscalerConfig{});
   autoscaler.Start();
+  // Cluster power and ESB throughput land in the trace as counter tracks.
+  ClusterTelemetry telemetry(&sim, &cluster, Duration::Seconds(5));
+  telemetry.Start();
 
   std::printf("=== autoscaled ResNet-50 serving (SoC GPU fleet) ===\n\n");
   TextTable table({"phase", "offered req/s", "active SoCs", "powered SoCs",
@@ -60,5 +70,7 @@ int main() {
               fleet.latencies().Mean());
   std::printf("(SoCs power off behind the load; a discrete GPU would idle "
               "at ~55 W regardless)\n");
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

@@ -10,11 +10,14 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/fault.h"
 #include "src/core/orchestrator.h"
+#include "src/obs/flags.h"
 
 using namespace soccluster;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   Simulator sim(17);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -83,5 +86,7 @@ int main() {
   std::printf("replicas recovered: %lld, lost: %lld\n",
               static_cast<long long>(orchestrator.replicas_recovered()),
               static_cast<long long>(orchestrator.replicas_lost()));
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/server.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/live.h"
 #include "src/workload/video/transcode.h"
 
@@ -27,8 +28,10 @@ int DemandAt(double hour) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   Simulator sim(7);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -99,5 +102,7 @@ int main() {
               "(%.0f%% saving; note the Xeon alone cannot serve the peak)\n",
               cluster_kwh, server_kwh,
               (1.0 - cluster_kwh / server_kwh) * 100.0);
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

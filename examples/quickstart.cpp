@@ -7,15 +7,18 @@
 #include "src/base/check.h"
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/serving.h"
 #include "src/workload/video/live.h"
 
 using namespace soccluster;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   // 1. A simulator owns time; the cluster owns 60 Snapdragon 865 SoCs,
   //    12 PCB switch boards, the 20 Gbps ESB, and the BMC.
   Simulator sim(/*seed=*/42);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   BmcModel bmc(&sim, &cluster, BmcConfig{});
   bmc.StartSampling();
@@ -60,5 +63,7 @@ int main() {
               fleet.latencies().Median(), fleet.latencies().Percentile(99));
   std::printf("chassis temperature:   %.1f C, fans at %.0f%%\n",
               bmc.TemperatureCelsius(), bmc.FanDuty() * 100.0);
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

@@ -8,12 +8,15 @@
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/flags.h"
 #include "src/workload/serverless/serverless.h"
 
 using namespace soccluster;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = ParseObsFlags(argc, argv);
   Simulator sim(19);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -59,5 +62,7 @@ int main() {
   }
   std::printf("max per-SoC function memory: %.0f MB of %.0f MB budget\n",
               peak_memory, config.soc_memory_budget_mb);
+  const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
+  SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;
 }

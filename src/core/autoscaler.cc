@@ -24,6 +24,11 @@ ClusterAutoscaler::ClusterAutoscaler(Simulator* sim, SocCluster* cluster,
   SOC_CHECK_GE(config_.min_active, 0);
   SOC_CHECK_LE(config_.min_active, cluster_->num_socs());
   SOC_CHECK_GE(config_.warm_pool, 0);
+  MetricRegistry& metrics = sim_->metrics();
+  desired_series_ = metrics.GetTimeSeries("autoscaler.desired_active");
+  powered_series_ = metrics.GetTimeSeries("autoscaler.powered_socs");
+  power_ons_ = metrics.GetCounter("autoscaler.power_ons");
+  power_offs_ = metrics.GetCounter("autoscaler.power_offs");
   ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
                                            [this] { Tick(); });
 }
@@ -67,10 +72,16 @@ void ClusterAutoscaler::Tick() {
     desired = std::max(desired, fleet_->active_count() + std::max(1, drain));
   }
   desired = std::clamp(desired, config_.min_active, cluster_->num_socs());
+  if (desired != desired_active_) {
+    sim_->tracer().Instant(
+        desired > desired_active_ ? "scale_up" : "scale_down", "autoscaler");
+  }
   desired_active_ = desired;
   fleet_->SetActiveCount(desired);
   ApplyPowerStates(std::min(cluster_->num_socs(),
                             desired + config_.warm_pool));
+  desired_series_->Append(sim_->Now(), static_cast<double>(desired_active_));
+  powered_series_->Append(sim_->Now(), static_cast<double>(PoweredCount()));
 }
 
 void ClusterAutoscaler::ApplyPowerStates(int keep_powered) {
@@ -83,6 +94,7 @@ void ClusterAutoscaler::ApplyPowerStates(int keep_powered) {
         const Status status =
             soc.PowerOn(cluster_->chassis().soc_wake, nullptr);
         SOC_CHECK(status.ok()) << status.ToString();
+        power_ons_->Increment();
       }
       continue;
     }
@@ -91,6 +103,7 @@ void ClusterAutoscaler::ApplyPowerStates(int keep_powered) {
         soc.codec_sessions() == 0) {
       const Status status = soc.PowerOff();
       SOC_CHECK(status.ok()) << status.ToString();
+      power_offs_->Increment();
     }
   }
 }

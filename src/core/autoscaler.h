@@ -55,6 +55,13 @@ class ClusterAutoscaler {
   int64_t last_completed_ = 0;
   double rate_estimate_ = 0.0;
   int desired_active_ = 0;
+  // Scaling decisions published to the registry ("autoscaler.*"): the
+  // desired/powered series become Perfetto counter tracks, the counters
+  // tally SoC power-state transitions the autoscaler ordered.
+  TimeSeries* desired_series_;
+  TimeSeries* powered_series_;
+  Counter* power_ons_;
+  Counter* power_offs_;
 };
 
 }  // namespace soccluster

@@ -13,6 +13,11 @@ Orchestrator::Orchestrator(Simulator* sim, SocCluster* cluster,
     : sim_(sim), cluster_(cluster), policy_(policy) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  placements_metric_ = metrics.GetCounter("orchestrator.placements");
+  evictions_metric_ = metrics.GetCounter("orchestrator.evictions");
+  migrations_metric_ = metrics.GetCounter("orchestrator.migrations");
+  lost_metric_ = metrics.GetCounter("orchestrator.replicas_lost");
 }
 
 Status Orchestrator::RegisterWorkload(const std::string& name,
@@ -75,10 +80,15 @@ int Orchestrator::PickSoc(const ReplicaDemand& demand) const {
 }
 
 Status Orchestrator::Place(Workload* workload, const std::string& name) {
+  ScopedSpan span(&sim_->tracer(), "place", "orchestrator");
   const int soc_index = PickSoc(workload->demand);
   if (soc_index < 0) {
     return Status::ResourceExhausted("no SoC can host a replica of " + name);
   }
+  Tracer& tracer = sim_->tracer();
+  tracer.AddArg(span.id(), "workload", name);
+  tracer.AddArg(span.id(), "soc", static_cast<int64_t>(soc_index));
+  placements_metric_->Increment();
   SocModel& soc = cluster_->soc(soc_index);
   SOC_RETURN_IF_ERROR(soc.AddCpuUtil(workload->demand.cpu_util));
   SOC_RETURN_IF_ERROR(soc.SetGpuUtil(soc.gpu_util() + workload->demand.gpu_util));
@@ -109,6 +119,7 @@ void Orchestrator::Evict(Workload* workload, size_t replica_index) {
   }
   workload->placements.erase(workload->placements.begin() +
                              static_cast<long>(replica_index));
+  evictions_metric_->Increment();
 }
 
 Status Orchestrator::ScaleTo(const std::string& name, int replicas) {
@@ -271,6 +282,7 @@ int Orchestrator::Consolidate() {
       SOC_CHECK(status.ok()) << status.ToString();
       workload.placements[move.replica_index] = move.destination;
       ++replicas_migrated_;
+      migrations_metric_->Increment();
     }
     ++freed;
   }
@@ -280,6 +292,8 @@ int Orchestrator::Consolidate() {
 void Orchestrator::OnSocFailure(int soc_index) {
   SOC_CHECK_GE(soc_index, 0);
   SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  ScopedSpan span(&sim_->tracer(), "soc_failure_recovery", "orchestrator");
+  sim_->tracer().AddArg(span.id(), "soc", static_cast<int64_t>(soc_index));
   for (auto& [name, workload] : workloads_) {
     // Collect indices first; eviction mutates the vector.
     std::vector<size_t> displaced;
@@ -298,6 +312,7 @@ void Orchestrator::OnSocFailure(int soc_index) {
         ++replicas_recovered_;
       } else {
         ++replicas_lost_;
+        lost_metric_->Increment();
         SOC_LOG(Warning) << "replica of " << name
                          << " lost after SoC failure: " << status.ToString();
       }

@@ -85,6 +85,11 @@ class Orchestrator {
   int64_t replicas_lost_ = 0;
   int64_t replicas_recovered_ = 0;
   int64_t replicas_migrated_ = 0;
+  // Placement decisions published to the registry ("orchestrator.*").
+  Counter* placements_metric_;
+  Counter* evictions_metric_;
+  Counter* migrations_metric_;
+  Counter* lost_metric_;
 };
 
 }  // namespace soccluster

@@ -12,6 +12,12 @@ ClusterTelemetry::ClusterTelemetry(Simulator* sim, SocCluster* cluster,
     : sim_(sim), cluster_(cluster) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  power_series_ = metrics.GetTimeSeries("cluster.power_watts");
+  cpu_util_series_ = metrics.GetTimeSeries("cluster.mean_cpu_util");
+  esb_out_series_ = metrics.GetTimeSeries("cluster.esb_out_gbps");
+  esb_in_series_ = metrics.GetTimeSeries("cluster.esb_in_gbps");
+  usable_series_ = metrics.GetTimeSeries("cluster.usable_socs");
   ticker_ = std::make_unique<PeriodicTask>(sim_, period, [this] { Capture(); });
 }
 
@@ -22,26 +28,50 @@ void ClusterTelemetry::Start() { ticker_->Start(); }
 void ClusterTelemetry::Stop() { ticker_->Stop(); }
 
 void ClusterTelemetry::Capture() {
-  TelemetrySample sample;
-  sample.time = sim_->Now();
-  sample.power_watts = cluster_->CurrentPower().watts();
-  sample.mean_cpu_util = cluster_->MeanSocCpuUtil();
+  const SimTime now = sim_->Now();
+  power_series_->Append(now, cluster_->CurrentPower().watts());
+  cpu_util_series_->Append(now, cluster_->MeanSocCpuUtil());
   Network& net = cluster_->network();
-  sample.esb_out_gbps =
-      net.LinkOfferedRate(cluster_->esb_uplink_out()).ToGbps();
-  sample.esb_in_gbps = net.LinkOfferedRate(cluster_->esb_uplink_in()).ToGbps();
-  sample.usable_socs = cluster_->NumUsable();
-  samples_.push_back(sample);
+  esb_out_series_->Append(
+      now, net.LinkOfferedRate(cluster_->esb_uplink_out()).ToGbps());
+  esb_in_series_->Append(
+      now, net.LinkOfferedRate(cluster_->esb_uplink_in()).ToGbps());
+  usable_series_->Append(now, static_cast<double>(cluster_->NumUsable()));
+}
+
+std::vector<TelemetrySample> ClusterTelemetry::samples() const {
+  const auto& power = power_series_->points();
+  const auto& cpu = cpu_util_series_->points();
+  const auto& out = esb_out_series_->points();
+  const auto& in = esb_in_series_->points();
+  const auto& usable = usable_series_->points();
+  // The five series advance in lockstep inside Capture().
+  SOC_DCHECK(power.size() == cpu.size() && power.size() == out.size() &&
+             power.size() == in.size() && power.size() == usable.size());
+  std::vector<TelemetrySample> samples;
+  samples.reserve(power.size());
+  for (size_t i = 0; i < power.size(); ++i) {
+    TelemetrySample sample;
+    sample.time = power[i].time;
+    sample.power_watts = power[i].value;
+    sample.mean_cpu_util = cpu[i].value;
+    sample.esb_out_gbps = out[i].value;
+    sample.esb_in_gbps = in[i].value;
+    sample.usable_socs = static_cast<int>(usable[i].value);
+    samples.push_back(sample);
+  }
+  return samples;
 }
 
 double ClusterTelemetry::OutboundPeakToTrough() const {
   double peak = 0.0;
   double trough = std::numeric_limits<double>::infinity();
-  for (const TelemetrySample& sample : samples_) {
-    peak = std::max(peak, sample.esb_out_gbps);
-    trough = std::min(trough, sample.esb_out_gbps);
+  const auto& points = esb_out_series_->points();
+  for (const SeriesPoint& point : points) {
+    peak = std::max(peak, point.value);
+    trough = std::min(trough, point.value);
   }
-  if (samples_.empty() || trough <= 0.0) {
+  if (points.empty() || trough <= 0.0) {
     return 0.0;
   }
   return peak / trough;
@@ -49,23 +79,23 @@ double ClusterTelemetry::OutboundPeakToTrough() const {
 
 double ClusterTelemetry::PeakOutboundGbps() const {
   double peak = 0.0;
-  for (const TelemetrySample& sample : samples_) {
-    peak = std::max(peak, sample.esb_out_gbps);
+  for (const SeriesPoint& point : esb_out_series_->points()) {
+    peak = std::max(peak, point.value);
   }
   return peak;
 }
 
 double ClusterTelemetry::MeanOutboundUtilization() const {
-  if (samples_.empty()) {
+  const auto& points = esb_out_series_->points();
+  if (points.empty()) {
     return 0.0;
   }
   double sum = 0.0;
-  for (const TelemetrySample& sample : samples_) {
-    sum += sample.esb_out_gbps;
+  for (const SeriesPoint& point : points) {
+    sum += point.value;
   }
-  const double capacity_gbps =
-      cluster_->chassis().esb_uplink.ToGbps();
-  return sum / static_cast<double>(samples_.size()) / capacity_gbps;
+  const double capacity_gbps = cluster_->chassis().esb_uplink.ToGbps();
+  return sum / static_cast<double>(points.size()) / capacity_gbps;
 }
 
 }  // namespace soccluster

@@ -1,6 +1,12 @@
 // Cluster telemetry: periodic time-series capture of power, utilization,
 // and network throughput. Backs Figure 5 (38-hour network trace) and the
 // examples' reporting.
+//
+// Samples are published into the simulator's metrics registry as the
+// "cluster.*" time series (power_watts, mean_cpu_util, esb_out_gbps,
+// esb_in_gbps, usable_socs), so one exported trace carries the power/util/
+// ESB series alongside request spans. The accessors below read back from
+// the registry; there is no private sample store.
 
 #ifndef SRC_CORE_TELEMETRY_H_
 #define SRC_CORE_TELEMETRY_H_
@@ -32,7 +38,9 @@ class ClusterTelemetry {
   void Start();
   void Stop();
 
-  const std::vector<TelemetrySample>& samples() const { return samples_; }
+  // The capture, materialized from the registry's "cluster.*" series.
+  std::vector<TelemetrySample> samples() const;
+  size_t sample_count() const { return power_series_->size(); }
   // Peak-to-trough ratio of outbound network throughput over the capture
   // (the paper observes up to 25x on in-the-wild gaming clusters).
   double OutboundPeakToTrough() const;
@@ -46,7 +54,12 @@ class ClusterTelemetry {
   Simulator* sim_;
   SocCluster* cluster_;
   std::unique_ptr<PeriodicTask> ticker_;
-  std::vector<TelemetrySample> samples_;
+  // Owned by the simulator's registry.
+  TimeSeries* power_series_;
+  TimeSeries* cpu_util_series_;
+  TimeSeries* esb_out_series_;
+  TimeSeries* esb_in_series_;
+  TimeSeries* usable_series_;
 };
 
 }  // namespace soccluster

@@ -16,6 +16,11 @@ constexpr double kRateEpsilonBps = 1e-6;
 
 Network::Network(Simulator* sim, Duration rtt) : sim_(sim), rtt_(rtt) {
   SOC_CHECK(sim_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  flows_started_ = metrics.GetCounter("net.flows_started");
+  flows_completed_ = metrics.GetCounter("net.flows_completed");
+  flow_duration_ms_ = metrics.GetHistogram("net.flow_duration_ms");
+  flow_mbits_ = metrics.GetHistogram("net.flow_mbits");
 }
 
 NetNodeId Network::AddNode(std::string name) {
@@ -107,12 +112,26 @@ Result<FlowId> Network::StartFlow(NetNodeId src, NetNodeId dst, DataSize size,
   flow.path = std::move(path.value());
   flow.bits_remaining = static_cast<double>(size.bits());
   flow.cap = rate_cap;
+  flow.start = sim_->Now();
   flow.last_update = sim_->Now();
   flow.on_complete = std::move(on_complete);
+  flows_started_->Increment();
+  flow_mbits_->Observe(static_cast<double>(size.bits()) * 1e-6);
+  Tracer& tracer = sim_->tracer();
+  flow.span =
+      tracer.BeginAsyncSpan("flow", "net", static_cast<uint64_t>(id));
+  tracer.AddArg(flow.span, "src", node_name(src));
+  tracer.AddArg(flow.span, "dst", node_name(dst));
+  tracer.AddArg(flow.span, "mbits",
+                static_cast<double>(size.bits()) * 1e-6);
   // Local (src == dst) or empty transfers complete immediately.
   if (flow.path.empty() || flow.bits_remaining <= 0.0) {
     auto cb = std::move(flow.on_complete);
-    sim_->ScheduleAfter(Duration::Zero(), [cb = std::move(cb)] {
+    const SpanId span = flow.span;
+    sim_->ScheduleAfter(Duration::Zero(), [this, cb = std::move(cb), span] {
+      flows_completed_->Increment();
+      flow_duration_ms_->Observe(0.0);
+      sim_->tracer().EndSpan(span);
       if (cb) {
         cb();
       }
@@ -337,6 +356,9 @@ void Network::CompleteFlow(FlowId flow_id) {
     return;
   }
   std::function<void()> callback = std::move(it->second.on_complete);
+  flows_completed_->Increment();
+  flow_duration_ms_->Observe((sim_->Now() - it->second.start).ToMillis());
+  sim_->tracer().EndSpan(it->second.span);
   for (LinkId link : it->second.path) {
     auto& active = links_[static_cast<size_t>(link)].active_flows;
     active.erase(std::remove(active.begin(), active.end(), flow_id),

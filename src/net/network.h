@@ -102,9 +102,11 @@ class Network {
     double bits_remaining = 0.0;
     DataRate rate;
     DataRate cap;
+    SimTime start;
     SimTime last_update;
     std::function<void()> on_complete;
     EventHandle completion;
+    SpanId span = 0;  // Async "flow" span (category "net"), id = flow id.
   };
   struct ConstantLoad {
     std::vector<LinkId> path;
@@ -129,6 +131,11 @@ class Network {
   std::map<std::pair<NetNodeId, NetNodeId>, std::vector<LinkId>> route_cache_;
   FlowId next_flow_id_ = 1;
   int64_t next_load_id_ = 1;
+  // Flow lifecycle published to the registry ("net.*").
+  Counter* flows_started_;
+  Counter* flows_completed_;
+  HistogramMetric* flow_duration_ms_;
+  HistogramMetric* flow_mbits_;
 };
 
 }  // namespace soccluster

@@ -1,0 +1,178 @@
+#include "src/obs/export.h"
+
+#include <fstream>
+
+#include "src/obs/json.h"
+
+namespace soccluster {
+namespace {
+
+constexpr int64_t kPid = 1;
+
+double ToTraceUs(SimTime t) { return static_cast<double>(t.nanos()) * 1e-3; }
+
+void WriteCommonFields(JsonWriter* w, std::string_view name,
+                       std::string_view category, double ts_us) {
+  w->KeyValue("name", name);
+  if (!category.empty()) {
+    w->KeyValue("cat", category);
+  }
+  w->KeyValue("ts", ts_us);
+  w->KeyValue("pid", kPid);
+}
+
+void WriteArgs(JsonWriter* w,
+               const std::vector<std::pair<std::string, std::string>>& args) {
+  if (args.empty()) {
+    return;
+  }
+  w->Key("args");
+  w->BeginObject();
+  for (const auto& [key, value] : args) {
+    w->KeyValue(key, std::string_view(value));
+  }
+  w->EndObject();
+}
+
+void WriteSpanEvent(JsonWriter* w, const TraceSpan& span) {
+  if (span.async_id != 0) {
+    // Nestable async pair: groups by (cat, id) in the Perfetto UI.
+    w->BeginObject();
+    WriteCommonFields(w, span.name, span.category, ToTraceUs(span.begin));
+    w->KeyValue("ph", "b");
+    w->KeyValue("id", span.async_id);
+    WriteArgs(w, span.args);
+    w->EndObject();
+    if (!span.open) {
+      w->BeginObject();
+      WriteCommonFields(w, span.name, span.category, ToTraceUs(span.end));
+      w->KeyValue("ph", "e");
+      w->KeyValue("id", span.async_id);
+      w->EndObject();
+    }
+    return;
+  }
+  w->BeginObject();
+  WriteCommonFields(w, span.name, span.category, ToTraceUs(span.begin));
+  if (span.open) {
+    // Still running at export time: emit an unmatched begin so the span is
+    // visible instead of silently dropped.
+    w->KeyValue("ph", "B");
+  } else {
+    w->KeyValue("ph", "X");
+    w->KeyValue("dur", ToTraceUs(span.end) - ToTraceUs(span.begin));
+  }
+  w->KeyValue("tid", span.track);
+  WriteArgs(w, span.args);
+  w->EndObject();
+}
+
+}  // namespace
+
+void WriteChromeTrace(const Observability& obs, std::ostream& out) {
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.KeyValue("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Process + track naming metadata.
+  w.BeginObject();
+  w.KeyValue("name", "process_name");
+  w.KeyValue("ph", "M");
+  w.KeyValue("pid", kPid);
+  w.Key("args");
+  w.BeginObject();
+  w.KeyValue("name", "soccluster-sim");
+  w.EndObject();
+  w.EndObject();
+  for (const auto& [track, name] : obs.tracer.track_names()) {
+    w.BeginObject();
+    w.KeyValue("name", "thread_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", kPid);
+    w.KeyValue("tid", track);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", std::string_view(name));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceSpan& span : obs.tracer.spans()) {
+    WriteSpanEvent(&w, span);
+  }
+  for (const TraceInstant& instant : obs.tracer.instants()) {
+    w.BeginObject();
+    WriteCommonFields(&w, instant.name, instant.category,
+                      ToTraceUs(instant.time));
+    w.KeyValue("ph", "i");
+    w.KeyValue("tid", instant.track);
+    w.KeyValue("s", "t");  // Thread-scoped instant.
+    w.EndObject();
+  }
+  // Every time series becomes a counter track.
+  for (const MetricRegistry::Entry& entry : obs.metrics.Entries()) {
+    if (entry.series == nullptr) {
+      continue;
+    }
+    std::string name = entry.name;
+    for (const auto& [key, value] : entry.labels) {
+      name.append("{").append(key).append("=").append(value).append("}");
+    }
+    for (const SeriesPoint& point : entry.series->points()) {
+      w.BeginObject();
+      WriteCommonFields(&w, name, "metric", ToTraceUs(point.time));
+      w.KeyValue("ph", "C");
+      w.Key("args");
+      w.BeginObject();
+      w.KeyValue("value", point.value);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+}
+
+Status WriteChromeTraceFile(const Observability& obs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open trace output file " + path);
+  }
+  WriteChromeTrace(obs, out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace to " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteMetricsJsonFile(const MetricRegistry& metrics,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open metrics output file " + path);
+  }
+  metrics.WriteJson(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing metrics to " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteMetricsJsonlFile(const MetricRegistry& metrics,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open metrics output file " + path);
+  }
+  metrics.WriteJsonl(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing metrics to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace soccluster

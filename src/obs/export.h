@@ -1,0 +1,36 @@
+// Exporters: Chrome trace_event JSON (loadable in Perfetto and
+// chrome://tracing) and metrics snapshots (JSON / JSONL).
+//
+// The Chrome trace carries:
+//   * synchronous spans as complete ("X") events, one thread per track;
+//   * async spans as nestable async begin/end ("b"/"e") pairs keyed by
+//     (category, async id);
+//   * instants as "i" events;
+//   * every TimeSeries metric as a counter ("C") track — cluster power,
+//     ESB throughput, queue depths;
+//   * thread-name metadata for named tracks.
+//
+// Timestamps are simulated microseconds since simulation start.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/obs/obs.h"
+
+namespace soccluster {
+
+void WriteChromeTrace(const Observability& obs, std::ostream& out);
+Status WriteChromeTraceFile(const Observability& obs, const std::string& path);
+
+Status WriteMetricsJsonFile(const MetricRegistry& metrics,
+                            const std::string& path);
+Status WriteMetricsJsonlFile(const MetricRegistry& metrics,
+                             const std::string& path);
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,46 @@
+// Command-line wiring for the examples: a tiny parser for the shared
+// observability flags so every example accepts
+//
+//   --trace-out=PATH     write a Perfetto/chrome://tracing JSON trace
+//   --metrics-out=PATH   write a metrics snapshot (.jsonl => one per line)
+//
+// Usage in an example's main():
+//
+//   ObsFlags flags = ParseObsFlags(argc, argv);
+//   Simulator sim(seed);
+//   ApplyObsFlags(flags, &sim.obs());     // Enables tracing if requested.
+//   ...run the scenario...
+//   SOC_CHECK(FlushObsFlags(flags, sim.obs()).ok());
+
+#ifndef SRC_OBS_FLAGS_H_
+#define SRC_OBS_FLAGS_H_
+
+#include <string>
+
+#include "src/base/result.h"
+#include "src/obs/obs.h"
+
+namespace soccluster {
+
+struct ObsFlags {
+  std::string trace_out;    // Empty: tracing stays disabled.
+  std::string metrics_out;  // Empty: no metrics snapshot.
+
+  bool trace_requested() const { return !trace_out.empty(); }
+  bool metrics_requested() const { return !metrics_out.empty(); }
+};
+
+// Parses `--trace-out=`/`--metrics-out=` (also the two-token `--trace-out
+// PATH` form) and ignores unrecognized arguments.
+ObsFlags ParseObsFlags(int argc, char** argv);
+
+// Enables the tracer when a trace was requested.
+void ApplyObsFlags(const ObsFlags& flags, Observability* obs);
+
+// Writes the requested outputs. A ".jsonl" metrics path selects the
+// line-oriented format. Returns the first failure.
+Status FlushObsFlags(const ObsFlags& flags, const Observability& obs);
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_FLAGS_H_

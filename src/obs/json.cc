@@ -1,0 +1,158 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+void JsonEscapeTo(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  JsonEscapeTo(&out, s);
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  // %.17g round-trips every double but writes noise like 0.10000000000000001;
+  // try the shortest representation that still round-trips.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream* out) : out_(out) {
+  SOC_CHECK(out_ != nullptr);
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    SOC_CHECK(pending_key_) << "JSON object member written without a key";
+    pending_key_ = false;
+    return;
+  }
+  if (top.has_elements) {
+    *out_ << ',';
+  }
+  top.has_elements = true;
+}
+
+void JsonWriter::Push(Scope scope, char open) {
+  BeforeValue();
+  *out_ << open;
+  stack_.push_back(Frame{scope, false});
+}
+
+void JsonWriter::Pop(Scope scope, char close) {
+  SOC_CHECK(!stack_.empty() && stack_.back().scope == scope)
+      << "mismatched JSON container close";
+  SOC_CHECK(!pending_key_) << "JSON key written without a value";
+  stack_.pop_back();
+  *out_ << close;
+}
+
+void JsonWriter::BeginObject() { Push(Scope::kObject, '{'); }
+void JsonWriter::EndObject() { Pop(Scope::kObject, '}'); }
+void JsonWriter::BeginArray() { Push(Scope::kArray, '['); }
+void JsonWriter::EndArray() { Pop(Scope::kArray, ']'); }
+
+void JsonWriter::Key(std::string_view key) {
+  SOC_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject)
+      << "JSON key outside an object";
+  SOC_CHECK(!pending_key_) << "two JSON keys in a row";
+  Frame& top = stack_.back();
+  if (top.has_elements) {
+    *out_ << ',';
+  }
+  top.has_elements = true;
+  std::string escaped;
+  JsonEscapeTo(&escaped, key);
+  *out_ << '"' << escaped << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view s) {
+  BeforeValue();
+  std::string escaped;
+  JsonEscapeTo(&escaped, s);
+  *out_ << '"' << escaped << '"';
+}
+
+void JsonWriter::Value(double v) {
+  BeforeValue();
+  *out_ << JsonNumber(v);
+}
+
+void JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  *out_ << v;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  *out_ << v;
+}
+
+void JsonWriter::Value(bool b) {
+  BeforeValue();
+  *out_ << (b ? "true" : "false");
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  *out_ << json;
+}
+
+}  // namespace soccluster

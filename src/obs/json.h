@@ -1,0 +1,78 @@
+// Minimal streaming JSON writer used by the observability exporters.
+//
+// The writer tracks container state (object/array, first-element commas) so
+// exporters cannot emit structurally invalid JSON. Numbers are written with
+// enough precision to round-trip doubles; strings are escaped per RFC 8259.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soccluster {
+
+// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+void JsonEscapeTo(std::string* out, std::string_view s);
+std::string JsonEscape(std::string_view s);
+
+// Formats a double as a JSON number token. NaN and infinities have no JSON
+// representation; they are serialized as null.
+std::string JsonNumber(double v);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out);
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Writes the key of the next object member. Must be inside an object.
+  void Key(std::string_view key);
+
+  void Value(std::string_view s);
+  void Value(const char* s) { Value(std::string_view(s)); }
+  void Value(double v);
+  void Value(int64_t v);
+  void Value(uint64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(bool b);
+  // Writes `json` verbatim as the next value; the caller guarantees it is a
+  // valid JSON value token (used for pre-encoded values).
+  void RawValue(std::string_view json);
+
+  // Convenience: Key(key) + Value(v).
+  template <typename T>
+  void KeyValue(std::string_view key, T v) {
+    Key(key);
+    Value(v);
+  }
+
+  // Depth of open containers; 0 when the document is complete.
+  size_t depth() const { return stack_.size(); }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void Push(Scope scope, char open);
+  void Pop(Scope scope, char close);
+
+  std::ostream* out_;
+  struct Frame {
+    Scope scope;
+    bool has_elements = false;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,150 @@
+// Metrics registry: named counters, gauges, histograms, and sim-time series
+// shared by every subsystem.
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// "sim.events_processed", "cluster.power_watts", "dl.serving.latency_ms".
+// Units are part of the name where ambiguity is possible (…_watts, …_ms,
+// …_gbps). Labels carry cardinality (e.g. {{"soc", "7"}}), never units.
+//
+// Hot-path cost: instruments are looked up once (Get* returns a pointer that
+// stays valid for the registry's lifetime) and updated via a single add or
+// store. Snapshot/export never perturbs the instruments.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/units.h"
+
+namespace soccluster {
+
+// Ordered key=value pairs identifying one instrument of a named metric.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing integer.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-write-wins scalar, with a convenience high-water update.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void SetMax(double v) {
+    if (v > value_) {
+      value_ = v;
+    }
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Distribution of observed values: streaming moments plus stored samples
+// for percentile queries (both from src/base/stats.h).
+class HistogramMetric {
+ public:
+  void Observe(double x) {
+    running_.Add(x);
+    samples_.Add(x);
+  }
+  const RunningStat& running() const { return running_; }
+  const SampleStats& samples() const { return samples_; }
+  int64_t count() const { return running_.count(); }
+
+ private:
+  RunningStat running_;
+  SampleStats samples_;
+};
+
+// An appended (sim-time, value) series, e.g. a sampled power trace. Exported
+// as a Perfetto counter track.
+struct SeriesPoint {
+  SimTime time;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void Append(SimTime t, double v) { points_.push_back(SeriesPoint{t, v}); }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<SeriesPoint> points_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Finds or creates the instrument for (name, labels). The returned pointer
+  // stays valid for the registry's lifetime — cache it on hot paths. A name
+  // must keep one instrument kind; a kind mismatch CHECK-fails.
+  Counter* GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, MetricLabels labels = {});
+  HistogramMetric* GetHistogram(std::string_view name, MetricLabels labels = {});
+  TimeSeries* GetTimeSeries(std::string_view name, MetricLabels labels = {});
+
+  // One registered instrument, visited in registration order (deterministic
+  // for a deterministic program).
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    const Counter* counter = nullptr;          // Set for counters.
+    const Gauge* gauge = nullptr;              // Set for gauges.
+    const HistogramMetric* histogram = nullptr;  // Set for histograms.
+    const TimeSeries* series = nullptr;        // Set for time series.
+  };
+  std::vector<Entry> Entries() const;
+  size_t size() const { return instruments_.size(); }
+
+  // Snapshot writers. WriteJson emits one JSON array; WriteJsonl emits one
+  // JSON object per line (the CI-diffable format). Time-series points are
+  // included in full.
+  void WriteJson(std::ostream& out) const;
+  void WriteJsonl(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kSeries };
+  struct Instrument {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    std::unique_ptr<TimeSeries> series;
+  };
+
+  Instrument* FindOrCreate(std::string_view name, MetricLabels labels,
+                           Kind kind);
+  static std::string InstrumentKey(std::string_view name,
+                                   const MetricLabels& labels);
+
+  // Insertion-ordered storage plus a key index for O(log n) lookup.
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+  std::map<std::string, Instrument*> by_key_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,21 @@
+// The per-simulator observability context: one metrics registry plus one
+// tracer. Every component holding a Simulator* reaches both through
+// Simulator::obs(); exporters (src/obs/export.h) turn the pair into
+// Perfetto traces and metric snapshots.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace soccluster {
+
+struct Observability {
+  MetricRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_OBS_H_

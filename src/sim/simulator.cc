@@ -1,12 +1,20 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/check.h"
 
 namespace soccluster {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed)
+    : events_processed_(obs_.metrics.GetCounter("sim.events_processed")),
+      events_cancelled_(obs_.metrics.GetCounter("sim.events_cancelled")),
+      max_pending_(obs_.metrics.GetGauge("sim.max_pending_events")),
+      max_callback_depth_(obs_.metrics.GetGauge("sim.max_callback_depth")),
+      rng_(seed) {
+  obs_.tracer.BindClock(&now_);
+}
 
 EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
   SOC_CHECK_GE(t.nanos(), now_.nanos()) << "scheduling into the past";
@@ -14,6 +22,7 @@ EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
   const uint64_t seq = next_seq_++;
   queue_.push(Event{t, seq, seq, std::move(cb)});
   pending_ids_.insert(seq);
+  max_pending_->SetMax(static_cast<double>(pending_ids_.size()));
   return EventHandle(seq);
 }
 
@@ -36,6 +45,7 @@ bool Simulator::Cancel(EventHandle handle) {
   // popped. The cancelled set is pruned at that point.
   const bool inserted = cancelled_.insert(handle.id()).second;
   SOC_DCHECK(inserted) << "cancelled set out of sync with pending set";
+  events_cancelled_->Increment();
   return true;
 }
 
@@ -57,8 +67,11 @@ bool Simulator::Step() {
     last_fired_seq_ = ev.seq;
     pending_ids_.erase(ev.id);
     now_ = ev.time;
-    ++events_processed_;
+    events_processed_->Increment();
+    ++callback_depth_;
+    max_callback_depth_->SetMax(static_cast<double>(callback_depth_));
     ev.callback();
+    --callback_depth_;
     return true;
   }
   return false;
@@ -128,29 +141,84 @@ void PeriodicTask::Arm() {
   });
 }
 
-Resource::Resource(Simulator* sim, int64_t capacity)
-    : sim_(sim), capacity_(capacity) {
+Resource::Resource(Simulator* sim, int64_t capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK_GT(capacity_, 0);
+  if (!name_.empty()) {
+    MetricRegistry& metrics = sim_->metrics();
+    granted_metric_ = metrics.GetCounter("resource." + name_ + ".granted");
+    cancelled_metric_ =
+        metrics.GetCounter("resource." + name_ + ".cancelled_waits");
+    max_queue_metric_ =
+        metrics.GetGauge("resource." + name_ + ".max_queue_length");
+    wait_metric_ = metrics.GetHistogram("resource." + name_ + ".wait_ms");
+  }
 }
 
-void Resource::Acquire(Simulator::Callback on_grant) {
+void Resource::RecordGrant(SimTime enqueued) {
+  ++total_granted_;
+  const double waited_ms = (sim_->Now() - enqueued).ToMillis();
+  wait_ms_.Add(waited_ms);
+  if (granted_metric_ != nullptr) {
+    granted_metric_->Increment();
+    wait_metric_->Observe(waited_ms);
+  }
+}
+
+uint64_t Resource::Acquire(Simulator::Callback on_grant) {
   SOC_CHECK(on_grant != nullptr);
+  const uint64_t ticket = next_ticket_++;
   if (in_use_ < capacity_) {
     ++in_use_;
+    RecordGrant(sim_->Now());
     on_grant();
-    return;
+    return ticket;
   }
-  waiters_.push(std::move(on_grant));
+  Waiter waiter;
+  waiter.ticket = ticket;
+  waiter.on_grant = std::move(on_grant);
+  waiter.enqueued = sim_->Now();
+  if (!name_.empty()) {
+    waiter.span = sim_->tracer().BeginAsyncSpan("wait", "resource." + name_,
+                                                ticket);
+  }
+  waiters_.push_back(std::move(waiter));
+  max_queue_length_ =
+      std::max(max_queue_length_, static_cast<int64_t>(waiters_.size()));
+  if (max_queue_metric_ != nullptr) {
+    max_queue_metric_->SetMax(static_cast<double>(waiters_.size()));
+  }
+  return ticket;
+}
+
+bool Resource::CancelWait(uint64_t ticket) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->ticket != ticket) {
+      continue;
+    }
+    Tracer& tracer = sim_->tracer();
+    tracer.AddArg(it->span, "cancelled", "true");
+    tracer.EndSpan(it->span);
+    waiters_.erase(it);
+    ++waits_cancelled_;
+    if (cancelled_metric_ != nullptr) {
+      cancelled_metric_->Increment();
+    }
+    return true;
+  }
+  return false;
 }
 
 void Resource::Release() {
   SOC_CHECK_GT(in_use_, 0) << "Release without matching Acquire";
   if (!waiters_.empty()) {
-    Simulator::Callback next = std::move(waiters_.front());
-    waiters_.pop();
+    Waiter next = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim_->tracer().EndSpan(next.span);
+    RecordGrant(next.enqueued);
     // Hand the unit straight to the next waiter; in_use_ is unchanged.
-    next();
+    next.on_grant();
     return;
   }
   --in_use_;

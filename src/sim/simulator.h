@@ -3,19 +3,29 @@
 // Single-threaded, callback-driven, deterministic: events at equal timestamps
 // fire in the order they were scheduled (FIFO tie-break on a monotonically
 // increasing sequence number), so a given seed always produces identical runs.
+//
+// Each Simulator owns an Observability context (metrics registry + tracer,
+// src/obs/obs.h). Components reach it through obs(); the engine itself
+// publishes its health counters there (sim.events_processed,
+// sim.events_cancelled, sim.max_pending_events, sim.max_callback_depth).
+// Recording is passive — tracing on or off never changes a run's results.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/base/rng.h"
+#include "src/base/stats.h"
 #include "src/base/units.h"
+#include "src/obs/obs.h"
 
 namespace soccluster {
 
@@ -33,7 +43,8 @@ class EventHandle {
   uint64_t id_ = 0;
 };
 
-// The event loop. Owns simulated time and a deterministic RNG.
+// The event loop. Owns simulated time, a deterministic RNG, and the
+// observability context.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -44,6 +55,11 @@ class Simulator {
 
   SimTime Now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  Observability& obs() { return obs_; }
+  const Observability& obs() const { return obs_; }
+  Tracer& tracer() { return obs_.tracer; }
+  MetricRegistry& metrics() { return obs_.metrics; }
 
   // Schedules `cb` to run at absolute time `t` (must be >= Now()).
   EventHandle ScheduleAt(SimTime t, Callback cb);
@@ -65,7 +81,18 @@ class Simulator {
   // Executes exactly one event if any is pending; returns false when idle.
   bool Step();
 
-  int64_t events_processed() const { return events_processed_; }
+  // Engine health counters (also exported through obs().metrics).
+  int64_t events_processed() const { return events_processed_->value(); }
+  int64_t events_cancelled() const { return events_cancelled_->value(); }
+  // High-water mark of the pending-event queue.
+  int64_t max_pending_events() const {
+    return static_cast<int64_t>(max_pending_->value());
+  }
+  // Deepest nesting of Step() re-entry observed (a callback driving the
+  // simulator itself, e.g. via RunUntil, deepens it past 1).
+  int64_t max_callback_depth() const {
+    return static_cast<int64_t>(max_callback_depth_->value());
+  }
   size_t pending_events() const { return pending_ids_.size(); }
 
  private:
@@ -84,9 +111,15 @@ class Simulator {
     }
   };
 
+  // Declared first so instruments outlive every other member.
+  Observability obs_;
   SimTime now_;
   uint64_t next_seq_ = 1;
-  int64_t events_processed_ = 0;
+  int callback_depth_ = 0;
+  Counter* events_processed_;   // Owned by obs_.metrics.
+  Counter* events_cancelled_;   // Owned by obs_.metrics.
+  Gauge* max_pending_;          // Owned by obs_.metrics.
+  Gauge* max_callback_depth_;   // Owned by obs_.metrics.
   // Sequence number of the event fired most recently; together with now_
   // this witnesses the determinism contract (time, seq) strictly increases
   // across fired events.
@@ -126,24 +159,63 @@ class PeriodicTask {
 
 // A counted resource with FIFO waiters (e.g. hardware codec sessions).
 // Grant callbacks run inline from Acquire()/Release() when capacity allows.
+//
+// Accounting invariants (exact even under CancelWait): every Acquire() is
+// eventually granted, cancelled, or still queued; queue_length() counts only
+// waiters that are still queued; wait_ms() records one sample per grant —
+// 0 for immediate grants — and nothing for cancelled waits.
 class Resource {
  public:
-  Resource(Simulator* sim, int64_t capacity);
+  // A non-empty `name` registers the resource's metrics under
+  // "resource.<name>.*" in the simulator's registry and emits an async
+  // "wait" span (category "resource.<name>") per queued waiter.
+  Resource(Simulator* sim, int64_t capacity, std::string name = "");
 
   // Requests one unit; `on_grant` runs when a unit is assigned (possibly
-  // immediately). Callers must balance each grant with Release().
-  void Acquire(Simulator::Callback on_grant);
+  // immediately). Callers must balance each grant with Release(). Returns a
+  // ticket usable with CancelWait() while the request is still queued.
+  uint64_t Acquire(Simulator::Callback on_grant);
+  // Abandons a queued request. Returns true if `ticket` was still waiting
+  // (its callback will never run); false for granted, cancelled, or unknown
+  // tickets.
+  bool CancelWait(uint64_t ticket);
   void Release();
 
   int64_t capacity() const { return capacity_; }
   int64_t in_use() const { return in_use_; }
   int64_t queue_length() const { return static_cast<int64_t>(waiters_.size()); }
 
+  int64_t total_granted() const { return total_granted_; }
+  int64_t waits_cancelled() const { return waits_cancelled_; }
+  int64_t max_queue_length() const { return max_queue_length_; }
+  // Distribution of Acquire()->grant waits, in milliseconds.
+  const RunningStat& wait_ms() const { return wait_ms_; }
+
  private:
+  struct Waiter {
+    uint64_t ticket = 0;
+    Simulator::Callback on_grant;
+    SimTime enqueued;
+    SpanId span = 0;
+  };
+
+  void RecordGrant(SimTime enqueued);
+
   Simulator* sim_;
   int64_t capacity_;
+  std::string name_;
   int64_t in_use_ = 0;
-  std::queue<Simulator::Callback> waiters_;
+  uint64_t next_ticket_ = 1;
+  std::deque<Waiter> waiters_;
+  int64_t total_granted_ = 0;
+  int64_t waits_cancelled_ = 0;
+  int64_t max_queue_length_ = 0;
+  RunningStat wait_ms_;
+  // Registry instruments; null when the resource is unnamed.
+  Counter* granted_metric_ = nullptr;
+  Counter* cancelled_metric_ = nullptr;
+  Gauge* max_queue_metric_ = nullptr;
+  HistogramMetric* wait_metric_ = nullptr;
 };
 
 }  // namespace soccluster

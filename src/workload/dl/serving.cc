@@ -48,6 +48,20 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
             soc_device == DlDevice::kSocGpu || soc_device == DlDevice::kSocDsp)
       << "fleet devices must live on the SoC";
   SOC_CHECK(DlEngineModel::Supports(device_, model_, precision_));
+  MetricRegistry& metrics = sim_->metrics();
+  submitted_metric_ = metrics.GetCounter("dl.serving.submitted");
+  completed_metric_ = metrics.GetCounter("dl.serving.completed");
+  latency_metric_ = metrics.GetHistogram("dl.serving.latency_ms");
+  max_queue_metric_ = metrics.GetGauge("dl.serving.max_queue_length");
+  Tracer& tracer = sim_->tracer();
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    std::string name = "soc";
+    if (i < 10) {
+      name.push_back('0');
+    }
+    name += std::to_string(i);
+    tracer.SetTrackName(SocTrack(i), name);
+  }
 }
 
 double SocServingFleet::PerSocThroughput() const {
@@ -62,7 +76,18 @@ void SocServingFleet::SetActiveCount(int count) {
 }
 
 void SocServingFleet::Submit() {
-  queue_.push_back(sim_->Now());
+  Tracer& tracer = sim_->tracer();
+  PendingRequest request;
+  request.enqueue = sim_->Now();
+  request.request_id = next_request_id_++;
+  request.request_span =
+      tracer.BeginAsyncSpan("request", "dl.serving", request.request_id);
+  tracer.AddArg(request.request_span, "model", DnnModelName(model_));
+  request.queue_span = tracer.BeginAsyncSpan(
+      "queue", "dl.serving", request.request_id, request.request_span);
+  queue_.push_back(std::move(request));
+  submitted_metric_->Increment();
+  max_queue_metric_->SetMax(static_cast<double>(queue_.size()));
   TryDispatch();
 }
 
@@ -78,9 +103,18 @@ void SocServingFleet::TryDispatch() {
     if (chosen < 0) {
       return;
     }
-    const SimTime enqueue_time = queue_.front();
+    PendingRequest request = std::move(queue_.front());
     queue_.pop_front();
     busy_[static_cast<size_t>(chosen)] = true;
+    Tracer& tracer = sim_->tracer();
+    tracer.EndSpan(request.queue_span);
+    // The request's inference phase, in two views: the async child follows
+    // the request, the track span shows the SoC busy.
+    const SpanId infer_span = tracer.BeginAsyncSpan(
+        "infer", "dl.serving", request.request_id, request.request_span);
+    tracer.AddArg(infer_span, "soc", static_cast<int64_t>(chosen));
+    const SpanId infer_track_span =
+        tracer.BeginSpan("infer", "dl.serving", SocTrack(chosen));
     SocModel& soc = cluster_->soc(chosen);
     Status status;
     switch (device_) {
@@ -97,13 +131,17 @@ void SocServingFleet::TryDispatch() {
     SOC_CHECK(status.ok()) << status.ToString();
     const Duration service =
         Duration::SecondsF(1.0 / PerSocThroughput());
-    sim_->ScheduleAfter(service, [this, chosen, enqueue_time] {
-      FinishOn(chosen, enqueue_time);
-    });
+    sim_->ScheduleAfter(
+        service,
+        [this, chosen, request = std::move(request), infer_track_span,
+         infer_span]() mutable {
+          FinishOn(chosen, std::move(request), infer_track_span, infer_span);
+        });
   }
 }
 
-void SocServingFleet::FinishOn(int soc_index, SimTime enqueue_time) {
+void SocServingFleet::FinishOn(int soc_index, PendingRequest request,
+                               SpanId infer_track_span, SpanId infer_span) {
   busy_[static_cast<size_t>(soc_index)] = false;
   SocModel& soc = cluster_->soc(soc_index);
   if (soc.IsUsable()) {
@@ -122,7 +160,30 @@ void SocServingFleet::FinishOn(int soc_index, SimTime enqueue_time) {
     SOC_CHECK(status.ok()) << status.ToString();
   }
   ++completed_;
-  latencies_.Add((sim_->Now() - enqueue_time).ToMillis());
+  completed_metric_->Increment();
+  const double latency_ms = (sim_->Now() - request.enqueue).ToMillis();
+  latencies_.Add(latency_ms);
+  latency_metric_->Observe(latency_ms);
+  Tracer& tracer = sim_->tracer();
+  tracer.EndSpan(infer_track_span);
+  tracer.EndSpan(infer_span);
+  if (response_size_.bits() > 0) {
+    // Ship the response through the fabric; the request closes when the
+    // last byte reaches the external node.
+    const SpanId net_span = tracer.BeginAsyncSpan(
+        "network", "dl.serving", request.request_id, request.request_span);
+    const SpanId request_span = request.request_span;
+    Result<FlowId> flow = cluster_->network().StartFlow(
+        cluster_->soc_node(soc_index), cluster_->external_node(),
+        response_size_, DataRate::Zero(), [this, net_span, request_span] {
+          Tracer& t = sim_->tracer();
+          t.EndSpan(net_span);
+          t.EndSpan(request_span);
+        });
+    SOC_CHECK(flow.ok()) << flow.status().ToString();
+  } else {
+    tracer.EndSpan(request.request_span);
+  }
   TryDispatch();
 }
 
@@ -138,10 +199,18 @@ GpuBatchServer::GpuBatchServer(Simulator* sim, DiscreteGpuModel* gpu,
   SOC_CHECK(IsDiscreteGpu(device));
   SOC_CHECK_GE(max_batch_, 1);
   SOC_CHECK(DlEngineModel::Supports(device_, model_, precision_));
+  MetricRegistry& metrics = sim_->metrics();
+  submitted_metric_ = metrics.GetCounter("dl.gpu_batch.submitted");
+  completed_metric_ = metrics.GetCounter("dl.gpu_batch.completed");
+  batches_metric_ = metrics.GetCounter("dl.gpu_batch.batches");
+  latency_metric_ = metrics.GetHistogram("dl.gpu_batch.latency_ms");
+  batch_size_metric_ = metrics.GetHistogram("dl.gpu_batch.batch_size");
+  sim_->tracer().SetTrackName(GpuTrack(), "gpu");
 }
 
 void GpuBatchServer::Submit() {
   queue_.push_back(sim_->Now());
+  submitted_metric_->Increment();
   MaybeLaunch(/*timeout_expired=*/false);
 }
 
@@ -170,6 +239,12 @@ void GpuBatchServer::MaybeLaunch(bool timeout_expired) {
     queue_.pop_front();
   }
   running_ = true;
+  batches_metric_->Increment();
+  batch_size_metric_->Observe(static_cast<double>(batch));
+  Tracer& tracer = sim_->tracer();
+  const SpanId batch_span =
+      tracer.BeginSpan("batch", "dl.gpu_batch", GpuTrack());
+  tracer.AddArg(batch_span, "batch_size", static_cast<int64_t>(batch));
   // Drive the GPU meter at the batch's marginal power.
   const Power marginal =
       DlEngineModel::MarginalPower(device_, model_, precision_, batch);
@@ -180,19 +255,25 @@ void GpuBatchServer::MaybeLaunch(bool timeout_expired) {
 
   const Duration latency =
       DlEngineModel::Latency(device_, model_, precision_, batch);
-  sim_->ScheduleAfter(latency, [this, members = std::move(members)]() mutable {
-    FinishBatch(std::move(members));
-  });
+  sim_->ScheduleAfter(
+      latency, [this, members = std::move(members), batch_span]() mutable {
+        FinishBatch(std::move(members), batch_span);
+      });
 }
 
-void GpuBatchServer::FinishBatch(std::vector<SimTime> batch) {
+void GpuBatchServer::FinishBatch(std::vector<SimTime> batch,
+                                 SpanId batch_span) {
   running_ = false;
   Status status = gpu_->SetComputeUtil(0.0);
   SOC_CHECK(status.ok()) << status.ToString();
+  sim_->tracer().EndSpan(batch_span);
   const SimTime now = sim_->Now();
   for (SimTime enqueue_time : batch) {
     ++completed_;
-    latencies_.Add((now - enqueue_time).ToMillis());
+    completed_metric_->Increment();
+    const double latency_ms = (now - enqueue_time).ToMillis();
+    latencies_.Add(latency_ms);
+    latency_metric_->Observe(latency_ms);
   }
   MaybeLaunch(/*timeout_expired=*/false);
 }

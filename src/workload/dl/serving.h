@@ -44,6 +44,12 @@ class OpenLoopSource {
 // request at a time at the engine's service rate; requests queue centrally.
 // Driving the per-SoC utilization through SocModel makes the cluster's
 // power track load — the mechanism behind Figure 12.
+//
+// Every request is traced end-to-end as a nested async span group
+// (category "dl.serving"): request ⊃ queue → infer → network, plus a
+// synchronous "infer" span on the serving SoC's track, so an exported trace
+// shows both the request timeline and per-SoC occupancy. Counters and the
+// latency histogram land in the registry under "dl.serving.*".
 class SocServingFleet {
  public:
   SocServingFleet(Simulator* sim, SocCluster* cluster, DlDevice soc_device,
@@ -56,6 +62,13 @@ class SocServingFleet {
   void SetActiveCount(int count);
   int active_count() const { return active_count_; }
 
+  // When nonzero, each completed inference also ships its response of
+  // `size` through the cluster fabric to the external node as a bulk flow
+  // (traced as the request's "network" phase). Completion counters and
+  // latency stats still close at inference end, so enabling the response
+  // path changes neither throughput nor the reported latencies.
+  void SetResponseSize(DataSize size) { response_size_ = size; }
+
   void Submit();
 
   int64_t completed() const { return completed_; }
@@ -65,8 +78,18 @@ class SocServingFleet {
   double PerSocThroughput() const;
 
  private:
+  struct PendingRequest {
+    SimTime enqueue;
+    uint64_t request_id = 0;
+    SpanId request_span = 0;
+    SpanId queue_span = 0;
+  };
+
   void TryDispatch();
-  void FinishOn(int soc_index, SimTime enqueue_time);
+  void FinishOn(int soc_index, PendingRequest request, SpanId infer_track_span,
+                SpanId infer_span);
+  // Display track hosting SoC `i`'s synchronous spans.
+  static int64_t SocTrack(int soc_index) { return 100 + soc_index; }
 
   Simulator* sim_;
   SocCluster* cluster_;
@@ -75,12 +98,21 @@ class SocServingFleet {
   Precision precision_;
   int active_count_ = 0;
   std::vector<bool> busy_;
-  std::deque<SimTime> queue_;  // Enqueue timestamps.
+  std::deque<PendingRequest> queue_;
   int64_t completed_ = 0;
   SampleStats latencies_;
+  DataSize response_size_;  // Zero: no response transfer.
+  uint64_t next_request_id_ = 1;
+  Counter* submitted_metric_;
+  Counter* completed_metric_;
+  HistogramMetric* latency_metric_;
+  Gauge* max_queue_metric_;
 };
 
-// Batching server for one discrete GPU.
+// Batching server for one discrete GPU. Each launched batch is traced as a
+// synchronous "batch" span (category "dl.gpu_batch", batch size attached as
+// an arg) on a dedicated GPU track; counters and histograms land under
+// "dl.gpu_batch.*" in the registry.
 class GpuBatchServer {
  public:
   GpuBatchServer(Simulator* sim, DiscreteGpuModel* gpu, DlDevice device,
@@ -97,7 +129,9 @@ class GpuBatchServer {
 
  private:
   void MaybeLaunch(bool timeout_expired);
-  void FinishBatch(std::vector<SimTime> batch);
+  void FinishBatch(std::vector<SimTime> batch, SpanId batch_span);
+  // Display track hosting the GPU's batch spans.
+  static int64_t GpuTrack() { return 90; }
 
   Simulator* sim_;
   DiscreteGpuModel* gpu_;
@@ -111,6 +145,11 @@ class GpuBatchServer {
   EventHandle timeout_event_;
   int64_t completed_ = 0;
   SampleStats latencies_;
+  Counter* submitted_metric_;
+  Counter* completed_metric_;
+  Counter* batches_metric_;
+  HistogramMetric* latency_metric_;
+  HistogramMetric* batch_size_metric_;
 };
 
 }  // namespace soccluster

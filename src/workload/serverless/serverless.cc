@@ -13,6 +13,11 @@ ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
       soc_memory_mb_(static_cast<size_t>(cluster->num_socs()), 0.0) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  invocations_metric_ = metrics.GetCounter("serverless.invocations");
+  cold_starts_metric_ = metrics.GetCounter("serverless.cold_starts");
+  rejected_metric_ = metrics.GetCounter("serverless.rejected");
+  latency_metric_ = metrics.GetHistogram("serverless.latency_ms");
 }
 
 Status ServerlessPlatform::RegisterFunction(const FunctionSpec& spec) {
@@ -68,12 +73,18 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   }
   const FunctionSpec& spec = it->second;
   ++stats_.invocations;
+  invocations_metric_->Increment();
   const SimTime enqueue = sim_->Now();
+  Tracer& tracer = sim_->tracer();
+  InvocationTrace trace;
+  trace.id = next_invocation_id_++;
+  trace.span = tracer.BeginAsyncSpan("invocation", "serverless", trace.id);
+  tracer.AddArg(trace.span, "function", function);
 
   if (Instance* warm = FindWarmInstance(function)) {
     sim_->Cancel(warm->eviction);
     warm->eviction = EventHandle();
-    RunOn(warm, spec, enqueue, std::move(on_done));
+    RunOn(warm, spec, enqueue, trace, std::move(on_done));
     return Status::Ok();
   }
 
@@ -81,37 +92,54 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   const int soc_index = PickSocForNewInstance(spec.memory_mb);
   if (soc_index < 0) {
     ++stats_.rejected;
+    rejected_metric_->Increment();
+    tracer.AddArg(trace.span, "rejected", "true");
+    tracer.EndSpan(trace.span);
     return Status::Ok();  // Shed, not an API error.
   }
   ++stats_.cold_starts;
+  cold_starts_metric_->Increment();
+  const SpanId cold_span =
+      tracer.BeginAsyncSpan("cold_start", "serverless", trace.id, trace.span);
   soc_memory_mb_[static_cast<size_t>(soc_index)] += spec.memory_mb;
   const int64_t id = next_instance_id_++;
   instances_.emplace(id, Instance{id, function, soc_index, true,
                                   EventHandle()});
-  sim_->ScheduleAfter(spec.cold_start, [this, id, spec, enqueue,
+  sim_->ScheduleAfter(spec.cold_start, [this, id, spec, enqueue, trace,
+                                        cold_span,
                                         cb = std::move(on_done)]() mutable {
+    sim_->tracer().EndSpan(cold_span);
     const auto inst = instances_.find(id);
     if (inst == instances_.end()) {
+      sim_->tracer().EndSpan(trace.span);
       return;  // SoC failed mid-provision.
     }
     inst->second.busy = true;
-    RunOn(&inst->second, spec, enqueue, std::move(cb));
+    RunOn(&inst->second, spec, enqueue, trace, std::move(cb));
   });
   return Status::Ok();
 }
 
 void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
-                               SimTime enqueue, Callback on_done) {
+                               SimTime enqueue, InvocationTrace trace,
+                               Callback on_done) {
+  Tracer& tracer = sim_->tracer();
   SocModel& soc = cluster_->soc(instance->soc_index);
   // The SoC may have failed between provisioning and bring-up; shed the
   // invocation and reclaim the instance's memory.
   if (!soc.IsUsable()) {
     ++stats_.rejected;
+    rejected_metric_->Increment();
+    tracer.AddArg(trace.span, "rejected", "true");
+    tracer.EndSpan(trace.span);
     instance->busy = false;
     Evict(instance->id);
     return;
   }
   instance->busy = true;
+  const SpanId exec_span =
+      tracer.BeginAsyncSpan("exec", "serverless", trace.id, trace.span);
+  tracer.AddArg(exec_span, "soc", static_cast<int64_t>(instance->soc_index));
   // CPU may be saturated by co-resident invocations; clamp to headroom
   // (a real runtime would time-slice — the power model only needs the
   // aggregate utilization, which saturates the same way).
@@ -123,8 +151,9 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
   const Duration exec = Duration::SecondsF(rng_.LogNormalMedian(
       spec.exec_median.ToSeconds(), spec.exec_sigma));
   const int64_t id = instance->id;
-  sim_->ScheduleAfter(exec, [this, id, grant, enqueue,
+  sim_->ScheduleAfter(exec, [this, id, grant, enqueue, trace, exec_span,
                              cb = std::move(on_done)]() mutable {
+    sim_->tracer().EndSpan(exec_span);
     const auto it = instances_.find(id);
     if (it != instances_.end()) {
       SocModel& host = cluster_->soc(it->second.soc_index);
@@ -133,13 +162,17 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
         SOC_CHECK(status.ok()) << status.ToString();
       }
     }
-    FinishInvocation(id, enqueue, std::move(cb));
+    FinishInvocation(id, enqueue, trace, std::move(cb));
   });
 }
 
 void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
+                                          InvocationTrace trace,
                                           Callback on_done) {
-  stats_.latency_ms.Add((sim_->Now() - enqueue).ToMillis());
+  const double latency_ms = (sim_->Now() - enqueue).ToMillis();
+  stats_.latency_ms.Add(latency_ms);
+  latency_metric_->Observe(latency_ms);
+  sim_->tracer().EndSpan(trace.span);
   const auto it = instances_.find(instance_id);
   if (it != instances_.end()) {
     it->second.busy = false;

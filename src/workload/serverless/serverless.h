@@ -93,13 +93,20 @@ class ServerlessPlatform {
     EventHandle eviction;
   };
 
+  // Identifies one invocation in the trace: async spans (category
+  // "serverless") grouped under id, rooted at `span`.
+  struct InvocationTrace {
+    uint64_t id = 0;
+    SpanId span = 0;
+  };
+
   Instance* FindWarmInstance(const std::string& function);
   // Picks the SoC with the most free memory; -1 when none fits.
   int PickSocForNewInstance(double memory_mb) const;
   void RunOn(Instance* instance, const FunctionSpec& spec, SimTime enqueue,
-             Callback on_done);
+             InvocationTrace trace, Callback on_done);
   void FinishInvocation(int64_t instance_id, SimTime enqueue,
-                        Callback on_done);
+                        InvocationTrace trace, Callback on_done);
   void Evict(int64_t instance_id);
   void ArmEviction(Instance* instance);
 
@@ -112,6 +119,12 @@ class ServerlessPlatform {
   std::vector<double> soc_memory_mb_;
   int64_t next_instance_id_ = 1;
   InvocationStats stats_;
+  uint64_t next_invocation_id_ = 1;
+  // Invocation outcomes published to the registry ("serverless.*").
+  Counter* invocations_metric_;
+  Counter* cold_starts_metric_;
+  Counter* rejected_metric_;
+  HistogramMetric* latency_metric_;
 };
 
 // A heavy-tailed multi-function workload driver: function popularity is

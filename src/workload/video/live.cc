@@ -12,6 +12,11 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
     : sim_(sim), cluster_(cluster), policy_(policy) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  started_metric_ = metrics.GetCounter("video.live.streams_started");
+  stopped_metric_ = metrics.GetCounter("video.live.streams_stopped");
+  rejected_metric_ = metrics.GetCounter("video.live.admission_rejected");
+  max_active_metric_ = metrics.GetGauge("video.live.max_active_streams");
 }
 
 int LiveTranscodingService::StreamsOnSoc(int soc_index) const {
@@ -83,6 +88,8 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
   }
   Result<int> soc_index = PickSoc(video, backend);
   if (!soc_index.ok()) {
+    rejected_metric_->Increment();
+    sim_->tracer().Instant("admission_rejected", "video.live");
     return soc_index.status();
   }
   SocModel& soc = cluster_->soc(*soc_index);
@@ -108,8 +115,16 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
   SOC_CHECK(outbound.ok()) << outbound.status().ToString();
 
   const int64_t id = next_id_++;
+  Tracer& tracer = sim_->tracer();
+  const SpanId span = tracer.BeginAsyncSpan("stream", "video.live",
+                                            static_cast<uint64_t>(id));
+  tracer.AddArg(span, "soc", static_cast<int64_t>(*soc_index));
+  tracer.AddArg(span, "backend",
+                backend == TranscodeBackend::kSocCpu ? "cpu" : "hw_codec");
   streams_.emplace(id, Stream{video, backend, *soc_index, *inbound,
-                              *outbound});
+                              *outbound, span});
+  started_metric_->Increment();
+  max_active_metric_->SetMax(static_cast<double>(streams_.size()));
   return id;
 }
 
@@ -133,6 +148,8 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
   Network& net = cluster_->network();
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.inbound_load));
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.outbound_load));
+  sim_->tracer().EndSpan(stream.span);
+  stopped_metric_->Increment();
   streams_.erase(it);
   return Status::Ok();
 }

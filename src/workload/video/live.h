@@ -47,6 +47,7 @@ class LiveTranscodingService {
     int soc_index;
     int64_t inbound_load;
     int64_t outbound_load;
+    SpanId span;  // Async "stream" span (category "video.live").
   };
 
   Result<int> PickSoc(VbenchVideo video, TranscodeBackend backend) const;
@@ -57,6 +58,11 @@ class LiveTranscodingService {
   PlacementPolicy policy_;
   std::map<int64_t, Stream> streams_;
   int64_t next_id_ = 1;
+  // Admission outcomes published to the registry ("video.live.*").
+  Counter* started_metric_;
+  Counter* stopped_metric_;
+  Counter* rejected_metric_;
+  Gauge* max_active_metric_;
 };
 
 }  // namespace soccluster

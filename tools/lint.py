@@ -25,6 +25,13 @@ Registered as the `lint.repo` ctest. Rules:
   include-cc    Never `#include` a .cc file; it duplicates definitions and
                 breaks the one-TU-per-source build model.
 
+  stdio         No raw stdout writes (`printf`, `std::cout`, `puts`,
+                `fprintf(stdout, ...)`) under src/. Library code returns
+                data, takes an explicit std::ostream&, or records through
+                the observability layer (src/obs); only binaries (bench/,
+                examples/, tools/) own stdout. snprintf-style buffer
+                formatting and stderr logging are fine.
+
 Suppress a finding by appending `// lint:allow(<rule>)` to the offending
 line, e.g. `// lint:allow(units)`.
 """
@@ -57,6 +64,21 @@ DETERMINISM_PATTERNS = [
 UNIT_NAME = re.compile(
     r"\bdouble\s+(\w*(?:watt|second|sec|joule|byte|millis|micros|nanos)\w*)")
 RATIO_HINT = re.compile(r"per", re.IGNORECASE)
+
+# Raw stdout writes. The lookbehind spares snprintf/vsnprintf (buffer
+# formatting, no stream); fprintf is only flagged when aimed at stdout, so
+# stderr logging stays legal.
+STDIO_PATTERNS = [
+    (re.compile(r"(?:std::)?(?<![A-Za-z0-9_])(?:printf|puts|putchar)\s*\("),
+     "library code must not write to stdout; return data, take a "
+     "std::ostream&, or record through src/obs"),
+    (re.compile(r"std::cout"),
+     "library code must not write to std::cout; return data, take a "
+     "std::ostream&, or record through src/obs"),
+    (re.compile(r"fprintf\s*\(\s*stdout\b"),
+     "library code must not write to stdout; return data, take a "
+     "std::ostream&, or record through src/obs"),
+]
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
@@ -149,6 +171,14 @@ class Linter:
             self.report(path, lineno, "guards",
                         f"include guard {m.group(1)} should be {want}")
 
+    def lint_stdio(self, path, raw_lines, code_lines):
+        if not path.startswith("src/"):
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            for pattern, reason in STDIO_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "stdio"):
+                    self.report(path, lineno, "stdio", reason)
+
     def lint_include_cc(self, path, raw_lines, code_lines):
         for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
             if (re.search(r'#include\s+"[^"]+\.cc"', code)
@@ -174,6 +204,7 @@ class Linter:
                 self.lint_determinism(path, raw_lines, code_lines)
                 self.lint_units(path, raw_lines, code_text)
                 self.lint_guards(path, raw_lines, code_text)
+                self.lint_stdio(path, raw_lines, code_lines)
                 self.lint_include_cc(path, raw_lines, code_lines)
         return self.findings
 
