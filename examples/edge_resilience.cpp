@@ -1,14 +1,18 @@
 // Fault tolerance at the edge (§8): mobile SoCs are not built for 24/7
 // duty, and a single flash failure takes the whole SoC down. This example
-// runs a 90-day simulation of an orchestrated service under Poisson SoC
-// failures with 24-hour repairs, showing replica recovery in action.
+// runs a 90-day chaos simulation of an orchestrated service under the full
+// failure taxonomy — transient and permanent SoC faults, correlated PCB
+// failures, uplink flaps, thermal trips — detected by heartbeats rather
+// than an oracle: the orchestrator only learns a SoC died after
+// miss_threshold missed beats, and repaired SoCs rejoin through reboot,
+// a healthy beat, and the pending re-placement queue.
 
 #include <cstdio>
 
 #include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
-#include "src/cluster/fault.h"
+#include "src/core/chaos.h"
 #include "src/core/orchestrator.h"
 #include "src/obs/flags.h"
 
@@ -35,36 +39,29 @@ int main(int argc, char** argv) {
   status = orchestrator.ScaleTo("edge-inference", 40);
   SOC_CHECK(status.ok());
 
-  FaultConfig fault_config;
-  fault_config.mtbf_per_soc = Duration::Hours(24 * 120);  // ~120-day MTBF.
-  fault_config.repair_time = Duration::Hours(24);
-  FaultInjector faults(&sim, &cluster, fault_config);
-  faults.set_on_failure([&](int soc_index) {
-    std::printf("[day %5.1f] SoC %02d failed -> re-placing replicas\n",
-                sim.Now().ToHours() / 24.0, soc_index);
-    orchestrator.OnSocFailure(soc_index);
-  });
-  faults.Start(Duration::Hours(24 * 90));
+  // The whole control loop: seeded fault taxonomy in, heartbeat detection,
+  // OnSocFailure/OnSocRecovered out, automatic reboot after repair.
+  ChaosConfig config;
+  config.faults.mtbf_per_soc = Duration::Hours(24 * 120);  // ~120-day MTBF.
+  config.faults.transient_fraction = 0.4;  // Watchdog reboots vs. flash death.
+  config.faults.transient_outage = Duration::Minutes(3);
+  config.faults.repair_time = Duration::Hours(24);
+  config.faults.mtbf_per_pcb = Duration::Hours(24 * 500);
+  config.faults.pcb_repair_time = Duration::Hours(48);
+  config.faults.thermal_mtbf = Duration::Hours(24 * 15);
+  config.faults.seed = 17;
+  config.health.heartbeat_interval = Duration::Seconds(10);
+  config.health.miss_threshold = 3;
+  config.horizon = Duration::Hours(24 * 90);
+  ChaosRunner chaos(&sim, &cluster, &orchestrator, config);
+  chaos.Start();
 
-  // Reconciliation loop: every six hours, power repaired SoCs back on and
-  // top workloads back up to their desired replica counts.
-  PeriodicTask reconciler(&sim, Duration::Hours(6), [&] {
-    for (int i = 0; i < cluster.num_socs(); ++i) {
-      if (cluster.soc(i).state() == SocPowerState::kOff) {
-        const Status power_status = cluster.soc(i).PowerOn(
-            cluster.chassis().soc_boot, nullptr);
-        SOC_CHECK(power_status.ok());
-      }
-    }
-    (void)orchestrator.ScaleTo("game-session-host", 90);
-    (void)orchestrator.ScaleTo("edge-inference", 40);
-  });
-  reconciler.Start();
-
-  std::printf("=== 90 days with %d replicas on 60 SoCs ===\n\n",
-              orchestrator.TotalReplicas());
+  std::printf("=== 90 days with %d replicas on 60 SoCs (heartbeat "
+              "detection, %d x %.0f s to a down verdict) ===\n\n",
+              orchestrator.TotalReplicas(), config.health.miss_threshold,
+              config.health.heartbeat_interval.ToSeconds());
   TextTable table({"day", "usable SoCs", "failed", "game replicas up",
-                   "inference replicas up"});
+                   "inference replicas up", "pending"});
   for (int day = 0; day <= 90; day += 10) {
     if (day > 0) {
       status = sim.RunFor(Duration::Hours(24 * 10));
@@ -77,15 +74,26 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(day), std::to_string(cluster.NumUsable()),
                   std::to_string(cluster.NumFailed()),
                   std::to_string(game->running_replicas) + "/90",
-                  std::to_string(inference->running_replicas) + "/40"});
+                  std::to_string(inference->running_replicas) + "/40",
+                  std::to_string(orchestrator.replicas_pending())});
   }
   std::printf("\n%s\n", table.Render().c_str());
-  std::printf("failures injected: %lld, repairs completed: %lld\n",
-              static_cast<long long>(faults.failures_injected()),
-              static_cast<long long>(faults.repairs_completed()));
-  std::printf("replicas recovered: %lld, lost: %lld\n",
-              static_cast<long long>(orchestrator.replicas_recovered()),
-              static_cast<long long>(orchestrator.replicas_lost()));
+
+  const ChaosReport report = chaos.Report();
+  std::printf("availability: %.6f\n", report.availability);
+  std::printf("failures injected: %lld (PCB events: %lld, flaps: %lld, "
+              "thermal trips: %lld), repairs completed: %lld\n",
+              static_cast<long long>(report.failures),
+              static_cast<long long>(chaos.injector().pcb_failures()),
+              static_cast<long long>(chaos.injector().uplink_flaps()),
+              static_cast<long long>(chaos.injector().thermal_trips()),
+              static_cast<long long>(report.repairs));
+  std::printf("mean detection latency: %.0f ms, observed MTTR: %.2f h\n",
+              report.detection_latency_ms, report.mttr_hours);
+  std::printf("replicas recovered: %lld, lost: %lld, still pending: %lld\n",
+              static_cast<long long>(report.replicas_recovered),
+              static_cast<long long>(report.replicas_lost),
+              static_cast<long long>(report.replicas_pending));
   const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
   SOC_CHECK(obs_status.ok()) << obs_status.ToString();
   return 0;

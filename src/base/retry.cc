@@ -1,0 +1,56 @@
+#include "src/base/retry.h"
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+RetryBackoff::RetryBackoff(RetryPolicy policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  SOC_CHECK_GE(policy_.max_attempts, 1);
+  SOC_CHECK_GT(policy_.initial_backoff.nanos(), 0);
+  SOC_CHECK_GE(policy_.backoff_multiplier, 1.0);
+  SOC_CHECK_GE(policy_.max_backoff.nanos(), policy_.initial_backoff.nanos());
+  SOC_CHECK_GE(policy_.jitter_fraction, 0.0);
+  SOC_CHECK_LT(policy_.jitter_fraction, 1.0);
+}
+
+Duration RetryBackoff::BackoffFor(int attempts_done) {
+  SOC_CHECK_GE(attempts_done, 1);
+  Duration backoff = policy_.initial_backoff;
+  for (int i = 1; i < attempts_done && backoff < policy_.max_backoff; ++i) {
+    backoff = backoff * policy_.backoff_multiplier;
+  }
+  if (backoff > policy_.max_backoff) {
+    backoff = policy_.max_backoff;
+  }
+  if (policy_.jitter_fraction > 0.0) {
+    backoff = backoff * rng_.Uniform(1.0 - policy_.jitter_fraction,
+                                     1.0 + policy_.jitter_fraction);
+  }
+  return backoff;
+}
+
+RetryBudget::RetryBudget(double tokens_per_success, double max_tokens)
+    : tokens_per_success_(tokens_per_success),
+      max_tokens_(max_tokens),
+      tokens_(max_tokens) {
+  SOC_CHECK_GE(tokens_per_success_, 0.0);
+  SOC_CHECK_GT(max_tokens_, 0.0);
+}
+
+void RetryBudget::RecordSuccess() {
+  tokens_ = tokens_ + tokens_per_success_ > max_tokens_
+                ? max_tokens_
+                : tokens_ + tokens_per_success_;
+}
+
+bool RetryBudget::TryWithdraw() {
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,81 @@
+// Request-level retry primitives: a deterministic exponential-backoff
+// schedule with seeded jitter, and a token-bucket retry budget that caps the
+// cluster-wide retry rate so correlated failures cannot amplify into retry
+// storms (the classic SRE guidance: retries should be a small, bounded
+// fraction of successful work).
+//
+// Everything here is deterministic for a fixed seed — jitter comes from a
+// caller-owned xoshiro stream, never from wall-clock entropy — so simulated
+// runs that retry are bit-for-bit reproducible.
+
+#ifndef SRC_BASE_RETRY_H_
+#define SRC_BASE_RETRY_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace soccluster {
+
+struct RetryPolicy {
+  // Total attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  Duration initial_backoff = Duration::Millis(100);
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = Duration::Seconds(10);
+  // Jitter as a fraction of the computed backoff: the wait is drawn
+  // uniformly from [b * (1 - jitter), b * (1 + jitter)]. Zero disables.
+  double jitter_fraction = 0.2;
+};
+
+// Produces the backoff schedule for one logical operation (or, with a
+// shared instance, for a stream of operations — the jitter draws stay
+// deterministic either way).
+class RetryBackoff {
+ public:
+  RetryBackoff(RetryPolicy policy, uint64_t seed);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  // True while another attempt is allowed after `attempts_done` tries.
+  bool ShouldRetry(int attempts_done) const {
+    return attempts_done < policy_.max_attempts;
+  }
+
+  // Jittered wait before attempt `attempts_done + 1`. `attempts_done`
+  // counts completed attempts and must be >= 1 (the first retry backs off
+  // from the initial value).
+  Duration BackoffFor(int attempts_done);
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+};
+
+// Token-bucket retry budget. Each success deposits `tokens_per_success`
+// (capped at `max_tokens`); each retry withdraws one token. When the bucket
+// is empty, retries are denied — under a correlated failure with no
+// successes to refill it, the retry rate collapses instead of storming.
+// Starts full so cold-start failures can still retry.
+class RetryBudget {
+ public:
+  RetryBudget(double tokens_per_success, double max_tokens);
+
+  void RecordSuccess();
+  // Withdraws one token if available; false denies the retry.
+  bool TryWithdraw();
+
+  double tokens() const { return tokens_; }
+  int64_t denied() const { return denied_; }
+
+ private:
+  double tokens_per_success_;
+  double max_tokens_;
+  double tokens_;
+  int64_t denied_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_RETRY_H_

@@ -1,8 +1,32 @@
 #include "src/cluster/fault.h"
 
+#include <utility>
+
 #include "src/base/check.h"
 
 namespace soccluster {
+
+namespace {
+// Trace track hosting fault/repair instants (SoC tracks start at 100, the
+// GPU batch track is 90; 80 keeps the "faults" lane visually separate).
+constexpr int64_t kFaultsTrack = 80;
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSocTransient:
+      return "soc_transient";
+    case FaultKind::kSocPermanent:
+      return "soc_permanent";
+    case FaultKind::kPcbFailure:
+      return "pcb_failure";
+    case FaultKind::kUplinkFlap:
+      return "uplink_flap";
+    case FaultKind::kThermalTrip:
+      return "thermal_trip";
+  }
+  return "unknown";
+}
 
 FaultInjector::FaultInjector(Simulator* sim, SocCluster* cluster,
                              FaultConfig config)
@@ -10,47 +34,212 @@ FaultInjector::FaultInjector(Simulator* sim, SocCluster* cluster,
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   SOC_CHECK_GT(config_.mtbf_per_soc.nanos(), 0);
+  SOC_CHECK_GE(config_.transient_fraction, 0.0);
+  SOC_CHECK_LE(config_.transient_fraction, 1.0);
+  SOC_CHECK_GT(config_.thermal_throttle_factor, 0.0);
+  SOC_CHECK_LE(config_.thermal_throttle_factor, 1.0);
+  MetricRegistry& metrics = sim_->metrics();
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    injected_metric_[k] = metrics.GetCounter(
+        "fault.injected", {{"kind", FaultKindName(static_cast<FaultKind>(k))}});
+  }
+  soc_failures_metric_ = metrics.GetCounter("fault.soc_failures");
+  repairs_metric_ = metrics.GetCounter("fault.repairs");
+  sim_->tracer().SetTrackName(kFaultsTrack, "faults");
 }
 
 void FaultInjector::Start(Duration horizon) {
-  const SimTime end = sim_->Now() + horizon;
+  SOC_CHECK(!started_)
+      << "FaultInjector::Start called twice; that would double every "
+         "failure chain";
+  started_ = true;
+  horizon_end_ = sim_->Now() + horizon;
   for (int i = 0; i < cluster_->num_socs(); ++i) {
-    ScheduleNextFailure(i, end);
+    ScheduleNextSocFailure(i);
+  }
+  if (config_.mtbf_per_pcb.nanos() > 0) {
+    for (int p = 0; p < cluster_->chassis().num_pcbs; ++p) {
+      ScheduleNextPcbFailure(p);
+    }
+  }
+  if (config_.uplink_flap_mtbf.nanos() > 0) {
+    // One flap process per PCB uplink plus one for the ESB uplink.
+    for (int s = 0; s <= cluster_->chassis().num_pcbs; ++s) {
+      ScheduleNextFlap(s);
+    }
+  }
+  if (config_.thermal_mtbf.nanos() > 0) {
+    for (int i = 0; i < cluster_->num_socs(); ++i) {
+      ScheduleNextThermal(i);
+    }
   }
 }
 
-void FaultInjector::ScheduleNextFailure(int soc_index, SimTime horizon_end) {
-  const double rate = 1.0 / config_.mtbf_per_soc.ToSeconds();
-  // Compare in floating seconds first: exponential samples at long MTBFs
-  // can exceed the int64-nanosecond range of Duration.
-  const double wait_s = rng_.Exponential(rate);
-  if (sim_->Now().ToSeconds() + wait_s > horizon_end.ToSeconds()) {
-    return;
-  }
-  const SimTime when = sim_->Now() + Duration::SecondsF(wait_s);
-  sim_->ScheduleAt(when, [this, soc_index, horizon_end] {
-    InjectFailure(soc_index, horizon_end);
-  });
+Duration FaultInjector::DrawWait(Duration mtbf) {
+  // Sample in floating seconds: exponential draws at long MTBFs can exceed
+  // the int64-nanosecond range of Duration, so overshoots are clamped to
+  // just past the horizon (they are discarded by ScheduleWithin anyway).
+  const double wait_s = rng_.Exponential(1.0 / mtbf.ToSeconds());
+  const double room_s =
+      (horizon_end_ - sim_->Now()).ToSeconds() + 1.0;
+  return Duration::SecondsF(wait_s < room_s ? wait_s : room_s);
 }
 
-void FaultInjector::InjectFailure(int soc_index, SimTime horizon_end) {
+bool FaultInjector::ScheduleWithin(Duration wait, Simulator::Callback cb) {
+  if (sim_->Now() + wait > horizon_end_) {
+    return false;
+  }
+  sim_->ScheduleAfter(wait, std::move(cb));
+  return true;
+}
+
+void FaultInjector::Record(FaultKind kind, int index) {
+  ++faults_by_kind_[static_cast<size_t>(kind)];
+  injected_metric_[static_cast<size_t>(kind)]->Increment();
+  history_.push_back(FaultEvent{kind, index, sim_->Now()});
+  sim_->tracer().Instant(FaultKindName(kind), "fault", kFaultsTrack);
+}
+
+// --- Per-SoC transient/permanent faults ---
+
+void FaultInjector::ScheduleNextSocFailure(int soc_index) {
+  (void)ScheduleWithin(DrawWait(config_.mtbf_per_soc),
+                       [this, soc_index] { InjectSocFailure(soc_index); });
+}
+
+void FaultInjector::InjectSocFailure(int soc_index) {
   SocModel& soc = cluster_->soc(soc_index);
-  if (soc.state() == SocPowerState::kFailed) {
-    ScheduleNextFailure(soc_index, horizon_end);
+  if (!soc.IsUsable()) {
+    // MTBF is "under sustained load": off, booting, or already-failed SoCs
+    // do not accumulate failures; re-draw.
+    ScheduleNextSocFailure(soc_index);
     return;
   }
+  const bool transient = config_.transient_fraction > 0.0 &&
+                         rng_.Bernoulli(config_.transient_fraction);
   soc.Fail();
   ++failures_injected_;
+  soc_failures_metric_->Increment();
+  Record(transient ? FaultKind::kSocTransient : FaultKind::kSocPermanent,
+         soc_index);
   if (on_failure_) {
     on_failure_(soc_index);
   }
-  if (config_.repair_time.nanos() > 0) {
-    sim_->ScheduleAfter(config_.repair_time, [this, soc_index, horizon_end] {
-      cluster_->soc(soc_index).Repair();
-      ++repairs_completed_;
-      ScheduleNextFailure(soc_index, horizon_end);
+  const Duration outage =
+      transient ? config_.transient_outage : config_.repair_time;
+  if (outage.nanos() > 0) {
+    // Repairs complete even past the horizon — only new faults are bounded.
+    sim_->ScheduleAfter(outage,
+                        [this, soc_index] { CompleteSocRepair(soc_index); });
+  }
+  ScheduleNextSocFailure(soc_index);
+}
+
+void FaultInjector::CompleteSocRepair(int soc_index) {
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.state() != SocPowerState::kFailed) {
+    return;  // Already recovered externally (e.g. a manual Repair()).
+  }
+  soc.Repair();
+  ++repairs_completed_;
+  repairs_metric_->Increment();
+  sim_->tracer().Instant("repair", "fault", kFaultsTrack);
+  if (on_repair_) {
+    on_repair_(soc_index);
+  }
+}
+
+// --- Correlated PCB failures ---
+
+void FaultInjector::ScheduleNextPcbFailure(int pcb_index) {
+  (void)ScheduleWithin(DrawWait(config_.mtbf_per_pcb),
+                       [this, pcb_index] { InjectPcbFailure(pcb_index); });
+}
+
+void FaultInjector::InjectPcbFailure(int pcb_index) {
+  // Take down every currently-usable SoC on the board; SoCs already failed
+  // by their own chain stay owned by that chain's repair.
+  std::vector<int> victims;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    if (cluster_->PcbOf(i) == pcb_index && cluster_->soc(i).IsUsable()) {
+      victims.push_back(i);
+    }
+  }
+  if (victims.empty()) {
+    ScheduleNextPcbFailure(pcb_index);
+    return;
+  }
+  Record(FaultKind::kPcbFailure, pcb_index);
+  for (int i : victims) {
+    cluster_->soc(i).Fail();
+    ++failures_injected_;
+    soc_failures_metric_->Increment();
+    if (on_failure_) {
+      on_failure_(i);
+    }
+  }
+  if (config_.pcb_repair_time.nanos() > 0) {
+    sim_->ScheduleAfter(config_.pcb_repair_time,
+                        [this, victims = std::move(victims)] {
+                          for (int i : victims) {
+                            CompleteSocRepair(i);
+                          }
+                        });
+  }
+  ScheduleNextPcbFailure(pcb_index);
+}
+
+// --- Uplink flaps ---
+
+LinkId FaultInjector::FlapLink(int link_slot) const {
+  return link_slot < cluster_->chassis().num_pcbs
+             ? cluster_->pcb_uplink_out(link_slot)
+             : cluster_->esb_uplink_out();
+}
+
+void FaultInjector::ScheduleNextFlap(int link_slot) {
+  (void)ScheduleWithin(DrawWait(config_.uplink_flap_mtbf),
+                       [this, link_slot] { InjectFlap(link_slot); });
+}
+
+void FaultInjector::InjectFlap(int link_slot) {
+  Network& net = cluster_->network();
+  const LinkId out = FlapLink(link_slot);
+  if (net.LinkIsUp(out)) {
+    Record(FaultKind::kUplinkFlap, link_slot);
+    net.SetLinkUp(out, false);
+    net.SetLinkUp(out + 1, false);
+    sim_->ScheduleAfter(config_.uplink_flap_duration, [this, out] {
+      Network& n = cluster_->network();
+      n.SetLinkUp(out, true);
+      n.SetLinkUp(out + 1, true);
+      sim_->tracer().Instant("uplink_restore", "fault", kFaultsTrack);
     });
   }
+  ScheduleNextFlap(link_slot);
+}
+
+// --- Thermal-throttle excursions ---
+
+void FaultInjector::ScheduleNextThermal(int soc_index) {
+  (void)ScheduleWithin(DrawWait(config_.thermal_mtbf),
+                       [this, soc_index] { InjectThermal(soc_index); });
+}
+
+void FaultInjector::InjectThermal(int soc_index) {
+  SocModel& soc = cluster_->soc(soc_index);
+  // Only loaded, unthrottled SoCs trip; Fail() clears excursions itself.
+  if (soc.IsUsable() && soc.throttle_factor() >= 1.0) {
+    Record(FaultKind::kThermalTrip, soc_index);
+    soc.SetThrottleFactor(config_.thermal_throttle_factor);
+    sim_->ScheduleAfter(config_.thermal_duration, [this, soc_index] {
+      // Restoring an unrelated later excursion is impossible: a SoC trips
+      // again only after the factor returned to 1.0 (or a Fail reset it).
+      cluster_->soc(soc_index).SetThrottleFactor(1.0);
+      sim_->tracer().Instant("thermal_restore", "fault", kFaultsTrack);
+    });
+  }
+  ScheduleNextThermal(soc_index);
 }
 
 }  // namespace soccluster

@@ -1,58 +1,151 @@
 // Fault injection for the cluster (§8: the failure of a single SoC
 // subsystem, such as flash, renders the whole SoC unusable, and mobile SoCs
-// are not designed for 24/7 full-speed operation). Failures arrive per-SoC
-// as a Poisson process; an optional repair delay returns the SoC to the
-// powered-off state for the orchestrator to re-admit.
+// are not designed for 24/7 full-speed operation).
+//
+// The injector models a taxonomy of failure domains, all seeded and
+// deterministic:
+//
+//   * per-SoC faults — Poisson per SoC; a configurable fraction is
+//     transient (watchdog reboot after a short outage), the rest permanent
+//     (flash death: the board sits failed until an operator swap);
+//   * PCB-correlated failures — one event takes down all five SoCs on a
+//     board at once (shared regulator/connector), repaired together;
+//   * uplink flaps — a PCB uplink or the ESB's SFP+ uplink goes dark for a
+//     bounded interval; traffic crossing it stalls and then resumes;
+//   * thermal trips — a SoC is throttled (service-rate scaled) for the
+//     excursion, without losing its load.
+//
+// Failures target only usable (powered-on) SoCs, matching the "under
+// sustained load" MTBF semantics; events landing on off/booting SoCs are
+// re-drawn. All activity is published to the metrics registry ("fault.*")
+// and as instants on the "faults" trace track, and an append-only history
+// records every event so two runs with the same seed can be compared
+// bit-for-bit.
 
 #ifndef SRC_CLUSTER_FAULT_H_
 #define SRC_CLUSTER_FAULT_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
 
+enum class FaultKind {
+  kSocTransient = 0,  // Watchdog reboot; auto-recovers after transient_outage.
+  kSocPermanent,      // Subsystem death; waits repair_time for a board swap.
+  kPcbFailure,        // Correlated: every SoC on one PCB fails together.
+  kUplinkFlap,        // A PCB/ESB uplink drops for uplink_flap_duration.
+  kThermalTrip,       // SoC throttled for thermal_duration.
+};
+inline constexpr int kNumFaultKinds = 5;
+const char* FaultKindName(FaultKind kind);
+
 struct FaultConfig {
   // Mean time between failures of one SoC under sustained load.
   Duration mtbf_per_soc = Duration::Hours(24 * 90);
   // Time for an operator/automation to replace or reset a failed SoC.
-  // Zero disables repair.
+  // Zero disables repair of permanent faults.
   Duration repair_time = Duration::Hours(24);
+  // Fraction of per-SoC faults that are transient, in [0, 1]. Transient
+  // faults always recover, after transient_outage.
+  double transient_fraction = 0.0;
+  Duration transient_outage = Duration::Minutes(3);
+  // Correlated whole-PCB failures; mean time between failures of one PCB.
+  // Zero disables.
+  Duration mtbf_per_pcb = Duration::Zero();
+  Duration pcb_repair_time = Duration::Hours(48);
+  // Uplink flaps, drawn independently for each PCB uplink and for the ESB
+  // uplink. Zero disables.
+  Duration uplink_flap_mtbf = Duration::Zero();
+  Duration uplink_flap_duration = Duration::Seconds(30);
+  // Thermal-throttle excursions per SoC. Zero disables.
+  Duration thermal_mtbf = Duration::Zero();
+  Duration thermal_duration = Duration::Minutes(10);
+  double thermal_throttle_factor = 0.6;
   uint64_t seed = 42;
+};
+
+// One injected event, recorded in arrival order. `index` is a SoC index for
+// SoC-scoped kinds, a PCB index for kPcbFailure, and for kUplinkFlap the
+// flapped PCB index or num_pcbs for the ESB uplink.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSocPermanent;
+  int index = 0;
+  SimTime at;
 };
 
 class FaultInjector {
  public:
-  using FailureCallback = std::function<void(int soc_index)>;
+  using SocCallback = std::function<void(int soc_index)>;
 
   FaultInjector(Simulator* sim, SocCluster* cluster, FaultConfig config);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  // Begins scheduling failures over `horizon` of simulated time. Each SoC
-  // draws independent exponential inter-failure times; only failures that
-  // land within the horizon are scheduled (keeps short runs event-free).
+  // Begins scheduling failures over `horizon` of simulated time. Each fault
+  // process draws independent exponential inter-failure times; only events
+  // that land within the horizon are scheduled (keeps short runs
+  // event-free). Must be called at most once — a second call would double
+  // every failure chain.
   void Start(Duration horizon);
+  bool started() const { return started_; }
 
-  // Invoked (if set) after a SoC transitions to kFailed.
-  void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
+  // Invoked (if set) after a SoC transitions to kFailed (also once per SoC
+  // of a correlated PCB failure).
+  void set_on_failure(SocCallback cb) { on_failure_ = std::move(cb); }
+  // Invoked (if set) after a SoC's repair completes; the SoC is back in the
+  // powered-off state awaiting re-admission (e.g. PowerOn + re-placement).
+  void set_on_repair(SocCallback cb) { on_repair_ = std::move(cb); }
 
   int64_t failures_injected() const { return failures_injected_; }
   int64_t repairs_completed() const { return repairs_completed_; }
+  int64_t faults_of(FaultKind kind) const {
+    return faults_by_kind_[static_cast<size_t>(kind)];
+  }
+  int64_t pcb_failures() const { return faults_of(FaultKind::kPcbFailure); }
+  int64_t uplink_flaps() const { return faults_of(FaultKind::kUplinkFlap); }
+  int64_t thermal_trips() const { return faults_of(FaultKind::kThermalTrip); }
+
+  // Every injected event in arrival order; two runs with identical
+  // FaultConfig (and cluster activity) produce bit-identical histories.
+  const std::vector<FaultEvent>& history() const { return history_; }
 
  private:
-  void ScheduleNextFailure(int soc_index, SimTime horizon_end);
-  void InjectFailure(int soc_index, SimTime horizon_end);
+  void ScheduleNextSocFailure(int soc_index);
+  void InjectSocFailure(int soc_index);
+  void ScheduleNextPcbFailure(int pcb_index);
+  void InjectPcbFailure(int pcb_index);
+  void ScheduleNextFlap(int link_slot);
+  void InjectFlap(int link_slot);
+  void ScheduleNextThermal(int soc_index);
+  void InjectThermal(int soc_index);
+  void CompleteSocRepair(int soc_index);
+  // Returns false when `wait` overshoots the horizon (chain ends).
+  bool ScheduleWithin(Duration wait, Simulator::Callback cb);
+  Duration DrawWait(Duration mtbf);
+  void Record(FaultKind kind, int index);
+  // The forward LinkId for flap slot `s` (PCB uplinks, then the ESB).
+  LinkId FlapLink(int link_slot) const;
 
   Simulator* sim_;
   SocCluster* cluster_;
   FaultConfig config_;
   Rng rng_;
-  FailureCallback on_failure_;
+  SocCallback on_failure_;
+  SocCallback on_repair_;
+  bool started_ = false;
+  SimTime horizon_end_;
   int64_t failures_injected_ = 0;
   int64_t repairs_completed_ = 0;
+  int64_t faults_by_kind_[kNumFaultKinds] = {};
+  std::vector<FaultEvent> history_;
+  // Registry instruments ("fault.*").
+  Counter* injected_metric_[kNumFaultKinds] = {};
+  Counter* soc_failures_metric_;
+  Counter* repairs_metric_;
 };
 
 }  // namespace soccluster

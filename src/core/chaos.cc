@@ -1,0 +1,71 @@
+#include "src/core/chaos.h"
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+ChaosRunner::ChaosRunner(Simulator* sim, SocCluster* cluster,
+                         Orchestrator* orchestrator, ChaosConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      orchestrator_(orchestrator),
+      config_(config),
+      injector_(sim, cluster, config.faults),
+      monitor_(sim, cluster, config.health) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  usable_gauge_ = sim_->metrics().GetGauge("chaos.usable_socs");
+}
+
+void ChaosRunner::Start() {
+  // Measurement taps: the availability signal changes exactly at failure,
+  // repair, and boot-completion instants.
+  injector_.set_on_failure([this](int) { UpdateAvailability(); });
+  injector_.set_on_repair([this](int soc_index) {
+    UpdateAvailability();
+    if (config_.reboot_on_repair) {
+      // Repair leaves the SoC in kOff; bring it back through a full boot.
+      // The health monitor notices the recovery on the first healthy beat.
+      (void)cluster_->soc(soc_index).PowerOn(
+          cluster_->chassis().soc_boot, [this] { UpdateAvailability(); });
+    }
+  });
+  // The control loop proper: the orchestrator reacts only to heartbeat
+  // verdicts, never to the injector directly.
+  if (orchestrator_ != nullptr) {
+    monitor_.set_on_soc_down(
+        [this](int soc_index) { orchestrator_->OnSocFailure(soc_index); });
+    monitor_.set_on_soc_up(
+        [this](int soc_index) { orchestrator_->OnSocRecovered(soc_index); });
+  }
+  UpdateAvailability();
+  injector_.Start(config_.horizon);
+  monitor_.Start();
+}
+
+void ChaosRunner::UpdateAvailability() {
+  const double usable = static_cast<double>(cluster_->NumUsable());
+  availability_.Update(sim_->Now(),
+                       usable / static_cast<double>(cluster_->num_socs()));
+  usable_gauge_->Set(usable);
+}
+
+ChaosReport ChaosRunner::Report() {
+  UpdateAvailability();  // Integrate the final segment up to Now().
+  ChaosReport report;
+  report.availability = availability_.Mean();
+  report.mttr_hours = monitor_.observed_outage_hours().mean();
+  report.detection_latency_ms = monitor_.detection_latency_ms().mean();
+  report.failures = injector_.failures_injected();
+  report.repairs = injector_.repairs_completed();
+  report.down_events = monitor_.down_events();
+  report.up_events = monitor_.up_events();
+  if (orchestrator_ != nullptr) {
+    report.replicas_lost = orchestrator_->replicas_lost();
+    report.replicas_recovered = orchestrator_->replicas_recovered();
+    report.replicas_pending = orchestrator_->replicas_pending();
+  }
+  return report;
+}
+
+}  // namespace soccluster

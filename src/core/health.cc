@@ -1,0 +1,82 @@
+#include "src/core/health.h"
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+HealthMonitor::HealthMonitor(Simulator* sim, SocCluster* cluster,
+                             HealthConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      health_(static_cast<size_t>(cluster->num_socs())) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(cluster_ != nullptr);
+  SOC_CHECK_GT(config_.heartbeat_interval.nanos(), 0);
+  SOC_CHECK_GE(config_.miss_threshold, 1);
+  MetricRegistry& metrics = sim_->metrics();
+  down_metric_ = metrics.GetCounter("health.down_events");
+  up_metric_ = metrics.GetCounter("health.up_events");
+  marked_down_gauge_ = metrics.GetGauge("health.socs_marked_down");
+  detection_metric_ = metrics.GetHistogram("health.detection_latency_ms");
+  poller_ = std::make_unique<PeriodicTask>(sim_, config_.heartbeat_interval,
+                                           [this] { Poll(); });
+}
+
+void HealthMonitor::Start() { poller_->Start(); }
+
+void HealthMonitor::Stop() { poller_->Stop(); }
+
+bool HealthMonitor::running() const { return poller_->running(); }
+
+bool HealthMonitor::IsMarkedDown(int soc_index) const {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  return health_[static_cast<size_t>(soc_index)].down;
+}
+
+void HealthMonitor::Poll() {
+  const SimTime now = sim_->Now();
+  int64_t marked_down = 0;
+  for (int i = 0; i < cluster_->num_socs(); ++i) {
+    SocHealth& h = health_[static_cast<size_t>(i)];
+    if (cluster_->soc(i).IsUsable()) {
+      if (h.down) {
+        h.down = false;
+        ++up_events_;
+        up_metric_->Increment();
+        observed_outage_hours_.Add((now - h.down_at).ToHours());
+        if (on_soc_up_) {
+          on_soc_up_(i);
+        }
+      }
+      h.monitored = true;
+      h.misses = 0;
+      h.last_ok = now;
+      continue;
+    }
+    if (!h.monitored || h.down) {
+      continue;
+    }
+    ++h.misses;
+    if (h.misses >= config_.miss_threshold) {
+      h.down = true;
+      h.down_at = now;
+      ++down_events_;
+      down_metric_->Increment();
+      detection_latency_ms_.Add((now - h.last_ok).ToMillis());
+      detection_metric_->Observe((now - h.last_ok).ToMillis());
+      if (on_soc_down_) {
+        on_soc_down_(i);
+      }
+    }
+  }
+  for (const SocHealth& h : health_) {
+    if (h.down) {
+      ++marked_down;
+    }
+  }
+  marked_down_gauge_->Set(static_cast<double>(marked_down));
+}
+
+}  // namespace soccluster

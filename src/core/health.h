@@ -1,0 +1,95 @@
+// Heartbeat-based failure detection. The oracle path — FaultInjector
+// invoking the orchestrator the instant a SoC fails — is not how a real
+// chassis learns about failures: the BMC (or a gossip peer) notices missed
+// heartbeats, so detection lags the fault by miss_threshold x interval.
+// HealthMonitor models that: it polls every SoC on a fixed interval, marks
+// a SoC down after `miss_threshold` consecutive missed beats, and marks it
+// up again on the first healthy beat after an outage (repair + reboot).
+//
+// Wire on_soc_down to Orchestrator::OnSocFailure and on_soc_up to
+// Orchestrator::OnSocRecovered to close the control loop with realistic
+// detection latency (ChaosRunner does exactly this).
+//
+// SoCs that have never produced a healthy beat are not monitored — a
+// cluster booting for the first time is not 60 failures.
+
+#ifndef SRC_CORE_HEALTH_H_
+#define SRC_CORE_HEALTH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+struct HealthConfig {
+  Duration heartbeat_interval = Duration::Seconds(10);
+  // Consecutive missed beats before a SoC is declared down. Detection
+  // latency is therefore in ((miss_threshold - 1) x interval,
+  // miss_threshold x interval] after the last healthy beat — never zero.
+  int miss_threshold = 3;
+};
+
+class HealthMonitor {
+ public:
+  using SocCallback = std::function<void(int soc_index)>;
+
+  HealthMonitor(Simulator* sim, SocCluster* cluster, HealthConfig config);
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  void set_on_soc_down(SocCallback cb) { on_soc_down_ = std::move(cb); }
+  void set_on_soc_up(SocCallback cb) { on_soc_up_ = std::move(cb); }
+
+  bool IsMarkedDown(int soc_index) const;
+  int64_t down_events() const { return down_events_; }
+  int64_t up_events() const { return up_events_; }
+  // Last healthy beat -> down verdict, per down event.
+  const RunningStat& detection_latency_ms() const {
+    return detection_latency_ms_;
+  }
+  // Down verdict -> healthy again, per recovered outage: the observed MTTR.
+  const RunningStat& observed_outage_hours() const {
+    return observed_outage_hours_;
+  }
+
+ private:
+  struct SocHealth {
+    bool monitored = false;  // Has produced at least one healthy beat.
+    bool down = false;
+    int misses = 0;
+    SimTime last_ok;
+    SimTime down_at;
+  };
+
+  void Poll();
+
+  Simulator* sim_;
+  SocCluster* cluster_;
+  HealthConfig config_;
+  std::vector<SocHealth> health_;
+  std::unique_ptr<PeriodicTask> poller_;
+  SocCallback on_soc_down_;
+  SocCallback on_soc_up_;
+  int64_t down_events_ = 0;
+  int64_t up_events_ = 0;
+  RunningStat detection_latency_ms_;
+  RunningStat observed_outage_hours_;
+  // Registry instruments ("health.*").
+  Counter* down_metric_;
+  Counter* up_metric_;
+  Gauge* marked_down_gauge_;
+  HistogramMetric* detection_metric_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_HEALTH_H_

@@ -18,6 +18,8 @@ Orchestrator::Orchestrator(Simulator* sim, SocCluster* cluster,
   evictions_metric_ = metrics.GetCounter("orchestrator.evictions");
   migrations_metric_ = metrics.GetCounter("orchestrator.migrations");
   lost_metric_ = metrics.GetCounter("orchestrator.replicas_lost");
+  pending_replaced_metric_ = metrics.GetCounter("orchestrator.pending_replaced");
+  pending_gauge_ = metrics.GetGauge("orchestrator.replicas_pending");
 }
 
 Status Orchestrator::RegisterWorkload(const std::string& name,
@@ -131,7 +133,11 @@ Status Orchestrator::ScaleTo(const std::string& name, int replicas) {
     return Status::NotFound("workload " + name + " not registered");
   }
   Workload& workload = it->second;
+  // An explicit rescale supersedes any queued failure recovery for this
+  // workload: the new target is authoritative.
+  workload.pending = 0;
   // Scale down from the tail.
+  const size_t initial = workload.placements.size();
   while (static_cast<int>(workload.placements.size()) > replicas) {
     Evict(&workload, workload.placements.size() - 1);
   }
@@ -143,8 +149,15 @@ Status Orchestrator::ScaleTo(const std::string& name, int replicas) {
       while (workload.placements.size() > before) {
         Evict(&workload, workload.placements.size() - 1);
       }
+      pending_gauge_->Set(static_cast<double>(replicas_pending()));
       return status;
     }
+  }
+  pending_gauge_->Set(static_cast<double>(replicas_pending()));
+  if (workload.placements.size() < initial) {
+    // A scale-down freed capacity; other workloads' displaced replicas may
+    // now fit.
+    DrainPendingReplicas();
   }
   return Status::Ok();
 }
@@ -157,6 +170,7 @@ Result<WorkloadStatus> Orchestrator::GetStatus(const std::string& name) const {
   WorkloadStatus status;
   status.name = name;
   status.desired_replicas = static_cast<int>(it->second.placements.size());
+  status.pending_replicas = it->second.pending;
   status.running_replicas = 0;
   for (int placement : it->second.placements) {
     if (cluster_->soc(placement).IsUsable()) {
@@ -311,13 +325,50 @@ void Orchestrator::OnSocFailure(int soc_index) {
       if (status.ok()) {
         ++replicas_recovered_;
       } else {
+        // No capacity right now: count the loss, but queue the replica so
+        // DrainPendingReplicas() restores it when capacity returns.
         ++replicas_lost_;
         lost_metric_->Increment();
+        ++workload.pending;
         SOC_LOG(Warning) << "replica of " << name
-                         << " lost after SoC failure: " << status.ToString();
+                         << " lost after SoC failure (queued for "
+                         << "re-placement): " << status.ToString();
       }
     }
   }
+  pending_gauge_->Set(static_cast<double>(replicas_pending()));
+}
+
+void Orchestrator::OnSocRecovered(int soc_index) {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  DrainPendingReplicas();
+}
+
+int64_t Orchestrator::replicas_pending() const {
+  int64_t pending = 0;
+  for (const auto& [name, workload] : workloads_) {
+    pending += workload.pending;
+  }
+  return pending;
+}
+
+int Orchestrator::DrainPendingReplicas() {
+  int placed = 0;
+  for (auto& [name, workload] : workloads_) {
+    while (workload.pending > 0) {
+      const Status status = Place(&workload, name);
+      if (!status.ok()) {
+        break;
+      }
+      --workload.pending;
+      ++placed;
+      ++replicas_recovered_;
+      pending_replaced_metric_->Increment();
+    }
+  }
+  pending_gauge_->Set(static_cast<double>(replicas_pending()));
+  return placed;
 }
 
 }  // namespace soccluster

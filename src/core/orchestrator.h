@@ -30,6 +30,9 @@ struct WorkloadStatus {
   std::string name;
   int desired_replicas = 0;
   int running_replicas = 0;
+  // Replicas displaced by failures and awaiting re-placement (not counted
+  // in desired_replicas; they re-join it when capacity returns).
+  int pending_replicas = 0;
   std::vector<int> placements;  // SoC index per replica.
 };
 
@@ -53,11 +56,22 @@ class Orchestrator {
   int SocsInUse() const;
 
   // Handles a SoC failure: evicts its replicas and re-places them on the
-  // surviving SoCs (best effort; unplaceable replicas are dropped and
-  // counted). Wire this to FaultInjector::set_on_failure.
+  // surviving SoCs. Replicas that cannot be re-placed immediately are
+  // counted as lost AND queued for re-placement; DrainPendingReplicas()
+  // recovers them when capacity returns. Wire this to a HealthMonitor's
+  // on_soc_down (realistic detection latency) or, for oracle experiments,
+  // to FaultInjector::set_on_failure.
   void OnSocFailure(int soc_index);
+  // Notification that a SoC is usable again (e.g. HealthMonitor on_soc_up);
+  // drains the pending re-placement queue.
+  void OnSocRecovered(int soc_index);
+  // Attempts to re-place queued replicas; returns the number placed. Also
+  // invoked internally whenever a scale-down frees capacity.
+  int DrainPendingReplicas();
   int64_t replicas_lost() const { return replicas_lost_; }
   int64_t replicas_recovered() const { return replicas_recovered_; }
+  // Replicas currently queued for re-placement across all workloads.
+  int64_t replicas_pending() const;
 
   // Defragmentation: greedily migrates replicas off the least-loaded SoCs
   // onto fuller ones, so freed SoCs can be powered down (the §5.2
@@ -70,6 +84,8 @@ class Orchestrator {
   struct Workload {
     ReplicaDemand demand;
     std::vector<int> placements;
+    // Failure-displaced replicas awaiting capacity.
+    int pending = 0;
   };
 
   // Picks a SoC able to host `demand`, or -1.
@@ -90,6 +106,8 @@ class Orchestrator {
   Counter* evictions_metric_;
   Counter* migrations_metric_;
   Counter* lost_metric_;
+  Counter* pending_replaced_metric_;
+  Gauge* pending_gauge_;
 };
 
 }  // namespace soccluster

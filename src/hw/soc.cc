@@ -80,7 +80,15 @@ void SocModel::Fail() {
   dsp_util_ = 0.0;
   codec_sessions_ = 0;
   codec_pixel_rate_ = 0.0;
+  throttle_factor_ = 1.0;
+  ++fail_count_;
   Recompute();
+}
+
+void SocModel::SetThrottleFactor(double factor) {
+  SOC_CHECK_GT(factor, 0.0);
+  SOC_CHECK_LE(factor, 1.0);
+  throttle_factor_ = factor;
 }
 
 void SocModel::Repair() {

@@ -47,6 +47,18 @@ class SocModel {
   // unusable). Repair() returns it to kOff.
   void Fail();
   void Repair();
+  // Monotone count of Fail() transitions. Request-level code snapshots this
+  // at dispatch to detect that the SoC died (and possibly rebooted) while
+  // work was in flight — IsUsable() alone cannot distinguish that.
+  int64_t fail_count() const { return fail_count_; }
+
+  // Thermal-throttle excursions (§8: sustained full-speed operation trips
+  // mobile thermal limits). The factor scales the effective service rate of
+  // latency-sensitive work in (0, 1]; 1.0 means unthrottled. Admission
+  // capacity and the power model are unaffected — a throttled SoC runs the
+  // same load, slower. Fail() clears any excursion (the board power-cycles).
+  void SetThrottleFactor(double factor);
+  double throttle_factor() const { return throttle_factor_; }
 
   // Component utilization, each in [0, 1]. Fails if the SoC is not usable
   // or the new value is out of range / over capacity.
@@ -86,6 +98,8 @@ class SocModel {
   double dsp_util_ = 0.0;
   int codec_sessions_ = 0;
   double codec_pixel_rate_ = 0.0;
+  int64_t fail_count_ = 0;
+  double throttle_factor_ = 1.0;
   EventHandle boot_event_;
   EnergyMeter meter_;
 };

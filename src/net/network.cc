@@ -38,8 +38,8 @@ LinkId Network::AddBidirectionalLink(NetNodeId a, NetNodeId b,
   SOC_CHECK(flows_.empty() && constant_loads_.empty())
       << "topology must be built before traffic starts";
   const LinkId forward = static_cast<LinkId>(links_.size());
-  links_.push_back(LinkState{a, b, capacity, DataRate::Zero(), {}, {}});
-  links_.push_back(LinkState{b, a, capacity, DataRate::Zero(), {}, {}});
+  links_.push_back(LinkState{a, b, capacity, DataRate::Zero(), true, {}, {}});
+  links_.push_back(LinkState{b, a, capacity, DataRate::Zero(), true, {}, {}});
   out_links_[static_cast<size_t>(a)].push_back(forward);
   out_links_[static_cast<size_t>(b)].push_back(forward + 1);
   links_[static_cast<size_t>(forward)].utilization.Update(sim_->Now(), 0.0);
@@ -208,6 +208,23 @@ Status Network::RemoveConstantLoad(int64_t load_id) {
   return Status::Ok();
 }
 
+void Network::SetLinkUp(LinkId link, bool up) {
+  SOC_CHECK_GE(link, 0);
+  SOC_CHECK_LT(link, num_links());
+  LinkState& state = links_[static_cast<size_t>(link)];
+  if (state.up == up) {
+    return;
+  }
+  state.up = up;
+  Reallocate();
+}
+
+bool Network::LinkIsUp(LinkId link) const {
+  SOC_CHECK_GE(link, 0);
+  SOC_CHECK_LT(link, num_links());
+  return links_[static_cast<size_t>(link)].up;
+}
+
 DataRate Network::LinkOfferedRate(LinkId link) const {
   SOC_CHECK_GE(link, 0);
   SOC_CHECK_LT(link, num_links());
@@ -227,7 +244,7 @@ DataRate Network::LinkCapacity(LinkId link) const {
 
 double Network::LinkUtilization(LinkId link) const {
   const DataRate capacity = LinkCapacity(link);
-  if (capacity.bps() <= 0.0) {
+  if (capacity.bps() <= 0.0 || !links_[static_cast<size_t>(link)].up) {
     return 0.0;
   }
   return LinkOfferedRate(link) / capacity;
@@ -263,8 +280,11 @@ void Network::Reallocate() {
   std::vector<double> available(links_.size());
   std::vector<int> unfrozen_count(links_.size(), 0);
   for (size_t l = 0; l < links_.size(); ++l) {
-    available[l] = std::max(
-        0.0, links_[l].capacity.bps() - links_[l].constant_load.bps());
+    available[l] =
+        links_[l].up
+            ? std::max(0.0,
+                       links_[l].capacity.bps() - links_[l].constant_load.bps())
+            : 0.0;
     unfrozen_count[l] = static_cast<int>(links_[l].active_flows.size());
   }
   int remaining = static_cast<int>(flows_.size());

@@ -74,6 +74,16 @@ class Network {
   Result<int64_t> AddConstantLoad(NetNodeId src, NetNodeId dst, DataRate rate);
   Status RemoveConstantLoad(int64_t load_id);
 
+  // --- Link state (fault injection) ---
+  // Takes one directed link down or back up. While down the link carries
+  // nothing: bulk flows crossing it stall at rate zero (they resume, with
+  // no bytes lost, when the link returns) and constant-rate loads are
+  // interrupted. Routing is unaffected — the fabric has a single path per
+  // pair, so a downed uplink partitions its subtree, which is exactly the
+  // ESB/PCB flap behaviour the resilience layer injects.
+  void SetLinkUp(LinkId link, bool up);
+  bool LinkIsUp(LinkId link) const;
+
   // --- Introspection ---
   // Instantaneous offered rate on a link (flows + constant loads).
   DataRate LinkOfferedRate(LinkId link) const;
@@ -94,6 +104,7 @@ class Network {
     NetNodeId to = 0;
     DataRate capacity;
     DataRate constant_load;
+    bool up = true;
     std::vector<FlowId> active_flows;
     TimeWeightedStat utilization;
   };

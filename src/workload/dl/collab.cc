@@ -40,10 +40,14 @@ CollaborativeInference::CollaborativeInference(Simulator* sim,
   SOC_CHECK_LE(num_socs_, cluster_->num_socs());
   SOC_CHECK(!spec_->blocks.empty())
       << spec_->name << " has no partitionable blocks";
+  members_.reserve(static_cast<size_t>(num_socs_));
+  for (int i = 0; i < num_socs_; ++i) {
+    members_.push_back(i);
+  }
 }
 
 Duration CollaborativeInference::TotalCompute() const {
-  const double n = static_cast<double>(num_socs_);
+  const double n = static_cast<double>(members_.size());
   const double scale =
       1.0 / n + config_.partition_overhead * (n - 1.0) / n;
   return config_.single_soc_compute * scale;
@@ -65,12 +69,26 @@ void CollaborativeInference::Run(DoneCallback done) {
   current_block_ = 0;
   prev_exchange_in_flight_ = false;
   waiting_on_prev_exchange_ = false;
+  failovers_ = 0;
+  members_.clear();
   for (int i = 0; i < num_socs_; ++i) {
+    members_.push_back(i);
+  }
+  for (int i : members_) {
     SOC_CHECK(cluster_->soc(i).IsUsable()) << "SoC " << i << " not usable";
     const Status status = cluster_->soc(i).SetCpuUtil(1.0);
     SOC_CHECK(status.ok()) << status.ToString();
   }
   StartBlock(0);
+}
+
+bool CollaborativeInference::AllMembersUsable() const {
+  for (int i : members_) {
+    if (!cluster_->soc(i).IsUsable()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void CollaborativeInference::StartBlock(size_t block_index) {
@@ -80,6 +98,12 @@ void CollaborativeInference::StartBlock(size_t block_index) {
 }
 
 void CollaborativeInference::BlockComputeDone(size_t block_index) {
+  if (!AllMembersUsable()) {
+    // A partition died mid-block: its width slice is gone, so the block
+    // result is incomplete. Survivors re-partition and re-run it.
+    HandleFailover(block_index);
+    return;
+  }
   compute_accum_ += BlockCompute(static_cast<int>(block_index));
   // The next block needs this block's halos; in pipelined mode the previous
   // exchange may still be draining the NICs.
@@ -90,11 +114,36 @@ void CollaborativeInference::BlockComputeDone(size_t block_index) {
   ExchangeDone(block_index);  // Directly proceed to this block's exchange.
 }
 
+void CollaborativeInference::HandleFailover(size_t block_index) {
+  ++failovers_;
+  std::vector<int> survivors;
+  survivors.reserve(members_.size());
+  for (int i : members_) {
+    if (cluster_->soc(i).IsUsable()) {
+      survivors.push_back(i);
+    }
+  }
+  members_ = std::move(survivors);
+  if (members_.empty()) {
+    Finish(/*completed=*/false);
+    return;
+  }
+  sim_->ScheduleAfter(config_.failover_penalty, [this, block_index] {
+    // Re-check at re-start: another member may have died during the
+    // re-partitioning window.
+    if (!AllMembersUsable()) {
+      HandleFailover(block_index);
+      return;
+    }
+    StartBlock(block_index);
+  });
+}
+
 void CollaborativeInference::ExchangeDone(size_t block_index) {
   // Reached when the pipeline is clear to handle `block_index`'s boundary.
-  if (block_index + 1 >= spec_->blocks.size() || num_socs_ == 1) {
+  if (block_index + 1 >= spec_->blocks.size() || members_.size() == 1) {
     if (block_index + 1 >= spec_->blocks.size()) {
-      Finish();
+      Finish(/*completed=*/true);
       return;
     }
     StartBlock(block_index + 1);
@@ -139,10 +188,12 @@ void CollaborativeInference::LaunchExchange(size_t block_index,
   };
   // Width partition: a chain of SoCs, each exchanging boundary columns with
   // its neighbours (both directions per adjacent pair).
-  for (int i = 0; i + 1 < num_socs_; ++i) {
+  for (size_t i = 0; i + 1 < members_.size(); ++i) {
     for (int dir = 0; dir < 2; ++dir) {
-      const NetNodeId src = cluster_->soc_node(dir == 0 ? i : i + 1);
-      const NetNodeId dst = cluster_->soc_node(dir == 0 ? i + 1 : i);
+      const int a = members_[i];
+      const int b = members_[i + 1];
+      const NetNodeId src = cluster_->soc_node(dir == 0 ? a : b);
+      const NetNodeId dst = cluster_->soc_node(dir == 0 ? b : a);
       ++*remaining;
       Result<FlowId> flow = net.StartFlow(src, dst, halo, cap, flow_done);
       SOC_CHECK(flow.ok()) << flow.status().ToString();
@@ -151,8 +202,8 @@ void CollaborativeInference::LaunchExchange(size_t block_index,
   SOC_CHECK_GT(*remaining, 0);
 }
 
-void CollaborativeInference::Finish() {
-  for (int i = 0; i < num_socs_; ++i) {
+void CollaborativeInference::Finish(bool completed) {
+  for (int i : members_) {
     if (cluster_->soc(i).IsUsable()) {
       const Status status = cluster_->soc(i).SetCpuUtil(0.0);
       SOC_CHECK(status.ok()) << status.ToString();
@@ -164,6 +215,9 @@ void CollaborativeInference::Finish() {
   result.total = sim_->Now() - run_start_;
   result.compute = compute_accum_;
   result.comm = result.total - result.compute;
+  result.failovers = failovers_;
+  result.surviving_socs = static_cast<int>(members_.size());
+  result.completed = completed;
   DoneCallback done = std::move(done_);
   done_ = nullptr;
   done(result);

@@ -30,6 +30,12 @@ struct CollabResult {
   Duration total;
   Duration compute;
   Duration comm;  // total - compute: the exposed communication time.
+  // Mid-pipeline failovers survived: each one re-partitions the remaining
+  // blocks over the surviving SoCs and re-runs the interrupted block.
+  int failovers = 0;
+  int surviving_socs = 0;
+  // False when every participant died before the last block finished.
+  bool completed = true;
   double CommShare() const {
     return total.IsZero() ? 0.0 : comm / total;
   }
@@ -50,6 +56,10 @@ struct CollabConfig {
   // Non-overlappable per-exchange serialization cost (tensor pack/unpack
   // plus socket syscalls).
   Duration serialize_cost = Duration::MillisF(0.18);
+  // Cost of a mid-run failover: survivors re-partition the layer widths and
+  // reload the dropped SoC's weight slices before re-running the
+  // interrupted block.
+  Duration failover_penalty = Duration::MillisF(50.0);
 };
 
 CollabConfig DefaultCollabConfig(DnnModel model);
@@ -65,19 +75,31 @@ class CollaborativeInference {
   CollaborativeInference(const CollaborativeInference&) = delete;
   CollaborativeInference& operator=(const CollaborativeInference&) = delete;
 
-  // Runs one inference; `done` fires with the latency breakdown.
+  // Runs one inference; `done` fires with the latency breakdown. If a
+  // participating SoC dies mid-run, the survivors re-partition and re-run
+  // the interrupted block after config.failover_penalty (tensor parallelism
+  // has no partial results to salvage within a block); the run aborts
+  // (result.completed = false) only when every participant is gone.
   void Run(DoneCallback done);
 
-  // Expected per-block compute time under this partitioning.
+  // Expected per-block compute time under the current partitioning.
   Duration BlockCompute(int block_index) const;
-  // Total compute time across blocks for this N.
+  // Total compute time across blocks for the current membership.
   Duration TotalCompute() const;
+
+  // SoCs currently participating (shrinks across failovers).
+  int num_members() const { return static_cast<int>(members_.size()); }
+  int failovers() const { return failovers_; }
 
  private:
   void StartBlock(size_t block_index);
   void BlockComputeDone(size_t block_index);
   void ExchangeDone(size_t block_index);
-  void Finish();
+  // Drops dead members and re-runs `block_index` after the failover
+  // penalty; aborts the run if nobody survives.
+  void HandleFailover(size_t block_index);
+  bool AllMembersUsable() const;
+  void Finish(bool completed);
   // Launches the halo flows for `block_index`; `on_all_done` fires when
   // every pairwise transfer completes.
   void LaunchExchange(size_t block_index, std::function<void()> on_all_done);
@@ -96,6 +118,8 @@ class CollaborativeInference {
   size_t current_block_ = 0;
   bool prev_exchange_in_flight_ = false;
   bool waiting_on_prev_exchange_ = false;
+  std::vector<int> members_;  // Surviving participant SoC indices.
+  int failovers_ = 0;
 };
 
 }  // namespace soccluster

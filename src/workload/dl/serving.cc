@@ -51,6 +51,11 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
   MetricRegistry& metrics = sim_->metrics();
   submitted_metric_ = metrics.GetCounter("dl.serving.submitted");
   completed_metric_ = metrics.GetCounter("dl.serving.completed");
+  shed_metric_ = metrics.GetCounter("dl.serving.shed");
+  expired_metric_ = metrics.GetCounter("dl.serving.deadline_expired");
+  failed_metric_ = metrics.GetCounter("dl.serving.failed");
+  retries_metric_ = metrics.GetCounter("dl.serving.retries");
+  hedges_metric_ = metrics.GetCounter("dl.serving.hedges");
   latency_metric_ = metrics.GetHistogram("dl.serving.latency_ms");
   max_queue_metric_ = metrics.GetGauge("dl.serving.max_queue_length");
   Tracer& tracer = sim_->tracer();
@@ -75,20 +80,68 @@ void SocServingFleet::SetActiveCount(int count) {
   TryDispatch();
 }
 
+void SocServingFleet::SetMaxQueue(int max_queue) {
+  SOC_CHECK_GE(max_queue, 0);
+  max_queue_ = max_queue;
+}
+
+void SocServingFleet::SetDeadline(Duration deadline) {
+  SOC_CHECK_GE(deadline.nanos(), 0);
+  deadline_ = deadline;
+}
+
+void SocServingFleet::SetRetryPolicy(RetryPolicy policy, uint64_t seed) {
+  backoff_ = std::make_unique<RetryBackoff>(policy, seed);
+}
+
+void SocServingFleet::SetRetryBudget(double tokens_per_success,
+                                     double max_tokens) {
+  budget_ = std::make_unique<RetryBudget>(tokens_per_success, max_tokens);
+}
+
+void SocServingFleet::EnableHedging(Duration hedge_delay) {
+  SOC_CHECK_GT(hedge_delay.nanos(), 0);
+  hedge_delay_ = hedge_delay;
+}
+
 void SocServingFleet::Submit() {
-  Tracer& tracer = sim_->tracer();
-  PendingRequest request;
-  request.enqueue = sim_->Now();
-  request.request_id = next_request_id_++;
-  request.request_span =
-      tracer.BeginAsyncSpan("request", "dl.serving", request.request_id);
-  tracer.AddArg(request.request_span, "model", DnnModelName(model_));
-  request.queue_span = tracer.BeginAsyncSpan(
-      "queue", "dl.serving", request.request_id, request.request_span);
-  queue_.push_back(std::move(request));
   submitted_metric_->Increment();
+  if (max_queue_ > 0 && static_cast<int>(queue_.size()) >= max_queue_) {
+    // Load shedding: an unbounded backlog would blow every deadline anyway;
+    // rejecting at the door keeps served latency bounded.
+    ++shed_;
+    shed_metric_->Increment();
+    return;
+  }
+  Tracer& tracer = sim_->tracer();
+  auto request = std::make_shared<RequestState>();
+  request->enqueue = sim_->Now();
+  request->request_id = next_request_id_++;
+  request->request_span =
+      tracer.BeginAsyncSpan("request", "dl.serving", request->request_id);
+  tracer.AddArg(request->request_span, "model", DnnModelName(model_));
+  request->queue_span = tracer.BeginAsyncSpan(
+      "queue", "dl.serving", request->request_id, request->request_span);
+  queue_.push_back(std::move(request));
   max_queue_metric_->SetMax(static_cast<double>(queue_.size()));
   TryDispatch();
+}
+
+void SocServingFleet::Requeue(RequestPtr request) {
+  request->active_attempt = 0;
+  request->queue_span =
+      sim_->tracer().BeginAsyncSpan("queue", "dl.serving", request->request_id,
+                                    request->request_span);
+  queue_.push_back(std::move(request));
+  max_queue_metric_->SetMax(static_cast<double>(queue_.size()));
+  TryDispatch();
+}
+
+void SocServingFleet::Abandon(const RequestPtr& request) {
+  request->done = true;
+  ++failed_;
+  failed_metric_->Increment();
+  sim_->tracer().EndSpan(request->request_span);
 }
 
 void SocServingFleet::TryDispatch() {
@@ -103,16 +156,29 @@ void SocServingFleet::TryDispatch() {
     if (chosen < 0) {
       return;
     }
-    PendingRequest request = std::move(queue_.front());
+    RequestPtr request = std::move(queue_.front());
     queue_.pop_front();
-    busy_[static_cast<size_t>(chosen)] = true;
     Tracer& tracer = sim_->tracer();
-    tracer.EndSpan(request.queue_span);
+    tracer.EndSpan(request->queue_span);
+    if (deadline_.nanos() > 0 &&
+        sim_->Now() - request->enqueue > deadline_) {
+      // The client has given up; starting the inference would waste a SoC
+      // slot on a response nobody reads.
+      request->done = true;
+      ++deadline_expired_;
+      expired_metric_->Increment();
+      tracer.EndSpan(request->request_span);
+      continue;
+    }
+    busy_[static_cast<size_t>(chosen)] = true;
+    const int attempt = ++request->attempts;
+    request->active_attempt = attempt;
     // The request's inference phase, in two views: the async child follows
     // the request, the track span shows the SoC busy.
     const SpanId infer_span = tracer.BeginAsyncSpan(
-        "infer", "dl.serving", request.request_id, request.request_span);
+        "infer", "dl.serving", request->request_id, request->request_span);
     tracer.AddArg(infer_span, "soc", static_cast<int64_t>(chosen));
+    tracer.AddArg(infer_span, "attempt", static_cast<int64_t>(attempt));
     const SpanId infer_track_span =
         tracer.BeginSpan("infer", "dl.serving", SocTrack(chosen));
     SocModel& soc = cluster_->soc(chosen);
@@ -129,22 +195,82 @@ void SocServingFleet::TryDispatch() {
         break;
     }
     SOC_CHECK(status.ok()) << status.ToString();
-    const Duration service =
-        Duration::SecondsF(1.0 / PerSocThroughput());
+    const int64_t fail_epoch = soc.fail_count();
+    // A thermal excursion slows the engine without shrinking capacity.
+    const Duration service = Duration::SecondsF(
+        1.0 / (PerSocThroughput() * soc.throttle_factor()));
     sim_->ScheduleAfter(
-        service,
-        [this, chosen, request = std::move(request), infer_track_span,
-         infer_span]() mutable {
-          FinishOn(chosen, std::move(request), infer_track_span, infer_span);
+        service, [this, chosen, request, attempt, fail_epoch, infer_track_span,
+                  infer_span]() mutable {
+          FinishOn(chosen, std::move(request), attempt, fail_epoch,
+                   infer_track_span, infer_span);
         });
+    if (hedge_delay_.nanos() > 0) {
+      sim_->ScheduleAfter(hedge_delay_,
+                          [this, chosen, request, attempt, fail_epoch] {
+                            HedgeCheck(chosen, request, attempt, fail_epoch);
+                          });
+    }
   }
 }
 
-void SocServingFleet::FinishOn(int soc_index, PendingRequest request,
-                               SpanId infer_track_span, SpanId infer_span) {
+void SocServingFleet::HedgeCheck(int soc_index, RequestPtr request,
+                                 int attempt, int64_t fail_epoch) {
+  if (request->done || request->active_attempt != attempt) {
+    return;  // Already finished, or already rescued.
+  }
+  if (cluster_->soc(soc_index).fail_count() == fail_epoch) {
+    return;  // The SoC is still the one we dispatched to; let it finish.
+  }
+  // The serving SoC died under the request. Rescue it now instead of
+  // waiting out a completion that will only report the death later. Counts
+  // as a hedge, not a retry: it consumes no retry budget (the failure is
+  // certain, not suspected).
+  ++hedges_;
+  hedges_metric_->Increment();
+  sim_->tracer().Instant("hedge", "dl.serving");
+  Requeue(std::move(request));
+}
+
+void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
+  request->done = true;
+  ++completed_;
+  completed_metric_->Increment();
+  if (budget_ != nullptr) {
+    budget_->RecordSuccess();
+  }
+  const double latency_ms = (sim_->Now() - request->enqueue).ToMillis();
+  latencies_.Add(latency_ms);
+  latency_metric_->Observe(latency_ms);
+  Tracer& tracer = sim_->tracer();
+  if (response_size_.bits() > 0) {
+    // Ship the response through the fabric; the request closes when the
+    // last byte reaches the external node.
+    const SpanId net_span = tracer.BeginAsyncSpan(
+        "network", "dl.serving", request->request_id, request->request_span);
+    const SpanId request_span = request->request_span;
+    Result<FlowId> flow = cluster_->network().StartFlow(
+        cluster_->soc_node(soc_index), cluster_->external_node(),
+        response_size_, DataRate::Zero(), [this, net_span, request_span] {
+          Tracer& t = sim_->tracer();
+          t.EndSpan(net_span);
+          t.EndSpan(request_span);
+        });
+    SOC_CHECK(flow.ok()) << flow.status().ToString();
+  } else {
+    tracer.EndSpan(request->request_span);
+  }
+}
+
+void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
+                               int64_t fail_epoch, SpanId infer_track_span,
+                               SpanId infer_span) {
   busy_[static_cast<size_t>(soc_index)] = false;
   SocModel& soc = cluster_->soc(soc_index);
-  if (soc.IsUsable()) {
+  // The attempt succeeded only if the SoC never failed while it ran; a
+  // fail/repair/reboot cycle leaves IsUsable() true but bumps fail_count().
+  const bool alive = soc.fail_count() == fail_epoch && soc.IsUsable();
+  if (alive) {
     Status status;
     switch (device_) {
       case DlDevice::kSocCpu:
@@ -159,30 +285,29 @@ void SocServingFleet::FinishOn(int soc_index, PendingRequest request,
     }
     SOC_CHECK(status.ok()) << status.ToString();
   }
-  ++completed_;
-  completed_metric_->Increment();
-  const double latency_ms = (sim_->Now() - request.enqueue).ToMillis();
-  latencies_.Add(latency_ms);
-  latency_metric_->Observe(latency_ms);
   Tracer& tracer = sim_->tracer();
   tracer.EndSpan(infer_track_span);
   tracer.EndSpan(infer_span);
-  if (response_size_.bits() > 0) {
-    // Ship the response through the fabric; the request closes when the
-    // last byte reaches the external node.
-    const SpanId net_span = tracer.BeginAsyncSpan(
-        "network", "dl.serving", request.request_id, request.request_span);
-    const SpanId request_span = request.request_span;
-    Result<FlowId> flow = cluster_->network().StartFlow(
-        cluster_->soc_node(soc_index), cluster_->external_node(),
-        response_size_, DataRate::Zero(), [this, net_span, request_span] {
-          Tracer& t = sim_->tracer();
-          t.EndSpan(net_span);
-          t.EndSpan(request_span);
-        });
-    SOC_CHECK(flow.ok()) << flow.status().ToString();
+  if (request->done || request->active_attempt != attempt) {
+    // Completed elsewhere or rescued by a hedge; this attempt is moot.
+    TryDispatch();
+    return;
+  }
+  if (alive) {
+    Complete(soc_index, request);
+  } else if (backoff_ != nullptr && backoff_->ShouldRetry(request->attempts) &&
+             (budget_ == nullptr || budget_->TryWithdraw())) {
+    ++retries_;
+    retries_metric_->Increment();
+    request->active_attempt = 0;
+    sim_->ScheduleAfter(backoff_->BackoffFor(request->attempts),
+                        [this, request]() mutable {
+                          if (!request->done) {
+                            Requeue(std::move(request));
+                          }
+                        });
   } else {
-    tracer.EndSpan(request.request_span);
+    Abandon(request);
   }
   TryDispatch();
 }

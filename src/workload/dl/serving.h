@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/retry.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/gpu.h"
@@ -41,9 +42,25 @@ class OpenLoopSource {
 };
 
 // Serves single requests on a set of cluster SoCs. Each active SoC runs one
-// request at a time at the engine's service rate; requests queue centrally.
-// Driving the per-SoC utilization through SocModel makes the cluster's
-// power track load — the mechanism behind Figure 12.
+// request at a time at the engine's service rate (scaled down while the SoC
+// is thermally throttled); requests queue centrally. Driving the per-SoC
+// utilization through SocModel makes the cluster's power track load — the
+// mechanism behind Figure 12.
+//
+// Request-level resilience, all opt-in:
+//   * SetMaxQueue — load shedding: requests arriving at a full queue are
+//     rejected immediately instead of growing an unbounded backlog;
+//   * SetDeadline — a request whose queueing delay already exceeds the
+//     deadline is dropped at dispatch time (doomed work is never started);
+//   * SetRetryPolicy — a request whose serving SoC dies mid-inference is
+//     re-queued after an exponential, jittered backoff, gated by a retry
+//     budget so retries cannot amplify an outage into a storm;
+//   * EnableHedging — if the serving SoC has died by `hedge_delay` after
+//     dispatch, the request is rescued and re-queued immediately instead of
+//     waiting out the (never-arriving) completion.
+// A mid-flight SoC death is detected by comparing the SoC's fail_count()
+// against a snapshot taken at dispatch — a fail/repair/reboot race cannot
+// masquerade as success.
 //
 // Every request is traced end-to-end as a nested async span group
 // (category "dl.serving"): request ⊃ queue → infer → network, plus a
@@ -69,25 +86,55 @@ class SocServingFleet {
   // path changes neither throughput nor the reported latencies.
   void SetResponseSize(DataSize size) { response_size_ = size; }
 
+  // Load shedding: reject Submit() when the queue already holds `max_queue`
+  // requests. Zero (default) disables.
+  void SetMaxQueue(int max_queue);
+  // Drop requests whose queueing delay exceeds `deadline` (checked at
+  // dispatch). Zero (default) disables.
+  void SetDeadline(Duration deadline);
+  // Retry requests that die with their SoC, paced by `policy` with
+  // deterministic jitter from `seed`. A retry budget (SetRetryBudget)
+  // bounds amplification; without one, retries are unlimited.
+  void SetRetryPolicy(RetryPolicy policy, uint64_t seed);
+  void SetRetryBudget(double tokens_per_success, double max_tokens);
+  // Rescue requests whose SoC has died by `hedge_delay` after dispatch.
+  void EnableHedging(Duration hedge_delay);
+
   void Submit();
 
   int64_t completed() const { return completed_; }
+  int64_t shed() const { return shed_; }
+  int64_t deadline_expired() const { return deadline_expired_; }
+  int64_t failed() const { return failed_; }
+  int64_t retries() const { return retries_; }
+  int64_t hedges() const { return hedges_; }
   int queue_length() const { return static_cast<int>(queue_.size()); }
   const SampleStats& latencies() const { return latencies_; }
-  // Engine service rate of one SoC (samples/s).
+  // Engine service rate of one SoC (samples/s), unthrottled.
   double PerSocThroughput() const;
 
  private:
-  struct PendingRequest {
+  struct RequestState {
     SimTime enqueue;
     uint64_t request_id = 0;
     SpanId request_span = 0;
     SpanId queue_span = 0;
+    int attempts = 0;        // Dispatch attempts started.
+    int active_attempt = 0;  // 0 when queued; else the in-flight attempt.
+    bool done = false;
   };
+  using RequestPtr = std::shared_ptr<RequestState>;
 
   void TryDispatch();
-  void FinishOn(int soc_index, PendingRequest request, SpanId infer_track_span,
-                SpanId infer_span);
+  void FinishOn(int soc_index, RequestPtr request, int attempt,
+                int64_t fail_epoch, SpanId infer_track_span, SpanId infer_span);
+  void HedgeCheck(int soc_index, RequestPtr request, int attempt,
+                  int64_t fail_epoch);
+  // Re-queues a not-yet-done request (retry or hedge rescue).
+  void Requeue(RequestPtr request);
+  void Complete(int soc_index, const RequestPtr& request);
+  // Gives up on the request (no retry possible).
+  void Abandon(const RequestPtr& request);
   // Display track hosting SoC `i`'s synchronous spans.
   static int64_t SocTrack(int soc_index) { return 100 + soc_index; }
 
@@ -98,13 +145,28 @@ class SocServingFleet {
   Precision precision_;
   int active_count_ = 0;
   std::vector<bool> busy_;
-  std::deque<PendingRequest> queue_;
+  std::deque<RequestPtr> queue_;
   int64_t completed_ = 0;
+  int64_t shed_ = 0;
+  int64_t deadline_expired_ = 0;
+  int64_t failed_ = 0;
+  int64_t retries_ = 0;
+  int64_t hedges_ = 0;
   SampleStats latencies_;
   DataSize response_size_;  // Zero: no response transfer.
+  int max_queue_ = 0;       // Zero: unbounded.
+  Duration deadline_;       // Zero: none.
+  Duration hedge_delay_;    // Zero: hedging off.
+  std::unique_ptr<RetryBackoff> backoff_;  // Null: retries off.
+  std::unique_ptr<RetryBudget> budget_;    // Null: unlimited retries.
   uint64_t next_request_id_ = 1;
   Counter* submitted_metric_;
   Counter* completed_metric_;
+  Counter* shed_metric_;
+  Counter* expired_metric_;
+  Counter* failed_metric_;
+  Counter* retries_metric_;
+  Counter* hedges_metric_;
   HistogramMetric* latency_metric_;
   Gauge* max_queue_metric_;
 };

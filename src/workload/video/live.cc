@@ -1,10 +1,30 @@
 #include "src/workload/video/live.h"
 
 #include <limits>
+#include <vector>
 
 #include "src/base/check.h"
 
 namespace soccluster {
+
+namespace {
+// Rung 1 halves the output bitrate with a lighter preset; rung 2 quarters
+// it. CPU cost shrinks less than bitrate (rate control still runs).
+constexpr double kRungCpuScale[kNumBitrateRungs] = {1.0, 0.6, 0.35};
+constexpr double kRungBitrateScale[kNumBitrateRungs] = {1.0, 0.5, 0.25};
+}  // namespace
+
+double BitrateRungCpuScale(int rung) {
+  SOC_CHECK_GE(rung, 0);
+  SOC_CHECK_LT(rung, kNumBitrateRungs);
+  return kRungCpuScale[rung];
+}
+
+double BitrateRungBitrateScale(int rung) {
+  SOC_CHECK_GE(rung, 0);
+  SOC_CHECK_LT(rung, kNumBitrateRungs);
+  return kRungBitrateScale[rung];
+}
 
 LiveTranscodingService::LiveTranscodingService(Simulator* sim,
                                                SocCluster* cluster,
@@ -16,6 +36,9 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
   started_metric_ = metrics.GetCounter("video.live.streams_started");
   stopped_metric_ = metrics.GetCounter("video.live.streams_stopped");
   rejected_metric_ = metrics.GetCounter("video.live.admission_rejected");
+  degraded_metric_ = metrics.GetCounter("video.live.streams_degraded");
+  dropped_metric_ = metrics.GetCounter("video.live.streams_dropped");
+  failed_over_metric_ = metrics.GetCounter("video.live.streams_failed_over");
   max_active_metric_ = metrics.GetGauge("video.live.max_active_streams");
 }
 
@@ -41,7 +64,8 @@ int LiveTranscodingService::HwStreamsOnSoc(int soc_index) const {
 }
 
 Result<int> LiveTranscodingService::PickSoc(VbenchVideo video,
-                                            TranscodeBackend backend) const {
+                                            TranscodeBackend backend,
+                                            double cpu_scale) const {
   int best = -1;
   double best_key = std::numeric_limits<double>::infinity();
   for (int i = 0; i < cluster_->num_socs(); ++i) {
@@ -51,8 +75,10 @@ Result<int> LiveTranscodingService::PickSoc(VbenchVideo video,
     }
     bool fits = false;
     if (backend == TranscodeBackend::kSocCpu) {
-      // Per-generation CPU demand (Fig. 14 factors).
-      const double cpu_demand = TranscodeModel::SocCpuUtilPerStream(video) /
+      // Per-generation CPU demand (Fig. 14 factors), scaled by the ladder
+      // rung the stream would run at.
+      const double cpu_demand = cpu_scale *
+                                TranscodeModel::SocCpuUtilPerStream(video) /
                                 soc.spec().cpu_transcode_factor;
       fits = soc.CpuHeadroom() >= cpu_demand;
     } else {
@@ -79,6 +105,39 @@ Result<int> LiveTranscodingService::PickSoc(VbenchVideo video,
   return best;
 }
 
+Status LiveTranscodingService::Admit(Stream* stream, int soc_index, int rung) {
+  SocModel& soc = cluster_->soc(soc_index);
+  const VideoSpec& spec = GetVideo(stream->video);
+  double cpu_demand = 0.0;
+  if (stream->backend == TranscodeBackend::kSocCpu) {
+    cpu_demand = BitrateRungCpuScale(rung) *
+                 TranscodeModel::SocCpuUtilPerStream(stream->video) /
+                 soc.spec().cpu_transcode_factor;
+    SOC_RETURN_IF_ERROR(soc.AddCpuUtil(cpu_demand));
+  } else {
+    SOC_RETURN_IF_ERROR(soc.AddCodecSession(spec.PixelRate()));
+  }
+
+  // Source stream in from the edge, transcoded stream back out (at the
+  // rung's output bitrate).
+  Network& net = cluster_->network();
+  Result<int64_t> inbound = net.AddConstantLoad(
+      cluster_->external_node(), cluster_->soc_node(soc_index),
+      spec.source_bitrate);
+  SOC_CHECK(inbound.ok()) << inbound.status().ToString();
+  Result<int64_t> outbound = net.AddConstantLoad(
+      cluster_->soc_node(soc_index), cluster_->external_node(),
+      spec.target_bitrate * BitrateRungBitrateScale(rung));
+  SOC_CHECK(outbound.ok()) << outbound.status().ToString();
+
+  stream->soc_index = soc_index;
+  stream->cpu_demand = cpu_demand;
+  stream->rung = rung;
+  stream->inbound_load = *inbound;
+  stream->outbound_load = *outbound;
+  return Status::Ok();
+}
+
 Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
                                                     TranscodeBackend backend) {
   if (backend != TranscodeBackend::kSocCpu &&
@@ -86,33 +145,15 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
     return Status::InvalidArgument(
         "LiveTranscodingService runs on the SoC Cluster only");
   }
-  Result<int> soc_index = PickSoc(video, backend);
+  Result<int> soc_index = PickSoc(video, backend, BitrateRungCpuScale(0));
   if (!soc_index.ok()) {
     rejected_metric_->Increment();
     sim_->tracer().Instant("admission_rejected", "video.live");
     return soc_index.status();
   }
-  SocModel& soc = cluster_->soc(*soc_index);
-  const VideoSpec& spec = GetVideo(video);
 
-  if (backend == TranscodeBackend::kSocCpu) {
-    SOC_RETURN_IF_ERROR(
-        soc.AddCpuUtil(TranscodeModel::SocCpuUtilPerStream(video) /
-                       soc.spec().cpu_transcode_factor));
-  } else {
-    SOC_RETURN_IF_ERROR(soc.AddCodecSession(spec.PixelRate()));
-  }
-
-  // Source stream in from the edge, transcoded stream back out.
-  Network& net = cluster_->network();
-  Result<int64_t> inbound = net.AddConstantLoad(
-      cluster_->external_node(), cluster_->soc_node(*soc_index),
-      spec.source_bitrate);
-  SOC_CHECK(inbound.ok()) << inbound.status().ToString();
-  Result<int64_t> outbound = net.AddConstantLoad(
-      cluster_->soc_node(*soc_index), cluster_->external_node(),
-      spec.target_bitrate);
-  SOC_CHECK(outbound.ok()) << outbound.status().ToString();
+  Stream stream{video, backend, *soc_index, 0.0, 0, 0, 0, 0};
+  SOC_RETURN_IF_ERROR(Admit(&stream, *soc_index, /*rung=*/0));
 
   const int64_t id = next_id_++;
   Tracer& tracer = sim_->tracer();
@@ -121,8 +162,8 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
   tracer.AddArg(span, "soc", static_cast<int64_t>(*soc_index));
   tracer.AddArg(span, "backend",
                 backend == TranscodeBackend::kSocCpu ? "cpu" : "hw_codec");
-  streams_.emplace(id, Stream{video, backend, *soc_index, *inbound,
-                              *outbound, span});
+  stream.span = span;
+  streams_.emplace(id, stream);
   started_metric_->Increment();
   max_active_metric_->SetMax(static_cast<double>(streams_.size()));
   return id;
@@ -137,9 +178,7 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
   SocModel& soc = cluster_->soc(stream.soc_index);
   if (soc.IsUsable()) {
     if (stream.backend == TranscodeBackend::kSocCpu) {
-      SOC_RETURN_IF_ERROR(soc.AddCpuUtil(
-          -TranscodeModel::SocCpuUtilPerStream(stream.video) /
-          soc.spec().cpu_transcode_factor));
+      SOC_RETURN_IF_ERROR(soc.AddCpuUtil(-stream.cpu_demand));
     } else {
       SOC_RETURN_IF_ERROR(
           soc.RemoveCodecSession(GetVideo(stream.video).PixelRate()));
@@ -152,6 +191,70 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
   stopped_metric_->Increment();
   streams_.erase(it);
   return Status::Ok();
+}
+
+void LiveTranscodingService::OnSocFailure(int soc_index) {
+  SOC_CHECK_GE(soc_index, 0);
+  SOC_CHECK_LT(soc_index, cluster_->num_socs());
+  std::vector<int64_t> displaced;
+  for (const auto& [id, stream] : streams_) {
+    if (stream.soc_index == soc_index) {
+      displaced.push_back(id);
+    }
+  }
+  Tracer& tracer = sim_->tracer();
+  for (int64_t id : displaced) {
+    Stream& stream = streams_.at(id);
+    // The SoC's own resource charges vanished with Fail(); the network
+    // loads are ours to release before re-homing.
+    Network& net = cluster_->network();
+    Status status = net.RemoveConstantLoad(stream.inbound_load);
+    SOC_CHECK(status.ok()) << status.ToString();
+    status = net.RemoveConstantLoad(stream.outbound_load);
+    SOC_CHECK(status.ok()) << status.ToString();
+
+    bool placed = false;
+    const int old_rung = stream.rung;
+    for (int rung = old_rung; rung < kNumBitrateRungs; ++rung) {
+      Result<int> target =
+          PickSoc(stream.video, stream.backend, BitrateRungCpuScale(rung));
+      if (target.ok()) {
+        status = Admit(&stream, *target, rung);
+        SOC_CHECK(status.ok()) << status.ToString();
+        failed_over_metric_->Increment();
+        tracer.AddArg(stream.span, "failed_over_to",
+                      static_cast<int64_t>(*target));
+        if (rung > old_rung) {
+          ++streams_degraded_;
+          degraded_metric_->Increment();
+          tracer.AddArg(stream.span, "rung", static_cast<int64_t>(rung));
+        }
+        placed = true;
+        break;
+      }
+      if (stream.backend == TranscodeBackend::kSocHwCodec) {
+        break;  // Hardware sessions are rung-independent; no point walking.
+      }
+    }
+    if (!placed) {
+      ++streams_dropped_;
+      dropped_metric_->Increment();
+      tracer.EndSpan(stream.span);
+      streams_.erase(id);
+    }
+  }
+}
+
+int LiveTranscodingService::StreamsAtRung(int rung) const {
+  SOC_CHECK_GE(rung, 0);
+  SOC_CHECK_LT(rung, kNumBitrateRungs);
+  int count = 0;
+  for (const auto& [id, stream] : streams_) {
+    if (stream.rung == rung) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 int LiveTranscodingService::ClusterCapacity(VbenchVideo video,

@@ -23,6 +23,16 @@ enum class PlacementPolicy {
   kPack,    // Fill one SoC before waking the next (consolidation).
 };
 
+// Graceful-degradation ladder for CPU-transcoded streams. When a SoC fails,
+// its displaced streams are re-admitted on the survivors at the same rung
+// if possible, else pushed down the ladder (lower output bitrate, lighter
+// preset, so proportionally less CPU); only when not even the bottom rung
+// fits is a stream dropped. Rung 0 is full quality.
+inline constexpr int kNumBitrateRungs = 3;
+// Fraction of the full-quality CPU demand / output bitrate at each rung.
+double BitrateRungCpuScale(int rung);
+double BitrateRungBitrateScale(int rung);
+
 class LiveTranscodingService {
  public:
   LiveTranscodingService(Simulator* sim, SocCluster* cluster,
@@ -35,8 +45,16 @@ class LiveTranscodingService {
   Result<int64_t> StartStream(VbenchVideo video, TranscodeBackend backend);
   Status StopStream(int64_t stream_id);
 
+  // Re-homes the failed SoC's streams onto the survivors, walking each
+  // stream down the bitrate ladder as needed (CPU backend) and dropping
+  // only what cannot fit anywhere. Wire to a HealthMonitor's on_soc_down.
+  void OnSocFailure(int soc_index);
+
   int active_streams() const { return static_cast<int>(streams_.size()); }
   int StreamsOnSoc(int soc_index) const;
+  int StreamsAtRung(int rung) const;
+  int64_t streams_degraded() const { return streams_degraded_; }
+  int64_t streams_dropped() const { return streams_dropped_; }
   // Total streams the whole cluster can admit for this video/backend.
   int ClusterCapacity(VbenchVideo video, TranscodeBackend backend) const;
 
@@ -45,23 +63,34 @@ class LiveTranscodingService {
     VbenchVideo video;
     TranscodeBackend backend;
     int soc_index;
+    double cpu_demand;  // CPU utilization charged (zero for hw backend).
+    int rung;           // Position on the bitrate ladder (0 = full).
     int64_t inbound_load;
     int64_t outbound_load;
     SpanId span;  // Async "stream" span (category "video.live").
   };
 
-  Result<int> PickSoc(VbenchVideo video, TranscodeBackend backend) const;
+  Result<int> PickSoc(VbenchVideo video, TranscodeBackend backend,
+                      double cpu_scale) const;
   int HwStreamsOnSoc(int soc_index) const;
+  // Charges SoC + network resources for `stream` at `rung` on `soc_index`,
+  // updating the record in place.
+  Status Admit(Stream* stream, int soc_index, int rung);
 
   Simulator* sim_;
   SocCluster* cluster_;
   PlacementPolicy policy_;
   std::map<int64_t, Stream> streams_;
   int64_t next_id_ = 1;
+  int64_t streams_degraded_ = 0;
+  int64_t streams_dropped_ = 0;
   // Admission outcomes published to the registry ("video.live.*").
   Counter* started_metric_;
   Counter* stopped_metric_;
   Counter* rejected_metric_;
+  Counter* degraded_metric_;
+  Counter* dropped_metric_;
+  Counter* failed_over_metric_;
   Gauge* max_active_metric_;
 };
 

@@ -1,0 +1,91 @@
+#include "src/base/retry.h"
+
+#include "gtest/gtest.h"
+
+namespace soccluster {
+namespace {
+
+TEST(RetryBackoffTest, ExponentialGrowthWithoutJitter) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = Duration::Millis(100);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Duration::Millis(500);
+  policy.jitter_fraction = 0.0;
+  RetryBackoff backoff(policy, /*seed=*/1);
+  EXPECT_EQ(backoff.BackoffFor(1).nanos(), Duration::Millis(100).nanos());
+  EXPECT_EQ(backoff.BackoffFor(2).nanos(), Duration::Millis(200).nanos());
+  EXPECT_EQ(backoff.BackoffFor(3).nanos(), Duration::Millis(400).nanos());
+  // Capped at max_backoff from here on.
+  EXPECT_EQ(backoff.BackoffFor(4).nanos(), Duration::Millis(500).nanos());
+  EXPECT_EQ(backoff.BackoffFor(5).nanos(), Duration::Millis(500).nanos());
+}
+
+TEST(RetryBackoffTest, JitterStaysWithinBandAndVaries) {
+  RetryPolicy policy;
+  policy.initial_backoff = Duration::Millis(100);
+  policy.jitter_fraction = 0.2;
+  RetryBackoff backoff(policy, /*seed=*/7);
+  bool saw_non_nominal = false;
+  for (int i = 0; i < 50; ++i) {
+    const Duration wait = backoff.BackoffFor(1);
+    EXPECT_GE(wait.nanos(), Duration::Millis(80).nanos());
+    EXPECT_LE(wait.nanos(), Duration::Millis(120).nanos());
+    if (wait.nanos() != Duration::Millis(100).nanos()) {
+      saw_non_nominal = true;
+    }
+  }
+  EXPECT_TRUE(saw_non_nominal);
+}
+
+TEST(RetryBackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.5;
+  RetryBackoff a(policy, /*seed=*/99);
+  RetryBackoff b(policy, /*seed=*/99);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(a.BackoffFor(i).nanos(), b.BackoffFor(i).nanos());
+  }
+}
+
+TEST(RetryBackoffTest, ShouldRetryHonoursMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryBackoff backoff(policy, /*seed=*/1);
+  EXPECT_TRUE(backoff.ShouldRetry(1));
+  EXPECT_TRUE(backoff.ShouldRetry(2));
+  EXPECT_FALSE(backoff.ShouldRetry(3));
+
+  policy.max_attempts = 1;  // Retries disabled.
+  RetryBackoff no_retry(policy, /*seed=*/1);
+  EXPECT_FALSE(no_retry.ShouldRetry(1));
+}
+
+TEST(RetryBudgetTest, StartsFullThenDeniesWhenDrained) {
+  RetryBudget budget(/*tokens_per_success=*/0.1, /*max_tokens=*/3.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());  // Empty: the retry storm collapses.
+  EXPECT_EQ(budget.denied(), 1);
+}
+
+TEST(RetryBudgetTest, SuccessesRefillUpToCap) {
+  RetryBudget budget(/*tokens_per_success=*/0.5, /*max_tokens=*/2.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+  budget.RecordSuccess();
+  budget.RecordSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+  // Refill never exceeds the cap.
+  for (int i = 0; i < 100; ++i) {
+    budget.RecordSuccess();
+  }
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+}  // namespace
+}  // namespace soccluster

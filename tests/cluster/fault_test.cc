@@ -1,0 +1,170 @@
+// Fault-taxonomy tests: transient/permanent splits, PCB-correlated
+// failures, uplink flaps, thermal trips, and the injector's guard rails.
+
+#include "src/cluster/fault.h"
+
+#include "gtest/gtest.h"
+#include "src/cluster/cluster.h"
+#include "src/hw/specs.h"
+
+namespace soccluster {
+namespace {
+
+class FaultTaxonomyTest : public ::testing::Test {
+ protected:
+  void BootAll() {
+    cluster_.PowerOnAll(nullptr);
+    ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  }
+
+  Simulator sim_{23};
+  SocCluster cluster_{&sim_, DefaultChassisSpec(), Snapdragon865Spec()};
+};
+
+TEST_F(FaultTaxonomyTest, StartTwiceDies) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.Start(Duration::Hours(1));
+  EXPECT_TRUE(injector.started());
+  EXPECT_DEATH(injector.Start(Duration::Hours(1)), "twice");
+}
+
+TEST_F(FaultTaxonomyTest, PoweredOffSocsDoNotFail) {
+  // Nobody is powered on: MTBF is under-load, so no failure may land.
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(2);  // Aggressive.
+  config.repair_time = Duration::Zero();
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 7));
+  sim_.Run();
+  EXPECT_EQ(injector.failures_injected(), 0);
+  EXPECT_TRUE(injector.history().empty());
+  EXPECT_EQ(cluster_.NumFailed(), 0);
+}
+
+TEST_F(FaultTaxonomyTest, TransientFaultsAutoRecover) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 10);
+  config.transient_fraction = 1.0;  // Every fault is a watchdog reboot.
+  config.transient_outage = Duration::Minutes(2);
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 30));
+  sim_.Run();
+  ASSERT_GT(injector.failures_injected(), 0);
+  EXPECT_EQ(injector.faults_of(FaultKind::kSocTransient),
+            injector.failures_injected());
+  EXPECT_EQ(injector.faults_of(FaultKind::kSocPermanent), 0);
+  // Every transient recovered (to the powered-off state).
+  EXPECT_EQ(injector.repairs_completed(), injector.failures_injected());
+  EXPECT_EQ(cluster_.NumFailed(), 0);
+}
+
+TEST_F(FaultTaxonomyTest, PcbFailureTakesDownWholeBoard) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 365 * 100);  // SoC chain off.
+  config.mtbf_per_pcb = Duration::Hours(24 * 20);
+  config.pcb_repair_time = Duration::Zero();  // Boards stay down.
+  FaultInjector injector(&sim_, &cluster_, config);
+  std::vector<int> victims;
+  injector.set_on_failure([&](int soc_index) { victims.push_back(soc_index); });
+  injector.Start(Duration::Hours(24 * 60));
+  sim_.Run();
+  ASSERT_GT(injector.pcb_failures(), 0);
+  // Each correlated event takes exactly the board's five SoCs at once.
+  EXPECT_EQ(injector.failures_injected(), 5 * injector.pcb_failures());
+  EXPECT_EQ(static_cast<int64_t>(victims.size()),
+            injector.failures_injected());
+  // The first five victims share one PCB.
+  ASSERT_GE(victims.size(), 5u);
+  const int pcb = cluster_.PcbOf(victims[0]);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(cluster_.PcbOf(victims[static_cast<size_t>(i)]), pcb);
+  }
+}
+
+TEST_F(FaultTaxonomyTest, UplinkFlapsRestoreLinks) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 365 * 100);
+  config.uplink_flap_mtbf = Duration::Hours(24 * 5);
+  config.uplink_flap_duration = Duration::Seconds(30);
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 60));
+  sim_.Run();
+  EXPECT_GT(injector.uplink_flaps(), 0);
+  EXPECT_EQ(injector.failures_injected(), 0);  // Flaps fail no SoC.
+  // Every flap is bounded: all uplinks are back up at the end.
+  Network& net = cluster_.network();
+  EXPECT_TRUE(net.LinkIsUp(cluster_.esb_uplink_out()));
+  EXPECT_TRUE(net.LinkIsUp(cluster_.esb_uplink_in()));
+  for (int p = 0; p < cluster_.chassis().num_pcbs; ++p) {
+    EXPECT_TRUE(net.LinkIsUp(cluster_.pcb_uplink_out(p)));
+  }
+}
+
+TEST_F(FaultTaxonomyTest, ThermalTripsThrottleAndRestore) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 365 * 100);
+  config.thermal_mtbf = Duration::Hours(24 * 2);
+  config.thermal_duration = Duration::Minutes(10);
+  config.thermal_throttle_factor = 0.6;
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 10));
+  sim_.Run();
+  EXPECT_GT(injector.thermal_trips(), 0);
+  EXPECT_EQ(injector.failures_injected(), 0);  // Throttling is not failure.
+  // Excursions are bounded: everyone is back at full speed.
+  for (int i = 0; i < cluster_.num_socs(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster_.soc(i).throttle_factor(), 1.0);
+  }
+}
+
+TEST_F(FaultTaxonomyTest, PublishesRegistryCounters) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 10);
+  config.transient_fraction = 0.5;
+  config.transient_outage = Duration::Minutes(2);
+  config.repair_time = Duration::Hours(6);
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 60));
+  sim_.Run();
+  ASSERT_GT(injector.failures_injected(), 0);
+  MetricRegistry& metrics = sim_.metrics();
+  EXPECT_EQ(metrics.GetCounter("fault.soc_failures")->value(),
+            injector.failures_injected());
+  EXPECT_EQ(metrics.GetCounter("fault.repairs")->value(),
+            injector.repairs_completed());
+  const int64_t by_kind =
+      metrics.GetCounter("fault.injected", {{"kind", "soc_transient"}})
+          ->value() +
+      metrics.GetCounter("fault.injected", {{"kind", "soc_permanent"}})
+          ->value();
+  EXPECT_EQ(by_kind, injector.failures_injected());
+}
+
+TEST_F(FaultTaxonomyTest, HistoryRecordsEveryEventInOrder) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 10);
+  config.thermal_mtbf = Duration::Hours(24 * 5);
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 30));
+  sim_.Run();
+  const auto& history = injector.history();
+  ASSERT_FALSE(history.empty());
+  int64_t total = 0;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    total += injector.faults_of(static_cast<FaultKind>(k));
+  }
+  EXPECT_EQ(static_cast<int64_t>(history.size()), total);
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i].at.nanos(), history[i - 1].at.nanos());
+  }
+}
+
+}  // namespace
+}  // namespace soccluster

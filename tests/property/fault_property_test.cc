@@ -1,0 +1,99 @@
+// Determinism properties of the resilience layer: identical FaultConfig
+// seeds must produce bit-identical failure schedules, and tracing must be
+// purely passive (enabling it cannot perturb a chaos run).
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/fault.h"
+#include "src/core/chaos.h"
+#include "src/hw/specs.h"
+
+namespace soccluster {
+namespace {
+
+ChaosConfig AggressiveChaos(uint64_t seed) {
+  ChaosConfig config;
+  config.faults.mtbf_per_soc = Duration::Hours(24 * 10);
+  config.faults.transient_fraction = 0.5;
+  config.faults.transient_outage = Duration::Minutes(3);
+  config.faults.repair_time = Duration::Hours(12);
+  config.faults.mtbf_per_pcb = Duration::Hours(24 * 60);
+  config.faults.uplink_flap_mtbf = Duration::Hours(24 * 7);
+  config.faults.thermal_mtbf = Duration::Hours(24 * 3);
+  config.faults.seed = seed;
+  config.horizon = Duration::Hours(24 * 20);
+  return config;
+}
+
+struct ChaosOutcome {
+  std::vector<FaultEvent> history;
+  ChaosReport report;
+};
+
+ChaosOutcome RunChaos(uint64_t seed, bool traced) {
+  Simulator sim(seed);
+  if (traced) {
+    sim.tracer().Enable();
+  }
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  Status status = sim.RunFor(Duration::Seconds(60));
+  SOC_CHECK(status.ok());
+  ChaosRunner chaos(&sim, &cluster, /*orchestrator=*/nullptr,
+                    AggressiveChaos(seed));
+  chaos.Start();
+  status = sim.RunFor(Duration::Hours(24 * 21));
+  SOC_CHECK(status.ok());
+  return {chaos.injector().history(), chaos.Report()};
+}
+
+void ExpectIdentical(const ChaosOutcome& a, const ChaosOutcome& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].kind, b.history[i].kind) << "event " << i;
+    EXPECT_EQ(a.history[i].index, b.history[i].index) << "event " << i;
+    EXPECT_EQ(a.history[i].at.nanos(), b.history[i].at.nanos())
+        << "event " << i;
+  }
+  // Bitwise, not approximate: the runs must be indistinguishable.
+  EXPECT_EQ(a.report.availability, b.report.availability);
+  EXPECT_EQ(a.report.mttr_hours, b.report.mttr_hours);
+  EXPECT_EQ(a.report.detection_latency_ms, b.report.detection_latency_ms);
+  EXPECT_EQ(a.report.failures, b.report.failures);
+  EXPECT_EQ(a.report.repairs, b.report.repairs);
+  EXPECT_EQ(a.report.down_events, b.report.down_events);
+  EXPECT_EQ(a.report.up_events, b.report.up_events);
+}
+
+TEST(FaultPropertyTest, SameSeedSameSchedule) {
+  for (uint64_t seed : {1u, 42u, 1234u}) {
+    const ChaosOutcome first = RunChaos(seed, /*traced=*/false);
+    const ChaosOutcome second = RunChaos(seed, /*traced=*/false);
+    ASSERT_FALSE(first.history.empty());
+    ExpectIdentical(first, second);
+  }
+}
+
+TEST(FaultPropertyTest, DifferentSeedsDiverge) {
+  const ChaosOutcome a = RunChaos(42, /*traced=*/false);
+  const ChaosOutcome b = RunChaos(43, /*traced=*/false);
+  ASSERT_FALSE(a.history.empty());
+  ASSERT_FALSE(b.history.empty());
+  bool differs = a.history.size() != b.history.size();
+  for (size_t i = 0; !differs && i < a.history.size(); ++i) {
+    differs = a.history[i].at.nanos() != b.history[i].at.nanos();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPropertyTest, TracingIsPassive) {
+  const ChaosOutcome untraced = RunChaos(7, /*traced=*/false);
+  const ChaosOutcome traced = RunChaos(7, /*traced=*/true);
+  ASSERT_FALSE(untraced.history.empty());
+  ExpectIdentical(untraced, traced);
+}
+
+}  // namespace
+}  // namespace soccluster
