@@ -57,16 +57,15 @@ void Run() {
                    "W (idle gated)"});
   for (int streams : {6, 18, 54, 180}) {
     for (PlacementPolicy policy :
-         {PlacementPolicy::kSpread, PlacementPolicy::kPack}) {
+         {PlacementPolicy::kSpread, PlacementPolicy::kPack,
+          PlacementPolicy::kBestFit, PlacementPolicy::kRandomOfK}) {
       const Outcome outcome = Measure(policy, streams);
-      const std::string prefix =
-          std::string(policy == PlacementPolicy::kSpread ? "spread" : "pack") +
-          "_" + std::to_string(streams) + "streams_";
+      const std::string prefix = std::string(PlacementPolicyName(policy)) +
+                                 "_" + std::to_string(streams) + "streams_";
       report.Add(prefix + "gated_watts", outcome.power_gated_watts, "W");
       report.Add(prefix + "socs_used",
                  static_cast<double>(outcome.socs_used), "socs");
-      table.AddRow({std::to_string(streams),
-                    policy == PlacementPolicy::kSpread ? "spread" : "pack",
+      table.AddRow({std::to_string(streams), PlacementPolicyName(policy),
                     std::to_string(outcome.socs_used),
                     FormatDouble(outcome.power_on_watts, 1),
                     FormatDouble(outcome.power_gated_watts, 1)});
@@ -77,7 +76,10 @@ void Run() {
               "tied (the wake adder is small); once the autoscaler gates "
               "idle SoCs, packing wins decisively at partial load — the "
               "discrete-SoC design only pays off with consolidation + "
-              "power management, the §5.2 mechanism.\n");
+              "power management, the §5.2 mechanism. Best-fit tracks pack "
+              "(it maximizes post-placement occupancy); random-of-2 sits "
+              "between the extremes, trading placement quality for O(k) "
+              "scoring.\n");
 }
 
 }  // namespace

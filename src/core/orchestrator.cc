@@ -8,9 +8,42 @@
 
 namespace soccluster {
 
+namespace {
+
+PlacementDemand ToDemand(const ReplicaDemand& d) {
+  PlacementDemand demand;
+  demand.cpu_util = d.cpu_util;
+  demand.memory_gb = d.memory_gb;
+  demand.gpu_util = d.gpu_util;
+  demand.dsp_util = d.dsp_util;
+  return demand;
+}
+
+// The historical orchestrator load proxy: total compute-engine occupancy.
+Placer::Options AdmissionOptions(PlacementPolicy policy) {
+  Placer::Options options;
+  options.policy = policy;
+  options.load.cpu_weight = 1.0;
+  options.load.gpu_weight = 1.0;
+  options.load.dsp_weight = 1.0;
+  return options;
+}
+
+// Consolidation always packs by CPU occupancy (the §5.2 defragmentation
+// lever), independent of the admission policy.
+Placer::Options ConsolidateOptions() {
+  Placer::Options options;
+  options.policy = PlacementPolicy::kPack;
+  return options;
+}
+
+}  // namespace
+
 Orchestrator::Orchestrator(Simulator* sim, SocCluster* cluster,
                            PlacementPolicy policy)
-    : sim_(sim), cluster_(cluster), policy_(policy) {
+    : sim_(sim), cluster_(cluster), view_(cluster),
+      placer_(sim, &view_, AdmissionOptions(policy)),
+      consolidate_placer_(sim, &view_, ConsolidateOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   MetricRegistry& metrics = sim_->metrics();
@@ -40,50 +73,10 @@ Status Orchestrator::RegisterWorkload(const std::string& name,
   return Status::Ok();
 }
 
-double Orchestrator::MemoryUsedGb(int soc_index) const {
-  SOC_DCHECK_GE(soc_index, 0);
-  SOC_DCHECK_LT(soc_index, cluster_->num_socs());
-  double used = 0.0;
-  for (const auto& [name, workload] : workloads_) {
-    for (int placement : workload.placements) {
-      if (placement == soc_index) {
-        used += workload.demand.memory_gb;
-      }
-    }
-  }
-  return used;
-}
-
-int Orchestrator::PickSoc(const ReplicaDemand& demand) const {
-  int best = -1;
-  double best_key = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < cluster_->num_socs(); ++i) {
-    const SocModel& soc = cluster_->soc(i);
-    if (!soc.IsUsable()) {
-      continue;
-    }
-    if (soc.CpuHeadroom() < demand.cpu_util ||
-        soc.gpu_util() + demand.gpu_util > 1.0 ||
-        soc.dsp_util() + demand.dsp_util > 1.0) {
-      continue;
-    }
-    if (MemoryUsedGb(i) + demand.memory_gb >
-        static_cast<double>(soc.spec().memory_gb)) {
-      continue;
-    }
-    const double load = soc.cpu_util() + soc.gpu_util() + soc.dsp_util();
-    const double key = policy_ == PlacementPolicy::kSpread ? load : -load;
-    if (key < best_key) {
-      best_key = key;
-      best = i;
-    }
-  }
-  return best;
-}
-
 Status Orchestrator::Place(Workload* workload, const std::string& name) {
   ScopedSpan span(&sim_->tracer(), "place", "orchestrator");
-  const int soc_index = PickSoc(workload->demand);
+  const PlacementDemand demand = ToDemand(workload->demand);
+  const int soc_index = placer_.Pick(demand);
   if (soc_index < 0) {
     return Status::ResourceExhausted("no SoC can host a replica of " + name);
   }
@@ -91,16 +84,7 @@ Status Orchestrator::Place(Workload* workload, const std::string& name) {
   tracer.AddArg(span.id(), "workload", name);
   tracer.AddArg(span.id(), "soc", static_cast<int64_t>(soc_index));
   placements_metric_->Increment();
-  SocModel& soc = cluster_->soc(soc_index);
-  SOC_RETURN_IF_ERROR(soc.AddCpuUtil(workload->demand.cpu_util));
-  SOC_RETURN_IF_ERROR(soc.SetGpuUtil(soc.gpu_util() + workload->demand.gpu_util));
-  SOC_RETURN_IF_ERROR(soc.SetDspUtil(soc.dsp_util() + workload->demand.dsp_util));
-  // Placement must never drive a SoC past its capacity: PickSoc admitted
-  // this replica, so post-placement headroom stays non-negative.
-  SOC_DCHECK_GE(soc.CpuHeadroom(), 0.0) << "placement overcommitted SoC "
-                                        << soc_index;
-  SOC_DCHECK_LE(soc.gpu_util(), 1.0);
-  SOC_DCHECK_LE(soc.dsp_util(), 1.0);
+  view_.Reserve(soc_index, demand);
   workload->placements.push_back(soc_index);
   return Status::Ok();
 }
@@ -108,17 +92,7 @@ Status Orchestrator::Place(Workload* workload, const std::string& name) {
 void Orchestrator::Evict(Workload* workload, size_t replica_index) {
   SOC_CHECK_LT(replica_index, workload->placements.size());
   const int soc_index = workload->placements[replica_index];
-  SocModel& soc = cluster_->soc(soc_index);
-  if (soc.IsUsable()) {
-    Status status = soc.AddCpuUtil(-workload->demand.cpu_util);
-    SOC_CHECK(status.ok()) << status.ToString();
-    status = soc.SetGpuUtil(
-        std::max(0.0, soc.gpu_util() - workload->demand.gpu_util));
-    SOC_CHECK(status.ok()) << status.ToString();
-    status = soc.SetDspUtil(
-        std::max(0.0, soc.dsp_util() - workload->demand.dsp_util));
-    SOC_CHECK(status.ok()) << status.ToString();
-  }
+  view_.Release(soc_index, ToDemand(workload->demand));
   workload->placements.erase(workload->placements.begin() +
                              static_cast<long>(replica_index));
   evictions_metric_->Increment();
@@ -221,51 +195,38 @@ int Orchestrator::Consolidate() {
     if (source < 0) {
       break;
     }
-    // Check every replica on `source` can move to a fuller SoC.
+    // Check every replica on `source` can move to a fuller SoC. The plan
+    // overlay makes feasibility see moves already planned this round (on
+    // every resource, not just CPU), so a plan can never oversubscribe a
+    // destination.
     struct Move {
       std::string workload;
       size_t replica_index;
       int destination;
     };
     std::vector<Move> moves;
-    // Tentative per-destination extra load while planning.
-    std::map<int, double> planned_extra;
+    PlanOverlay planned;
     bool feasible = true;
     for (auto& [name, workload] : workloads_) {
+      const PlacementDemand demand = ToDemand(workload.demand);
       for (size_t r = 0; r < workload.placements.size() && feasible; ++r) {
         if (workload.placements[r] != source) {
           continue;
         }
-        int destination = -1;
-        double best_load = -1.0;
-        for (int i = 0; i < cluster_->num_socs(); ++i) {
-          if (i == source || !cluster_->soc(i).IsUsable()) {
-            continue;
-          }
-          const SocModel& candidate = cluster_->soc(i);
-          const auto extra_it = planned_extra.find(i);
-          const double extra =
-              extra_it != planned_extra.end() ? extra_it->second : 0.0;
-          // Destinations must be at least as loaded as the source (ties
-          // allowed — moving between equals still empties the source).
-          if (candidate.cpu_util() + 1e-12 < source_load ||
-              candidate.CpuHeadroom() - extra < workload.demand.cpu_util ||
-              candidate.gpu_util() + workload.demand.gpu_util > 1.0 ||
-              candidate.dsp_util() + workload.demand.dsp_util > 1.0 ||
-              MemoryUsedGb(i) + workload.demand.memory_gb >
-                  static_cast<double>(candidate.spec().memory_gb)) {
-            continue;
-          }
-          if (candidate.cpu_util() > best_load) {
-            best_load = candidate.cpu_util();
-            destination = i;
-          }
-        }
+        // Destinations must be at least as loaded as the source (ties
+        // allowed — moving between equals still empties the source).
+        const int destination = consolidate_placer_.Pick(
+            demand,
+            [this, source, source_load](int i) {
+              return i != source &&
+                     cluster_->soc(i).cpu_util() + 1e-12 >= source_load;
+            },
+            &planned);
         if (destination < 0) {
           feasible = false;
           break;
         }
-        planned_extra[destination] += workload.demand.cpu_util;
+        planned.Add(destination, demand);
         moves.push_back({name, r, destination});
       }
       if (!feasible) {
@@ -278,22 +239,9 @@ int Orchestrator::Consolidate() {
     // Execute the planned migrations.
     for (const Move& move : moves) {
       Workload& workload = workloads_.at(move.workload);
-      SocModel& from = cluster_->soc(source);
-      SocModel& to = cluster_->soc(move.destination);
-      Status status = from.AddCpuUtil(-workload.demand.cpu_util);
-      SOC_CHECK(status.ok()) << status.ToString();
-      status = to.AddCpuUtil(workload.demand.cpu_util);
-      SOC_CHECK(status.ok()) << status.ToString();
-      status = from.SetGpuUtil(
-          std::max(0.0, from.gpu_util() - workload.demand.gpu_util));
-      SOC_CHECK(status.ok()) << status.ToString();
-      status = to.SetGpuUtil(to.gpu_util() + workload.demand.gpu_util);
-      SOC_CHECK(status.ok()) << status.ToString();
-      status = from.SetDspUtil(
-          std::max(0.0, from.dsp_util() - workload.demand.dsp_util));
-      SOC_CHECK(status.ok()) << status.ToString();
-      status = to.SetDspUtil(to.dsp_util() + workload.demand.dsp_util);
-      SOC_CHECK(status.ok()) << status.ToString();
+      const PlacementDemand demand = ToDemand(workload.demand);
+      view_.Release(source, demand);
+      view_.Reserve(move.destination, demand);
       workload.placements[move.replica_index] = move.destination;
       ++replicas_migrated_;
       migrations_metric_->Increment();

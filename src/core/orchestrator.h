@@ -14,7 +14,7 @@
 
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
-#include "src/workload/video/live.h"
+#include "src/sched/placer.h"
 
 namespace soccluster {
 
@@ -88,15 +88,17 @@ class Orchestrator {
     int pending = 0;
   };
 
-  // Picks a SoC able to host `demand`, or -1.
-  int PickSoc(const ReplicaDemand& demand) const;
-  double MemoryUsedGb(int soc_index) const;
   Status Place(Workload* workload, const std::string& name);
   void Evict(Workload* workload, size_t replica_index);
 
   Simulator* sim_;
   SocCluster* cluster_;
-  PlacementPolicy policy_;
+  // Shared multi-resource accounting + the pluggable placement policy.
+  SocCapacityView view_;
+  Placer placer_;
+  // Consolidation packs displaced replicas onto the fullest survivor, no
+  // matter which policy governs admission.
+  Placer consolidate_placer_;
   std::map<std::string, Workload> workloads_;
   int64_t replicas_lost_ = 0;
   int64_t replicas_recovered_ = 0;

@@ -1,0 +1,71 @@
+// Per-SoC multi-resource accounting shared by every placement call site.
+// CPU/GPU/DSP utilization and hardware-codec sessions are delegated to the
+// live SocModel (so charges vanish exactly when a SoC fails, as on real
+// hardware); memory and generic slot pools — which SocModel does not track
+// — are ledgered here. Reserve() CHECK-fails on oversubscription, making
+// "a placement never overcommits a SoC" an enforced invariant instead of a
+// per-service convention.
+
+#ifndef SRC_SCHED_CAPACITY_H_
+#define SRC_SCHED_CAPACITY_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sched/placement.h"
+
+namespace soccluster {
+
+class SocCapacityView {
+ public:
+  struct Options {
+    // Per-SoC memory capacity override in GB; negative means "use each
+    // SoC's spec memory" (heterogeneous clusters keep per-slot capacity).
+    double memory_capacity_gb = -1.0;
+    // Per-SoC slot-pool capacity. Zero disables the pool; demands must not
+    // request slots then.
+    int slot_capacity = 0;
+  };
+
+  explicit SocCapacityView(SocCluster* cluster);
+  SocCapacityView(SocCluster* cluster, Options options);
+  SocCapacityView(const SocCapacityView&) = delete;
+  SocCapacityView& operator=(const SocCapacityView&) = delete;
+
+  int num_socs() const;
+
+  // The fault taxonomy's single notion of "can host new work": false for
+  // failed, rebooting, and powered-off SoCs. Every placement path must go
+  // through this — no service re-derives usability on its own.
+  bool IsPlaceable(int soc_index) const;
+
+  // True when `demand` fits on the SoC right now (usability included).
+  bool Fits(int soc_index, const PlacementDemand& demand) const;
+
+  // Charges the SoC and the ledgers. CHECK-fails if the demand does not
+  // fit — callers must have picked the SoC through a fitting check.
+  void Reserve(int soc_index, const PlacementDemand& demand);
+
+  // Releases a prior reservation. SoC-side charges (CPU/GPU/DSP/codec) are
+  // skipped when the SoC is not usable — they vanished with Fail() — and
+  // clamped so a fail/reboot race can never drive utilization negative.
+  // Ledgered dimensions (memory, slots) always release.
+  void Release(int soc_index, const PlacementDemand& demand);
+
+  double MemoryCapacityGb(int soc_index) const;
+  double MemoryUsedGb(int soc_index) const;
+  int SlotsUsed(int soc_index) const;
+  int slot_capacity() const { return options_.slot_capacity; }
+
+  const SocCluster& cluster() const { return *cluster_; }
+
+ private:
+  SocCluster* cluster_;
+  Options options_;
+  std::vector<double> memory_used_gb_;
+  std::vector<int> slots_used_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_SCHED_CAPACITY_H_

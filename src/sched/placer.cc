@@ -1,0 +1,247 @@
+#include "src/sched/placer.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kSpread:
+      return "spread";
+    case PlacementPolicy::kPack:
+      return "pack";
+    case PlacementPolicy::kBestFit:
+      return "best_fit";
+    case PlacementPolicy::kRandomOfK:
+      return "random_of_k";
+  }
+  return "unknown";
+}
+
+void PlanOverlay::Add(int soc_index, const PlacementDemand& d) {
+  PlacementDemand& extra = extra_[soc_index];
+  extra.cpu_util += d.cpu_util;
+  extra.memory_gb += d.memory_gb;
+  extra.gpu_util += d.gpu_util;
+  extra.dsp_util += d.dsp_util;
+  extra.codec_sessions += d.codec_sessions;
+  extra.slots += d.slots;
+}
+
+PlacementDemand PlanOverlay::Get(int soc_index) const {
+  const auto it = extra_.find(soc_index);
+  return it != extra_.end() ? it->second : PlacementDemand{};
+}
+
+namespace {
+
+// `base` plus planned extras; pixel rate follows the base demand (overlay
+// sessions only gate feasibility counts, they are never reserved here).
+PlacementDemand Combine(const PlacementDemand& base,
+                        const PlacementDemand& extra) {
+  PlacementDemand out = base;
+  out.cpu_util += extra.cpu_util;
+  out.memory_gb += extra.memory_gb;
+  out.gpu_util += extra.gpu_util;
+  out.dsp_util += extra.dsp_util;
+  out.codec_sessions += extra.codec_sessions;
+  out.slots += extra.slots;
+  return out;
+}
+
+}  // namespace
+
+Placer::Placer(Simulator* sim, SocCapacityView* view, Options options)
+    : sim_(sim), view_(view), options_(options), rng_(options.seed) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(view_ != nullptr);
+  SOC_CHECK_GE(options_.random_k, 1);
+  MetricRegistry& metrics = sim_->metrics();
+  const MetricLabels labels{{"policy", PlacementPolicyName(options_.policy)}};
+  placements_metric_ = metrics.GetCounter("sched.placements", labels);
+  rejections_metric_ = metrics.GetCounter("sched.rejections", labels);
+  evaluations_metric_ = metrics.GetCounter("sched.score_evaluations", labels);
+}
+
+double Placer::Load(int soc_index) const {
+  const SocModel& soc = view_->cluster().soc(soc_index);
+  const LoadModel& w = options_.load;
+  double load = 0.0;
+  if (w.cpu_weight != 0.0) {
+    load += soc.cpu_util() * w.cpu_weight;
+  }
+  if (w.gpu_weight != 0.0) {
+    load += soc.gpu_util() * w.gpu_weight;
+  }
+  if (w.dsp_weight != 0.0) {
+    load += soc.dsp_util() * w.dsp_weight;
+  }
+  if (w.memory_weight_per_gb != 0.0) {
+    load += view_->MemoryUsedGb(soc_index) * w.memory_weight_per_gb;
+  }
+  if (w.codec_session_weight != 0.0) {
+    load += soc.codec_sessions() * w.codec_session_weight;
+  }
+  if (w.slot_weight != 0.0) {
+    load += view_->SlotsUsed(soc_index) * w.slot_weight;
+  }
+  return load;
+}
+
+bool Placer::Feasible(int soc_index, const PlacementDemand& demand,
+                      const Filter& filter, const PlanOverlay* overlay) const {
+  if (filter && !filter(soc_index)) {
+    return false;
+  }
+  if (overlay == nullptr) {
+    return view_->Fits(soc_index, demand);
+  }
+  return view_->Fits(soc_index, Combine(demand, overlay->Get(soc_index)));
+}
+
+double Placer::DominantUtil(int soc_index, const PlacementDemand& d) const {
+  const SocModel& soc = view_->cluster().soc(soc_index);
+  double dominant = 0.0;
+  if (d.cpu_util > 0.0) {
+    dominant = std::max(dominant, soc.cpu_util() + d.cpu_util);
+  }
+  if (d.gpu_util > 0.0) {
+    dominant = std::max(dominant, soc.gpu_util() + d.gpu_util);
+  }
+  if (d.dsp_util > 0.0) {
+    dominant = std::max(dominant, soc.dsp_util() + d.dsp_util);
+  }
+  if (d.memory_gb > 0.0) {
+    dominant = std::max(dominant,
+                        (view_->MemoryUsedGb(soc_index) + d.memory_gb) /
+                            view_->MemoryCapacityGb(soc_index));
+  }
+  if (d.codec_sessions > 0) {
+    dominant = std::max(
+        dominant,
+        static_cast<double>(soc.codec_sessions() + d.codec_sessions) /
+            soc.spec().max_codec_sessions);
+  }
+  if (d.slots > 0 && view_->slot_capacity() > 0) {
+    dominant = std::max(
+        dominant, static_cast<double>(view_->SlotsUsed(soc_index) + d.slots) /
+                      view_->slot_capacity());
+  }
+  return dominant;
+}
+
+int Placer::Pick(const PlacementDemand& demand, const Filter& filter,
+                 const PlanOverlay* overlay) {
+  return PickWith([&demand](int) { return demand; }, filter, overlay);
+}
+
+int Placer::PickWith(const DemandFn& demand_for, const Filter& filter,
+                     const PlanOverlay* overlay) {
+  switch (options_.policy) {
+    case PlacementPolicy::kSpread:
+    case PlacementPolicy::kPack:
+      return PickLoadOrdered(demand_for, filter, overlay);
+    case PlacementPolicy::kBestFit:
+      return PickBestFit(demand_for, filter, overlay);
+    case PlacementPolicy::kRandomOfK:
+      return PickRandomOfK(demand_for, filter, overlay);
+  }
+  return Finish(-1);
+}
+
+int Placer::PickLoadOrdered(const DemandFn& demand_for, const Filter& filter,
+                            const PlanOverlay* overlay) {
+  int best = -1;
+  double best_key = std::numeric_limits<double>::infinity();
+  int64_t evaluated = 0;
+  for (int i = 0; i < view_->num_socs(); ++i) {
+    if (!Feasible(i, demand_for(i), filter, overlay)) {
+      continue;
+    }
+    ++evaluated;
+    const double load = Load(i);
+    const double key = options_.policy == PlacementPolicy::kSpread ? load
+                                                                   : -load;
+    if (key < best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  evaluations_metric_->Add(evaluated);
+  return Finish(best);
+}
+
+int Placer::PickBestFit(const DemandFn& demand_for, const Filter& filter,
+                        const PlanOverlay* overlay) {
+  int best = -1;
+  double best_score = -1.0;
+  int64_t evaluated = 0;
+  for (int i = 0; i < view_->num_socs(); ++i) {
+    const PlacementDemand d = demand_for(i);
+    if (!Feasible(i, d, filter, overlay)) {
+      continue;
+    }
+    ++evaluated;
+    const double score =
+        overlay != nullptr ? DominantUtil(i, Combine(d, overlay->Get(i)))
+                           : DominantUtil(i, d);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  evaluations_metric_->Add(evaluated);
+  return Finish(best);
+}
+
+int Placer::PickRandomOfK(const DemandFn& demand_for, const Filter& filter,
+                          const PlanOverlay* overlay) {
+  std::vector<int> candidates;
+  for (int i = 0; i < view_->num_socs(); ++i) {
+    if (Feasible(i, demand_for(i), filter, overlay)) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return Finish(-1);
+  }
+  // Power-of-k-choices: sample k distinct feasible candidates (partial
+  // Fisher-Yates on the seeded RNG) and keep the least loaded, so placement
+  // quality approaches kSpread while the scan cost stays O(k) scoring. The
+  // draw sequence is a pure function of the seed — same-seed runs place
+  // identically.
+  const int size = static_cast<int>(candidates.size());
+  const int k = std::min(options_.random_k, size);
+  int best = -1;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < k; ++j) {
+    const int swap_with =
+        static_cast<int>(rng_.UniformInt(j, static_cast<int64_t>(size) - 1));
+    std::swap(candidates[static_cast<size_t>(j)],
+              candidates[static_cast<size_t>(swap_with)]);
+    const int candidate = candidates[static_cast<size_t>(j)];
+    const double load = Load(candidate);
+    if (load < best_load || (load == best_load && candidate < best)) {
+      best_load = load;
+      best = candidate;
+    }
+  }
+  evaluations_metric_->Add(k);
+  return Finish(best);
+}
+
+int Placer::Finish(int soc_index) {
+  if (soc_index >= 0) {
+    placements_metric_->Increment();
+  } else if (options_.count_rejections) {
+    rejections_metric_->Increment();
+    sim_->tracer().Instant("placement_rejected", "sched");
+  }
+  return soc_index;
+}
+
+}  // namespace soccluster

@@ -1,0 +1,114 @@
+// The single placement implementation for the whole system. Every service
+// (orchestrator replicas, live streams, serverless instances, gaming
+// sessions, serving-fleet dispatch) expresses its demand as a
+// PlacementDemand over a SocCapacityView and lets the Placer choose the
+// SoC; no service carries a private PickSoc loop. The load proxy each
+// service previously hand-rolled is preserved via a per-placer LoadModel so
+// the default policies (kSpread/kPack) reproduce the historical choices
+// bit-identically. Placement outcomes are published to the metric registry
+// under "sched.*" (labeled by policy), so decisions and rejections land in
+// exported Perfetto traces.
+
+#ifndef SRC_SCHED_PLACER_H_
+#define SRC_SCHED_PLACER_H_
+
+#include <functional>
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/obs/metrics.h"
+#include "src/sched/capacity.h"
+#include "src/sched/placement.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+// Weighted occupancy proxy scored by kSpread (minimize) and kPack /
+// kRandomOfK tie-breaks (maximize / least-of-k). Each service keeps the
+// load definition its policy historically ranked by.
+struct LoadModel {
+  double cpu_weight = 1.0;
+  double gpu_weight = 0.0;
+  double dsp_weight = 0.0;
+  double memory_weight_per_gb = 0.0;
+  double codec_session_weight = 0.0;
+  double slot_weight = 0.0;
+};
+
+// Extra demand tentatively planned onto SoCs during multi-move planning
+// (consolidation): feasibility sees planned moves before they execute, so
+// a plan can never oversubscribe a destination.
+class PlanOverlay {
+ public:
+  void Add(int soc_index, const PlacementDemand& demand);
+  // Zero demand when nothing is planned on the SoC.
+  PlacementDemand Get(int soc_index) const;
+
+ private:
+  std::map<int, PlacementDemand> extra_;
+};
+
+class Placer {
+ public:
+  struct Options {
+    PlacementPolicy policy = PlacementPolicy::kSpread;
+    LoadModel load;
+    // Candidates sampled per pick under kRandomOfK.
+    int random_k = 2;
+    uint64_t seed = 0x5c4edULL;
+    // When false, a failed pick is not counted as a rejection and emits no
+    // trace instant. For callers that retry from a queue (dispatch loops),
+    // where "nothing free right now" is back-pressure, not a rejection.
+    bool count_rejections = true;
+  };
+
+  // Per-candidate demand, for services whose demand depends on the
+  // candidate's spec (e.g. per-generation CPU cost of a transcode).
+  using DemandFn = std::function<PlacementDemand(int soc_index)>;
+  // Optional extra feasibility predicate (service-specific constraints the
+  // capacity view cannot express, e.g. per-video hw-session limits).
+  using Filter = std::function<bool(int soc_index)>;
+
+  Placer(Simulator* sim, SocCapacityView* view, Options options);
+  Placer(const Placer&) = delete;
+  Placer& operator=(const Placer&) = delete;
+
+  // Picks a SoC able to host `demand` under the policy, or -1. Does not
+  // reserve — call view()->Reserve() on the returned SoC.
+  int Pick(const PlacementDemand& demand, const Filter& filter = nullptr,
+           const PlanOverlay* overlay = nullptr);
+  // As Pick, with demand evaluated per candidate.
+  int PickWith(const DemandFn& demand_for, const Filter& filter = nullptr,
+               const PlanOverlay* overlay = nullptr);
+
+  // LoadModel-weighted occupancy of one SoC.
+  double Load(int soc_index) const;
+
+  PlacementPolicy policy() const { return options_.policy; }
+  SocCapacityView* view() { return view_; }
+
+ private:
+  bool Feasible(int soc_index, const PlacementDemand& demand,
+                const Filter& filter, const PlanOverlay* overlay) const;
+  // Post-placement utilization of the demand's most-stressed resource.
+  double DominantUtil(int soc_index, const PlacementDemand& demand) const;
+  int PickLoadOrdered(const DemandFn& demand_for, const Filter& filter,
+                      const PlanOverlay* overlay);
+  int PickBestFit(const DemandFn& demand_for, const Filter& filter,
+                  const PlanOverlay* overlay);
+  int PickRandomOfK(const DemandFn& demand_for, const Filter& filter,
+                    const PlanOverlay* overlay);
+  int Finish(int soc_index);
+
+  Simulator* sim_;
+  SocCapacityView* view_;
+  Options options_;
+  Rng rng_;
+  Counter* placements_metric_;
+  Counter* rejections_metric_;
+  Counter* evaluations_metric_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_SCHED_PLACER_H_

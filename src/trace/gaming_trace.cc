@@ -6,9 +6,30 @@
 
 namespace soccluster {
 
+namespace {
+
+SocCapacityView::Options ViewOptions(const GamingWorkloadConfig& config) {
+  SocCapacityView::Options options;
+  options.slot_capacity = config.max_sessions_per_soc;
+  return options;
+}
+
+// Least-sessions-first placement == spread over the slot ledger.
+Placer::Options PlacerOptions() {
+  Placer::Options options;
+  options.policy = PlacementPolicy::kSpread;
+  options.load.cpu_weight = 0.0;
+  options.load.slot_weight = 1.0;
+  return options;
+}
+
+}  // namespace
+
 GamingWorkload::GamingWorkload(Simulator* sim, SocCluster* cluster,
                                GamingWorkloadConfig config)
-    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed) {
+    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed),
+      view_(cluster, ViewOptions(config)),
+      placer_(sim, &view_, PlacerOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
 }
@@ -49,28 +70,10 @@ void GamingWorkload::ScheduleNextArrival(SimTime horizon_end) {
   });
 }
 
-int GamingWorkload::PickSoc() const {
-  int best = -1;
-  int best_count = config_.max_sessions_per_soc;
-  for (int i = 0; i < cluster_->num_socs(); ++i) {
-    if (!cluster_->soc(i).IsUsable()) {
-      continue;
-    }
-    const auto it = sessions_per_soc_.find(i);
-    const int count = it == sessions_per_soc_.end() ? 0 : it->second;
-    if (count < best_count) {
-      best_count = count;
-      best = i;
-      if (count == 0) {
-        break;
-      }
-    }
-  }
-  return best;
-}
-
 void GamingWorkload::StartSession() {
-  const int soc_index = PickSoc();
+  PlacementDemand demand;
+  demand.slots = 1;
+  const int soc_index = placer_.Pick(demand);
   if (soc_index < 0) {
     ++rejected_;
     return;
@@ -81,6 +84,7 @@ void GamingWorkload::StartSession() {
     ++rejected_;
     return;
   }
+  view_.Reserve(soc_index, demand);
   Network& net = cluster_->network();
   Result<int64_t> outbound = net.AddConstantLoad(
       cluster_->soc_node(soc_index), cluster_->external_node(),
@@ -92,8 +96,8 @@ void GamingWorkload::StartSession() {
   SOC_CHECK(inbound.ok()) << inbound.status().ToString();
 
   const int64_t id = next_id_++;
-  sessions_.emplace(id, Session{soc_index, *outbound, *inbound});
-  ++sessions_per_soc_[soc_index];
+  sessions_.emplace(id,
+                    Session{soc_index, soc.fail_count(), *outbound, *inbound});
   ++started_;
 
   const double median_s = config_.median_session.ToSeconds();
@@ -109,7 +113,9 @@ void GamingWorkload::EndSession(int64_t id) {
   }
   const Session& session = it->second;
   SocModel& soc = cluster_->soc(session.soc_index);
-  if (soc.IsUsable()) {
+  // Release the CPU charge only if it still exists: a fail/repair/reboot
+  // cycle since admission wiped it, and subtracting would go negative.
+  if (soc.IsUsable() && soc.fail_count() == session.fail_epoch) {
     const Status status = soc.AddCpuUtil(-config_.cpu_util_per_session);
     SOC_CHECK(status.ok()) << status.ToString();
   }
@@ -118,7 +124,9 @@ void GamingWorkload::EndSession(int64_t id) {
   SOC_CHECK(status.ok()) << status.ToString();
   status = net.RemoveConstantLoad(session.inbound_load);
   SOC_CHECK(status.ok()) << status.ToString();
-  --sessions_per_soc_[session.soc_index];
+  PlacementDemand demand;
+  demand.slots = 1;
+  view_.Release(session.soc_index, demand);
   sessions_.erase(it);
 }
 

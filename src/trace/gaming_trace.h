@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
+#include "src/sched/placer.h"
 
 namespace soccluster {
 
@@ -55,10 +56,15 @@ class GamingWorkload {
   int active_sessions() const { return static_cast<int>(sessions_.size()); }
   int64_t sessions_started() const { return started_; }
   int64_t sessions_rejected() const { return rejected_; }
+  // Sessions currently hosted on one SoC (the slot ledger).
+  int SessionsOnSoc(int soc_index) const { return view_.SlotsUsed(soc_index); }
 
  private:
   struct Session {
     int soc_index;
+    // fail_count() at admission: a fail/repair/reboot cycle between start
+    // and end leaves IsUsable() true but means our CPU charge vanished.
+    int64_t fail_epoch;
     int64_t outbound_load;
     int64_t inbound_load;
   };
@@ -66,14 +72,17 @@ class GamingWorkload {
   void ScheduleNextArrival(SimTime horizon_end);
   void StartSession();
   void EndSession(int64_t id);
-  int PickSoc() const;
 
   Simulator* sim_;
   SocCluster* cluster_;
   GamingWorkloadConfig config_;
   Rng rng_;
+  // Session slots (max_sessions_per_soc each) are ledgered in the capacity
+  // view; the placer spreads over them. Session CPU stays an admission-time
+  // saturation check, as before — it never steered placement.
+  SocCapacityView view_;
+  Placer placer_;
   std::map<int64_t, Session> sessions_;
-  std::map<int, int> sessions_per_soc_;
   int64_t next_id_ = 1;
   int64_t started_ = 0;
   int64_t rejected_ = 0;

@@ -36,12 +36,33 @@ void OpenLoopSource::Arm() {
   });
 }
 
+namespace {
+
+SocCapacityView::Options FleetViewOptions() {
+  SocCapacityView::Options options;
+  options.slot_capacity = 1;  // One request at a time per SoC engine.
+  return options;
+}
+
+Placer::Options FleetPlacerOptions() {
+  Placer::Options options;
+  options.policy = PlacementPolicy::kSpread;
+  options.load.cpu_weight = 0.0;
+  options.load.slot_weight = 1.0;
+  // A full fleet means the request waits in the queue; that back-pressure
+  // is not an admission rejection.
+  options.count_rejections = false;
+  return options;
+}
+
+}  // namespace
+
 SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
                                  DlDevice soc_device, DnnModel model,
                                  Precision precision)
     : sim_(sim), cluster_(cluster), device_(soc_device), model_(model),
-      precision_(precision),
-      busy_(static_cast<size_t>(cluster->num_socs()), false) {
+      precision_(precision), view_(cluster, FleetViewOptions()),
+      placer_(sim, &view_, FleetPlacerOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   SOC_CHECK(soc_device == DlDevice::kSocCpu ||
@@ -146,13 +167,10 @@ void SocServingFleet::Abandon(const RequestPtr& request) {
 
 void SocServingFleet::TryDispatch() {
   while (!queue_.empty()) {
-    int chosen = -1;
-    for (int i = 0; i < active_count_; ++i) {
-      if (!busy_[static_cast<size_t>(i)] && cluster_->soc(i).IsUsable()) {
-        chosen = i;
-        break;
-      }
-    }
+    PlacementDemand slot;
+    slot.slots = 1;
+    const int chosen = placer_.Pick(
+        slot, [this](int i) { return i < active_count_; });
     if (chosen < 0) {
       return;
     }
@@ -170,7 +188,7 @@ void SocServingFleet::TryDispatch() {
       tracer.EndSpan(request->request_span);
       continue;
     }
-    busy_[static_cast<size_t>(chosen)] = true;
+    view_.Reserve(chosen, slot);
     const int attempt = ++request->attempts;
     request->active_attempt = attempt;
     // The request's inference phase, in two views: the async child follows
@@ -265,7 +283,9 @@ void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
 void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
                                int64_t fail_epoch, SpanId infer_track_span,
                                SpanId infer_span) {
-  busy_[static_cast<size_t>(soc_index)] = false;
+  PlacementDemand slot;
+  slot.slots = 1;
+  view_.Release(soc_index, slot);
   SocModel& soc = cluster_->soc(soc_index);
   // The attempt succeeded only if the SoC never failed while it ran; a
   // fail/repair/reboot cycle leaves IsUsable() true but bumps fail_count().

@@ -15,6 +15,7 @@
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/gpu.h"
+#include "src/sched/placer.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/dl/model.h"
 
@@ -144,7 +145,10 @@ class SocServingFleet {
   DnnModel model_;
   Precision precision_;
   int active_count_ = 0;
-  std::vector<bool> busy_;
+  // One engine slot per SoC; dispatch spreads over free slots (== the
+  // historical first-free scan, since free engines all carry zero load).
+  SocCapacityView view_;
+  Placer placer_;
   std::deque<RequestPtr> queue_;
   int64_t completed_ = 0;
   int64_t shed_ = 0;

@@ -7,10 +7,40 @@
 
 namespace soccluster {
 
+namespace {
+
+constexpr double kMbPerGb = 1024.0;
+
+SocCapacityView::Options ViewOptions(const ServerlessConfig& config) {
+  SocCapacityView::Options options;
+  // Function instances are charged against the platform's budget (the SoC
+  // spec memory minus what Android keeps), not the raw spec memory.
+  options.memory_capacity_gb = config.soc_memory_budget_mb / kMbPerGb;
+  return options;
+}
+
+// Most-free-memory placement == spread by resident instance memory.
+Placer::Options PlacerOptions() {
+  Placer::Options options;
+  options.policy = PlacementPolicy::kSpread;
+  options.load.cpu_weight = 0.0;
+  options.load.memory_weight_per_gb = 1.0;
+  return options;
+}
+
+PlacementDemand InstanceDemand(double memory_mb) {
+  PlacementDemand demand;
+  demand.memory_gb = memory_mb / kMbPerGb;
+  return demand;
+}
+
+}  // namespace
+
 ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
                                        ServerlessConfig config)
     : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed),
-      soc_memory_mb_(static_cast<size_t>(cluster->num_socs()), 0.0) {
+      view_(cluster, ViewOptions(config)),
+      placer_(sim, &view_, PlacerOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   MetricRegistry& metrics = sim_->metrics();
@@ -41,28 +71,11 @@ ServerlessPlatform::Instance* ServerlessPlatform::FindWarmInstance(
     const std::string& function) {
   for (auto& [id, instance] : instances_) {
     if (instance.function == function && !instance.busy &&
-        cluster_->soc(instance.soc_index).IsUsable()) {
+        view_.IsPlaceable(instance.soc_index)) {
       return &instance;
     }
   }
   return nullptr;
-}
-
-int ServerlessPlatform::PickSocForNewInstance(double memory_mb) const {
-  int best = -1;
-  double best_free = -1.0;
-  for (int i = 0; i < cluster_->num_socs(); ++i) {
-    if (!cluster_->soc(i).IsUsable()) {
-      continue;
-    }
-    const double free =
-        config_.soc_memory_budget_mb - soc_memory_mb_[static_cast<size_t>(i)];
-    if (free >= memory_mb && free > best_free) {
-      best_free = free;
-      best = i;
-    }
-  }
-  return best;
 }
 
 Status ServerlessPlatform::Invoke(const std::string& function,
@@ -89,7 +102,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   }
 
   // Cold path: provision a new instance.
-  const int soc_index = PickSocForNewInstance(spec.memory_mb);
+  const int soc_index = placer_.Pick(InstanceDemand(spec.memory_mb));
   if (soc_index < 0) {
     ++stats_.rejected;
     rejected_metric_->Increment();
@@ -101,7 +114,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   cold_starts_metric_->Increment();
   const SpanId cold_span =
       tracer.BeginAsyncSpan("cold_start", "serverless", trace.id, trace.span);
-  soc_memory_mb_[static_cast<size_t>(soc_index)] += spec.memory_mb;
+  view_.Reserve(soc_index, InstanceDemand(spec.memory_mb));
   const int64_t id = next_instance_id_++;
   instances_.emplace(id, Instance{id, function, soc_index, true,
                                   EventHandle()});
@@ -127,7 +140,7 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
   SocModel& soc = cluster_->soc(instance->soc_index);
   // The SoC may have failed between provisioning and bring-up; shed the
   // invocation and reclaim the instance's memory.
-  if (!soc.IsUsable()) {
+  if (!view_.IsPlaceable(instance->soc_index)) {
     ++stats_.rejected;
     rejected_metric_->Increment();
     tracer.AddArg(trace.span, "rejected", "true");
@@ -151,13 +164,16 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
   const Duration exec = Duration::SecondsF(rng_.LogNormalMedian(
       spec.exec_median.ToSeconds(), spec.exec_sigma));
   const int64_t id = instance->id;
-  sim_->ScheduleAfter(exec, [this, id, grant, enqueue, trace, exec_span,
-                             cb = std::move(on_done)]() mutable {
+  // fail_count() at grant time: a fail/repair/reboot cycle before the
+  // execution ends leaves IsUsable() true but wiped the CPU charge.
+  const int64_t fail_epoch = soc.fail_count();
+  sim_->ScheduleAfter(exec, [this, id, grant, fail_epoch, enqueue, trace,
+                             exec_span, cb = std::move(on_done)]() mutable {
     sim_->tracer().EndSpan(exec_span);
     const auto it = instances_.find(id);
     if (it != instances_.end()) {
       SocModel& host = cluster_->soc(it->second.soc_index);
-      if (host.IsUsable() && grant > 0.0) {
+      if (host.IsUsable() && host.fail_count() == fail_epoch && grant > 0.0) {
         const Status status = host.AddCpuUtil(-grant);
         SOC_CHECK(status.ok()) << status.ToString();
       }
@@ -200,8 +216,7 @@ void ServerlessPlatform::Evict(int64_t instance_id) {
   }
   const auto spec = functions_.find(it->second.function);
   SOC_CHECK(spec != functions_.end());
-  soc_memory_mb_[static_cast<size_t>(it->second.soc_index)] -=
-      spec->second.memory_mb;
+  view_.Release(it->second.soc_index, InstanceDemand(spec->second.memory_mb));
   sim_->Cancel(it->second.eviction);
   instances_.erase(it);
 }
@@ -229,7 +244,7 @@ int ServerlessPlatform::WarmInstanceCount(const std::string& function) const {
 double ServerlessPlatform::SocMemoryMb(int soc_index) const {
   SOC_CHECK_GE(soc_index, 0);
   SOC_CHECK_LT(soc_index, cluster_->num_socs());
-  return soc_memory_mb_[static_cast<size_t>(soc_index)];
+  return view_.MemoryUsedGb(soc_index) * kMbPerGb;
 }
 
 ServerlessWorkload::ServerlessWorkload(Simulator* sim,

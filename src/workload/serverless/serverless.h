@@ -22,6 +22,7 @@
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
+#include "src/sched/placer.h"
 
 namespace soccluster {
 
@@ -101,8 +102,6 @@ class ServerlessPlatform {
   };
 
   Instance* FindWarmInstance(const std::string& function);
-  // Picks the SoC with the most free memory; -1 when none fits.
-  int PickSocForNewInstance(double memory_mb) const;
   void RunOn(Instance* instance, const FunctionSpec& spec, SimTime enqueue,
              InvocationTrace trace, Callback on_done);
   void FinishInvocation(int64_t instance_id, SimTime enqueue,
@@ -114,9 +113,12 @@ class ServerlessPlatform {
   SocCluster* cluster_;
   ServerlessConfig config_;
   Rng rng_;
+  // Instance memory is ledgered against the per-SoC budget here; placement
+  // spreads by resident memory (the historical most-free-memory rule).
+  SocCapacityView view_;
+  Placer placer_;
   std::map<std::string, FunctionSpec> functions_;
   std::map<int64_t, Instance> instances_;
-  std::vector<double> soc_memory_mb_;
   int64_t next_instance_id_ = 1;
   InvocationStats stats_;
   uint64_t next_invocation_id_ = 1;

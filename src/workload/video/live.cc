@@ -1,6 +1,5 @@
 #include "src/workload/video/live.h"
 
-#include <limits>
 #include <vector>
 
 #include "src/base/check.h"
@@ -26,10 +25,23 @@ double BitrateRungBitrateScale(int rung) {
   return kRungBitrateScale[rung];
 }
 
+namespace {
+// The historical live-transcoding load proxy: CPU plus a small nudge per
+// open hardware-codec session.
+Placer::Options PlacerOptions(PlacementPolicy policy) {
+  Placer::Options options;
+  options.policy = policy;
+  options.load.cpu_weight = 1.0;
+  options.load.codec_session_weight = 0.05;
+  return options;
+}
+}  // namespace
+
 LiveTranscodingService::LiveTranscodingService(Simulator* sim,
                                                SocCluster* cluster,
                                                PlacementPolicy policy)
-    : sim_(sim), cluster_(cluster), policy_(policy) {
+    : sim_(sim), cluster_(cluster), capacity_(cluster),
+      placer_(sim, &capacity_, PlacerOptions(policy)) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   MetricRegistry& metrics = sim_->metrics();
@@ -63,60 +75,52 @@ int LiveTranscodingService::HwStreamsOnSoc(int soc_index) const {
   return count;
 }
 
-Result<int> LiveTranscodingService::PickSoc(VbenchVideo video,
-                                            TranscodeBackend backend,
-                                            double cpu_scale) const {
-  int best = -1;
-  double best_key = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < cluster_->num_socs(); ++i) {
-    const SocModel& soc = cluster_->soc(i);
-    if (!soc.IsUsable()) {
-      continue;
-    }
-    bool fits = false;
-    if (backend == TranscodeBackend::kSocCpu) {
-      // Per-generation CPU demand (Fig. 14 factors), scaled by the ladder
-      // rung the stream would run at.
-      const double cpu_demand = cpu_scale *
-                                TranscodeModel::SocCpuUtilPerStream(video) /
-                                soc.spec().cpu_transcode_factor;
-      fits = soc.CpuHeadroom() >= cpu_demand;
-    } else {
-      const int hw_limit =
-          TranscodeModel::MaxLiveStreamsSocHw(soc.spec(), video);
-      fits = HwStreamsOnSoc(i) < hw_limit &&
-             soc.codec_sessions() < soc.spec().max_codec_sessions;
-    }
-    if (!fits) {
-      continue;
-    }
-    // kSpread favours the emptiest SoC; kPack the fullest that still fits.
-    const double load = soc.cpu_util() + soc.codec_sessions() * 0.05;
-    const double key =
-        policy_ == PlacementPolicy::kSpread ? load : -load;
-    if (key < best_key) {
-      best_key = key;
-      best = i;
-    }
+PlacementDemand LiveTranscodingService::StreamDemand(int soc_index,
+                                                     VbenchVideo video,
+                                                     TranscodeBackend backend,
+                                                     double cpu_scale) const {
+  PlacementDemand demand;
+  if (backend == TranscodeBackend::kSocCpu) {
+    // Per-generation CPU demand (Fig. 14 factors), scaled by the ladder
+    // rung the stream would run at.
+    demand.cpu_util = cpu_scale * TranscodeModel::SocCpuUtilPerStream(video) /
+                      cluster_->soc(soc_index).spec().cpu_transcode_factor;
+  } else {
+    demand.codec_sessions = 1;
+    demand.codec_pixel_rate = GetVideo(video).PixelRate();
   }
+  return demand;
+}
+
+Result<int> LiveTranscodingService::PickFor(VbenchVideo video,
+                                            TranscodeBackend backend,
+                                            double cpu_scale) {
+  Placer::Filter hw_limit_filter;
+  if (backend == TranscodeBackend::kSocHwCodec) {
+    // The per-video hw-session limit is a transcode-model constraint the
+    // generic capacity view cannot know about.
+    hw_limit_filter = [this, video](int i) {
+      return HwStreamsOnSoc(i) <
+             TranscodeModel::MaxLiveStreamsSocHw(cluster_->soc(i).spec(),
+                                                 video);
+    };
+  }
+  const int best = placer_.PickWith(
+      [this, video, backend, cpu_scale](int i) {
+        return StreamDemand(i, video, backend, cpu_scale);
+      },
+      hw_limit_filter);
   if (best < 0) {
     return Status::ResourceExhausted("no SoC can admit this stream");
   }
   return best;
 }
 
-Status LiveTranscodingService::Admit(Stream* stream, int soc_index, int rung) {
-  SocModel& soc = cluster_->soc(soc_index);
+void LiveTranscodingService::Admit(Stream* stream, int soc_index, int rung) {
   const VideoSpec& spec = GetVideo(stream->video);
-  double cpu_demand = 0.0;
-  if (stream->backend == TranscodeBackend::kSocCpu) {
-    cpu_demand = BitrateRungCpuScale(rung) *
-                 TranscodeModel::SocCpuUtilPerStream(stream->video) /
-                 soc.spec().cpu_transcode_factor;
-    SOC_RETURN_IF_ERROR(soc.AddCpuUtil(cpu_demand));
-  } else {
-    SOC_RETURN_IF_ERROR(soc.AddCodecSession(spec.PixelRate()));
-  }
+  const PlacementDemand demand = StreamDemand(
+      soc_index, stream->video, stream->backend, BitrateRungCpuScale(rung));
+  capacity_.Reserve(soc_index, demand);
 
   // Source stream in from the edge, transcoded stream back out (at the
   // rung's output bitrate).
@@ -131,11 +135,10 @@ Status LiveTranscodingService::Admit(Stream* stream, int soc_index, int rung) {
   SOC_CHECK(outbound.ok()) << outbound.status().ToString();
 
   stream->soc_index = soc_index;
-  stream->cpu_demand = cpu_demand;
+  stream->cpu_demand = demand.cpu_util;
   stream->rung = rung;
   stream->inbound_load = *inbound;
   stream->outbound_load = *outbound;
-  return Status::Ok();
 }
 
 Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
@@ -145,7 +148,7 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
     return Status::InvalidArgument(
         "LiveTranscodingService runs on the SoC Cluster only");
   }
-  Result<int> soc_index = PickSoc(video, backend, BitrateRungCpuScale(0));
+  Result<int> soc_index = PickFor(video, backend, BitrateRungCpuScale(0));
   if (!soc_index.ok()) {
     rejected_metric_->Increment();
     sim_->tracer().Instant("admission_rejected", "video.live");
@@ -153,7 +156,7 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
   }
 
   Stream stream{video, backend, *soc_index, 0.0, 0, 0, 0, 0};
-  SOC_RETURN_IF_ERROR(Admit(&stream, *soc_index, /*rung=*/0));
+  Admit(&stream, *soc_index, /*rung=*/0);
 
   const int64_t id = next_id_++;
   Tracer& tracer = sim_->tracer();
@@ -175,15 +178,14 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
     return Status::NotFound("no such stream");
   }
   const Stream& stream = it->second;
-  SocModel& soc = cluster_->soc(stream.soc_index);
-  if (soc.IsUsable()) {
-    if (stream.backend == TranscodeBackend::kSocCpu) {
-      SOC_RETURN_IF_ERROR(soc.AddCpuUtil(-stream.cpu_demand));
-    } else {
-      SOC_RETURN_IF_ERROR(
-          soc.RemoveCodecSession(GetVideo(stream.video).PixelRate()));
-    }
+  PlacementDemand demand;
+  if (stream.backend == TranscodeBackend::kSocCpu) {
+    demand.cpu_util = stream.cpu_demand;
+  } else {
+    demand.codec_sessions = 1;
+    demand.codec_pixel_rate = GetVideo(stream.video).PixelRate();
   }
+  capacity_.Release(stream.soc_index, demand);
   Network& net = cluster_->network();
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.inbound_load));
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.outbound_load));
@@ -217,10 +219,9 @@ void LiveTranscodingService::OnSocFailure(int soc_index) {
     const int old_rung = stream.rung;
     for (int rung = old_rung; rung < kNumBitrateRungs; ++rung) {
       Result<int> target =
-          PickSoc(stream.video, stream.backend, BitrateRungCpuScale(rung));
+          PickFor(stream.video, stream.backend, BitrateRungCpuScale(rung));
       if (target.ok()) {
-        status = Admit(&stream, *target, rung);
-        SOC_CHECK(status.ok()) << status.ToString();
+        Admit(&stream, *target, rung);
         failed_over_metric_->Increment();
         tracer.AddArg(stream.span, "failed_over_to",
                       static_cast<int64_t>(*target));

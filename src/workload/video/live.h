@@ -13,15 +13,11 @@
 
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
+#include "src/sched/placer.h"
 #include "src/workload/video/transcode.h"
 #include "src/workload/video/video.h"
 
 namespace soccluster {
-
-enum class PlacementPolicy {
-  kSpread,  // Least-loaded SoC first (energy-proportional, paper default).
-  kPack,    // Fill one SoC before waking the next (consolidation).
-};
 
 // Graceful-degradation ladder for CPU-transcoded streams. When a SoC fails,
 // its displaced streams are re-admitted on the survivors at the same rung
@@ -70,16 +66,23 @@ class LiveTranscodingService {
     SpanId span;  // Async "stream" span (category "video.live").
   };
 
-  Result<int> PickSoc(VbenchVideo video, TranscodeBackend backend,
-                      double cpu_scale) const;
+  // Per-candidate demand of one stream at `cpu_scale` on the ladder, and
+  // the extra hw-session feasibility the capacity view cannot express.
+  PlacementDemand StreamDemand(int soc_index, VbenchVideo video,
+                               TranscodeBackend backend,
+                               double cpu_scale) const;
+  // Delegates the choice to the shared placer (no scanning here).
+  Result<int> PickFor(VbenchVideo video, TranscodeBackend backend,
+                      double cpu_scale);
   int HwStreamsOnSoc(int soc_index) const;
   // Charges SoC + network resources for `stream` at `rung` on `soc_index`,
   // updating the record in place.
-  Status Admit(Stream* stream, int soc_index, int rung);
+  void Admit(Stream* stream, int soc_index, int rung);
 
   Simulator* sim_;
   SocCluster* cluster_;
-  PlacementPolicy policy_;
+  SocCapacityView capacity_;
+  Placer placer_;
   std::map<int64_t, Stream> streams_;
   int64_t next_id_ = 1;
   int64_t streams_degraded_ = 0;

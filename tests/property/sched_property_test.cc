@@ -1,0 +1,281 @@
+// Property test for the unified placement layer: a randomized interleaving
+// of admissions, evictions, failures, and recoveries across all four
+// placement-driven services (orchestrator, live transcoding, serverless,
+// gaming) must (a) never oversubscribe any SoC resource and (b) be
+// bit-identical when replayed with the same seed. Seeds are chosen so every
+// PlacementPolicy — including kBestFit and kRandomOfK — is exercised.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/base/rng.h"
+#include "src/cluster/cluster.h"
+#include "src/core/orchestrator.h"
+#include "src/hw/specs.h"
+#include "src/trace/gaming_trace.h"
+#include "src/workload/serverless/serverless.h"
+#include "src/workload/video/live.h"
+
+namespace soccluster {
+namespace {
+
+constexpr int kNumSocs = 8;
+constexpr int kNumOps = 120;
+
+ClusterChassisSpec SmallChassis() {
+  ClusterChassisSpec chassis = DefaultChassisSpec();
+  chassis.num_socs = kNumSocs;
+  chassis.num_pcbs = 2;
+  chassis.socs_per_pcb = kNumSocs / 2;
+  return chassis;
+}
+
+PlacementPolicy PolicyForSeed(uint64_t seed) {
+  switch (seed % 4) {
+    case 0:
+      return PlacementPolicy::kSpread;
+    case 1:
+      return PlacementPolicy::kPack;
+    case 2:
+      return PlacementPolicy::kBestFit;
+    default:
+      return PlacementPolicy::kRandomOfK;
+  }
+}
+
+void Append(std::string* fingerprint, const char* tag, double value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%s=%.17g;", tag, value);
+  *fingerprint += buffer;
+}
+
+void Append(std::string* fingerprint, const char* tag, int64_t value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%s=%lld;", tag,
+                static_cast<long long>(value));
+  *fingerprint += buffer;
+}
+
+// The invariant the capacity view exists to enforce: no dimension of any
+// SoC is ever oversubscribed, no ledger ever goes negative.
+void CheckNoOversubscription(const SocCluster& cluster,
+                             const ServerlessPlatform& platform,
+                             const GamingWorkload& gaming,
+                             const GamingWorkloadConfig& gaming_config,
+                             const ServerlessConfig& serverless_config,
+                             int op) {
+  for (int i = 0; i < cluster.num_socs(); ++i) {
+    const SocModel& soc = cluster.soc(i);
+    EXPECT_LE(soc.cpu_util(), 1.0 + 1e-9) << "op " << op << " soc " << i;
+    EXPECT_GE(soc.cpu_util(), -1e-9) << "op " << op << " soc " << i;
+    EXPECT_LE(soc.gpu_util(), 1.0 + 1e-9) << "op " << op << " soc " << i;
+    EXPECT_GE(soc.gpu_util(), -1e-9) << "op " << op << " soc " << i;
+    EXPECT_LE(soc.dsp_util(), 1.0 + 1e-9) << "op " << op << " soc " << i;
+    EXPECT_GE(soc.dsp_util(), -1e-9) << "op " << op << " soc " << i;
+    EXPECT_GE(soc.codec_sessions(), 0) << "op " << op << " soc " << i;
+    EXPECT_LE(soc.codec_sessions(), soc.spec().max_codec_sessions)
+        << "op " << op << " soc " << i;
+    EXPECT_GE(platform.SocMemoryMb(i), -1e-6) << "op " << op << " soc " << i;
+    EXPECT_LE(platform.SocMemoryMb(i),
+              serverless_config.soc_memory_budget_mb + 1e-6)
+        << "op " << op << " soc " << i;
+    EXPECT_GE(gaming.SessionsOnSoc(i), 0) << "op " << op << " soc " << i;
+    EXPECT_LE(gaming.SessionsOnSoc(i), gaming_config.max_sessions_per_soc)
+        << "op " << op << " soc " << i;
+  }
+}
+
+// Drives one randomized scenario and returns a fingerprint of everything
+// observable: per-op outcomes plus the full final per-SoC state. Two runs
+// with the same seed must return byte-identical strings.
+std::string RunScenario(uint64_t seed) {
+  const PlacementPolicy policy = PolicyForSeed(seed);
+  Simulator sim(seed);
+  SocCluster cluster(&sim, SmallChassis(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  SOC_CHECK(sim.RunFor(Duration::Seconds(30)).ok());
+
+  Orchestrator orchestrator(&sim, &cluster, policy);
+  ReplicaDemand service_a;
+  service_a.cpu_util = 0.12;
+  service_a.memory_gb = 1.0;
+  service_a.gpu_util = 0.05;
+  SOC_CHECK(orchestrator.RegisterWorkload("svc-a", service_a).ok());
+  ReplicaDemand service_b;
+  service_b.cpu_util = 0.2;
+  service_b.memory_gb = 0.5;
+  service_b.dsp_util = 0.1;
+  SOC_CHECK(orchestrator.RegisterWorkload("svc-b", service_b).ok());
+
+  LiveTranscodingService live(&sim, &cluster, policy);
+
+  ServerlessConfig serverless_config;
+  serverless_config.seed = seed + 1;
+  ServerlessPlatform platform(&sim, &cluster, serverless_config);
+  FunctionSpec function;
+  function.name = "probe";
+  function.memory_mb = 512.0;
+  function.cpu_util = 0.1;
+  SOC_CHECK(platform.RegisterFunction(function).ok());
+
+  GamingWorkloadConfig gaming_config;
+  gaming_config.peak_arrivals_per_hour = 60.0;
+  gaming_config.median_session = Duration::Minutes(10);
+  gaming_config.seed = seed + 2;
+  GamingWorkload gaming(&sim, &cluster, gaming_config);
+  gaming.Start(Duration::Hours(12));
+
+  Rng rng(seed * 31 + 7);
+  std::vector<int64_t> stream_ids;
+  std::vector<int> failed;
+  std::string fingerprint;
+
+  for (int op = 0; op < kNumOps; ++op) {
+    const int64_t kind = rng.UniformInt(0, 9);
+    Append(&fingerprint, "op", kind);
+    switch (kind) {
+      case 0:
+      case 1: {
+        const int replicas = static_cast<int>(rng.UniformInt(0, 12));
+        const Status status = orchestrator.ScaleTo("svc-a", replicas);
+        Append(&fingerprint, "scale_a",
+               static_cast<int64_t>(status.code()));
+        break;
+      }
+      case 2: {
+        const int replicas = static_cast<int>(rng.UniformInt(0, 8));
+        const Status status = orchestrator.ScaleTo("svc-b", replicas);
+        Append(&fingerprint, "scale_b",
+               static_cast<int64_t>(status.code()));
+        break;
+      }
+      case 3:
+      case 4: {
+        const VbenchVideo video = rng.Bernoulli(0.5)
+                                      ? VbenchVideo::kV2Desktop
+                                      : VbenchVideo::kV4Presentation;
+        const TranscodeBackend backend = rng.Bernoulli(0.5)
+                                             ? TranscodeBackend::kSocCpu
+                                             : TranscodeBackend::kSocHwCodec;
+        const Result<int64_t> stream = live.StartStream(video, backend);
+        if (stream.ok()) {
+          stream_ids.push_back(stream.value());
+        }
+        Append(&fingerprint, "stream",
+               static_cast<int64_t>(stream.status().code()));
+        break;
+      }
+      case 5: {
+        if (!stream_ids.empty()) {
+          const size_t pick = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(stream_ids.size()) - 1));
+          const int64_t id = stream_ids[pick];
+          stream_ids.erase(stream_ids.begin() +
+                           static_cast<ptrdiff_t>(pick));
+          Append(&fingerprint, "stop",
+                 static_cast<int64_t>(live.StopStream(id).code()));
+        }
+        break;
+      }
+      case 6: {
+        for (int i = 0; i < 3; ++i) {
+          SOC_CHECK(platform.Invoke("probe", nullptr).ok());
+        }
+        Append(&fingerprint, "invoked", platform.stats().invocations);
+        break;
+      }
+      case 7: {
+        // Fail one usable SoC, keeping a majority alive so the scenario
+        // never wedges. Both failure-aware services are notified, exactly
+        // as a HealthMonitor would.
+        int usable = 0;
+        for (int i = 0; i < cluster.num_socs(); ++i) {
+          usable += cluster.soc(i).IsUsable() ? 1 : 0;
+        }
+        if (usable > kNumSocs / 2) {
+          int victim = static_cast<int>(rng.UniformInt(0, kNumSocs - 1));
+          while (!cluster.soc(victim).IsUsable()) {
+            victim = (victim + 1) % kNumSocs;
+          }
+          cluster.soc(victim).Fail();
+          orchestrator.OnSocFailure(victim);
+          live.OnSocFailure(victim);
+          failed.push_back(victim);
+          Append(&fingerprint, "fail", static_cast<int64_t>(victim));
+        }
+        break;
+      }
+      case 8: {
+        if (!failed.empty()) {
+          const int index = failed.front();
+          failed.erase(failed.begin());
+          cluster.soc(index).Repair();
+          SOC_CHECK(
+              cluster.soc(index).PowerOn(Duration::Seconds(20), nullptr).ok());
+          SOC_CHECK(sim.RunFor(Duration::Seconds(25)).ok());
+          orchestrator.OnSocRecovered(index);
+          Append(&fingerprint, "recover", static_cast<int64_t>(index));
+        }
+        break;
+      }
+      default: {
+        const Duration step = Duration::Minutes(rng.UniformInt(1, 5));
+        SOC_CHECK(sim.RunFor(step).ok());
+        Append(&fingerprint, "ran_min", step.nanos());
+        break;
+      }
+    }
+    CheckNoOversubscription(cluster, platform, gaming, gaming_config,
+                            serverless_config, op);
+  }
+
+  // Final-state digest: any divergence in placement decisions, however it
+  // happened, surfaces here.
+  for (int i = 0; i < cluster.num_socs(); ++i) {
+    const SocModel& soc = cluster.soc(i);
+    Append(&fingerprint, "cpu", soc.cpu_util());
+    Append(&fingerprint, "gpu", soc.gpu_util());
+    Append(&fingerprint, "dsp", soc.dsp_util());
+    Append(&fingerprint, "codec", static_cast<int64_t>(soc.codec_sessions()));
+    Append(&fingerprint, "mem_mb", platform.SocMemoryMb(i));
+    Append(&fingerprint, "slots",
+           static_cast<int64_t>(gaming.SessionsOnSoc(i)));
+  }
+  Append(&fingerprint, "replicas",
+         static_cast<int64_t>(orchestrator.TotalReplicas()));
+  Append(&fingerprint, "pending", orchestrator.replicas_pending());
+  Append(&fingerprint, "lost", orchestrator.replicas_lost());
+  Append(&fingerprint, "recovered", orchestrator.replicas_recovered());
+  Append(&fingerprint, "streams", static_cast<int64_t>(live.active_streams()));
+  Append(&fingerprint, "degraded", live.streams_degraded());
+  Append(&fingerprint, "dropped", live.streams_dropped());
+  Append(&fingerprint, "invocations", platform.stats().invocations);
+  Append(&fingerprint, "cold", platform.stats().cold_starts);
+  Append(&fingerprint, "rejected", platform.stats().rejected);
+  Append(&fingerprint, "sessions", gaming.sessions_started());
+  Append(&fingerprint, "session_rejects", gaming.sessions_rejected());
+  return fingerprint;
+}
+
+class SchedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Seeds 16/5/10/3 map to spread/pack/best-fit/random-of-k (seed % 4), so
+// the sweep covers every policy, including both new ones.
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedPropertyTest,
+                         ::testing::Values(16u, 5u, 10u, 3u));
+
+TEST_P(SchedPropertyTest, NeverOversubscribesAndReplaysBitIdentically) {
+  const uint64_t seed = GetParam();
+  const std::string first = RunScenario(seed);
+  const std::string second = RunScenario(seed);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "same seed must replay bit-identically "
+                              "(policy: "
+                           << PlacementPolicyName(PolicyForSeed(seed)) << ")";
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,296 @@
+// Tests for the unified placement layer (src/sched): policy selection,
+// multi-resource capacity accounting, release-on-evict, plan overlays, and
+// the regression that no service ever places onto a failed SoC.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/orchestrator.h"
+#include "src/sched/capacity.h"
+#include "src/sched/placer.h"
+#include "src/trace/gaming_trace.h"
+#include "src/workload/serverless/serverless.h"
+
+namespace soccluster {
+namespace {
+
+// A one-PCB cluster keeps the arithmetic small enough to check by hand.
+ClusterChassisSpec SmallChassis() {
+  ClusterChassisSpec chassis = DefaultChassisSpec();
+  chassis.num_socs = 5;
+  chassis.num_pcbs = 1;
+  chassis.socs_per_pcb = 5;
+  return chassis;
+}
+
+class PlacerTest : public ::testing::Test {
+ protected:
+  PlacerTest()
+      : sim_(11), cluster_(&sim_, SmallChassis(), Snapdragon865Spec()) {
+    cluster_.PowerOnAll(nullptr);
+    SOC_CHECK(sim_.RunFor(Duration::Seconds(30)).ok());
+  }
+
+  static Placer::Options PolicyOptions(PlacementPolicy policy) {
+    Placer::Options options;
+    options.policy = policy;
+    return options;
+  }
+
+  Simulator sim_;
+  SocCluster cluster_;
+};
+
+TEST_F(PlacerTest, SpreadPicksLeastLoadedWithLowestIndexTieBreak) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kSpread));
+  PlacementDemand demand;
+  demand.cpu_util = 0.1;
+  // All empty: the tie breaks to SoC 0.
+  EXPECT_EQ(placer.Pick(demand), 0);
+  view.Reserve(0, demand);
+  // Now 1..4 tie at zero load; lowest index wins again.
+  EXPECT_EQ(placer.Pick(demand), 1);
+  ASSERT_TRUE(cluster_.soc(3).AddCpuUtil(0.05).ok());
+  // 1, 2, 4 tie at zero; 3 carries load.
+  EXPECT_EQ(placer.Pick(demand), 1);
+}
+
+TEST_F(PlacerTest, PackPicksMostLoadedFeasible) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kPack));
+  PlacementDemand demand;
+  demand.cpu_util = 0.2;
+  ASSERT_TRUE(cluster_.soc(2).AddCpuUtil(0.5).ok());
+  ASSERT_TRUE(cluster_.soc(4).AddCpuUtil(0.9).ok());
+  // SoC 4 is fullest but lacks headroom for 0.2; SoC 2 is next.
+  EXPECT_EQ(placer.Pick(demand), 2);
+}
+
+TEST_F(PlacerTest, BestFitMaximizesDominantResourceNotWeightedLoad) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kBestFit));
+  PlacementDemand demand;
+  demand.gpu_util = 0.3;
+  ASSERT_TRUE(cluster_.soc(1).SetGpuUtil(0.5).ok());
+  ASSERT_TRUE(cluster_.soc(2).AddCpuUtil(0.9).ok());
+  // Post-placement GPU on SoC 1 is 0.8; on SoC 2 only 0.3 (its CPU load is
+  // irrelevant to a GPU demand). Best-fit fills SoC 1; a CPU-weighted pack
+  // would have chosen SoC 2.
+  EXPECT_EQ(placer.Pick(demand), 1);
+}
+
+TEST_F(PlacerTest, BestFitTieBreaksToLowestIndex) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kBestFit));
+  PlacementDemand demand;
+  demand.cpu_util = 0.25;
+  EXPECT_EQ(placer.Pick(demand), 0);
+}
+
+TEST_F(PlacerTest, RandomOfKIsDeterministicPerSeedAndAlwaysFeasible) {
+  SocCapacityView view_a(&cluster_);
+  SocCapacityView view_b(&cluster_);
+  Placer::Options options;
+  options.policy = PlacementPolicy::kRandomOfK;
+  options.seed = 1234;
+  Placer a(&sim_, &view_a, options);
+  Placer b(&sim_, &view_b, options);
+  PlacementDemand demand;
+  demand.cpu_util = 0.05;
+  std::vector<int> picks_a;
+  std::vector<int> picks_b;
+  for (int i = 0; i < 24; ++i) {
+    const int pa = a.Pick(demand);
+    const int pb = b.Pick(demand);
+    ASSERT_GE(pa, 0);
+    ASSERT_TRUE(view_a.Fits(pa, demand));
+    view_a.Reserve(pa, demand);
+    ASSERT_GE(pb, 0);
+    view_b.Reserve(pb, demand);
+    picks_a.push_back(pa);
+    picks_b.push_back(pb);
+  }
+  // Same seed, same draw sequence, identical placements.
+  EXPECT_EQ(picks_a, picks_b);
+}
+
+TEST_F(PlacerTest, CapacityViewReservesAndReleasesEveryResource) {
+  SocCapacityView::Options view_options;
+  view_options.slot_capacity = 2;
+  SocCapacityView view(&cluster_, view_options);
+  PlacementDemand demand;
+  demand.cpu_util = 0.3;
+  demand.gpu_util = 0.4;
+  demand.dsp_util = 0.2;
+  demand.memory_gb = 5.0;
+  demand.codec_sessions = 2;
+  demand.codec_pixel_rate = 2.0e6;
+  demand.slots = 1;
+  ASSERT_TRUE(view.Fits(1, demand));
+  view.Reserve(1, demand);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).cpu_util(), 0.3);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).gpu_util(), 0.4);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).dsp_util(), 0.2);
+  EXPECT_EQ(cluster_.soc(1).codec_sessions(), 2);
+  EXPECT_DOUBLE_EQ(view.MemoryUsedGb(1), 5.0);
+  EXPECT_EQ(view.SlotsUsed(1), 1);
+  view.Release(1, demand);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).cpu_util(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).gpu_util(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.soc(1).dsp_util(), 0.0);
+  EXPECT_EQ(cluster_.soc(1).codec_sessions(), 0);
+  EXPECT_DOUBLE_EQ(view.MemoryUsedGb(1), 0.0);
+  EXPECT_EQ(view.SlotsUsed(1), 0);
+}
+
+TEST_F(PlacerTest, FitsRejectsEachExhaustedResource) {
+  SocCapacityView::Options view_options;
+  view_options.slot_capacity = 1;
+  SocCapacityView view(&cluster_, view_options);
+  const SocSpec& spec = cluster_.soc(0).spec();
+
+  PlacementDemand cpu;
+  cpu.cpu_util = 1.1;
+  EXPECT_FALSE(view.Fits(0, cpu));
+
+  PlacementDemand gpu;
+  gpu.gpu_util = 0.6;
+  ASSERT_TRUE(cluster_.soc(0).SetGpuUtil(0.5).ok());
+  EXPECT_FALSE(view.Fits(0, gpu));
+
+  PlacementDemand memory;
+  memory.memory_gb = static_cast<double>(spec.memory_gb) + 1.0;
+  EXPECT_FALSE(view.Fits(0, memory));
+
+  PlacementDemand sessions;
+  sessions.codec_sessions = spec.max_codec_sessions + 1;
+  EXPECT_FALSE(view.Fits(0, sessions));
+
+  PlacementDemand slots;
+  slots.slots = 1;
+  ASSERT_TRUE(view.Fits(0, slots));
+  view.Reserve(0, slots);
+  EXPECT_FALSE(view.Fits(0, slots));
+
+  // A failed SoC fits nothing, however small the demand.
+  cluster_.soc(1).Fail();
+  PlacementDemand tiny;
+  tiny.cpu_util = 0.01;
+  EXPECT_FALSE(view.IsPlaceable(1));
+  EXPECT_FALSE(view.Fits(1, tiny));
+}
+
+TEST_F(PlacerTest, ReleaseAfterFailureKeepsLedgersConsistent) {
+  SocCapacityView::Options view_options;
+  view_options.slot_capacity = 2;
+  SocCapacityView view(&cluster_, view_options);
+  PlacementDemand demand;
+  demand.cpu_util = 0.4;
+  demand.memory_gb = 3.0;
+  demand.slots = 1;
+  view.Reserve(2, demand);
+  cluster_.soc(2).Fail();
+  // SoC-side charges vanished with Fail(); ledgered memory and slots must
+  // still release so the slot is clean after repair.
+  view.Release(2, demand);
+  EXPECT_DOUBLE_EQ(view.MemoryUsedGb(2), 0.0);
+  EXPECT_EQ(view.SlotsUsed(2), 0);
+}
+
+TEST_F(PlacerTest, PlanOverlayGatesFeasibilityWithoutReserving) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kSpread));
+  PlacementDemand demand;
+  demand.cpu_util = 0.6;
+  PlanOverlay planned;
+  planned.Add(0, demand);  // A planned move already claims SoC 0's headroom.
+  const int pick = placer.Pick(demand, nullptr, &planned);
+  EXPECT_EQ(pick, 1);
+  // Nothing was actually charged anywhere.
+  EXPECT_DOUBLE_EQ(cluster_.soc(0).cpu_util(), 0.0);
+}
+
+TEST_F(PlacerTest, FilterExcludesCandidates) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kSpread));
+  PlacementDemand demand;
+  demand.cpu_util = 0.1;
+  EXPECT_EQ(placer.Pick(demand, [](int i) { return i >= 3; }), 3);
+}
+
+TEST_F(PlacerTest, PublishesPlacementMetricsLabeledByPolicy) {
+  SocCapacityView view(&cluster_);
+  Placer placer(&sim_, &view, PolicyOptions(PlacementPolicy::kPack));
+  PlacementDemand demand;
+  demand.cpu_util = 0.5;
+  EXPECT_GE(placer.Pick(demand), 0);
+  demand.cpu_util = 2.0;  // Impossible: rejection.
+  EXPECT_EQ(placer.Pick(demand), -1);
+  const MetricLabels labels{{"policy", "pack"}};
+  EXPECT_EQ(sim_.metrics().GetCounter("sched.placements", labels)->value(), 1);
+  EXPECT_EQ(sim_.metrics().GetCounter("sched.rejections", labels)->value(), 1);
+  EXPECT_GT(
+      sim_.metrics().GetCounter("sched.score_evaluations", labels)->value(),
+      0);
+}
+
+TEST_F(PlacerTest, ReleaseOnEvictFreesCapacityForNewPlacements) {
+  Orchestrator orchestrator(&sim_, &cluster_, PlacementPolicy::kSpread);
+  ReplicaDemand demand;
+  demand.cpu_util = 0.9;
+  ASSERT_TRUE(orchestrator.RegisterWorkload("big", demand).ok());
+  const int full = cluster_.num_socs();
+  ASSERT_TRUE(orchestrator.ScaleTo("big", full).ok());
+  // Every SoC is full; one more replica cannot fit.
+  EXPECT_EQ(orchestrator.ScaleTo("big", full + 1).code(),
+            StatusCode::kResourceExhausted);
+  // Evicting releases through the same capacity view, so the freed
+  // capacity is immediately placeable again.
+  ASSERT_TRUE(orchestrator.ScaleTo("big", 0).ok());
+  ASSERT_TRUE(orchestrator.ScaleTo("big", full).ok());
+  EXPECT_EQ(orchestrator.TotalReplicas(), full);
+}
+
+// Regression for the fault taxonomy: a failed SoC must be invisible to
+// every service's placement path, with no service-local usability checks.
+TEST(PlacementFaultRegressionTest, GamingAndServerlessNeverPlaceOnFailedSoc) {
+  Simulator sim(23);
+  SocCluster cluster(&sim, SmallChassis(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(30)).ok());
+  const int failed = 2;
+  cluster.soc(failed).Fail();
+
+  GamingWorkloadConfig gaming_config;
+  gaming_config.peak_arrivals_per_hour = 40.0;
+  GamingWorkload gaming(&sim, &cluster, gaming_config);
+  gaming.Start(Duration::Hours(6));
+
+  ServerlessPlatform platform(&sim, &cluster, ServerlessConfig{});
+  FunctionSpec fn;
+  fn.name = "probe";
+  fn.memory_mb = 512.0;
+  ASSERT_TRUE(platform.RegisterFunction(fn).ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(platform.Invoke("probe", nullptr).ok());
+  }
+  ASSERT_TRUE(sim.RunFor(Duration::Hours(6)).ok());
+
+  ASSERT_GT(gaming.sessions_started(), 0);
+  ASSERT_GT(platform.stats().invocations, 0);
+  EXPECT_EQ(platform.stats().rejected, 0) << "4 usable SoCs had memory";
+  EXPECT_EQ(gaming.SessionsOnSoc(failed), 0);
+  EXPECT_DOUBLE_EQ(platform.SocMemoryMb(failed), 0.0);
+  for (int i = 0; i < cluster.num_socs(); ++i) {
+    if (i == failed) {
+      continue;
+    }
+    EXPECT_LE(platform.SocMemoryMb(i), ServerlessConfig{}.soc_memory_budget_mb);
+  }
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -32,6 +32,16 @@ Registered as the `lint.repo` ctest. Rules:
                 examples/, tools/) own stdout. snprintf-style buffer
                 formatting and stderr logging are fine.
 
+  layering      Lower layers must not include workload code:
+                src/{base,sim,sched} never include src/workload, and
+                src/core only through the explicit allowlist (autoscaler,
+                powercap, and the benchmark suite drive workloads by
+                design). Placement went through one inversion already —
+                orchestrator.h pulling PlacementPolicy out of the live
+                video service — and src/sched exists precisely so policy
+                types live below every service; this rule keeps the
+                dependency arrow pointing one way.
+
 Suppress a finding by appending `// lint:allow(<rule>)` to the offending
 line, e.g. `// lint:allow(units)`.
 """
@@ -79,6 +89,21 @@ STDIO_PATTERNS = [
      "library code must not write to stdout; return data, take a "
      "std::ostream&, or record through src/obs"),
 ]
+
+# Layers that must never depend on workload implementations. src/core is
+# also restricted, but a few files legitimately orchestrate workloads.
+LAYERING_FORBIDDEN_DIRS = ("src/base", "src/sim", "src/sched", "src/core")
+LAYERING_INCLUDE = re.compile(r'#include\s+"(src/workload/[^"]+)"')
+LAYERING_ALLOWLIST = {
+    # The autoscaler and power-cap controllers act on workloads by design;
+    # the benchmark suite exists to drive them end to end.
+    "src/core/autoscaler.h",
+    "src/core/autoscaler.cc",
+    "src/core/powercap.h",
+    "src/core/powercap.cc",
+    "src/core/benchmark_suite.h",
+    "src/core/benchmark_suite.cc",
+}
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
@@ -179,6 +204,25 @@ class Linter:
                 if pattern.search(code) and not allowed(raw, "stdio"):
                     self.report(path, lineno, "stdio", reason)
 
+    def lint_layering(self, path, raw_lines, code_lines):
+        if not path.startswith(LAYERING_FORBIDDEN_DIRS):
+            return
+        if path in LAYERING_ALLOWLIST:
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            # Quoted include paths are blanked in the stripped text, so
+            # match the raw line — gated on the stripped line still holding
+            # the directive, which drops commented-out includes.
+            if "#include" not in code:
+                continue
+            m = LAYERING_INCLUDE.search(raw)
+            if m and not allowed(raw, "layering"):
+                self.report(
+                    path, lineno, "layering",
+                    f"{path.split('/', 2)[0]}/{path.split('/')[1]} must not "
+                    f"include workload code ({m.group(1)}); express the "
+                    "dependency through src/sched or src/cluster interfaces")
+
     def lint_include_cc(self, path, raw_lines, code_lines):
         for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
             if (re.search(r'#include\s+"[^"]+\.cc"', code)
@@ -205,6 +249,7 @@ class Linter:
                 self.lint_units(path, raw_lines, code_text)
                 self.lint_guards(path, raw_lines, code_text)
                 self.lint_stdio(path, raw_lines, code_lines)
+                self.lint_layering(path, raw_lines, code_lines)
                 self.lint_include_cc(path, raw_lines, code_lines)
         return self.findings
 
