@@ -136,7 +136,7 @@ GoodputOutcome MeasureGoodput(bool resilient, uint64_t seed) {
   const double rate = 0.85 * 5.0 * fleet.PerSocThroughput();
   if (resilient) {
     fleet.SetDeadline(Duration::Seconds(2));
-    fleet.SetMaxQueue(200);
+    fleet.admission().SetMaxQueue(200);
     RetryPolicy policy;
     policy.max_attempts = 4;
     policy.initial_backoff = Duration::Millis(50);

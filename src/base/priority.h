@@ -1,0 +1,35 @@
+// Priority classes shared by every admission path in the cluster. The
+// overload-control layer (src/qos) orders work by class: critical requests
+// ride through a brownout, standard requests queue, best-effort requests
+// are the first thing shed. Numerically lower values are more important,
+// so comparisons read naturally (p <= floor means "admitted").
+
+#ifndef SRC_BASE_PRIORITY_H_
+#define SRC_BASE_PRIORITY_H_
+
+namespace soccluster {
+
+enum class Priority {
+  kCritical = 0,    // Interactive/SLO-bound; shed only as a last resort.
+  kStandard = 1,    // The default class.
+  kBestEffort = 2,  // Batch/scavenger; first to go under overload.
+};
+inline constexpr int kNumPriorities = 3;
+
+// Short lowercase name ("critical", "standard", "best_effort") used in
+// metric labels and bench report keys.
+constexpr const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kCritical:
+      return "critical";
+    case Priority::kStandard:
+      return "standard";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_PRIORITY_H_

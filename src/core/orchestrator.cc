@@ -52,11 +52,13 @@ Orchestrator::Orchestrator(Simulator* sim, SocCluster* cluster,
   migrations_metric_ = metrics.GetCounter("orchestrator.migrations");
   lost_metric_ = metrics.GetCounter("orchestrator.replicas_lost");
   pending_replaced_metric_ = metrics.GetCounter("orchestrator.pending_replaced");
+  preempted_metric_ = metrics.GetCounter("orchestrator.replicas_preempted");
   pending_gauge_ = metrics.GetGauge("orchestrator.replicas_pending");
 }
 
 Status Orchestrator::RegisterWorkload(const std::string& name,
-                                      ReplicaDemand demand) {
+                                      ReplicaDemand demand,
+                                      Priority priority) {
   if (name.empty()) {
     return Status::InvalidArgument("workload name is empty");
   }
@@ -69,7 +71,7 @@ Status Orchestrator::RegisterWorkload(const std::string& name,
       demand.memory_gb < 0.0) {
     return Status::InvalidArgument("invalid replica demand");
   }
-  workloads_.emplace(name, Workload{demand, {}});
+  workloads_.emplace(name, Workload{demand, {}, 0, priority});
   return Status::Ok();
 }
 
@@ -251,6 +253,63 @@ int Orchestrator::Consolidate() {
   return freed;
 }
 
+int Orchestrator::PreemptBestEffort(int max_replicas) {
+  int preempted = 0;
+  while (preempted < max_replicas) {
+    // Hosts currently holding best-effort replicas, hottest first.
+    std::vector<int> hosts;
+    for (const auto& [name, workload] : workloads_) {
+      if (workload.priority != Priority::kBestEffort) {
+        continue;
+      }
+      for (int placement : workload.placements) {
+        hosts.push_back(placement);
+      }
+    }
+    if (hosts.empty()) {
+      break;
+    }
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+    const int target = placer_.RankByLoadDescending(std::move(hosts)).front();
+    // Evict one best-effort replica from the hottest host (tail replica of
+    // the first workload with one there — deterministic by map order).
+    bool evicted = false;
+    for (auto& [name, workload] : workloads_) {
+      if (workload.priority != Priority::kBestEffort) {
+        continue;
+      }
+      for (size_t r = workload.placements.size(); r-- > 0;) {
+        if (workload.placements[r] == target) {
+          Evict(&workload, r);
+          ++workload.pending;
+          ++replicas_preempted_;
+          preempted_metric_->Increment();
+          evicted = true;
+          break;
+        }
+      }
+      if (evicted) {
+        break;
+      }
+    }
+    SOC_CHECK(evicted);
+    ++preempted;
+  }
+  pending_gauge_->Set(static_cast<double>(replicas_pending()));
+  return preempted;
+}
+
+void Orchestrator::SetPlacementHold(bool hold) {
+  if (hold == placement_hold_) {
+    return;
+  }
+  placement_hold_ = hold;
+  if (!placement_hold_) {
+    DrainPendingReplicas();
+  }
+}
+
 void Orchestrator::OnSocFailure(int soc_index) {
   SOC_CHECK_GE(soc_index, 0);
   SOC_CHECK_LT(soc_index, cluster_->num_socs());
@@ -302,6 +361,9 @@ int64_t Orchestrator::replicas_pending() const {
 }
 
 int Orchestrator::DrainPendingReplicas() {
+  if (placement_hold_) {
+    return 0;  // Brownout: reclaimed capacity must stay free.
+  }
   int placed = 0;
   for (auto& [name, workload] : workloads_) {
     while (workload.pending > 0) {

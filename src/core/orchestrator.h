@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
 #include "src/sched/placer.h"
@@ -43,7 +44,11 @@ class Orchestrator {
   Orchestrator& operator=(const Orchestrator&) = delete;
 
   // Declares a workload type. Fails on duplicate names or invalid demand.
-  Status RegisterWorkload(const std::string& name, ReplicaDemand demand);
+  // `priority` marks the workload's class for brownout preemption:
+  // best-effort replicas are the first capacity reclaimed under power
+  // pressure (PreemptBestEffort).
+  Status RegisterWorkload(const std::string& name, ReplicaDemand demand,
+                          Priority priority = Priority::kStandard);
 
   // Scales a workload to `replicas` instances, placing or evicting as
   // needed. Fails with RESOURCE_EXHAUSTED if capacity is insufficient (the
@@ -73,6 +78,18 @@ class Orchestrator {
   // Replicas currently queued for re-placement across all workloads.
   int64_t replicas_pending() const;
 
+  // Brownout preemption: evicts up to `max_replicas` best-effort replicas
+  // (hottest hosts first, per the placer's load ranking) into the pending
+  // queue, where they wait for DrainPendingReplicas() like
+  // failure-displaced replicas. Returns the number preempted.
+  int PreemptBestEffort(int max_replicas);
+  int64_t replicas_preempted() const { return replicas_preempted_; }
+  // While the hold is on, pending replicas stay parked (DrainPending is a
+  // no-op) — the brownout governor uses this so reclaimed capacity is not
+  // immediately re-filled. Releasing the hold drains the queue.
+  void SetPlacementHold(bool hold);
+  bool placement_hold() const { return placement_hold_; }
+
   // Defragmentation: greedily migrates replicas off the least-loaded SoCs
   // onto fuller ones, so freed SoCs can be powered down (the §5.2
   // energy-proportionality lever). Returns the number of SoCs freed.
@@ -84,8 +101,9 @@ class Orchestrator {
   struct Workload {
     ReplicaDemand demand;
     std::vector<int> placements;
-    // Failure-displaced replicas awaiting capacity.
+    // Failure-displaced (or brownout-preempted) replicas awaiting capacity.
     int pending = 0;
+    Priority priority = Priority::kStandard;
   };
 
   Status Place(Workload* workload, const std::string& name);
@@ -103,12 +121,15 @@ class Orchestrator {
   int64_t replicas_lost_ = 0;
   int64_t replicas_recovered_ = 0;
   int64_t replicas_migrated_ = 0;
+  int64_t replicas_preempted_ = 0;
+  bool placement_hold_ = false;
   // Placement decisions published to the registry ("orchestrator.*").
   Counter* placements_metric_;
   Counter* evictions_metric_;
   Counter* migrations_metric_;
   Counter* lost_metric_;
   Counter* pending_replaced_metric_;
+  Counter* preempted_metric_;
   Gauge* pending_gauge_;
 };
 

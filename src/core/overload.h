@@ -1,0 +1,105 @@
+// Cluster-wide overload control: one BrownoutGovernor coordinating a
+// degradation ladder across every service the cluster runs, plus a
+// circuit breaker per service. This is the cluster-scale generalization
+// of the serving-only PowerCapController — under power/thermal pressure
+// (§2.2's ~700 W supplies, §8's cooling wall) the cheapest quality is
+// surrendered first and SoC eviction becomes the last resort:
+//
+//   1. best_effort   — close admission to best-effort traffic everywhere
+//                      (admission floors to kStandard; orchestrator
+//                      preempts best-effort replicas and holds placement)
+//   2. live_bitrate  — push live transcoding down the bitrate ladder,
+//                      one rung per level
+//   3. serverless_defer — park serverless cold starts (warm traffic flows)
+//   4. gaming_cap    — freeze the gaming session count at its current value
+//   5. serving_dispatch — halve the serving fleet's concurrent dispatch
+//   6. evict_serving — walk serving SoCs down, step_socs per level
+//
+// Release unwinds in exact reverse order with hysteresis. Services are
+// attach-as-available: absent services simply contribute no rungs.
+
+#ifndef SRC_CORE_OVERLOAD_H_
+#define SRC_CORE_OVERLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/bmc.h"
+#include "src/cluster/cluster.h"
+#include "src/core/orchestrator.h"
+#include "src/qos/breaker.h"
+#include "src/qos/brownout.h"
+#include "src/trace/gaming_trace.h"
+#include "src/workload/dl/serving.h"
+#include "src/workload/serverless/serverless.h"
+#include "src/workload/video/live.h"
+
+namespace soccluster {
+
+struct ClusterOverloadConfig {
+  // Governor pacing/hysteresis (see BrownoutConfig).
+  Duration period = Duration::Seconds(2);
+  Power wall_cap = Power::Zero();  // Zero: thermal-only (BMC-driven).
+  double release_fraction = 0.9;
+  int release_hold_ticks = 1;
+  // The last-resort eviction rung (same knobs as PowerCapConfig).
+  int step_socs = 4;
+  int min_active = 1;
+  // Breakers share these thresholds; service labels are set per breaker.
+  // Set enable_breakers = false to run admission-only.
+  bool enable_breakers = true;
+  CircuitBreakerConfig breaker;  // `service` is overwritten per service.
+};
+
+class ClusterOverloadManager {
+ public:
+  // `bmc` may be null when only a wall cap drives the governor.
+  ClusterOverloadManager(Simulator* sim, SocCluster* cluster, BmcModel* bmc,
+                         ClusterOverloadConfig config);
+  ClusterOverloadManager(const ClusterOverloadManager&) = delete;
+  ClusterOverloadManager& operator=(const ClusterOverloadManager&) = delete;
+
+  // Attach services before Start(). Each is optional.
+  void AttachServing(SocServingFleet* fleet);
+  void AttachLive(LiveTranscodingService* live);
+  void AttachServerless(ServerlessPlatform* serverless);
+  void AttachGaming(GamingWorkload* gaming);
+  void AttachOrchestrator(Orchestrator* orchestrator);
+
+  // Builds the ladder from the attached services and starts the governor.
+  void Start();
+  void Stop();
+
+  const BrownoutGovernor& governor() const { return governor_; }
+  int brownout_level() const { return governor_.level(); }
+  bool IsBrownedOut() const { return governor_.IsBrownedOut(); }
+
+  // Null until the corresponding service is attached (or when breakers
+  // are disabled).
+  CircuitBreaker* serving_breaker() { return serving_breaker_.get(); }
+  CircuitBreaker* live_breaker() { return live_breaker_.get(); }
+  CircuitBreaker* serverless_breaker() { return serverless_breaker_.get(); }
+
+ private:
+  void BuildLadder();
+  std::unique_ptr<CircuitBreaker> MakeBreaker(const char* service);
+
+  Simulator* sim_;
+  ClusterOverloadConfig config_;
+  BrownoutGovernor governor_;
+  SocServingFleet* serving_ = nullptr;
+  LiveTranscodingService* live_ = nullptr;
+  ServerlessPlatform* serverless_ = nullptr;
+  GamingWorkload* gaming_ = nullptr;
+  Orchestrator* orchestrator_ = nullptr;
+  std::unique_ptr<CircuitBreaker> serving_breaker_;
+  std::unique_ptr<CircuitBreaker> live_breaker_;
+  std::unique_ptr<CircuitBreaker> serverless_breaker_;
+  // evict_serving accounting, exactly as in PowerCapController.
+  std::vector<int> shed_stack_;
+  bool started_ = false;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_CORE_OVERLOAD_H_

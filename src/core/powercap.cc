@@ -1,79 +1,77 @@
 #include "src/core/powercap.h"
 
 #include <algorithm>
-#include <limits>
+#include <utility>
 
 #include "src/base/check.h"
 
 namespace soccluster {
 
+namespace {
+
+BrownoutConfig GovernorConfig(const PowerCapConfig& config) {
+  BrownoutConfig out;
+  out.period = config.period;
+  out.wall_cap = config.wall_cap;
+  // The historical controller restored one step per period whenever the
+  // draw sat below 90% of the cap.
+  out.release_fraction = 0.9;
+  out.release_hold_ticks = 1;
+  return out;
+}
+
+}  // namespace
+
 PowerCapController::PowerCapController(Simulator* sim, SocCluster* cluster,
                                        BmcModel* bmc, SocServingFleet* fleet,
                                        PowerCapConfig config)
-    : sim_(sim), cluster_(cluster), bmc_(bmc), fleet_(fleet),
-      config_(config) {
-  SOC_CHECK(sim_ != nullptr);
-  SOC_CHECK(cluster_ != nullptr);
-  SOC_CHECK(bmc_ != nullptr);
+    : cluster_(cluster), fleet_(fleet), config_(config),
+      governor_(sim, cluster, bmc, GovernorConfig(config)) {
+  SOC_CHECK(bmc != nullptr);
   SOC_CHECK(fleet_ != nullptr);
   SOC_CHECK_GE(config_.step_socs, 1);
-  SOC_CHECK_GT(config_.period.nanos(), 0);
   SOC_CHECK_GE(config_.min_active, 0);
-  // Feasibility: a wall cap below the chassis overhead (fans + ESB + BMC)
-  // can never be met by shedding SoCs — the controller would shed to
-  // min_active and still sit over the cap forever.
-  if (config_.wall_cap.watts() > 0.0) {
-    SOC_CHECK_GE(config_.wall_cap.watts(),
-                 cluster_->OverheadPower().watts())
-        << "wall cap below chassis overhead is infeasible";
-  }
-  ticker_ = std::make_unique<PeriodicTask>(sim_, config_.period,
-                                           [this] { Tick(); });
+  // Enough levels to walk any fleet down to min_active one step at a time.
+  const int levels = std::max(
+      1, (cluster_->num_socs() - config_.min_active + config_.step_socs - 1) /
+             config_.step_socs);
+  governor_.AddRung("evict_serving", levels, [this](int) { EngageEvict(); },
+                    [this](int) { ReleaseEvict(); });
 }
 
 PowerCapController::~PowerCapController() = default;
 
-void PowerCapController::Start() { ticker_->Start(); }
+void PowerCapController::Start() { governor_.Start(); }
 
-void PowerCapController::Stop() { ticker_->Stop(); }
+void PowerCapController::Stop() { governor_.Stop(); }
 
-Power PowerCapController::EffectiveCap() const {
-  if (config_.wall_cap.watts() > 0.0) {
-    return config_.wall_cap;
+void PowerCapController::EngageEvict() {
+  const int current = fleet_->active_count();
+  const int next = std::max(config_.min_active, current - config_.step_socs);
+  if (governor_.level() == 1) {
+    // First level of a fresh episode (everything was restored before).
+    ++shed_events_;
   }
-  if (bmc_->IsThrottling()) {
-    return bmc_->RecommendedPowerCap();
+  shed_stack_.push_back(current - next);
+  if (next < current) {
+    fleet_->SetActiveCount(next);
   }
-  return Power::Watts(std::numeric_limits<double>::max());
 }
 
-void PowerCapController::Tick() {
-  const Power cap = EffectiveCap();
-  const Power draw = cluster_->CurrentPower();
-  if (draw > cap) {
-    if (!shedding_) {
-      shedding_ = true;
-      ++shed_events_;
-      saved_active_ = fleet_->active_count();
-    }
-    const int next = std::max(config_.min_active,
-                              fleet_->active_count() - config_.step_socs);
-    fleet_->SetActiveCount(next);
-    return;
+void PowerCapController::ReleaseEvict() {
+  SOC_CHECK(!shed_stack_.empty());
+  const int shed = shed_stack_.back();
+  shed_stack_.pop_back();
+  const int current = fleet_->active_count();
+  int next = current + shed;
+  if (restore_target_) {
+    // Reconcile with the external target: a scale-down issued mid-episode
+    // caps how far the restore may re-inflate the fleet.
+    next = std::min(next,
+                    std::max(restore_target_(), config_.min_active));
   }
-  if (shedding_) {
-    // Restore gradually with hysteresis: only grow while comfortably
-    // below the cap (90%).
-    if (draw.watts() < cap.watts() * 0.9 &&
-        fleet_->active_count() < saved_active_) {
-      fleet_->SetActiveCount(std::min(
-          saved_active_, fleet_->active_count() + config_.step_socs));
-      return;
-    }
-    if (fleet_->active_count() >= saved_active_) {
-      shedding_ = false;
-      saved_active_ = -1;
-    }
+  if (next > current) {
+    fleet_->SetActiveCount(next);
   }
 }
 

@@ -4,14 +4,22 @@
 // serving capacity until the draw falls below the target, then restores
 // it. §2.2's ~700 W supplies and §8's cooling concerns make this a
 // first-class mechanism for a production cluster.
+//
+// Internally this is now a single-rung qos BrownoutGovernor ("evict
+// serving SoCs"); ClusterOverloadManager builds the full multi-service
+// ladder with the same engine and puts SoC eviction last. This wrapper
+// keeps the historical serving-only interface and semantics.
 
 #ifndef SRC_CORE_POWERCAP_H_
 #define SRC_CORE_POWERCAP_H_
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
+#include "src/qos/brownout.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {
@@ -39,22 +47,34 @@ class PowerCapController {
 
   // The cap currently in force (wall cap, or the BMC recommendation when
   // throttling; unbounded otherwise).
-  Power EffectiveCap() const;
-  bool IsShedding() const { return shedding_; }
+  Power EffectiveCap() const { return governor_.EffectiveCap(); }
+  bool IsShedding() const { return governor_.IsBrownedOut(); }
   int64_t shed_events() const { return shed_events_; }
 
- private:
-  void Tick();
+  // The fleet size an external policy (autoscaler) currently wants. When
+  // set, each restore step reconciles against it instead of blindly
+  // re-inflating to the pre-shed snapshot — a concurrent scale-down during
+  // a shed episode must not be undone by the restore path.
+  void SetRestoreTarget(std::function<int()> target) {
+    restore_target_ = std::move(target);
+  }
 
-  Simulator* sim_;
+  const BrownoutGovernor& governor() const { return governor_; }
+
+ private:
+  void EngageEvict();
+  void ReleaseEvict();
+
   SocCluster* cluster_;
-  BmcModel* bmc_;
   SocServingFleet* fleet_;
   PowerCapConfig config_;
-  std::unique_ptr<PeriodicTask> ticker_;
-  bool shedding_ = false;
+  BrownoutGovernor governor_;
+  // SoCs actually shed at each engaged level, LIFO: a step that bottoms
+  // out at min_active sheds fewer than step_socs, and must restore exactly
+  // what it took.
+  std::vector<int> shed_stack_;
   int64_t shed_events_ = 0;
-  int saved_active_ = -1;  // Fleet size before shedding began.
+  std::function<int()> restore_target_;
 };
 
 }  // namespace soccluster

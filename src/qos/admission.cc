@@ -1,0 +1,223 @@
+#include "src/qos/admission.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+const char* AdmissionQueue::DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueFull:
+      return "queue_full";
+    case DropReason::kAdmitFloor:
+      return "admit_floor";
+    case DropReason::kExpired:
+      return "expired";
+    case DropReason::kSojourn:
+      return "sojourn";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(Simulator* sim, Options options)
+    : sim_(sim), options_(std::move(options)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(!options_.service.empty());
+  SOC_CHECK_GE(options_.max_queue, 0);
+  SOC_CHECK_GE(options_.codel_target.nanos(), 0);
+  if (options_.codel_target.nanos() > 0) {
+    SOC_CHECK_GT(options_.codel_interval.nanos(), 0);
+  }
+  MetricRegistry& metrics = sim_->metrics();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const char* cls = PriorityName(static_cast<Priority>(c));
+    admitted_metrics_[c] = metrics.GetCounter(
+        "qos.admission.admitted",
+        {{"service", options_.service}, {"class", cls}});
+    for (size_t r = 0; r < kNumReasons; ++r) {
+      dropped_metrics_[c][r] = metrics.GetCounter(
+          "qos.admission.dropped",
+          {{"service", options_.service},
+           {"class", cls},
+           {"reason", DropReasonName(static_cast<DropReason>(r))}});
+    }
+  }
+  max_queue_metric_ = metrics.GetGauge("qos.admission.max_queue_length",
+                                       {{"service", options_.service}});
+}
+
+void AdmissionQueue::SetMaxQueue(int max_queue) {
+  SOC_CHECK_GE(max_queue, 0);
+  options_.max_queue = max_queue;
+}
+
+std::optional<Priority> AdmissionQueue::LowestOccupiedClass() const {
+  for (int c = kNumPriorities - 1; c >= 0; --c) {
+    if (!classes_[static_cast<size_t>(c)].empty()) {
+      return static_cast<Priority>(c);
+    }
+  }
+  return std::nullopt;
+}
+
+void AdmissionQueue::Drop(const Item& item, DropReason reason) {
+  if (on_drop_) {
+    on_drop_(item, reason);
+  }
+  ++dropped_;
+  ++dropped_by_reason_[static_cast<size_t>(reason)];
+  dropped_metrics_[static_cast<size_t>(item.priority)]
+                  [static_cast<size_t>(reason)]
+      ->Increment();
+}
+
+void AdmissionQueue::NoteQueued() {
+  if (size_ > max_queue_length_) {
+    max_queue_length_ = size_;
+    max_queue_metric_->Set(static_cast<double>(size_));
+  }
+}
+
+bool AdmissionQueue::Offer(Priority priority, Duration deadline,
+                          std::shared_ptr<void> payload) {
+  Item item;
+  item.priority = priority;
+  item.enqueue = sim_->Now();
+  item.deadline = deadline;
+  item.payload = std::move(payload);
+  if (priority > admit_floor_) {
+    Drop(item, DropReason::kAdmitFloor);
+    return false;
+  }
+  if (options_.max_queue > 0 && size_ >= options_.max_queue) {
+    // Full. Evict the newest item of a strictly lower class to make room;
+    // if no lower class is occupied, the incoming item is the one shed.
+    const std::optional<Priority> lowest = LowestOccupiedClass();
+    if (!lowest.has_value() || *lowest <= priority) {
+      Drop(item, DropReason::kQueueFull);
+      return false;
+    }
+    std::deque<Item>& victims = ByClass(*lowest);
+    Drop(victims.back(), DropReason::kQueueFull);
+    victims.pop_back();
+    --size_;
+  }
+  ByClass(priority).push_back(std::move(item));
+  ++size_;
+  ++admitted_;
+  admitted_metrics_[static_cast<size_t>(priority)]->Increment();
+  NoteQueued();
+  return true;
+}
+
+void AdmissionQueue::Restore(Item item) {
+  const Priority priority = item.priority;
+  ByClass(priority).push_back(std::move(item));
+  ++size_;
+  NoteQueued();
+}
+
+void AdmissionQueue::RestoreFront(Item item) {
+  const Priority priority = item.priority;
+  ByClass(priority).push_front(std::move(item));
+  ++size_;
+  NoteQueued();
+}
+
+bool AdmissionQueue::CodelOkToDrop(Duration sojourn, SimTime now) {
+  if (sojourn < options_.codel_target || size_ <= 1) {
+    // Below target (or nothing else queued): leave the above-target
+    // tracking state.
+    first_above_valid_ = false;
+    return false;
+  }
+  if (!first_above_valid_) {
+    first_above_valid_ = true;
+    first_above_time_ = now + options_.codel_interval;
+    return false;
+  }
+  return now >= first_above_time_;
+}
+
+bool AdmissionQueue::DropSojournVictim() {
+  const std::optional<Priority> lowest = LowestOccupiedClass();
+  if (!lowest.has_value()) {
+    return false;
+  }
+  std::deque<Item>& victims = ByClass(*lowest);
+  Drop(victims.back(), DropReason::kSojourn);
+  victims.pop_back();
+  --size_;
+  return true;
+}
+
+std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
+  const SimTime now = sim_->Now();
+  while (true) {
+    // Dispatch candidate: head of the highest occupied class.
+    std::deque<Item>* source = nullptr;
+    for (int c = 0; c < kNumPriorities; ++c) {
+      if (!classes_[static_cast<size_t>(c)].empty()) {
+        source = &classes_[static_cast<size_t>(c)];
+        break;
+      }
+    }
+    if (source == nullptr) {
+      first_above_valid_ = false;
+      codel_dropping_ = false;
+      return std::nullopt;
+    }
+    if (Expired(source->front(), now)) {
+      Item expired = std::move(source->front());
+      source->pop_front();
+      --size_;
+      Drop(expired, DropReason::kExpired);
+      continue;
+    }
+    if (options_.codel_target.nanos() > 0) {
+      const Duration sojourn = now - source->front().enqueue;
+      const bool ok_to_drop = CodelOkToDrop(sojourn, now);
+      if (codel_dropping_) {
+        if (!ok_to_drop) {
+          codel_dropping_ = false;
+        } else if (now >= codel_drop_next_ && size_ > 1) {
+          ++codel_count_;
+          DropSojournVictim();
+          codel_drop_next_ =
+              codel_drop_next_ +
+              Duration::Nanos(static_cast<int64_t>(
+                  options_.codel_interval.nanos() /
+                  std::sqrt(static_cast<double>(codel_count_))));
+          continue;  // Re-evaluate: the victim may have been the head.
+        }
+      } else if (ok_to_drop) {
+        // Enter the drop state. Resume near the prior drop cadence when
+        // the last episode ended recently (sojourn control, RFC 8289).
+        codel_dropping_ = true;
+        const int64_t delta = codel_count_ - codel_last_count_;
+        if (delta > 1 &&
+            now - codel_drop_next_ <
+                Duration::Nanos(16 * options_.codel_interval.nanos())) {
+          codel_count_ = delta;
+        } else {
+          codel_count_ = 1;
+        }
+        codel_last_count_ = codel_count_;
+        DropSojournVictim();
+        codel_drop_next_ =
+            now + Duration::Nanos(static_cast<int64_t>(
+                      options_.codel_interval.nanos() /
+                      std::sqrt(static_cast<double>(codel_count_))));
+        continue;
+      }
+    }
+    Item item = std::move(source->front());
+    source->pop_front();
+    --size_;
+    return item;
+  }
+}
+
+}  // namespace soccluster

@@ -1,0 +1,135 @@
+#include "src/qos/breaker.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(Simulator* sim, CircuitBreakerConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK(!config_.service.empty());
+  SOC_CHECK_GT(config_.window.nanos(), 0);
+  SOC_CHECK_GT(config_.failure_threshold, 0.0);
+  SOC_CHECK_LE(config_.failure_threshold, 1.0);
+  SOC_CHECK_GE(config_.min_samples, 1);
+  SOC_CHECK_GT(config_.open_duration.nanos(), 0);
+  SOC_CHECK_GE(config_.half_open_probes, 1);
+  window_start_ = sim_->Now();
+  MetricRegistry& metrics = sim_->metrics();
+  opens_metric_ =
+      metrics.GetCounter("qos.breaker.opens", {{"service", config_.service}});
+  closes_metric_ =
+      metrics.GetCounter("qos.breaker.closes", {{"service", config_.service}});
+  rejected_metric_ = metrics.GetCounter("qos.breaker.rejected",
+                                        {{"service", config_.service}});
+}
+
+void CircuitBreaker::ResetWindow(SimTime now) {
+  window_start_ = now;
+  window_samples_ = 0;
+  window_failures_ = 0;
+}
+
+void CircuitBreaker::MoveTo(State next) {
+  const SimTime now = sim_->Now();
+  transitions_.push_back(Transition{now, state_, next});
+  state_ = next;
+  Tracer& tracer = sim_->tracer();
+  switch (next) {
+    case State::kOpen:
+      ++opens_;
+      opens_metric_->Increment();
+      opened_at_ = now;
+      tracer.Instant("breaker_open", "qos.breaker");
+      break;
+    case State::kHalfOpen:
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+      tracer.Instant("breaker_half_open", "qos.breaker");
+      break;
+    case State::kClosed:
+      closes_metric_->Increment();
+      ResetWindow(now);
+      tracer.Instant("breaker_close", "qos.breaker");
+      break;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (sim_->Now() - opened_at_ >= config_.open_duration) {
+        MoveTo(State::kHalfOpen);
+        ++probes_issued_;
+        return true;
+      }
+      ++rejected_;
+      rejected_metric_->Increment();
+      return false;
+    case State::kHalfOpen:
+      if (probes_issued_ < config_.half_open_probes) {
+        ++probes_issued_;
+        return true;
+      }
+      ++rejected_;
+      rejected_metric_->Increment();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    if (++probe_successes_ >= config_.half_open_probes) {
+      MoveTo(State::kClosed);
+    }
+    return;
+  }
+  if (state_ != State::kClosed) {
+    return;  // Late report from before the breaker opened.
+  }
+  const SimTime now = sim_->Now();
+  if (now - window_start_ >= config_.window) {
+    ResetWindow(now);
+  }
+  ++window_samples_;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    MoveTo(State::kOpen);  // One failed probe re-opens immediately.
+    return;
+  }
+  if (state_ != State::kClosed) {
+    return;  // Already open; the failure is from a straggling call.
+  }
+  const SimTime now = sim_->Now();
+  if (now - window_start_ >= config_.window) {
+    ResetWindow(now);
+  }
+  ++window_samples_;
+  ++window_failures_;
+  if (window_samples_ >= config_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          config_.failure_threshold * static_cast<double>(window_samples_)) {
+    MoveTo(State::kOpen);
+  }
+}
+
+}  // namespace soccluster

@@ -1,0 +1,98 @@
+// Per-service circuit breaker. Fast-fails calls into a service whose
+// recent failure (or shed) rate crossed a threshold, so overload cannot
+// cascade: instead of queueing work that will die anyway, callers get an
+// immediate rejection while the service drains, then a few half-open
+// probes test the water before full traffic resumes.
+//
+//   closed ──(failure rate ≥ threshold over ≥ min_samples)──► open
+//   open ──(open_duration elapsed, lazily on the next Allow)──► half-open
+//   half-open ──(half_open_probes successes)──► closed
+//   half-open ──(any failure)──► open
+//
+// The state machine never skips half-open on the way back to closed — a
+// property test holds it to that. All timing reads the simulator clock, so
+// runs are deterministic under a seed; transitions are kept in an
+// inspectable history, counted under "qos.breaker.*" {service} metrics,
+// and marked as trace instants (passive, like all tracing).
+
+#ifndef SRC_QOS_BREAKER_H_
+#define SRC_QOS_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+
+struct CircuitBreakerConfig {
+  // Registry label; required.
+  std::string service;
+  // Tumbling window over which the failure rate is measured while closed.
+  Duration window = Duration::Seconds(10);
+  // Open when failures/samples in the window reaches this fraction...
+  double failure_threshold = 0.5;
+  // ...and the window has at least this many samples.
+  int min_samples = 20;
+  // Time spent open before the next Allow() moves to half-open.
+  Duration open_duration = Duration::Seconds(5);
+  // Probes admitted in half-open; this many consecutive successes close.
+  int half_open_probes = 3;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  static const char* StateName(State state);
+
+  struct Transition {
+    SimTime time;
+    State from;
+    State to;
+  };
+
+  CircuitBreaker(Simulator* sim, CircuitBreakerConfig config);
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // Admission gate. True: proceed (and report the outcome via
+  // RecordSuccess/RecordFailure). False: fast-fail the call. Lazily moves
+  // open → half-open once open_duration has elapsed.
+  bool Allow();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  int64_t opens() const { return opens_; }
+  int64_t rejected() const { return rejected_; }
+
+ private:
+  void MoveTo(State next);
+  void ResetWindow(SimTime now);
+
+  Simulator* sim_;
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  // Closed-state tumbling window.
+  SimTime window_start_;
+  int64_t window_samples_ = 0;
+  int64_t window_failures_ = 0;
+  // Open-state timer.
+  SimTime opened_at_;
+  // Half-open probe accounting.
+  int probes_issued_ = 0;
+  int probe_successes_ = 0;
+  std::vector<Transition> transitions_;
+  int64_t opens_ = 0;
+  int64_t rejected_ = 0;
+  Counter* opens_metric_;
+  Counter* closes_metric_;
+  Counter* rejected_metric_;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_QOS_BREAKER_H_

@@ -85,7 +85,11 @@ bool SocCapacityView::Fits(int soc_index, const PlacementDemand& d) const {
 
 void SocCapacityView::Reserve(int soc_index, const PlacementDemand& d) {
   SOC_CHECK(Fits(soc_index, d))
-      << "reservation would oversubscribe SoC " << soc_index;
+      << "reservation would oversubscribe SoC " << soc_index
+      << " (cpu=" << d.cpu_util << " gpu=" << d.gpu_util
+      << " mem_gb=" << d.memory_gb << " slots=" << d.slots
+      << " codec=" << d.codec_sessions
+      << " cpu_headroom=" << cluster_->soc(soc_index).CpuHeadroom() << ")";
   SocModel& soc = cluster_->soc(soc_index);
   if (d.cpu_util != 0.0) {
     const Status status = soc.AddCpuUtil(d.cpu_util);

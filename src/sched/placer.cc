@@ -1,5 +1,6 @@
 #include "src/sched/placer.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -90,6 +91,13 @@ double Placer::Load(int soc_index) const {
     load += view_->SlotsUsed(soc_index) * w.slot_weight;
   }
   return load;
+}
+
+std::vector<int> Placer::RankByLoadDescending(
+    std::vector<int> candidates) const {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](int a, int b) { return Load(a) > Load(b); });
+  return candidates;
 }
 
 bool Placer::Feasible(int soc_index, const PlacementDemand& demand,

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/obs/metrics.h"
@@ -83,6 +84,11 @@ class Placer {
 
   // LoadModel-weighted occupancy of one SoC.
   double Load(int soc_index) const;
+
+  // Orders `candidates` (SoC indices) by descending Load() — the order a
+  // preemptor should visit hosts to relieve the hottest first. Stable:
+  // ties keep the input order, so results are deterministic.
+  std::vector<int> RankByLoadDescending(std::vector<int> candidates) const;
 
   PlacementPolicy policy() const { return options_.policy; }
   SocCapacityView* view() { return view_; }

@@ -71,6 +71,10 @@ void GamingWorkload::ScheduleNextArrival(SimTime horizon_end) {
 }
 
 void GamingWorkload::StartSession() {
+  if (session_cap_ >= 0 && active_sessions() >= session_cap_) {
+    ++capped_;
+    return;
+  }
   PlacementDemand demand;
   demand.slots = 1;
   const int soc_index = placer_.Pick(demand);

@@ -53,9 +53,17 @@ class GamingWorkload {
   // Instantaneous arrival rate (sessions/hour) at simulated time `t`.
   double ArrivalRate(SimTime t) const;
 
+  // Brownout hook: refuse new sessions beyond `cap` concurrent ones
+  // (existing sessions run to completion). Negative (the default) means
+  // uncapped; 0 freezes all new admissions. Counted separately from
+  // capacity rejections in sessions_capped().
+  void SetSessionCap(int cap) { session_cap_ = cap; }
+  int session_cap() const { return session_cap_; }
+
   int active_sessions() const { return static_cast<int>(sessions_.size()); }
   int64_t sessions_started() const { return started_; }
   int64_t sessions_rejected() const { return rejected_; }
+  int64_t sessions_capped() const { return capped_; }
   // Sessions currently hosted on one SoC (the slot ledger).
   int SessionsOnSoc(int soc_index) const { return view_.SlotsUsed(soc_index); }
 
@@ -86,6 +94,8 @@ class GamingWorkload {
   int64_t next_id_ = 1;
   int64_t started_ = 0;
   int64_t rejected_ = 0;
+  int64_t capped_ = 0;
+  int session_cap_ = -1;  // Negative: uncapped.
 };
 
 }  // namespace soccluster

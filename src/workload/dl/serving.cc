@@ -55,6 +55,12 @@ Placer::Options FleetPlacerOptions() {
   return options;
 }
 
+AdmissionQueue::Options FleetAdmissionOptions() {
+  AdmissionQueue::Options options;
+  options.service = "dl.serving";
+  return options;
+}
+
 }  // namespace
 
 SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
@@ -62,7 +68,8 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
                                  Precision precision)
     : sim_(sim), cluster_(cluster), device_(soc_device), model_(model),
       precision_(precision), view_(cluster, FleetViewOptions()),
-      placer_(sim, &view_, FleetPlacerOptions()) {
+      placer_(sim, &view_, FleetPlacerOptions()),
+      admission_(sim, FleetAdmissionOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   SOC_CHECK(soc_device == DlDevice::kSocCpu ||
@@ -73,7 +80,7 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
   submitted_metric_ = metrics.GetCounter("dl.serving.submitted");
   completed_metric_ = metrics.GetCounter("dl.serving.completed");
   shed_metric_ = metrics.GetCounter("dl.serving.shed");
-  expired_metric_ = metrics.GetCounter("dl.serving.deadline_expired");
+  expired_metric_ = metrics.GetCounter("dl.serving.expired");
   failed_metric_ = metrics.GetCounter("dl.serving.failed");
   retries_metric_ = metrics.GetCounter("dl.serving.retries");
   hedges_metric_ = metrics.GetCounter("dl.serving.hedges");
@@ -88,6 +95,36 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
     name += std::to_string(i);
     tracer.SetTrackName(SocTrack(i), name);
   }
+  admission_.set_on_drop(
+      [this](const AdmissionQueue::Item& item,
+             AdmissionQueue::DropReason reason) { OnAdmissionDrop(item, reason); });
+}
+
+void SocServingFleet::OnAdmissionDrop(const AdmissionQueue::Item& item,
+                                      AdmissionQueue::DropReason reason) {
+  auto request = std::static_pointer_cast<RequestState>(item.payload);
+  request->done = true;
+  Tracer& tracer = sim_->tracer();
+  // Incoming drops carry no spans yet (id 0 => no-op); queued victims do.
+  tracer.EndSpan(request->queue_span);
+  if (reason == AdmissionQueue::DropReason::kExpired) {
+    // The client has given up; starting the inference would waste a SoC
+    // slot on a response nobody reads.
+    ++deadline_expired_;
+    ++expired_of_[static_cast<size_t>(request->priority)];
+    expired_metric_->Increment();
+  } else {
+    ++shed_;
+    ++shed_of_[static_cast<size_t>(request->priority)];
+    shed_metric_->Increment();
+    if (breaker_ != nullptr &&
+        reason != AdmissionQueue::DropReason::kAdmitFloor) {
+      // Queue-pressure sheds feed the breaker's failure rate; admission-
+      // floor drops are a deliberate brownout policy, not service distress.
+      breaker_->RecordFailure();
+    }
+  }
+  tracer.EndSpan(request->request_span);
 }
 
 double SocServingFleet::PerSocThroughput() const {
@@ -101,14 +138,15 @@ void SocServingFleet::SetActiveCount(int count) {
   TryDispatch();
 }
 
-void SocServingFleet::SetMaxQueue(int max_queue) {
-  SOC_CHECK_GE(max_queue, 0);
-  max_queue_ = max_queue;
-}
-
 void SocServingFleet::SetDeadline(Duration deadline) {
   SOC_CHECK_GE(deadline.nanos(), 0);
   deadline_ = deadline;
+}
+
+void SocServingFleet::SetDispatchLimit(int limit) {
+  SOC_CHECK_GE(limit, 0);
+  dispatch_limit_ = limit;
+  TryDispatch();  // Raising (or removing) the limit may unblock the queue.
 }
 
 void SocServingFleet::SetRetryPolicy(RetryPolicy policy, uint64_t seed) {
@@ -125,26 +163,32 @@ void SocServingFleet::EnableHedging(Duration hedge_delay) {
   hedge_delay_ = hedge_delay;
 }
 
-void SocServingFleet::Submit() {
+void SocServingFleet::Submit(Priority priority) {
   submitted_metric_->Increment();
-  if (max_queue_ > 0 && static_cast<int>(queue_.size()) >= max_queue_) {
-    // Load shedding: an unbounded backlog would blow every deadline anyway;
-    // rejecting at the door keeps served latency bounded.
+  if (breaker_ != nullptr && priority != Priority::kCritical &&
+      !breaker_->Allow()) {
+    // Fast-fail at the door while the breaker is open; queueing the request
+    // would only deepen the backlog the breaker exists to drain.
     ++shed_;
+    ++shed_of_[static_cast<size_t>(priority)];
     shed_metric_->Increment();
     return;
   }
-  Tracer& tracer = sim_->tracer();
   auto request = std::make_shared<RequestState>();
   request->enqueue = sim_->Now();
+  request->priority = priority;
+  request->deadline = deadline_;
+  if (!admission_.Offer(priority, deadline_, request)) {
+    return;  // Shed; accounted in OnAdmissionDrop.
+  }
+  Tracer& tracer = sim_->tracer();
   request->request_id = next_request_id_++;
   request->request_span =
       tracer.BeginAsyncSpan("request", "dl.serving", request->request_id);
   tracer.AddArg(request->request_span, "model", DnnModelName(model_));
   request->queue_span = tracer.BeginAsyncSpan(
       "queue", "dl.serving", request->request_id, request->request_span);
-  queue_.push_back(std::move(request));
-  max_queue_metric_->SetMax(static_cast<double>(queue_.size()));
+  max_queue_metric_->SetMax(static_cast<double>(admission_.max_queue_length()));
   TryDispatch();
 }
 
@@ -153,8 +197,13 @@ void SocServingFleet::Requeue(RequestPtr request) {
   request->queue_span =
       sim_->tracer().BeginAsyncSpan("queue", "dl.serving", request->request_id,
                                     request->request_span);
-  queue_.push_back(std::move(request));
-  max_queue_metric_->SetMax(static_cast<double>(queue_.size()));
+  AdmissionQueue::Item item;
+  item.priority = request->priority;
+  item.enqueue = request->enqueue;  // Keep the original arrival time.
+  item.deadline = request->deadline;
+  item.payload = request;
+  admission_.Restore(std::move(item));
+  max_queue_metric_->SetMax(static_cast<double>(admission_.max_queue_length()));
   TryDispatch();
 }
 
@@ -162,11 +211,17 @@ void SocServingFleet::Abandon(const RequestPtr& request) {
   request->done = true;
   ++failed_;
   failed_metric_->Increment();
+  if (breaker_ != nullptr) {
+    breaker_->RecordFailure();
+  }
   sim_->tracer().EndSpan(request->request_span);
 }
 
 void SocServingFleet::TryDispatch() {
-  while (!queue_.empty()) {
+  while (admission_.size() > 0) {
+    if (dispatch_limit_ > 0 && in_flight_ >= dispatch_limit_) {
+      return;  // Brownout: concurrency capped; completions re-trigger.
+    }
     PlacementDemand slot;
     slot.slots = 1;
     const int chosen = placer_.Pick(
@@ -174,21 +229,17 @@ void SocServingFleet::TryDispatch() {
     if (chosen < 0) {
       return;
     }
-    RequestPtr request = std::move(queue_.front());
-    queue_.pop_front();
+    // Pop purges deadline-expired heads (OnAdmissionDrop closes their
+    // spans and counts them) before yielding a dispatchable request.
+    std::optional<AdmissionQueue::Item> item = admission_.Pop();
+    if (!item.has_value()) {
+      return;  // The backlog was entirely expired.
+    }
+    RequestPtr request = std::static_pointer_cast<RequestState>(item->payload);
     Tracer& tracer = sim_->tracer();
     tracer.EndSpan(request->queue_span);
-    if (deadline_.nanos() > 0 &&
-        sim_->Now() - request->enqueue > deadline_) {
-      // The client has given up; starting the inference would waste a SoC
-      // slot on a response nobody reads.
-      request->done = true;
-      ++deadline_expired_;
-      expired_metric_->Increment();
-      tracer.EndSpan(request->request_span);
-      continue;
-    }
     view_.Reserve(chosen, slot);
+    ++in_flight_;
     const int attempt = ++request->attempts;
     request->active_attempt = attempt;
     // The request's inference phase, in two views: the async child follows
@@ -201,9 +252,17 @@ void SocServingFleet::TryDispatch() {
         tracer.BeginSpan("infer", "dl.serving", SocTrack(chosen));
     SocModel& soc = cluster_->soc(chosen);
     Status status;
+    // CPU inference claims the cores additively: co-resident services
+    // (serverless, gaming, CPU transcodes) charge the same cores, so grab
+    // what is left rather than overwriting their shares. Alone on the SoC
+    // the grant is exactly 1.0 — identical to the old absolute write.
+    double cpu_grant = 0.0;
     switch (device_) {
       case DlDevice::kSocCpu:
-        status = soc.SetCpuUtil(1.0);
+        cpu_grant = soc.CpuHeadroom();
+        if (cpu_grant > 0.0) {
+          status = soc.AddCpuUtil(cpu_grant);
+        }
         break;
       case DlDevice::kSocGpu:
         status = soc.SetGpuUtil(1.0);
@@ -218,9 +277,9 @@ void SocServingFleet::TryDispatch() {
     const Duration service = Duration::SecondsF(
         1.0 / (PerSocThroughput() * soc.throttle_factor()));
     sim_->ScheduleAfter(
-        service, [this, chosen, request, attempt, fail_epoch, infer_track_span,
-                  infer_span]() mutable {
-          FinishOn(chosen, std::move(request), attempt, fail_epoch,
+        service, [this, chosen, request, attempt, fail_epoch, cpu_grant,
+                  infer_track_span, infer_span]() mutable {
+          FinishOn(chosen, std::move(request), attempt, fail_epoch, cpu_grant,
                    infer_track_span, infer_span);
         });
     if (hedge_delay_.nanos() > 0) {
@@ -253,12 +312,17 @@ void SocServingFleet::HedgeCheck(int soc_index, RequestPtr request,
 void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
   request->done = true;
   ++completed_;
+  ++completed_of_[static_cast<size_t>(request->priority)];
   completed_metric_->Increment();
   if (budget_ != nullptr) {
     budget_->RecordSuccess();
   }
+  if (breaker_ != nullptr) {
+    breaker_->RecordSuccess();
+  }
   const double latency_ms = (sim_->Now() - request->enqueue).ToMillis();
   latencies_.Add(latency_ms);
+  latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
   latency_metric_->Observe(latency_ms);
   Tracer& tracer = sim_->tracer();
   if (response_size_.bits() > 0) {
@@ -281,11 +345,12 @@ void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
 }
 
 void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
-                               int64_t fail_epoch, SpanId infer_track_span,
-                               SpanId infer_span) {
+                               int64_t fail_epoch, double cpu_grant,
+                               SpanId infer_track_span, SpanId infer_span) {
   PlacementDemand slot;
   slot.slots = 1;
   view_.Release(soc_index, slot);
+  --in_flight_;
   SocModel& soc = cluster_->soc(soc_index);
   // The attempt succeeded only if the SoC never failed while it ran; a
   // fail/repair/reboot cycle leaves IsUsable() true but bumps fail_count().
@@ -294,7 +359,9 @@ void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
     Status status;
     switch (device_) {
       case DlDevice::kSocCpu:
-        status = soc.SetCpuUtil(0.0);
+        if (cpu_grant > 0.0) {
+          status = soc.AddCpuUtil(-cpu_grant);
+        }
         break;
       case DlDevice::kSocGpu:
         status = soc.SetGpuUtil(0.0);

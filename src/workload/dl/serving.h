@@ -6,15 +6,19 @@
 #ifndef SRC_WORKLOAD_DL_SERVING_H_
 #define SRC_WORKLOAD_DL_SERVING_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/base/priority.h"
 #include "src/base/retry.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/gpu.h"
+#include "src/qos/admission.h"
+#include "src/qos/breaker.h"
 #include "src/sched/placer.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/dl/model.h"
@@ -48,11 +52,18 @@ class OpenLoopSource {
 // utilization through SocModel makes the cluster's power track load — the
 // mechanism behind Figure 12.
 //
+// Admission runs through a shared priority-aware AdmissionQueue
+// (src/qos/admission.h): three priority classes dispatched highest class
+// first, queue caps that shed from the lowest class, optional CoDel
+// sojourn shedding, and deadline-expiry purge at dispatch. Queue policy
+// (length cap, CoDel) is configured on admission() directly; an optional
+// per-service circuit breaker (SetBreaker) fast-fails non-critical
+// submissions while the service is overwhelmed.
+//
 // Request-level resilience, all opt-in:
-//   * SetMaxQueue — load shedding: requests arriving at a full queue are
-//     rejected immediately instead of growing an unbounded backlog;
 //   * SetDeadline — a request whose queueing delay already exceeds the
-//     deadline is dropped at dispatch time (doomed work is never started);
+//     deadline is dropped at dispatch time (doomed work is never started,
+//     counted under "dl.serving.expired" separately from shed);
 //   * SetRetryPolicy — a request whose serving SoC dies mid-inference is
 //     re-queued after an exponential, jittered backoff, gated by a retry
 //     budget so retries cannot amplify an outage into a storm;
@@ -87,12 +98,23 @@ class SocServingFleet {
   // path changes neither throughput nor the reported latencies.
   void SetResponseSize(DataSize size) { response_size_ = size; }
 
-  // Load shedding: reject Submit() when the queue already holds `max_queue`
-  // requests. Zero (default) disables.
-  void SetMaxQueue(int max_queue);
+  // The fleet's admission queue. Queue policy — length cap, CoDel sojourn
+  // shedding, brownout admission floor — is set here (the qos layer owns
+  // queue-cap semantics; the fleet no longer carries its own).
+  AdmissionQueue& admission() { return admission_; }
+  const AdmissionQueue& admission() const { return admission_; }
   // Drop requests whose queueing delay exceeds `deadline` (checked at
-  // dispatch). Zero (default) disables.
+  // dispatch). Zero (default) disables. Snapshotted per request at Submit.
   void SetDeadline(Duration deadline);
+  // Caps concurrently dispatched requests (brownout "shrink serving" rung).
+  // Zero (default) disables.
+  void SetDispatchLimit(int limit);
+  // Fast-fails non-critical Submit() calls while `breaker` is open (shed
+  // at the door, counted per class). Critical traffic bypasses the breaker
+  // — during a brownout the critical SLO outranks drain speed. Null
+  // (default) disables; the breaker is fed successes on completion and
+  // failures on abandonment and queue-pressure sheds.
+  void SetBreaker(CircuitBreaker* breaker) { breaker_ = breaker; }
   // Retry requests that die with their SoC, paced by `policy` with
   // deterministic jitter from `seed`. A retry budget (SetRetryBudget)
   // bounds amplification; without one, retries are unlimited.
@@ -101,7 +123,8 @@ class SocServingFleet {
   // Rescue requests whose SoC has died by `hedge_delay` after dispatch.
   void EnableHedging(Duration hedge_delay);
 
-  void Submit();
+  void Submit() { Submit(Priority::kStandard); }
+  void Submit(Priority priority);
 
   int64_t completed() const { return completed_; }
   int64_t shed() const { return shed_; }
@@ -109,14 +132,23 @@ class SocServingFleet {
   int64_t failed() const { return failed_; }
   int64_t retries() const { return retries_; }
   int64_t hedges() const { return hedges_; }
-  int queue_length() const { return static_cast<int>(queue_.size()); }
+  int queue_length() const { return admission_.size(); }
   const SampleStats& latencies() const { return latencies_; }
+  // Per-class views of the same accounting.
+  int64_t completed_of(Priority p) const { return ByClass(completed_of_, p); }
+  int64_t shed_of(Priority p) const { return ByClass(shed_of_, p); }
+  int64_t expired_of(Priority p) const { return ByClass(expired_of_, p); }
+  const SampleStats& latencies_of(Priority p) const {
+    return latencies_of_[static_cast<size_t>(p)];
+  }
   // Engine service rate of one SoC (samples/s), unthrottled.
   double PerSocThroughput() const;
 
  private:
   struct RequestState {
     SimTime enqueue;
+    Priority priority = Priority::kStandard;
+    Duration deadline;  // Snapshot of the fleet deadline at Submit.
     uint64_t request_id = 0;
     SpanId request_span = 0;
     SpanId queue_span = 0;
@@ -126,9 +158,17 @@ class SocServingFleet {
   };
   using RequestPtr = std::shared_ptr<RequestState>;
 
+  static int64_t ByClass(const std::array<int64_t, kNumPriorities>& a,
+                         Priority p) {
+    return a[static_cast<size_t>(p)];
+  }
+
+  void OnAdmissionDrop(const AdmissionQueue::Item& item,
+                       AdmissionQueue::DropReason reason);
   void TryDispatch();
   void FinishOn(int soc_index, RequestPtr request, int attempt,
-                int64_t fail_epoch, SpanId infer_track_span, SpanId infer_span);
+                int64_t fail_epoch, double cpu_grant, SpanId infer_track_span,
+                SpanId infer_span);
   void HedgeCheck(int soc_index, RequestPtr request, int attempt,
                   int64_t fail_epoch);
   // Re-queues a not-yet-done request (retry or hedge rescue).
@@ -149,17 +189,23 @@ class SocServingFleet {
   // historical first-free scan, since free engines all carry zero load).
   SocCapacityView view_;
   Placer placer_;
-  std::deque<RequestPtr> queue_;
+  AdmissionQueue admission_;
+  CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
   int64_t completed_ = 0;
   int64_t shed_ = 0;
   int64_t deadline_expired_ = 0;
   int64_t failed_ = 0;
   int64_t retries_ = 0;
   int64_t hedges_ = 0;
+  std::array<int64_t, kNumPriorities> completed_of_{};
+  std::array<int64_t, kNumPriorities> shed_of_{};
+  std::array<int64_t, kNumPriorities> expired_of_{};
+  std::array<SampleStats, kNumPriorities> latencies_of_;
   SampleStats latencies_;
   DataSize response_size_;  // Zero: no response transfer.
-  int max_queue_ = 0;       // Zero: unbounded.
   Duration deadline_;       // Zero: none.
+  int dispatch_limit_ = 0;  // Zero: unbounded.
+  int in_flight_ = 0;       // Requests currently holding an engine slot.
   Duration hedge_delay_;    // Zero: hedging off.
   std::unique_ptr<RetryBackoff> backoff_;  // Null: retries off.
   std::unique_ptr<RetryBudget> budget_;    // Null: unlimited retries.

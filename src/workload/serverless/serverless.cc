@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "src/base/check.h"
 
@@ -34,20 +37,62 @@ PlacementDemand InstanceDemand(double memory_mb) {
   return demand;
 }
 
+AdmissionQueue::Options DeferralOptions(const ServerlessConfig& config) {
+  AdmissionQueue::Options options;
+  options.service = "serverless";
+  options.max_queue = config.defer_queue_cap;
+  return options;
+}
+
 }  // namespace
 
 ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
                                        ServerlessConfig config)
     : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed),
       view_(cluster, ViewOptions(config)),
-      placer_(sim, &view_, PlacerOptions()) {
+      placer_(sim, &view_, PlacerOptions()),
+      admission_(sim, DeferralOptions(config)) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   MetricRegistry& metrics = sim_->metrics();
   invocations_metric_ = metrics.GetCounter("serverless.invocations");
   cold_starts_metric_ = metrics.GetCounter("serverless.cold_starts");
   rejected_metric_ = metrics.GetCounter("serverless.rejected");
+  deferred_metric_ = metrics.GetCounter("serverless.deferred");
+  qos_shed_metric_ = metrics.GetCounter("serverless.qos_shed");
   latency_metric_ = metrics.GetHistogram("serverless.latency_ms");
+  admission_.set_on_drop(
+      [this](const AdmissionQueue::Item& item,
+             AdmissionQueue::DropReason reason) { OnAdmissionDrop(item, reason); });
+}
+
+void ServerlessPlatform::OnAdmissionDrop(const AdmissionQueue::Item& item,
+                                         AdmissionQueue::DropReason reason) {
+  auto deferred = std::static_pointer_cast<DeferredInvocation>(item.payload);
+  ++stats_.qos_shed;
+  qos_shed_metric_->Increment();
+  Tracer& tracer = sim_->tracer();
+  tracer.AddArg(deferred->trace.span, "qos_shed",
+                AdmissionQueue::DropReasonName(reason));
+  tracer.EndSpan(deferred->trace.span);
+  if (breaker_ != nullptr && reason == AdmissionQueue::DropReason::kQueueFull) {
+    breaker_->RecordFailure();
+  }
+}
+
+void ServerlessPlatform::SetAdmitFloor(Priority floor) {
+  admit_floor_ = floor;
+  admission_.SetAdmitFloor(floor);
+}
+
+void ServerlessPlatform::SetDeferColdStarts(bool defer) {
+  if (defer == defer_cold_starts_) {
+    return;
+  }
+  defer_cold_starts_ = defer;
+  if (!defer_cold_starts_) {
+    DrainDeferred();  // Parked cold starts may provision now.
+  }
 }
 
 Status ServerlessPlatform::RegisterFunction(const FunctionSpec& spec) {
@@ -79,7 +124,7 @@ ServerlessPlatform::Instance* ServerlessPlatform::FindWarmInstance(
 }
 
 Status ServerlessPlatform::Invoke(const std::string& function,
-                                  Callback on_done) {
+                                  Callback on_done, Priority priority) {
   const auto it = functions_.find(function);
   if (it == functions_.end()) {
     return Status::NotFound("function " + function + " not registered");
@@ -87,6 +132,13 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   const FunctionSpec& spec = it->second;
   ++stats_.invocations;
   invocations_metric_->Increment();
+  if (priority > admit_floor_ ||
+      (breaker_ != nullptr && priority != Priority::kCritical &&
+       !breaker_->Allow())) {
+    ++stats_.qos_shed;
+    qos_shed_metric_->Increment();
+    return Status::Ok();  // Shed by policy, not an API error.
+  }
   const SimTime enqueue = sim_->Now();
   Tracer& tracer = sim_->tracer();
   InvocationTrace trace;
@@ -101,14 +153,38 @@ Status ServerlessPlatform::Invoke(const std::string& function,
     return Status::Ok();
   }
 
-  // Cold path: provision a new instance.
+  if (defer_cold_starts_) {
+    // Brownout: park the cold start instead of provisioning while power
+    // is scarce. The parked invocation runs when deferral releases, a
+    // warm instance frees up, or its deferral deadline lapses (shed).
+    auto deferred = std::make_shared<DeferredInvocation>();
+    deferred->function = function;
+    deferred->on_done = std::move(on_done);
+    deferred->trace = trace;
+    deferred->enqueue = enqueue;
+    tracer.AddArg(trace.span, "deferred", "true");
+    if (admission_.Offer(priority, config_.defer_timeout,
+                         std::move(deferred))) {
+      ++stats_.deferred;
+      deferred_metric_->Increment();
+    }
+    return Status::Ok();
+  }
+
+  ColdStart(spec, enqueue, trace, std::move(on_done));
+  return Status::Ok();
+}
+
+void ServerlessPlatform::ColdStart(const FunctionSpec& spec, SimTime enqueue,
+                                   InvocationTrace trace, Callback on_done) {
+  Tracer& tracer = sim_->tracer();
   const int soc_index = placer_.Pick(InstanceDemand(spec.memory_mb));
   if (soc_index < 0) {
     ++stats_.rejected;
     rejected_metric_->Increment();
     tracer.AddArg(trace.span, "rejected", "true");
     tracer.EndSpan(trace.span);
-    return Status::Ok();  // Shed, not an API error.
+    return;  // Shed, not an API error.
   }
   ++stats_.cold_starts;
   cold_starts_metric_->Increment();
@@ -116,7 +192,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
       tracer.BeginAsyncSpan("cold_start", "serverless", trace.id, trace.span);
   view_.Reserve(soc_index, InstanceDemand(spec.memory_mb));
   const int64_t id = next_instance_id_++;
-  instances_.emplace(id, Instance{id, function, soc_index, true,
+  instances_.emplace(id, Instance{id, spec.name, soc_index, true,
                                   EventHandle()});
   sim_->ScheduleAfter(spec.cold_start, [this, id, spec, enqueue, trace,
                                         cold_span,
@@ -130,7 +206,34 @@ Status ServerlessPlatform::Invoke(const std::string& function,
     inst->second.busy = true;
     RunOn(&inst->second, spec, enqueue, trace, std::move(cb));
   });
-  return Status::Ok();
+}
+
+void ServerlessPlatform::DrainDeferred() {
+  while (admission_.size() > 0) {
+    std::optional<AdmissionQueue::Item> item = admission_.Pop();
+    if (!item.has_value()) {
+      return;  // Everything parked had timed out.
+    }
+    auto deferred = std::static_pointer_cast<DeferredInvocation>(item->payload);
+    const auto it = functions_.find(deferred->function);
+    SOC_CHECK(it != functions_.end());
+    const FunctionSpec& spec = it->second;
+    if (Instance* warm = FindWarmInstance(deferred->function)) {
+      sim_->Cancel(warm->eviction);
+      warm->eviction = EventHandle();
+      RunOn(warm, spec, deferred->enqueue, deferred->trace,
+            std::move(deferred->on_done));
+      continue;
+    }
+    if (defer_cold_starts_) {
+      // Still deferring and nothing warm for the head: keep waiting,
+      // preserving FIFO order within the class.
+      admission_.RestoreFront(std::move(*item));
+      return;
+    }
+    ColdStart(spec, deferred->enqueue, deferred->trace,
+              std::move(deferred->on_done));
+  }
 }
 
 void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
@@ -197,6 +300,9 @@ void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
     } else {
       ArmEviction(&it->second);
     }
+  }
+  if (admission_.size() > 0) {
+    DrainDeferred();  // The now-warm instance may serve a parked invocation.
   }
   if (on_done) {
     on_done();

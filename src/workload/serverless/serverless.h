@@ -19,9 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
+#include "src/qos/admission.h"
+#include "src/qos/breaker.h"
 #include "src/sched/placer.h"
 
 namespace soccluster {
@@ -45,12 +48,20 @@ struct ServerlessConfig {
   // Per-instance resident memory is charged against the SoC's 12 GB.
   double soc_memory_budget_mb = 10240.0;  // Leave 2 GB to Android.
   uint64_t seed = 97;
+  // Brownout cold-start deferral: invocations that would cold-start wait
+  // in the qos admission queue (at most `defer_queue_cap` of them, each
+  // for at most `defer_timeout`) instead of provisioning while power is
+  // scarce. Warm invocations keep flowing.
+  int defer_queue_cap = 256;
+  Duration defer_timeout = Duration::Seconds(30);
 };
 
 struct InvocationStats {
   int64_t invocations = 0;
   int64_t cold_starts = 0;
   int64_t rejected = 0;  // No SoC had memory for a new instance.
+  int64_t deferred = 0;  // Cold starts parked during a brownout.
+  int64_t qos_shed = 0;  // Shed by floor/breaker/deferral-queue policy.
   SampleStats latency_ms;
 
   double ColdStartRate() const {
@@ -75,8 +86,24 @@ class ServerlessPlatform {
   // Invokes a function; `on_done` (may be null) fires at completion.
   // Returns kNotFound for unregistered functions; a rejection for lack of
   // memory is *not* an error (it is counted in stats, as a real platform
-  // would shed the invocation).
-  Status Invoke(const std::string& function, Callback on_done);
+  // would shed the invocation). Classes below the brownout admission floor
+  // are shed at the door; while cold-start deferral is engaged, cold paths
+  // park in the qos admission queue until released (or their deferral
+  // deadline lapses).
+  Status Invoke(const std::string& function, Callback on_done,
+                Priority priority = Priority::kStandard);
+
+  // Brownout hooks: refuse classes below `floor`; park would-be cold
+  // starts while `defer` is on (releasing drains the parked queue).
+  void SetAdmitFloor(Priority floor);
+  void SetDeferColdStarts(bool defer);
+  bool defer_cold_starts() const { return defer_cold_starts_; }
+  // Fast-fails non-critical invocations while `breaker` is open. Null
+  // (default) disables.
+  void SetBreaker(CircuitBreaker* breaker) { breaker_ = breaker; }
+  AdmissionQueue& admission() { return admission_; }
+  const AdmissionQueue& admission() const { return admission_; }
+  int deferred_pending() const { return admission_.size(); }
 
   const InvocationStats& stats() const { return stats_; }
   // Warm (idle) + active instances of a function across the cluster.
@@ -101,6 +128,15 @@ class ServerlessPlatform {
     SpanId span = 0;
   };
 
+  // An invocation parked in the admission queue while cold-start deferral
+  // is engaged.
+  struct DeferredInvocation {
+    std::string function;
+    Callback on_done;
+    InvocationTrace trace;
+    SimTime enqueue;
+  };
+
   Instance* FindWarmInstance(const std::string& function);
   void RunOn(Instance* instance, const FunctionSpec& spec, SimTime enqueue,
              InvocationTrace trace, Callback on_done);
@@ -108,6 +144,15 @@ class ServerlessPlatform {
                         InvocationTrace trace, Callback on_done);
   void Evict(int64_t instance_id);
   void ArmEviction(Instance* instance);
+  // Provisions a cold instance for the invocation (the pre-deferral cold
+  // path, shared by Invoke and the deferred-drain path).
+  void ColdStart(const FunctionSpec& spec, SimTime enqueue,
+                 InvocationTrace trace, Callback on_done);
+  // Runs parked invocations that can proceed now (warm reuse always;
+  // cold start once deferral is off).
+  void DrainDeferred();
+  void OnAdmissionDrop(const AdmissionQueue::Item& item,
+                       AdmissionQueue::DropReason reason);
 
   Simulator* sim_;
   SocCluster* cluster_;
@@ -117,6 +162,10 @@ class ServerlessPlatform {
   // spreads by resident memory (the historical most-free-memory rule).
   SocCapacityView view_;
   Placer placer_;
+  AdmissionQueue admission_;
+  CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
+  Priority admit_floor_ = Priority::kBestEffort;
+  bool defer_cold_starts_ = false;
   std::map<std::string, FunctionSpec> functions_;
   std::map<int64_t, Instance> instances_;
   int64_t next_instance_id_ = 1;
@@ -126,6 +175,8 @@ class ServerlessPlatform {
   Counter* invocations_metric_;
   Counter* cold_starts_metric_;
   Counter* rejected_metric_;
+  Counter* deferred_metric_;
+  Counter* qos_shed_metric_;
   HistogramMetric* latency_metric_;
 };
 

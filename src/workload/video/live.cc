@@ -1,5 +1,9 @@
 #include "src/workload/video/live.h"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/base/check.h"
@@ -35,13 +39,20 @@ Placer::Options PlacerOptions(PlacementPolicy policy) {
   options.load.codec_session_weight = 0.05;
   return options;
 }
+
+AdmissionQueue::Options LiveAdmissionOptions() {
+  AdmissionQueue::Options options;
+  options.service = "video.live";
+  return options;
+}
 }  // namespace
 
 LiveTranscodingService::LiveTranscodingService(Simulator* sim,
                                                SocCluster* cluster,
                                                PlacementPolicy policy)
     : sim_(sim), cluster_(cluster), capacity_(cluster),
-      placer_(sim, &capacity_, PlacerOptions(policy)) {
+      placer_(sim, &capacity_, PlacerOptions(policy)),
+      admission_(sim, LiveAdmissionOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
   MetricRegistry& metrics = sim_->metrics();
@@ -51,7 +62,25 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
   degraded_metric_ = metrics.GetCounter("video.live.streams_degraded");
   dropped_metric_ = metrics.GetCounter("video.live.streams_dropped");
   failed_over_metric_ = metrics.GetCounter("video.live.streams_failed_over");
+  brownout_demoted_metric_ =
+      metrics.GetCounter("video.live.brownout_demoted");
+  brownout_promoted_metric_ =
+      metrics.GetCounter("video.live.brownout_promoted");
   max_active_metric_ = metrics.GetGauge("video.live.max_active_streams");
+  admission_.set_on_drop(
+      [this](const AdmissionQueue::Item& item,
+             AdmissionQueue::DropReason reason) { OnAdmissionDrop(item, reason); });
+}
+
+void LiveTranscodingService::OnAdmissionDrop(const AdmissionQueue::Item& item,
+                                             AdmissionQueue::DropReason reason) {
+  (void)item;
+  ++requests_shed_;
+  rejected_metric_->Increment();
+  sim_->tracer().Instant("request_shed", "video.live");
+  if (breaker_ != nullptr && reason == AdmissionQueue::DropReason::kQueueFull) {
+    breaker_->RecordFailure();
+  }
 }
 
 int LiveTranscodingService::StreamsOnSoc(int soc_index) const {
@@ -142,13 +171,25 @@ void LiveTranscodingService::Admit(Stream* stream, int soc_index, int rung) {
 }
 
 Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
-                                                    TranscodeBackend backend) {
+                                                    TranscodeBackend backend,
+                                                    Priority priority) {
   if (backend != TranscodeBackend::kSocCpu &&
       backend != TranscodeBackend::kSocHwCodec) {
     return Status::InvalidArgument(
         "LiveTranscodingService runs on the SoC Cluster only");
   }
-  Result<int> soc_index = PickFor(video, backend, BitrateRungCpuScale(0));
+  if (priority > admit_floor_) {
+    ++requests_shed_;
+    rejected_metric_->Increment();
+    sim_->tracer().Instant("admission_rejected", "video.live");
+    return Status::ResourceExhausted(
+        "stream class below the brownout admission floor");
+  }
+  // During a brownout, CPU streams enter at the degraded rung rather than
+  // being refused the full-quality slot.
+  const int rung =
+      backend == TranscodeBackend::kSocCpu ? brownout_rung_ : 0;
+  Result<int> soc_index = PickFor(video, backend, BitrateRungCpuScale(rung));
   if (!soc_index.ok()) {
     rejected_metric_->Increment();
     sim_->tracer().Instant("admission_rejected", "video.live");
@@ -156,7 +197,7 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
   }
 
   Stream stream{video, backend, *soc_index, 0.0, 0, 0, 0, 0};
-  Admit(&stream, *soc_index, /*rung=*/0);
+  Admit(&stream, *soc_index, rung);
 
   const int64_t id = next_id_++;
   Tracer& tracer = sim_->tracer();
@@ -192,7 +233,134 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
   sim_->tracer().EndSpan(stream.span);
   stopped_metric_->Increment();
   streams_.erase(it);
+  DrainPending();  // The freed capacity may start a queued request.
   return Status::Ok();
+}
+
+void LiveTranscodingService::RequestStream(VbenchVideo video,
+                                           TranscodeBackend backend,
+                                           Priority priority) {
+  SOC_CHECK(backend == TranscodeBackend::kSocCpu ||
+            backend == TranscodeBackend::kSocHwCodec)
+      << "LiveTranscodingService runs on the SoC Cluster only";
+  if (breaker_ != nullptr && priority != Priority::kCritical &&
+      !breaker_->Allow()) {
+    ++requests_shed_;
+    rejected_metric_->Increment();
+    sim_->tracer().Instant("request_shed", "video.live");
+    return;
+  }
+  auto pending = std::make_shared<PendingStream>();
+  pending->video = video;
+  pending->backend = backend;
+  if (!admission_.Offer(priority, Duration::Zero(), std::move(pending))) {
+    return;  // Shed; accounted in OnAdmissionDrop.
+  }
+  DrainPending();
+}
+
+void LiveTranscodingService::DrainPending() {
+  while (admission_.size() > 0) {
+    std::optional<AdmissionQueue::Item> item = admission_.Pop();
+    if (!item.has_value()) {
+      return;
+    }
+    auto pending = std::static_pointer_cast<PendingStream>(item->payload);
+    const int rung =
+        pending->backend == TranscodeBackend::kSocCpu ? brownout_rung_ : 0;
+    Result<int> soc_index =
+        PickFor(pending->video, pending->backend, BitrateRungCpuScale(rung));
+    if (!soc_index.ok()) {
+      // Head-of-class blocks until capacity frees; keep FIFO order.
+      admission_.RestoreFront(std::move(*item));
+      return;
+    }
+    Stream stream{pending->video, pending->backend, *soc_index, 0.0, 0, 0, 0,
+                  0};
+    Admit(&stream, *soc_index, rung);
+    const int64_t id = next_id_++;
+    Tracer& tracer = sim_->tracer();
+    const SpanId span = tracer.BeginAsyncSpan("stream", "video.live",
+                                              static_cast<uint64_t>(id));
+    tracer.AddArg(span, "soc", static_cast<int64_t>(*soc_index));
+    tracer.AddArg(span, "backend",
+                  pending->backend == TranscodeBackend::kSocCpu ? "cpu"
+                                                                : "hw_codec");
+    stream.span = span;
+    streams_.emplace(id, stream);
+    started_metric_->Increment();
+    if (breaker_ != nullptr) {
+      breaker_->RecordSuccess();
+    }
+    max_active_metric_->SetMax(static_cast<double>(streams_.size()));
+  }
+}
+
+void LiveTranscodingService::SetAdmitFloor(Priority floor) {
+  admit_floor_ = floor;
+  admission_.SetAdmitFloor(floor);
+}
+
+bool LiveTranscodingService::MoveRung(Stream* stream, int rung) {
+  SOC_CHECK(stream->backend == TranscodeBackend::kSocCpu);
+  const int old_rung = stream->rung;
+  PlacementDemand release;
+  release.cpu_util = stream->cpu_demand;
+  capacity_.Release(stream->soc_index, release);
+  Network& net = cluster_->network();
+  Status status = net.RemoveConstantLoad(stream->inbound_load);
+  SOC_CHECK(status.ok()) << status.ToString();
+  status = net.RemoveConstantLoad(stream->outbound_load);
+  SOC_CHECK(status.ok()) << status.ToString();
+  if (rung < old_rung) {
+    // Promotion needs the extra CPU to still be there.
+    const PlacementDemand want = StreamDemand(
+        stream->soc_index, stream->video, stream->backend,
+        BitrateRungCpuScale(rung));
+    if (!capacity_.Fits(stream->soc_index, want)) {
+      Admit(stream, stream->soc_index, old_rung);
+      return false;
+    }
+  }
+  Admit(stream, stream->soc_index, rung);
+  sim_->tracer().AddArg(stream->span, "rung", static_cast<int64_t>(rung));
+  return true;
+}
+
+void LiveTranscodingService::SetBrownoutRung(int rung) {
+  SOC_CHECK_GE(rung, 0);
+  SOC_CHECK_LT(rung, kNumBitrateRungs);
+  if (rung == brownout_rung_) {
+    return;
+  }
+  brownout_rung_ = rung;
+  for (auto& [id, stream] : streams_) {
+    if (stream.backend != TranscodeBackend::kSocCpu) {
+      continue;
+    }
+    if (!capacity_.IsPlaceable(stream.soc_index)) {
+      // The SoC failed but detection hasn't fired yet; OnSocFailure will
+      // re-home the stream. Reserving against the dead SoC's ledger here
+      // would oversubscribe it the moment it comes back.
+      continue;
+    }
+    const int target = std::max(stream.base_rung, rung);
+    if (target == stream.rung) {
+      continue;
+    }
+    const bool demotion = target > stream.rung;
+    if (MoveRung(&stream, target)) {
+      if (demotion) {
+        ++brownout_demoted_;
+        brownout_demoted_metric_->Increment();
+      } else {
+        ++brownout_promoted_;
+        brownout_promoted_metric_->Increment();
+      }
+    }
+  }
+  // Demotions freed CPU; queued requests may now fit.
+  DrainPending();
 }
 
 void LiveTranscodingService::OnSocFailure(int soc_index) {
@@ -229,6 +397,14 @@ void LiveTranscodingService::OnSocFailure(int soc_index) {
           ++streams_degraded_;
           degraded_metric_->Increment();
           tracer.AddArg(stream.span, "rung", static_cast<int64_t>(rung));
+        }
+        // Degradation beyond the brownout floor is capacity-forced and
+        // sticky; the brownout share of the rung is released later.
+        const int floor = stream.backend == TranscodeBackend::kSocCpu
+                              ? brownout_rung_
+                              : 0;
+        if (rung > floor) {
+          stream.base_rung = rung;
         }
         placed = true;
         break;

@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <map>
 
+#include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
+#include "src/qos/admission.h"
+#include "src/qos/breaker.h"
 #include "src/sched/placer.h"
 #include "src/workload/video/transcode.h"
 #include "src/workload/video/video.h"
@@ -37,9 +40,34 @@ class LiveTranscodingService {
   LiveTranscodingService& operator=(const LiveTranscodingService&) = delete;
 
   // Admits one live stream; fails with RESOURCE_EXHAUSTED when no SoC has
-  // capacity. The stream runs until StopStream().
-  Result<int64_t> StartStream(VbenchVideo video, TranscodeBackend backend);
+  // capacity (or the stream's class sits below the brownout admission
+  // floor). During a brownout, new CPU streams start at the brownout rung
+  // instead of full quality. The stream runs until StopStream().
+  Result<int64_t> StartStream(VbenchVideo video, TranscodeBackend backend,
+                              Priority priority = Priority::kStandard);
   Status StopStream(int64_t stream_id);
+
+  // Queued admission through the shared qos AdmissionQueue: a request that
+  // cannot start right now waits (highest class first, FIFO within class)
+  // and starts when capacity frees — StopStream, a brownout demotion, or a
+  // rung release drains the queue. Requests below the admission floor, or
+  // arriving while the breaker is open (non-critical only), are shed.
+  void RequestStream(VbenchVideo video, TranscodeBackend backend,
+                     Priority priority = Priority::kStandard);
+
+  // Pending stream-start queue (policy knobs live on the queue itself).
+  AdmissionQueue& admission() { return admission_; }
+  const AdmissionQueue& admission() const { return admission_; }
+
+  // Brownout hooks. SetAdmitFloor refuses classes below `floor` at the
+  // door; SetBrownoutRung(r) pushes every CPU stream down to at least rung
+  // `r` in place (and back up when `r` drops, where capacity allows).
+  void SetAdmitFloor(Priority floor);
+  void SetBrownoutRung(int rung);
+  int brownout_rung() const { return brownout_rung_; }
+  // Fast-fails non-critical RequestStream calls while `breaker` is open.
+  // Null (default) disables.
+  void SetBreaker(CircuitBreaker* breaker) { breaker_ = breaker; }
 
   // Re-homes the failed SoC's streams onto the survivors, walking each
   // stream down the bitrate ladder as needed (CPU backend) and dropping
@@ -51,6 +79,10 @@ class LiveTranscodingService {
   int StreamsAtRung(int rung) const;
   int64_t streams_degraded() const { return streams_degraded_; }
   int64_t streams_dropped() const { return streams_dropped_; }
+  int64_t brownout_demoted() const { return brownout_demoted_; }
+  int64_t brownout_promoted() const { return brownout_promoted_; }
+  int64_t requests_shed() const { return requests_shed_; }
+  int pending_requests() const { return admission_.size(); }
   // Total streams the whole cluster can admit for this video/backend.
   int ClusterCapacity(VbenchVideo video, TranscodeBackend backend) const;
 
@@ -64,6 +96,16 @@ class LiveTranscodingService {
     int64_t inbound_load;
     int64_t outbound_load;
     SpanId span;  // Async "stream" span (category "video.live").
+    // Rung the stream runs at absent brownout pressure: 0 at admission,
+    // raised only by capacity-forced failover degradation. The effective
+    // rung is max(base_rung, brownout_rung_) for CPU streams.
+    int base_rung = 0;
+  };
+
+  // A stream-start request waiting in the admission queue.
+  struct PendingStream {
+    VbenchVideo video;
+    TranscodeBackend backend;
   };
 
   // Per-candidate demand of one stream at `cpu_scale` on the ladder, and
@@ -78,15 +120,30 @@ class LiveTranscodingService {
   // Charges SoC + network resources for `stream` at `rung` on `soc_index`,
   // updating the record in place.
   void Admit(Stream* stream, int soc_index, int rung);
+  // Moves a placed CPU stream to `rung` on its current SoC (release, then
+  // re-admit). A promotion that no longer fits re-admits at the old rung
+  // and returns false.
+  bool MoveRung(Stream* stream, int rung);
+  // Starts queued stream requests while capacity allows.
+  void DrainPending();
+  void OnAdmissionDrop(const AdmissionQueue::Item& item,
+                       AdmissionQueue::DropReason reason);
 
   Simulator* sim_;
   SocCluster* cluster_;
   SocCapacityView capacity_;
   Placer placer_;
+  AdmissionQueue admission_;
+  CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
+  Priority admit_floor_ = Priority::kBestEffort;
+  int brownout_rung_ = 0;
   std::map<int64_t, Stream> streams_;
   int64_t next_id_ = 1;
   int64_t streams_degraded_ = 0;
   int64_t streams_dropped_ = 0;
+  int64_t brownout_demoted_ = 0;
+  int64_t brownout_promoted_ = 0;
+  int64_t requests_shed_ = 0;
   // Admission outcomes published to the registry ("video.live.*").
   Counter* started_metric_;
   Counter* stopped_metric_;
@@ -94,6 +151,8 @@ class LiveTranscodingService {
   Counter* degraded_metric_;
   Counter* dropped_metric_;
   Counter* failed_over_metric_;
+  Counter* brownout_demoted_metric_;
+  Counter* brownout_promoted_metric_;
   Gauge* max_active_metric_;
 };
 

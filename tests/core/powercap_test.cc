@@ -78,6 +78,32 @@ TEST_F(PowerCapTest, RestoresAfterLoadDrops) {
   EXPECT_EQ(fleet_.active_count(), 60);
 }
 
+TEST_F(PowerCapTest, RestoreReconcilesWithExternalScaleDown) {
+  PowerCapConfig config;
+  config.wall_cap = Power::Watts(300.0);
+  PowerCapController controller(&sim_, &cluster_, &bmc_, &fleet_, config);
+  // The external (autoscaler) fleet target. Historically the controller
+  // snapshotted the pre-shed size and blindly restored to it, clobbering
+  // any scale-down issued while the shed episode ran.
+  int target = 60;
+  controller.SetRestoreTarget([&target] { return target; });
+  controller.Start();
+  fleet_.SetActiveCount(60);
+  for (int i = 0; i < 20000; ++i) {
+    fleet_.Submit();
+  }
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  ASSERT_TRUE(controller.IsShedding());
+  // Mid-episode the autoscaler decides 40 SoCs are enough.
+  target = 40;
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(300)).ok());
+  EXPECT_FALSE(controller.IsShedding());
+  EXPECT_EQ(fleet_.queue_length(), 0);
+  // The restore honored the newer, smaller target instead of re-inflating
+  // to the stale pre-shed snapshot.
+  EXPECT_EQ(fleet_.active_count(), 40);
+}
+
 TEST_F(PowerCapTest, ThermalThrottleEngagesWithoutWallCap) {
   // Poorly cooled chassis: full CPU load pushes past 80 C.
   Simulator sim(143);

@@ -1,0 +1,272 @@
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/base/check.h"
+#include "src/qos/admission.h"
+#include "src/qos/breaker.h"
+#include "src/qos/brownout.h"
+
+namespace soccluster {
+namespace {
+
+AdmissionQueue::Options QueueOptions(const char* service) {
+  AdmissionQueue::Options options;
+  options.service = service;
+  return options;
+}
+
+TEST(AdmissionQueueTest, StrictPriorityFifoWithinClass) {
+  Simulator sim(1);
+  AdmissionQueue queue(&sim, QueueOptions("t.order"));
+  auto tag = [](int v) { return std::make_shared<int>(v); };
+  ASSERT_TRUE(queue.Offer(Priority::kBestEffort, Duration::Zero(), tag(1)));
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), tag(2)));
+  ASSERT_TRUE(queue.Offer(Priority::kCritical, Duration::Zero(), tag(3)));
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), tag(4)));
+  EXPECT_EQ(queue.size(), 4);
+  int order[4];
+  for (int& slot : order) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    slot = *std::static_pointer_cast<int>(item->payload);
+  }
+  EXPECT_EQ(order[0], 3);  // Critical first.
+  EXPECT_EQ(order[1], 2);  // Standard, FIFO.
+  EXPECT_EQ(order[2], 4);
+  EXPECT_EQ(order[3], 1);  // Best-effort last.
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, AdmitFloorRefusesLowerClasses) {
+  Simulator sim(1);
+  AdmissionQueue queue(&sim, QueueOptions("t.floor"));
+  queue.SetAdmitFloor(Priority::kStandard);
+  EXPECT_FALSE(queue.Offer(Priority::kBestEffort, Duration::Zero(), nullptr));
+  EXPECT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), nullptr));
+  EXPECT_TRUE(queue.Offer(Priority::kCritical, Duration::Zero(), nullptr));
+  EXPECT_EQ(queue.DroppedFor(AdmissionQueue::DropReason::kAdmitFloor), 1);
+  queue.SetAdmitFloor(Priority::kBestEffort);
+  EXPECT_TRUE(queue.Offer(Priority::kBestEffort, Duration::Zero(), nullptr));
+}
+
+TEST(AdmissionQueueTest, FullQueueEvictsNewestLowerClassItem) {
+  Simulator sim(1);
+  AdmissionQueue::Options options = QueueOptions("t.full");
+  options.max_queue = 2;
+  AdmissionQueue queue(&sim, options);
+  ASSERT_TRUE(queue.Offer(Priority::kBestEffort, Duration::Zero(), nullptr));
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), nullptr));
+  // Full; a critical arrival evicts the best-effort item, not itself.
+  EXPECT_TRUE(queue.Offer(Priority::kCritical, Duration::Zero(), nullptr));
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_EQ(queue.SizeOf(Priority::kBestEffort), 0);
+  EXPECT_EQ(queue.DroppedFor(AdmissionQueue::DropReason::kQueueFull), 1);
+  // Full of >= classes: the incoming standard item is the one shed.
+  EXPECT_FALSE(queue.Offer(Priority::kStandard, Duration::Zero(), nullptr));
+  EXPECT_EQ(queue.DroppedFor(AdmissionQueue::DropReason::kQueueFull), 2);
+  EXPECT_EQ(queue.size(), 2);
+}
+
+TEST(AdmissionQueueTest, ExpiredItemsPurgedAtDispatch) {
+  Simulator sim(1);
+  AdmissionQueue queue(&sim, QueueOptions("t.expiry"));
+  ASSERT_TRUE(
+      queue.Offer(Priority::kStandard, Duration::Seconds(1), nullptr));
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), nullptr));
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(2)).ok());
+  // The first item is a second past its deadline: purged, and the
+  // unbounded-deadline item dispatches instead.
+  auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(queue.DroppedFor(AdmissionQueue::DropReason::kExpired), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, CodelShedsSustainedSojourn) {
+  Simulator sim(1);
+  AdmissionQueue::Options options = QueueOptions("t.codel");
+  options.codel_target = Duration::Millis(10);
+  options.codel_interval = Duration::Millis(50);
+  AdmissionQueue queue(&sim, options);
+  // Offered load 2x the drain rate: the backlog (and thus sojourn) grows
+  // without bound unless the CoDel law sheds.
+  for (int step = 0; step < 400; ++step) {
+    sim.ScheduleAfter(Duration::Millis(10 * step), [&queue] {
+      queue.Offer(Priority::kStandard, Duration::Zero(), nullptr);
+      queue.Offer(Priority::kStandard, Duration::Zero(), nullptr);
+      queue.Pop();
+    });
+  }
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(5)).ok());
+  EXPECT_GT(queue.DroppedFor(AdmissionQueue::DropReason::kSojourn), 0);
+  // The law keeps the backlog bounded well below the 400 surplus items
+  // offered.
+  EXPECT_LT(queue.size(), 200);
+}
+
+TEST(AdmissionQueueTest, RestoreFrontPreservesFifoHead) {
+  Simulator sim(1);
+  AdmissionQueue queue(&sim, QueueOptions("t.restore"));
+  auto tag = [](int v) { return std::make_shared<int>(v); };
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), tag(1)));
+  ASSERT_TRUE(queue.Offer(Priority::kStandard, Duration::Zero(), tag(2)));
+  auto head = queue.Pop();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(*std::static_pointer_cast<int>(head->payload), 1);
+  queue.RestoreFront(std::move(*head));
+  auto again = queue.Pop();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*std::static_pointer_cast<int>(again->payload), 1);
+}
+
+CircuitBreakerConfig BreakerConfig(const char* service) {
+  CircuitBreakerConfig config;
+  config.service = service;
+  config.min_samples = 4;
+  config.failure_threshold = 0.5;
+  config.open_duration = Duration::Seconds(5);
+  config.half_open_probes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, OpensAtFailureThreshold) {
+  Simulator sim(1);
+  CircuitBreaker breaker(&sim, BreakerConfig("t.open"));
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // 2 failures / 4 samples = threshold.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.opens(), 1);
+  EXPECT_EQ(breaker.rejected(), 1);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesCloseOnSuccess) {
+  Simulator sim(1);
+  CircuitBreaker breaker(&sim, BreakerConfig("t.close"));
+  for (int i = 0; i < 4; ++i) {
+    breaker.RecordFailure();
+  }
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(6)).ok());
+  // First Allow after open_duration is the half-open probe.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());  // Probe budget spent.
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // closed → open → half-open → closed, never skipping half-open.
+  ASSERT_EQ(breaker.transitions().size(), 3u);
+  EXPECT_EQ(breaker.transitions()[2].to, CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  Simulator sim(1);
+  CircuitBreaker breaker(&sim, BreakerConfig("t.reopen"));
+  for (int i = 0; i < 4; ++i) {
+    breaker.RecordFailure();
+  }
+  ASSERT_TRUE(sim.RunFor(Duration::Seconds(6)).ok());
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.opens(), 2);
+}
+
+class BrownoutGovernorTest : public ::testing::Test {
+ protected:
+  BrownoutGovernorTest()
+      : cluster_(&sim_, DefaultChassisSpec(), Snapdragon865Spec()) {
+    cluster_.PowerOnAll(nullptr);
+    const Status status = sim_.RunFor(Duration::Seconds(26));
+    SOC_CHECK(status.ok());
+  }
+
+  // Raises the cluster draw by `util` CPU on every SoC.
+  void Load(double util) {
+    for (int i = 0; i < cluster_.num_socs(); ++i) {
+      const Status status = cluster_.soc(i).AddCpuUtil(util);
+      SOC_CHECK(status.ok());
+    }
+  }
+
+  Simulator sim_{11};
+  SocCluster cluster_;
+};
+
+TEST_F(BrownoutGovernorTest, LadderEngagesInOrderReleasesInReverse) {
+  BrownoutConfig config;
+  // Cap midway between idle and fully loaded draw: load pushes over it,
+  // unloading falls comfortably under it.
+  const double idle = cluster_.CurrentPower().watts();
+  Load(0.9);
+  const double loaded = cluster_.CurrentPower().watts();
+  ASSERT_GT(loaded, idle + 10.0);
+  config.wall_cap = Power::Watts((idle + loaded) / 2.0);
+  BrownoutGovernor governor(&sim_, &cluster_, nullptr, config);
+  governor.AddRung("a", 2, [](int) {}, [](int) {});
+  governor.AddRung("b", 1, [](int) {}, [](int) {});
+  governor.Start();
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(10)).ok());
+  // One level per tick while over cap, rung order a:1, a:2, b:1, then
+  // saturated.
+  EXPECT_EQ(governor.level(), 3);
+  EXPECT_EQ(governor.rung_level(0), 2);
+  EXPECT_EQ(governor.rung_level(1), 1);
+  EXPECT_EQ(governor.engagements(), 3);
+  // Drop the load: draw falls below release_fraction * cap and the ladder
+  // unwinds one level per tick, deepest rung first.
+  Load(-0.9);
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(10)).ok());
+  EXPECT_EQ(governor.level(), 0);
+  EXPECT_FALSE(governor.IsBrownedOut());
+  EXPECT_EQ(governor.releases(), 3);
+  const auto& history = governor.history();
+  ASSERT_EQ(history.size(), 6u);
+  // Engagements walk forward...
+  EXPECT_TRUE(history[0].engage);
+  EXPECT_EQ(history[0].rung, 0);
+  EXPECT_EQ(history[0].level, 1);
+  EXPECT_EQ(history[1].rung, 0);
+  EXPECT_EQ(history[1].level, 2);
+  EXPECT_EQ(history[2].rung, 1);
+  EXPECT_EQ(history[2].level, 1);
+  // ...releases mirror them exactly.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(history[3 + i].engage);
+    EXPECT_EQ(history[3 + i].rung, history[2 - i].rung);
+    EXPECT_EQ(history[3 + i].level, history[2 - i].level);
+  }
+}
+
+TEST_F(BrownoutGovernorTest, HysteresisHoldsBeforeRelease) {
+  BrownoutConfig config;
+  const double idle = cluster_.CurrentPower().watts();
+  Load(0.9);
+  const double loaded = cluster_.CurrentPower().watts();
+  config.wall_cap = Power::Watts((idle + loaded) / 2.0);
+  config.release_hold_ticks = 3;
+  BrownoutGovernor governor(&sim_, &cluster_, nullptr, config);
+  governor.AddRung("a", 1, [](int) {}, [](int) {});
+  governor.Start();
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(4)).ok());
+  ASSERT_TRUE(governor.IsBrownedOut());
+  Load(-0.9);
+  // Two comfortable ticks are not enough at hold=3.
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(5)).ok());
+  EXPECT_TRUE(governor.IsBrownedOut());
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(4)).ok());
+  EXPECT_FALSE(governor.IsBrownedOut());
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -32,7 +32,7 @@ TEST_F(ServingResilienceTest, MaxQueueShedsOverload) {
   SocServingFleet fleet(&sim_, &cluster_, DlDevice::kSocGpu,
                         DnnModel::kResNet50, Precision::kFp32);
   fleet.SetActiveCount(1);
-  fleet.SetMaxQueue(2);
+  fleet.admission().SetMaxQueue(2);
   // One dispatches immediately, two queue, the other seven are shed.
   for (int i = 0; i < 10; ++i) {
     fleet.Submit();

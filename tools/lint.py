@@ -33,14 +33,21 @@ Registered as the `lint.repo` ctest. Rules:
                 formatting and stderr logging are fine.
 
   layering      Lower layers must not include workload code:
-                src/{base,sim,sched} never include src/workload, and
+                src/{base,sim,sched,qos} never include src/workload, and
                 src/core only through the explicit allowlist (autoscaler,
-                powercap, and the benchmark suite drive workloads by
-                design). Placement went through one inversion already —
-                orchestrator.h pulling PlacementPolicy out of the live
-                video service — and src/sched exists precisely so policy
-                types live below every service; this rule keeps the
-                dependency arrow pointing one way.
+                powercap, the overload manager, and the benchmark suite
+                drive workloads by design). Placement went through one
+                inversion already — orchestrator.h pulling PlacementPolicy
+                out of the live video service — and src/sched exists
+                precisely so policy types live below every service; this
+                rule keeps the dependency arrow pointing one way.
+
+  admission     Workload/trace services must not carry private queue caps:
+                no `SetMaxQueue` or `max_queue_` outside the qos admission
+                path. Admission control (length caps, priority floors,
+                CoDel shedding) is owned by src/qos/admission.h and
+                configured via each service's admission() accessor, so the
+                brownout governor has a single choke point per service.
 
 Suppress a finding by appending `// lint:allow(<rule>)` to the offending
 line, e.g. `// lint:allow(units)`.
@@ -92,18 +99,27 @@ STDIO_PATTERNS = [
 
 # Layers that must never depend on workload implementations. src/core is
 # also restricted, but a few files legitimately orchestrate workloads.
-LAYERING_FORBIDDEN_DIRS = ("src/base", "src/sim", "src/sched", "src/core")
+LAYERING_FORBIDDEN_DIRS = ("src/base", "src/sim", "src/sched", "src/qos",
+                           "src/core")
 LAYERING_INCLUDE = re.compile(r'#include\s+"(src/workload/[^"]+)"')
 LAYERING_ALLOWLIST = {
-    # The autoscaler and power-cap controllers act on workloads by design;
-    # the benchmark suite exists to drive them end to end.
+    # The autoscaler, power-cap, and overload controllers act on workloads
+    # by design; the benchmark suite exists to drive them end to end.
     "src/core/autoscaler.h",
     "src/core/autoscaler.cc",
+    "src/core/overload.h",
+    "src/core/overload.cc",
     "src/core/powercap.h",
     "src/core/powercap.cc",
     "src/core/benchmark_suite.h",
     "src/core/benchmark_suite.cc",
 }
+
+# Queue caps belong to the qos admission layer: service code must not grow
+# its own. Lines that go through an admission() accessor (or the qos layer
+# itself) are the sanctioned path.
+ADMISSION_DIRS = ("src/workload", "src/trace")
+ADMISSION_PATTERN = re.compile(r"\b(SetMaxQueue|max_queue_)\b")
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
@@ -223,6 +239,21 @@ class Linter:
                     f"include workload code ({m.group(1)}); express the "
                     "dependency through src/sched or src/cluster interfaces")
 
+    def lint_admission(self, path, raw_lines, code_lines):
+        if not path.startswith(ADMISSION_DIRS):
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            m = ADMISSION_PATTERN.search(code)
+            if m is None or "admission" in code:
+                continue
+            if allowed(raw, "admission"):
+                continue
+            self.report(
+                path, lineno, "admission",
+                f"`{m.group(1)}` outside the qos admission path; queue caps "
+                "are owned by src/qos/admission.h — configure them through "
+                "the service's admission() accessor")
+
     def lint_include_cc(self, path, raw_lines, code_lines):
         for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
             if (re.search(r'#include\s+"[^"]+\.cc"', code)
@@ -250,6 +281,7 @@ class Linter:
                 self.lint_guards(path, raw_lines, code_text)
                 self.lint_stdio(path, raw_lines, code_lines)
                 self.lint_layering(path, raw_lines, code_lines)
+                self.lint_admission(path, raw_lines, code_lines)
                 self.lint_include_cc(path, raw_lines, code_lines)
         return self.findings
 
