@@ -1,0 +1,163 @@
+// Raw engine throughput: events/sec through the Simulator's schedule/fire
+// path, with no model code in the loop. Four patterns cover the queue's
+// regimes: a self-rescheduling timer chain (queue depth 1), a wide
+// pre-scheduled fan-out (heap-dominated), a schedule/cancel mix (lazy
+// cancellation path), and the timer chain again under tie-break
+// perturbation to price the determinism-audit machinery. The headline
+// numbers land in BENCH_engine_throughput.json for run-over-run diffing
+// against bench/baselines/.
+//
+// Flags: --events=N (default 2000000), --digest-out=PATH (final engine
+// digest per pattern, as JSON).
+
+#include <chrono>
+#include <functional>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/digest.h"
+#include "src/base/table.h"
+#include "src/obs/bench_report.h"
+#include "src/sim/simulator.h"
+
+namespace soccluster {
+namespace {
+
+struct PatternResult {
+  std::string name;
+  int64_t events = 0;
+  double seconds = 0.0;
+  uint64_t digest = 0;
+
+  double events_per_sec() const { return events / seconds; }
+};
+
+template <typename Body>
+PatternResult TimePattern(const std::string& name, int64_t events,
+                          Body&& body) {
+  Simulator sim(2024);
+  const auto start = std::chrono::steady_clock::now();
+  body(sim);
+  const auto stop = std::chrono::steady_clock::now();
+  PatternResult result;
+  result.name = name;
+  result.events = events;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  StateDigest digest;
+  sim.DigestState(digest);
+  result.digest = digest.value();
+  return result;
+}
+
+PatternResult TimerChain(int64_t events, bool perturb) {
+  return TimePattern(
+      perturb ? "timer_chain_perturbed" : "timer_chain", events,
+      [events, perturb](Simulator& sim) {
+        if (perturb) {
+          sim.EnableTieBreakPerturbation(7);
+        }
+        int64_t remaining = events;
+        std::function<void()> tick = [&] {
+          if (--remaining > 0) {
+            sim.ScheduleAfter(Duration::Micros(10), tick);
+          }
+        };
+        sim.ScheduleAfter(Duration::Micros(10), tick);
+        sim.Run();
+        SOC_CHECK_EQ(remaining, 0);
+      });
+}
+
+PatternResult FanOut(int64_t events) {
+  return TimePattern("fan_out", events, [events](Simulator& sim) {
+    int64_t fired = 0;
+    Rng rng(99);
+    for (int64_t i = 0; i < events; ++i) {
+      sim.ScheduleAt(SimTime::FromNanos(rng.UniformInt(0, 1000000000)),
+                     [&fired] { ++fired; });
+    }
+    sim.Run();
+    SOC_CHECK_EQ(fired, events);
+  });
+}
+
+PatternResult ScheduleCancel(int64_t events) {
+  return TimePattern("schedule_cancel", events, [events](Simulator& sim) {
+    // Schedule in waves, cancelling half of the previous wave each time:
+    // exercises the pending-id bookkeeping and lazy heap purge.
+    constexpr int64_t kWave = 1024;
+    Rng rng(7);
+    int64_t scheduled = 0;
+    std::vector<EventHandle> previous;
+    while (scheduled < events) {
+      std::vector<EventHandle> wave;
+      wave.reserve(kWave);
+      for (int64_t i = 0; i < kWave && scheduled < events; ++i, ++scheduled) {
+        wave.push_back(sim.ScheduleAfter(
+            Duration::Nanos(rng.UniformInt(1000, 2000000)), [] {}));
+      }
+      for (size_t i = 0; i < previous.size(); i += 2) {
+        sim.Cancel(previous[i]);
+      }
+      SOC_CHECK(sim.RunFor(Duration::Micros(500)).ok());
+      previous = std::move(wave);
+    }
+    sim.Run();
+  });
+}
+
+int Run(int64_t events, const std::string& digest_out) {
+  std::vector<PatternResult> results;
+  results.push_back(TimerChain(events, /*perturb=*/false));
+  results.push_back(TimerChain(events, /*perturb=*/true));
+  results.push_back(FanOut(events));
+  results.push_back(ScheduleCancel(events));
+
+  TextTable table({"pattern", "events", "wall_s", "events_per_sec"});
+  BenchReport report("engine_throughput");
+  report.SetParam("events", events);
+  for (const PatternResult& result : results) {
+    table.AddRow({result.name, FormatSi(static_cast<double>(result.events), 1),
+                  FormatDouble(result.seconds, 3),
+                  FormatSi(result.events_per_sec(), 2)});
+    report.Add(result.name + "_events_per_sec", result.events_per_sec(),
+               "events/s");
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  if (!digest_out.empty()) {
+    std::ofstream out(digest_out);
+    SOC_CHECK(out.good()) << "cannot open " << digest_out;
+    out << "{\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      char digest[32];
+      std::snprintf(digest, sizeof(digest), "%016llx",
+                    static_cast<unsigned long long>(results[i].digest));
+      out << "  \"" << results[i].name << "\": \"" << digest << "\""
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main(int argc, char** argv) {
+  int64_t events = 2000000;
+  std::string digest_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--events=", 9) == 0) {
+      events = std::atoll(arg + 9);
+    } else if (std::strncmp(arg, "--digest-out=", 13) == 0) {
+      digest_out = arg + 13;
+    }
+  }
+  return soccluster::Run(events, digest_out);
+}

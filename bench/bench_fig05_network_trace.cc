@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/telemetry.h"
@@ -76,6 +77,12 @@ void Run(const ObsFlags& obs_flags) {
 
   const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
   SOC_CHECK(obs_status.ok()) << obs_status.ToString();
+
+  StateDigest digest;
+  sim.DigestState(digest);
+  cluster.DigestState(digest);
+  workload.DigestState(digest);
+  SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
 }
 
 }  // namespace

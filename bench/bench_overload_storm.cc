@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/core/overload.h"
 #include "src/obs/bench_report.h"
@@ -236,6 +237,15 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
 
   if (obs_flags != nullptr) {
     SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    fleet.DigestState(digest);
+    live.DigestState(digest);
+    serverless.DigestState(digest);
+    gaming.DigestState(digest);
+    orchestrator.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
   }
   return outcome;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/flags.h"
@@ -65,5 +66,16 @@ int main(int argc, char** argv) {
               bmc.TemperatureCelsius(), bmc.FanDuty() * 100.0);
   const Status obs_status = FlushObsFlags(obs_flags, sim.obs());
   SOC_CHECK(obs_status.ok()) << obs_status.ToString();
+
+  // 6. The determinism contract, checkable from the shell: the same seed
+  //    always produces this exact digest (see "Determinism analysis" in
+  //    the README).
+  StateDigest digest;
+  sim.DigestState(digest);
+  cluster.DigestState(digest);
+  fleet.DigestState(digest);
+  video.DigestState(digest);
+  const Status digest_status = FlushDigestFlag(obs_flags, digest.value());
+  SOC_CHECK(digest_status.ok()) << digest_status.ToString();
   return 0;
 }

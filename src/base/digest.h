@@ -1,0 +1,97 @@
+// Incremental 64-bit FNV-1a state digests.
+//
+// The determinism analyzer (src/sim/determinism.h) certifies that a
+// simulation's results do not depend on the dispatch order of
+// equal-timestamp events. Its evidence is a digest of all
+// simulation-visible state, folded incrementally as the run progresses:
+// two runs are equivalent iff their digests match at every checkpoint.
+// Components expose a `DigestState(StateDigest&)` hook that mixes every
+// field a result could depend on — counters, queue contents, RNG state —
+// and nothing observers-only (trace spans, metric instruments), since
+// recording must never affect a digest.
+//
+// Mix order matters (FNV-1a is order-sensitive), so hooks must mix fields
+// in a deterministic order. For unordered containers, fold an
+// order-independent combination (sum/xor of per-element hashes) via
+// MixUnordered, never element-by-element in iteration order.
+
+#ifndef SRC_BASE_DIGEST_H_
+#define SRC_BASE_DIGEST_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace soccluster {
+
+class StateDigest {
+ public:
+  // FNV-1a 64-bit offset basis / prime.
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  // Mixes raw bytes.
+  void MixBytes(const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= kPrime;
+    }
+  }
+
+  void Mix(uint64_t v) { MixBytes(&v, sizeof(v)); }
+  void Mix(int64_t v) { Mix(static_cast<uint64_t>(v)); }
+  void Mix(uint32_t v) { Mix(static_cast<uint64_t>(v)); }
+  void Mix(int v) { Mix(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+  void Mix(bool v) { Mix(static_cast<uint64_t>(v ? 1 : 0)); }
+  // Doubles are mixed by bit pattern: the digest certifies bit-exact
+  // reproducibility, not approximate equality. (-0.0 and 0.0 differ.)
+  void Mix(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  // Length-prefixed so "ab","c" and "a","bc" cannot collide.
+  void Mix(std::string_view s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    MixBytes(s.data(), s.size());
+  }
+
+  // Order-independent accumulator for unordered containers: hash each
+  // element into its own digest, combine the results with commutative ops,
+  // then Mix the pair. Example:
+  //   StateDigest::Unordered u;
+  //   for (uint64_t id : unordered_ids) u.Add(StateDigest::HashOf(id));
+  //   digest.Mix(u);
+  struct Unordered {
+    uint64_t sum = 0;
+    uint64_t xored = 0;
+    uint64_t count = 0;
+    void Add(uint64_t element_hash) {
+      sum += element_hash;
+      xored ^= element_hash;
+      ++count;
+    }
+  };
+  void Mix(const Unordered& u) {
+    Mix(u.count);
+    Mix(u.sum);
+    Mix(u.xored);
+  }
+
+  // One-shot element hash for Unordered::Add.
+  static uint64_t HashOf(uint64_t v) {
+    StateDigest d;
+    d.Mix(v);
+    return d.value();
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_DIGEST_H_

@@ -48,6 +48,10 @@ class RetryBackoff {
   // from the initial value).
   Duration BackoffFor(int attempts_done);
 
+  // Collapses the jitter stream to one word for state digests
+  // (src/base/digest.h): equal fingerprints mean identical future jitter.
+  uint64_t RngFingerprint() const { return rng_.StateFingerprint(); }
+
  private:
   RetryPolicy policy_;
   Rng rng_;

@@ -132,6 +132,15 @@ class Rng {
     return xm / std::pow(u, 1.0 / alpha);
   }
 
+  // Collapses the generator state to one word for state digests
+  // (src/base/digest.h): two Rngs with equal fingerprints produce the same
+  // future sequence. Does not advance the state.
+  uint64_t StateFingerprint() const {
+    uint64_t sm = state_[0] ^ Rotl(state_[1], 17) ^ Rotl(state_[2], 31) ^
+                  Rotl(state_[3], 47) ^ (have_gaussian_ ? 1 : 0);
+    return SplitMix64(sm);
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

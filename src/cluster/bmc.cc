@@ -21,8 +21,8 @@ BmcModel::BmcModel(Simulator* sim, SocCluster* cluster, BmcConfig config)
   SOC_CHECK_GT(config_.fan_full_temp_celsius, config_.ambient_celsius);
   SOC_CHECK_GE(config_.fan_min_duty, 0.0);
   SOC_CHECK_LE(config_.fan_min_duty, 1.0);
-  sampler_ = std::make_unique<PeriodicTask>(sim_, config_.sample_period,
-                                            [this] { Sample(); });
+  sampler_ = std::make_unique<PeriodicTask>(
+      sim_, config_.sample_period, [this] { Sample(); }, "bmc.sample");
 }
 
 BmcModel::~BmcModel() = default;

@@ -161,4 +161,11 @@ double SocCluster::MeanSocCpuUtil() const {
   return usable > 0 ? sum / usable : 0.0;
 }
 
+void SocCluster::DigestState(StateDigest& digest) const {
+  digest.Mix(num_socs());
+  for (const auto& soc : socs_) {
+    soc->DigestState(digest);
+  }
+}
+
 }  // namespace soccluster

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/digest.h"
 #include "src/hw/power.h"
 #include "src/hw/soc.h"
 #include "src/hw/specs.h"
@@ -66,6 +67,9 @@ class SocCluster {
 
   // Mean CPU utilization over usable SoCs, in [0, 1].
   double MeanSocCpuUtil() const;
+
+  // Mixes every SoC's state in slot order.
+  void DigestState(StateDigest& digest) const;
 
  private:
   Simulator* sim_;

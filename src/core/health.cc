@@ -20,7 +20,8 @@ HealthMonitor::HealthMonitor(Simulator* sim, SocCluster* cluster,
   marked_down_gauge_ = metrics.GetGauge("health.socs_marked_down");
   detection_metric_ = metrics.GetHistogram("health.detection_latency_ms");
   poller_ = std::make_unique<PeriodicTask>(sim_, config_.heartbeat_interval,
-                                           [this] { Poll(); });
+                                           [this] { Poll(); },
+                                           "health.poll");
 }
 
 void HealthMonitor::Start() { poller_->Start(); }

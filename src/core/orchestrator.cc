@@ -381,4 +381,23 @@ int Orchestrator::DrainPendingReplicas() {
   return placed;
 }
 
+void Orchestrator::DigestState(StateDigest& digest) const {
+  view_.DigestState(digest);
+  digest.Mix(static_cast<uint64_t>(workloads_.size()));
+  for (const auto& [name, workload] : workloads_) {
+    digest.Mix(std::string_view(name));
+    digest.Mix(static_cast<uint64_t>(workload.placements.size()));
+    for (const int soc : workload.placements) {
+      digest.Mix(soc);
+    }
+    digest.Mix(workload.pending);
+    digest.Mix(static_cast<int>(workload.priority));
+  }
+  digest.Mix(replicas_lost_);
+  digest.Mix(replicas_recovered_);
+  digest.Mix(replicas_migrated_);
+  digest.Mix(replicas_preempted_);
+  digest.Mix(placement_hold_);
+}
+
 }  // namespace soccluster

@@ -97,6 +97,10 @@ class Orchestrator {
   int Consolidate();
   int64_t replicas_migrated() const { return replicas_migrated_; }
 
+  // Mixes every workload's placements (in name order), the capacity
+  // ledger, and loss/recovery accounting.
+  void DigestState(StateDigest& digest) const;
+
  private:
   struct Workload {
     ReplicaDemand demand;

@@ -18,7 +18,9 @@ ClusterTelemetry::ClusterTelemetry(Simulator* sim, SocCluster* cluster,
   esb_out_series_ = metrics.GetTimeSeries("cluster.esb_out_gbps");
   esb_in_series_ = metrics.GetTimeSeries("cluster.esb_in_gbps");
   usable_series_ = metrics.GetTimeSeries("cluster.usable_socs");
-  ticker_ = std::make_unique<PeriodicTask>(sim_, period, [this] { Capture(); });
+  ticker_ = std::make_unique<PeriodicTask>(sim_, period,
+                                          [this] { Capture(); },
+                                          "telemetry.capture");
 }
 
 ClusterTelemetry::~ClusterTelemetry() = default;

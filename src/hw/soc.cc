@@ -212,4 +212,15 @@ Power SocModel::CurrentPower() const { return ComputePower(); }
 
 void SocModel::Recompute() { meter_.SetPower(sim_->Now(), ComputePower()); }
 
+void SocModel::DigestState(StateDigest& digest) const {
+  digest.Mix(static_cast<int>(state_));
+  digest.Mix(cpu_util_);
+  digest.Mix(gpu_util_);
+  digest.Mix(dsp_util_);
+  digest.Mix(codec_sessions_);
+  digest.Mix(codec_pixel_rate_);
+  digest.Mix(fail_count_);
+  digest.Mix(throttle_factor_);
+}
+
 }  // namespace soccluster

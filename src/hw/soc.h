@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "src/base/digest.h"
 #include "src/base/result.h"
 #include "src/hw/power.h"
 #include "src/hw/specs.h"
@@ -79,6 +80,11 @@ class SocModel {
   double codec_pixel_rate() const { return codec_pixel_rate_; }
   // CPU headroom after the codec delegation daemons are charged.
   double CpuHeadroom() const;
+
+  // Mixes power state, component utilization, codec sessions, and
+  // fault/throttle state. Energy is integrated from these, so the meter
+  // itself is not digested.
+  void DigestState(StateDigest& digest) const;
 
   // Instantaneous wall power of this SoC (including board regulators).
   Power CurrentPower() const;

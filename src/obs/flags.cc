@@ -1,5 +1,7 @@
 #include "src/obs/flags.h"
 
+#include <cstdio>
+#include <fstream>
 #include <string_view>
 
 #include "src/base/log.h"
@@ -43,6 +45,9 @@ ObsFlags ParseObsFlags(int argc, char** argv) {
     if (TakeFlag(arg, "--metrics-out", argc, argv, &i, &flags.metrics_out)) {
       continue;
     }
+    if (TakeFlag(arg, "--digest-out", argc, argv, &i, &flags.digest_out)) {
+      continue;
+    }
   }
   return flags;
 }
@@ -69,6 +74,23 @@ Status FlushObsFlags(const ObsFlags& flags, const Observability& obs) {
     SOC_LOG(Info) << "metrics written to " << flags.metrics_out << " ("
                   << obs.metrics.size() << " instruments)";
   }
+  return Status::Ok();
+}
+
+Status FlushDigestFlag(const ObsFlags& flags, uint64_t digest) {
+  if (!flags.digest_requested()) {
+    return Status::Ok();
+  }
+  std::ofstream out(flags.digest_out);
+  if (!out.good()) {
+    return Status::Internal("cannot open " + flags.digest_out);
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  out << "{\"state_digest\": \"" << hex << "\"}\n";
+  SOC_LOG(Info) << "state digest " << hex << " written to "
+                << flags.digest_out;
   return Status::Ok();
 }
 

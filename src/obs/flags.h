@@ -3,6 +3,9 @@
 //
 //   --trace-out=PATH     write a Perfetto/chrome://tracing JSON trace
 //   --metrics-out=PATH   write a metrics snapshot (.jsonl => one per line)
+//   --digest-out=PATH    write the run's final state digest as JSON
+//                        (the determinism contract: same seed, same digest
+//                        -- see "Determinism analysis" in the README)
 //
 // Usage in an example's main():
 //
@@ -25,9 +28,11 @@ namespace soccluster {
 struct ObsFlags {
   std::string trace_out;    // Empty: tracing stays disabled.
   std::string metrics_out;  // Empty: no metrics snapshot.
+  std::string digest_out;   // Empty: no digest file.
 
   bool trace_requested() const { return !trace_out.empty(); }
   bool metrics_requested() const { return !metrics_out.empty(); }
+  bool digest_requested() const { return !digest_out.empty(); }
 };
 
 // Parses `--trace-out=`/`--metrics-out=` (also the two-token `--trace-out
@@ -40,6 +45,12 @@ void ApplyObsFlags(const ObsFlags& flags, Observability* obs);
 // Writes the requested outputs. A ".jsonl" metrics path selects the
 // line-oriented format. Returns the first failure.
 Status FlushObsFlags(const ObsFlags& flags, const Observability& obs);
+
+// Writes `digest` to flags.digest_out as `{"state_digest": "<hex16>"}`
+// (no-op when the flag is unset). Callers fold the digest themselves --
+// typically Simulator::DigestState plus each service's DigestState -- so
+// this layer stays independent of the sim.
+Status FlushDigestFlag(const ObsFlags& flags, uint64_t digest);
 
 }  // namespace soccluster
 

@@ -220,4 +220,30 @@ std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
   }
 }
 
+void AdmissionQueue::DigestState(StateDigest& digest) const {
+  digest.Mix(static_cast<int>(admit_floor_));
+  digest.Mix(options_.max_queue);
+  for (const auto& cls : classes_) {
+    digest.Mix(static_cast<uint64_t>(cls.size()));
+    for (const Item& item : cls) {
+      digest.Mix(static_cast<int>(item.priority));
+      digest.Mix(item.enqueue.nanos());
+      digest.Mix(item.deadline.nanos());
+    }
+  }
+  digest.Mix(size_);
+  digest.Mix(max_queue_length_);
+  digest.Mix(admitted_);
+  digest.Mix(dropped_);
+  for (const int64_t count : dropped_by_reason_) {
+    digest.Mix(count);
+  }
+  digest.Mix(first_above_valid_);
+  digest.Mix(first_above_time_.nanos());
+  digest.Mix(codel_dropping_);
+  digest.Mix(codel_drop_next_.nanos());
+  digest.Mix(codel_count_);
+  digest.Mix(codel_last_count_);
+}
+
 }  // namespace soccluster

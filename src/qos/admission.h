@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "src/base/digest.h"
 #include "src/base/priority.h"
 #include "src/base/units.h"
 #include "src/sim/simulator.h"
@@ -111,6 +112,11 @@ class AdmissionQueue {
   }
   // High-water mark of the total queue length.
   int max_queue_length() const { return max_queue_length_; }
+
+  // Mixes queue contents (per class, in FIFO order), admission/drop
+  // accounting, and the CoDel control-law state. Payloads are opaque and
+  // not digested; owners digest their own request state.
+  void DigestState(StateDigest& digest) const;
 
  private:
   static constexpr size_t kNumReasons = 4;

@@ -132,4 +132,22 @@ void CircuitBreaker::RecordFailure() {
   }
 }
 
+void CircuitBreaker::DigestState(StateDigest& digest) const {
+  digest.Mix(static_cast<int>(state_));
+  digest.Mix(window_start_.nanos());
+  digest.Mix(window_samples_);
+  digest.Mix(window_failures_);
+  digest.Mix(opened_at_.nanos());
+  digest.Mix(probes_issued_);
+  digest.Mix(probe_successes_);
+  digest.Mix(static_cast<uint64_t>(transitions_.size()));
+  for (const Transition& t : transitions_) {
+    digest.Mix(t.time.nanos());
+    digest.Mix(static_cast<int>(t.from));
+    digest.Mix(static_cast<int>(t.to));
+  }
+  digest.Mix(opens_);
+  digest.Mix(rejected_);
+}
+
 }  // namespace soccluster

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/digest.h"
 #include "src/base/units.h"
 #include "src/sim/simulator.h"
 
@@ -68,6 +69,10 @@ class CircuitBreaker {
   const std::vector<Transition>& transitions() const { return transitions_; }
   int64_t opens() const { return opens_; }
   int64_t rejected() const { return rejected_; }
+
+  // Mixes the state machine, window/probe accounting, and the transition
+  // history.
+  void DigestState(StateDigest& digest) const;
 
  private:
   void MoveTo(State next);

@@ -29,8 +29,8 @@ BrownoutGovernor::BrownoutGovernor(Simulator* sim, SocCluster* cluster,
   level_metric_ = metrics.GetGauge("qos.brownout.level");
   level_series_ = metrics.GetTimeSeries("qos.brownout.level_series");
   sim_->tracer().SetTrackName(kBrownoutTrack, "brownout");
-  ticker_ =
-      std::make_unique<PeriodicTask>(sim_, config_.period, [this] { Tick(); });
+  ticker_ = std::make_unique<PeriodicTask>(
+      sim_, config_.period, [this] { Tick(); }, "brownout.tick");
 }
 
 BrownoutGovernor::~BrownoutGovernor() = default;
@@ -139,6 +139,24 @@ void BrownoutGovernor::ReleaseDeepest() {
     }
     PublishLevel();
     return;
+  }
+}
+
+void BrownoutGovernor::DigestState(StateDigest& digest) const {
+  digest.Mix(total_level_);
+  digest.Mix(comfortable_ticks_);
+  digest.Mix(engagements_);
+  digest.Mix(releases_);
+  digest.Mix(static_cast<uint64_t>(rungs_.size()));
+  for (const Rung& rung : rungs_) {
+    digest.Mix(rung.level);
+  }
+  digest.Mix(static_cast<uint64_t>(history_.size()));
+  for (const LadderEvent& ev : history_) {
+    digest.Mix(ev.time.nanos());
+    digest.Mix(ev.rung);
+    digest.Mix(ev.level);
+    digest.Mix(ev.engage);
   }
 }
 

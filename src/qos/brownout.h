@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/digest.h"
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
 #include "src/sim/simulator.h"
@@ -87,6 +88,10 @@ class BrownoutGovernor {
   // Every engage/release, in order — the ladder-order evidence used by
   // tests and bench validation.
   const std::vector<LadderEvent>& history() const { return history_; }
+
+  // Mixes per-rung levels (in ladder order), hysteresis state, and the
+  // engage/release history.
+  void DigestState(StateDigest& digest) const;
 
  private:
   struct Rung {

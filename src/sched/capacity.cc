@@ -145,4 +145,14 @@ void SocCapacityView::Release(int soc_index, const PlacementDemand& d) {
   SOC_CHECK_GE(slots, 0) << "slot ledger underflow on SoC " << soc_index;
 }
 
+void SocCapacityView::DigestState(StateDigest& digest) const {
+  digest.Mix(static_cast<uint64_t>(memory_used_gb_.size()));
+  for (const double used : memory_used_gb_) {
+    digest.Mix(used);
+  }
+  for (const int slots : slots_used_) {
+    digest.Mix(slots);
+  }
+}
+
 }  // namespace soccluster

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/base/digest.h"
 #include "src/cluster/cluster.h"
 #include "src/sched/placement.h"
 
@@ -58,6 +59,10 @@ class SocCapacityView {
   int slot_capacity() const { return options_.slot_capacity; }
 
   const SocCluster& cluster() const { return *cluster_; }
+
+  // Mixes the ledgered dimensions (memory, slots) per SoC in index order.
+  // SoC-side charges are digested by SocCluster::DigestState.
+  void DigestState(StateDigest& digest) const;
 
  private:
   SocCluster* cluster_;

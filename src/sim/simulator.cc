@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <vector>
 #include <utility>
 
 #include "src/base/check.h"
@@ -17,11 +18,17 @@ Simulator::Simulator(uint64_t seed)
 }
 
 EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
+  return ScheduleAt(t, std::move(cb), std::string(), 0);
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, Callback cb, std::string label,
+                                  uint64_t anchor_group) {
   SOC_CHECK_GE(t.nanos(), now_.nanos()) << "scheduling into the past";
   SOC_CHECK(cb != nullptr);
   const uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, seq, std::move(cb)});
-  pending_ids_.insert(seq);
+  queue_.push(Event{t, seq, seq, std::move(cb), std::move(label),
+                    anchor_group});
+  pending_ids_.emplace(seq, t.nanos());
   max_pending_->SetMax(static_cast<double>(pending_ids_.size()));
   return EventHandle(seq);
 }
@@ -29,6 +36,45 @@ EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
 EventHandle Simulator::ScheduleAfter(Duration d, Callback cb) {
   SOC_CHECK(!d.IsNegative()) << "negative delay";
   return ScheduleAt(now_ + d, std::move(cb));
+}
+
+EventHandle Simulator::ScheduleAfter(Duration d, Callback cb,
+                                     std::string label,
+                                     uint64_t anchor_group) {
+  SOC_CHECK(!d.IsNegative()) << "negative delay";
+  return ScheduleAt(now_ + d, std::move(cb), std::move(label), anchor_group);
+}
+
+void Simulator::EnableTieBreakPerturbation(uint64_t seed) {
+  SOC_CHECK_EQ(events_processed(), 0)
+      << "perturbation must be enabled before any event fires";
+  perturb_ = true;
+  perturb_rng_.Seed(seed);
+}
+
+void Simulator::RecordFiredEvents(SimTime begin, SimTime end, size_t cap) {
+  record_events_ = true;
+  record_begin_ = begin;
+  record_end_ = end;
+  record_cap_ = cap;
+  fired_events_.clear();
+}
+
+void Simulator::DigestState(StateDigest& digest) const {
+  digest.Mix(now_.nanos());
+  digest.Mix(next_seq_);
+  digest.Mix(events_processed());
+  digest.Mix(events_cancelled());
+  // Fold pending events by fire time, not id: ids encode scheduling
+  // order, which is exactly the bookkeeping the tie-break perturbation
+  // permutes, and two order-swapped but equivalent schedules must digest
+  // equal.
+  StateDigest::Unordered pending;
+  for (const auto& [id, time_nanos] : pending_ids_) {  // det:exempt(commutative fold into StateDigest::Unordered)
+    pending.Add(StateDigest::HashOf(time_nanos));
+  }
+  digest.Mix(pending);
+  digest.Mix(rng_.StateFingerprint());
 }
 
 bool Simulator::Cancel(EventHandle handle) {
@@ -49,18 +95,96 @@ bool Simulator::Cancel(EventHandle handle) {
   return true;
 }
 
-bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
+void Simulator::FillReady() {
+  // Drop lazily-cancelled heads so the heap top is a live event.
+  while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+    cancelled_.erase(queue_.top().id);
     queue_.pop();
+  }
+  if (queue_.empty()) {
+    return;
+  }
+  if (!perturb_) {
+    ready_.push_back(queue_.top());
+    queue_.pop();
+    return;
+  }
+  // Perturbation mode: stage the whole equal-timestamp batch and dispatch
+  // it in a seeded permutation. Events a batch member schedules at the same
+  // timestamp join a *later* batch (they cannot fire before their cause, so
+  // any interleaving the permutation skips is still a valid tie-break).
+  const SimTime batch_time = queue_.top().time;
+  std::vector<Event> batch;
+  while (!queue_.empty() && queue_.top().time == batch_time) {
+    if (cancelled_.erase(queue_.top().id) == 0) {
+      batch.push_back(queue_.top());
+    }
+    queue_.pop();
+  }
+  // Seeded Fisher-Yates permutation.
+  for (size_t i = batch.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(
+        perturb_rng_.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(batch[i - 1], batch[j]);
+  }
+  // Seq-anchored events keep their mutual FIFO order: members of each
+  // anchor group are re-sorted by seq across the permuted positions the
+  // group landed on, so only their interleaving with *other* events moves.
+  std::vector<size_t> positions;
+  std::vector<uint64_t> seen_groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const uint64_t group = batch[i].anchor_group;
+    if (group == 0 ||
+        std::find(seen_groups.begin(), seen_groups.end(), group) !=
+            seen_groups.end()) {
+      continue;
+    }
+    seen_groups.push_back(group);
+    positions.clear();
+    for (size_t j = i; j < batch.size(); ++j) {
+      if (batch[j].anchor_group == group) {
+        positions.push_back(j);
+      }
+    }
+    std::vector<Event> members;
+    members.reserve(positions.size());
+    for (const size_t pos : positions) {
+      members.push_back(std::move(batch[pos]));
+    }
+    std::sort(members.begin(), members.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+    for (size_t k = 0; k < positions.size(); ++k) {
+      batch[positions[k]] = std::move(members[k]);
+    }
+  }
+  for (Event& ev : batch) {
+    ready_.push_back(std::move(ev));
+  }
+}
+
+bool Simulator::Step() {
+  for (;;) {
+    if (ready_.empty()) {
+      FillReady();
+    }
+    if (ready_.empty()) {
+      return false;
+    }
+    Event ev = std::move(ready_.front());
+    ready_.pop_front();
+    // Staged events may have been cancelled by an earlier batch member.
     if (cancelled_.erase(ev.id) > 0) {
       continue;
     }
-    // Determinism contract (simulator.h): fired events are strictly ordered
-    // by (time, seq) — equal-timestamp events fire in schedule order.
+    // Determinism contract (simulator.h): fired events never run backwards
+    // in time; under FIFO they are strictly ordered by (time, seq) —
+    // equal-timestamp events fire in schedule order. Perturbation mode
+    // deliberately reorders equal-timestamp events, so only the time
+    // invariant holds there.
     SOC_CHECK_GE(ev.time.nanos(), last_fired_time_.nanos())
         << "event queue fired out of time order";
-    SOC_DCHECK(ev.time > last_fired_time_ || ev.seq > last_fired_seq_)
+    SOC_DCHECK(perturb_ || ev.time > last_fired_time_ ||
+               ev.seq > last_fired_seq_)
         << "FIFO tie-break violated: seq " << ev.seq << " after "
         << last_fired_seq_;
     last_fired_time_ = ev.time;
@@ -68,13 +192,16 @@ bool Simulator::Step() {
     pending_ids_.erase(ev.id);
     now_ = ev.time;
     events_processed_->Increment();
+    if (record_events_ && ev.time >= record_begin_ &&
+        ev.time <= record_end_ && fired_events_.size() < record_cap_) {
+      fired_events_.push_back(FiredEvent{ev.time, ev.seq, ev.label});
+    }
     ++callback_depth_;
     max_callback_depth_->SetMax(static_cast<double>(callback_depth_));
     ev.callback();
     --callback_depth_;
     return true;
   }
-  return false;
 }
 
 void Simulator::Run() {
@@ -86,14 +213,33 @@ Status Simulator::RunUntil(SimTime t) {
   if (t < now_) {
     return Status::InvalidArgument("RunUntil target is in the past");
   }
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  // Never stage events speculatively here: ready_ may only hold events at
+  // the currently-firing timestamp (Step() fills it right before firing,
+  // which advances now_ and so blocks scheduling anything earlier). If this
+  // loop staged a future batch and then returned with now_ = t before it,
+  // events scheduled after the return could legally precede the staged
+  // batch — and would fire out of time order behind it.
+  for (;;) {
+    // Drain the in-flight batch first (its events are at a timestamp that
+    // already fired, hence <= t whenever this loop can reach them).
+    while (!ready_.empty() && cancelled_.contains(ready_.front().id)) {
+      cancelled_.erase(ready_.front().id);
+      ready_.pop_front();
+    }
+    if (!ready_.empty()) {
+      if (ready_.front().time > t) {
+        break;
+      }
+      Step();
       continue;
     }
-    if (top.time > t) {
+    // Peek the heap without staging; purge lazily-cancelled heads so the
+    // time check sees a live event.
+    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > t) {
       break;
     }
     Step();
@@ -105,8 +251,9 @@ Status Simulator::RunUntil(SimTime t) {
 Status Simulator::RunFor(Duration d) { return RunUntil(now_ + d); }
 
 PeriodicTask::PeriodicTask(Simulator* sim, Duration period,
-                           Simulator::Callback cb)
-    : sim_(sim), period_(period), callback_(std::move(cb)) {
+                           Simulator::Callback cb, std::string label)
+    : sim_(sim), period_(period), callback_(std::move(cb)),
+      label_(std::move(label)) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK_GT(period_.nanos(), 0);
 }
@@ -131,14 +278,17 @@ void PeriodicTask::Stop() {
 }
 
 void PeriodicTask::Arm() {
-  pending_ = sim_->ScheduleAfter(period_, [this] {
-    if (!running_) {
-      return;
-    }
-    // Re-arm before running the callback so the callback may Stop() us.
-    Arm();
-    callback_();
-  });
+  pending_ = sim_->ScheduleAfter(
+      period_,
+      [this] {
+        if (!running_) {
+          return;
+        }
+        // Re-arm before running the callback so the callback may Stop() us.
+        Arm();
+        callback_();
+      },
+      label_);
 }
 
 Resource::Resource(Simulator* sim, int64_t capacity, std::string name)
@@ -208,6 +358,21 @@ bool Resource::CancelWait(uint64_t ticket) {
     return true;
   }
   return false;
+}
+
+void Resource::DigestState(StateDigest& digest) const {
+  digest.Mix(in_use_);
+  digest.Mix(next_ticket_);
+  digest.Mix(static_cast<uint64_t>(waiters_.size()));
+  for (const Waiter& waiter : waiters_) {
+    digest.Mix(waiter.ticket);
+    digest.Mix(waiter.enqueued.nanos());
+  }
+  digest.Mix(total_granted_);
+  digest.Mix(waits_cancelled_);
+  digest.Mix(max_queue_length_);
+  digest.Mix(wait_ms_.count());
+  digest.Mix(wait_ms_.mean());
 }
 
 void Resource::Release() {

@@ -4,6 +4,14 @@
 // fire in the order they were scheduled (FIFO tie-break on a monotonically
 // increasing sequence number), so a given seed always produces identical runs.
 //
+// Determinism contract (audited by src/sim/determinism.h): simulation
+// results must not depend on the FIFO tie-break — equal-timestamp events
+// must commute, unless they share an anchor group, which pins their
+// relative order by construction. EnableTieBreakPerturbation() dispatches
+// equal-timestamp events in a seeded permutation instead of FIFO order; a
+// run whose state digests differ under permutation has a virtual-time
+// ordering race.
+//
 // Each Simulator owns an Observability context (metrics registry + tracer,
 // src/obs/obs.h). Components reach it through obs(); the engine itself
 // publishes its health counters there (sim.events_processed,
@@ -18,9 +26,12 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/base/digest.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
@@ -49,6 +60,13 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  // A fired event as captured by the divergence-report record window.
+  struct FiredEvent {
+    SimTime time;
+    uint64_t seq = 0;
+    std::string label;  // Empty for unlabeled events.
+  };
+
   explicit Simulator(uint64_t seed = 1);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -62,9 +80,43 @@ class Simulator {
   MetricRegistry& metrics() { return obs_.metrics; }
 
   // Schedules `cb` to run at absolute time `t` (must be >= Now()).
+  // `label` names the event in divergence reports (keep it static-ish:
+  // "service.arrival", not one string per request). A nonzero
+  // `anchor_group` seq-anchors the event: equal-timestamp events sharing a
+  // group keep their mutual FIFO order even under tie-break perturbation —
+  // the explicit marker for intentionally order-dependent event pairs.
   EventHandle ScheduleAt(SimTime t, Callback cb);
+  EventHandle ScheduleAt(SimTime t, Callback cb, std::string label,
+                         uint64_t anchor_group = 0);
   // Schedules `cb` to run `d` from now (d must be >= 0).
   EventHandle ScheduleAfter(Duration d, Callback cb);
+  EventHandle ScheduleAfter(Duration d, Callback cb, std::string label,
+                            uint64_t anchor_group = 0);
+
+  // Allocates a fresh anchor group id (for callers pinning several related
+  // event chains together).
+  uint64_t NewAnchorGroup() { return next_anchor_group_++; }
+
+  // --- Determinism audit hooks (src/sim/determinism.h) ---
+
+  // Dispatches equal-timestamp events in a seeded permutation instead of
+  // FIFO order (anchor groups keep their internal order). Must be called
+  // before any event fires; the mode holds for the simulator's lifetime.
+  void EnableTieBreakPerturbation(uint64_t seed);
+  bool tie_break_perturbed() const { return perturb_; }
+
+  // Records (time, seq, label) of every event fired with
+  // begin <= time <= end, up to `cap` events, for divergence reports.
+  void RecordFiredEvents(SimTime begin, SimTime end, size_t cap = 1 << 20);
+  const std::vector<FiredEvent>& fired_events() const {
+    return fired_events_;
+  }
+
+  // Mixes all result-bearing engine state: clock, sequence and counter
+  // state, the live pending-event set (order-independently), and the RNG
+  // fingerprint. Callback identities cannot be digested; scenario state
+  // hooks cover what the callbacks would mutate.
+  void DigestState(StateDigest& digest) const;
 
   // Cancels a pending event. Returns true if the event existed and had not
   // yet fired. Cancelling an already-fired, already-cancelled, or invalid
@@ -101,6 +153,8 @@ class Simulator {
     uint64_t seq;
     uint64_t id;
     Callback callback;
+    std::string label;          // For divergence reports; usually empty.
+    uint64_t anchor_group = 0;  // Nonzero: FIFO-pinned within the group.
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -110,6 +164,11 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+
+  // Moves the next dispatchable event(s) from the heap into ready_: one
+  // event in FIFO mode, the whole equal-timestamp batch (permuted, anchor
+  // groups re-pinned) in perturbation mode.
+  void FillReady();
 
   // Declared first so instruments outlive every other member.
   Observability obs_;
@@ -126,19 +185,38 @@ class Simulator {
   uint64_t last_fired_seq_ = 0;
   SimTime last_fired_time_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Ids scheduled but neither fired nor cancelled. Distinguishes a live
-  // handle from an already-fired one so Cancel() cannot corrupt state.
-  std::unordered_set<uint64_t> pending_ids_;
+  // Events staged for dispatch ahead of the heap: the current
+  // equal-timestamp batch under perturbation (one event at a time in FIFO
+  // mode). Entries may still be lazily cancelled while staged.
+  std::deque<Event> ready_;
+  // Ids scheduled but neither fired nor cancelled (mapped to their fire
+  // time). Distinguishes a live handle from an already-fired one so
+  // Cancel() cannot corrupt state; the times let DigestState fold the
+  // pending-event multiset without raw ids, which encode scheduling order
+  // -- bookkeeping the tie-break perturbation legitimately permutes.
+  std::unordered_map<uint64_t, int64_t> pending_ids_;
   // Lazily-cancelled ids still sitting in the heap; skipped when popped.
   std::unordered_set<uint64_t> cancelled_;
   Rng rng_;
+  uint64_t next_anchor_group_ = 1;
+  // Tie-break perturbation state (EnableTieBreakPerturbation).
+  bool perturb_ = false;
+  Rng perturb_rng_;
+  // Fired-event record window (RecordFiredEvents).
+  bool record_events_ = false;
+  SimTime record_begin_;
+  SimTime record_end_;
+  size_t record_cap_ = 0;
+  std::vector<FiredEvent> fired_events_;
 };
 
 // Re-runs a callback on a fixed period until stopped. The callback fires
-// first at `start + period`.
+// first at `start + period`. `label` names the tick events in divergence
+// reports (determinism audit).
 class PeriodicTask {
  public:
-  PeriodicTask(Simulator* sim, Duration period, Simulator::Callback cb);
+  PeriodicTask(Simulator* sim, Duration period, Simulator::Callback cb,
+               std::string label = std::string());
   ~PeriodicTask();
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -153,6 +231,7 @@ class PeriodicTask {
   Simulator* sim_;
   Duration period_;
   Simulator::Callback callback_;
+  std::string label_;
   EventHandle pending_;
   bool running_ = false;
 };
@@ -190,6 +269,10 @@ class Resource {
   int64_t max_queue_length() const { return max_queue_length_; }
   // Distribution of Acquire()->grant waits, in milliseconds.
   const RunningStat& wait_ms() const { return wait_ms_; }
+
+  // Mixes occupancy, the waiter queue (tickets + enqueue times, in order),
+  // and grant/cancel accounting.
+  void DigestState(StateDigest& digest) const;
 
  private:
   struct Waiter {

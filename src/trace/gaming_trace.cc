@@ -64,10 +64,13 @@ void GamingWorkload::ScheduleNextArrival(SimTime horizon_end) {
       break;
     }
   }
-  sim_->ScheduleAt(t, [this, horizon_end] {
-    StartSession();
-    ScheduleNextArrival(horizon_end);
-  });
+  sim_->ScheduleAt(
+      t,
+      [this, horizon_end] {
+        StartSession();
+        ScheduleNextArrival(horizon_end);
+      },
+      "gaming.arrival");
 }
 
 void GamingWorkload::StartSession() {
@@ -107,7 +110,8 @@ void GamingWorkload::StartSession() {
   const double median_s = config_.median_session.ToSeconds();
   const Duration length = Duration::SecondsF(
       rng_.LogNormalMedian(median_s, config_.session_sigma));
-  sim_->ScheduleAfter(length, [this, id] { EndSession(id); });
+  sim_->ScheduleAfter(length, [this, id] { EndSession(id); },
+                      "gaming.session_end");
 }
 
 void GamingWorkload::EndSession(int64_t id) {
@@ -132,6 +136,24 @@ void GamingWorkload::EndSession(int64_t id) {
   demand.slots = 1;
   view_.Release(session.soc_index, demand);
   sessions_.erase(it);
+}
+
+void GamingWorkload::DigestState(StateDigest& digest) const {
+  digest.Mix(rng_.StateFingerprint());
+  view_.DigestState(digest);
+  digest.Mix(static_cast<uint64_t>(sessions_.size()));
+  for (const auto& [id, session] : sessions_) {
+    digest.Mix(id);
+    digest.Mix(session.soc_index);
+    digest.Mix(session.fail_epoch);
+    digest.Mix(session.outbound_load);
+    digest.Mix(session.inbound_load);
+  }
+  digest.Mix(next_id_);
+  digest.Mix(started_);
+  digest.Mix(rejected_);
+  digest.Mix(capped_);
+  digest.Mix(session_cap_);
 }
 
 }  // namespace soccluster

@@ -67,6 +67,10 @@ class GamingWorkload {
   // Sessions currently hosted on one SoC (the slot ledger).
   int SessionsOnSoc(int soc_index) const { return view_.SlotsUsed(soc_index); }
 
+  // Mixes the session table (in id order), the slot ledger, admission
+  // accounting, and the workload RNG.
+  void DigestState(StateDigest& digest) const;
+
  private:
   struct Session {
     int soc_index;

@@ -29,11 +29,14 @@ void OpenLoopSource::Arm() {
   if (next > end_time_) {
     return;
   }
-  sim_->ScheduleAt(next, [this] {
-    ++generated_;
-    sink_();
-    Arm();
-  });
+  sim_->ScheduleAt(
+      next,
+      [this] {
+        ++generated_;
+        sink_();
+        Arm();
+      },
+      "source.arrival");
 }
 
 namespace {
@@ -488,6 +491,40 @@ void GpuBatchServer::FinishBatch(std::vector<SimTime> batch,
     latency_metric_->Observe(latency_ms);
   }
   MaybeLaunch(/*timeout_expired=*/false);
+}
+
+void SocServingFleet::DigestState(StateDigest& digest) const {
+  digest.Mix(active_count_);
+  view_.DigestState(digest);
+  admission_.DigestState(digest);
+  digest.Mix(completed_);
+  digest.Mix(shed_);
+  digest.Mix(deadline_expired_);
+  digest.Mix(failed_);
+  digest.Mix(retries_);
+  digest.Mix(hedges_);
+  for (size_t i = 0; i < kNumPriorities; ++i) {
+    digest.Mix(completed_of_[i]);
+    digest.Mix(shed_of_[i]);
+    digest.Mix(expired_of_[i]);
+    digest.Mix(static_cast<uint64_t>(latencies_of_[i].count()));
+  }
+  digest.Mix(static_cast<uint64_t>(latencies_.count()));
+  for (const double sample : latencies_.samples()) {
+    digest.Mix(sample);
+  }
+  digest.Mix(deadline_.nanos());
+  digest.Mix(dispatch_limit_);
+  digest.Mix(in_flight_);
+  digest.Mix(hedge_delay_.nanos());
+  digest.Mix(next_request_id_);
+  if (backoff_ != nullptr) {
+    digest.Mix(backoff_->RngFingerprint());
+  }
+  if (budget_ != nullptr) {
+    digest.Mix(budget_->tokens());
+    digest.Mix(budget_->denied());
+  }
 }
 
 }  // namespace soccluster

@@ -144,6 +144,10 @@ class SocServingFleet {
   // Engine service rate of one SoC (samples/s), unthrottled.
   double PerSocThroughput() const;
 
+  // Mixes the ledgers, admission queue, request accounting (per class),
+  // the full latency sample sequence, and the retry jitter stream.
+  void DigestState(StateDigest& digest) const;
+
  private:
   struct RequestState {
     SimTime enqueue;

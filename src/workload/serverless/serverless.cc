@@ -395,7 +395,9 @@ void ServerlessWorkload::Arm(SimTime end) {
   if (next > end) {
     return;
   }
-  sim_->ScheduleAt(next, [this, end] {
+  sim_->ScheduleAt(
+      next,
+      [this, end] {
     const double u = rng_.NextDouble();
     size_t pick = cumulative_popularity_.size() - 1;
     for (size_t i = 0; i < cumulative_popularity_.size(); ++i) {
@@ -408,7 +410,34 @@ void ServerlessWorkload::Arm(SimTime end) {
     const Status status = platform_->Invoke(names_[pick], nullptr);
     SOC_CHECK(status.ok()) << status.ToString();
     Arm(end);
-  });
+  },
+      "serverless.arrival");
+}
+
+void ServerlessPlatform::DigestState(StateDigest& digest) const {
+  digest.Mix(rng_.StateFingerprint());
+  view_.DigestState(digest);
+  admission_.DigestState(digest);
+  digest.Mix(static_cast<int>(admit_floor_));
+  digest.Mix(defer_cold_starts_);
+  digest.Mix(static_cast<uint64_t>(instances_.size()));
+  for (const auto& [id, instance] : instances_) {
+    digest.Mix(id);
+    digest.Mix(std::string_view(instance.function));
+    digest.Mix(instance.soc_index);
+    digest.Mix(instance.busy);
+  }
+  digest.Mix(next_instance_id_);
+  digest.Mix(next_invocation_id_);
+  digest.Mix(stats_.invocations);
+  digest.Mix(stats_.cold_starts);
+  digest.Mix(stats_.rejected);
+  digest.Mix(stats_.deferred);
+  digest.Mix(stats_.qos_shed);
+  digest.Mix(static_cast<uint64_t>(stats_.latency_ms.count()));
+  for (const double sample : stats_.latency_ms.samples()) {
+    digest.Mix(sample);
+  }
 }
 
 }  // namespace soccluster

@@ -112,6 +112,10 @@ class ServerlessPlatform {
   // Total resident function memory on one SoC.
   double SocMemoryMb(int soc_index) const;
 
+  // Mixes the instance table (in id order), the memory ledger, the
+  // admission queue, invocation stats, and the platform RNG.
+  void DigestState(StateDigest& digest) const;
+
  private:
   struct Instance {
     int64_t id;

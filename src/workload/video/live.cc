@@ -453,4 +453,28 @@ int LiveTranscodingService::ClusterCapacity(VbenchVideo video,
   return capacity;
 }
 
+void LiveTranscodingService::DigestState(StateDigest& digest) const {
+  capacity_.DigestState(digest);
+  admission_.DigestState(digest);
+  digest.Mix(static_cast<int>(admit_floor_));
+  digest.Mix(brownout_rung_);
+  digest.Mix(static_cast<uint64_t>(streams_.size()));
+  for (const auto& [id, stream] : streams_) {
+    digest.Mix(id);
+    digest.Mix(static_cast<int>(stream.backend));
+    digest.Mix(stream.soc_index);
+    digest.Mix(stream.cpu_demand);
+    digest.Mix(stream.rung);
+    digest.Mix(stream.base_rung);
+    digest.Mix(stream.inbound_load);
+    digest.Mix(stream.outbound_load);
+  }
+  digest.Mix(next_id_);
+  digest.Mix(streams_degraded_);
+  digest.Mix(streams_dropped_);
+  digest.Mix(brownout_demoted_);
+  digest.Mix(brownout_promoted_);
+  digest.Mix(requests_shed_);
+}
+
 }  // namespace soccluster

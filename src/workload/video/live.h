@@ -86,6 +86,10 @@ class LiveTranscodingService {
   // Total streams the whole cluster can admit for this video/backend.
   int ClusterCapacity(VbenchVideo video, TranscodeBackend backend) const;
 
+  // Mixes the stream table (in id order), the capacity ledger, the
+  // admission queue, and degradation accounting.
+  void DigestState(StateDigest& digest) const;
+
  private:
   struct Stream {
     VbenchVideo video;

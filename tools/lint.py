@@ -49,6 +49,12 @@ Registered as the `lint.repo` ctest. Rules:
                 configured via each service's admission() accessor, so the
                 brownout governor has a single choke point per service.
 
+  suppression    Every `lint:allow` marker must be well-formed and name a
+                rule that exists: a typo like `lint:allow(unit)` would
+                otherwise silently suppress nothing while looking like it
+                does, and a stale marker survives refactors unnoticed.
+                Unknown or malformed suppressions are findings themselves.
+
 Suppress a finding by appending `// lint:allow(<rule>)` to the offending
 line, e.g. `// lint:allow(units)`.
 """
@@ -113,6 +119,10 @@ LAYERING_ALLOWLIST = {
     "src/core/powercap.cc",
     "src/core/benchmark_suite.h",
     "src/core/benchmark_suite.cc",
+    # The determinism-audit scenarios are scaled-down flagship experiments
+    # and drive every service, like the benchmark suite.
+    "src/core/det_scenarios.h",
+    "src/core/det_scenarios.cc",
 }
 
 # Queue caps belong to the qos admission layer: service code must not grow
@@ -122,6 +132,13 @@ ADMISSION_DIRS = ("src/workload", "src/trace")
 ADMISSION_PATTERN = re.compile(r"\b(SetMaxQueue|max_queue_)\b")
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+ALLOW_MARKER = re.compile(r"lint:allow")
+ALLOW_ANY = re.compile(r"//\s*lint:allow\(([^)]*)\)")
+
+KNOWN_RULES = frozenset({
+    "determinism", "units", "guards", "include-cc", "stdio", "layering",
+    "admission",
+})
 
 IGNORED_DIRS = {".git", "build", "third_party", ".github"}
 
@@ -254,6 +271,22 @@ class Linter:
                 "are owned by src/qos/admission.h — configure them through "
                 "the service's admission() accessor")
 
+    def lint_suppressions(self, path, raw_lines):
+        for lineno, raw in enumerate(raw_lines, 1):
+            if not ALLOW_MARKER.search(raw):
+                continue
+            m = ALLOW_ANY.search(raw)
+            if m is None:
+                self.report(
+                    path, lineno, "suppression",
+                    "malformed lint:allow marker; write "
+                    "`// lint:allow(<rule>)`")
+            elif m.group(1) not in KNOWN_RULES:
+                self.report(
+                    path, lineno, "suppression",
+                    f"lint:allow names unknown rule `{m.group(1)}`; known "
+                    f"rules: {', '.join(sorted(KNOWN_RULES))}")
+
     def lint_include_cc(self, path, raw_lines, code_lines):
         for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
             if (re.search(r'#include\s+"[^"]+\.cc"', code)
@@ -283,6 +316,7 @@ class Linter:
                 self.lint_layering(path, raw_lines, code_lines)
                 self.lint_admission(path, raw_lines, code_lines)
                 self.lint_include_cc(path, raw_lines, code_lines)
+                self.lint_suppressions(path, raw_lines)
         return self.findings
 
 

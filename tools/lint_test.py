@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py (registered as the lint.repo.unit ctest):
+per-rule positive/negative/suppressed cases driven through the Linter's
+rule methods, the comment/string stripper, and the suppression-hygiene
+rule added with the determinism analyzer."""
+
+import sys
+import unittest
+
+import lint
+
+
+def run_rule(method_name, path, text):
+    linter = lint.Linter("/nonexistent")
+    code_text = lint.strip_comments_and_strings(text)
+    raw_lines = text.split("\n")
+    code_lines = code_text.split("\n")
+    method = getattr(linter, method_name)
+    if method_name in ("lint_units", "lint_guards"):
+        method(path, raw_lines, code_text)
+    elif method_name == "lint_suppressions":
+        method(path, raw_lines)
+    else:
+        method(path, raw_lines, code_lines)
+    return linter.findings
+
+
+class StripTest(unittest.TestCase):
+    def test_line_comment_blanked(self):
+        out = lint.strip_comments_and_strings("int x; // rand()\n")
+        self.assertNotIn("rand", out)
+        self.assertIn("int x;", out)
+
+    def test_block_comment_preserves_newlines(self):
+        src = "a /* one\ntwo */ b\n"
+        out = lint.strip_comments_and_strings(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertNotIn("two", out)
+
+    def test_string_contents_blanked(self):
+        out = lint.strip_comments_and_strings('call("std::cout");\n')
+        self.assertNotIn("cout", out)
+
+
+class DeterminismRuleTest(unittest.TestCase):
+    def test_system_clock_flagged(self):
+        findings = run_rule(
+            "lint_determinism", "src/sim/x.cc",
+            "auto t = std::chrono::system_clock::now();\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[determinism]", findings[0])
+
+    def test_rand_flagged(self):
+        findings = run_rule("lint_determinism", "src/core/x.cc",
+                            "int r = rand();\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_outside_zone_ignored(self):
+        findings = run_rule("lint_determinism", "src/obs/x.cc",
+                            "int r = rand();\n")
+        self.assertEqual(findings, [])
+
+    def test_suppressed(self):
+        findings = run_rule(
+            "lint_determinism", "src/sim/x.cc",
+            "int r = rand();  // lint:allow(determinism)\n")
+        self.assertEqual(findings, [])
+
+
+class UnitsRuleTest(unittest.TestCase):
+    def test_double_watts_param_flagged(self):
+        findings = run_rule("lint_units", "src/hw/x.h",
+                            "void SetCap(double watts);\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[units]", findings[0])
+
+    def test_ratio_name_exempt(self):
+        findings = run_rule("lint_units", "src/hw/x.h",
+                            "void Set(double joules_per_second);\n")
+        self.assertEqual(findings, [])
+
+    def test_struct_field_not_flagged(self):
+        findings = run_rule("lint_units", "src/hw/x.h",
+                            "struct S {\n  double watts;\n};\n")
+        self.assertEqual(findings, [])
+
+
+class GuardsRuleTest(unittest.TestCase):
+    def test_wrong_guard_flagged(self):
+        findings = run_rule("lint_guards", "src/hw/soc.h",
+                            "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("SRC_HW_SOC_H_", findings[0])
+
+    def test_correct_guard_clean(self):
+        findings = run_rule(
+            "lint_guards", "src/hw/soc.h",
+            "#ifndef SRC_HW_SOC_H_\n#define SRC_HW_SOC_H_\n#endif\n")
+        self.assertEqual(findings, [])
+
+
+class StdioRuleTest(unittest.TestCase):
+    def test_printf_flagged(self):
+        findings = run_rule("lint_stdio", "src/qos/x.cc",
+                            'printf("%d", x);\n')
+        self.assertEqual(len(findings), 1)
+
+    def test_snprintf_clean(self):
+        findings = run_rule("lint_stdio", "src/qos/x.cc",
+                            "snprintf(buf, sizeof(buf), f, x);\n")
+        self.assertEqual(findings, [])
+
+    def test_fprintf_stderr_clean(self):
+        findings = run_rule("lint_stdio", "src/qos/x.cc",
+                            'fprintf(stderr, "%d", x);\n')
+        self.assertEqual(findings, [])
+
+
+class LayeringRuleTest(unittest.TestCase):
+    def test_sim_including_workload_flagged(self):
+        findings = run_rule(
+            "lint_layering", "src/sim/x.h",
+            '#include "src/workload/dl/serving.h"\n')
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[layering]", findings[0])
+
+    def test_allowlisted_file_clean(self):
+        findings = run_rule(
+            "lint_layering", "src/core/det_scenarios.cc",
+            '#include "src/workload/dl/serving.h"\n')
+        self.assertEqual(findings, [])
+
+    def test_commented_include_clean(self):
+        findings = run_rule(
+            "lint_layering", "src/sim/x.h",
+            '// #include "src/workload/dl/serving.h"\n')
+        self.assertEqual(findings, [])
+
+
+class AdmissionRuleTest(unittest.TestCase):
+    def test_private_queue_cap_flagged(self):
+        findings = run_rule("lint_admission", "src/workload/x.h",
+                            "int max_queue_ = 0;\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_admission_accessor_path_clean(self):
+        findings = run_rule("lint_admission", "src/workload/x.cc",
+                            "admission().SetMaxQueue(500);\n")
+        self.assertEqual(findings, [])
+
+
+class SuppressionHygieneTest(unittest.TestCase):
+    def test_unknown_rule_flagged(self):
+        findings = run_rule("lint_suppressions", "src/sim/x.cc",
+                            "int x;  // lint:allow(unit)\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("unknown rule `unit`", findings[0])
+
+    def test_malformed_marker_flagged(self):
+        findings = run_rule("lint_suppressions", "src/sim/x.cc",
+                            "int x;  // lint:allow units\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("malformed", findings[0])
+
+    def test_known_rule_clean(self):
+        findings = run_rule("lint_suppressions", "src/sim/x.cc",
+                            "int x = rand();  // lint:allow(determinism)\n")
+        self.assertEqual(findings, [])
+
+    def test_known_rules_cover_all_rule_methods(self):
+        # Every lint_<rule> method's reports must use a name in
+        # KNOWN_RULES, or its suppressions would be self-flagged.
+        for rule in ("determinism", "units", "guards", "include-cc",
+                     "stdio", "layering", "admission"):
+            self.assertIn(rule, lint.KNOWN_RULES)
+
+
+class ExitCodeTest(unittest.TestCase):
+    def test_unknown_suppression_exits_nonzero(self):
+        import subprocess
+        import tempfile
+        import os
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src/sim"))
+            with open(os.path.join(tmp, "src/sim/x.cc"), "w") as f:
+                f.write("int x;  // lint:allow(nonsense)\n")
+            proc = subprocess.run(
+                [sys.executable,
+                 os.path.join(os.path.dirname(lint.__file__), "lint.py"),
+                 "--root", tmp],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("unknown rule", proc.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())
