@@ -5,10 +5,12 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/autoscaler.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {
@@ -19,8 +21,14 @@ struct Outcome {
   double p99_ms;
 };
 
-Outcome Measure(int warm_pool, double target_util, double rate) {
+// `obs_flags` is non-null for the showcase cell only: that run carries
+// the optional trace/metrics/SLO/digest outputs.
+Outcome Measure(int warm_pool, double target_util, double rate,
+                const ObsFlags* obs_flags) {
   Simulator sim(97);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -56,11 +64,20 @@ Outcome Measure(int warm_pool, double target_util, double rate) {
   for (size_t i = samples0; i < all.size(); ++i) {
     window.Add(all[i]);
   }
+  if (obs_flags != nullptr) {
+    sim.obs().slos.Advance(sim.Now());
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    fleet.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
   return {(fleet.completed() - done0) / spent.joules(),
           window.count() > 0 ? window.Percentile(99) : 0.0};
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: autoscaler policy at 20 req/s (ResNet-50, "
               "SoC GPU) ===\n\n");
   BenchReport report("ablation_autoscaler");
@@ -68,7 +85,9 @@ void Run() {
   TextTable table({"warm pool", "target util", "samples/J", "p99 ms"});
   for (int warm : {0, 2, 6, 12}) {
     for (double util : {0.5, 0.85}) {
-      const Outcome outcome = Measure(warm, util, 20.0);
+      const bool showcase = warm == 12 && util == 0.85;
+      const Outcome outcome =
+          Measure(warm, util, 20.0, showcase ? &obs_flags : nullptr);
       const std::string prefix = "warm" + std::to_string(warm) + "_util" +
                                  FormatDouble(util, 2) + "_";
       report.Add(prefix + "samples_per_joule", outcome.samples_per_joule,
@@ -88,7 +107,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

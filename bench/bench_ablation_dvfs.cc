@@ -6,14 +6,16 @@
 
 #include <string>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/hw/dvfs.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: DVFS governor on the Kryo 585 complex ===\n\n");
   const auto curve = DvfsModel::Kryo585Curve();
 
@@ -54,12 +56,14 @@ void Run() {
               "an upper bound that coincides with schedutil at the "
               "full-load calibration anchors; deadline-tolerant batch work "
               "saves ~30%% energy at low OPPs.\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -7,21 +7,28 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/collab.h"
 
 namespace soccluster {
 namespace {
 
-CollabResult RunAt(DataRate fabric, DnnModel model, bool pipelined) {
+// `obs_flags` is non-null for the showcase cell only.
+CollabResult RunAt(DataRate fabric, DnnModel model, bool pipelined,
+                   const ObsFlags* obs_flags) {
   Simulator sim(91);
   ClusterChassisSpec chassis = DefaultChassisSpec();
   chassis.pcb_uplink = fabric;
   SocSpec soc = Snapdragon865Spec();
   soc.nic = fabric;
   SocCluster cluster(&sim, chassis, soc);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
   SOC_CHECK(status.ok());
@@ -30,10 +37,17 @@ CollabResult RunAt(DataRate fabric, DnnModel model, bool pipelined) {
   CollabResult result;
   collab.Run([&](const CollabResult& r) { result = r; });
   sim.Run();
+  if (obs_flags != nullptr) {
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
   return result;
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: intra-cluster fabric bandwidth "
               "(collaborative ResNet-50, N=5) ===\n\n");
   BenchReport report("ablation_network");
@@ -41,10 +55,12 @@ void Run() {
   TextTable table({"fabric", "seq total ms", "seq comm %", "pipe total ms",
                    "pipe comm %", "speedup vs 1 SoC (80 ms)"});
   for (double gbps : {1.0, 2.5, 10.0, 25.0, 100.0}) {
+    const bool showcase = gbps == 100.0;
     const CollabResult seq =
-        RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, false);
+        RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, false, nullptr);
     const CollabResult pipe =
-        RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, true);
+        RunAt(DataRate::Gbps(gbps), DnnModel::kResNet50, true,
+              showcase ? &obs_flags : nullptr);
     const std::string prefix = "fabric_" + FormatDouble(gbps, 1) + "gbps_";
     report.Add(prefix + "pipe_total_ms", pipe.total.ToMillis(), "ms");
     report.Add(prefix + "pipe_comm_share", pipe.CommShare(), "ratio");
@@ -65,7 +81,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

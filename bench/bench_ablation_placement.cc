@@ -6,9 +6,11 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/live.h"
 
 namespace soccluster {
@@ -20,8 +22,13 @@ struct Outcome {
   int socs_used;
 };
 
-Outcome Measure(PlacementPolicy policy, int streams) {
+// `obs_flags` is non-null for the showcase cell only.
+Outcome Measure(PlacementPolicy policy, int streams,
+                const ObsFlags* obs_flags) {
   Simulator sim(93);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
@@ -46,10 +53,19 @@ Outcome Measure(PlacementPolicy policy, int streams) {
     }
   }
   outcome.power_gated_watts = cluster.CurrentPower().watts();
+  if (obs_flags != nullptr) {
+    sim.obs().slos.Advance(sim.Now());
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    service.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
   return outcome;
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: placement policy x power gating "
               "(V4 live streams) ===\n\n");
   BenchReport report("ablation_placement");
@@ -59,7 +75,10 @@ void Run() {
     for (PlacementPolicy policy :
          {PlacementPolicy::kSpread, PlacementPolicy::kPack,
           PlacementPolicy::kBestFit, PlacementPolicy::kRandomOfK}) {
-      const Outcome outcome = Measure(policy, streams);
+      const bool showcase =
+          streams == 180 && policy == PlacementPolicy::kRandomOfK;
+      const Outcome outcome =
+          Measure(policy, streams, showcase ? &obs_flags : nullptr);
       const std::string prefix = std::string(PlacementPolicyName(policy)) +
                                  "_" + std::to_string(streams) + "streams_";
       report.Add(prefix + "gated_watts", outcome.power_gated_watts, "W");
@@ -85,7 +104,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -5,15 +5,17 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/serverless/serverless.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: serverless keep-alive on the SoC Cluster ===\n\n");
   BenchReport report("ablation_serverless");
   TextTable table({"keep-alive", "cold-start rate", "p50 ms", "p99 ms",
@@ -21,7 +23,13 @@ void Run() {
   for (Duration keep_alive :
        {Duration::Zero(), Duration::Seconds(30), Duration::Minutes(2),
         Duration::Minutes(10), Duration::Minutes(60)}) {
+    // The longest keep-alive cell is the showcase: it alone carries the
+    // optional trace/metrics/SLO/digest outputs.
+    const bool showcase = keep_alive == Duration::Minutes(60);
     Simulator sim(95);
+    if (showcase) {
+      ApplyObsFlags(obs_flags, &sim.obs());
+    }
     SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
     cluster.PowerOnAll(nullptr);
     Status status = sim.RunFor(Duration::Seconds(30));
@@ -41,6 +49,15 @@ void Run() {
     const double avg_watts =
         spent.joules() / (sim.Now() - t0).ToSeconds();
     const InvocationStats& stats = platform.stats();
+    if (showcase) {
+      sim.obs().slos.Advance(sim.Now());
+      SOC_CHECK(FlushObsFlags(obs_flags, sim.obs(), sim.Now()).ok());
+      StateDigest digest;
+      sim.DigestState(digest);
+      cluster.DigestState(digest);
+      platform.DigestState(digest);
+      SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
+    }
     std::string label = keep_alive.IsZero()
                             ? "none"
                             : FormatDouble(keep_alive.ToSeconds(), 0) + " s";
@@ -67,7 +84,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -7,21 +7,28 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/training.h"
 
 namespace soccluster {
 namespace {
 
-TrainingStepResult RunStep(DataRate fabric, int socs, Precision gradients) {
+// `obs_flags` is non-null for the showcase cell only.
+TrainingStepResult RunStep(DataRate fabric, int socs, Precision gradients,
+                           const ObsFlags* obs_flags) {
   Simulator sim(113);
   ClusterChassisSpec chassis = DefaultChassisSpec();
   chassis.pcb_uplink = fabric;
   SocSpec soc = Snapdragon865Spec();
   soc.nic = fabric;
   SocCluster cluster(&sim, chassis, soc);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(30));
   SOC_CHECK(status.ok());
@@ -32,10 +39,17 @@ TrainingStepResult RunStep(DataRate fabric, int socs, Precision gradients) {
   TrainingStepResult result;
   training.Run(1, [&](const TrainingStepResult& r) { result = r; });
   sim.Run();
+  if (obs_flags != nullptr) {
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
   return result;
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: collaborative ResNet-50 training ===\n\n");
 
   std::printf("--- cohort size on the stock 1 Gbps fabric (FP32 grads) ---\n");
@@ -43,10 +57,10 @@ void Run() {
                    "comm share", "samples/s", "scaling eff"});
   BenchReport report("ablation_training");
   const TrainingStepResult single =
-      RunStep(DataRate::Gbps(1.0), 1, Precision::kFp32);
+      RunStep(DataRate::Gbps(1.0), 1, Precision::kFp32, nullptr);
   for (int socs : {1, 2, 4, 8, 16}) {
     const TrainingStepResult r =
-        RunStep(DataRate::Gbps(1.0), socs, Precision::kFp32);
+        RunStep(DataRate::Gbps(1.0), socs, Precision::kFp32, nullptr);
     if (socs == 8) {
       report.Add("stock_8socs_comm_share", r.CommShare(), "ratio");
       report.Add("stock_8socs_scaling_eff",
@@ -81,7 +95,9 @@ void Run() {
       {"25 Gbps, FP32 gradients", DataRate::Gbps(25.0), Precision::kFp32},
   };
   for (const Case& c : cases) {
-    const TrainingStepResult r = RunStep(c.fabric, 8, c.gradients);
+    const bool showcase = &c == &cases[3];
+    const TrainingStepResult r =
+        RunStep(c.fabric, 8, c.gradients, showcase ? &obs_flags : nullptr);
     if (c.gradients == Precision::kInt8) {
       report.Add("int8_grads_8socs_samples_per_second", r.samples_per_second,
                  "samples/s");
@@ -99,7 +115,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -8,22 +8,30 @@
 #include <string>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/live.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Ablation: mixed-generation fleet (865 -> 8+Gen1) ===\n\n");
   BenchReport report("ablation_upgrade");
   TextTable table({"8+Gen1 slots", "V4 live capacity", "V5 live capacity",
                    "R50 DSP capacity (inf/s)", "idle W"});
   for (int upgraded : {0, 15, 30, 45, 60}) {
+    // The fully-upgraded cell is the showcase: it alone carries the
+    // optional trace/metrics/SLO/digest outputs.
+    const bool showcase = upgraded == 60;
     Simulator sim(131);
+    if (showcase) {
+      ApplyObsFlags(obs_flags, &sim.obs());
+    }
     std::vector<SocSpec> specs;
     for (int i = 0; i < 60; ++i) {
       specs.push_back(i < upgraded ? SocSpecFor(SocGeneration::kSd8Gen1Plus)
@@ -54,6 +62,15 @@ void Run() {
     table.AddRow({std::to_string(upgraded), std::to_string(v4),
                   std::to_string(v5), FormatDouble(dsp_capacity, 0),
                   FormatDouble(cluster.CurrentPower().watts(), 0)});
+    if (showcase) {
+      sim.obs().slos.Advance(sim.Now());
+      SOC_CHECK(FlushObsFlags(obs_flags, sim.obs(), sim.Now()).ok());
+      StateDigest digest;
+      sim.DigestState(digest);
+      cluster.DigestState(digest);
+      service.DigestState(digest);
+      SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
+    }
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("Takeaway: a full 8+Gen1 refresh nearly doubles transcode "
@@ -65,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

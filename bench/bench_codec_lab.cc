@@ -8,14 +8,16 @@
 
 #include <string>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/videolab/codec_lab.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Codec lab: entropy vs bits vs quality (real DCT codec, "
               "128x128 synthetic scenes) ===\n\n");
   BenchReport report("codec_lab");
@@ -52,12 +54,14 @@ void Run() {
   std::printf("Reading: at matched quantization, busy scenes emit many more "
               "bits; at a fixed budget they reconstruct worse — the paper's "
               "entropy axis, reproduced with actual signal processing.\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

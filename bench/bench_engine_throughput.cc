@@ -8,7 +8,10 @@
 // against bench/baselines/.
 //
 // Flags: --events=N (default 2000000), --digest-out=PATH (final engine
-// digest per pattern, as JSON).
+// digest per pattern, as JSON), plus the shared --trace-out=/--metrics-out=
+// observability flags (attached to the schedule_cancel pattern's sim).
+// --digest-out keeps its per-pattern format here rather than the shared
+// single-digest one.
 
 #include <chrono>
 #include <functional>
@@ -22,6 +25,7 @@
 #include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
@@ -38,11 +42,18 @@ struct PatternResult {
 
 template <typename Body>
 PatternResult TimePattern(const std::string& name, int64_t events,
-                          Body&& body) {
+                          Body&& body,
+                          const ObsFlags* obs_flags = nullptr) {
   Simulator sim(2024);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   const auto start = std::chrono::steady_clock::now();
   body(sim);
   const auto stop = std::chrono::steady_clock::now();
+  if (obs_flags != nullptr) {
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+  }
   PatternResult result;
   result.name = name;
   result.events = events;
@@ -85,7 +96,7 @@ PatternResult FanOut(int64_t events) {
   });
 }
 
-PatternResult ScheduleCancel(int64_t events) {
+PatternResult ScheduleCancel(int64_t events, const ObsFlags* obs_flags) {
   return TimePattern("schedule_cancel", events, [events](Simulator& sim) {
     // Schedule in waves, cancelling half of the previous wave each time:
     // exercises the pending-id bookkeeping and lazy heap purge.
@@ -107,15 +118,16 @@ PatternResult ScheduleCancel(int64_t events) {
       previous = std::move(wave);
     }
     sim.Run();
-  });
+  }, obs_flags);
 }
 
-int Run(int64_t events, const std::string& digest_out) {
+int Run(int64_t events, const std::string& digest_out,
+        const ObsFlags& obs_flags) {
   std::vector<PatternResult> results;
   results.push_back(TimerChain(events, /*perturb=*/false));
   results.push_back(TimerChain(events, /*perturb=*/true));
   results.push_back(FanOut(events));
-  results.push_back(ScheduleCancel(events));
+  results.push_back(ScheduleCancel(events, &obs_flags));
 
   TextTable table({"pattern", "events", "wall_s", "events_per_sec"});
   BenchReport report("engine_throughput");
@@ -149,6 +161,7 @@ int Run(int64_t events, const std::string& digest_out) {
 }  // namespace soccluster
 
 int main(int argc, char** argv) {
+  soccluster::ObsFlags obs_flags = soccluster::ParseObsFlags(argc, argv);
   int64_t events = 2000000;
   std::string digest_out;
   for (int i = 1; i < argc; ++i) {
@@ -159,5 +172,8 @@ int main(int argc, char** argv) {
       digest_out = arg + 13;
     }
   }
-  return soccluster::Run(events, digest_out);
+  // This bench owns --digest-out (per-pattern digests); keep the shared
+  // flags to the other three outputs.
+  obs_flags.digest_out.clear();
+  return soccluster::Run(events, digest_out, obs_flags);
 }

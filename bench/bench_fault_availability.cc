@@ -6,17 +6,22 @@
 // without request-level resilience (deadline + retry + hedging), to price
 // what the mechanisms buy in goodput.
 //
-// Flags: --days=N (fault horizon, default 90), --seed=S (default 42).
+// Flags: --days=N (fault horizon, default 90), --seed=S (default 42),
+//        --trace-out/--metrics-out/--digest-out/--slo-out=PATH (applied to
+//        the resilient goodput run; --slo-out writes the per-class burn-rate
+//        alert timeline for the failure storm).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/core/chaos.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {
@@ -111,6 +116,8 @@ struct GoodputOutcome {
   int64_t retries = 0;
   int64_t hedges = 0;
   double p99_ms = 0.0;
+  int64_t slo_fires = 0;
+  int64_t slo_clears = 0;
   double Goodput() const {
     return generated > 0
                ? static_cast<double>(completed) / static_cast<double>(generated)
@@ -121,8 +128,12 @@ struct GoodputOutcome {
 // A compressed failure storm against the serving fleet: transient SoC
 // faults every few minutes of fleet-time, with or without request-level
 // resilience.
-GoodputOutcome MeasureGoodput(bool resilient, uint64_t seed) {
+GoodputOutcome MeasureGoodput(bool resilient, uint64_t seed,
+                              const ObsFlags* obs_flags) {
   Simulator sim(seed);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   Status status = sim.RunFor(Duration::Seconds(60));
@@ -171,12 +182,36 @@ GoodputOutcome MeasureGoodput(bool resilient, uint64_t seed) {
   outcome.hedges = fleet.hedges();
   outcome.p99_ms =
       fleet.latencies().count() > 0 ? fleet.latencies().Percentile(99) : 0.0;
+  // Drain-end evaluation records the clear for any alert still firing.
+  sim.obs().slos.Advance(sim.Now());
+  for (const auto& tracker : sim.obs().slos.trackers()) {
+    for (const SloAlert& alert : tracker->alerts()) {
+      if (alert.firing) {
+        ++outcome.slo_fires;
+      } else {
+        ++outcome.slo_clears;
+      }
+    }
+  }
+  if (obs_flags != nullptr) {
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    fleet.DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
   return outcome;
 }
 
-void RunGoodput(uint64_t seed, BenchReport* report) {
-  const GoodputOutcome naive = MeasureGoodput(/*resilient=*/false, seed);
-  const GoodputOutcome resilient = MeasureGoodput(/*resilient=*/true, seed);
+void RunGoodput(uint64_t seed, const ObsFlags& obs_flags,
+                BenchReport* report) {
+  const GoodputOutcome naive =
+      MeasureGoodput(/*resilient=*/false, seed, nullptr);
+  // The resilient run is the showcase: it carries the trace/metrics/SLO
+  // flags, so its burn-rate alert timeline is the one exported.
+  const GoodputOutcome resilient =
+      MeasureGoodput(/*resilient=*/true, seed, &obs_flags);
 
   std::printf("=== Goodput under a failure storm (ResNet-50, 5 SoCs at 85%% "
               "load, 30 s transient fault ~every 2 min/SoC) ===\n\n");
@@ -214,14 +249,18 @@ void RunGoodput(uint64_t seed, BenchReport* report) {
   report->Add("storm_hedges", static_cast<double>(resilient.hedges), "count");
   report->Add("storm_deadline_expired",
               static_cast<double>(resilient.expired), "count");
+  report->Add("storm_slo_fires", static_cast<double>(resilient.slo_fires),
+              "count");
+  report->Add("storm_slo_clears", static_cast<double>(resilient.slo_clears),
+              "count");
 }
 
-void Run(int days, uint64_t seed) {
+void Run(int days, uint64_t seed, const ObsFlags& obs_flags) {
   BenchReport report("fault_availability");
   report.SetParam("days", static_cast<int64_t>(days));
   report.SetParam("seed", static_cast<int64_t>(seed));
   RunAvailability(days, seed, &report);
-  RunGoodput(seed, &report);
+  RunGoodput(seed, obs_flags, &report);
 }
 
 }  // namespace
@@ -240,6 +279,8 @@ int main(int argc, char** argv) {
   if (days < 1) {
     days = 1;
   }
-  soccluster::Run(days, seed);
+  const soccluster::ObsFlags obs_flags =
+      soccluster::ParseObsFlags(argc, argv);
+  soccluster::Run(days, seed, obs_flags);
   return 0;
 }

@@ -4,14 +4,16 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/trace/vm_distribution.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 1: CDF of VM resource subscription ===\n\n");
   VmDistribution azure(VmCloud::kAzure);
   VmDistribution ens(VmCloud::kAlibabaEns);
@@ -48,12 +50,14 @@ void Run() {
   report.Add("ens_fit_fraction", ens.FitFraction(limits), "ratio");
   report.Add("azure_cores_cdf_8", azure.CoresCdf(8), "ratio");
   report.Add("ens_cores_cdf_8", ens.CoresCdf(8), "ratio");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

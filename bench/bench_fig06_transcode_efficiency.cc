@@ -5,15 +5,17 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/transcode.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 6a: live streaming transcoding (streams/W) ===\n\n");
   BenchReport report("fig06_transcode_efficiency");
   TextTable live({"Video", "SoC-CPU", "Intel-CPU", "GPU-A40",
@@ -60,12 +62,14 @@ void Run() {
   std::printf("%s", archive.Render().c_str());
   std::printf("(paper: SoC beats Intel everywhere; the A40 loses only on the "
               "low-entropy V2/V4)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

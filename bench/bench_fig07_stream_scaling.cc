@@ -6,9 +6,11 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
@@ -43,7 +45,7 @@ void SweepVideo(VbenchVideo video, const char* label, const char* tag,
   std::printf("%s\n", table.Render().c_str());
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 7: efficiency vs number of live streams ===\n\n");
   BenchReport report("fig07_stream_scaling");
   SweepVideo(VbenchVideo::kV4Presentation,
@@ -53,12 +55,14 @@ void Run() {
   std::printf("(paper: SoC and Intel CPUs nearly flat; the A40 starts at "
               "0.018 streams/W on one V4 stream — 14.9x behind Intel, 40.8x "
               "behind SoC CPUs — and climbs with load but stays below SoC)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

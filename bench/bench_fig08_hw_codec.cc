@@ -3,14 +3,16 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 8: SoC CPU vs hardware codec (whole cluster) ===\n\n");
   BenchReport report("fig08_hw_codec");
   TextTable table({"Video", "CPU streams", "HW streams", "HW/CPU",
@@ -36,12 +38,14 @@ void Run() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("(paper: 1.07x-3x more streams; ~2.5x streams/W geomean on "
               "low-complexity videos, 4.7x-5.5x on high-entropy/high-res)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

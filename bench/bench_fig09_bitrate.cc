@@ -3,14 +3,16 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/quality.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 9: target vs output bitrate (Kbps) ===\n\n");
   BenchReport report("fig09_bitrate");
   TextTable table({"Video", "Target", "libx264", "NVENC", "MediaCodec",
@@ -43,12 +45,14 @@ void Run() {
   std::printf("(paper: software encoders track the target; MediaCodec "
               "overshoots low caps — V2's output even exceeds its 181 Kbps "
               "source)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -3,14 +3,16 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/quality.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 10: transcoding quality (PSNR dB) ===\n\n");
   BenchReport report("fig10_psnr");
   TextTable table({"Video", "libx264 (SoC & Intel)", "NVENC", "MediaCodec",
@@ -36,12 +38,14 @@ void Run() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("(paper: libx264 on SoC CPUs equals the Intel CPU exactly; "
               "MediaCodec trails by 1.35%%-14.77%%)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
@@ -40,7 +42,7 @@ std::string Cell(DlDevice device, const Config& config, int batch,
   return FormatDouble(efficiency ? m.samples_per_joule : m.latency_ms, 2);
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 11a: inference latency (ms) ===\n\n");
   TextTable latency({"Model", "SoC-CPU", "SoC-GPU", "SoC-DSP", "Intel-CPU",
                      "A40 bs1", "A40 bs64", "A100 bs1", "A100 bs64"});
@@ -94,12 +96,14 @@ void Run() {
              "samples/J");
   report.Add("r50_fp32_gpu_vs_intel_samples_per_joule",
              gpu.samples_per_joule / intel.samples_per_joule, "x");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/core/benchmark_suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
@@ -36,19 +38,21 @@ void Sweep(DnnModel model, const char* label, const char* tag,
   std::printf("%s\n", table.Render().c_str());
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 12: efficiency vs offered DL load ===\n\n");
   BenchReport report("fig12_dl_load_scaling");
   Sweep(DnnModel::kResNet50, "ResNet-50", "r50", &report);
   Sweep(DnnModel::kResNet152, "ResNet-152", "r152", &report);
   std::printf("(paper: ~5.71x advantage for the cluster at five samples/s "
               "on ResNet-50; the gap narrows as load saturates the A100)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

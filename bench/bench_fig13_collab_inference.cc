@@ -6,9 +6,11 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/collab.h"
 
 namespace soccluster {
@@ -55,9 +57,10 @@ void Sweep(Simulator* sim, SocCluster* cluster, DnnModel model,
   std::printf("%s\n", table.Render().c_str());
 }
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Figure 13: SoC-collaborative DL inference ===\n\n");
   Simulator sim(77);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
   cluster.PowerOnAll(nullptr);
   const Status status = sim.RunFor(Duration::Seconds(30));
@@ -68,12 +71,18 @@ void Run() {
   std::printf("(paper, ResNet-50: compute 80 -> 34 ms at N=5 but only a "
               "1.38x end-to-end speedup; communication is 41.5%% of latency, "
               "22.9%% with pipelining)\n");
+
+  SOC_CHECK(FlushObsFlags(obs_flags, sim.obs(), sim.Now()).ok());
+  StateDigest digest;
+  sim.DigestState(digest);
+  cluster.DigestState(digest);
+  SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -5,15 +5,17 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/transcode.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 6 / Figure 14: SoC longitudinal study ===\n\n");
 
   std::printf("--- ResNet-50 inference latency (ms) ---\n");
@@ -83,12 +85,14 @@ void Run() {
              DlEngineModel::SocDspThroughput(gen1p, DnnModel::kResNet50, 8) /
                  DlEngineModel::SocDspThroughput(gen1p, DnnModel::kResNet50,
                                                  1), "x");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

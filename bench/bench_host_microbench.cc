@@ -9,15 +9,17 @@
 
 #include <string>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/hw/microbench.h"
 #include "src/microbench/suite.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Host micro-benchmark kernels (real implementations) ===\n\n");
   HostMicrobenchSuite suite(/*scale=*/3);
   BenchReport report("host_microbench");
@@ -53,12 +55,14 @@ void Run() {
   std::printf("%s", anchors.Render().c_str());
   std::printf("(the paper's finding: SD865 cores trade blows with Xeon "
               "cores on exactly these kernels — Table 2)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

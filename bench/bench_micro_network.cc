@@ -4,16 +4,19 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/table.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== §2.3 micro-benchmarks: inter-SoC network ===\n\n");
   Simulator sim(88);
+  ApplyObsFlags(obs_flags, &sim.obs());
   SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
 
   // Ping: one RTT via SendMessage with an empty payload.
@@ -53,12 +56,20 @@ void Run() {
   }
   std::printf("\n%s\n", table.Render().c_str());
   std::printf("(paper: ~903 Mbps TCP, ~895 Mbps UDP over the 1GE fabric)\n");
+
+  // The flags attach to the ping sim; the digest additionally folds the
+  // per-protocol iperf sims' goodput so a regression anywhere shows up.
+  SOC_CHECK(FlushObsFlags(obs_flags, sim.obs(), sim.Now()).ok());
+  StateDigest digest;
+  sim.DigestState(digest);
+  cluster.DigestState(digest);
+  SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -10,7 +10,8 @@
 // releases in strict LIFO order.
 //
 // Flags: --seed=S (default 42), --surge-minutes=M (default 5),
-//        --trace-out=PATH / --metrics-out=PATH (applied to the 3x run).
+//        --trace-out=PATH / --metrics-out=PATH / --slo-out=PATH (applied to
+//        the 3x run; --slo-out writes the burn-rate alert timeline).
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +24,7 @@
 
 #include "src/base/check.h"
 #include "src/base/digest.h"
+#include "src/base/stats.h"
 #include "src/base/table.h"
 #include "src/core/overload.h"
 #include "src/obs/bench_report.h"
@@ -89,6 +91,14 @@ struct StormOutcome {
   int64_t replicas_preempted = 0;
   bool ladder_order_ok = false;
   bool released_clean = false;  // Ladder fully unwound after the drain.
+  // Sketch-vs-exact agreement: serving p99 from the registry's DDSketch
+  // histogram next to the exact per-request samples (CI asserts they agree
+  // to the sketch's relative accuracy).
+  double sketch_p99_ms = 0.0;
+  double exact_p99_ms = 0.0;
+  // Burn-rate alert timeline totals across every registered SLO.
+  int64_t slo_fires = 0;
+  int64_t slo_clears = 0;
 };
 
 StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
@@ -229,6 +239,28 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
   outcome.gaming_capped = gaming.sessions_capped();
   outcome.replicas_preempted = orchestrator.replicas_preempted();
   outcome.ladder_order_ok = LadderOrderOk(manager.governor().history());
+  // Final burn-rate evaluation at drain end: windows have emptied, so any
+  // still-firing alert records its clear transition here.
+  sim.obs().slos.Advance(sim.Now());
+  for (const auto& tracker : sim.obs().slos.trackers()) {
+    for (const SloAlert& alert : tracker->alerts()) {
+      if (alert.firing) {
+        ++outcome.slo_fires;
+      } else {
+        ++outcome.slo_clears;
+      }
+    }
+  }
+  outcome.sketch_p99_ms =
+      sim.metrics().GetHistogram("dl.serving.latency_ms")->Percentile(99);
+  SampleStats exact;
+  for (int c = 0; c < kNumPriorities; ++c) {
+    for (const double sample :
+         fleet.latencies_of(static_cast<Priority>(c)).samples()) {
+      exact.Add(sample);
+    }
+  }
+  outcome.exact_p99_ms = exact.count() > 0 ? exact.Percentile(99) : 0.0;
   outcome.released_clean =
       !manager.IsBrownedOut() && outcome.engagements == outcome.releases &&
       fleet.admission().admit_floor() == Priority::kBestEffort &&
@@ -236,7 +268,7 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
       gaming.session_cap() == -1 && !orchestrator.placement_hold();
 
   if (obs_flags != nullptr) {
-    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs()).ok());
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
     StateDigest digest;
     sim.DigestState(digest);
     cluster.DigestState(digest);
@@ -328,6 +360,12 @@ void Run(uint64_t seed, int surge_minutes, const ObsFlags& obs_flags) {
                o.ladder_order_ok ? 1.0 : 0.0, "bool");
     report.Add(Tag(multiplier, "released_clean"),
                o.released_clean ? 1.0 : 0.0, "bool");
+    report.Add(Tag(multiplier, "sketch_p99_ms"), o.sketch_p99_ms, "ms");
+    report.Add(Tag(multiplier, "exact_p99_ms"), o.exact_p99_ms, "ms");
+    report.Add(Tag(multiplier, "slo_fires"),
+               static_cast<double>(o.slo_fires), "count");
+    report.Add(Tag(multiplier, "slo_clears"),
+               static_cast<double>(o.slo_clears), "count");
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("Takeaway: under the ladder the cluster sheds best-effort "

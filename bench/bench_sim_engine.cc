@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/cluster/cluster.h"
 #include "src/net/network.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
@@ -123,10 +125,36 @@ class ReportingConsole : public benchmark::ConsoleReporter {
   BenchReport* report_;
 };
 
+// The google-benchmark runs above have wall-clock-dependent iteration
+// counts, so the shared obs outputs come from a fixed replay of the
+// event-queue pattern instead: deterministic digest, metrics, and (when
+// requested) trace, independent of machine speed.
+void FlushObs(const ObsFlags& obs_flags) {
+  if (!obs_flags.trace_requested() && !obs_flags.metrics_requested() &&
+      !obs_flags.slo_requested() && !obs_flags.digest_requested()) {
+    return;
+  }
+  Simulator sim(1);
+  ApplyObsFlags(obs_flags, &sim.obs());
+  for (int i = 0; i < 10000; ++i) {
+    sim.ScheduleAfter(Duration::Micros(i), [] {});
+  }
+  sim.Run();
+  SOC_CHECK(FlushObsFlags(obs_flags, sim.obs(), sim.Now()).ok());
+  StateDigest digest;
+  sim.DigestState(digest);
+  SOC_CHECK(FlushDigestFlag(obs_flags, digest.value()).ok());
+}
+
 }  // namespace
 }  // namespace soccluster
 
 int main(int argc, char** argv) {
+  // benchmark::Initialize rejects flags it does not recognize; take the
+  // shared observability flags out of argv first.
+  const soccluster::ObsFlags obs_flags =
+      soccluster::ParseObsFlags(argc, argv);
+  soccluster::StripObsFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
@@ -134,5 +162,6 @@ int main(int argc, char** argv) {
   soccluster::BenchReport report("sim_engine");
   soccluster::ReportingConsole console(&report);
   benchmark::RunSpecifiedBenchmarks(&console);
+  soccluster::FlushObs(obs_flags);
   return 0;
 }

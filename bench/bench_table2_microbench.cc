@@ -4,14 +4,16 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/hw/microbench.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 2: micro-benchmarks on four platforms ===\n\n");
   MicrobenchModel model;
   TextTable table({"Micro Benchmark", "Ours/core", "Trad./core", "G2/core",
@@ -56,12 +58,14 @@ void Run() {
                       MicrobenchMetric::kCpuScore, socs), 0)});
   }
   std::printf("%s", scale.Render().c_str());
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -5,15 +5,17 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/video/transcode.h"
 #include "src/workload/video/video.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 3: video metadata and network-bound analysis ===\n\n");
   BenchReport report("table3_network_bound");
   TextTable table({"Video", "Resolution", "FPS", "Entropy", "Src bitrate",
@@ -46,12 +48,14 @@ void Run() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("Observation (§4.4): only V5 slightly exceeds a PCB's 1 Gbps; "
               "the 20 Gbps ESB is never the bottleneck.\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

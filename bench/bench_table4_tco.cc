@@ -5,14 +5,16 @@
 
 #include <string>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cost/tco.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 4: total cost of ownership ===\n\n");
   BenchReport report("table4_tco");
   for (ServerKind kind : AllServerKinds()) {
@@ -44,12 +46,14 @@ void Run() {
     report.Add(prefix + "_monthly_tco_usd", tco.monthly_tco_usd, "USD/month");
   }
   std::printf("(paper: monthly TCO $1,410 / $399 / $1,042)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

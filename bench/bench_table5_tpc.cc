@@ -4,16 +4,18 @@
 
 #include <cstdio>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cost/tco.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/video/transcode.h"
 
 namespace soccluster {
 namespace {
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 5: throughput per monthly TCO ===\n\n");
   const TcoBreakdown edge = TcoModel::Compute(ServerKind::kEdgeWithGpu);
   const TcoBreakdown edge_no_gpu =
@@ -119,12 +121,14 @@ void Run() {
                                            DnnModel::kResNet50,
                                            Precision::kFp32, 1) * 60.0,
                  cluster), "samples/s/USD");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

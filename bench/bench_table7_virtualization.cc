@@ -5,9 +5,11 @@
 
 #include <string>
 
+#include "src/base/check.h"
 #include "src/base/table.h"
 #include "src/cluster/virtualization.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
 #include "src/workload/dl/engine.h"
 
 namespace soccluster {
@@ -20,7 +22,7 @@ struct Row {
   Precision precision;
 };
 
-void Run() {
+void Run(const ObsFlags& obs_flags) {
   std::printf("=== Table 7: physical vs virtualized SoC ===\n\n");
   const Row rows[] = {
       {DnnModel::kResNet50, DlDevice::kSocCpu, SocProcessor::kCpu,
@@ -75,12 +77,14 @@ void Run() {
   std::printf("(paper: CPU/DSP unchanged within noise; GPU loses occupancy "
               "in containers — YOLOv5x slows ~60 ms; memory +~5pp from the "
               "containerized Android framework)\n");
+
+  SOC_CHECK(FlushReportFlags(obs_flags, report).ok());
 }
 
 }  // namespace
 }  // namespace soccluster
 
-int main() {
-  soccluster::Run();
+int main(int argc, char** argv) {
+  soccluster::Run(soccluster::ParseObsFlags(argc, argv));
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "src/base/check.h"
+#include "src/base/digest.h"
 #include "src/base/log.h"
 #include "src/obs/json.h"
 
@@ -50,9 +51,29 @@ std::string BenchReport::OutputPath() const {
   return dir + "BENCH_" + name_ + ".json";
 }
 
+uint64_t BenchReport::Digest() const {
+  StateDigest digest;
+  digest.Mix(std::string_view(name_));
+  digest.Mix(static_cast<uint64_t>(params_.size()));
+  for (const auto& [key, encoded] : params_) {
+    digest.Mix(std::string_view(key));
+    digest.Mix(std::string_view(encoded));
+  }
+  digest.Mix(static_cast<uint64_t>(metrics_.size()));
+  for (const Metric& metric : metrics_) {
+    digest.Mix(std::string_view(metric.name));
+    digest.Mix(metric.value);
+    digest.Mix(std::string_view(metric.units));
+  }
+  return digest.value();
+}
+
 Status BenchReport::WriteNow() {
   written_ = true;
-  const std::string path = OutputPath();
+  return WriteTo(OutputPath());
+}
+
+Status BenchReport::WriteTo(const std::string& path) const {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open " + path);

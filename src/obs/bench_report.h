@@ -38,6 +38,15 @@ class BenchReport {
   // read-only working directory).
   Status WriteNow();
 
+  // Writes the same JSON to an explicit path (does not mark the default
+  // report as written).
+  Status WriteTo(const std::string& path) const;
+
+  // Digest of the report contents: name, params, and metric values by bit
+  // pattern. The determinism surface for analytic benches that have no
+  // Simulator to fold a state digest from.
+  uint64_t Digest() const;
+
   // Destination path for this report.
   std::string OutputPath() const;
 

@@ -67,6 +67,32 @@ void WriteSpanEvent(JsonWriter* w, const TraceSpan& span) {
   w->EndObject();
 }
 
+const char* FlowPhaseToken(TraceFlow::Phase phase) {
+  switch (phase) {
+    case TraceFlow::Phase::kBegin:
+      return "s";
+    case TraceFlow::Phase::kStep:
+      return "t";
+    case TraceFlow::Phase::kEnd:
+      return "f";
+  }
+  return "t";
+}
+
+void WriteFlowEvent(JsonWriter* w, const TraceFlow& flow) {
+  w->BeginObject();
+  WriteCommonFields(w, flow.name, flow.category, ToTraceUs(flow.time));
+  w->KeyValue("ph", FlowPhaseToken(flow.phase));
+  w->KeyValue("tid", flow.track);
+  w->KeyValue("id", flow.flow_id);
+  if (flow.phase == TraceFlow::Phase::kEnd) {
+    // Bind the terminating arrow to the enclosing slice (Perfetto default
+    // binds to the *next* slice, which misattributes the last hop).
+    w->KeyValue("bp", "e");
+  }
+  w->EndObject();
+}
+
 }  // namespace
 
 void WriteChromeTrace(const Observability& obs, std::ostream& out) {
@@ -97,8 +123,23 @@ void WriteChromeTrace(const Observability& obs, std::ostream& out) {
     w.EndObject();
     w.EndObject();
   }
+  // Tracer health surfaced in-band so a truncated trace is self-describing.
+  w.BeginObject();
+  w.KeyValue("name", "tracer_stats");
+  w.KeyValue("ph", "M");
+  w.KeyValue("pid", kPid);
+  w.Key("args");
+  w.BeginObject();
+  w.KeyValue("dropped_spans", obs.tracer.dropped_spans());
+  w.KeyValue("spans", static_cast<int64_t>(obs.tracer.spans().size()));
+  w.KeyValue("flows", static_cast<int64_t>(obs.tracer.flows().size()));
+  w.EndObject();
+  w.EndObject();
   for (const TraceSpan& span : obs.tracer.spans()) {
     WriteSpanEvent(&w, span);
+  }
+  for (const TraceFlow& flow : obs.tracer.flows()) {
+    WriteFlowEvent(&w, flow);
   }
   for (const TraceInstant& instant : obs.tracer.instants()) {
     w.BeginObject();

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "src/base/log.h"
+#include "src/obs/bench_report.h"
 #include "src/obs/export.h"
 
 namespace soccluster {
@@ -45,11 +46,43 @@ ObsFlags ParseObsFlags(int argc, char** argv) {
     if (TakeFlag(arg, "--metrics-out", argc, argv, &i, &flags.metrics_out)) {
       continue;
     }
+    if (TakeFlag(arg, "--slo-out", argc, argv, &i, &flags.slo_out)) {
+      continue;
+    }
     if (TakeFlag(arg, "--digest-out", argc, argv, &i, &flags.digest_out)) {
       continue;
     }
   }
   return flags;
+}
+
+void StripObsFlags(int* argc, char** argv) {
+  static constexpr std::string_view kNames[] = {
+      "--trace-out", "--metrics-out", "--slo-out", "--digest-out"};
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    bool matched = false;
+    for (const std::string_view name : kNames) {
+      if (arg.rfind(name, 0) != 0) {
+        continue;
+      }
+      const std::string_view rest = arg.substr(name.size());
+      if (rest.empty() && i + 1 < *argc) {  // Two-token form: skip the value.
+        ++i;
+        matched = true;
+        break;
+      }
+      if (!rest.empty() && rest.front() == '=') {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
 }
 
 void ApplyObsFlags(const ObsFlags& flags, Observability* obs) {
@@ -58,7 +91,8 @@ void ApplyObsFlags(const ObsFlags& flags, Observability* obs) {
   }
 }
 
-Status FlushObsFlags(const ObsFlags& flags, const Observability& obs) {
+Status FlushObsFlags(const ObsFlags& flags, const Observability& obs,
+                     SimTime now) {
   if (flags.trace_requested()) {
     SOC_RETURN_IF_ERROR(WriteChromeTraceFile(obs, flags.trace_out));
     SOC_LOG(Info) << "trace written to " << flags.trace_out << " ("
@@ -73,6 +107,11 @@ Status FlushObsFlags(const ObsFlags& flags, const Observability& obs) {
     }
     SOC_LOG(Info) << "metrics written to " << flags.metrics_out << " ("
                   << obs.metrics.size() << " instruments)";
+  }
+  if (flags.slo_requested()) {
+    SOC_RETURN_IF_ERROR(obs.slos.WriteJsonFile(flags.slo_out, now));
+    SOC_LOG(Info) << "slo timeline written to " << flags.slo_out << " ("
+                  << obs.slos.size() << " slos)";
   }
   return Status::Ok();
 }
@@ -92,6 +131,14 @@ Status FlushDigestFlag(const ObsFlags& flags, uint64_t digest) {
   SOC_LOG(Info) << "state digest " << hex << " written to "
                 << flags.digest_out;
   return Status::Ok();
+}
+
+Status FlushReportFlags(const ObsFlags& flags, const BenchReport& report) {
+  if (flags.metrics_requested()) {
+    SOC_RETURN_IF_ERROR(report.WriteTo(flags.metrics_out));
+    SOC_LOG(Info) << "bench report written to " << flags.metrics_out;
+  }
+  return FlushDigestFlag(flags, report.Digest());
 }
 
 }  // namespace soccluster

@@ -49,14 +49,23 @@ void WriteEntry(JsonWriter* w, const MetricRegistry::Entry& entry) {
     w->KeyValue("min", running.min());
     w->KeyValue("max", running.max());
     w->KeyValue("stddev", running.StdDev());
-    const SampleStats& samples = entry.histogram->samples();
-    if (samples.count() > 0) {
-      w->KeyValue("p50", samples.Percentile(50.0));
-      w->KeyValue("p90", samples.Percentile(90.0));
-      w->KeyValue("p99", samples.Percentile(99.0));
+    if (running.count() > 0) {
+      w->KeyValue("p50", entry.histogram->Percentile(50.0));
+      w->KeyValue("p90", entry.histogram->Percentile(90.0));
+      w->KeyValue("p99", entry.histogram->Percentile(99.0));
+      w->KeyValue("p999", entry.histogram->Percentile(99.9));
+    }
+    if (entry.histogram->sketch_backed()) {
+      w->KeyValue("sketch", true);
+      w->KeyValue("sketch_buckets",
+                  static_cast<int64_t>(entry.histogram->sketch()->bucket_count()));
     }
   } else if (entry.series != nullptr) {
     w->KeyValue("count", static_cast<int64_t>(entry.series->size()));
+    if (entry.series->dropped_points() > 0) {
+      w->KeyValue("dropped_points", entry.series->dropped_points());
+      w->KeyValue("stride", entry.series->stride());
+    }
     w->Key("points");
     w->BeginArray();
     for (const SeriesPoint& point : entry.series->points()) {

@@ -24,6 +24,7 @@
 
 #include "src/base/stats.h"
 #include "src/base/units.h"
+#include "src/obs/sketch.h"
 
 namespace soccluster {
 
@@ -56,21 +57,61 @@ class Gauge {
   double value_ = 0.0;
 };
 
-// Distribution of observed values: streaming moments plus stored samples
-// for percentile queries (both from src/base/stats.h).
+// Distribution of observed values: streaming moments plus either stored
+// samples (exact percentiles, O(n) memory) or a fixed-memory quantile
+// sketch (relative-error-bounded percentiles, O(buckets) memory).
+//
+// Sample mode is the default so small experiments stay exact. Hot request
+// paths (serving, live, serverless, gaming, admission sojourn) call
+// EnableSketch() once at setup so million-request runs stop accumulating
+// per-observation state.
 class HistogramMetric {
  public:
   void Observe(double x) {
     running_.Add(x);
-    samples_.Add(x);
+    if (sketch_ != nullptr) {
+      sketch_->Add(x);
+    } else {
+      samples_.Add(x);
+    }
   }
+
+  // Switches this instrument to sketch-backed percentiles. Samples observed
+  // before the switch are folded into the sketch and then released, so the
+  // instrument's Percentile view stays continuous across the switch.
+  // Idempotent; the first call's accuracy wins.
+  void EnableSketch(double relative_accuracy = 0.01) {
+    if (sketch_ != nullptr) {
+      return;
+    }
+    QuantileSketch::Options options;
+    options.relative_accuracy = relative_accuracy;
+    sketch_ = std::make_unique<QuantileSketch>(options);
+    for (double x : samples_.samples()) {
+      sketch_->Add(x);
+    }
+    samples_ = SampleStats();
+  }
+  bool sketch_backed() const { return sketch_ != nullptr; }
+
+  // Percentile in [0, 100] from whichever backend is active: exact
+  // (interpolated) in sample mode, relative-error-bounded in sketch mode.
+  double Percentile(double p) const {
+    if (sketch_ != nullptr) {
+      return sketch_->Percentile(p);
+    }
+    return samples_.count() > 0 ? samples_.Percentile(p) : 0.0;
+  }
+
   const RunningStat& running() const { return running_; }
   const SampleStats& samples() const { return samples_; }
+  const QuantileSketch* sketch() const { return sketch_.get(); }
   int64_t count() const { return running_.count(); }
 
  private:
   RunningStat running_;
   SampleStats samples_;
+  std::unique_ptr<QuantileSketch> sketch_;  // Null in sample mode.
 };
 
 // An appended (sim-time, value) series, e.g. a sampled power trace. Exported
@@ -80,14 +121,59 @@ struct SeriesPoint {
   double value = 0.0;
 };
 
+// Memory is bounded: when the stored point count reaches max_points the
+// series halves itself (keeping every other point) and doubles its keep
+// stride, so long chaos runs converge to a uniformly thinned view of the
+// full timeline. Downsampling is purely a function of the append sequence —
+// deterministic, and invisible to the simulation (observers-only state).
 class TimeSeries {
  public:
-  void Append(SimTime t, double v) { points_.push_back(SeriesPoint{t, v}); }
+  // Default cap: ~1M points (8 MiB of SeriesPoint) — far above anything the
+  // committed benches produce (a 1 Hz day-long trace is 86400 points), so
+  // existing outputs are unchanged, while a 90-day run stays bounded.
+  static constexpr size_t kDefaultMaxPoints = size_t{1} << 20;
+
+  void Append(SimTime t, double v) {
+    ++seen_;
+    if (stride_ > 1 && seen_ % stride_ != 1) {
+      ++dropped_points_;
+      return;
+    }
+    points_.push_back(SeriesPoint{t, v});
+    if (points_.size() >= max_points_) {
+      Halve();
+    }
+  }
   const std::vector<SeriesPoint>& points() const { return points_; }
   size_t size() const { return points_.size(); }
 
+  // Points thinned away by the cap (0 until the cap is first reached).
+  int64_t dropped_points() const { return dropped_points_; }
+  // Current keep stride: 1 point kept per `stride` appends.
+  int64_t stride() const { return stride_; }
+  // Adjusts the cap (floored at 2). Takes effect on the next Append.
+  void set_max_points(size_t max_points) {
+    max_points_ = max_points < 2 ? 2 : max_points;
+  }
+
  private:
+  void Halve() {
+    // Keep even-indexed points (the 1st, 3rd, ... of each stride epoch so
+    // the first-ever point always survives), then accept half the rate.
+    size_t kept = 0;
+    for (size_t i = 0; i < points_.size(); i += 2) {
+      points_[kept++] = points_[i];
+    }
+    dropped_points_ += static_cast<int64_t>(points_.size() - kept);
+    points_.resize(kept);
+    stride_ *= 2;
+  }
+
   std::vector<SeriesPoint> points_;
+  size_t max_points_ = kDefaultMaxPoints;
+  int64_t seen_ = 0;
+  int64_t stride_ = 1;
+  int64_t dropped_points_ = 0;
 };
 
 class MetricRegistry {

@@ -1,12 +1,14 @@
-// The per-simulator observability context: one metrics registry plus one
-// tracer. Every component holding a Simulator* reaches both through
-// Simulator::obs(); exporters (src/obs/export.h) turn the pair into
-// Perfetto traces and metric snapshots.
+// The per-simulator observability context: one metrics registry, one
+// tracer, and one SLO engine. Every component holding a Simulator* reaches
+// all three through Simulator::obs(); exporters (src/obs/export.h) turn
+// the metrics+tracer pair into Perfetto traces and metric snapshots, and
+// SloEngine::WriteJson emits the burn-rate alert timeline.
 
 #ifndef SRC_OBS_OBS_H_
 #define SRC_OBS_OBS_H_
 
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 namespace soccluster {
@@ -14,6 +16,7 @@ namespace soccluster {
 struct Observability {
   MetricRegistry metrics;
   Tracer tracer;
+  SloEngine slos;
 };
 
 }  // namespace soccluster

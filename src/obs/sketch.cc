@@ -1,0 +1,142 @@
+#include "src/obs/sketch.h"
+
+#include <cmath>
+#include <iterator>
+#include <string_view>
+
+#include "src/base/check.h"
+#include "src/base/digest.h"
+
+namespace soccluster {
+
+QuantileSketch::QuantileSketch(const Options& options) : options_(options) {
+  SOC_CHECK(options_.relative_accuracy > 0.0 &&
+            options_.relative_accuracy < 1.0)
+      << "relative_accuracy must be in (0, 1)";
+  SOC_CHECK(options_.max_buckets >= 8) << "max_buckets must be >= 8";
+  gamma_ = (1.0 + options_.relative_accuracy) /
+           (1.0 - options_.relative_accuracy);
+  log_gamma_ = std::log(gamma_);
+  // Anything below this is indistinguishable from zero at every scale the
+  // repo measures (milliseconds, bytes, watts); it also keeps BucketIndex
+  // far away from int32 overflow.
+  min_indexable_ = 1e-12;
+}
+
+int32_t QuantileSketch::BucketIndex(double x) const {
+  return static_cast<int32_t>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double QuantileSketch::BucketValue(int32_t index) const {
+  // Midpoint (in the relative sense) of bucket (gamma^(i-1), gamma^i]:
+  // 2 * gamma^i / (gamma + 1) is within alpha of every value in the bucket.
+  return 2.0 * std::exp(index * log_gamma_) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Add(double x) {
+  if (!std::isfinite(x)) {
+    return;  // NaN/inf would poison sum and bucket math; drop silently.
+  }
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  if (x < min_indexable_) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[BucketIndex(x)];
+  if (static_cast<int>(buckets_.size()) > options_.max_buckets) {
+    CollapseLowest();
+  }
+}
+
+void QuantileSketch::CollapseLowest() {
+  // Fold the lowest bucket into its neighbor above. Low quantiles lose
+  // precision first; the tail (p99+) keeps its guarantee.
+  auto lowest = buckets_.begin();
+  auto next = std::next(lowest);
+  if (next == buckets_.end()) {
+    return;  // Single bucket: nothing to collapse into.
+  }
+  next->second += lowest->second;
+  buckets_.erase(lowest);
+  ++collapsed_;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  SOC_CHECK(other.options_.relative_accuracy == options_.relative_accuracy)
+      << "cannot merge sketches with different relative accuracy";
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) {
+    buckets_[index] += n;
+  }
+  while (static_cast<int>(buckets_.size()) > options_.max_buckets) {
+    CollapseLowest();
+  }
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile among the `count_` sorted values.
+  const int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_ - 1));
+  int64_t cumulative = zero_count_;
+  double estimate = 0.0;
+  if (rank < cumulative) {
+    estimate = 0.0;
+  } else {
+    estimate = max_;
+    for (const auto& [index, n] : buckets_) {
+      cumulative += n;
+      if (rank < cumulative) {
+        estimate = BucketValue(index);
+        break;
+      }
+    }
+  }
+  // Clamp into the observed range: q=0 and q=1 become exact, and collapsed
+  // low buckets can never report below the true minimum.
+  if (estimate < min_) estimate = min_;
+  if (estimate > max_) estimate = max_;
+  return estimate;
+}
+
+uint64_t QuantileSketch::Fingerprint() const {
+  StateDigest digest;
+  digest.Mix(std::string_view("obs.sketch"));
+  digest.Mix(options_.relative_accuracy);
+  digest.Mix(static_cast<int64_t>(options_.max_buckets));
+  digest.Mix(count_);
+  digest.Mix(zero_count_);
+  digest.Mix(sum_);
+  digest.Mix(min());
+  digest.Mix(max());
+  for (const auto& [index, n] : buckets_) {
+    digest.Mix(static_cast<int64_t>(index));
+    digest.Mix(n);
+  }
+  return digest.value();
+}
+
+}  // namespace soccluster

@@ -1,0 +1,92 @@
+// Fixed-memory quantile sketch (DDSketch-style): log-spaced buckets give a
+// configurable *relative* error bound on every quantile — Quantile(q) is
+// within a factor of (1 ± relative_accuracy) of the true value — while
+// storing O(buckets) state regardless of how many values were added.
+//
+// Properties the rest of the repo relies on:
+//   - Mergeable: Merge() is commutative and associative (bucket counts add),
+//     so per-shard sketches can be combined in any order.
+//   - Deterministic: bucket state is an ordered map keyed by integer bucket
+//     index; iteration order, Fingerprint(), and quantile answers depend only
+//     on the multiset of added values, never on insertion order.
+//   - Bounded: when the bucket count would exceed Options::max_buckets the
+//     lowest buckets collapse together (the DDSketch collapsing strategy), so
+//     tail quantiles keep their guarantee and memory stays fixed.
+//
+// Values must be finite; negative values are clamped to the zero bucket
+// (request latencies, sojourn times, and sizes are all non-negative here).
+
+#ifndef SRC_OBS_SKETCH_H_
+#define SRC_OBS_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+
+namespace soccluster {
+
+class QuantileSketch {
+ public:
+  struct Options {
+    // Relative error bound alpha: Quantile(q) is in
+    // [x / (1 + alpha), x * (1 + alpha)] for the true quantile x.
+    double relative_accuracy = 0.01;
+    // Hard cap on stored buckets. 2048 buckets at alpha=0.01 cover ~17
+    // orders of magnitude before any collapsing happens.
+    int max_buckets = 2048;
+  };
+
+  QuantileSketch() : QuantileSketch(Options{}) {}
+  explicit QuantileSketch(const Options& options);
+
+  void Add(double x);
+
+  // Adds every bucket of `other` into this sketch. Commutative: merging a
+  // set of sketches yields the same state in any order.
+  void Merge(const QuantileSketch& other);
+
+  // Quantile estimate for q in [0, 1]; Percentile takes [0, 100].
+  // Returns 0 for an empty sketch. Estimates are clamped to [min, max],
+  // so q=0 and q=1 are exact.
+  double Quantile(double q) const;
+  double Percentile(double p) const { return Quantile(p / 100.0); }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double relative_accuracy() const { return options_.relative_accuracy; }
+  int bucket_count() const {
+    return static_cast<int>(buckets_.size()) + (zero_count_ > 0 ? 1 : 0);
+  }
+  // Number of lowest-bucket collapse operations performed (0 until the
+  // max_buckets cap is hit).
+  int64_t collapsed() const { return collapsed_; }
+
+  // Order-independent digest of the sketch state: equal multisets of added
+  // values (with equal options) produce equal fingerprints regardless of the
+  // order of Add/Merge calls. Used by tests to prove merge commutativity.
+  uint64_t Fingerprint() const;
+
+ private:
+  int32_t BucketIndex(double x) const;
+  double BucketValue(int32_t index) const;
+  void CollapseLowest();
+
+  Options options_;
+  double gamma_ = 0.0;      // (1 + alpha) / (1 - alpha)
+  double log_gamma_ = 0.0;  // ln(gamma), cached for BucketIndex.
+  // Values below this map to the zero bucket (guards log underflow).
+  double min_indexable_ = 0.0;
+
+  std::map<int32_t, int64_t> buckets_;  // bucket index -> count
+  int64_t zero_count_ = 0;              // values in [0, min_indexable_)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  int64_t collapsed_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_SKETCH_H_

@@ -92,6 +92,41 @@ void Tracer::Instant(std::string_view name, std::string_view category,
   instants_.push_back(std::move(instant));
 }
 
+void Tracer::AddFlow(std::string_view name, std::string_view category,
+                     uint64_t flow_id, int64_t track, TraceFlow::Phase phase) {
+  if (!enabled_) {
+    return;
+  }
+  SOC_DCHECK(flow_id != 0) << "flow points need a nonzero id";
+  if (Full()) {
+    ++dropped_spans_;
+    return;
+  }
+  TraceFlow flow;
+  flow.name = std::string(name);
+  flow.category = std::string(category);
+  flow.track = track;
+  flow.flow_id = flow_id;
+  flow.phase = phase;
+  flow.time = NowForSpan();
+  flows_.push_back(std::move(flow));
+}
+
+void Tracer::FlowBegin(std::string_view name, std::string_view category,
+                       uint64_t flow_id, int64_t track) {
+  AddFlow(name, category, flow_id, track, TraceFlow::Phase::kBegin);
+}
+
+void Tracer::FlowStep(std::string_view name, std::string_view category,
+                      uint64_t flow_id, int64_t track) {
+  AddFlow(name, category, flow_id, track, TraceFlow::Phase::kStep);
+}
+
+void Tracer::FlowEnd(std::string_view name, std::string_view category,
+                     uint64_t flow_id, int64_t track) {
+  AddFlow(name, category, flow_id, track, TraceFlow::Phase::kEnd);
+}
+
 void Tracer::SetTrackName(int64_t track, std::string_view name) {
   track_names_[track] = std::string(name);
 }
@@ -99,6 +134,7 @@ void Tracer::SetTrackName(int64_t track, std::string_view name) {
 void Tracer::Clear() {
   spans_.clear();
   instants_.clear();
+  flows_.clear();
   dropped_spans_ = 0;
   open_spans_ = 0;
 }

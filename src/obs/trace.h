@@ -56,6 +56,20 @@ struct TraceInstant {
   SimTime time;
 };
 
+// One point on a causal chain. A flow links spans across tracks — e.g. one
+// request's admission on the service track, its dispatch on a SoC track,
+// its retry on another SoC — into a single arrowed path in the Perfetto UI.
+// All points of one chain share (category, flow_id).
+struct TraceFlow {
+  enum class Phase { kBegin, kStep, kEnd };
+  std::string name;
+  std::string category;
+  int64_t track = 0;
+  uint64_t flow_id = 0;
+  Phase phase = Phase::kStep;
+  SimTime time;
+};
+
 class Tracer {
  public:
   Tracer() = default;
@@ -91,11 +105,22 @@ class Tracer {
   void Instant(std::string_view name, std::string_view category,
                int64_t track = 0);
 
+  // Causal flow points (exported as Perfetto s/t/f events). Chain points by
+  // reusing (category, flow_id); begin once, step at each hop, end at the
+  // terminal event. Flows share the span cap and the dropped counter.
+  void FlowBegin(std::string_view name, std::string_view category,
+                 uint64_t flow_id, int64_t track = 0);
+  void FlowStep(std::string_view name, std::string_view category,
+                uint64_t flow_id, int64_t track = 0);
+  void FlowEnd(std::string_view name, std::string_view category,
+               uint64_t flow_id, int64_t track = 0);
+
   // Names a synchronous track in the exported trace (e.g. track 7 -> "soc07").
   void SetTrackName(int64_t track, std::string_view name);
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<TraceInstant>& instants() const { return instants_; }
+  const std::vector<TraceFlow>& flows() const { return flows_; }
   const std::map<int64_t, std::string>& track_names() const {
     return track_names_;
   }
@@ -107,13 +132,18 @@ class Tracer {
 
  private:
   SimTime NowForSpan() const;
-  bool Full() const { return spans_.size() + instants_.size() >= max_spans_; }
+  bool Full() const {
+    return spans_.size() + instants_.size() + flows_.size() >= max_spans_;
+  }
+  void AddFlow(std::string_view name, std::string_view category,
+               uint64_t flow_id, int64_t track, TraceFlow::Phase phase);
 
   bool enabled_ = false;
   const SimTime* clock_ = nullptr;
   size_t max_spans_ = 2000000;
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
+  std::vector<TraceFlow> flows_;
   std::map<int64_t, std::string> track_names_;
   int64_t dropped_spans_ = 0;
   size_t open_spans_ = 0;

@@ -46,6 +46,11 @@ AdmissionQueue::AdmissionQueue(Simulator* sim, Options options)
   }
   max_queue_metric_ = metrics.GetGauge("qos.admission.max_queue_length",
                                        {{"service", options_.service}});
+  sojourn_metric_ = metrics.GetHistogram("qos.admission.sojourn_ms",
+                                         {{"service", options_.service}});
+  // Sojourn is observed per dispatch — a hot path — so it is sketch-backed
+  // from the start.
+  sojourn_metric_->EnableSketch();
 }
 
 void AdmissionQueue::SetMaxQueue(int max_queue) {
@@ -81,12 +86,13 @@ void AdmissionQueue::NoteQueued() {
 }
 
 bool AdmissionQueue::Offer(Priority priority, Duration deadline,
-                          std::shared_ptr<void> payload) {
+                          std::shared_ptr<void> payload, RequestContext* ctx) {
   Item item;
   item.priority = priority;
   item.enqueue = sim_->Now();
   item.deadline = deadline;
   item.payload = std::move(payload);
+  item.ctx = ctx;
   if (priority > admit_floor_) {
     Drop(item, DropReason::kAdmitFloor);
     return false;
@@ -109,6 +115,7 @@ bool AdmissionQueue::Offer(Priority priority, Duration deadline,
   ++admitted_;
   admitted_metrics_[static_cast<size_t>(priority)]->Increment();
   NoteQueued();
+  TraceRequestAdmit(&sim_->tracer(), ctx, sim_->Now());
   return true;
 }
 
@@ -216,6 +223,7 @@ std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
     Item item = std::move(source->front());
     source->pop_front();
     --size_;
+    sojourn_metric_->Observe((now - item.enqueue).ToMillis());
     return item;
   }
 }

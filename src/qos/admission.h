@@ -36,6 +36,7 @@
 #include "src/base/digest.h"
 #include "src/base/priority.h"
 #include "src/base/units.h"
+#include "src/obs/request.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
@@ -59,6 +60,9 @@ class AdmissionQueue {
     SimTime enqueue;
     Duration deadline;  // Zero: none. Measured from `enqueue`.
     std::shared_ptr<void> payload;
+    // Borrowed causal-trace context; the payload owns the storage. Never
+    // digested (observers-only).
+    RequestContext* ctx = nullptr;
   };
 
   enum class DropReason { kQueueFull, kAdmitFloor, kExpired, kSojourn };
@@ -77,9 +81,11 @@ class AdmissionQueue {
 
   // Admits `payload` at `priority`, or sheds it (queue full below the
   // eviction rule, or class below the admission floor). Returns true when
-  // the item was queued.
+  // the item was queued. When `ctx` is given it is stamped with the
+  // admit hop and an "admit" flow point is emitted under the service's
+  // category (drops stay the owner's job, via the DropHandler).
   bool Offer(Priority priority, Duration deadline,
-             std::shared_ptr<void> payload);
+             std::shared_ptr<void> payload, RequestContext* ctx = nullptr);
 
   // Dispatches the next item: highest class first, FIFO within a class,
   // purging deadline-expired heads and applying the CoDel control law on
@@ -164,11 +170,13 @@ class AdmissionQueue {
   int64_t codel_count_ = 0;
   int64_t codel_last_count_ = 0;
 
-  // Registry instruments: admitted per class, drops per (class, reason).
+  // Registry instruments: admitted per class, drops per (class, reason),
+  // plus a sketch-backed sojourn distribution observed at dispatch.
   std::array<Counter*, kNumPriorities> admitted_metrics_{};
   std::array<std::array<Counter*, kNumReasons>, kNumPriorities>
       dropped_metrics_{};
   Gauge* max_queue_metric_ = nullptr;
+  HistogramMetric* sojourn_metric_ = nullptr;
 };
 
 }  // namespace soccluster

@@ -143,22 +143,29 @@ double Placer::DominantUtil(int soc_index, const PlacementDemand& d) const {
 }
 
 int Placer::Pick(const PlacementDemand& demand, const Filter& filter,
-                 const PlanOverlay* overlay) {
-  return PickWith([&demand](int) { return demand; }, filter, overlay);
+                 const PlanOverlay* overlay, RequestContext* ctx) {
+  return PickWith([&demand](int) { return demand; }, filter, overlay, ctx);
 }
 
 int Placer::PickWith(const DemandFn& demand_for, const Filter& filter,
-                     const PlanOverlay* overlay) {
+                     const PlanOverlay* overlay, RequestContext* ctx) {
+  int picked = -1;
   switch (options_.policy) {
     case PlacementPolicy::kSpread:
     case PlacementPolicy::kPack:
-      return PickLoadOrdered(demand_for, filter, overlay);
+      picked = PickLoadOrdered(demand_for, filter, overlay);
+      break;
     case PlacementPolicy::kBestFit:
-      return PickBestFit(demand_for, filter, overlay);
+      picked = PickBestFit(demand_for, filter, overlay);
+      break;
     case PlacementPolicy::kRandomOfK:
-      return PickRandomOfK(demand_for, filter, overlay);
+      picked = PickRandomOfK(demand_for, filter, overlay);
+      break;
   }
-  return Finish(-1);
+  if (picked >= 0 && ctx != nullptr && ctx->id != 0) {
+    sim_->tracer().FlowStep("place", ctx->category, ctx->id);
+  }
+  return picked;
 }
 
 int Placer::PickLoadOrdered(const DemandFn& demand_for, const Filter& filter,

@@ -18,6 +18,7 @@
 
 #include "src/base/rng.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request.h"
 #include "src/sched/capacity.h"
 #include "src/sched/placement.h"
 #include "src/sim/simulator.h"
@@ -75,12 +76,15 @@ class Placer {
   Placer& operator=(const Placer&) = delete;
 
   // Picks a SoC able to host `demand` under the policy, or -1. Does not
-  // reserve — call view()->Reserve() on the returned SoC.
+  // reserve — call view()->Reserve() on the returned SoC. When `ctx` is
+  // given, a successful pick emits a "place" flow point continuing the
+  // request's causal chain (using the category stamped at submit).
   int Pick(const PlacementDemand& demand, const Filter& filter = nullptr,
-           const PlanOverlay* overlay = nullptr);
+           const PlanOverlay* overlay = nullptr, RequestContext* ctx = nullptr);
   // As Pick, with demand evaluated per candidate.
   int PickWith(const DemandFn& demand_for, const Filter& filter = nullptr,
-               const PlanOverlay* overlay = nullptr);
+               const PlanOverlay* overlay = nullptr,
+               RequestContext* ctx = nullptr);
 
   // LoadModel-weighted occupancy of one SoC.
   double Load(int soc_index) const;

@@ -32,6 +32,12 @@ GamingWorkload::GamingWorkload(Simulator* sim, SocCluster* cluster,
       placer_(sim, &view_, PlacerOptions()) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  MetricRegistry& metrics = sim_->metrics();
+  sessions_started_metric_ = metrics.GetCounter("gaming.sessions_started");
+  sessions_rejected_metric_ = metrics.GetCounter("gaming.sessions_rejected");
+  sessions_capped_metric_ = metrics.GetCounter("gaming.sessions_capped");
+  session_length_metric_ = metrics.GetHistogram("gaming.session_length_ms");
+  session_length_metric_->EnableSketch();
 }
 
 double GamingWorkload::ArrivalRate(SimTime t) const {
@@ -74,23 +80,34 @@ void GamingWorkload::ScheduleNextArrival(SimTime horizon_end) {
 }
 
 void GamingWorkload::StartSession() {
+  Tracer& tracer = sim_->tracer();
+  RequestContext ctx;
+  ctx.id = next_request_id_++;
+  TraceRequestSubmit(&tracer, &ctx, "gaming.session", sim_->Now());
   if (session_cap_ >= 0 && active_sessions() >= session_cap_) {
     ++capped_;
+    sessions_capped_metric_->Increment();
+    TraceRequestDrop(&tracer, &ctx, sim_->Now());
     return;
   }
   PlacementDemand demand;
   demand.slots = 1;
-  const int soc_index = placer_.Pick(demand);
+  const int soc_index = placer_.Pick(demand, nullptr, nullptr, &ctx);
   if (soc_index < 0) {
     ++rejected_;
+    sessions_rejected_metric_->Increment();
+    TraceRequestDrop(&tracer, &ctx, sim_->Now());
     return;
   }
   SocModel& soc = cluster_->soc(soc_index);
   const Status status = soc.AddCpuUtil(config_.cpu_util_per_session);
   if (!status.ok()) {
     ++rejected_;
+    sessions_rejected_metric_->Increment();
+    TraceRequestDrop(&tracer, &ctx, sim_->Now());
     return;
   }
+  TraceRequestDispatch(&tracer, &ctx, sim_->Now(), soc_index, 0);
   view_.Reserve(soc_index, demand);
   Network& net = cluster_->network();
   Result<int64_t> outbound = net.AddConstantLoad(
@@ -103,9 +120,10 @@ void GamingWorkload::StartSession() {
   SOC_CHECK(inbound.ok()) << inbound.status().ToString();
 
   const int64_t id = next_id_++;
-  sessions_.emplace(id,
-                    Session{soc_index, soc.fail_count(), *outbound, *inbound});
+  sessions_.emplace(
+      id, Session{soc_index, soc.fail_count(), *outbound, *inbound, ctx});
   ++started_;
+  sessions_started_metric_->Increment();
 
   const double median_s = config_.median_session.ToSeconds();
   const Duration length = Duration::SecondsF(
@@ -135,6 +153,8 @@ void GamingWorkload::EndSession(int64_t id) {
   PlacementDemand demand;
   demand.slots = 1;
   view_.Release(session.soc_index, demand);
+  session_length_metric_->Observe((sim_->Now() - session.ctx.submit).ToMillis());
+  TraceRequestComplete(&sim_->tracer(), &it->second.ctx, sim_->Now());
   sessions_.erase(it);
 }
 

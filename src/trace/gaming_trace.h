@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/request.h"
 #include "src/sched/placer.h"
 
 namespace soccluster {
@@ -79,6 +80,10 @@ class GamingWorkload {
     int64_t fail_epoch;
     int64_t outbound_load;
     int64_t inbound_load;
+    // Causal chain of the session (submit -> place -> dispatch -> complete).
+    // Observers-only; never digested. ctx.submit doubles as the session
+    // start stamp for the length histogram.
+    RequestContext ctx;
   };
 
   void ScheduleNextArrival(SimTime horizon_end);
@@ -100,6 +105,15 @@ class GamingWorkload {
   int64_t rejected_ = 0;
   int64_t capped_ = 0;
   int session_cap_ = -1;  // Negative: uncapped.
+  // Flow-chain ids ("gaming.session"), distinct from session ids so
+  // rejected arrivals still get a chain. Incremented unconditionally.
+  uint64_t next_request_id_ = 1;
+  // Session outcomes published to the registry ("gaming.*"); the length
+  // histogram is sketch-backed (multi-day diurnal traces).
+  Counter* sessions_started_metric_;
+  Counter* sessions_rejected_metric_;
+  Counter* sessions_capped_metric_;
+  HistogramMetric* session_length_metric_;
 };
 
 }  // namespace soccluster

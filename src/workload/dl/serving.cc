@@ -88,7 +88,19 @@ SocServingFleet::SocServingFleet(Simulator* sim, SocCluster* cluster,
   retries_metric_ = metrics.GetCounter("dl.serving.retries");
   hedges_metric_ = metrics.GetCounter("dl.serving.hedges");
   latency_metric_ = metrics.GetHistogram("dl.serving.latency_ms");
+  // The fleet serves the open-loop millions-of-requests scenarios; the
+  // registry histogram is sketch-backed so memory stays O(buckets). Exact
+  // per-request samples remain in latencies_ for digests and baselines.
+  latency_metric_->EnableSketch();
   max_queue_metric_ = metrics.GetGauge("dl.serving.max_queue_length");
+  for (int c = 0; c < kNumPriorities; ++c) {
+    SloSpec spec;
+    const char* cls = PriorityName(static_cast<Priority>(c));
+    spec.name = std::string("dl.serving/") + cls;
+    spec.service = "dl.serving";
+    spec.class_name = cls;
+    slos_[static_cast<size_t>(c)] = sim_->obs().slos.Register(spec);
+  }
   Tracer& tracer = sim_->tracer();
   for (int i = 0; i < cluster_->num_socs(); ++i) {
     std::string name = "soc";
@@ -110,6 +122,8 @@ void SocServingFleet::OnAdmissionDrop(const AdmissionQueue::Item& item,
   Tracer& tracer = sim_->tracer();
   // Incoming drops carry no spans yet (id 0 => no-op); queued victims do.
   tracer.EndSpan(request->queue_span);
+  TraceRequestDrop(&tracer, &request->ctx, sim_->Now());
+  slos_[static_cast<size_t>(request->priority)]->Record(sim_->Now(), false);
   if (reason == AdmissionQueue::DropReason::kExpired) {
     // The client has given up; starting the inference would waste a SoC
     // slot on a response nobody reads.
@@ -181,11 +195,16 @@ void SocServingFleet::Submit(Priority priority) {
   request->enqueue = sim_->Now();
   request->priority = priority;
   request->deadline = deadline_;
-  if (!admission_.Offer(priority, deadline_, request)) {
+  // The id is allocated before admission (unlike the spans) so the causal
+  // chain can show the shed decision for requests that never get in.
+  request->request_id = next_request_id_++;
+  request->ctx.id = request->request_id;
+  request->ctx.priority = static_cast<int>(priority);
+  Tracer& tracer = sim_->tracer();
+  TraceRequestSubmit(&tracer, &request->ctx, "dl.serving", sim_->Now());
+  if (!admission_.Offer(priority, deadline_, request, &request->ctx)) {
     return;  // Shed; accounted in OnAdmissionDrop.
   }
-  Tracer& tracer = sim_->tracer();
-  request->request_id = next_request_id_++;
   request->request_span =
       tracer.BeginAsyncSpan("request", "dl.serving", request->request_id);
   tracer.AddArg(request->request_span, "model", DnnModelName(model_));
@@ -205,6 +224,7 @@ void SocServingFleet::Requeue(RequestPtr request) {
   item.enqueue = request->enqueue;  // Keep the original arrival time.
   item.deadline = request->deadline;
   item.payload = request;
+  item.ctx = &request->ctx;
   admission_.Restore(std::move(item));
   max_queue_metric_->SetMax(static_cast<double>(admission_.max_queue_length()));
   TryDispatch();
@@ -217,6 +237,8 @@ void SocServingFleet::Abandon(const RequestPtr& request) {
   if (breaker_ != nullptr) {
     breaker_->RecordFailure();
   }
+  TraceRequestDrop(&sim_->tracer(), &request->ctx, sim_->Now());
+  slos_[static_cast<size_t>(request->priority)]->Record(sim_->Now(), false);
   sim_->tracer().EndSpan(request->request_span);
 }
 
@@ -241,6 +263,8 @@ void SocServingFleet::TryDispatch() {
     RequestPtr request = std::static_pointer_cast<RequestState>(item->payload);
     Tracer& tracer = sim_->tracer();
     tracer.EndSpan(request->queue_span);
+    TraceRequestDispatch(&tracer, &request->ctx, sim_->Now(), chosen,
+                         SocTrack(chosen));
     view_.Reserve(chosen, slot);
     ++in_flight_;
     const int attempt = ++request->attempts;
@@ -309,6 +333,8 @@ void SocServingFleet::HedgeCheck(int soc_index, RequestPtr request,
   ++hedges_;
   hedges_metric_->Increment();
   sim_->tracer().Instant("hedge", "dl.serving");
+  TraceRequestHedge(&sim_->tracer(), &request->ctx, sim_->Now(),
+                    SocTrack(soc_index));
   Requeue(std::move(request));
 }
 
@@ -327,6 +353,10 @@ void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
   latencies_.Add(latency_ms);
   latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
   latency_metric_->Observe(latency_ms);
+  slos_[static_cast<size_t>(request->priority)]->RecordLatency(
+      sim_->Now(), sim_->Now() - request->enqueue);
+  TraceRequestComplete(&sim_->tracer(), &request->ctx, sim_->Now(),
+                       SocTrack(soc_index));
   Tracer& tracer = sim_->tracer();
   if (response_size_.bits() > 0) {
     // Ship the response through the fabric; the request closes when the
@@ -389,6 +419,8 @@ void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
              (budget_ == nullptr || budget_->TryWithdraw())) {
     ++retries_;
     retries_metric_->Increment();
+    TraceRequestRetry(&sim_->tracer(), &request->ctx, sim_->Now(),
+                      SocTrack(soc_index));
     request->active_attempt = 0;
     sim_->ScheduleAfter(backoff_->BackoffFor(request->attempts),
                         [this, request]() mutable {

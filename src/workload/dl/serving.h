@@ -17,6 +17,8 @@
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
 #include "src/hw/gpu.h"
+#include "src/obs/request.h"
+#include "src/obs/slo.h"
 #include "src/qos/admission.h"
 #include "src/qos/breaker.h"
 #include "src/sched/placer.h"
@@ -144,6 +146,12 @@ class SocServingFleet {
   // Engine service rate of one SoC (samples/s), unthrottled.
   double PerSocThroughput() const;
 
+  // Per-class latency SLO tracker ("dl.serving/<class>", registered at
+  // construction): a completion is good iff latency <= the spec threshold;
+  // sheds, expiries, and abandonments are bad. Use to re-spec thresholds
+  // before traffic starts, or to read burn state after a run.
+  SloTracker* slo_of(Priority p) { return slos_[static_cast<size_t>(p)]; }
+
   // Mixes the ledgers, admission queue, request accounting (per class),
   // the full latency sample sequence, and the retry jitter stream.
   void DigestState(StateDigest& digest) const;
@@ -159,6 +167,8 @@ class SocServingFleet {
     int attempts = 0;        // Dispatch attempts started.
     int active_attempt = 0;  // 0 when queued; else the in-flight attempt.
     bool done = false;
+    // Causal-trace context (observers-only; never digested).
+    RequestContext ctx;
   };
   using RequestPtr = std::shared_ptr<RequestState>;
 
@@ -223,6 +233,7 @@ class SocServingFleet {
   Counter* hedges_metric_;
   HistogramMetric* latency_metric_;
   Gauge* max_queue_metric_;
+  std::array<SloTracker*, kNumPriorities> slos_{};
 };
 
 // Batching server for one discrete GPU. Each launched batch is traced as a

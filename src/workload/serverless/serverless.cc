@@ -61,6 +61,17 @@ ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
   deferred_metric_ = metrics.GetCounter("serverless.deferred");
   qos_shed_metric_ = metrics.GetCounter("serverless.qos_shed");
   latency_metric_ = metrics.GetHistogram("serverless.latency_ms");
+  // Invocation latency is per-request on the Zipf workloads — sketch-backed
+  // keeps the registry fixed-memory (exact samples stay in stats_).
+  latency_metric_->EnableSketch();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    SloSpec spec;
+    const char* cls = PriorityName(static_cast<Priority>(c));
+    spec.name = std::string("serverless/") + cls;
+    spec.service = "serverless";
+    spec.class_name = cls;
+    slos_[static_cast<size_t>(c)] = sim_->obs().slos.Register(spec);
+  }
   admission_.set_on_drop(
       [this](const AdmissionQueue::Item& item,
              AdmissionQueue::DropReason reason) { OnAdmissionDrop(item, reason); });
@@ -74,6 +85,8 @@ void ServerlessPlatform::OnAdmissionDrop(const AdmissionQueue::Item& item,
   Tracer& tracer = sim_->tracer();
   tracer.AddArg(deferred->trace.span, "qos_shed",
                 AdmissionQueue::DropReasonName(reason));
+  TraceRequestDrop(&tracer, &deferred->trace.ctx, sim_->Now());
+  slos_[static_cast<size_t>(item.priority)]->Record(sim_->Now(), false);
   tracer.EndSpan(deferred->trace.span);
   if (breaker_ != nullptr && reason == AdmissionQueue::DropReason::kQueueFull) {
     breaker_->RecordFailure();
@@ -137,6 +150,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
        !breaker_->Allow())) {
     ++stats_.qos_shed;
     qos_shed_metric_->Increment();
+    slos_[static_cast<size_t>(priority)]->Record(sim_->Now(), false);
     return Status::Ok();  // Shed by policy, not an API error.
   }
   const SimTime enqueue = sim_->Now();
@@ -145,6 +159,9 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   trace.id = next_invocation_id_++;
   trace.span = tracer.BeginAsyncSpan("invocation", "serverless", trace.id);
   tracer.AddArg(trace.span, "function", function);
+  trace.ctx.id = trace.id;
+  trace.ctx.priority = static_cast<int>(priority);
+  TraceRequestSubmit(&tracer, &trace.ctx, "serverless.request", sim_->Now());
 
   if (Instance* warm = FindWarmInstance(function)) {
     sim_->Cancel(warm->eviction);
@@ -163,8 +180,9 @@ Status ServerlessPlatform::Invoke(const std::string& function,
     deferred->trace = trace;
     deferred->enqueue = enqueue;
     tracer.AddArg(trace.span, "deferred", "true");
+    RequestContext* ctx = &deferred->trace.ctx;
     if (admission_.Offer(priority, config_.defer_timeout,
-                         std::move(deferred))) {
+                         std::move(deferred), ctx)) {
       ++stats_.deferred;
       deferred_metric_->Increment();
     }
@@ -178,11 +196,15 @@ Status ServerlessPlatform::Invoke(const std::string& function,
 void ServerlessPlatform::ColdStart(const FunctionSpec& spec, SimTime enqueue,
                                    InvocationTrace trace, Callback on_done) {
   Tracer& tracer = sim_->tracer();
-  const int soc_index = placer_.Pick(InstanceDemand(spec.memory_mb));
+  const int soc_index =
+      placer_.Pick(InstanceDemand(spec.memory_mb), nullptr, nullptr,
+                   &trace.ctx);
   if (soc_index < 0) {
     ++stats_.rejected;
     rejected_metric_->Increment();
     tracer.AddArg(trace.span, "rejected", "true");
+    TraceRequestDrop(&tracer, &trace.ctx, sim_->Now());
+    slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
     tracer.EndSpan(trace.span);
     return;  // Shed, not an API error.
   }
@@ -200,6 +222,9 @@ void ServerlessPlatform::ColdStart(const FunctionSpec& spec, SimTime enqueue,
     sim_->tracer().EndSpan(cold_span);
     const auto inst = instances_.find(id);
     if (inst == instances_.end()) {
+      TraceRequestDrop(&sim_->tracer(), &trace.ctx, sim_->Now());
+      slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(),
+                                                             false);
       sim_->tracer().EndSpan(trace.span);
       return;  // SoC failed mid-provision.
     }
@@ -247,12 +272,16 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
     ++stats_.rejected;
     rejected_metric_->Increment();
     tracer.AddArg(trace.span, "rejected", "true");
+    TraceRequestDrop(&tracer, &trace.ctx, sim_->Now());
+    slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
     tracer.EndSpan(trace.span);
     instance->busy = false;
     Evict(instance->id);
     return;
   }
   instance->busy = true;
+  TraceRequestDispatch(&tracer, &trace.ctx, sim_->Now(), instance->soc_index,
+                       0);
   const SpanId exec_span =
       tracer.BeginAsyncSpan("exec", "serverless", trace.id, trace.span);
   tracer.AddArg(exec_span, "soc", static_cast<int64_t>(instance->soc_index));
@@ -291,6 +320,9 @@ void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
   const double latency_ms = (sim_->Now() - enqueue).ToMillis();
   stats_.latency_ms.Add(latency_ms);
   latency_metric_->Observe(latency_ms);
+  slos_[static_cast<size_t>(trace.ctx.priority)]->RecordLatency(
+      sim_->Now(), sim_->Now() - enqueue);
+  TraceRequestComplete(&sim_->tracer(), &trace.ctx, sim_->Now());
   sim_->tracer().EndSpan(trace.span);
   const auto it = instances_.find(instance_id);
   if (it != instances_.end()) {

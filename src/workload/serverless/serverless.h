@@ -13,6 +13,7 @@
 #ifndef SRC_WORKLOAD_SERVERLESS_SERVERLESS_H_
 #define SRC_WORKLOAD_SERVERLESS_SERVERLESS_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
@@ -23,6 +24,8 @@
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/request.h"
+#include "src/obs/slo.h"
 #include "src/qos/admission.h"
 #include "src/qos/breaker.h"
 #include "src/sched/placer.h"
@@ -105,6 +108,11 @@ class ServerlessPlatform {
   const AdmissionQueue& admission() const { return admission_; }
   int deferred_pending() const { return admission_.size(); }
 
+  // Per-class invocation-latency SLO ("serverless/<class>").
+  SloTracker* slo_of(Priority priority) {
+    return slos_[static_cast<size_t>(priority)];
+  }
+
   const InvocationStats& stats() const { return stats_; }
   // Warm (idle) + active instances of a function across the cluster.
   int InstanceCount(const std::string& function) const;
@@ -126,10 +134,14 @@ class ServerlessPlatform {
   };
 
   // Identifies one invocation in the trace: async spans (category
-  // "serverless") grouped under id, rooted at `span`.
+  // "serverless") grouped under id, rooted at `span`, plus the causal
+  // request chain (flow category "serverless.request"). The context
+  // travels by value through the invocation's continuations; the chain is
+  // stitched by id, so stamping copies is fine.
   struct InvocationTrace {
     uint64_t id = 0;
     SpanId span = 0;
+    RequestContext ctx;
   };
 
   // An invocation parked in the admission queue while cold-start deferral
@@ -175,6 +187,7 @@ class ServerlessPlatform {
   int64_t next_instance_id_ = 1;
   InvocationStats stats_;
   uint64_t next_invocation_id_ = 1;
+  std::array<SloTracker*, kNumPriorities> slos_{};
   // Invocation outcomes published to the registry ("serverless.*").
   Counter* invocations_metric_;
   Counter* cold_starts_metric_;

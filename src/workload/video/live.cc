@@ -67,6 +67,17 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
   brownout_promoted_metric_ =
       metrics.GetCounter("video.live.brownout_promoted");
   max_active_metric_ = metrics.GetGauge("video.live.max_active_streams");
+  for (int c = 0; c < kNumPriorities; ++c) {
+    SloSpec spec;
+    const char* cls = PriorityName(static_cast<Priority>(c));
+    spec.name = std::string("video.live/") + cls;
+    spec.service = "video.live";
+    spec.class_name = cls;
+    // Stream-start latency: a queued request should begin transcoding
+    // within a few seconds or the viewer has left.
+    spec.threshold = Duration::Seconds(5);
+    slos_[static_cast<size_t>(c)] = sim_->obs().slos.Register(spec);
+  }
   admission_.set_on_drop(
       [this](const AdmissionQueue::Item& item,
              AdmissionQueue::DropReason reason) { OnAdmissionDrop(item, reason); });
@@ -74,10 +85,11 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
 
 void LiveTranscodingService::OnAdmissionDrop(const AdmissionQueue::Item& item,
                                              AdmissionQueue::DropReason reason) {
-  (void)item;
   ++requests_shed_;
   rejected_metric_->Increment();
   sim_->tracer().Instant("request_shed", "video.live");
+  TraceRequestDrop(&sim_->tracer(), item.ctx, sim_->Now());
+  slos_[static_cast<size_t>(item.priority)]->Record(sim_->Now(), false);
   if (breaker_ != nullptr && reason == AdmissionQueue::DropReason::kQueueFull) {
     breaker_->RecordFailure();
   }
@@ -123,7 +135,8 @@ PlacementDemand LiveTranscodingService::StreamDemand(int soc_index,
 
 Result<int> LiveTranscodingService::PickFor(VbenchVideo video,
                                             TranscodeBackend backend,
-                                            double cpu_scale) {
+                                            double cpu_scale,
+                                            RequestContext* ctx) {
   Placer::Filter hw_limit_filter;
   if (backend == TranscodeBackend::kSocHwCodec) {
     // The per-video hw-session limit is a transcode-model constraint the
@@ -138,7 +151,7 @@ Result<int> LiveTranscodingService::PickFor(VbenchVideo video,
       [this, video, backend, cpu_scale](int i) {
         return StreamDemand(i, video, backend, cpu_scale);
       },
-      hw_limit_filter);
+      hw_limit_filter, nullptr, ctx);
   if (best < 0) {
     return Status::ResourceExhausted("no SoC can admit this stream");
   }
@@ -182,25 +195,34 @@ Result<int64_t> LiveTranscodingService::StartStream(VbenchVideo video,
     ++requests_shed_;
     rejected_metric_->Increment();
     sim_->tracer().Instant("admission_rejected", "video.live");
+    slos_[static_cast<size_t>(priority)]->Record(sim_->Now(), false);
     return Status::ResourceExhausted(
         "stream class below the brownout admission floor");
   }
+  Tracer& tracer = sim_->tracer();
+  Stream stream{video, backend, -1, 0.0, 0, 0, 0, 0, 0, {}};
+  stream.ctx.id = next_request_id_++;
+  stream.ctx.priority = static_cast<int>(priority);
+  TraceRequestSubmit(&tracer, &stream.ctx, "video.live.request", sim_->Now());
   // During a brownout, CPU streams enter at the degraded rung rather than
   // being refused the full-quality slot.
   const int rung =
       backend == TranscodeBackend::kSocCpu ? brownout_rung_ : 0;
-  Result<int> soc_index = PickFor(video, backend, BitrateRungCpuScale(rung));
+  Result<int> soc_index =
+      PickFor(video, backend, BitrateRungCpuScale(rung), &stream.ctx);
   if (!soc_index.ok()) {
     rejected_metric_->Increment();
     sim_->tracer().Instant("admission_rejected", "video.live");
+    TraceRequestDrop(&tracer, &stream.ctx, sim_->Now());
+    slos_[static_cast<size_t>(priority)]->Record(sim_->Now(), false);
     return soc_index.status();
   }
 
-  Stream stream{video, backend, *soc_index, 0.0, 0, 0, 0, 0};
   Admit(&stream, *soc_index, rung);
+  TraceRequestDispatch(&tracer, &stream.ctx, sim_->Now(), *soc_index, 0);
+  slos_[static_cast<size_t>(priority)]->Record(sim_->Now(), true);
 
   const int64_t id = next_id_++;
-  Tracer& tracer = sim_->tracer();
   const SpanId span = tracer.BeginAsyncSpan("stream", "video.live",
                                             static_cast<uint64_t>(id));
   tracer.AddArg(span, "soc", static_cast<int64_t>(*soc_index));
@@ -230,6 +252,7 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
   Network& net = cluster_->network();
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.inbound_load));
   SOC_RETURN_IF_ERROR(net.RemoveConstantLoad(stream.outbound_load));
+  TraceRequestComplete(&sim_->tracer(), &it->second.ctx, sim_->Now());
   sim_->tracer().EndSpan(stream.span);
   stopped_metric_->Increment();
   streams_.erase(it);
@@ -253,7 +276,12 @@ void LiveTranscodingService::RequestStream(VbenchVideo video,
   auto pending = std::make_shared<PendingStream>();
   pending->video = video;
   pending->backend = backend;
-  if (!admission_.Offer(priority, Duration::Zero(), std::move(pending))) {
+  pending->ctx.id = next_request_id_++;
+  pending->ctx.priority = static_cast<int>(priority);
+  TraceRequestSubmit(&sim_->tracer(), &pending->ctx, "video.live.request",
+                     sim_->Now());
+  RequestContext* ctx = &pending->ctx;
+  if (!admission_.Offer(priority, Duration::Zero(), std::move(pending), ctx)) {
     return;  // Shed; accounted in OnAdmissionDrop.
   }
   DrainPending();
@@ -268,18 +296,23 @@ void LiveTranscodingService::DrainPending() {
     auto pending = std::static_pointer_cast<PendingStream>(item->payload);
     const int rung =
         pending->backend == TranscodeBackend::kSocCpu ? brownout_rung_ : 0;
-    Result<int> soc_index =
-        PickFor(pending->video, pending->backend, BitrateRungCpuScale(rung));
+    Result<int> soc_index = PickFor(pending->video, pending->backend,
+                                    BitrateRungCpuScale(rung), &pending->ctx);
     if (!soc_index.ok()) {
       // Head-of-class blocks until capacity frees; keep FIFO order.
       admission_.RestoreFront(std::move(*item));
       return;
     }
     Stream stream{pending->video, pending->backend, *soc_index, 0.0, 0, 0, 0,
-                  0};
+                  0, 0, {}};
     Admit(&stream, *soc_index, rung);
-    const int64_t id = next_id_++;
     Tracer& tracer = sim_->tracer();
+    TraceRequestDispatch(&tracer, &pending->ctx, sim_->Now(), *soc_index, 0);
+    // Stream-start SLO: the wait from submission to transcoding start.
+    slos_[static_cast<size_t>(item->priority)]->RecordLatency(
+        sim_->Now(), sim_->Now() - item->enqueue);
+    stream.ctx = pending->ctx;  // Chain follows the stream until stop/drop.
+    const int64_t id = next_id_++;
     const SpanId span = tracer.BeginAsyncSpan("stream", "video.live",
                                               static_cast<uint64_t>(id));
     tracer.AddArg(span, "soc", static_cast<int64_t>(*soc_index));
@@ -391,6 +424,7 @@ void LiveTranscodingService::OnSocFailure(int soc_index) {
       if (target.ok()) {
         Admit(&stream, *target, rung);
         failed_over_metric_->Increment();
+        TraceRequestFailover(&tracer, &stream.ctx, sim_->Now());
         tracer.AddArg(stream.span, "failed_over_to",
                       static_cast<int64_t>(*target));
         if (rung > old_rung) {
@@ -416,6 +450,7 @@ void LiveTranscodingService::OnSocFailure(int soc_index) {
     if (!placed) {
       ++streams_dropped_;
       dropped_metric_->Increment();
+      TraceRequestDrop(&tracer, &stream.ctx, sim_->Now());
       tracer.EndSpan(stream.span);
       streams_.erase(id);
     }

@@ -8,12 +8,15 @@
 #ifndef SRC_WORKLOAD_VIDEO_LIVE_H_
 #define SRC_WORKLOAD_VIDEO_LIVE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 
 #include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/request.h"
+#include "src/obs/slo.h"
 #include "src/qos/admission.h"
 #include "src/qos/breaker.h"
 #include "src/sched/placer.h"
@@ -83,6 +86,11 @@ class LiveTranscodingService {
   int64_t brownout_promoted() const { return brownout_promoted_; }
   int64_t requests_shed() const { return requests_shed_; }
   int pending_requests() const { return admission_.size(); }
+  // Per-class stream-start SLO ("video.live/<class>"): a request is good
+  // when its stream starts within the spec threshold of submission.
+  SloTracker* slo_of(Priority priority) {
+    return slos_[static_cast<size_t>(priority)];
+  }
   // Total streams the whole cluster can admit for this video/backend.
   int ClusterCapacity(VbenchVideo video, TranscodeBackend backend) const;
 
@@ -104,12 +112,16 @@ class LiveTranscodingService {
     // raised only by capacity-forced failover degradation. The effective
     // rung is max(base_rung, brownout_rung_) for CPU streams.
     int base_rung = 0;
+    // Causal chain for the whole stream life (submit -> admit -> place ->
+    // failovers -> complete/drop). Observers-only; never digested.
+    RequestContext ctx;
   };
 
   // A stream-start request waiting in the admission queue.
   struct PendingStream {
     VbenchVideo video;
     TranscodeBackend backend;
+    RequestContext ctx;  // Owned here until the stream starts.
   };
 
   // Per-candidate demand of one stream at `cpu_scale` on the ladder, and
@@ -117,9 +129,10 @@ class LiveTranscodingService {
   PlacementDemand StreamDemand(int soc_index, VbenchVideo video,
                                TranscodeBackend backend,
                                double cpu_scale) const;
-  // Delegates the choice to the shared placer (no scanning here).
+  // Delegates the choice to the shared placer (no scanning here). `ctx`
+  // (optional) joins the placer's flow point into the request's chain.
   Result<int> PickFor(VbenchVideo video, TranscodeBackend backend,
-                      double cpu_scale);
+                      double cpu_scale, RequestContext* ctx = nullptr);
   int HwStreamsOnSoc(int soc_index) const;
   // Charges SoC + network resources for `stream` at `rung` on `soc_index`,
   // updating the record in place.
@@ -143,6 +156,11 @@ class LiveTranscodingService {
   int brownout_rung_ = 0;
   std::map<int64_t, Stream> streams_;
   int64_t next_id_ = 1;
+  // Request-chain ids, distinct from stream ids so the flow id namespace
+  // ("video.live.request") never aliases the stream span ids. Incremented
+  // unconditionally, so digests match with tracing on or off.
+  uint64_t next_request_id_ = 1;
+  std::array<SloTracker*, kNumPriorities> slos_{};
   int64_t streams_degraded_ = 0;
   int64_t streams_dropped_ = 0;
   int64_t brownout_demoted_ = 0;

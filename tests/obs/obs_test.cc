@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/digest.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/export.h"
 #include "src/obs/flags.h"
@@ -275,6 +276,130 @@ TEST(ExportTest, FlagsRoundTripThroughFiles) {
   std::remove(metrics_path.c_str());
 }
 
+TEST(ExportTest, EmptyObservabilityEmitsSelfDescribingTrace) {
+  // Nothing recorded at all: the export is still a complete document with
+  // the tracer-health metadata, so downstream tooling never special-cases
+  // an empty run.
+  Observability obs;
+  std::ostringstream out;
+  WriteChromeTrace(obs, out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"tracer_stats\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dropped_spans\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"spans\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"flows\":0"), std::string::npos);
+  // No event payloads beyond metadata.
+  EXPECT_EQ(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(trace.find("\"ph\":\"C\""), std::string::npos);
+
+  std::ostringstream metrics;
+  obs.metrics.WriteJson(metrics);
+  std::string doc = metrics.str();
+  while (!doc.empty() && doc.back() == '\n') {
+    doc.pop_back();
+  }
+  EXPECT_EQ(doc, "[]");
+}
+
+TEST(ExportTest, SpanCapIsSurfacedInTraceMetadata) {
+  // A truncated trace must say so in-band: the tracer_stats metadata event
+  // carries the dropped count alongside what survived.
+  Simulator sim;
+  Tracer& tracer = sim.tracer();
+  tracer.Enable();
+  tracer.set_max_spans(2);
+  const SpanId a = tracer.BeginSpan("a", "t");
+  const SpanId b = tracer.BeginSpan("b", "t");
+  tracer.EndSpan(a);
+  tracer.EndSpan(b);
+  tracer.BeginSpan("c", "t");   // Dropped.
+  tracer.Instant("d", "t");     // Dropped.
+  tracer.FlowBegin("e", "t", 1);  // Dropped: flows share the cap.
+  std::ostringstream out;
+  WriteChromeTrace(sim.obs(), out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"dropped_spans\":3"), std::string::npos);
+  EXPECT_NE(trace.find("\"spans\":2"), std::string::npos);
+  EXPECT_NE(trace.find("\"flows\":0"), std::string::npos);
+  EXPECT_EQ(trace.find("\"name\":\"c\""), std::string::npos);
+}
+
+TEST(ExportTest, EscapesSpanNamesLabelsAndArgs) {
+  // Hostile strings in names, track labels, and args must come out as
+  // escaped JSON, never as raw quotes/newlines that break the document.
+  Simulator sim;
+  Tracer& tracer = sim.tracer();
+  tracer.Enable();
+  tracer.SetTrackName(1, "soc\"0\\1");
+  const SpanId span = tracer.BeginSpan("sp\"an\n", "cat\\egory", /*track=*/1);
+  tracer.AddArg(span, "mo\"del", "res\nnet");
+  tracer.EndSpan(span);
+  std::ostringstream out;
+  WriteChromeTrace(sim.obs(), out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("sp\\\"an\\n"), std::string::npos);
+  EXPECT_NE(trace.find("cat\\\\egory"), std::string::npos);
+  EXPECT_NE(trace.find("soc\\\"0\\\\1"), std::string::npos);
+  EXPECT_NE(trace.find("mo\\\"del"), std::string::npos);
+  EXPECT_NE(trace.find("res\\nnet"), std::string::npos);
+  // No raw newline escaped the writer (the document is one line).
+  EXPECT_EQ(trace.find('\n'), trace.size() - 1);
+}
+
+TEST(ExportTest, FlowChainExportsPerfettoPhases) {
+  Simulator sim;
+  Tracer& tracer = sim.tracer();
+  tracer.Enable();
+  tracer.FlowBegin("submit", "dl.serving", /*flow_id=*/77, /*track=*/1);
+  tracer.FlowStep("place", "dl.serving", 77, /*track=*/2);
+  tracer.FlowEnd("complete", "dl.serving", 77, /*track=*/3);
+  ASSERT_EQ(tracer.flows().size(), 3u);
+  std::ostringstream out;
+  WriteChromeTrace(sim.obs(), out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);  // Flow start.
+  EXPECT_NE(trace.find("\"ph\":\"t\""), std::string::npos);  // Flow step.
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);  // Flow end.
+  EXPECT_NE(trace.find("\"bp\":\"e\""), std::string::npos);  // End binding.
+  EXPECT_NE(trace.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"place\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries memory bound.
+
+TEST(TimeSeriesTest, DownsampleCapsMemoryAndCountsDrops) {
+  MetricRegistry registry;
+  TimeSeries* series = registry.GetTimeSeries("power_watts");
+  series->set_max_points(8);
+  for (int i = 0; i < 1000; ++i) {
+    series->Append(SimTime::Zero() + Duration::Seconds(i),
+                   static_cast<double>(i));
+  }
+  EXPECT_LE(series->size(), 8u);
+  EXPECT_GT(series->stride(), 1);
+  // Every appended point is accounted for: kept + dropped.
+  EXPECT_EQ(static_cast<int64_t>(series->size()) + series->dropped_points(),
+            1000);
+  // Retained points stay in time order and span the run.
+  const auto& points = series->points();
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].time, points[i].time);
+  }
+}
+
+TEST(TimeSeriesTest, UncappedSeriesKeepsEverything) {
+  MetricRegistry registry;
+  TimeSeries* series = registry.GetTimeSeries("latency_ms");
+  for (int i = 0; i < 100; ++i) {
+    series->Append(SimTime::Zero() + Duration::Millis(i), 1.0);
+  }
+  EXPECT_EQ(series->size(), 100u);
+  EXPECT_EQ(series->dropped_points(), 0);
+  EXPECT_EQ(series->stride(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism: tracing on or off never changes a run's results.
 
@@ -321,6 +446,46 @@ TEST(DeterminismTest, TracingDoesNotPerturbTheSimulation) {
   EXPECT_DOUBLE_EQ(off.latency_mean, on.latency_mean);
   EXPECT_DOUBLE_EQ(off.energy_joules, on.energy_joules);
   EXPECT_DOUBLE_EQ(off.end_seconds, on.end_seconds);
+}
+
+// The acceptance bar for the whole layer: not just equal summary numbers,
+// but bit-identical state digests with every observability feature on.
+uint64_t RunFleetDigest(bool obs_on) {
+  Simulator sim(42);
+  if (obs_on) {
+    sim.tracer().Enable();
+    // SLO evaluation and sketch-backed histograms on top of tracing.
+    SloSpec spec;
+    spec.name = "dl.serving/test";
+    spec.service = "dl.serving";
+    spec.class_name = "standard";
+    sim.obs().slos.Register(spec);
+    sim.metrics().GetHistogram("dl.serving.latency_ms")->EnableSketch();
+  }
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  SOC_CHECK(sim.RunFor(Duration::Seconds(30)).ok());
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocGpu,
+                        DnnModel::kResNet50, Precision::kFp32);
+  fleet.SetActiveCount(4);
+  fleet.SetResponseSize(DataSize::Kilobytes(64.0));
+  OpenLoopSource source(&sim, /*rate_per_s=*/40.0, Duration::Seconds(20),
+                        [&fleet] { fleet.Submit(); });
+  source.Start();
+  sim.Run();
+  StateDigest digest;
+  sim.DigestState(digest);
+  cluster.DigestState(digest);
+  fleet.DigestState(digest);
+  return digest.value();
+}
+
+TEST(DeterminismTest, StateDigestsIdenticalWithObservabilityOn) {
+  const uint64_t off = RunFleetDigest(false);
+  const uint64_t on = RunFleetDigest(true);
+  EXPECT_EQ(off, on);
+  // And the digest itself is reproducible run-to-run.
+  EXPECT_EQ(off, RunFleetDigest(false));
 }
 
 TEST(DeterminismTest, TracedRunActuallyRecords) {

@@ -1,0 +1,178 @@
+// SloTracker burn-rate math and the multi-window fire/clear state machine,
+// plus the SloEngine registry and its JSON timeline export.
+
+#include "src/obs/slo.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+SloSpec TestSpec() {
+  SloSpec spec;
+  spec.name = "svc/standard";
+  spec.service = "svc";
+  spec.class_name = "standard";
+  spec.threshold = Duration::Seconds(1);
+  spec.objective = 0.99;  // 1% error budget.
+  spec.fast_window = Duration::Seconds(30);
+  spec.slow_window = Duration::Minutes(2);
+  spec.burn_threshold = 3.0;
+  return spec;
+}
+
+SimTime At(double seconds) {
+  return SimTime::Zero() + Duration::SecondsF(seconds);
+}
+
+TEST(SloTrackerTest, BurnRateIsBadFractionOverBudget) {
+  SloTracker tracker(TestSpec());
+  // 1% bad over the window = exactly 1.0x budget burn.
+  for (int i = 0; i < 99; ++i) {
+    tracker.Record(At(10.0), true);
+  }
+  tracker.Record(At(10.0), false);
+  EXPECT_NEAR(tracker.BurnRate(At(10.0), Duration::Seconds(30)), 1.0, 1e-9);
+  // 10% bad burns 10x the budget.
+  SloTracker hot(TestSpec());
+  for (int i = 0; i < 90; ++i) {
+    hot.Record(At(10.0), true);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hot.Record(At(10.0), false);
+  }
+  EXPECT_NEAR(hot.BurnRate(At(10.0), Duration::Seconds(30)), 10.0, 1e-9);
+  // An empty window burns nothing.
+  EXPECT_DOUBLE_EQ(tracker.BurnRate(At(500.0), Duration::Seconds(30)), 0.0);
+}
+
+TEST(SloTrackerTest, FiresOnlyWhenBothWindowsBurn) {
+  SloTracker tracker(TestSpec());
+  // Two minutes of healthy traffic fill the slow window.
+  for (int second = 0; second < 120; ++second) {
+    for (int i = 0; i < 100; ++i) {
+      tracker.Record(At(second), true);
+    }
+  }
+  // A short burst of errors saturates the fast window, but the slow
+  // window still holds two minutes of good traffic: no page.
+  for (int i = 0; i < 200; ++i) {
+    tracker.Record(At(121.0), false);
+  }
+  EXPECT_GE(tracker.BurnRate(At(121.0), Duration::Seconds(30)), 3.0);
+  EXPECT_LT(tracker.BurnRate(At(121.0), Duration::Minutes(2)), 3.0);
+  EXPECT_FALSE(tracker.firing());
+  // Sustained errors push the slow window over too: now it fires.
+  for (int second = 122; second < 240; ++second) {
+    for (int i = 0; i < 100; ++i) {
+      tracker.Record(At(second), false);
+    }
+  }
+  EXPECT_TRUE(tracker.firing());
+  ASSERT_EQ(tracker.alerts().size(), 1u);
+  EXPECT_TRUE(tracker.alerts()[0].firing);
+  EXPECT_GE(tracker.alerts()[0].fast_burn, 3.0);
+  EXPECT_GE(tracker.alerts()[0].slow_burn, 3.0);
+}
+
+TEST(SloTrackerTest, ClearsWhenBurnSubsides) {
+  SloTracker tracker(TestSpec());
+  for (int second = 0; second < 120; ++second) {
+    tracker.Record(At(second), false);
+  }
+  ASSERT_TRUE(tracker.firing());
+  // Healthy traffic ages the errors out of both windows.
+  for (int second = 120; second < 300; ++second) {
+    tracker.Record(At(second), true);
+  }
+  EXPECT_FALSE(tracker.firing());
+  ASSERT_EQ(tracker.alerts().size(), 2u);
+  EXPECT_TRUE(tracker.alerts()[0].firing);
+  EXPECT_FALSE(tracker.alerts()[1].firing);
+  EXPECT_LT(tracker.alerts()[0].time, tracker.alerts()[1].time);
+}
+
+TEST(SloTrackerTest, AdvanceRecordsClearAfterDrain) {
+  // The bench drain-end pattern: traffic stops while the alert is firing;
+  // a later Advance sees empty windows (burn 0) and records the clear.
+  SloTracker tracker(TestSpec());
+  for (int second = 0; second < 120; ++second) {
+    tracker.Record(At(second), false);
+  }
+  ASSERT_TRUE(tracker.firing());
+  tracker.Advance(At(600.0));
+  EXPECT_FALSE(tracker.firing());
+  ASSERT_EQ(tracker.alerts().size(), 2u);
+  EXPECT_FALSE(tracker.alerts()[1].firing);
+  // Re-advancing at the same time is a no-op.
+  tracker.Advance(At(600.0));
+  EXPECT_EQ(tracker.alerts().size(), 2u);
+}
+
+TEST(SloTrackerTest, RecordLatencyComparesAgainstThreshold) {
+  SloTracker tracker(TestSpec());
+  tracker.RecordLatency(At(1.0), Duration::Millis(500));   // Good.
+  tracker.RecordLatency(At(1.0), Duration::Seconds(1));    // Good (<=).
+  tracker.RecordLatency(At(1.0), Duration::MillisF(1001));  // Bad.
+  EXPECT_EQ(tracker.good_total(), 2);
+  EXPECT_EQ(tracker.bad_total(), 1);
+}
+
+TEST(SloEngineTest, RegisterDeduplicatesByName) {
+  SloEngine engine;
+  SloTracker* first = engine.Register(TestSpec());
+  SloSpec again = TestSpec();
+  again.objective = 0.5;  // Ignored: the first registration wins.
+  SloTracker* second = engine.Register(again);
+  EXPECT_EQ(first, second);
+  EXPECT_DOUBLE_EQ(first->spec().objective, 0.99);
+  EXPECT_EQ(engine.size(), 1u);
+  EXPECT_EQ(engine.Find("svc/standard"), first);
+  EXPECT_EQ(engine.Find("absent"), nullptr);
+}
+
+TEST(SloEngineTest, AdvanceSweepsEveryTracker) {
+  SloEngine engine;
+  SloSpec a = TestSpec();
+  SloSpec b = TestSpec();
+  b.name = "svc/best_effort";
+  b.class_name = "best_effort";
+  SloTracker* ta = engine.Register(a);
+  SloTracker* tb = engine.Register(b);
+  for (int second = 0; second < 120; ++second) {
+    ta->Record(At(second), false);
+    tb->Record(At(second), false);
+  }
+  ASSERT_TRUE(ta->firing());
+  ASSERT_TRUE(tb->firing());
+  engine.Advance(At(600.0));
+  EXPECT_FALSE(ta->firing());
+  EXPECT_FALSE(tb->firing());
+}
+
+TEST(SloEngineTest, JsonTimelineHasSpecsTotalsAndAlerts) {
+  SloEngine engine;
+  SloTracker* tracker = engine.Register(TestSpec());
+  for (int second = 0; second < 120; ++second) {
+    tracker->Record(At(second), false);
+  }
+  engine.Advance(At(600.0));  // Records the clear.
+  std::ostringstream out;
+  engine.WriteJson(out, At(600.0));
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"time_s\":600"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"svc/standard\""), std::string::npos);
+  EXPECT_NE(json.find("\"service\":\"svc\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"standard\""), std::string::npos);
+  EXPECT_NE(json.find("\"objective\":0.99"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"firing\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"fire\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"clear\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soccluster

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh bench report against the committed baseline.
+
+The throughput benches write BENCH_<name>.json (src/obs/bench_report.h
+schema); bench/baselines/ holds the committed trajectory. This gate reads
+both, matches metrics by name, and fails when a throughput metric (units
+ending in "/s") regresses by more than the allowed fraction. Metrics in
+other units (ms, W, ratio, ...) are compared informationally only: their
+direction of "better" is metric-specific, so they never gate.
+
+Usage:
+  bench_compare.py --current BENCH_engine_throughput.json \
+      [--baseline bench/baselines/BENCH_engine_throughput.json] \
+      [--max-regression 0.15]
+
+Exit codes: 0 pass, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_MAX_REGRESSION = 0.15
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    for key in ("name", "metrics"):
+        if key not in report:
+            raise SystemExit(f"bench_compare: {path} missing '{key}'")
+    return report
+
+
+def metrics_by_name(report: dict) -> dict:
+    out = {}
+    for m in report["metrics"]:
+        out[m["metric"]] = (float(m["value"]), m.get("units", ""))
+    return out
+
+
+def is_throughput(units: str) -> bool:
+    return units.endswith("/s")
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> int:
+    cur = metrics_by_name(current)
+    base = metrics_by_name(baseline)
+    if current["name"] != baseline["name"]:
+        raise SystemExit(
+            f"bench_compare: report mismatch: current is "
+            f"'{current['name']}', baseline is '{baseline['name']}'")
+
+    failures = []
+    rows = []
+    for name, (base_value, units) in sorted(base.items()):
+        if name not in cur:
+            failures.append(f"metric '{name}' missing from current report")
+            continue
+        cur_value, _ = cur[name]
+        if base_value == 0:
+            rows.append((name, base_value, cur_value, "n/a", ""))
+            continue
+        change = (cur_value - base_value) / base_value
+        gated = is_throughput(units)
+        verdict = ""
+        if gated and change < -max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"'{name}': {base_value:.4g} -> {cur_value:.4g} "
+                f"({change:+.1%}, limit -{max_regression:.0%})")
+        rows.append((name, base_value, cur_value, f"{change:+.1%}",
+                     verdict or ("gated" if gated else "info")))
+
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, float("nan"), cur[name][0], "new", "info"))
+
+    width = max(len(r[0]) for r in rows) if rows else 10
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'change':>8}  note")
+    for name, base_value, cur_value, change, note in rows:
+        base_text = f"{base_value:.4g}" if base_value == base_value else "-"
+        print(f"{name:<{width}}  {base_text:>12}  {cur_value:>12.4g}  "
+              f"{change:>8}  {note}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"{max_regression:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no throughput metric regressed beyond {max_regression:.0%}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="fresh BENCH_<name>.json to check")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline (default: "
+                             "bench/baselines/<basename of --current>)")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="allowed fractional drop in */s metrics "
+                             "(default 0.15)")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(REPO_ROOT, "bench", "baselines",
+                                     os.path.basename(args.current))
+    current = load_report(args.current)
+    baseline = load_report(baseline_path)
+    return compare(current, baseline, args.max_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def write_report(directory, filename, name, metrics):
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"name": name, "params": {}, "metrics": metrics}, f)
+    return path
+
+
+def metric(name, value, units="events/s"):
+    return {"metric": name, "value": value, "units": units}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_compare(self, base_metrics, cur_metrics, max_regression=0.15):
+        base = write_report(self.dir.name, "base.json", "t", base_metrics)
+        cur = write_report(self.dir.name, "cur.json", "t", cur_metrics)
+        return bench_compare.main(
+            ["--current", cur, "--baseline", base,
+             "--max-regression", str(max_regression)])
+
+    def test_equal_passes(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)], [metric("a", 100.0)]), 0)
+
+    def test_small_drop_within_limit_passes(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)], [metric("a", 90.0)]), 0)
+
+    def test_improvement_passes(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)], [metric("a", 200.0)]), 0)
+
+    def test_large_drop_fails(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)], [metric("a", 80.0)]), 1)
+
+    def test_limit_is_configurable(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)], [metric("a", 80.0)],
+                             max_regression=0.30), 0)
+
+    def test_non_throughput_units_never_gate(self):
+        self.assertEqual(
+            self.run_compare([metric("lat", 10.0, units="ms")],
+                             [metric("lat", 1000.0, units="ms")]), 0)
+
+    def test_missing_metric_fails(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0), metric("b", 50.0)],
+                             [metric("a", 100.0)]), 1)
+
+    def test_new_metric_in_current_passes(self):
+        self.assertEqual(
+            self.run_compare([metric("a", 100.0)],
+                             [metric("a", 100.0), metric("b", 50.0)]), 0)
+
+    def test_name_mismatch_is_schema_error(self):
+        base = write_report(self.dir.name, "base.json", "x",
+                            [metric("a", 1.0)])
+        cur = write_report(self.dir.name, "cur.json", "y",
+                           [metric("a", 1.0)])
+        with self.assertRaises(SystemExit):
+            bench_compare.main(["--current", cur, "--baseline", base])
+
+    def test_unreadable_report_is_schema_error(self):
+        cur = write_report(self.dir.name, "cur.json", "t", [metric("a", 1.0)])
+        with self.assertRaises(SystemExit):
+            bench_compare.main(
+                ["--current", cur,
+                 "--baseline", os.path.join(self.dir.name, "missing.json")])
+
+    def test_default_baseline_resolves_into_repo(self):
+        # The shipped baseline must exist and compare cleanly with itself.
+        shipped = os.path.join(bench_compare.REPO_ROOT, "bench", "baselines",
+                               "BENCH_engine_throughput.json")
+        self.assertTrue(os.path.exists(shipped))
+        self.assertEqual(bench_compare.main(["--current", shipped]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
