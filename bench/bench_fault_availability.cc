@@ -22,6 +22,7 @@
 #include "src/core/chaos.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/flags.h"
+#include "src/obs/sketch.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {
@@ -78,9 +79,24 @@ void RunAvailability(int days, uint64_t seed, BenchReport* report) {
                 std::to_string(chaos.injector().uplink_flaps())});
   table.AddRow({"thermal trips",
                 std::to_string(chaos.injector().thermal_trips())});
+  // The sketch-backed distributions tell the tail story the means hide: a
+  // handful of slow detections or long outages dominate user-visible
+  // downtime.
+  const QuantileSketch& detect = chaos.monitor().detection_latency_sketch();
+  const QuantileSketch& outage = chaos.monitor().outage_hours_sketch();
+  const double detect_p50 =
+      detect.count() > 0 ? detect.Percentile(50) : 0.0;
+  const double detect_p99 =
+      detect.count() > 0 ? detect.Percentile(99) : 0.0;
+  const double outage_p50 = outage.count() > 0 ? outage.Percentile(50) : 0.0;
+  const double outage_p99 = outage.count() > 0 ? outage.Percentile(99) : 0.0;
   table.AddRow({"detection latency (mean ms)",
                 FormatDouble(result.detection_latency_ms, 0)});
+  table.AddRow({"detection latency (p50 ms)", FormatDouble(detect_p50, 0)});
+  table.AddRow({"detection latency (p99 ms)", FormatDouble(detect_p99, 0)});
   table.AddRow({"observed MTTR (mean h)", FormatDouble(result.mttr_hours, 2)});
+  table.AddRow({"observed outage (p50 h)", FormatDouble(outage_p50, 2)});
+  table.AddRow({"observed outage (p99 h)", FormatDouble(outage_p99, 2)});
   table.AddRow({"replicas lost", std::to_string(result.replicas_lost)});
   table.AddRow({"replicas recovered",
                 std::to_string(result.replicas_recovered)});
@@ -98,7 +114,11 @@ void RunAvailability(int days, uint64_t seed, BenchReport* report) {
   report->Add("thermal_trips",
               static_cast<double>(chaos.injector().thermal_trips()), "count");
   report->Add("detection_latency_ms", result.detection_latency_ms, "ms");
+  report->Add("detection_latency_p50_ms", detect_p50, "ms");
+  report->Add("detection_latency_p99_ms", detect_p99, "ms");
   report->Add("mttr_hours", result.mttr_hours, "hours");
+  report->Add("outage_p50_hours", outage_p50, "hours");
+  report->Add("outage_p99_hours", outage_p99, "hours");
   report->Add("replicas_lost", static_cast<double>(result.replicas_lost),
               "count");
   report->Add("replicas_recovered",

@@ -24,6 +24,14 @@ const char* FaultKindName(FaultKind kind) {
       return "uplink_flap";
     case FaultKind::kThermalTrip:
       return "thermal_trip";
+    case FaultKind::kSlowSoc:
+      return "slow_soc";
+    case FaultKind::kLinkBrownout:
+      return "link_brownout";
+    case FaultKind::kFlakyHeartbeat:
+      return "flaky_heartbeat";
+    case FaultKind::kZombie:
+      return "zombie";
   }
   return "unknown";
 }
@@ -38,6 +46,12 @@ FaultInjector::FaultInjector(Simulator* sim, SocCluster* cluster,
   SOC_CHECK_LE(config_.transient_fraction, 1.0);
   SOC_CHECK_GT(config_.thermal_throttle_factor, 0.0);
   SOC_CHECK_LE(config_.thermal_throttle_factor, 1.0);
+  SOC_CHECK_GT(config_.slow_soc_factor, 0.0);
+  SOC_CHECK_LE(config_.slow_soc_factor, 1.0);
+  SOC_CHECK_GT(config_.link_brownout_factor, 0.0);
+  SOC_CHECK_LE(config_.link_brownout_factor, 1.0);
+  SOC_CHECK_GE(config_.flaky_heartbeat_loss_prob, 0.0);
+  SOC_CHECK_LE(config_.flaky_heartbeat_loss_prob, 1.0);
   MetricRegistry& metrics = sim_->metrics();
   for (int k = 0; k < kNumFaultKinds; ++k) {
     injected_metric_[k] = metrics.GetCounter(
@@ -71,6 +85,26 @@ void FaultInjector::Start(Duration horizon) {
   if (config_.thermal_mtbf.nanos() > 0) {
     for (int i = 0; i < cluster_->num_socs(); ++i) {
       ScheduleNextThermal(i);
+    }
+  }
+  if (config_.slow_soc_mtbf.nanos() > 0) {
+    for (int i = 0; i < cluster_->num_socs(); ++i) {
+      ScheduleNextSlowSoc(i);
+    }
+  }
+  if (config_.link_brownout_mtbf.nanos() > 0) {
+    for (int s = 0; s <= cluster_->chassis().num_pcbs; ++s) {
+      ScheduleNextBrownout(s);
+    }
+  }
+  if (config_.flaky_heartbeat_mtbf.nanos() > 0) {
+    for (int i = 0; i < cluster_->num_socs(); ++i) {
+      ScheduleNextFlakyHeartbeat(i);
+    }
+  }
+  if (config_.zombie_mtbf.nanos() > 0) {
+    for (int i = 0; i < cluster_->num_socs(); ++i) {
+      ScheduleNextZombie(i);
     }
   }
 }
@@ -240,6 +274,158 @@ void FaultInjector::InjectThermal(int soc_index) {
     });
   }
   ScheduleNextThermal(soc_index);
+}
+
+// --- Gray: sustained slow-SoC excursions ---
+
+void FaultInjector::ScheduleNextSlowSoc(int soc_index) {
+  (void)ScheduleWithin(DrawWait(config_.slow_soc_mtbf),
+                       [this, soc_index] { InjectSlowSoc(soc_index); });
+}
+
+void FaultInjector::InjectSlowSoc(int soc_index) {
+  SocModel& soc = cluster_->soc(soc_index);
+  // Like thermal trips, excursions only start on unthrottled, usable SoCs;
+  // Fail() clears the factor so the restore below is always safe.
+  if (soc.IsUsable() && soc.throttle_factor() >= 1.0) {
+    ApplySlowSoc(soc_index, config_.slow_soc_duration,
+                 config_.slow_soc_factor);
+  }
+  ScheduleNextSlowSoc(soc_index);
+}
+
+void FaultInjector::ApplySlowSoc(int soc_index, Duration duration,
+                                 double factor) {
+  Record(FaultKind::kSlowSoc, soc_index);
+  cluster_->soc(soc_index).SetThrottleFactor(factor);
+  if (duration.nanos() > 0) {
+    sim_->ScheduleAfter(duration, [this, soc_index] {
+      cluster_->soc(soc_index).SetThrottleFactor(1.0);
+      sim_->tracer().Instant("slow_soc_restore", "fault", kFaultsTrack);
+    });
+  }
+}
+
+void FaultInjector::PlantSlowSoc(int soc_index, SimTime at, Duration duration,
+                                 double factor) {
+  sim_->ScheduleAt(at, [this, soc_index, duration, factor] {
+    if (cluster_->soc(soc_index).IsUsable()) {
+      ApplySlowSoc(soc_index, duration, factor);
+    }
+  });
+}
+
+// --- Gray: link brownouts ---
+
+void FaultInjector::ScheduleNextBrownout(int link_slot) {
+  (void)ScheduleWithin(DrawWait(config_.link_brownout_mtbf),
+                       [this, link_slot] { InjectBrownout(link_slot); });
+}
+
+void FaultInjector::InjectBrownout(int link_slot) {
+  const LinkId out = FlapLink(link_slot);
+  if (cluster_->network().LinkCapacityFactor(out) >= 1.0) {
+    ApplyBrownout(link_slot, config_.link_brownout_duration,
+                  config_.link_brownout_factor);
+  }
+  ScheduleNextBrownout(link_slot);
+}
+
+void FaultInjector::ApplyBrownout(int link_slot, Duration duration,
+                                  double factor) {
+  Network& net = cluster_->network();
+  const LinkId out = FlapLink(link_slot);
+  Record(FaultKind::kLinkBrownout, link_slot);
+  net.SetLinkDegradation(out, factor);
+  net.SetLinkDegradation(out + 1, factor);
+  if (duration.nanos() > 0) {
+    sim_->ScheduleAfter(duration, [this, out] {
+      Network& n = cluster_->network();
+      n.SetLinkDegradation(out, 1.0);
+      n.SetLinkDegradation(out + 1, 1.0);
+      sim_->tracer().Instant("brownout_restore", "fault", kFaultsTrack);
+    });
+  }
+}
+
+void FaultInjector::PlantLinkBrownout(int link_slot, SimTime at,
+                                      Duration duration, double factor) {
+  sim_->ScheduleAt(at, [this, link_slot, duration, factor] {
+    ApplyBrownout(link_slot, duration, factor);
+  });
+}
+
+// --- Gray: flaky heartbeats ---
+
+void FaultInjector::ScheduleNextFlakyHeartbeat(int soc_index) {
+  (void)ScheduleWithin(DrawWait(config_.flaky_heartbeat_mtbf), [this,
+                                                                soc_index] {
+    InjectFlakyHeartbeat(soc_index);
+  });
+}
+
+void FaultInjector::InjectFlakyHeartbeat(int soc_index) {
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.IsUsable() && soc.heartbeat_loss_prob() <= 0.0) {
+    ApplyFlakyHeartbeat(soc_index, config_.flaky_heartbeat_duration,
+                        config_.flaky_heartbeat_loss_prob);
+  }
+  ScheduleNextFlakyHeartbeat(soc_index);
+}
+
+void FaultInjector::ApplyFlakyHeartbeat(int soc_index, Duration duration,
+                                        double loss_prob) {
+  Record(FaultKind::kFlakyHeartbeat, soc_index);
+  cluster_->soc(soc_index).SetHeartbeatLossProb(loss_prob);
+  if (duration.nanos() > 0) {
+    sim_->ScheduleAfter(duration, [this, soc_index] {
+      cluster_->soc(soc_index).SetHeartbeatLossProb(0.0);
+      sim_->tracer().Instant("flaky_heartbeat_restore", "fault", kFaultsTrack);
+    });
+  }
+}
+
+void FaultInjector::PlantFlakyHeartbeat(int soc_index, SimTime at,
+                                        Duration duration, double loss_prob) {
+  sim_->ScheduleAt(at, [this, soc_index, duration, loss_prob] {
+    if (cluster_->soc(soc_index).IsUsable()) {
+      ApplyFlakyHeartbeat(soc_index, duration, loss_prob);
+    }
+  });
+}
+
+// --- Gray: zombie SoCs ---
+
+void FaultInjector::ScheduleNextZombie(int soc_index) {
+  (void)ScheduleWithin(DrawWait(config_.zombie_mtbf),
+                       [this, soc_index] { InjectZombie(soc_index); });
+}
+
+void FaultInjector::InjectZombie(int soc_index) {
+  SocModel& soc = cluster_->soc(soc_index);
+  if (soc.IsUsable() && !soc.zombie()) {
+    ApplyZombie(soc_index, config_.zombie_duration);
+  }
+  ScheduleNextZombie(soc_index);
+}
+
+void FaultInjector::ApplyZombie(int soc_index, Duration duration) {
+  Record(FaultKind::kZombie, soc_index);
+  cluster_->soc(soc_index).SetZombie(true);
+  if (duration.nanos() > 0) {
+    sim_->ScheduleAfter(duration, [this, soc_index] {
+      cluster_->soc(soc_index).SetZombie(false);
+      sim_->tracer().Instant("zombie_restore", "fault", kFaultsTrack);
+    });
+  }
+}
+
+void FaultInjector::PlantZombie(int soc_index, SimTime at, Duration duration) {
+  sim_->ScheduleAt(at, [this, soc_index, duration] {
+    if (cluster_->soc(soc_index).IsUsable()) {
+      ApplyZombie(soc_index, duration);
+    }
+  });
 }
 
 }  // namespace soccluster

@@ -13,7 +13,13 @@
 //   * uplink flaps — a PCB uplink or the ESB's SFP+ uplink goes dark for a
 //     bounded interval; traffic crossing it stalls and then resumes;
 //   * thermal trips — a SoC is throttled (service-rate scaled) for the
-//     excursion, without losing its load.
+//     excursion, without losing its load;
+//   * gray failures — fail-slow modes that keep the SoC heartbeating while
+//     degrading service: sustained slow-SoC excursions (deep throttle far
+//     longer than a thermal trip), link brownouts (fractional capacity on a
+//     PCB/ESB uplink that stays "up"), flaky heartbeats (management-path
+//     loss without data-path impact), and zombies (healthy beats, failing
+//     requests).
 //
 // Failures target only usable (powered-on) SoCs, matching the "under
 // sustained load" MTBF semantics; events landing on off/booting SoCs are
@@ -39,8 +45,12 @@ enum class FaultKind {
   kPcbFailure,        // Correlated: every SoC on one PCB fails together.
   kUplinkFlap,        // A PCB/ESB uplink drops for uplink_flap_duration.
   kThermalTrip,       // SoC throttled for thermal_duration.
+  kSlowSoc,           // Gray: sustained deep throttle (fail-slow straggler).
+  kLinkBrownout,      // Gray: uplink capacity browns out, link stays up.
+  kFlakyHeartbeat,    // Gray: heartbeats lost probabilistically.
+  kZombie,            // Gray: heartbeats healthy, requests fail.
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 9;
 const char* FaultKindName(FaultKind kind);
 
 struct FaultConfig {
@@ -65,6 +75,28 @@ struct FaultConfig {
   Duration thermal_mtbf = Duration::Zero();
   Duration thermal_duration = Duration::Minutes(10);
   double thermal_throttle_factor = 0.6;
+
+  // --- Gray (fail-slow) taxonomy; each process zero-MTBF-disabled ---
+  // Sustained slow-SoC excursions: a flash-wear or firmware straggler runs
+  // at slow_soc_factor of nominal speed for slow_soc_duration while
+  // heartbeating normally.
+  Duration slow_soc_mtbf = Duration::Zero();
+  Duration slow_soc_duration = Duration::Hours(2);
+  double slow_soc_factor = 0.3;
+  // Link brownouts, drawn per PCB uplink and the ESB uplink: capacity drops
+  // to link_brownout_factor of nominal but the link reports "up".
+  Duration link_brownout_mtbf = Duration::Zero();
+  Duration link_brownout_duration = Duration::Minutes(30);
+  double link_brownout_factor = 0.25;
+  // Flaky heartbeats: each beat from the afflicted SoC is lost with
+  // flaky_heartbeat_loss_prob; the data path is unaffected.
+  Duration flaky_heartbeat_mtbf = Duration::Zero();
+  Duration flaky_heartbeat_duration = Duration::Minutes(20);
+  double flaky_heartbeat_loss_prob = 0.5;
+  // Zombies: the SoC answers heartbeats but every request dispatched to it
+  // fails until the excursion ends or the board is power-cycled.
+  Duration zombie_mtbf = Duration::Zero();
+  Duration zombie_duration = Duration::Hours(1);
   uint64_t seed = 42;
 };
 
@@ -108,6 +140,23 @@ class FaultInjector {
   int64_t pcb_failures() const { return faults_of(FaultKind::kPcbFailure); }
   int64_t uplink_flaps() const { return faults_of(FaultKind::kUplinkFlap); }
   int64_t thermal_trips() const { return faults_of(FaultKind::kThermalTrip); }
+  int64_t gray_faults() const {
+    return faults_of(FaultKind::kSlowSoc) +
+           faults_of(FaultKind::kLinkBrownout) +
+           faults_of(FaultKind::kFlakyHeartbeat) +
+           faults_of(FaultKind::kZombie);
+  }
+
+  // Deterministic planting for benches/tests: inject one gray event at an
+  // absolute time, independent of the seeded Poisson chains (and usable
+  // without Start()). `duration` of zero means "until power-cycle".
+  void PlantSlowSoc(int soc_index, SimTime at, Duration duration,
+                    double factor);
+  void PlantLinkBrownout(int link_slot, SimTime at, Duration duration,
+                         double factor);
+  void PlantFlakyHeartbeat(int soc_index, SimTime at, Duration duration,
+                           double loss_prob);
+  void PlantZombie(int soc_index, SimTime at, Duration duration);
 
   // Every injected event in arrival order; two runs with identical
   // FaultConfig (and cluster activity) produce bit-identical histories.
@@ -122,6 +171,19 @@ class FaultInjector {
   void InjectFlap(int link_slot);
   void ScheduleNextThermal(int soc_index);
   void InjectThermal(int soc_index);
+  void ScheduleNextSlowSoc(int soc_index);
+  void InjectSlowSoc(int soc_index);
+  void ScheduleNextBrownout(int link_slot);
+  void InjectBrownout(int link_slot);
+  void ScheduleNextFlakyHeartbeat(int soc_index);
+  void InjectFlakyHeartbeat(int soc_index);
+  void ScheduleNextZombie(int soc_index);
+  void InjectZombie(int soc_index);
+  // Apply + record one gray event; shared by the seeded chains and Plant*.
+  void ApplySlowSoc(int soc_index, Duration duration, double factor);
+  void ApplyBrownout(int link_slot, Duration duration, double factor);
+  void ApplyFlakyHeartbeat(int soc_index, Duration duration, double loss_prob);
+  void ApplyZombie(int soc_index, Duration duration);
   void CompleteSocRepair(int soc_index);
   // Returns false when `wait` overshoots the horizon (chain ends).
   bool ScheduleWithin(Duration wait, Simulator::Callback cb);

@@ -14,6 +14,9 @@ ChaosRunner::ChaosRunner(Simulator* sim, SocCluster* cluster,
       monitor_(sim, cluster, config.health) {
   SOC_CHECK(sim_ != nullptr);
   SOC_CHECK(cluster_ != nullptr);
+  if (config_.enable_gray) {
+    gray_ = std::make_unique<GrayFailureManager>(sim, cluster, config_.gray);
+  }
   usable_gauge_ = sim_->metrics().GetGauge("chaos.usable_socs");
 }
 
@@ -38,9 +41,26 @@ void ChaosRunner::Start() {
     monitor_.set_on_soc_up(
         [this](int soc_index) { orchestrator_->OnSocRecovered(soc_index); });
   }
+  if (gray_ != nullptr) {
+    // Quarantine drains like a failure verdict (the SoC is still usable,
+    // so the orchestrator can migrate replicas instead of rebuilding);
+    // reinstatement rejoins like a recovery. Escalation power-cycles the
+    // board inside the manager — the availability tap records the dip, and
+    // the monitor's down/up verdicts drive the orchestrator as usual.
+    if (orchestrator_ != nullptr) {
+      gray_->set_on_quarantine(
+          [this](int soc_index) { orchestrator_->OnSocFailure(soc_index); });
+      gray_->set_on_reinstate(
+          [this](int soc_index) { orchestrator_->OnSocRecovered(soc_index); });
+    }
+    gray_->set_on_escalate([this](int) { UpdateAvailability(); });
+  }
   UpdateAvailability();
   injector_.Start(config_.horizon);
   monitor_.Start();
+  if (gray_ != nullptr) {
+    gray_->Start();
+  }
 }
 
 void ChaosRunner::UpdateAvailability() {
@@ -64,6 +84,12 @@ ChaosReport ChaosRunner::Report() {
     report.replicas_lost = orchestrator_->replicas_lost();
     report.replicas_recovered = orchestrator_->replicas_recovered();
     report.replicas_pending = orchestrator_->replicas_pending();
+  }
+  if (gray_ != nullptr) {
+    report.gray_suspects = gray_->suspects_total();
+    report.gray_quarantines = gray_->quarantines_total();
+    report.gray_reinstated = gray_->reinstated_total();
+    report.gray_escalated = gray_->escalated_total();
   }
   return report;
 }

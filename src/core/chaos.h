@@ -16,9 +16,12 @@
 #ifndef SRC_CORE_CHAOS_H_
 #define SRC_CORE_CHAOS_H_
 
+#include <memory>
+
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/fault.h"
+#include "src/core/graydetect.h"
 #include "src/core/health.h"
 #include "src/core/orchestrator.h"
 #include "src/sim/simulator.h"
@@ -34,6 +37,10 @@ struct ChaosConfig {
   // Power repaired SoCs back on automatically (boot latency applies). When
   // false, repaired SoCs sit in kOff until the caller re-admits them.
   bool reboot_on_repair = true;
+  // Gray-failure response layer (suspicion scoring + quarantine). Off by
+  // default: heartbeat-only runs stay bit-identical with earlier builds.
+  bool enable_gray = false;
+  GrayFailureConfig gray;
 };
 
 // Availability and recovery metrics for one chaos run.
@@ -51,6 +58,11 @@ struct ChaosReport {
   int64_t replicas_lost = 0;
   int64_t replicas_recovered = 0;
   int64_t replicas_pending = 0;
+  // Gray-failure layer totals (all zero when the layer is disabled).
+  int64_t gray_suspects = 0;
+  int64_t gray_quarantines = 0;
+  int64_t gray_reinstated = 0;
+  int64_t gray_escalated = 0;
 };
 
 class ChaosRunner {
@@ -70,6 +82,8 @@ class ChaosRunner {
 
   FaultInjector& injector() { return injector_; }
   HealthMonitor& monitor() { return monitor_; }
+  // Null unless `enable_gray`.
+  GrayFailureManager* gray() { return gray_.get(); }
 
  private:
   void UpdateAvailability();
@@ -80,6 +94,7 @@ class ChaosRunner {
   ChaosConfig config_;
   FaultInjector injector_;
   HealthMonitor monitor_;
+  std::unique_ptr<GrayFailureManager> gray_;
   TimeWeightedStat availability_;
   Gauge* usable_gauge_;
 };

@@ -6,12 +6,33 @@
 // a SoC down after `miss_threshold` consecutive missed beats, and marks it
 // up again on the first healthy beat after an outage (repair + reboot).
 //
+// Two detector modes:
+//
+//   * kFixedMiss (default) — the classic fixed threshold: down after
+//     `miss_threshold` consecutive missed beats. Cheap, predictable, but a
+//     flaky management path (beats lost in flight while the SoC is fine)
+//     triggers false verdicts.
+//   * kPhiAccrual — a phi-accrual detector (Hayashibara et al.): the
+//     monitor learns each SoC's heartbeat inter-arrival distribution and,
+//     when a beat is missed, computes phi = -log10(P(a beat arrives this
+//     late)) under a normal fit. Down fires when phi >= phi_threshold.
+//     A SoC with lossy-but-alive heartbeats widens its own distribution,
+//     so the verdict adapts instead of tripping at a fixed miss count.
+//
+// Flaky heartbeats: each beat from a SoC with heartbeat_loss_prob > 0 is
+// lost with that probability (seeded draw, deterministic). Lost beats look
+// exactly like a dead SoC to the detector — that is the gray failure.
+//
 // Wire on_soc_down to Orchestrator::OnSocFailure and on_soc_up to
 // Orchestrator::OnSocRecovered to close the control loop with realistic
 // detection latency (ChaosRunner does exactly this).
 //
 // SoCs that have never produced a healthy beat are not monitored — a
-// cluster booting for the first time is not 60 failures.
+// cluster booting for the first time is not 60 failures. They are,
+// however, *surfaced*: the health.never_healthy gauge counts SoCs that
+// are powered (booting or on) but have never beaten, and an optional
+// boot_timeout fires the down verdict for a SoC stuck in that state, so
+// never-healthy boards are not silently invisible to the control loop.
 
 #ifndef SRC_CORE_HEALTH_H_
 #define SRC_CORE_HEALTH_H_
@@ -20,18 +41,42 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/sketch.h"
 #include "src/sim/simulator.h"
 
 namespace soccluster {
 
+enum class DetectorMode {
+  kFixedMiss = 0,  // Down after miss_threshold consecutive missed beats.
+  kPhiAccrual,     // Down when accrued suspicion phi >= phi_threshold.
+};
+
 struct HealthConfig {
   Duration heartbeat_interval = Duration::Seconds(10);
-  // Consecutive missed beats before a SoC is declared down. Detection
-  // latency is therefore in ((miss_threshold - 1) x interval,
+  // Consecutive missed beats before a SoC is declared down (kFixedMiss).
+  // Detection latency is therefore in ((miss_threshold - 1) x interval,
   // miss_threshold x interval] after the last healthy beat — never zero.
   int miss_threshold = 3;
+
+  DetectorMode mode = DetectorMode::kFixedMiss;
+  // kPhiAccrual: fire when phi >= phi_threshold. phi = 1 means a 10%
+  // chance the beat is merely late; 8 means 1e-8 (Akka's default).
+  double phi_threshold = 8.0;
+  // kPhiAccrual: minimum observed inter-arrivals before phi is trusted;
+  // below this the fixed miss_threshold acts as the cold-start backstop.
+  int phi_min_samples = 3;
+
+  // Boot-timeout verdict: a SoC powered (booting or on) for this long
+  // without a first healthy beat gets the down verdict. Zero disables.
+  Duration boot_timeout = Duration::Zero();
+
+  // Seed for the heartbeat-loss draws (flaky-heartbeat gray faults). The
+  // stream is only consumed for SoCs with heartbeat_loss_prob > 0, so
+  // runs without flaky faults are bit-identical across seeds.
+  uint64_t seed = 42;
 };
 
 class HealthMonitor {
@@ -52,6 +97,13 @@ class HealthMonitor {
   bool IsMarkedDown(int soc_index) const;
   int64_t down_events() const { return down_events_; }
   int64_t up_events() const { return up_events_; }
+  // Down verdicts issued by the boot-timeout rule (subset of down_events).
+  int64_t boot_timeouts() const { return boot_timeouts_; }
+  // SoCs currently powered but never yet healthy (mirrors the gauge).
+  int64_t never_healthy() const { return never_healthy_; }
+  // Current accrued suspicion for one SoC (kPhiAccrual; 0 when healthy).
+  double Phi(int soc_index) const;
+
   // Last healthy beat -> down verdict, per down event.
   const RunningStat& detection_latency_ms() const {
     return detection_latency_ms_;
@@ -59,6 +111,14 @@ class HealthMonitor {
   // Down verdict -> healthy again, per recovered outage: the observed MTTR.
   const RunningStat& observed_outage_hours() const {
     return observed_outage_hours_;
+  }
+  // Same two distributions as mergeable quantile sketches (p50/p99 for
+  // bench reports; RunningStat only carries means).
+  const QuantileSketch& detection_latency_sketch() const {
+    return detection_latency_sketch_;
+  }
+  const QuantileSketch& outage_hours_sketch() const {
+    return outage_hours_sketch_;
   }
 
  private:
@@ -68,25 +128,40 @@ class HealthMonitor {
     int misses = 0;
     SimTime last_ok;
     SimTime down_at;
+    // Never-healthy tracking: when the SoC was first seen powered without
+    // ever having beaten; valid iff powered_seen.
+    bool powered_seen = false;
+    SimTime powered_at;
+    // Learned heartbeat inter-arrival distribution (kPhiAccrual).
+    RunningStat interarrival_s;
   };
 
   void Poll();
+  void MarkDown(SocHealth& h, int soc_index, SimTime now);
+  double PhiFor(const SocHealth& h, SimTime now) const;
 
   Simulator* sim_;
   SocCluster* cluster_;
   HealthConfig config_;
   std::vector<SocHealth> health_;
   std::unique_ptr<PeriodicTask> poller_;
+  Rng rng_;
   SocCallback on_soc_down_;
   SocCallback on_soc_up_;
   int64_t down_events_ = 0;
   int64_t up_events_ = 0;
+  int64_t boot_timeouts_ = 0;
+  int64_t never_healthy_ = 0;
   RunningStat detection_latency_ms_;
   RunningStat observed_outage_hours_;
+  QuantileSketch detection_latency_sketch_;
+  QuantileSketch outage_hours_sketch_;
   // Registry instruments ("health.*").
   Counter* down_metric_;
   Counter* up_metric_;
   Gauge* marked_down_gauge_;
+  Gauge* never_healthy_gauge_;
+  Counter* boot_timeout_metric_;
   HistogramMetric* detection_metric_;
 };
 

@@ -81,6 +81,8 @@ void SocModel::Fail() {
   codec_sessions_ = 0;
   codec_pixel_rate_ = 0.0;
   throttle_factor_ = 1.0;
+  zombie_ = false;
+  heartbeat_loss_prob_ = 0.0;
   ++fail_count_;
   Recompute();
 }
@@ -89,6 +91,12 @@ void SocModel::SetThrottleFactor(double factor) {
   SOC_CHECK_GT(factor, 0.0);
   SOC_CHECK_LE(factor, 1.0);
   throttle_factor_ = factor;
+}
+
+void SocModel::SetHeartbeatLossProb(double prob) {
+  SOC_CHECK_GE(prob, 0.0);
+  SOC_CHECK_LE(prob, 1.0);
+  heartbeat_loss_prob_ = prob;
 }
 
 void SocModel::Repair() {
@@ -221,6 +229,9 @@ void SocModel::DigestState(StateDigest& digest) const {
   digest.Mix(codec_pixel_rate_);
   digest.Mix(fail_count_);
   digest.Mix(throttle_factor_);
+  digest.Mix(zombie_);
+  digest.Mix(heartbeat_loss_prob_);
+  digest.Mix(quarantined_);
 }
 
 }  // namespace soccluster

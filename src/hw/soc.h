@@ -61,6 +61,24 @@ class SocModel {
   void SetThrottleFactor(double factor);
   double throttle_factor() const { return throttle_factor_; }
 
+  // Gray-failure states: the SoC keeps reporting kOn (heartbeats look
+  // healthy) while misbehaving on the request path. Fail() clears all of
+  // them — a power-cycle resets the misbehaving software stack.
+  //
+  // Zombie: heartbeats succeed but requests dispatched to this SoC fail.
+  void SetZombie(bool zombie) { zombie_ = zombie; }
+  bool zombie() const { return zombie_; }
+  // Probability in [0, 1] that any single heartbeat from this SoC is lost
+  // in flight (flaky management path). HealthMonitor draws against it.
+  void SetHeartbeatLossProb(double prob);
+  double heartbeat_loss_prob() const { return heartbeat_loss_prob_; }
+
+  // Quarantine is control-plane state owned by GrayFailureManager: a
+  // quarantined SoC stays kOn (in-flight work finishes, canary probes run)
+  // but SocCapacityView::IsPlaceable excludes it from new placements.
+  void SetQuarantined(bool quarantined) { quarantined_ = quarantined; }
+  bool quarantined() const { return quarantined_; }
+
   // Component utilization, each in [0, 1]. Fails if the SoC is not usable
   // or the new value is out of range / over capacity.
   Status SetCpuUtil(double util);
@@ -106,6 +124,9 @@ class SocModel {
   double codec_pixel_rate_ = 0.0;
   int64_t fail_count_ = 0;
   double throttle_factor_ = 1.0;
+  bool zombie_ = false;
+  double heartbeat_loss_prob_ = 0.0;
+  bool quarantined_ = false;
   EventHandle boot_event_;
   EnergyMeter meter_;
 };

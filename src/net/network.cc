@@ -225,6 +225,25 @@ bool Network::LinkIsUp(LinkId link) const {
   return links_[static_cast<size_t>(link)].up;
 }
 
+void Network::SetLinkDegradation(LinkId link, double factor) {
+  SOC_CHECK_GE(link, 0);
+  SOC_CHECK_LT(link, num_links());
+  SOC_CHECK_GT(factor, 0.0);
+  SOC_CHECK_LE(factor, 1.0);
+  LinkState& state = links_[static_cast<size_t>(link)];
+  if (state.capacity_factor == factor) {
+    return;
+  }
+  state.capacity_factor = factor;
+  Reallocate();
+}
+
+double Network::LinkCapacityFactor(LinkId link) const {
+  SOC_CHECK_GE(link, 0);
+  SOC_CHECK_LT(link, num_links());
+  return links_[static_cast<size_t>(link)].capacity_factor;
+}
+
 DataRate Network::LinkOfferedRate(LinkId link) const {
   SOC_CHECK_GE(link, 0);
   SOC_CHECK_LT(link, num_links());
@@ -243,11 +262,12 @@ DataRate Network::LinkCapacity(LinkId link) const {
 }
 
 double Network::LinkUtilization(LinkId link) const {
-  const DataRate capacity = LinkCapacity(link);
-  if (capacity.bps() <= 0.0 || !links_[static_cast<size_t>(link)].up) {
+  const LinkState& state = links_[static_cast<size_t>(link)];
+  const double effective_bps = state.capacity.bps() * state.capacity_factor;
+  if (effective_bps <= 0.0 || !state.up) {
     return 0.0;
   }
-  return LinkOfferedRate(link) / capacity;
+  return LinkOfferedRate(link).bps() / effective_bps;
 }
 
 double Network::LinkMeanUtilization(LinkId link) {
@@ -282,8 +302,8 @@ void Network::Reallocate() {
   for (size_t l = 0; l < links_.size(); ++l) {
     available[l] =
         links_[l].up
-            ? std::max(0.0,
-                       links_[l].capacity.bps() - links_[l].constant_load.bps())
+            ? std::max(0.0, links_[l].capacity.bps() * links_[l].capacity_factor -
+                                links_[l].constant_load.bps())
             : 0.0;
     unfrozen_count[l] = static_cast<int>(links_[l].active_flows.size());
   }

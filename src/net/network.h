@@ -84,6 +84,14 @@ class Network {
   void SetLinkUp(LinkId link, bool up);
   bool LinkIsUp(LinkId link) const;
 
+  // Gray degradation: scales one directed link's usable capacity by
+  // `factor` in (0, 1] without taking it down (brownout — a renegotiated
+  // PHY rate or an overheating switch port). Flows re-share the reduced
+  // capacity immediately; 1.0 restores full rate. Orthogonal to up/down:
+  // a degraded link that flaps down and back up stays degraded.
+  void SetLinkDegradation(LinkId link, double factor);
+  double LinkCapacityFactor(LinkId link) const;
+
   // --- Introspection ---
   // Instantaneous offered rate on a link (flows + constant loads).
   DataRate LinkOfferedRate(LinkId link) const;
@@ -107,6 +115,8 @@ class Network {
     bool up = true;
     std::vector<FlowId> active_flows;
     TimeWeightedStat utilization;
+    // Usable fraction of `capacity` in (0, 1]; < 1.0 models brownout.
+    double capacity_factor = 1.0;
   };
   struct FlowState {
     std::vector<LinkId> path;

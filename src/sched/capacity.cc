@@ -22,7 +22,10 @@ int SocCapacityView::num_socs() const { return cluster_->num_socs(); }
 bool SocCapacityView::IsPlaceable(int soc_index) const {
   SOC_DCHECK_GE(soc_index, 0);
   SOC_DCHECK_LT(soc_index, num_socs());
-  return cluster_->soc(soc_index).IsUsable();
+  // Quarantined SoCs stay usable (in-flight work drains, canary probes
+  // run) but accept no new placements anywhere in the stack.
+  const SocModel& soc = cluster_->soc(soc_index);
+  return soc.IsUsable() && !soc.quarantined();
 }
 
 double SocCapacityView::MemoryCapacityGb(int soc_index) const {

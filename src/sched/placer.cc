@@ -90,6 +90,9 @@ double Placer::Load(int soc_index) const {
   if (w.slot_weight != 0.0) {
     load += view_->SlotsUsed(soc_index) * w.slot_weight;
   }
+  if (penalty_) {
+    load += penalty_(soc_index);
+  }
   return load;
 }
 

@@ -67,6 +67,10 @@ class Placer {
   // Per-candidate demand, for services whose demand depends on the
   // candidate's spec (e.g. per-generation CPU cost of a transcode).
   using DemandFn = std::function<PlacementDemand(int soc_index)>;
+  // Extra load-model units charged to a candidate on top of its weighted
+  // occupancy (gray-failure suspicion penalties: suspect SoCs look busier
+  // than they are, so load steers away without a hard exclusion).
+  using PenaltyFn = std::function<double(int soc_index)>;
   // Optional extra feasibility predicate (service-specific constraints the
   // capacity view cannot express, e.g. per-video hw-session limits).
   using Filter = std::function<bool(int soc_index)>;
@@ -86,8 +90,11 @@ class Placer {
                const PlanOverlay* overlay = nullptr,
                RequestContext* ctx = nullptr);
 
-  // LoadModel-weighted occupancy of one SoC.
+  // LoadModel-weighted occupancy of one SoC (plus any penalty).
   double Load(int soc_index) const;
+
+  // Installs (or clears, with nullptr) the per-SoC load penalty.
+  void set_penalty(PenaltyFn penalty) { penalty_ = std::move(penalty); }
 
   // Orders `candidates` (SoC indices) by descending Load() — the order a
   // preemptor should visit hosts to relieve the hottest first. Stable:
@@ -113,6 +120,7 @@ class Placer {
   Simulator* sim_;
   SocCapacityView* view_;
   Options options_;
+  PenaltyFn penalty_;
   Rng rng_;
   Counter* placements_metric_;
   Counter* rejections_metric_;

@@ -269,6 +269,7 @@ void SocServingFleet::TryDispatch() {
     ++in_flight_;
     const int attempt = ++request->attempts;
     request->active_attempt = attempt;
+    request->attempt_start = sim_->Now();
     // The request's inference phase, in two views: the async child follows
     // the request, the track span shows the SoC busy.
     const SpanId infer_span = tracer.BeginAsyncSpan(
@@ -338,6 +339,23 @@ void SocServingFleet::HedgeCheck(int soc_index, RequestPtr request,
   Requeue(std::move(request));
 }
 
+void SocServingFleet::RecordCompletion(int soc_index,
+                                       const RequestPtr& request) {
+  const Duration latency = sim_->Now() - request->enqueue;
+  const double latency_ms = latency.ToMillis();
+  latencies_.Add(latency_ms);
+  latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
+  latency_metric_->Observe(latency_ms);
+  slos_[static_cast<size_t>(request->priority)]->RecordLatency(sim_->Now(),
+                                                               latency);
+  if (attempt_observer_) {
+    // Evidence is the attempt's own latency (dispatch to here), not the
+    // request's: central queueing delay is fleet-wide, and charging it to
+    // whichever SoC drew the request would smear suspicion everywhere.
+    attempt_observer_(soc_index, sim_->Now() - request->attempt_start, true);
+  }
+}
+
 void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
   request->done = true;
   ++completed_;
@@ -349,12 +367,6 @@ void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
   if (breaker_ != nullptr) {
     breaker_->RecordSuccess();
   }
-  const double latency_ms = (sim_->Now() - request->enqueue).ToMillis();
-  latencies_.Add(latency_ms);
-  latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
-  latency_metric_->Observe(latency_ms);
-  slos_[static_cast<size_t>(request->priority)]->RecordLatency(
-      sim_->Now(), sim_->Now() - request->enqueue);
   TraceRequestComplete(&sim_->tracer(), &request->ctx, sim_->Now(),
                        SocTrack(soc_index));
   Tracer& tracer = sim_->tracer();
@@ -366,14 +378,22 @@ void SocServingFleet::Complete(int soc_index, const RequestPtr& request) {
     const SpanId request_span = request->request_span;
     Result<FlowId> flow = cluster_->network().StartFlow(
         cluster_->soc_node(soc_index), cluster_->external_node(),
-        response_size_, DataRate::Zero(), [this, net_span, request_span] {
+        response_size_, DataRate::Zero(),
+        [this, soc_index, request, net_span, request_span] {
           Tracer& t = sim_->tracer();
           t.EndSpan(net_span);
           t.EndSpan(request_span);
+          if (latency_includes_response_) {
+            RecordCompletion(soc_index, request);
+          }
         });
     SOC_CHECK(flow.ok()) << flow.status().ToString();
+    if (!latency_includes_response_) {
+      RecordCompletion(soc_index, request);
+    }
   } else {
     tracer.EndSpan(request->request_span);
+    RecordCompletion(soc_index, request);
   }
 }
 
@@ -388,6 +408,9 @@ void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
   // The attempt succeeded only if the SoC never failed while it ran; a
   // fail/repair/reboot cycle leaves IsUsable() true but bumps fail_count().
   const bool alive = soc.fail_count() == fail_epoch && soc.IsUsable();
+  // A zombie SoC heartbeats and holds its utilization, but the request
+  // comes back broken — the attempt failed even though the SoC is "up".
+  const bool zombie_attempt = alive && soc.zombie();
   if (alive) {
     Status status;
     switch (device_) {
@@ -413,7 +436,12 @@ void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
     TryDispatch();
     return;
   }
-  if (alive) {
+  if (zombie_attempt && attempt_observer_) {
+    // Zombie attempts are the error evidence the gray detector keys on: a
+    // dead SoC stops heartbeating, a zombie only stops serving.
+    attempt_observer_(soc_index, Duration::Zero(), /*ok=*/false);
+  }
+  if (alive && !zombie_attempt) {
     Complete(soc_index, request);
   } else if (backoff_ != nullptr && backoff_->ShouldRetry(request->attempts) &&
              (budget_ == nullptr || budget_->TryWithdraw())) {
@@ -546,6 +574,7 @@ void SocServingFleet::DigestState(StateDigest& digest) const {
     digest.Mix(sample);
   }
   digest.Mix(deadline_.nanos());
+  digest.Mix(latency_includes_response_);
   digest.Mix(dispatch_limit_);
   digest.Mix(in_flight_);
   digest.Mix(hedge_delay_.nanos());

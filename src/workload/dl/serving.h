@@ -99,6 +99,24 @@ class SocServingFleet {
   // latency stats still close at inference end, so enabling the response
   // path changes neither throughput nor the reported latencies.
   void SetResponseSize(DataSize size) { response_size_ = size; }
+  // Moves latency accounting (stats, SLOs, attempt evidence) from
+  // inference end to response delivery, so a browned-out uplink shows up
+  // in the recorded tail. No effect while response_size is zero. Off by
+  // default — existing benches keep their inference-end semantics.
+  void SetLatencyIncludesResponse(bool include) {
+    latency_includes_response_ = include;
+  }
+
+  // Per-attempt evidence tap for gray-failure detection: invoked with the
+  // serving SoC, the attempt's service latency, and whether the attempt
+  // succeeded. Workload code reports evidence outward and never aggregates
+  // per-SoC stats itself — DegradationScorer (src/core/graydetect.h) owns
+  // the scoring; wire this to it (ChaosRunner and the gray bench do).
+  using AttemptObserver = std::function<void(int soc_index, Duration latency,
+                                             bool ok)>;
+  void SetAttemptObserver(AttemptObserver observer) {
+    attempt_observer_ = std::move(observer);
+  }
 
   // The fleet's admission queue. Queue policy — length cap, CoDel sojourn
   // shedding, brownout admission floor — is set here (the qos layer owns
@@ -146,6 +164,10 @@ class SocServingFleet {
   // Engine service rate of one SoC (samples/s), unthrottled.
   double PerSocThroughput() const;
 
+  // Dispatch placer — exposed so callers can install a load penalty
+  // (e.g. GrayFailureManager::PlacementPenalty steering work off suspects).
+  Placer& placer() { return placer_; }
+
   // Per-class latency SLO tracker ("dl.serving/<class>", registered at
   // construction): a completion is good iff latency <= the spec threshold;
   // sheds, expiries, and abandonments are bad. Use to re-spec thresholds
@@ -159,6 +181,7 @@ class SocServingFleet {
  private:
   struct RequestState {
     SimTime enqueue;
+    SimTime attempt_start;  // Dispatch time of the active attempt.
     Priority priority = Priority::kStandard;
     Duration deadline;  // Snapshot of the fleet deadline at Submit.
     uint64_t request_id = 0;
@@ -188,6 +211,9 @@ class SocServingFleet {
   // Re-queues a not-yet-done request (retry or hedge rescue).
   void Requeue(RequestPtr request);
   void Complete(int soc_index, const RequestPtr& request);
+  // Latency accounting for a completed request (stats, SLO, evidence);
+  // runs at inference end or response delivery per the latency mode.
+  void RecordCompletion(int soc_index, const RequestPtr& request);
   // Gives up on the request (no retry possible).
   void Abandon(const RequestPtr& request);
   // Display track hosting SoC `i`'s synchronous spans.
@@ -217,6 +243,8 @@ class SocServingFleet {
   std::array<SampleStats, kNumPriorities> latencies_of_;
   SampleStats latencies_;
   DataSize response_size_;  // Zero: no response transfer.
+  bool latency_includes_response_ = false;
+  AttemptObserver attempt_observer_;  // Null: no evidence tap.
   Duration deadline_;       // Zero: none.
   int dispatch_limit_ = 0;  // Zero: unbounded.
   int in_flight_ = 0;       // Requests currently holding an engine slot.

@@ -60,6 +60,7 @@ ServerlessPlatform::ServerlessPlatform(Simulator* sim, SocCluster* cluster,
   rejected_metric_ = metrics.GetCounter("serverless.rejected");
   deferred_metric_ = metrics.GetCounter("serverless.deferred");
   qos_shed_metric_ = metrics.GetCounter("serverless.qos_shed");
+  failed_metric_ = metrics.GetCounter("serverless.failed");
   latency_metric_ = metrics.GetHistogram("serverless.latency_ms");
   // Invocation latency is per-request on the Zipf workloads — sketch-backed
   // keeps the registry fixed-memory (exact samples stay in stats_).
@@ -293,36 +294,55 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
     const Status status = soc.AddCpuUtil(grant);
     SOC_CHECK(status.ok()) << status.ToString();
   }
-  const Duration exec = Duration::SecondsF(rng_.LogNormalMedian(
-      spec.exec_median.ToSeconds(), spec.exec_sigma));
+  // Thermally throttled SoCs execute functions proportionally slower —
+  // this is the fail-slow signal the gray-failure scorer feeds on.
+  const Duration exec = Duration::SecondsF(
+      rng_.LogNormalMedian(spec.exec_median.ToSeconds(), spec.exec_sigma) /
+      soc.throttle_factor());
   const int64_t id = instance->id;
   // fail_count() at grant time: a fail/repair/reboot cycle before the
   // execution ends leaves IsUsable() true but wiped the CPU charge.
   const int64_t fail_epoch = soc.fail_count();
-  sim_->ScheduleAfter(exec, [this, id, grant, fail_epoch, enqueue, trace,
+  sim_->ScheduleAfter(exec, [this, id, grant, fail_epoch, exec, enqueue, trace,
                              exec_span, cb = std::move(on_done)]() mutable {
     sim_->tracer().EndSpan(exec_span);
+    bool ok = false;
     const auto it = instances_.find(id);
     if (it != instances_.end()) {
       SocModel& host = cluster_->soc(it->second.soc_index);
-      if (host.IsUsable() && host.fail_count() == fail_epoch && grant > 0.0) {
+      const bool alive = host.IsUsable() && host.fail_count() == fail_epoch;
+      if (alive && grant > 0.0) {
         const Status status = host.AddCpuUtil(-grant);
         SOC_CHECK(status.ok()) << status.ToString();
       }
+      // Zombie hosts keep heartbeating but drop the work on the floor: the
+      // invocation fails even though the SoC looks healthy to the monitor.
+      ok = alive && !host.zombie();
+      if (attempt_observer_) {
+        attempt_observer_(it->second.soc_index, exec, ok);
+      }
     }
-    FinishInvocation(id, enqueue, trace, std::move(cb));
+    FinishInvocation(id, enqueue, trace, ok, std::move(cb));
   });
 }
 
 void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
-                                          InvocationTrace trace,
+                                          InvocationTrace trace, bool ok,
                                           Callback on_done) {
-  const double latency_ms = (sim_->Now() - enqueue).ToMillis();
-  stats_.latency_ms.Add(latency_ms);
-  latency_metric_->Observe(latency_ms);
-  slos_[static_cast<size_t>(trace.ctx.priority)]->RecordLatency(
-      sim_->Now(), sim_->Now() - enqueue);
-  TraceRequestComplete(&sim_->tracer(), &trace.ctx, sim_->Now());
+  if (ok) {
+    const double latency_ms = (sim_->Now() - enqueue).ToMillis();
+    stats_.latency_ms.Add(latency_ms);
+    latency_metric_->Observe(latency_ms);
+    slos_[static_cast<size_t>(trace.ctx.priority)]->RecordLatency(
+        sim_->Now(), sim_->Now() - enqueue);
+    TraceRequestComplete(&sim_->tracer(), &trace.ctx, sim_->Now());
+  } else {
+    ++stats_.failed;
+    failed_metric_->Increment();
+    sim_->tracer().AddArg(trace.span, "failed", "true");
+    TraceRequestDrop(&sim_->tracer(), &trace.ctx, sim_->Now());
+    slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
+  }
   sim_->tracer().EndSpan(trace.span);
   const auto it = instances_.find(instance_id);
   if (it != instances_.end()) {

@@ -65,6 +65,7 @@ struct InvocationStats {
   int64_t rejected = 0;  // No SoC had memory for a new instance.
   int64_t deferred = 0;  // Cold starts parked during a brownout.
   int64_t qos_shed = 0;  // Shed by floor/breaker/deferral-queue policy.
+  int64_t failed = 0;    // Host died or went zombie under the execution.
   SampleStats latency_ms;
 
   double ColdStartRate() const {
@@ -104,6 +105,14 @@ class ServerlessPlatform {
   // Fast-fails non-critical invocations while `breaker` is open. Null
   // (default) disables.
   void SetBreaker(CircuitBreaker* breaker) { breaker_ = breaker; }
+  // Per-execution evidence tap for gray-failure detection (host SoC, the
+  // execution's latency, success). Workload code reports evidence outward;
+  // DegradationScorer (src/core/graydetect.h) owns per-SoC aggregation.
+  using AttemptObserver = std::function<void(int soc_index, Duration latency,
+                                             bool ok)>;
+  void SetAttemptObserver(AttemptObserver observer) {
+    attempt_observer_ = std::move(observer);
+  }
   AdmissionQueue& admission() { return admission_; }
   const AdmissionQueue& admission() const { return admission_; }
   int deferred_pending() const { return admission_.size(); }
@@ -157,7 +166,7 @@ class ServerlessPlatform {
   void RunOn(Instance* instance, const FunctionSpec& spec, SimTime enqueue,
              InvocationTrace trace, Callback on_done);
   void FinishInvocation(int64_t instance_id, SimTime enqueue,
-                        InvocationTrace trace, Callback on_done);
+                        InvocationTrace trace, bool ok, Callback on_done);
   void Evict(int64_t instance_id);
   void ArmEviction(Instance* instance);
   // Provisions a cold instance for the invocation (the pre-deferral cold
@@ -180,6 +189,7 @@ class ServerlessPlatform {
   Placer placer_;
   AdmissionQueue admission_;
   CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
+  AttemptObserver attempt_observer_;   // Null: no evidence tap.
   Priority admit_floor_ = Priority::kBestEffort;
   bool defer_cold_starts_ = false;
   std::map<std::string, FunctionSpec> functions_;
@@ -194,6 +204,7 @@ class ServerlessPlatform {
   Counter* rejected_metric_;
   Counter* deferred_metric_;
   Counter* qos_shed_metric_;
+  Counter* failed_metric_;
   HistogramMetric* latency_metric_;
 };
 

@@ -166,5 +166,108 @@ TEST_F(FaultTaxonomyTest, HistoryRecordsEveryEventInOrder) {
   }
 }
 
+TEST_F(FaultTaxonomyTest, SlowSocExcursionsThrottleDeepAndRestore) {
+  BootAll();
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 365 * 100);
+  config.slow_soc_mtbf = Duration::Hours(24 * 2);
+  config.slow_soc_duration = Duration::Hours(1);
+  config.slow_soc_factor = 0.3;
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 10));
+  sim_.Run();
+  EXPECT_GT(injector.faults_of(FaultKind::kSlowSoc), 0);
+  EXPECT_EQ(injector.gray_faults(), injector.faults_of(FaultKind::kSlowSoc));
+  EXPECT_EQ(injector.failures_injected(), 0);  // Fail-slow, not fail-stop.
+  for (int i = 0; i < cluster_.num_socs(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster_.soc(i).throttle_factor(), 1.0);
+    EXPECT_TRUE(cluster_.soc(i).IsUsable());
+  }
+}
+
+TEST_F(FaultTaxonomyTest, PlantSlowSocThrottlesForExactWindow) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.PlantSlowSoc(4, sim_.Now() + Duration::Minutes(1),
+                        Duration::Minutes(5), 0.25);
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(2)).ok());
+  EXPECT_DOUBLE_EQ(cluster_.soc(4).throttle_factor(), 0.25);
+  EXPECT_TRUE(cluster_.soc(4).IsUsable());  // Still beating.
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(5)).ok());
+  EXPECT_DOUBLE_EQ(cluster_.soc(4).throttle_factor(), 1.0);
+  EXPECT_EQ(injector.faults_of(FaultKind::kSlowSoc), 1);
+}
+
+TEST_F(FaultTaxonomyTest, PlantLinkBrownoutDegradesBothDirectionsAndRestores) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.PlantLinkBrownout(0, sim_.Now() + Duration::Seconds(10),
+                             Duration::Minutes(2), 0.25);
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(1)).ok());
+  Network& net = cluster_.network();
+  const LinkId out = cluster_.pcb_uplink_out(0);
+  EXPECT_NEAR(net.LinkCapacityFactor(out), 0.25, 1e-12);
+  EXPECT_NEAR(net.LinkCapacityFactor(out + 1), 0.25, 1e-12);
+  EXPECT_TRUE(net.LinkIsUp(out));  // Browned out, not down.
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(2)).ok());
+  EXPECT_NEAR(net.LinkCapacityFactor(out), 1.0, 1e-12);
+  EXPECT_NEAR(net.LinkCapacityFactor(out + 1), 1.0, 1e-12);
+  EXPECT_EQ(injector.faults_of(FaultKind::kLinkBrownout), 1);
+}
+
+TEST_F(FaultTaxonomyTest, PlantFlakyHeartbeatSetsLossAndExpires) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.PlantFlakyHeartbeat(7, sim_.Now() + Duration::Seconds(5),
+                               Duration::Minutes(1), 0.5);
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  EXPECT_DOUBLE_EQ(cluster_.soc(7).heartbeat_loss_prob(), 0.5);
+  EXPECT_TRUE(cluster_.soc(7).IsUsable());  // Data path unaffected.
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(1)).ok());
+  EXPECT_DOUBLE_EQ(cluster_.soc(7).heartbeat_loss_prob(), 0.0);
+  EXPECT_EQ(injector.faults_of(FaultKind::kFlakyHeartbeat), 1);
+}
+
+TEST_F(FaultTaxonomyTest, PlantZombieFailsRequestsNotHeartbeats) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.PlantZombie(9, sim_.Now() + Duration::Seconds(5),
+                       Duration::Minutes(1));
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(30)).ok());
+  EXPECT_TRUE(cluster_.soc(9).zombie());
+  EXPECT_TRUE(cluster_.soc(9).IsUsable());  // The gray part: beats fine.
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(1)).ok());
+  EXPECT_FALSE(cluster_.soc(9).zombie());
+  EXPECT_EQ(injector.faults_of(FaultKind::kZombie), 1);
+}
+
+TEST_F(FaultTaxonomyTest, PowerCycleClearsGrayState) {
+  BootAll();
+  FaultInjector injector(&sim_, &cluster_, FaultConfig{});
+  injector.PlantZombie(3, sim_.Now(), Duration::Zero());  // Until power-cycle.
+  injector.PlantFlakyHeartbeat(3, sim_.Now(), Duration::Zero(), 0.8);
+  ASSERT_TRUE(sim_.RunFor(Duration::Seconds(1)).ok());
+  ASSERT_TRUE(cluster_.soc(3).zombie());
+  cluster_.soc(3).Fail();
+  EXPECT_FALSE(cluster_.soc(3).zombie());
+  EXPECT_DOUBLE_EQ(cluster_.soc(3).heartbeat_loss_prob(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.soc(3).throttle_factor(), 1.0);
+}
+
+TEST_F(FaultTaxonomyTest, GrayChainsOnlyTargetEligibleSocs) {
+  // Nobody powered: every gray process draws events, none may land.
+  FaultConfig config;
+  config.mtbf_per_soc = Duration::Hours(24 * 365 * 100);
+  config.slow_soc_mtbf = Duration::Hours(12);
+  config.flaky_heartbeat_mtbf = Duration::Hours(12);
+  config.zombie_mtbf = Duration::Hours(12);
+  FaultInjector injector(&sim_, &cluster_, config);
+  injector.Start(Duration::Hours(24 * 30));
+  sim_.Run();
+  EXPECT_EQ(injector.faults_of(FaultKind::kSlowSoc), 0);
+  EXPECT_EQ(injector.faults_of(FaultKind::kFlakyHeartbeat), 0);
+  EXPECT_EQ(injector.faults_of(FaultKind::kZombie), 0);
+}
+
 }  // namespace
 }  // namespace soccluster

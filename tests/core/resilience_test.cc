@@ -186,5 +186,115 @@ TEST_F(ResilienceTest, ChaosRunnerClosesTheLoopWithoutOracle) {
   EXPECT_EQ(orchestrator.TotalReplicas(), 80);
 }
 
+TEST_F(ResilienceTest, PhiAccrualDetectsFasterThanFixedMiss) {
+  BootAll();
+  HealthConfig config;
+  config.heartbeat_interval = Duration::Seconds(10);
+  config.miss_threshold = 3;
+  config.mode = DetectorMode::kPhiAccrual;
+  config.phi_threshold = 8.0;
+  HealthMonitor monitor(&sim_, &cluster_, config);
+  SimTime detected_at;
+  int down_soc = -1;
+  monitor.set_on_soc_down([&](int soc_index) {
+    down_soc = soc_index;
+    detected_at = sim_.Now();
+  });
+  monitor.Start();
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(1)).ok());  // Learn the rhythm.
+
+  SimTime failed_at;
+  sim_.ScheduleAfter(Duration::MillisF(4321.0), [&] {
+    failed_at = sim_.Now();
+    cluster_.soc(7).Fail();
+  });
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(2)).ok());
+
+  ASSERT_EQ(down_soc, 7);
+  EXPECT_TRUE(monitor.IsMarkedDown(7));
+  // Constant 10 s beats learn a tight distribution (sigma floored at one
+  // tenth of the interval), so phi crosses 8 on the second missed poll:
+  // 20 s after the last healthy beat, one full interval sooner than the
+  // fixed-miss verdict at miss_threshold = 3.
+  EXPECT_DOUBLE_EQ(monitor.detection_latency_ms().mean(), 20000.0);
+  const Duration latency = detected_at - failed_at;
+  EXPECT_GT(latency.nanos(), Duration::Seconds(10).nanos());
+  EXPECT_LE(latency.nanos(), Duration::Seconds(20).nanos());
+}
+
+TEST_F(ResilienceTest, PhiAccrualFlapsLessOnFlakyHeartbeats) {
+  BootAll();
+  // Two monitors watch the same cluster with identical seeds: each draws
+  // its own (identical) heartbeat-loss stream, so both see the same lost
+  // beats and only the verdict rule differs.
+  HealthConfig fixed;
+  fixed.heartbeat_interval = Duration::Seconds(10);
+  fixed.miss_threshold = 3;
+  fixed.seed = 99;
+  HealthConfig phi = fixed;
+  phi.mode = DetectorMode::kPhiAccrual;
+  phi.phi_threshold = 8.0;
+  HealthMonitor fixed_monitor(&sim_, &cluster_, fixed);
+  HealthMonitor phi_monitor(&sim_, &cluster_, phi);
+  fixed_monitor.Start();
+  phi_monitor.Start();
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(2)).ok());  // Clean history.
+
+  cluster_.soc(5).SetHeartbeatLossProb(0.4);  // Lossy management path.
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(45)).ok());
+
+  // The fixed threshold keeps tripping on loss bursts; phi widens the
+  // learned inter-arrival distribution and stops flapping.
+  EXPECT_GT(fixed_monitor.down_events(), 1);
+  EXPECT_LT(phi_monitor.down_events(), fixed_monitor.down_events());
+  // The SoC itself never failed.
+  EXPECT_TRUE(cluster_.soc(5).IsUsable());
+}
+
+TEST_F(ResilienceTest, BootTimeoutSurfacesNeverHealthySoc) {
+  // SoC 5's flash hangs during boot: powered, never a first beat.
+  for (int i = 0; i < cluster_.num_socs(); ++i) {
+    cluster_.soc(i).PowerOn(
+        i == 5 ? Duration::Hours(10) : cluster_.chassis().soc_boot, nullptr);
+  }
+  HealthConfig config;
+  config.heartbeat_interval = Duration::Seconds(10);
+  config.boot_timeout = Duration::Minutes(2);
+  HealthMonitor monitor(&sim_, &cluster_, config);
+  int down_soc = -1;
+  monitor.set_on_soc_down([&](int soc_index) { down_soc = soc_index; });
+  monitor.Start();
+
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(1)).ok());
+  // Stuck in boot, not yet timed out: surfaced by the gauge, no verdict.
+  EXPECT_EQ(monitor.never_healthy(), 1);
+  EXPECT_DOUBLE_EQ(sim_.metrics().GetGauge("health.never_healthy")->value(),
+                   1.0);
+  EXPECT_FALSE(monitor.IsMarkedDown(5));
+
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(2)).ok());
+  EXPECT_EQ(monitor.boot_timeouts(), 1);
+  EXPECT_TRUE(monitor.IsMarkedDown(5));
+  EXPECT_EQ(down_soc, 5);
+  EXPECT_EQ(monitor.down_events(), 1);
+  // No heartbeat was ever seen, so no detection-latency sample exists.
+  EXPECT_EQ(monitor.detection_latency_ms().count(), 0);
+}
+
+TEST_F(ResilienceTest, BootTimeoutDisabledByDefaultAndPhiIdleWhenHealthy) {
+  BootAll();
+  HealthConfig config;
+  config.mode = DetectorMode::kPhiAccrual;
+  HealthMonitor monitor(&sim_, &cluster_, config);
+  monitor.Start();
+  ASSERT_TRUE(sim_.RunFor(Duration::Minutes(30)).ok());
+  EXPECT_EQ(monitor.down_events(), 0);
+  EXPECT_EQ(monitor.boot_timeouts(), 0);
+  EXPECT_EQ(monitor.never_healthy(), 0);
+  for (int i = 0; i < cluster_.num_socs(); ++i) {
+    EXPECT_EQ(monitor.Phi(i), 0.0) << "soc " << i;
+  }
+}
+
 }  // namespace
 }  // namespace soccluster

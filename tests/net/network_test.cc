@@ -200,6 +200,46 @@ TEST_F(NetworkTest, MeanUtilizationIsTimeWeighted) {
   EXPECT_NEAR(net.LinkMeanUtilization(ab), 0.5, 1e-6);
 }
 
+TEST_F(NetworkTest, LinkDegradationScalesCapacity) {
+  Network net(&sim_, rtt_);
+  const NetNodeId a = net.AddNode("a");
+  const NetNodeId b = net.AddNode("b");
+  const LinkId ab = net.AddBidirectionalLink(a, b, DataRate::Mbps(100.0));
+  net.SetLinkDegradation(ab, 0.25);
+  EXPECT_NEAR(net.LinkCapacityFactor(ab), 0.25, 1e-12);
+  // The reverse link is a separate LinkState: unaffected.
+  EXPECT_NEAR(net.LinkCapacityFactor(ab + 1), 1.0, 1e-12);
+  auto flow = net.StartFlow(a, b, DataSize::Megabytes(100.0),
+                            DataRate::Zero(), nullptr);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_NEAR(net.FlowRate(*flow)->ToMbps(), 25.0, 1e-6);
+  // Utilization is relative to the degraded capacity: the brownout link is
+  // saturated, not at 25%.
+  EXPECT_NEAR(net.LinkUtilization(ab), 1.0, 1e-9);
+  net.SetLinkDegradation(ab, 1.0);
+  EXPECT_NEAR(net.FlowRate(*flow)->ToMbps(), 100.0, 1e-6);
+}
+
+TEST_F(NetworkTest, DegradedLinkStretchesFlowCompletion) {
+  Network net(&sim_, rtt_);
+  const NetNodeId a = net.AddNode("a");
+  const NetNodeId b = net.AddNode("b");
+  const LinkId ab = net.AddBidirectionalLink(a, b, DataRate::Mbps(100.0));
+  net.SetLinkDegradation(ab, 0.25);
+  bool done = false;
+  SimTime end;
+  auto flow = net.StartFlow(a, b, DataSize::Megabytes(12.5),
+                            DataRate::Zero(), [&] {
+                              done = true;
+                              end = sim_.Now();
+                            });
+  ASSERT_TRUE(flow.ok());
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // 100 Mbit at 25 Mbps -> 4 s (vs. 1 s healthy).
+  EXPECT_NEAR((end - SimTime::Zero()).ToSeconds(), 4.0, 1e-6);
+}
+
 TEST_F(NetworkTest, TcpGoodputMatchesMeasuredEfficiency) {
   // §2.3: ~903 Mbps TCP and ~895 Mbps UDP over the 1GE fabric.
   EXPECT_NEAR(Network::TcpGoodput(DataRate::Gbps(1.0)).ToMbps(), 903.0, 0.1);

@@ -49,6 +49,17 @@ Registered as the `lint.repo` ctest. Rules:
                 configured via each service's admission() accessor, so the
                 brownout governor has a single choke point per service.
 
+  gray-evidence  Workload code must not aggregate raw per-SoC latency or
+                error statistics (per-SoC RunningStats/QuantileSketch, or
+                stats maps keyed by SoC id). Per-SoC request evidence is
+                owned by src/core/graydetect.h: services report each
+                attempt through their AttemptObserver and the
+                DegradationScorer does the windowing, fleet-median
+                comparison, and suspicion math. A service that forks its
+                own per-SoC aggregates feeds the quarantine loop nothing
+                and drifts from the one evidence stream the detector
+                reasons about. Fleet-wide and per-priority stats are fine.
+
   suppression    Every `lint:allow` marker must be well-formed and name a
                 rule that exists: a typo like `lint:allow(unit)` would
                 otherwise silently suppress nothing while looking like it
@@ -131,13 +142,36 @@ LAYERING_ALLOWLIST = {
 ADMISSION_DIRS = ("src/workload", "src/trace")
 ADMISSION_PATTERN = re.compile(r"\b(SetMaxQueue|max_queue_)\b")
 
+# Per-SoC evidence aggregation belongs to the gray-failure scorer. Flag
+# stats containers keyed by SoC id and stats objects whose names say
+# "per-SoC latency/error"; the sanctioned path is SetAttemptObserver ->
+# DegradationScorer::Report.
+GRAY_EVIDENCE_DIRS = ("src/workload",)
+GRAY_EVIDENCE_PATTERNS = [
+    (re.compile(r"\b(?:std::)?(?:unordered_)?map\s*<\s*int\s*,\s*"
+                r"(?:RunningStats|QuantileSketch)\b"),
+     "per-SoC stats map in workload code; report attempts through the "
+     "service's AttemptObserver and let src/core/graydetect.h's "
+     "DegradationScorer own the per-SoC evidence"),
+    (re.compile(r"\b(?:RunningStats|QuantileSketch)\b[^;\n(]*"
+                r"\b\w*(?:per_soc|by_soc|soc_)\w*(?:latenc|error|p9\d)\w*"),
+     "per-SoC latency/error aggregate in workload code; report attempts "
+     "through the service's AttemptObserver and let src/core/graydetect.h's "
+     "DegradationScorer own the per-SoC evidence"),
+    (re.compile(r"\b(?:RunningStats|QuantileSketch)\b[^;\n(]*"
+                r"\b\w*(?:latenc|error|p9\d)\w*(?:_per_soc|_by_soc)\w*"),
+     "per-SoC latency/error aggregate in workload code; report attempts "
+     "through the service's AttemptObserver and let src/core/graydetect.h's "
+     "DegradationScorer own the per-SoC evidence"),
+]
+
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 ALLOW_MARKER = re.compile(r"lint:allow")
 ALLOW_ANY = re.compile(r"//\s*lint:allow\(([^)]*)\)")
 
 KNOWN_RULES = frozenset({
     "determinism", "units", "guards", "include-cc", "stdio", "layering",
-    "admission",
+    "admission", "gray-evidence",
 })
 
 IGNORED_DIRS = {".git", "build", "third_party", ".github"}
@@ -271,6 +305,15 @@ class Linter:
                 "are owned by src/qos/admission.h — configure them through "
                 "the service's admission() accessor")
 
+    def lint_gray_evidence(self, path, raw_lines, code_lines):
+        if not path.startswith(GRAY_EVIDENCE_DIRS):
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            for pattern, reason in GRAY_EVIDENCE_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "gray-evidence"):
+                    self.report(path, lineno, "gray-evidence", reason)
+                    break
+
     def lint_suppressions(self, path, raw_lines):
         for lineno, raw in enumerate(raw_lines, 1):
             if not ALLOW_MARKER.search(raw):
@@ -315,6 +358,7 @@ class Linter:
                 self.lint_stdio(path, raw_lines, code_lines)
                 self.lint_layering(path, raw_lines, code_lines)
                 self.lint_admission(path, raw_lines, code_lines)
+                self.lint_gray_evidence(path, raw_lines, code_lines)
                 self.lint_include_cc(path, raw_lines, code_lines)
                 self.lint_suppressions(path, raw_lines)
         return self.findings

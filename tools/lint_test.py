@@ -149,6 +149,47 @@ class AdmissionRuleTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class GrayEvidenceRuleTest(unittest.TestCase):
+    def test_per_soc_stats_map_flagged(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/workload/dl/x.h",
+            "std::map<int, RunningStats> soc_latency_;\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[gray-evidence]", findings[0])
+        self.assertIn("DegradationScorer", findings[0])
+
+    def test_per_soc_named_aggregate_flagged(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/workload/video/x.h",
+            "RunningStats per_soc_latency_ms_;\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_sketch_by_soc_flagged(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/workload/x.h",
+            "std::vector<QuantileSketch> latency_by_soc_;\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_fleet_and_priority_stats_clean(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/workload/dl/x.h",
+            "RunningStats latencies_;\n"
+            "std::array<RunningStats, 4> latencies_of_;\n")
+        self.assertEqual(findings, [])
+
+    def test_outside_workload_ignored(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/core/graydetect.h",
+            "std::map<int, RunningStats> soc_latency_;\n")
+        self.assertEqual(findings, [])
+
+    def test_suppressed(self):
+        findings = run_rule(
+            "lint_gray_evidence", "src/workload/x.h",
+            "RunningStats per_soc_latency_;  // lint:allow(gray-evidence)\n")
+        self.assertEqual(findings, [])
+
+
 class SuppressionHygieneTest(unittest.TestCase):
     def test_unknown_rule_flagged(self):
         findings = run_rule("lint_suppressions", "src/sim/x.cc",
