@@ -1,11 +1,14 @@
 // Raw engine throughput: events/sec through the Simulator's schedule/fire
-// path, with no model code in the loop. Four patterns cover the queue's
+// path, with no model code in the loop. Six patterns cover the queue's
 // regimes: a self-rescheduling timer chain (queue depth 1), a wide
-// pre-scheduled fan-out (heap-dominated), a schedule/cancel mix (lazy
-// cancellation path), and the timer chain again under tie-break
-// perturbation to price the determinism-audit machinery. The headline
-// numbers land in BENCH_engine_throughput.json for run-over-run diffing
-// against bench/baselines/.
+// pre-scheduled fan-out (staging-dominated), a schedule/cancel mix (lazy
+// cancellation path), the timer chain again under tie-break perturbation
+// to price the determinism-audit machinery, a far-future spread that
+// lives mostly in the timing wheel's overflow heap (horizon crossings and
+// prefix drains), and a periodic-task fleet (heartbeat storm) exercising
+// the re-arm-in-place fast path. The headline numbers land in
+// BENCH_engine_throughput.json for run-over-run diffing against
+// bench/baselines/.
 //
 // Flags: --events=N (default 2000000), --digest-out=PATH (final engine
 // digest per pattern, as JSON), plus the shared --trace-out=/--metrics-out=
@@ -18,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -121,6 +125,53 @@ PatternResult ScheduleCancel(int64_t events, const ObsFlags* obs_flags) {
   }, obs_flags);
 }
 
+PatternResult FarFuture(int64_t events) {
+  return TimePattern("far_future", events, [events](Simulator& sim) {
+    // Spread events across ~30 simulated days: the timing wheel's horizon
+    // is ~6.5 days, so most of these start life in the overflow heap and
+    // get drained into the wheel as the cursor crosses top-level prefix
+    // boundaries. Stresses horizon classification and prefix drains.
+    int64_t fired = 0;
+    Rng rng(314);
+    constexpr int64_t kThirtyDaysNanos = int64_t{30} * 24 * 3600 *
+                                         1000000000;
+    for (int64_t i = 0; i < events; ++i) {
+      sim.ScheduleAt(SimTime::FromNanos(rng.UniformInt(0, kThirtyDaysNanos)),
+                     [&fired] { ++fired; });
+    }
+    sim.Run();
+    SOC_CHECK_EQ(fired, events);
+  });
+}
+
+PatternResult PeriodicFleet(int64_t events) {
+  // A heartbeat storm: 10k periodic tasks with staggered periods around
+  // 1.5 ms, run for enough simulated time to fire ~`events` ticks. Every
+  // tick after the first re-arms its event record in place
+  // (RearmCurrentAfter), so this prices the periodic fast path.
+  constexpr int64_t kTasks = 10000;
+  int64_t ticks = 0;
+  PatternResult result = TimePattern(
+      "periodic_fleet", events, [events, &ticks](Simulator& sim) {
+        std::vector<std::unique_ptr<PeriodicTask>> fleet;
+        fleet.reserve(kTasks);
+        for (int64_t i = 0; i < kTasks; ++i) {
+          fleet.push_back(std::make_unique<PeriodicTask>(
+              &sim, Duration::Micros(1000 + (i % 100) * 10),
+              [&ticks] { ++ticks; }, "bench.heartbeat"));
+          fleet.back()->Start();
+        }
+        // Average period ~1.495 ms over kTasks tasks.
+        const double avg_period_s = 1.495e-3;
+        const double sim_seconds =
+            static_cast<double>(events) * avg_period_s / kTasks;
+        SOC_CHECK(sim.RunFor(Duration::SecondsF(sim_seconds)).ok());
+      });
+  // Rate over ticks actually fired (the estimate above is approximate).
+  result.events = ticks;
+  return result;
+}
+
 int Run(int64_t events, const std::string& digest_out,
         const ObsFlags& obs_flags) {
   std::vector<PatternResult> results;
@@ -128,6 +179,8 @@ int Run(int64_t events, const std::string& digest_out,
   results.push_back(TimerChain(events, /*perturb=*/true));
   results.push_back(FanOut(events));
   results.push_back(ScheduleCancel(events, &obs_flags));
+  results.push_back(FarFuture(events));
+  results.push_back(PeriodicFleet(events));
 
   TextTable table({"pattern", "events", "wall_s", "events_per_sec"});
   BenchReport report("engine_throughput");

@@ -1,0 +1,154 @@
+// Small-buffer-optimized move-only callback: the simulator's event payload.
+//
+// std::function<void()> heap-allocates any callable larger than ~two words
+// (libstdc++'s inline budget is 16 bytes), and the DES hot path stores one
+// callable per scheduled event — so typical capture lists of a `this`
+// pointer plus a few ids paid one malloc/free per event. InlineCallback
+// keeps 32 bytes of inline storage (four words: covers every capture list
+// on the simulator's hot paths) and boxes anything larger, so the common
+// case never touches the allocator.
+//
+// Differences from std::function<void()>:
+//   - Move-only. An event's callback has exactly one owner (the event
+//     record); copyability is what forced std::function to heap-allocate
+//     conservatively. Move-only also admits move-only captures
+//     (unique_ptr, another InlineCallback) that std::function rejects.
+//   - Invocation is not const (the callable may mutate its captures).
+//   - No target()/target_type() introspection.
+//
+// An engaged callback moved-from is left empty. Invoking an empty
+// callback is a DCHECK failure.
+
+#ifndef SRC_BASE_CALLBACK_H_
+#define SRC_BASE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+class InlineCallback {
+ public:
+  // Four words of inline storage — twice std::function's budget, sized so
+  // a whole event record stays under two cache lines. Callables up to this
+  // size (and at most pointer-aligned) live inside the event record;
+  // larger or over-aligned ones are boxed on the heap, preserving
+  // correctness at the old cost.
+  static constexpr size_t kInlineBytes = 32;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(void*)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &BoxedOps<Fn>::kOps;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineCallback& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() {
+    SOC_DCHECK(ops_ != nullptr) << "invoking an empty InlineCallback";
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineCallback& cb, std::nullptr_t) {
+    return cb.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineCallback& cb, std::nullptr_t) {
+    return cb.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) {
+      (*std::launder(reinterpret_cast<Fn*>(storage)))();
+    }
+    static void Relocate(void* dst, void* src) {
+      if constexpr (std::is_trivially_copyable_v<Fn>) {
+        std::memcpy(dst, src, sizeof(Fn));
+      } else {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      }
+    }
+    static void Destroy(void* storage) {
+      std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+    }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    static Fn*& Box(void* storage) { return *reinterpret_cast<Fn**>(storage); }
+    static void Invoke(void* storage) { (*Box(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(Fn*));  // Steal the box pointer.
+    }
+    static void Destroy(void* storage) { delete Box(storage); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineCallback& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(void*) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_CALLBACK_H_

@@ -1,0 +1,202 @@
+// Slab arena: index-addressed object pool with generation-counted handles.
+//
+// The DES hot path (src/sim/simulator.h) allocates and frees one event
+// record per scheduled event, millions of times per simulated second, and
+// hands out handles that must stay safe to use after the record dies
+// (Cancel() of an already-fired event is a legal no-op). A Slab gives both
+// properties cheaply:
+//
+//   - Allocation is a free-list pop plus a placement-new; no per-object
+//     malloc. Storage grows in fixed-size chunks whose addresses never
+//     move, so references obtained from operator[] stay valid across
+//     later allocations (a firing event's callback may schedule new
+//     events without invalidating the record being fired).
+//   - Every slot carries a generation counter, bumped on each free. A
+//     Ref = (index, generation) from a previous lifetime of the slot
+//     fails IsLive(), so stale handles can be rejected in O(1) with no
+//     hash lookup — this subsumes the pending-id map + cancelled set the
+//     simulator used to maintain.
+//
+// Generation parity encodes occupancy: odd = live, even = free. A slot's
+// generation starts at 0 (free), becomes odd on Allocate, even again on
+// Free. Ref{0, 0} is therefore never live and serves as the null handle.
+//
+// Not thread-safe; each simulator owns its own slabs.
+
+#ifndef SRC_BASE_SLAB_H_
+#define SRC_BASE_SLAB_H_
+
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+template <typename T>
+class Slab {
+ public:
+  // (index, generation) pair naming one lifetime of one slot. The default
+  // Ref is null: generation 0 is even (free), so it never matches a live
+  // slot.
+  struct Ref {
+    uint32_t index = 0;
+    uint32_t gen = 0;
+
+    bool null() const { return gen == 0; }
+    // Packs into one word for compact external handles (index in the high
+    // 32 bits). A live Ref always packs nonzero: live generations are odd.
+    uint64_t Pack() const {
+      return (static_cast<uint64_t>(index) << 32) | gen;
+    }
+    static Ref Unpack(uint64_t packed) {
+      return Ref{static_cast<uint32_t>(packed >> 32),
+                 static_cast<uint32_t>(packed)};
+    }
+  };
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab() {
+    ForEachLive([this](uint32_t index, T&) { DestroyAt(index); });
+  }
+
+  // Constructs a T in a free slot and returns its Ref. O(1) amortized.
+  template <typename... Args>
+  Ref Allocate(Args&&... args) {
+    uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = entry(index).next_free;
+    } else {
+      if (next_in_chunk_ == 0) {  // Last chunk full (or no chunks yet).
+        chunks_.push_back(std::make_unique<Entry[]>(kChunkSize));
+      }
+      index = static_cast<uint32_t>(((chunks_.size() - 1) << kChunkBits) |
+                                    next_in_chunk_);
+      next_in_chunk_ = (next_in_chunk_ + 1) & (kChunkSize - 1);
+    }
+    Entry& e = entry(index);
+    SOC_DCHECK((e.gen & 1) == 0) << "allocating a live slot";
+    ++e.gen;  // Even -> odd: live.
+    ::new (static_cast<void*>(e.storage)) T(std::forward<Args>(args)...);
+    ++live_;
+    return Ref{index, e.gen};
+  }
+
+  // Destroys the object at `index` and recycles the slot. The slot's
+  // generation bumps, so every outstanding Ref to this lifetime goes dead.
+  void Free(uint32_t index) {
+    Entry& e = entry(index);
+    SOC_DCHECK((e.gen & 1) == 1) << "freeing a dead slot";
+    DestroyAt(index);
+    ++e.gen;  // Odd -> even: free. (Wraps to 0 after 2^31 reuses: fine.)
+    e.next_free = free_head_;
+    free_head_ = index;
+    --live_;
+  }
+
+  // Invalidates every Ref to the slot's current lifetime and returns a
+  // fresh one, without destroying the object. The simulator uses this to
+  // re-arm a periodic event in place: same record, same callback, new
+  // handle.
+  Ref Renew(uint32_t index) {
+    Entry& e = entry(index);
+    SOC_DCHECK((e.gen & 1) == 1) << "renewing a dead slot";
+    e.gen += 2;  // Stays odd: still live.
+    return Ref{index, e.gen};
+  }
+
+  T& operator[](uint32_t index) {
+    Entry& e = entry(index);
+    SOC_DCHECK((e.gen & 1) == 1) << "dereferencing a dead slot";
+    return *std::launder(reinterpret_cast<T*>(e.storage));
+  }
+  const T& operator[](uint32_t index) const {
+    const Entry& e = entry(index);
+    SOC_DCHECK((e.gen & 1) == 1) << "dereferencing a dead slot";
+    return *std::launder(reinterpret_cast<const T*>(e.storage));
+  }
+
+  // True iff `ref` names the current lifetime of a live slot.
+  bool IsLive(Ref ref) const {
+    if ((ref.gen & 1) == 0 || ref.index >= capacity()) {
+      return false;
+    }
+    return entry(ref.index).gen == ref.gen;
+  }
+
+  uint32_t gen(uint32_t index) const { return entry(index).gen; }
+
+  size_t live() const { return live_; }
+  uint32_t capacity() const {
+    if (chunks_.empty()) {
+      return 0;
+    }
+    const uint32_t full = static_cast<uint32_t>((chunks_.size() - 1)
+                                                << kChunkBits);
+    return full + (next_in_chunk_ == 0 ? kChunkSize : next_in_chunk_);
+  }
+
+  // Visits every live object in slot-index order. fn(index, T&). Callers
+  // that need order-independence (state digests) must fold commutatively:
+  // slot assignment depends on allocation history.
+  template <typename Fn>
+  void ForEachLive(Fn fn) {
+    const uint32_t cap = capacity();
+    for (uint32_t index = 0; index < cap; ++index) {
+      if ((entry(index).gen & 1) == 1) {
+        fn(index, (*this)[index]);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEachLive(Fn fn) const {
+    const uint32_t cap = capacity();
+    for (uint32_t index = 0; index < cap; ++index) {
+      if ((entry(index).gen & 1) == 1) {
+        fn(index, (*this)[index]);
+      }
+    }
+  }
+
+ private:
+  // 1024 objects per chunk: large enough that chunk allocation is rare,
+  // small enough that a mostly-idle simulator stays compact.
+  static constexpr uint32_t kChunkBits = 10;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  struct Entry {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    uint32_t gen = 0;        // Odd: live. Even: free.
+    uint32_t next_free = 0;  // Free-list link, meaningful only when free.
+  };
+
+  Entry& entry(uint32_t index) {
+    SOC_DCHECK_LT(index, capacity());
+    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+  const Entry& entry(uint32_t index) const {
+    SOC_DCHECK_LT(index, capacity());
+    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+
+  void DestroyAt(uint32_t index) {
+    std::launder(reinterpret_cast<T*>(entry(index).storage))->~T();
+  }
+
+  std::vector<std::unique_ptr<Entry[]>> chunks_;
+  uint32_t next_in_chunk_ = 0;  // Next unused slot in the last chunk.
+  uint32_t free_head_ = kNone;
+  size_t live_ = 0;
+};
+
+}  // namespace soccluster
+
+#endif  // SRC_BASE_SLAB_H_

@@ -1,8 +1,9 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <vector>
+#include <bit>
 #include <utility>
+#include <vector>
 
 #include "src/base/check.h"
 
@@ -17,20 +18,213 @@ Simulator::Simulator(uint64_t seed)
   obs_.tracer.BindClock(&now_);
 }
 
-EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
-  return ScheduleAt(t, std::move(cb), std::string(), 0);
+const char* Simulator::InternLabel(std::string_view label) {
+  if (label.empty()) {
+    return nullptr;
+  }
+  auto it = labels_.find(label);
+  if (it == labels_.end()) {
+    it = labels_.emplace(label).first;
+  }
+  return it->c_str();
 }
 
-EventHandle Simulator::ScheduleAt(SimTime t, Callback cb, std::string label,
+void Simulator::PushHeap(std::vector<HeapItem>& heap, uint32_t index,
+                         SimTime t, uint64_t seq) {
+  heap.push_back(HeapItem{t.nanos(), seq, index});
+  std::push_heap(heap.begin(), heap.end(), HeapItemAfter{});
+}
+
+Simulator::HeapItem Simulator::PopHeap(std::vector<HeapItem>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), HeapItemAfter{});
+  HeapItem item = heap.back();
+  heap.pop_back();
+  return item;
+}
+
+void Simulator::InsertIndex(uint32_t index, SimTime t, uint64_t seq) {
+  const uint64_t tq = QuantumOf(t);
+  // At or behind the cursor: the slot already fired (or is firing), so the
+  // event goes straight to the staging heap. This also covers RunUntil()
+  // peeks that advanced the cursor past `t` before anything at `t` existed.
+  if (tq <= cur_tick_) {
+    PushHeap(cur_heap_, index, t, seq);
+    return;
+  }
+  const uint64_t diff = tq ^ cur_tick_;
+  if ((diff >> (kLevels * kSlotBits)) != 0) {
+    // Beyond the wheel horizon; parked until the cursor's top-level prefix
+    // catches up (StageNext drains the matching prefix).
+    PushHeap(overflow_, index, t, seq);
+    return;
+  }
+  // Highest differing bit picks the level: the event shares the cursor's
+  // quantum digits above `level` and differs at digit `level`, so within
+  // each level, occupied slot indices are strictly ordered in time.
+  const int level = (std::bit_width(diff) - 1) / kSlotBits;
+  const uint32_t slot =
+      static_cast<uint32_t>(tq >> (level * kSlotBits)) & (kSlots - 1);
+  slots_[level][slot].push_back(HeapItem{t.nanos(), seq, index});
+  uint64_t& word = occupied_[level][slot >> 6];
+  const uint64_t bit = uint64_t{1} << (slot & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++level_count_[level];
+  }
+}
+
+bool Simulator::StageNext() {
+  while (cur_heap_.empty()) {
+    // Lowest occupied level holds the earliest pending wheel event: higher
+    // levels differ from the cursor at a more significant quantum digit.
+    int level = -1;
+    uint32_t slot = 0;
+    for (int l = 0; l < kLevels && level < 0; ++l) {
+      if (level_count_[l] == 0) {
+        continue;
+      }
+      for (uint32_t w = 0; w < kSlots / 64; ++w) {
+        if (occupied_[l][w] != 0) {
+          slot = w * 64 +
+                 static_cast<uint32_t>(std::countr_zero(occupied_[l][w]));
+          level = l;
+          break;
+        }
+      }
+    }
+    if (level < 0) {
+      if (overflow_.empty()) {
+        return false;
+      }
+      // Jump the cursor to the overflow minimum, then pull in everything
+      // that now shares its top-level prefix (the heap is time-ordered, so
+      // the matching items are exactly its prefix).
+      cur_tick_ = QuantumOf(SimTime::FromNanos(overflow_.front().time_ns));
+      const uint64_t prefix = cur_tick_ >> (kLevels * kSlotBits);
+      while (!overflow_.empty() &&
+             (QuantumOf(SimTime::FromNanos(overflow_.front().time_ns)) >>
+              (kLevels * kSlotBits)) == prefix) {
+        const HeapItem item = PopHeap(overflow_);
+        InsertIndex(item.index, SimTime::FromNanos(item.time_ns), item.seq);
+      }
+      continue;
+    }
+    std::vector<HeapItem>& bucket = slots_[level][slot];
+    occupied_[level][slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+    --level_count_[level];
+    if (level == 0) {
+      // A level-0 slot is one quantum: everything in it is due now. Steal
+      // the whole bucket (cur_heap_ is empty) and heapify in one pass.
+      const uint64_t mask = ~uint64_t{kSlots - 1};
+      cur_tick_ = (cur_tick_ & mask) | slot;
+      cur_heap_.swap(bucket);
+      std::make_heap(cur_heap_.begin(), cur_heap_.end(), HeapItemAfter{});
+      return true;
+    }
+    // Cascade: advance the cursor to the slot's earliest event and re-place
+    // the slot's contents — each lands at a lower level (it shares the new
+    // cursor's digit at `level`) or on cur_heap_. Buffers recycle through
+    // scratch_ so steady-state cascades never reallocate.
+    uint64_t min_tq = ~uint64_t{0};
+    for (const HeapItem& item : bucket) {
+      min_tq = std::min(min_tq,
+                        QuantumOf(SimTime::FromNanos(item.time_ns)));
+    }
+    cur_tick_ = min_tq;
+    scratch_.clear();
+    scratch_.swap(bucket);
+    for (const HeapItem& item : scratch_) {
+      InsertIndex(item.index, SimTime::FromNanos(item.time_ns), item.seq);
+    }
+  }
+  return true;
+}
+
+uint32_t Simulator::PopNextLive() {
+  if (perturb_) {
+    for (;;) {
+      if (ready_.empty()) {
+        FillReadyPerturbed();
+      }
+      if (ready_.empty()) {
+        return kNoEvent;
+      }
+      const uint32_t index = ready_.front();
+      ready_.pop_front();
+      // Staged events may have been cancelled by an earlier batch member;
+      // the record is freed here, at its container pop.
+      if (slab_[index].state == kCancelled) {
+        slab_.Free(index);
+        continue;
+      }
+      return index;
+    }
+  }
+  for (;;) {
+    if (cur_heap_.empty() && !StageNext()) {
+      return kNoEvent;
+    }
+    const HeapItem item = PopHeap(cur_heap_);
+    if (slab_[item.index].state == kCancelled) {
+      slab_.Free(item.index);
+      continue;
+    }
+    return item.index;
+  }
+}
+
+bool Simulator::PeekNextTime(SimTime* t) {
+  // Drain the in-flight perturbation batch first (its events are at a
+  // timestamp that already fired). Never stage a *new* batch here: staging
+  // draws from the perturbation RNG, and a speculative draw for events that
+  // then don't fire (RunUntil boundary) would fork the RNG stream.
+  if (perturb_) {
+    while (!ready_.empty()) {
+      const uint32_t index = ready_.front();
+      if (slab_[index].state == kCancelled) {
+        ready_.pop_front();
+        slab_.Free(index);
+        continue;
+      }
+      *t = slab_[index].time;
+      return true;
+    }
+  }
+  for (;;) {
+    while (!cur_heap_.empty()) {
+      const uint32_t index = cur_heap_.front().index;
+      if (slab_[index].state == kCancelled) {
+        PopHeap(cur_heap_);
+        slab_.Free(index);
+        continue;
+      }
+      *t = SimTime::FromNanos(cur_heap_.front().time_ns);
+      return true;
+    }
+    if (!StageNext()) {
+      return false;
+    }
+  }
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
+  return ScheduleAt(t, std::move(cb), std::string_view(), 0);
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, Callback cb,
+                                  std::string_view label,
                                   uint64_t anchor_group) {
   SOC_CHECK_GE(t.nanos(), now_.nanos()) << "scheduling into the past";
   SOC_CHECK(cb != nullptr);
   const uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, seq, std::move(cb), std::move(label),
-                    anchor_group});
-  pending_ids_.emplace(seq, t.nanos());
-  max_pending_->SetMax(static_cast<double>(pending_ids_.size()));
-  return EventHandle(seq);
+  // Parenthesized aggregate init constructs the record in place — no
+  // default-construct-then-assign double write of the hot 80 bytes.
+  const Slab<EventRec>::Ref ref = slab_.Allocate(
+      t, seq, anchor_group, InternLabel(label), std::move(cb), kPending);
+  ++pending_count_;
+  max_pending_->SetMax(static_cast<double>(pending_count_));
+  InsertIndex(ref.index, t, seq);
+  return EventHandle(ref.Pack());
 }
 
 EventHandle Simulator::ScheduleAfter(Duration d, Callback cb) {
@@ -39,10 +233,29 @@ EventHandle Simulator::ScheduleAfter(Duration d, Callback cb) {
 }
 
 EventHandle Simulator::ScheduleAfter(Duration d, Callback cb,
-                                     std::string label,
+                                     std::string_view label,
                                      uint64_t anchor_group) {
   SOC_CHECK(!d.IsNegative()) << "negative delay";
-  return ScheduleAt(now_ + d, std::move(cb), std::move(label), anchor_group);
+  return ScheduleAt(now_ + d, std::move(cb), label, anchor_group);
+}
+
+EventHandle Simulator::RearmCurrentAfter(Duration d) {
+  SOC_CHECK(!d.IsNegative()) << "negative delay";
+  SOC_CHECK(firing_index_ != kNoEvent)
+      << "RearmCurrentAfter outside event dispatch";
+  EventRec& rec = slab_[firing_index_];
+  SOC_CHECK(rec.state == kFiring) << "event already re-armed this firing";
+  const uint64_t seq = next_seq_++;
+  rec.time = now_ + d;
+  rec.seq = seq;
+  rec.state = kPending;
+  // Renew invalidates the fired handle; Step() sees the generation moved
+  // and leaves the record to its new container instead of freeing it.
+  const Slab<EventRec>::Ref ref = slab_.Renew(firing_index_);
+  ++pending_count_;
+  max_pending_->SetMax(static_cast<double>(pending_count_));
+  InsertIndex(firing_index_, rec.time, seq);
+  return EventHandle(ref.Pack());
 }
 
 void Simulator::EnableTieBreakPerturbation(uint64_t seed) {
@@ -65,14 +278,16 @@ void Simulator::DigestState(StateDigest& digest) const {
   digest.Mix(next_seq_);
   digest.Mix(events_processed());
   digest.Mix(events_cancelled());
-  // Fold pending events by fire time, not id: ids encode scheduling
-  // order, which is exactly the bookkeeping the tie-break perturbation
-  // permutes, and two order-swapped but equivalent schedules must digest
-  // equal.
+  // Fold pending events by fire time, not id or slot: ids encode scheduling
+  // order (exactly the bookkeeping the tie-break perturbation permutes) and
+  // slot assignment encodes allocation history, and two order-swapped but
+  // equivalent schedules must digest equal.
   StateDigest::Unordered pending;
-  for (const auto& [id, time_nanos] : pending_ids_) {  // det:exempt(commutative fold into StateDigest::Unordered)
-    pending.Add(StateDigest::HashOf(time_nanos));
-  }
+  slab_.ForEachLive([&pending](uint32_t /*index*/, const EventRec& rec) {
+    if (rec.state == kPending) {
+      pending.Add(StateDigest::HashOf(rec.time.nanos()));
+    }
+  });
   digest.Mix(pending);
   digest.Mix(rng_.StateFingerprint());
 }
@@ -81,45 +296,66 @@ bool Simulator::Cancel(EventHandle handle) {
   if (!handle.valid()) {
     return false;
   }
-  // Only a live id may be cancelled: an already-fired or already-cancelled
-  // handle must not poison the lazy-cancellation set, or pending_events()
-  // and future pops would see phantom cancellations.
-  if (pending_ids_.erase(handle.id()) == 0) {
+  // Only a live pending event may be cancelled: a stale handle (fired,
+  // freed, or re-armed — the generation moved on) and an already-cancelled
+  // or currently-firing record must stay no-ops, or pending_events() and
+  // future pops would see phantom cancellations.
+  const Slab<EventRec>::Ref ref = Slab<EventRec>::Ref::Unpack(handle.id());
+  if (!slab_.IsLive(ref)) {
     return false;
   }
-  // Lazy cancellation: the event stays in the heap and is skipped when
-  // popped. The cancelled set is pruned at that point.
-  const bool inserted = cancelled_.insert(handle.id()).second;
-  SOC_DCHECK(inserted) << "cancelled set out of sync with pending set";
+  EventRec& rec = slab_[ref.index];
+  if (rec.state != kPending) {
+    return false;
+  }
+  // Lazy cancellation: the record stays in its container (wheel slot,
+  // heap, or staged batch) and is freed when popped.
+  rec.state = kCancelled;
+  --pending_count_;
   events_cancelled_->Increment();
   return true;
 }
 
-void Simulator::FillReady() {
-  // Drop lazily-cancelled heads so the heap top is a live event.
-  while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-    cancelled_.erase(queue_.top().id);
-    queue_.pop();
-  }
-  if (queue_.empty()) {
-    return;
-  }
-  if (!perturb_) {
-    ready_.push_back(queue_.top());
-    queue_.pop();
-    return;
-  }
+void Simulator::FillReadyPerturbed() {
   // Perturbation mode: stage the whole equal-timestamp batch and dispatch
   // it in a seeded permutation. Events a batch member schedules at the same
   // timestamp join a *later* batch (they cannot fire before their cause, so
   // any interleaving the permutation skips is still a valid tie-break).
-  const SimTime batch_time = queue_.top().time;
-  std::vector<Event> batch;
-  while (!queue_.empty() && queue_.top().time == batch_time) {
-    if (cancelled_.erase(queue_.top().id) == 0) {
-      batch.push_back(queue_.top());
+  SimTime batch_time;
+  bool found = false;
+  for (;;) {
+    // Find the first live event without consuming it (cancelled heads are
+    // freed along the way).
+    while (!cur_heap_.empty()) {
+      const uint32_t index = cur_heap_.front().index;
+      if (slab_[index].state == kCancelled) {
+        PopHeap(cur_heap_);
+        slab_.Free(index);
+        continue;
+      }
+      batch_time = SimTime::FromNanos(cur_heap_.front().time_ns);
+      found = true;
+      break;
     }
-    queue_.pop();
+    if (found || !StageNext()) {
+      break;
+    }
+  }
+  if (!found) {
+    return;
+  }
+  // Equal-timestamp events share a quantum, so by the time the first is on
+  // the staging heap the rest are too; heap pops yield them seq-ascending,
+  // matching the FIFO order the old priority queue fed this permutation.
+  std::vector<uint32_t> batch;
+  while (!cur_heap_.empty() &&
+         cur_heap_.front().time_ns == batch_time.nanos()) {
+    const HeapItem item = PopHeap(cur_heap_);
+    if (slab_[item.index].state == kCancelled) {
+      slab_.Free(item.index);
+      continue;
+    }
+    batch.push_back(item.index);
   }
   // Seeded Fisher-Yates permutation.
   for (size_t i = batch.size(); i > 1; --i) {
@@ -133,7 +369,7 @@ void Simulator::FillReady() {
   std::vector<size_t> positions;
   std::vector<uint64_t> seen_groups;
   for (size_t i = 0; i < batch.size(); ++i) {
-    const uint64_t group = batch[i].anchor_group;
+    const uint64_t group = slab_[batch[i]].anchor_group;
     if (group == 0 ||
         std::find(seen_groups.begin(), seen_groups.end(), group) !=
             seen_groups.end()) {
@@ -142,66 +378,74 @@ void Simulator::FillReady() {
     seen_groups.push_back(group);
     positions.clear();
     for (size_t j = i; j < batch.size(); ++j) {
-      if (batch[j].anchor_group == group) {
+      if (slab_[batch[j]].anchor_group == group) {
         positions.push_back(j);
       }
     }
-    std::vector<Event> members;
+    std::vector<uint32_t> members;
     members.reserve(positions.size());
     for (const size_t pos : positions) {
-      members.push_back(std::move(batch[pos]));
+      members.push_back(batch[pos]);
     }
     std::sort(members.begin(), members.end(),
-              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+              [this](uint32_t a, uint32_t b) {
+                return slab_[a].seq < slab_[b].seq;
+              });
     for (size_t k = 0; k < positions.size(); ++k) {
-      batch[positions[k]] = std::move(members[k]);
+      batch[positions[k]] = members[k];
     }
   }
-  for (Event& ev : batch) {
-    ready_.push_back(std::move(ev));
+  for (const uint32_t index : batch) {
+    ready_.push_back(index);
   }
 }
 
 bool Simulator::Step() {
-  for (;;) {
-    if (ready_.empty()) {
-      FillReady();
-    }
-    if (ready_.empty()) {
-      return false;
-    }
-    Event ev = std::move(ready_.front());
-    ready_.pop_front();
-    // Staged events may have been cancelled by an earlier batch member.
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
-    }
-    // Determinism contract (simulator.h): fired events never run backwards
-    // in time; under FIFO they are strictly ordered by (time, seq) —
-    // equal-timestamp events fire in schedule order. Perturbation mode
-    // deliberately reorders equal-timestamp events, so only the time
-    // invariant holds there.
-    SOC_CHECK_GE(ev.time.nanos(), last_fired_time_.nanos())
-        << "event queue fired out of time order";
-    SOC_DCHECK(perturb_ || ev.time > last_fired_time_ ||
-               ev.seq > last_fired_seq_)
-        << "FIFO tie-break violated: seq " << ev.seq << " after "
-        << last_fired_seq_;
-    last_fired_time_ = ev.time;
-    last_fired_seq_ = ev.seq;
-    pending_ids_.erase(ev.id);
-    now_ = ev.time;
-    events_processed_->Increment();
-    if (record_events_ && ev.time >= record_begin_ &&
-        ev.time <= record_end_ && fired_events_.size() < record_cap_) {
-      fired_events_.push_back(FiredEvent{ev.time, ev.seq, ev.label});
-    }
-    ++callback_depth_;
-    max_callback_depth_->SetMax(static_cast<double>(callback_depth_));
-    ev.callback();
-    --callback_depth_;
-    return true;
+  const uint32_t index = PopNextLive();
+  if (index == kNoEvent) {
+    return false;
   }
+  EventRec& rec = slab_[index];
+  // Determinism contract (simulator.h): fired events never run backwards
+  // in time; under FIFO they are strictly ordered by (time, seq) —
+  // equal-timestamp events fire in schedule order. Perturbation mode
+  // deliberately reorders equal-timestamp events, so only the time
+  // invariant holds there.
+  SOC_CHECK_GE(rec.time.nanos(), last_fired_time_.nanos())
+      << "event queue fired out of time order";
+  SOC_DCHECK(perturb_ || rec.time > last_fired_time_ ||
+             rec.seq > last_fired_seq_)
+      << "FIFO tie-break violated: seq " << rec.seq << " after "
+      << last_fired_seq_;
+  last_fired_time_ = rec.time;
+  last_fired_seq_ = rec.seq;
+  --pending_count_;
+  now_ = rec.time;
+  events_processed_->Increment();
+  if (record_events_ && rec.time >= record_begin_ &&
+      rec.time <= record_end_ && fired_events_.size() < record_cap_) {
+    fired_events_.push_back(FiredEvent{
+        rec.time, rec.seq,
+        rec.label != nullptr ? std::string(rec.label) : std::string()});
+  }
+  rec.state = kFiring;
+  // Save/restore around re-entry: a callback may drive the simulator
+  // itself (RunUntil), firing nested events.
+  const uint32_t saved_firing = firing_index_;
+  firing_index_ = index;
+  const uint32_t gen_at_fire = slab_.gen(index);
+  ++callback_depth_;
+  max_callback_depth_->SetMax(static_cast<double>(callback_depth_));
+  rec.callback();  // Chunk addresses are stable; `rec` survives schedules.
+  --callback_depth_;
+  firing_index_ = saved_firing;
+  // Unchanged generation means the callback did not re-arm the record, so
+  // this pop still owns it. (A re-armed record belongs to its new
+  // container — even if a nested run already fired or freed it again.)
+  if (slab_.gen(index) == gen_at_fire) {
+    slab_.Free(index);
+  }
+  return true;
 }
 
 void Simulator::Run() {
@@ -213,33 +457,16 @@ Status Simulator::RunUntil(SimTime t) {
   if (t < now_) {
     return Status::InvalidArgument("RunUntil target is in the past");
   }
-  // Never stage events speculatively here: ready_ may only hold events at
-  // the currently-firing timestamp (Step() fills it right before firing,
-  // which advances now_ and so blocks scheduling anything earlier). If this
-  // loop staged a future batch and then returned with now_ = t before it,
+  // PeekNextTime never stages a perturbation batch speculatively: ready_
+  // may only hold events at the currently-firing timestamp. If this loop
+  // staged a future batch and then returned with now_ = t before it,
   // events scheduled after the return could legally precede the staged
-  // batch — and would fire out of time order behind it.
+  // batch — and would fire out of order behind it. (Staging onto the
+  // (time, seq) heap is safe: later inserts behind the cursor join it and
+  // sort correctly.)
   for (;;) {
-    // Drain the in-flight batch first (its events are at a timestamp that
-    // already fired, hence <= t whenever this loop can reach them).
-    while (!ready_.empty() && cancelled_.contains(ready_.front().id)) {
-      cancelled_.erase(ready_.front().id);
-      ready_.pop_front();
-    }
-    if (!ready_.empty()) {
-      if (ready_.front().time > t) {
-        break;
-      }
-      Step();
-      continue;
-    }
-    // Peek the heap without staging; purge lazily-cancelled heads so the
-    // time check sees a live event.
-    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().time > t) {
+    SimTime next;
+    if (!PeekNextTime(&next) || next > t) {
       break;
     }
     Step();
@@ -278,17 +505,19 @@ void PeriodicTask::Stop() {
 }
 
 void PeriodicTask::Arm() {
-  pending_ = sim_->ScheduleAfter(
-      period_,
-      [this] {
-        if (!running_) {
-          return;
-        }
-        // Re-arm before running the callback so the callback may Stop() us.
-        Arm();
-        callback_();
-      },
-      label_);
+  pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); }, label_);
+}
+
+void PeriodicTask::Tick() {
+  if (!running_) {
+    return;
+  }
+  // Re-arm before running the callback so the callback may Stop() us.
+  // Re-arming the firing record in place skips the slab/intern round trip
+  // a fresh ScheduleAfter would pay; it consumes one sequence number, just
+  // like the schedule-per-tick formulation, so digests are unchanged.
+  pending_ = sim_->RearmCurrentAfter(period_);
+  callback_();
 }
 
 Resource::Resource(Simulator* sim, int64_t capacity, std::string name)
@@ -316,6 +545,24 @@ void Resource::RecordGrant(SimTime enqueued) {
   }
 }
 
+Resource::Waiter Resource::Detach(uint32_t index) {
+  Waiter waiter = std::move(waiter_slab_[index]);
+  if (waiter.prev != kNoWaiter) {
+    waiter_slab_[waiter.prev].next = waiter.next;
+  } else {
+    waiter_head_ = waiter.next;
+  }
+  if (waiter.next != kNoWaiter) {
+    waiter_slab_[waiter.next].prev = waiter.prev;
+  } else {
+    waiter_tail_ = waiter.prev;
+  }
+  ticket_index_.erase(waiter.ticket);
+  waiter_slab_.Free(index);
+  --waiter_count_;
+  return waiter;
+}
+
 uint64_t Resource::Acquire(Simulator::Callback on_grant) {
   SOC_CHECK(on_grant != nullptr);
   const uint64_t ticket = next_ticket_++;
@@ -325,48 +572,58 @@ uint64_t Resource::Acquire(Simulator::Callback on_grant) {
     on_grant();
     return ticket;
   }
-  Waiter waiter;
+  const Slab<Waiter>::Ref ref = waiter_slab_.Allocate();
+  Waiter& waiter = waiter_slab_[ref.index];
   waiter.ticket = ticket;
   waiter.on_grant = std::move(on_grant);
   waiter.enqueued = sim_->Now();
   if (!name_.empty()) {
-    waiter.span = sim_->tracer().BeginAsyncSpan("wait", "resource." + name_,
-                                                ticket);
+    waiter.span =
+        sim_->tracer().BeginAsyncSpan("wait", "resource." + name_, ticket);
   }
-  waiters_.push_back(std::move(waiter));
+  waiter.prev = waiter_tail_;
+  waiter.next = kNoWaiter;
+  if (waiter_tail_ != kNoWaiter) {
+    waiter_slab_[waiter_tail_].next = ref.index;
+  } else {
+    waiter_head_ = ref.index;
+  }
+  waiter_tail_ = ref.index;
+  ++waiter_count_;
+  ticket_index_.emplace(ticket, ref.index);
   max_queue_length_ =
-      std::max(max_queue_length_, static_cast<int64_t>(waiters_.size()));
+      std::max(max_queue_length_, static_cast<int64_t>(waiter_count_));
   if (max_queue_metric_ != nullptr) {
-    max_queue_metric_->SetMax(static_cast<double>(waiters_.size()));
+    max_queue_metric_->SetMax(static_cast<double>(waiter_count_));
   }
   return ticket;
 }
 
 bool Resource::CancelWait(uint64_t ticket) {
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (it->ticket != ticket) {
-      continue;
-    }
-    Tracer& tracer = sim_->tracer();
-    tracer.AddArg(it->span, "cancelled", "true");
-    tracer.EndSpan(it->span);
-    waiters_.erase(it);
-    ++waits_cancelled_;
-    if (cancelled_metric_ != nullptr) {
-      cancelled_metric_->Increment();
-    }
-    return true;
+  const auto it = ticket_index_.find(ticket);
+  if (it == ticket_index_.end()) {
+    return false;
   }
-  return false;
+  const uint32_t index = it->second;
+  Tracer& tracer = sim_->tracer();
+  tracer.AddArg(waiter_slab_[index].span, "cancelled", "true");
+  tracer.EndSpan(waiter_slab_[index].span);
+  Detach(index);
+  ++waits_cancelled_;
+  if (cancelled_metric_ != nullptr) {
+    cancelled_metric_->Increment();
+  }
+  return true;
 }
 
 void Resource::DigestState(StateDigest& digest) const {
   digest.Mix(in_use_);
   digest.Mix(next_ticket_);
-  digest.Mix(static_cast<uint64_t>(waiters_.size()));
-  for (const Waiter& waiter : waiters_) {
-    digest.Mix(waiter.ticket);
-    digest.Mix(waiter.enqueued.nanos());
+  digest.Mix(static_cast<uint64_t>(waiter_count_));
+  for (uint32_t index = waiter_head_; index != kNoWaiter;
+       index = waiter_slab_[index].next) {
+    digest.Mix(waiter_slab_[index].ticket);
+    digest.Mix(waiter_slab_[index].enqueued.nanos());
   }
   digest.Mix(total_granted_);
   digest.Mix(waits_cancelled_);
@@ -377,9 +634,8 @@ void Resource::DigestState(StateDigest& digest) const {
 
 void Resource::Release() {
   SOC_CHECK_GT(in_use_, 0) << "Release without matching Acquire";
-  if (!waiters_.empty()) {
-    Waiter next = std::move(waiters_.front());
-    waiters_.pop_front();
+  if (waiter_head_ != kNoWaiter) {
+    Waiter next = Detach(waiter_head_);
     sim_->tracer().EndSpan(next.span);
     RecordGrant(next.enqueued);
     // Hand the unit straight to the next waiter; in_use_ is unchanged.

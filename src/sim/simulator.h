@@ -12,6 +12,19 @@
 // run whose state digests differ under permutation has a virtual-time
 // ordering race.
 //
+// Engine internals (see DESIGN.md "Engine internals" for the full layout):
+// event records live in a slab arena (src/base/slab.h) and are referenced
+// by index everywhere — the priority queue of fat events is gone. Handles
+// are generation-counted slab refs, so Cancel() is an O(1) generation
+// check with no hash lookups; callbacks are small-buffer-optimized
+// (src/base/callback.h) so typical capture lists never allocate; labels
+// are interned so events carry a pointer, not a std::string. Pending
+// events sit in a hierarchical timing wheel (5 levels x 256 slots of
+// 512 ns base granularity, ~6.5 simulated days of horizon) with a
+// binary-heap overflow tier for far-future events; the wheel advances by
+// jumping to the next occupied slot, staging its events on a small
+// (time, seq) heap that restores exact FIFO order.
+//
 // Each Simulator owns an Observability context (metrics registry + tracer,
 // src/obs/obs.h). Components reach it through obs(); the engine itself
 // publishes its health counters there (sim.events_processed,
@@ -21,19 +34,21 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/base/callback.h"
 #include "src/base/digest.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
+#include "src/base/slab.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
 #include "src/obs/obs.h"
@@ -41,7 +56,9 @@
 namespace soccluster {
 
 // Identifies a scheduled event for cancellation. Default-constructed handles
-// are invalid.
+// are invalid. A handle is a packed generation-counted slab ref: it goes
+// stale the moment its event fires or is cancelled, and a stale handle can
+// never alias a later event that reuses the slot.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -58,7 +75,7 @@ class EventHandle {
 // observability context.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   // A fired event as captured by the divergence-report record window.
   struct FiredEvent {
@@ -80,18 +97,30 @@ class Simulator {
   MetricRegistry& metrics() { return obs_.metrics; }
 
   // Schedules `cb` to run at absolute time `t` (must be >= Now()).
-  // `label` names the event in divergence reports (keep it static-ish:
-  // "service.arrival", not one string per request). A nonzero
-  // `anchor_group` seq-anchors the event: equal-timestamp events sharing a
-  // group keep their mutual FIFO order even under tie-break perturbation —
-  // the explicit marker for intentionally order-dependent event pairs.
+  // `label` names the event in divergence reports. Labels are interned and
+  // must be static-ish ("service.arrival", not one string per request):
+  // a dynamic label would grow the intern table without bound and pay a
+  // hash+copy on the hot path — tools/lint.py's `hot-label` rule enforces
+  // this at call sites. A nonzero `anchor_group` seq-anchors the event:
+  // equal-timestamp events sharing a group keep their mutual FIFO order
+  // even under tie-break perturbation — the explicit marker for
+  // intentionally order-dependent event pairs.
   EventHandle ScheduleAt(SimTime t, Callback cb);
-  EventHandle ScheduleAt(SimTime t, Callback cb, std::string label,
+  EventHandle ScheduleAt(SimTime t, Callback cb, std::string_view label,
                          uint64_t anchor_group = 0);
   // Schedules `cb` to run `d` from now (d must be >= 0).
   EventHandle ScheduleAfter(Duration d, Callback cb);
-  EventHandle ScheduleAfter(Duration d, Callback cb, std::string label,
+  EventHandle ScheduleAfter(Duration d, Callback cb, std::string_view label,
                             uint64_t anchor_group = 0);
+
+  // Re-arms the event whose callback is currently executing: same record,
+  // same callback, same label, fresh sequence number and handle, firing
+  // `d` from now. This is the allocation-free fast path for periodic
+  // timers (PeriodicTask); callable only while an event is firing, and at
+  // most once per firing. Equivalent to scheduling a new event with an
+  // identical callback — consumes one sequence number, so digests match
+  // the schedule-per-tick formulation bit for bit.
+  EventHandle RearmCurrentAfter(Duration d);
 
   // Allocates a fresh anchor group id (for callers pinning several related
   // event chains together).
@@ -145,30 +174,84 @@ class Simulator {
   int64_t max_callback_depth() const {
     return static_cast<int64_t>(max_callback_depth_->value());
   }
-  size_t pending_events() const { return pending_ids_.size(); }
+  size_t pending_events() const { return pending_count_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    uint64_t id;
-    Callback callback;
-    std::string label;          // For divergence reports; usually empty.
-    uint64_t anchor_group = 0;  // Nonzero: FIFO-pinned within the group.
+  // --- Timing-wheel geometry ---
+  // Quantum: 512 ns. One level-0 slot is one quantum; each level above
+  // widens slots by 256x. Five levels cover ~6.5 simulated days from the
+  // cursor; anything further sits in the overflow heap until the cursor
+  // gets close.
+  static constexpr int kQuantumBits = 9;
+  static constexpr int kSlotBits = 8;
+  static constexpr uint32_t kSlots = 1u << kSlotBits;
+  static constexpr int kLevels = 5;
+  static constexpr uint32_t kNoEvent = 0xffffffffu;
+
+  enum EventState : uint8_t {
+    kPending = 0,    // Scheduled; will fire unless cancelled.
+    kCancelled = 1,  // Lazily dead; slot freed when its container pops it.
+    kFiring = 2,     // Callback currently executing.
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
+
+  struct EventRec {
+    SimTime time;
+    uint64_t seq = 0;
+    uint64_t anchor_group = 0;  // Nonzero: FIFO-pinned within the group.
+    const char* label = nullptr;  // Interned; nullptr when unlabeled.
+    Callback callback;
+    EventState state = kPending;
+  };
+
+  // Heap entry carrying its sort key, so ordering never dereferences the
+  // slab. Min-ordered by (time, seq).
+  struct HeapItem {
+    int64_t time_ns = 0;
+    uint64_t seq = 0;
+    uint32_t index = 0;
+  };
+  struct HeapItemAfter {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.time_ns != b.time_ns) {
+        return a.time_ns > b.time_ns;
       }
       return a.seq > b.seq;
     }
   };
 
-  // Moves the next dispatchable event(s) from the heap into ready_: one
-  // event in FIFO mode, the whole equal-timestamp batch (permuted, anchor
-  // groups re-pinned) in perturbation mode.
-  void FillReady();
+  static uint64_t QuantumOf(SimTime t) {
+    return static_cast<uint64_t>(t.nanos()) >> kQuantumBits;
+  }
+
+  // Interns `label`, returning a stable pointer (nullptr when empty).
+  const char* InternLabel(std::string_view label);
+
+  // Places a pending record into the right container: the staging heap
+  // for quanta at or behind the cursor, a wheel slot within the horizon,
+  // or the overflow heap beyond it.
+  void InsertIndex(uint32_t index, SimTime t, uint64_t seq);
+
+  void PushHeap(std::vector<HeapItem>& heap, uint32_t index, SimTime t,
+                uint64_t seq);
+  HeapItem PopHeap(std::vector<HeapItem>& heap);
+
+  // Advances the wheel cursor to the earliest pending event and stages
+  // that event's slot onto cur_heap_. Returns false when no events remain
+  // anywhere. Cancelled records encountered along the way are freed.
+  bool StageNext();
+
+  // Pops the next live event index in dispatch order (ready batch first,
+  // then the staging heap), freeing lazily-cancelled records. Returns
+  // kNoEvent when the queue is drained.
+  uint32_t PopNextLive();
+
+  // Stores the earliest pending event time in *t (skipping cancelled
+  // records); false when the queue is empty. Never fires anything.
+  bool PeekNextTime(SimTime* t);
+
+  // Perturbation mode: stages the whole equal-timestamp batch into
+  // ready_, permuted by the seeded RNG with anchor groups re-pinned.
+  void FillReadyPerturbed();
 
   // Declared first so instruments outlive every other member.
   Observability obs_;
@@ -184,19 +267,51 @@ class Simulator {
   // across fired events.
   uint64_t last_fired_seq_ = 0;
   SimTime last_fired_time_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Events staged for dispatch ahead of the heap: the current
-  // equal-timestamp batch under perturbation (one event at a time in FIFO
-  // mode). Entries may still be lazily cancelled while staged.
-  std::deque<Event> ready_;
-  // Ids scheduled but neither fired nor cancelled (mapped to their fire
-  // time). Distinguishes a live handle from an already-fired one so
-  // Cancel() cannot corrupt state; the times let DigestState fold the
-  // pending-event multiset without raw ids, which encode scheduling order
-  // -- bookkeeping the tie-break perturbation legitimately permutes.
-  std::unordered_map<uint64_t, int64_t> pending_ids_;
-  // Lazily-cancelled ids still sitting in the heap; skipped when popped.
-  std::unordered_set<uint64_t> cancelled_;
+
+  // Event records; indices below reference this arena. Scheduled but
+  // not-yet-fired events (including lazily-cancelled ones awaiting their
+  // container pop) stay allocated here.
+  Slab<EventRec> slab_;
+  size_t pending_count_ = 0;  // Live pending events (excludes cancelled).
+  // The record currently executing its callback (kNoEvent outside
+  // dispatch); RearmCurrentAfter() targets this.
+  uint32_t firing_index_ = kNoEvent;
+
+  // Wheel cursor, in quanta. Invariants: no pending wheel event's quantum
+  // is <= cur_tick_ (those live on cur_heap_), and every wheel event
+  // shares cur_tick_'s top-level prefix (the rest overflow).
+  uint64_t cur_tick_ = 0;
+  // Wheel slots carry each event's sort key alongside its index, so
+  // cascading and staging never dereference the slab (which would be a
+  // cache miss per touch on large pending sets).
+  std::array<std::array<std::vector<HeapItem>, kSlots>, kLevels> slots_;
+  // One bit per slot; bit set iff the slot vector is nonempty.
+  std::array<std::array<uint64_t, kSlots / 64>, kLevels> occupied_{};
+  // Occupied-slot count per level: StageNext skips empty levels without
+  // scanning their bitmaps.
+  std::array<uint32_t, kLevels> level_count_{};
+  // Recycled cascade buffer (capacity bounces between slots_ vectors).
+  std::vector<HeapItem> scratch_;
+  // Staging heap: events at or behind the cursor, min-ordered by
+  // (time, seq). Always dispatched before anything still in the wheel.
+  std::vector<HeapItem> cur_heap_;
+  // Far-future events beyond the wheel horizon, min-ordered by (time, seq).
+  std::vector<HeapItem> overflow_;
+  // Equal-timestamp batch staged for dispatch under perturbation, already
+  // permuted. Entries may still be lazily cancelled while staged.
+  std::deque<uint32_t> ready_;
+
+  // Interned event labels; unordered lookup only (never iterated), with
+  // stable storage backing EventRec::label pointers. Transparent hashing
+  // keeps lookup allocation-free for string_view keys.
+  struct LabelHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_set<std::string, LabelHash, std::equal_to<>> labels_;
+
   Rng rng_;
   uint64_t next_anchor_group_ = 1;
   // Tie-break perturbation state (EnableTieBreakPerturbation).
@@ -212,7 +327,9 @@ class Simulator {
 
 // Re-runs a callback on a fixed period until stopped. The callback fires
 // first at `start + period`. `label` names the tick events in divergence
-// reports (determinism audit).
+// reports (determinism audit). Ticks after the first re-arm the fired
+// event record in place (Simulator::RearmCurrentAfter), so a steady-state
+// periodic timer schedules without allocating.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator* sim, Duration period, Simulator::Callback cb,
@@ -227,6 +344,7 @@ class PeriodicTask {
 
  private:
   void Arm();
+  void Tick();
 
   Simulator* sim_;
   Duration period_;
@@ -256,13 +374,14 @@ class Resource {
   uint64_t Acquire(Simulator::Callback on_grant);
   // Abandons a queued request. Returns true if `ticket` was still waiting
   // (its callback will never run); false for granted, cancelled, or unknown
-  // tickets.
+  // tickets. O(1): tickets index straight into the waiter slab, so a
+  // 10k-waiter heartbeat storm cancels in linear, not quadratic, time.
   bool CancelWait(uint64_t ticket);
   void Release();
 
   int64_t capacity() const { return capacity_; }
   int64_t in_use() const { return in_use_; }
-  int64_t queue_length() const { return static_cast<int64_t>(waiters_.size()); }
+  int64_t queue_length() const { return static_cast<int64_t>(waiter_count_); }
 
   int64_t total_granted() const { return total_granted_; }
   int64_t waits_cancelled() const { return waits_cancelled_; }
@@ -275,21 +394,35 @@ class Resource {
   void DigestState(StateDigest& digest) const;
 
  private:
+  static constexpr uint32_t kNoWaiter = 0xffffffffu;
+
+  // Waiters live in a slab, chained into a FIFO list; the ticket map gives
+  // CancelWait O(1) access without scanning the queue.
   struct Waiter {
     uint64_t ticket = 0;
     Simulator::Callback on_grant;
     SimTime enqueued;
     SpanId span = 0;
+    uint32_t prev = kNoWaiter;
+    uint32_t next = kNoWaiter;
   };
 
   void RecordGrant(SimTime enqueued);
+  // Unlinks `index` from the FIFO chain and the ticket map, returning the
+  // freed waiter's payload.
+  Waiter Detach(uint32_t index);
 
   Simulator* sim_;
   int64_t capacity_;
   std::string name_;
   int64_t in_use_ = 0;
   uint64_t next_ticket_ = 1;
-  std::deque<Waiter> waiters_;
+  Slab<Waiter> waiter_slab_;
+  uint32_t waiter_head_ = kNoWaiter;
+  uint32_t waiter_tail_ = kNoWaiter;
+  size_t waiter_count_ = 0;
+  // Ticket -> slab index for queued waiters only.
+  std::unordered_map<uint64_t, uint32_t> ticket_index_;
   int64_t total_granted_ = 0;
   int64_t waits_cancelled_ = 0;
   int64_t max_queue_length_ = 0;

@@ -1,0 +1,161 @@
+// Tests for the slab arena (src/base/slab.h): free-list recycling,
+// generation-counted liveness, stable addresses across growth, Renew
+// semantics, and Ref packing — the properties the simulator's event
+// records lean on.
+
+#include "src/base/slab.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soccluster {
+namespace {
+
+struct Tracked {
+  explicit Tracked(int* c) : counter(c) { ++*counter; }
+  ~Tracked() { --*counter; }
+  Tracked(const Tracked&) = delete;
+  Tracked& operator=(const Tracked&) = delete;
+  int* counter;
+};
+
+TEST(SlabTest, DefaultRefIsNullAndNeverLive) {
+  Slab<int> slab;
+  Slab<int>::Ref null_ref;
+  EXPECT_TRUE(null_ref.null());
+  EXPECT_FALSE(slab.IsLive(null_ref));
+  EXPECT_EQ(null_ref.Pack(), 0u);
+}
+
+TEST(SlabTest, AllocateConstructsInPlaceAndIsLive) {
+  Slab<std::pair<int, int>> slab;
+  const auto ref = slab.Allocate(3, 4);
+  ASSERT_TRUE(slab.IsLive(ref));
+  EXPECT_EQ(slab[ref.index].first, 3);
+  EXPECT_EQ(slab[ref.index].second, 4);
+  EXPECT_EQ(slab.live(), 1u);
+}
+
+TEST(SlabTest, FreeKillsEveryRefToThatLifetime) {
+  Slab<int> slab;
+  const auto ref = slab.Allocate(7);
+  const auto copy = ref;
+  slab.Free(ref.index);
+  EXPECT_FALSE(slab.IsLive(ref));
+  EXPECT_FALSE(slab.IsLive(copy));
+  EXPECT_EQ(slab.live(), 0u);
+}
+
+TEST(SlabTest, RecycledSlotGetsFreshGeneration) {
+  Slab<int> slab;
+  const auto first = slab.Allocate(1);
+  slab.Free(first.index);
+  const auto second = slab.Allocate(2);
+  // LIFO free list: the same slot comes back with a newer generation.
+  EXPECT_EQ(second.index, first.index);
+  EXPECT_NE(second.gen, first.gen);
+  EXPECT_FALSE(slab.IsLive(first));
+  EXPECT_TRUE(slab.IsLive(second));
+  EXPECT_EQ(slab[second.index], 2);
+}
+
+TEST(SlabTest, RenewInvalidatesOldRefWithoutDestroying) {
+  int alive = 0;
+  Slab<Tracked> slab;
+  const auto old_ref = slab.Allocate(&alive);
+  EXPECT_EQ(alive, 1);
+  const auto new_ref = slab.Renew(old_ref.index);
+  EXPECT_EQ(alive, 1);  // Same object, not reconstructed.
+  EXPECT_EQ(new_ref.index, old_ref.index);
+  EXPECT_FALSE(slab.IsLive(old_ref));
+  EXPECT_TRUE(slab.IsLive(new_ref));
+  slab.Free(new_ref.index);
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(SlabTest, AddressesStableAcrossChunkGrowth) {
+  Slab<int> slab;
+  const auto first = slab.Allocate(42);
+  int* address = &slab[first.index];
+  // Push well past several chunk boundaries (1024 slots per chunk).
+  std::vector<Slab<int>::Ref> refs;
+  for (int i = 0; i < 5000; ++i) {
+    refs.push_back(slab.Allocate(i));
+  }
+  EXPECT_EQ(address, &slab[first.index]);
+  EXPECT_EQ(*address, 42);
+  EXPECT_GE(slab.capacity(), 5001u);
+}
+
+TEST(SlabTest, PackUnpackRoundTrips) {
+  Slab<int> slab;
+  for (int i = 0; i < 3000; ++i) {
+    const auto ref = slab.Allocate(i);
+    const auto back = Slab<int>::Ref::Unpack(ref.Pack());
+    ASSERT_EQ(back.index, ref.index);
+    ASSERT_EQ(back.gen, ref.gen);
+    ASSERT_NE(ref.Pack(), 0u);  // Live refs always pack nonzero.
+  }
+}
+
+TEST(SlabTest, ForEachLiveVisitsExactlyTheLiveSet) {
+  Slab<int> slab;
+  std::vector<Slab<int>::Ref> refs;
+  for (int i = 0; i < 100; ++i) {
+    refs.push_back(slab.Allocate(i));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    slab.Free(refs[i].index);
+  }
+  std::set<int> seen;
+  slab.ForEachLive([&seen](uint32_t, int& value) { seen.insert(value); });
+  EXPECT_EQ(seen.size(), 50u);
+  for (int i = 1; i < 100; i += 2) {
+    EXPECT_TRUE(seen.count(i)) << i;
+  }
+}
+
+TEST(SlabTest, DestructorRunsForLiveObjectsOnly) {
+  int alive = 0;
+  {
+    Slab<Tracked> slab;
+    const auto a = slab.Allocate(&alive);
+    slab.Allocate(&alive);
+    slab.Allocate(&alive);
+    EXPECT_EQ(alive, 3);
+    slab.Free(a.index);
+    EXPECT_EQ(alive, 2);
+  }
+  EXPECT_EQ(alive, 0);  // Slab teardown destroys the remaining two once.
+}
+
+TEST(SlabTest, MoveOnlyPayloadsAllocate) {
+  Slab<std::unique_ptr<int>> slab;
+  const auto ref = slab.Allocate(std::make_unique<int>(9));
+  EXPECT_EQ(*slab[ref.index], 9);
+}
+
+TEST(SlabTest, FreeListIsLifoAcrossManyCycles) {
+  Slab<int> slab;
+  std::vector<Slab<int>::Ref> refs;
+  for (int i = 0; i < 10; ++i) {
+    refs.push_back(slab.Allocate(i));
+  }
+  for (const auto& ref : refs) {
+    slab.Free(ref.index);
+  }
+  // Reallocation pops the free list most-recently-freed first.
+  for (int i = 9; i >= 0; --i) {
+    const auto ref = slab.Allocate(100 + i);
+    EXPECT_EQ(ref.index, refs[i].index);
+  }
+  EXPECT_EQ(slab.live(), 10u);
+}
+
+}  // namespace
+}  // namespace soccluster

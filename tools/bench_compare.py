@@ -8,12 +8,31 @@ ending in "/s") regresses by more than the allowed fraction. Metrics in
 other units (ms, W, ratio, ...) are compared informationally only: their
 direction of "better" is metric-specific, so they never gate.
 
+Two optional layers on top of the regression check:
+
+  Floors (--floors floors.json): absolute minimums per metric, as a JSON
+  object {"metric": min_value, ...}. A floored metric must be present in
+  the current report and at or above its floor, independent of what the
+  baseline says — this is how the engine-throughput gate holds every
+  pattern to its committed target (e.g. fan_out at 5x the pre-rewrite
+  rate) rather than just "no worse than last time".
+
+  History (--history-dir DIR [--record-label TEXT]): DIR holds the
+  committed trajectory as NNNN-label.json snapshots. With --history-dir
+  the gate prints each throughput metric's trajectory across snapshots;
+  with --record-label it also writes the current report as the
+  next-numbered snapshot (done when refreshing baselines, committed with
+  them).
+
 Usage:
   bench_compare.py --current BENCH_engine_throughput.json \
       [--baseline bench/baselines/BENCH_engine_throughput.json] \
-      [--max-regression 0.15]
+      [--max-regression 0.15] \
+      [--floors bench/baselines/engine_throughput_floors.json] \
+      [--history-dir bench/baselines/history/engine_throughput] \
+      [--record-label slab-wheel-engine]
 
-Exit codes: 0 pass, 1 regression, 2 usage/schema error.
+Exit codes: 0 pass, 1 regression/floor violation, 2 usage/schema error.
 """
 
 from __future__ import annotations
@@ -50,7 +69,83 @@ def is_throughput(units: str) -> bool:
     return units.endswith("/s")
 
 
-def compare(current: dict, baseline: dict, max_regression: float) -> int:
+def load_floors(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            floors = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read floors {path}: {e}")
+    if not isinstance(floors, dict) or not all(
+            isinstance(v, (int, float)) for v in floors.values()):
+        raise SystemExit(
+            f"bench_compare: {path} must map metric names to numbers")
+    return {name: float(value) for name, value in floors.items()}
+
+
+def check_floors(current: dict, floors: dict) -> list:
+    """Returns failure strings for metrics missing or below their floor."""
+    cur = metrics_by_name(current)
+    failures = []
+    for name, floor in sorted(floors.items()):
+        if name not in cur:
+            failures.append(f"floored metric '{name}' missing from report")
+            continue
+        value = cur[name][0]
+        if value < floor:
+            failures.append(
+                f"'{name}': {value:.4g} below floor {floor:.4g} "
+                f"({(value - floor) / floor:+.1%})")
+    return failures
+
+
+def history_snapshots(history_dir: str) -> list:
+    """(filename, report) pairs in trajectory order (filenames sort)."""
+    try:
+        names = sorted(n for n in os.listdir(history_dir)
+                       if n.endswith(".json"))
+    except OSError as e:
+        raise SystemExit(f"bench_compare: cannot list {history_dir}: {e}")
+    return [(name, load_report(os.path.join(history_dir, name)))
+            for name in names]
+
+
+def record_history(history_dir: str, label: str, current: dict) -> str:
+    """Writes `current` as the next-numbered snapshot; returns its path."""
+    os.makedirs(history_dir, exist_ok=True)
+    taken = [n for n in os.listdir(history_dir) if n.endswith(".json")]
+    next_seq = 1 + max(
+        (int(n.split("-", 1)[0]) for n in taken
+         if n.split("-", 1)[0].isdigit()), default=0)
+    path = os.path.join(history_dir, f"{next_seq:04d}-{label}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(current, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def print_history(history_dir: str, current: dict) -> None:
+    snapshots = history_snapshots(history_dir)
+    if not snapshots:
+        print(f"(history {history_dir} is empty)")
+        return
+    cur = metrics_by_name(current)
+    names = sorted(n for n, (_, units) in cur.items() if is_throughput(units))
+    print(f"\ntrajectory ({history_dir}):")
+    width = max((len(n) for n in names), default=10)
+    for name in names:
+        points = []
+        for snap_name, snap in snapshots:
+            snap_metrics = metrics_by_name(snap)
+            if name in snap_metrics:
+                points.append(f"{snap_metrics[name][0]:.4g}")
+            else:
+                points.append("-")
+        points.append(f"{cur[name][0]:.4g} (current)")
+        print(f"  {name:<{width}}  " + " -> ".join(points))
+
+
+def compare(current: dict, baseline: dict, max_regression: float,
+            floors: dict | None = None) -> int:
     cur = metrics_by_name(current)
     base = metrics_by_name(baseline)
     if current["name"] != baseline["name"]:
@@ -90,13 +185,17 @@ def compare(current: dict, baseline: dict, max_regression: float) -> int:
         print(f"{name:<{width}}  {base_text:>12}  {cur_value:>12.4g}  "
               f"{change:>8}  {note}")
 
+    if floors:
+        failures.extend(check_floors(current, floors))
+
     if failures:
-        print(f"\nFAIL: {len(failures)} regression(s) beyond "
-              f"{max_regression:.0%}:", file=sys.stderr)
+        print(f"\nFAIL: {len(failures)} violation(s) (regression beyond "
+              f"{max_regression:.0%} or below floor):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nOK: no throughput metric regressed beyond {max_regression:.0%}")
+    print(f"\nOK: no throughput metric regressed beyond {max_regression:.0%}"
+          + (f"; all {len(floors)} floor(s) held" if floors else ""))
     return 0
 
 
@@ -111,7 +210,20 @@ def main(argv: list[str]) -> int:
                         default=DEFAULT_MAX_REGRESSION,
                         help="allowed fractional drop in */s metrics "
                              "(default 0.15)")
+    parser.add_argument("--floors", default=None,
+                        help="JSON file of absolute per-metric minimums; "
+                             "all floored metrics gate regardless of the "
+                             "baseline")
+    parser.add_argument("--history-dir", default=None,
+                        help="directory of NNNN-label.json snapshots; "
+                             "prints the throughput trajectory")
+    parser.add_argument("--record-label", default=None,
+                        help="with --history-dir: also write the current "
+                             "report as the next-numbered snapshot")
     args = parser.parse_args(argv)
+
+    if args.record_label and not args.history_dir:
+        raise SystemExit("bench_compare: --record-label needs --history-dir")
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -119,7 +231,15 @@ def main(argv: list[str]) -> int:
                                      os.path.basename(args.current))
     current = load_report(args.current)
     baseline = load_report(baseline_path)
-    return compare(current, baseline, args.max_regression)
+    floors = load_floors(args.floors) if args.floors else None
+    status = compare(current, baseline, args.max_regression, floors)
+    if args.history_dir:
+        if args.record_label:
+            path = record_history(args.history_dir, args.record_label,
+                                  current)
+            print(f"recorded {path}")
+        print_history(args.history_dir, current)
+    return status
 
 
 if __name__ == "__main__":

@@ -94,6 +94,88 @@ class BenchCompareTest(unittest.TestCase):
         self.assertTrue(os.path.exists(shipped))
         self.assertEqual(bench_compare.main(["--current", shipped]), 0)
 
+    def write_floors(self, floors):
+        path = os.path.join(self.dir.name, "floors.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(floors, f)
+        return path
+
+    def run_floored(self, base_metrics, cur_metrics, floors):
+        base = write_report(self.dir.name, "base.json", "t", base_metrics)
+        cur = write_report(self.dir.name, "cur.json", "t", cur_metrics)
+        return bench_compare.main(
+            ["--current", cur, "--baseline", base,
+             "--floors", self.write_floors(floors)])
+
+    def test_floor_met_passes(self):
+        self.assertEqual(
+            self.run_floored([metric("a", 100.0)], [metric("a", 120.0)],
+                             {"a": 110.0}), 0)
+
+    def test_floor_violation_fails_even_without_regression(self):
+        # 5% above baseline would pass the regression gate alone; the
+        # floor still fails it.
+        self.assertEqual(
+            self.run_floored([metric("a", 100.0)], [metric("a", 105.0)],
+                             {"a": 150.0}), 1)
+
+    def test_floored_metric_missing_from_current_fails(self):
+        self.assertEqual(
+            self.run_floored([metric("a", 100.0)], [metric("a", 100.0)],
+                             {"ghost": 1.0}), 1)
+
+    def test_non_numeric_floors_are_schema_error(self):
+        with self.assertRaises(SystemExit):
+            self.run_floored([metric("a", 1.0)], [metric("a", 1.0)],
+                             {"a": "fast"})
+
+    def test_shipped_floors_hold_against_shipped_baseline(self):
+        # The committed baseline must satisfy its own committed floors,
+        # or the perf-gate would fail on an untouched tree.
+        baselines = os.path.join(bench_compare.REPO_ROOT, "bench",
+                                 "baselines")
+        shipped = os.path.join(baselines, "BENCH_engine_throughput.json")
+        floors = os.path.join(baselines, "engine_throughput_floors.json")
+        self.assertTrue(os.path.exists(floors))
+        self.assertEqual(
+            bench_compare.main(["--current", shipped, "--floors", floors]), 0)
+
+    def test_record_label_requires_history_dir(self):
+        cur = write_report(self.dir.name, "cur.json", "t", [metric("a", 1.0)])
+        with self.assertRaises(SystemExit):
+            bench_compare.main(["--current", cur, "--baseline", cur,
+                                "--record-label", "x"])
+
+    def test_history_records_sequential_snapshots(self):
+        cur = write_report(self.dir.name, "cur.json", "t",
+                           [metric("a", 2.0)])
+        history = os.path.join(self.dir.name, "history")
+        self.assertEqual(
+            bench_compare.main(["--current", cur, "--baseline", cur,
+                                "--history-dir", history,
+                                "--record-label", "first"]), 0)
+        self.assertEqual(
+            bench_compare.main(["--current", cur, "--baseline", cur,
+                                "--history-dir", history,
+                                "--record-label", "second"]), 0)
+        names = sorted(os.listdir(history))
+        self.assertEqual(names, ["0001-first.json", "0002-second.json"])
+        with open(os.path.join(history, "0002-second.json"),
+                  encoding="utf-8") as f:
+            self.assertEqual(json.load(f)["metrics"][0]["value"], 2.0)
+
+    def test_history_print_tolerates_missing_metric_in_old_snapshot(self):
+        history = os.path.join(self.dir.name, "history")
+        old = write_report(self.dir.name, "old.json", "t", [metric("a", 1.0)])
+        with open(old, encoding="utf-8") as f:
+            old_report = json.load(f)
+        bench_compare.record_history(history, "old", old_report)
+        cur = write_report(self.dir.name, "cur.json", "t",
+                           [metric("a", 2.0), metric("b", 3.0)])
+        self.assertEqual(
+            bench_compare.main(["--current", cur, "--baseline", cur,
+                                "--history-dir", history]), 0)
+
 
 if __name__ == "__main__":
     unittest.main()

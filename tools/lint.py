@@ -60,6 +60,17 @@ Registered as the `lint.repo` ctest. Rules:
                 and drifts from the one evidence stream the detector
                 reasons about. Fleet-wide and per-priority stats are fine.
 
+  hot-label     ScheduleAt/ScheduleAfter call sites under src/ must pass
+                static-ish labels: no std::to_string, StrCat, per-event
+                std::string construction, or literal concatenation in the
+                argument list. The simulator interns labels and stores a
+                `const char*` per event record precisely so the hot path
+                never allocates; one formatted label per event would put a
+                malloc back into every schedule. Dynamic text belongs in
+                trace span args, not event labels. Lambda bodies (the
+                callback argument) are exempt — only the call's own
+                argument expressions are checked.
+
   suppression    Every `lint:allow` marker must be well-formed and name a
                 rule that exists: a typo like `lint:allow(unit)` would
                 otherwise silently suppress nothing while looking like it
@@ -165,13 +176,31 @@ GRAY_EVIDENCE_PATTERNS = [
      "DegradationScorer own the per-SoC evidence"),
 ]
 
+# Event labels are interned and must be cheap: flag per-event string
+# construction in the argument list of a Schedule* call. The callback
+# lambda's body is blanked before matching, so dynamic text inside the
+# callback itself stays legal.
+HOT_LABEL_CALL = re.compile(r"\b(?:ScheduleAt|ScheduleAfter)\s*\(")
+HOT_LABEL_DYNAMIC = [
+    (re.compile(r"\bto_string\s*\("),
+     "std::to_string builds a fresh std::string per event"),
+    (re.compile(r"\bStrCat\s*\("),
+     "StrCat builds a fresh std::string per event"),
+    (re.compile(r"\bstd::string\s*[({]"),
+     "constructing a std::string per event"),
+    (re.compile(r"\.append\s*\("),
+     "appending to a std::string per event"),
+    (re.compile(r"\"\s*\+|\+\s*\""),
+     "string concatenation builds a fresh std::string per event"),
+]
+
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 ALLOW_MARKER = re.compile(r"lint:allow")
 ALLOW_ANY = re.compile(r"//\s*lint:allow\(([^)]*)\)")
 
 KNOWN_RULES = frozenset({
     "determinism", "units", "guards", "include-cc", "stdio", "layering",
-    "admission", "gray-evidence",
+    "admission", "gray-evidence", "hot-label",
 })
 
 IGNORED_DIRS = {".git", "build", "third_party", ".github"}
@@ -314,6 +343,57 @@ class Linter:
                     self.report(path, lineno, "gray-evidence", reason)
                     break
 
+    def lint_hot_label(self, path, raw_lines, code_text):
+        if not path.startswith("src/"):
+            return
+        raw_text = "\n".join(raw_lines)
+        for call in HOT_LABEL_CALL.finditer(code_text):
+            open_idx = call.end() - 1
+            depth, close_idx = 0, None
+            for i in range(open_idx, len(code_text)):
+                if code_text[i] == "(":
+                    depth += 1
+                elif code_text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        close_idx = i
+                        break
+            if close_idx is None:
+                continue
+            # Reconstruct the argument text from the raw source (labels are
+            # string literals, blanked in code_text), but blank everything
+            # inside braces — lambda callback bodies are not label
+            # expressions. Paren/brace depth is tracked on the stripped
+            # text so literals cannot unbalance it.
+            pieces = []
+            brace_depth = 0
+            for i in range(open_idx + 1, close_idx):
+                if code_text[i] == "{":
+                    brace_depth += 1
+                if brace_depth == 0:
+                    pieces.append(raw_text[i])
+                else:
+                    pieces.append("\n" if raw_text[i] == "\n" else " ")
+                if code_text[i] == "}":
+                    brace_depth = max(0, brace_depth - 1)
+            args_text = "".join(pieces)
+            for pattern, reason in HOT_LABEL_DYNAMIC:
+                m = pattern.search(args_text)
+                if m is None:
+                    continue
+                lineno = code_text.count(
+                    "\n", 0, open_idx + 1 + m.start()) + 1
+                call_lineno = code_text.count("\n", 0, call.start()) + 1
+                if (allowed(raw_lines[lineno - 1], "hot-label") or
+                        allowed(raw_lines[call_lineno - 1], "hot-label")):
+                    continue
+                self.report(
+                    path, lineno, "hot-label",
+                    f"dynamic label at a Schedule* call site: {reason}; "
+                    "labels are interned per unique string — pass a static "
+                    "literal and put per-event detail in trace span args")
+                break
+
     def lint_suppressions(self, path, raw_lines):
         for lineno, raw in enumerate(raw_lines, 1):
             if not ALLOW_MARKER.search(raw):
@@ -359,6 +439,7 @@ class Linter:
                 self.lint_layering(path, raw_lines, code_lines)
                 self.lint_admission(path, raw_lines, code_lines)
                 self.lint_gray_evidence(path, raw_lines, code_lines)
+                self.lint_hot_label(path, raw_lines, code_text)
                 self.lint_include_cc(path, raw_lines, code_lines)
                 self.lint_suppressions(path, raw_lines)
         return self.findings

@@ -16,7 +16,7 @@ def run_rule(method_name, path, text):
     raw_lines = text.split("\n")
     code_lines = code_text.split("\n")
     method = getattr(linter, method_name)
-    if method_name in ("lint_units", "lint_guards"):
+    if method_name in ("lint_units", "lint_guards", "lint_hot_label"):
         method(path, raw_lines, code_text)
     elif method_name == "lint_suppressions":
         method(path, raw_lines)
@@ -188,6 +188,59 @@ class GrayEvidenceRuleTest(unittest.TestCase):
             "lint_gray_evidence", "src/workload/x.h",
             "RunningStats per_soc_latency_;  // lint:allow(gray-evidence)\n")
         self.assertEqual(findings, [])
+
+
+class HotLabelRuleTest(unittest.TestCase):
+    def test_to_string_label_flagged(self):
+        findings = run_rule(
+            "lint_hot_label", "src/workload/x.cc",
+            'sim->ScheduleAfter(d, cb,\n'
+            '                   "req." + std::to_string(id));\n')
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[hot-label]", findings[0])
+
+    def test_string_construction_flagged(self):
+        findings = run_rule(
+            "lint_hot_label", "src/core/x.cc",
+            "sim->ScheduleAt(t, cb, std::string(prefix) + name);\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_static_literal_clean(self):
+        findings = run_rule(
+            "lint_hot_label", "src/workload/x.cc",
+            'sim->ScheduleAfter(d, cb, "video.frame_deadline");\n')
+        self.assertEqual(findings, [])
+
+    def test_to_string_inside_callback_body_exempt(self):
+        # Dynamic text inside the callback lambda is not a label.
+        findings = run_rule(
+            "lint_hot_label", "src/workload/x.cc",
+            'sim->ScheduleAfter(d, [this, id] {\n'
+            '  span.AddArg("req", std::to_string(id));\n'
+            '}, "video.retry");\n')
+        self.assertEqual(findings, [])
+
+    def test_outside_src_ignored(self):
+        findings = run_rule(
+            "lint_hot_label", "bench/x.cc",
+            'sim->ScheduleAfter(d, cb, "a" + std::to_string(i));\n')
+        self.assertEqual(findings, [])
+
+    def test_suppressed_at_call_line(self):
+        findings = run_rule(
+            "lint_hot_label", "src/core/x.cc",
+            "sim->ScheduleAt(  // lint:allow(hot-label)\n"
+            "    t, cb, std::string(name));\n")
+        self.assertEqual(findings, [])
+
+    def test_multiline_call_reports_offending_line(self):
+        findings = run_rule(
+            "lint_hot_label", "src/core/x.cc",
+            "sim->ScheduleAt(\n"
+            "    t, cb,\n"
+            '    "soc." + std::to_string(soc_id));\n')
+        self.assertEqual(len(findings), 1)
+        self.assertIn("x.cc:3:", findings[0])
 
 
 class SuppressionHygieneTest(unittest.TestCase):
