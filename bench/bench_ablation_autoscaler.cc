@@ -11,6 +11,7 @@
 #include "src/core/autoscaler.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/flags.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {

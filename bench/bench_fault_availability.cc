@@ -23,6 +23,7 @@
 #include "src/obs/bench_report.h"
 #include "src/obs/flags.h"
 #include "src/obs/sketch.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {

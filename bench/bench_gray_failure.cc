@@ -26,6 +26,7 @@
 #include "src/core/chaos.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/flags.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {

@@ -1,0 +1,513 @@
+// Metastable ride-out: the same simulated day, twice, from one seed.
+//
+// A million-user open-loop session tier (src/trace/session.h) drives the
+// serving fleet through a 25x peak-to-trough diurnal day. On the evening
+// peak a flash crowd lands (livestream event, 4x for a few minutes) and
+// a correlated burst of SoC faults kills part of the fleet — the classic
+// metastability trigger. The two runs differ only in the retry discipline
+// and the server-side protections:
+//
+//   naive    fixed-delay unbounded client retries, a deep FIFO queue, no
+//            deadline purge, no brownout ladder. Timeouts beget retries,
+//            retries keep offered load above capacity, the server burns
+//            its capacity on requests whose clients already walked away
+//            (`wasted`), and goodput stays collapsed long after the
+//            trigger clears — the vicious cycle sustains itself.
+//   rideout  budgeted retries (token bucket over jittered exponential
+//            backoff), a bounded queue with client-deadline purge, and
+//            the cluster brownout ladder. Retry amplification is capped,
+//            stale work is dropped before it wastes a SoC, and goodput
+//            recovers to the pre-trigger level once the crowd decays.
+//
+// Arrival draws ride a cohort stream separate from behavior draws, so both
+// runs see the bit-identical session-arrival sequence: one day, one seed,
+// two outcomes. The report carries the goodput-vs-time series of both.
+//
+// Flags: --seed=S (default 42), --users=N (default 1000000),
+//        --day-minutes=D (default 60; the full 24 h day compressed),
+//        --post-minutes=P (default 30; the post-trigger assertion window),
+//        --socs=N (default 40; serving fleet size — the fault burst, wall
+//        cap, and offered load scale with it, so sanitizer smoke runs can
+//        shrink the whole experiment proportionally),
+//        --exact-latency=0|1 (default 1; pass 0 on very long days to keep
+//        latency memory O(sketch) — p99 then reads the registry sketch),
+//        --trace-out/--metrics-out/--slo-out/--digest-out (rideout run).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/digest.h"
+#include "src/base/stats.h"
+#include "src/base/table.h"
+#include "src/core/overload.h"
+#include "src/obs/bench_report.h"
+#include "src/obs/flags.h"
+#include "src/trace/session.h"
+
+namespace soccluster {
+namespace {
+
+constexpr Duration kClientTimeout = Duration::Seconds(1);
+constexpr Duration kClientDeadline = Duration::Seconds(2);
+
+struct RideoutParams {
+  uint64_t seed = 42;
+  int64_t users = 1'000'000;
+  int day_minutes = 60;
+  int post_minutes = 30;
+  // Offered load is 0.95x this fleet's capacity; the fault burst kills
+  // ~10% of it and the wall cap scales with it, so smaller fleets run the
+  // same experiment at proportionally lower event cost.
+  int socs = 40;
+  bool exact_latency = true;
+  // "both" runs the A/B pair; "naive" or "rideout" runs one side (a full
+  // uncompressed 2M-user day is wall-clock-minutes cheap in rideout mode,
+  // while the naive side deliberately amplifies itself ~200x).
+  std::string mode = "both";
+};
+
+// Trigger timeline, derived from the (possibly compressed) day length.
+struct Trigger {
+  SimTime flash_start;
+  Duration ramp;
+  Duration hold;
+  Duration decay;
+  SimTime clear;  // Flash decayed (2 time constants) and faults repaired.
+};
+
+Trigger MakeTrigger(Duration day) {
+  Trigger trigger;
+  // The flash crowd lands exactly on the diurnal peak (peak_hour 21).
+  trigger.flash_start = SimTime::Zero() + day * (21.0 / 24.0);
+  trigger.ramp = day / 30.0;
+  trigger.hold = day / 12.0;
+  trigger.decay = day / 60.0;
+  trigger.clear = trigger.flash_start + trigger.ramp + trigger.hold +
+                  trigger.decay * 2.0;
+  return trigger;
+}
+
+struct RideoutOutcome {
+  int64_t sessions = 0;
+  int64_t issued = 0;
+  int64_t submitted = 0;
+  double amplification = 0.0;  // submitted / issued.
+  int64_t good = 0;
+  int64_t timeouts = 0;
+  int64_t retries = 0;
+  int64_t retries_denied = 0;
+  int64_t give_ups = 0;
+  int64_t wasted = 0;
+  double pre_goodput = 0.0;   // The 10 windows before the flash.
+  double post_goodput = 0.0;  // [clear, clear + post_minutes).
+  // Consecutive post-clear minutes with goodput under half the pre-trigger
+  // level (the ISSUE's "stays collapsed" measure).
+  double collapsed_minutes = 0.0;
+  bool recovered = false;  // Goodput back to >= 95% of pre, and held.
+  double recovery_minutes = -1.0;  // Clear -> first recovered window.
+  double critical_p99_ms = 0.0;
+  int peak_brownout = 0;
+  int64_t slo_fires = 0;
+  int64_t slo_clears = 0;
+  std::vector<SessionWindow> series;
+  Duration window;
+};
+
+SessionTierConfig TierConfig(const RideoutParams& params, double peak_rps,
+                             RetryMode mode, const Trigger& trigger) {
+  SessionTierConfig config;
+  config.users = params.users;
+  config.peak_rps = peak_rps;
+  config.diurnal.day = Duration::Minutes(params.day_minutes);
+  FlashCrowd crowd;
+  crowd.start = trigger.flash_start;
+  crowd.ramp = trigger.ramp;
+  crowd.hold = trigger.hold;
+  crowd.decay = trigger.decay;
+  crowd.peak_multiplier = 4.0;
+  config.flash_crowds.push_back(crowd);
+  config.requests_per_session = 4.0;
+  config.think_median = Duration::Seconds(20);
+  config.think_sigma = 0.7;
+  config.client_timeout = kClientTimeout;
+  config.client_deadline = kClientDeadline;
+  config.give_up_after = Duration::Minutes(4);
+  config.retry_mode = mode;
+  config.naive_retry_delay = Duration::Millis(250);
+  config.backoff.max_attempts = 4;
+  config.backoff.initial_backoff = Duration::Millis(200);
+  config.backoff.max_backoff = Duration::Seconds(5);
+  config.budget_tokens_per_success = 0.1;
+  config.budget_max_tokens = 100.0;
+  // Goodput-vs-time resolution: 120 windows per day.
+  config.counter_window = config.diurnal.day / 120.0;
+  config.seed = params.seed;
+  return config;
+}
+
+RideoutOutcome RunDay(bool rideout, const RideoutParams& params,
+                      const ObsFlags* obs_flags) {
+  Simulator sim(params.seed);
+  if (obs_flags != nullptr) {
+    ApplyObsFlags(*obs_flags, &sim.obs());
+  }
+  SocCluster cluster(&sim, DefaultChassisSpec(), Snapdragon865Spec());
+  cluster.PowerOnAll(nullptr);
+  SOC_CHECK(sim.RunFor(Duration::Seconds(26)).ok());
+
+  SocServingFleet fleet(&sim, &cluster, DlDevice::kSocCpu, DnnModel::kResNet50,
+                        Precision::kFp32);
+  fleet.SetActiveCount(params.socs);
+  fleet.SetExactLatencySamples(params.exact_latency);
+
+  // Server-side posture: the naive server is the unprotected strawman — a
+  // deep FIFO queue that happily serves work whose client has left.
+  BmcModel bmc(&sim, &cluster, BmcConfig{});
+  ClusterOverloadConfig overload_config;
+  // Wall power includes the ~255 W host floor; only the SoC share of the
+  // 450 W / 40-SoC budget scales with the fleet.
+  overload_config.wall_cap = Power::Watts(255.0 + 195.0 * params.socs / 40.0);
+  ClusterOverloadManager manager(&sim, &cluster, &bmc, overload_config);
+  if (rideout) {
+    fleet.SetDeadline(kClientDeadline);
+    fleet.SetHonorClientDeadline(true);
+    fleet.admission().SetMaxQueue(500);
+    bmc.StartSampling();
+    manager.AttachServing(&fleet);
+    manager.Start();
+  } else {
+    fleet.admission().SetMaxQueue(5000);
+  }
+
+  const Duration day = Duration::Minutes(params.day_minutes);
+  const Trigger trigger = MakeTrigger(day);
+  const double peak_rps = 0.95 * params.socs * fleet.PerSocThroughput();
+  SessionTier tier(
+      &sim,
+      TierConfig(params, peak_rps,
+                 rideout ? RetryMode::kBudgeted : RetryMode::kNaive, trigger),
+      {{"east", 0.55, 0.0}, {"west", 0.45, 3.0}});
+  tier.SetSubmit([&fleet](Priority priority, const ClientAttribution& client) {
+    fleet.Submit(priority, client);
+  });
+  fleet.SetClientObserver(tier.Observer());
+  // The wheel grid makes tier/fleet timestamp collisions systematic; pin
+  // the shared pipeline so tie-break audits stay clean.
+  fleet.SetEventAnchorGroup(tier.anchor_group());
+
+  // Correlated fault burst riding the flash crowd: ~10% of the serving
+  // SoCs die in quick succession while the crowd holds, and repair 90 s
+  // later. Victim indices scale with the fleet so --socs=40 keeps the
+  // original 12/17/22/27 pattern.
+  const int fault_count = std::max(1, params.socs / 10);
+  for (int k = 0; k < fault_count; ++k) {
+    const int victim = (12 + 5 * k) * params.socs / 40;
+    const SimTime fail_at =
+        trigger.flash_start + trigger.ramp + Duration::Seconds(20 * k);
+    sim.ScheduleAt(fail_at, [&cluster, victim] {
+      cluster.soc(victim).Fail();
+    }, "rideout.fault");
+    sim.ScheduleAt(fail_at + Duration::Seconds(90), [&cluster, victim] {
+      cluster.soc(victim).Repair();
+    }, "rideout.repair");
+  }
+
+  // 1.5 diurnal days: the full day plus the next morning's ramp, so the
+  // post-trigger window sits well inside generated traffic.
+  const Duration horizon = day * 1.5;
+  tier.Start(horizon);
+  int peak_brownout = 0;
+  PeriodicTask probe(&sim, Duration::Seconds(5), [&manager, &peak_brownout] {
+    peak_brownout = std::max(peak_brownout, manager.brownout_level());
+  }, "rideout.probe");
+  probe.Start();
+  SOC_CHECK(sim.RunFor(horizon + Duration::Minutes(5)).ok());
+
+  RideoutOutcome outcome;
+  outcome.sessions = tier.sessions_started();
+  outcome.issued = tier.issued();
+  outcome.submitted = tier.submitted();
+  outcome.amplification =
+      outcome.issued > 0 ? static_cast<double>(outcome.submitted) /
+                               static_cast<double>(outcome.issued)
+                         : 0.0;
+  outcome.good = tier.good();
+  outcome.timeouts = tier.timeouts();
+  outcome.retries = tier.retries();
+  outcome.retries_denied = tier.retries_denied();
+  outcome.give_ups = tier.give_ups();
+  outcome.wasted = tier.wasted();
+  outcome.series = tier.series();
+  outcome.window = tier.config().counter_window;
+  outcome.peak_brownout = peak_brownout;
+
+  const int64_t window_ns = outcome.window.nanos();
+  const size_t flash_idx =
+      static_cast<size_t>(trigger.flash_start.nanos() / window_ns);
+  const size_t clear_idx = static_cast<size_t>(
+      (trigger.clear.nanos() + window_ns - 1) / window_ns);
+  const size_t post_windows = static_cast<size_t>(
+      Duration::Minutes(params.post_minutes).nanos() / window_ns);
+  const size_t post_end = clear_idx + post_windows;
+  outcome.pre_goodput =
+      tier.GoodputOver(flash_idx >= 10 ? flash_idx - 10 : 0, flash_idx);
+  outcome.post_goodput = tier.GoodputOver(clear_idx, post_end);
+
+  // Collapse length: consecutive windows under half the pre-trigger level.
+  const double collapse_bar = 0.5 * outcome.pre_goodput;
+  const double recover_bar = 0.95 * outcome.pre_goodput;
+  size_t collapsed = 0;
+  for (size_t w = clear_idx; w < post_end; ++w) {
+    if (tier.GoodputOver(w, w + 1) >= collapse_bar) {
+      break;
+    }
+    ++collapsed;
+  }
+  outcome.collapsed_minutes =
+      static_cast<double>(collapsed) * outcome.window.ToSeconds() / 60.0;
+  // Recovery: the first post-clear window where goodput holds >= 95% of
+  // the pre-trigger level over three consecutive windows.
+  for (size_t w = clear_idx; w + 3 <= post_end; ++w) {
+    if (tier.GoodputOver(w, w + 3) >= recover_bar) {
+      outcome.recovery_minutes =
+          static_cast<double>(w - clear_idx) * outcome.window.ToSeconds() /
+          60.0;
+      break;
+    }
+  }
+  // Recovered means recovery happened and held to the end of the window.
+  outcome.recovered =
+      outcome.recovery_minutes >= 0.0 &&
+      tier.GoodputOver(post_end >= 3 ? post_end - 3 : 0, post_end) >=
+          recover_bar;
+
+  if (params.exact_latency) {
+    const SampleStats& critical = fleet.latencies_of(Priority::kCritical);
+    outcome.critical_p99_ms =
+        critical.count() > 0 ? critical.Percentile(99) : 0.0;
+  } else {
+    outcome.critical_p99_ms =
+        sim.metrics().GetHistogram("dl.serving.latency_ms")->Percentile(99);
+  }
+
+  sim.obs().slos.Advance(sim.Now());
+  for (const auto& tracker : sim.obs().slos.trackers()) {
+    for (const SloAlert& alert : tracker->alerts()) {
+      if (alert.firing) {
+        ++outcome.slo_fires;
+      } else {
+        ++outcome.slo_clears;
+      }
+    }
+  }
+
+  if (obs_flags != nullptr) {
+    SOC_CHECK(FlushObsFlags(*obs_flags, sim.obs(), sim.Now()).ok());
+    StateDigest digest;
+    sim.DigestState(digest);
+    cluster.DigestState(digest);
+    fleet.DigestState(digest);
+    tier.DigestState(digest);
+    manager.governor().DigestState(digest);
+    SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
+  }
+  return outcome;
+}
+
+std::string Tag(const char* mode, const char* metric) {
+  return std::string(mode) + "." + metric;
+}
+
+void Report(BenchReport& report, const char* mode,
+            const RideoutOutcome& o) {
+  report.Add(Tag(mode, "sessions"), static_cast<double>(o.sessions), "count");
+  report.Add(Tag(mode, "issued"), static_cast<double>(o.issued), "count");
+  report.Add(Tag(mode, "submitted"), static_cast<double>(o.submitted),
+             "count");
+  report.Add(Tag(mode, "amplification"), o.amplification, "x");
+  report.Add(Tag(mode, "good"), static_cast<double>(o.good), "count");
+  report.Add(Tag(mode, "timeouts"), static_cast<double>(o.timeouts), "count");
+  report.Add(Tag(mode, "retries"), static_cast<double>(o.retries), "count");
+  report.Add(Tag(mode, "retries_denied"),
+             static_cast<double>(o.retries_denied), "count");
+  report.Add(Tag(mode, "give_ups"), static_cast<double>(o.give_ups), "count");
+  report.Add(Tag(mode, "wasted"), static_cast<double>(o.wasted), "count");
+  report.Add(Tag(mode, "pre_goodput"), o.pre_goodput, "fraction");
+  report.Add(Tag(mode, "post_goodput"), o.post_goodput, "fraction");
+  report.Add(Tag(mode, "collapsed_minutes"), o.collapsed_minutes, "min");
+  report.Add(Tag(mode, "recovered"), o.recovered ? 1.0 : 0.0, "bool");
+  report.Add(Tag(mode, "recovery_minutes"), o.recovery_minutes, "min");
+  report.Add(Tag(mode, "critical_p99_ms"), o.critical_p99_ms, "ms");
+  report.Add(Tag(mode, "peak_brownout_level"),
+             static_cast<double>(o.peak_brownout), "level");
+  report.Add(Tag(mode, "slo_fires"), static_cast<double>(o.slo_fires),
+             "count");
+  report.Add(Tag(mode, "slo_clears"), static_cast<double>(o.slo_clears),
+             "count");
+}
+
+void Run(const RideoutParams& params, const ObsFlags& obs_flags) {
+  BenchReport report("metastable_rideout");
+  report.SetParam("seed", static_cast<int64_t>(params.seed));
+  report.SetParam("users", params.users);
+  report.SetParam("day_minutes", static_cast<int64_t>(params.day_minutes));
+  report.SetParam("post_minutes", static_cast<int64_t>(params.post_minutes));
+  report.SetParam("serving_socs", static_cast<int64_t>(params.socs));
+  report.SetParam("client_timeout_ms", kClientTimeout.ToMillis());
+  report.SetParam("client_deadline_ms", kClientDeadline.ToMillis());
+
+  report.SetParam("mode", params.mode);
+
+  std::printf("=== Metastable ride-out: one day, one seed, two retry "
+              "disciplines (%lld users, %d-minute day, mode %s) ===\n\n",
+              static_cast<long long>(params.users), params.day_minutes,
+              params.mode.c_str());
+  const bool run_naive = params.mode != "rideout";
+  const bool run_rideout = params.mode != "naive";
+  RideoutOutcome naive;
+  RideoutOutcome rideout;
+  if (run_naive) {
+    naive = RunDay(/*rideout=*/false, params,
+                   run_rideout ? nullptr : &obs_flags);
+  }
+  if (run_rideout) {
+    rideout = RunDay(/*rideout=*/true, params, &obs_flags);
+  }
+  if (run_naive && run_rideout) {
+    // The arrival stream is independent of the retry discipline: both runs
+    // saw the identical simulated day.
+    SOC_CHECK(naive.sessions == rideout.sessions)
+        << "arrival sequences diverged between modes: " << naive.sessions
+        << " vs " << rideout.sessions;
+  }
+
+  TextTable table({"mode", "sessions", "amplif", "pre good", "post good",
+                   "collapsed min", "recovered", "wasted", "crit p99 ms"});
+  const RideoutOutcome* outcomes[] = {&naive, &rideout};
+  const bool enabled[] = {run_naive, run_rideout};
+  const char* names[] = {"naive", "rideout"};
+  for (int i = 0; i < 2; ++i) {
+    if (!enabled[i]) {
+      continue;
+    }
+    const RideoutOutcome& o = *outcomes[i];
+    table.AddRow({names[i], std::to_string(o.sessions),
+                  FormatDouble(o.amplification, 2),
+                  FormatDouble(o.pre_goodput, 3),
+                  FormatDouble(o.post_goodput, 3),
+                  FormatDouble(o.collapsed_minutes, 1),
+                  o.recovered ? "yes" : "NO", std::to_string(o.wasted),
+                  FormatDouble(o.critical_p99_ms, 0)});
+    Report(report, names[i], o);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  if (!run_naive || !run_rideout) {
+    return;  // Single-sided run: no A/B timeline or takeaway to print.
+  }
+
+  // Goodput-vs-time, both runs side by side, from the flash onset through
+  // the post-trigger window.
+  const Duration day = Duration::Minutes(params.day_minutes);
+  const Trigger trigger = MakeTrigger(day);
+  const int64_t window_ns = naive.window.nanos();
+  const size_t begin =
+      static_cast<size_t>(trigger.flash_start.nanos() / window_ns) - 4;
+  const size_t end = std::max(naive.series.size(), rideout.series.size());
+  TextTable timeline({"t (min)", "naive goodput", "rideout goodput",
+                      "naive wasted/win", "rideout denied/win"});
+  const size_t stride = 3;
+  for (size_t w = begin; w < end; w += stride) {
+    auto over = [&](const RideoutOutcome& o) {
+      int64_t good = 0;
+      int64_t issued = 0;
+      int64_t other = 0;
+      for (size_t i = w; i < std::min(w + stride, o.series.size()); ++i) {
+        good += o.series[i].good;
+        issued += o.series[i].issued;
+        other += &o == &naive ? o.series[i].wasted
+                              : o.series[i].retries_denied;
+      }
+      return std::pair<double, int64_t>(
+          issued > 0 ? static_cast<double>(good) / static_cast<double>(issued)
+                     : 0.0,
+          other);
+    };
+    const auto [naive_good, naive_wasted] = over(naive);
+    const auto [ride_good, ride_denied] = over(rideout);
+    timeline.AddRow(
+        {FormatDouble(static_cast<double>(w) * naive.window.ToSeconds() / 60.0,
+                      1),
+         FormatDouble(naive_good, 3), FormatDouble(ride_good, 3),
+         std::to_string(naive_wasted), std::to_string(ride_denied)});
+  }
+  std::printf("%s\n", timeline.Render().c_str());
+
+  std::printf(
+      "Takeaway: the same day collapses or rides out depending only on the "
+      "retry discipline. Naive fixed-delay retries amplified %.1fx and held "
+      "goodput at %.2f for %.1f minutes after the trigger cleared (server "
+      "burned %lld completions on departed clients); budgeted retries plus "
+      "deadline purge and the brownout ladder amplified %.2fx and recovered "
+      "to %.0f%% of the pre-trigger level%s.\n",
+      naive.amplification, naive.post_goodput, naive.collapsed_minutes,
+      static_cast<long long>(naive.wasted), rideout.amplification,
+      100.0 * rideout.post_goodput /
+          (rideout.pre_goodput > 0 ? rideout.pre_goodput : 1.0),
+      rideout.recovery_minutes >= 0.0 ? " within the assertion window" : "");
+}
+
+}  // namespace
+}  // namespace soccluster
+
+int main(int argc, char** argv) {
+  soccluster::RideoutParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      params.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      params.users = std::atoll(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--day-minutes=", 14) == 0) {
+      params.day_minutes = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--post-minutes=", 15) == 0) {
+      params.post_minutes = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--socs=", 7) == 0) {
+      params.socs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--exact-latency=", 16) == 0) {
+      params.exact_latency = std::atoi(argv[i] + 16) != 0;
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      params.mode = argv[i] + 7;
+    }
+  }
+  if (params.mode != "both" && params.mode != "naive" &&
+      params.mode != "rideout") {
+    std::fprintf(stderr, "unknown --mode=%s (both|naive|rideout)\n",
+                 params.mode.c_str());
+    return 1;
+  }
+  if (params.day_minutes < 12) {
+    params.day_minutes = 12;
+  }
+  // One chassis: the fleet (and the scaled fault-victim indices) must fit.
+  if (params.socs < 8) {
+    params.socs = 8;
+  }
+  if (params.socs > soccluster::DefaultChassisSpec().num_socs) {
+    params.socs = soccluster::DefaultChassisSpec().num_socs;
+  }
+  if (params.post_minutes < 1) {
+    params.post_minutes = 1;
+  }
+  // The post window must fit inside the generated 1.5-day horizon.
+  const int max_post = params.day_minutes / 2;
+  if (params.post_minutes > max_post) {
+    params.post_minutes = max_post;
+  }
+  const soccluster::ObsFlags obs_flags = soccluster::ParseObsFlags(argc, argv);
+  soccluster::Run(params, obs_flags);
+  return 0;
+}

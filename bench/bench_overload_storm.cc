@@ -10,6 +10,9 @@
 // releases in strict LIFO order.
 //
 // Flags: --seed=S (default 42), --surge-minutes=M (default 5),
+//        --open-loop (drive the serving surge through the SessionTier —
+//        budgeted retries, client timeouts, give-ups — instead of the raw
+//        rated source; adds ol.* report keys, default output unchanged),
 //        --trace-out=PATH / --metrics-out=PATH / --slo-out=PATH (applied to
 //        the 3x run; --slo-out writes the burn-rate alert timeline).
 
@@ -18,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +33,8 @@
 #include "src/core/overload.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/flags.h"
+#include "src/trace/loadgen.h"
+#include "src/trace/session.h"
 
 namespace soccluster {
 namespace {
@@ -99,10 +105,20 @@ struct StormOutcome {
   // Burn-rate alert timeline totals across every registered SLO.
   int64_t slo_fires = 0;
   int64_t slo_clears = 0;
+  // --open-loop extras (the surge arrives through a SessionTier): session
+  // and retry accounting that does not exist for the raw rated source.
+  int64_t ol_sessions = 0;
+  int64_t ol_submitted = 0;
+  int64_t ol_timeouts = 0;
+  int64_t ol_retries = 0;
+  int64_t ol_retries_denied = 0;
+  int64_t ol_give_ups = 0;
+  int64_t ol_wasted = 0;
+  double ol_amplification = 0.0;  // submitted / issued.
 };
 
 StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
-                      const ObsFlags* obs_flags) {
+                      bool open_loop, const ObsFlags* obs_flags) {
   Simulator sim(seed);
   if (obs_flags != nullptr) {
     ApplyObsFlags(*obs_flags, &sim.obs());
@@ -154,14 +170,49 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
   SOC_CHECK(functions.Start(surge).ok());
   gaming.Start(surge);
 
-  // Serving surge at `multiplier` times the rated fleet throughput.
+  // Serving surge at `multiplier` times the rated fleet throughput:
+  // either a raw rated source (default, the closed-form offered load) or —
+  // under --open-loop — a session tier whose client timeouts, budgeted
+  // retries, and give-ups react to what the fleet actually returns.
   const double rate =
       multiplier * kServingSocs * fleet.PerSocThroughput();
   int64_t submit_counter = 0;
-  OpenLoopSource source(&sim, rate, surge, [&fleet, &submit_counter] {
-    fleet.Submit(MixedPriority(submit_counter++));
-  });
-  source.Start();
+  std::unique_ptr<OpenLoopSource> source;
+  std::unique_ptr<SessionTier> tier;
+  if (open_loop) {
+    SessionTierConfig tier_config;
+    tier_config.users = 200'000;
+    tier_config.peak_rps = rate;
+    // Flat day: Value(t) floors at trough_fraction, so 1.0 pins the rate
+    // to peak_rps and keeps the offered load comparable to the default
+    // rated source at the same multiplier.
+    tier_config.diurnal.trough_fraction = 1.0;
+    tier_config.requests_per_session = 4.0;
+    tier_config.think_median = Duration::Seconds(5);
+    tier_config.think_sigma = 0.5;
+    tier_config.client_timeout = Duration::Seconds(1);
+    tier_config.client_deadline = kDeadline;
+    tier_config.give_up_after = Duration::Seconds(30);
+    tier_config.retry_mode = RetryMode::kBudgeted;
+    tier_config.counter_window = Duration::Seconds(30);
+    tier_config.seed = seed + 11;
+    tier = std::make_unique<SessionTier>(
+        &sim, tier_config,
+        std::vector<SessionCohortConfig>{{"global", 1.0, 0.0}});
+    tier->SetSubmit([&fleet](Priority p, const ClientAttribution& client) {
+      fleet.Submit(p, client);
+    });
+    fleet.SetClientObserver(tier->Observer());
+    fleet.SetHonorClientDeadline(true);
+    fleet.SetEventAnchorGroup(tier->anchor_group());
+    tier->Start(surge);
+  } else {
+    source = std::make_unique<OpenLoopSource>(
+        &sim, rate, surge, [&fleet, &submit_counter] {
+          fleet.Submit(MixedPriority(submit_counter++));
+        });
+    source->Start();
+  }
 
   // Thermal excursion (§8): a third of the serving SoCs throttle to 65%
   // speed for the middle third of the surge — capacity sags exactly when
@@ -211,7 +262,6 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
   status = sim.RunFor(Duration::Minutes(10));
   SOC_CHECK(status.ok());
 
-  outcome.generated = source.generated();
   for (int c = 0; c < kNumPriorities; ++c) {
     const Priority p = static_cast<Priority>(c);
     outcome.completed += fleet.completed_of(p);
@@ -221,11 +271,35 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
                             ? fleet.latencies_of(p).Percentile(99)
                             : 0.0;
   }
-  outcome.goodput =
-      outcome.generated > 0
-          ? static_cast<double>(outcome.completed) /
-                static_cast<double>(outcome.generated)
-          : 0.0;
+  if (open_loop) {
+    // Client's-eye accounting: a request is good only if some attempt
+    // succeeded within the client deadline.
+    outcome.generated = tier->issued();
+    outcome.goodput =
+        outcome.generated > 0
+            ? static_cast<double>(tier->good()) /
+                  static_cast<double>(outcome.generated)
+            : 0.0;
+    outcome.ol_sessions = tier->sessions_started();
+    outcome.ol_submitted = tier->submitted();
+    outcome.ol_timeouts = tier->timeouts();
+    outcome.ol_retries = tier->retries();
+    outcome.ol_retries_denied = tier->retries_denied();
+    outcome.ol_give_ups = tier->give_ups();
+    outcome.ol_wasted = tier->wasted();
+    outcome.ol_amplification =
+        outcome.generated > 0
+            ? static_cast<double>(outcome.ol_submitted) /
+                  static_cast<double>(outcome.generated)
+            : 0.0;
+  } else {
+    outcome.generated = source->generated();
+    outcome.goodput =
+        outcome.generated > 0
+            ? static_cast<double>(outcome.completed) /
+                  static_cast<double>(outcome.generated)
+            : 0.0;
+  }
   const CircuitBreaker* breaker = manager.serving_breaker();
   SOC_CHECK(breaker != nullptr);
   outcome.breaker_opens = breaker->opens();
@@ -277,6 +351,9 @@ StormOutcome RunStorm(double multiplier, uint64_t seed, int surge_minutes,
     serverless.DigestState(digest);
     gaming.DigestState(digest);
     orchestrator.DigestState(digest);
+    if (tier != nullptr) {
+      tier->DigestState(digest);
+    }
     SOC_CHECK(FlushDigestFlag(*obs_flags, digest.value()).ok());
   }
   return outcome;
@@ -288,33 +365,50 @@ std::string Tag(double multiplier, const char* metric) {
   return std::string(buffer);
 }
 
-void Run(uint64_t seed, int surge_minutes, const ObsFlags& obs_flags) {
+void Run(uint64_t seed, int surge_minutes, bool open_loop,
+         const ObsFlags& obs_flags) {
   BenchReport report("overload_storm");
   report.SetParam("seed", static_cast<int64_t>(seed));
   report.SetParam("surge_minutes", static_cast<int64_t>(surge_minutes));
   report.SetParam("serving_socs", static_cast<int64_t>(kServingSocs));
   report.SetParam("deadline_ms", kDeadline.ToMillis());
   report.SetParam("wall_cap_w", 450.0);
+  if (open_loop) {
+    // Gated so the default report stays byte-identical run to run.
+    report.SetParam("open_loop", static_cast<int64_t>(1));
+  }
 
   std::printf("=== Overload storm: four services under the brownout ladder "
-              "(450 W cap, thermal excursion, SoC faults) ===\n\n");
-  TextTable table({"load", "goodput", "crit p99 ms", "std p99 ms",
-                   "be p99 ms", "shed be", "expired", "peak lvl",
-                   "min socs", "brk opens", "ladder ok"});
+              "(450 W cap, thermal excursion, SoC faults%s) ===\n\n",
+              open_loop ? ", open-loop session tier" : "");
+  std::vector<std::string> columns = {
+      "load", "goodput", "crit p99 ms", "std p99 ms", "be p99 ms",
+      "shed be", "expired", "peak lvl", "min socs", "brk opens",
+      "ladder ok"};
+  if (open_loop) {
+    columns.insert(columns.end(), {"amplif", "give ups", "wasted"});
+  }
+  TextTable table(columns);
   std::vector<StormOutcome> outcomes;
   for (const double multiplier : kMultipliers) {
     // The showcase 3x run carries the trace/metrics flags.
     const bool last = multiplier == kMultipliers[std::size(kMultipliers) - 1];
-    outcomes.push_back(RunStorm(multiplier, seed, surge_minutes,
+    outcomes.push_back(RunStorm(multiplier, seed, surge_minutes, open_loop,
                                 last ? &obs_flags : nullptr));
     const StormOutcome& o = outcomes.back();
-    table.AddRow({FormatDouble(multiplier, 1) + "x", FormatDouble(o.goodput, 4),
-                  FormatDouble(o.p99_ms[0], 0), FormatDouble(o.p99_ms[1], 0),
-                  FormatDouble(o.p99_ms[2], 0), std::to_string(o.shed[2]),
-                  std::to_string(o.expired), std::to_string(o.peak_level),
-                  std::to_string(o.min_active),
-                  std::to_string(o.breaker_opens),
-                  o.ladder_order_ok ? "yes" : "NO"});
+    std::vector<std::string> row = {
+        FormatDouble(multiplier, 1) + "x", FormatDouble(o.goodput, 4),
+        FormatDouble(o.p99_ms[0], 0), FormatDouble(o.p99_ms[1], 0),
+        FormatDouble(o.p99_ms[2], 0), std::to_string(o.shed[2]),
+        std::to_string(o.expired), std::to_string(o.peak_level),
+        std::to_string(o.min_active), std::to_string(o.breaker_opens),
+        o.ladder_order_ok ? "yes" : "NO"};
+    if (open_loop) {
+      row.push_back(FormatDouble(o.ol_amplification, 2));
+      row.push_back(std::to_string(o.ol_give_ups));
+      row.push_back(std::to_string(o.ol_wasted));
+    }
+    table.AddRow(row);
 
     report.Add(Tag(multiplier, "goodput"), o.goodput, "fraction");
     report.Add(Tag(multiplier, "generated"),
@@ -366,6 +460,26 @@ void Run(uint64_t seed, int surge_minutes, const ObsFlags& obs_flags) {
                static_cast<double>(o.slo_fires), "count");
     report.Add(Tag(multiplier, "slo_clears"),
                static_cast<double>(o.slo_clears), "count");
+    if (open_loop) {
+      // ol.* keys exist only under --open-loop: the default report must
+      // stay byte-identical.
+      report.Add(Tag(multiplier, "ol.sessions"),
+                 static_cast<double>(o.ol_sessions), "count");
+      report.Add(Tag(multiplier, "ol.submitted"),
+                 static_cast<double>(o.ol_submitted), "count");
+      report.Add(Tag(multiplier, "ol.amplification"), o.ol_amplification,
+                 "ratio");
+      report.Add(Tag(multiplier, "ol.timeouts"),
+                 static_cast<double>(o.ol_timeouts), "count");
+      report.Add(Tag(multiplier, "ol.retries"),
+                 static_cast<double>(o.ol_retries), "count");
+      report.Add(Tag(multiplier, "ol.retries_denied"),
+                 static_cast<double>(o.ol_retries_denied), "count");
+      report.Add(Tag(multiplier, "ol.give_ups"),
+                 static_cast<double>(o.ol_give_ups), "count");
+      report.Add(Tag(multiplier, "ol.wasted"),
+                 static_cast<double>(o.ol_wasted), "count");
+    }
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("Takeaway: under the ladder the cluster sheds best-effort "
@@ -373,8 +487,11 @@ void Run(uint64_t seed, int surge_minutes, const ObsFlags& obs_flags) {
               "only evicts serving SoCs at the deepest rung — goodput falls "
               "smoothly with load, critical p99 holds under the %.0f ms "
               "deadline, and every degradation is walked back in reverse "
-              "once the storm passes.\n",
-              kDeadline.ToMillis());
+              "once the storm passes.%s\n",
+              kDeadline.ToMillis(),
+              open_loop ? " Open-loop: budgeted clients keep retry "
+                          "amplification near 1x even at 3x offered load."
+                        : "");
 }
 
 }  // namespace
@@ -383,11 +500,14 @@ void Run(uint64_t seed, int surge_minutes, const ObsFlags& obs_flags) {
 int main(int argc, char** argv) {
   uint64_t seed = 42;
   int surge_minutes = 5;
+  bool open_loop = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--surge-minutes=", 16) == 0) {
       surge_minutes = std::atoi(argv[i] + 16);
+    } else if (std::strcmp(argv[i], "--open-loop") == 0) {
+      open_loop = true;
     }
   }
   if (surge_minutes < 1) {
@@ -395,6 +515,6 @@ int main(int argc, char** argv) {
   }
   const soccluster::ObsFlags obs_flags =
       soccluster::ParseObsFlags(argc, argv);
-  soccluster::Run(seed, surge_minutes, obs_flags);
+  soccluster::Run(seed, surge_minutes, open_loop, obs_flags);
   return 0;
 }

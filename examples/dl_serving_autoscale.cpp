@@ -12,6 +12,7 @@
 #include "src/core/telemetry.h"
 #include "src/obs/flags.h"
 #include "src/workload/dl/serving.h"
+#include "src/trace/loadgen.h"
 
 using namespace soccluster;
 

@@ -9,6 +9,7 @@
 #include "src/cluster/bmc.h"
 #include "src/cluster/cluster.h"
 #include "src/obs/flags.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 #include "src/workload/video/live.h"
 

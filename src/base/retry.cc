@@ -27,6 +27,10 @@ Duration RetryBackoff::BackoffFor(int attempts_done) {
     backoff = backoff * rng_.Uniform(1.0 - policy_.jitter_fraction,
                                      1.0 + policy_.jitter_fraction);
   }
+  ++attempts_;
+  if (attempt_observer_) {
+    attempt_observer_(backoff);
+  }
   return backoff;
 }
 
@@ -42,14 +46,24 @@ void RetryBudget::RecordSuccess() {
   tokens_ = tokens_ + tokens_per_success_ > max_tokens_
                 ? max_tokens_
                 : tokens_ + tokens_per_success_;
+  if (budget_observer_) {
+    budget_observer_(tokens_, /*denied=*/false);
+  }
 }
 
 bool RetryBudget::TryWithdraw() {
   if (tokens_ < 1.0) {
     ++denied_;
+    if (budget_observer_) {
+      budget_observer_(tokens_, /*denied=*/true);
+    }
     return false;
   }
   tokens_ -= 1.0;
+  ++withdrawn_;
+  if (budget_observer_) {
+    budget_observer_(tokens_, /*denied=*/false);
+  }
   return true;
 }
 

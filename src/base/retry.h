@@ -12,6 +12,8 @@
 #define SRC_BASE_RETRY_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/base/rng.h"
 #include "src/base/units.h"
@@ -52,9 +54,24 @@ class RetryBackoff {
   // (src/base/digest.h): equal fingerprints mean identical future jitter.
   uint64_t RngFingerprint() const { return rng_.StateFingerprint(); }
 
+  // Backoff waits drawn so far == retry attempts paced by this schedule.
+  int64_t attempts() const { return attempts_; }
+
+  // Observer hook fired after each BackoffFor draw, with the jittered
+  // wait. src/base cannot depend on the metrics registry (src/obs links
+  // base), so metric publication attaches from above — see
+  // src/obs/retrymetrics.h. Observers are passive: they must not feed
+  // anything back into simulation-visible state.
+  using AttemptObserver = std::function<void(Duration backoff)>;
+  void set_attempt_observer(AttemptObserver observer) {
+    attempt_observer_ = std::move(observer);
+  }
+
  private:
   RetryPolicy policy_;
   Rng rng_;
+  int64_t attempts_ = 0;
+  AttemptObserver attempt_observer_;  // Null: no tap.
 };
 
 // Token-bucket retry budget. Each success deposits `tokens_per_success`
@@ -72,12 +89,24 @@ class RetryBudget {
 
   double tokens() const { return tokens_; }
   int64_t denied() const { return denied_; }
+  int64_t withdrawn() const { return withdrawn_; }
+
+  // Observer hook fired after every bucket transition (deposit, withdraw,
+  // denial) with the new level and whether this transition was a denial.
+  // Passive, like RetryBackoff's — metric publication only
+  // (src/obs/retrymetrics.h).
+  using BudgetObserver = std::function<void(double tokens, bool denied)>;
+  void set_budget_observer(BudgetObserver observer) {
+    budget_observer_ = std::move(observer);
+  }
 
  private:
   double tokens_per_success_;
   double max_tokens_;
   double tokens_;
   int64_t denied_ = 0;
+  int64_t withdrawn_ = 0;
+  BudgetObserver budget_observer_;  // Null: no tap.
 };
 
 }  // namespace soccluster

@@ -8,6 +8,7 @@
 #include "src/core/autoscaler.h"
 #include "src/hw/gpu.h"
 #include "src/hw/server.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 #include "src/workload/video/live.h"
 #include "src/workload/video/transcode.h"

@@ -10,6 +10,8 @@
 //   det_fig07_live          live-transcoding stream churn with failover
 //   det_fault_availability  chaos run: faults, heartbeats, re-placement
 //   det_overload_storm      four services under the brownout ladder
+//   det_sessions_day        open-loop session tier: compressed diurnal day
+//                           with a flash crowd, budgeted retries, timeouts
 //
 // Each scenario's digest folds every owned service's DigestState plus the
 // result series the matching bench reports, so any order-dependent outcome
@@ -28,6 +30,7 @@ DetScenario DetGamingTraceScenario();
 DetScenario DetLiveStreamScenario();
 DetScenario DetFaultAvailabilityScenario();
 DetScenario DetOverloadStormScenario();
+DetScenario DetSessionsDayScenario();
 
 struct DetScenarioSpec {
   const char* name;

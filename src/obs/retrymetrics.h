@@ -1,0 +1,38 @@
+// Publishes retry.* metrics from the base-layer retry primitives.
+//
+// src/base/retry.h cannot link the metric registry (src/obs depends on
+// src/base, not the reverse), so RetryBackoff/RetryBudget expose passive
+// observer hooks and this adapter wires them to registry instruments:
+//
+//   retry.attempts       counter {service}  one per backoff draw (a paced
+//                                           retry attempt)
+//   retry.backoff_ms     histogram {service} the jittered waits
+//   retry.budget.tokens  gauge {service}    bucket level after the latest
+//                                           deposit/withdrawal
+//   retry.budget.denied  counter {service}  withdrawals refused on an
+//                                           empty bucket
+//
+// Attaching is observers-only: it never changes a run's results or its
+// state digest (the digest mixes the jitter-RNG fingerprint and bucket
+// level directly, not the instruments). Attach replaces any previous
+// observer on the same object.
+
+#ifndef SRC_OBS_RETRYMETRICS_H_
+#define SRC_OBS_RETRYMETRICS_H_
+
+#include <string_view>
+
+#include "src/base/retry.h"
+#include "src/obs/metrics.h"
+
+namespace soccluster {
+
+// Wires `backoff` and/or `budget` (either may be null) to `service`-labeled
+// retry.* instruments in `metrics`. The registry owns the instruments; the
+// retry objects must not outlive it.
+void AttachRetryMetrics(MetricRegistry* metrics, std::string_view service,
+                        RetryBackoff* backoff, RetryBudget* budget);
+
+}  // namespace soccluster
+
+#endif  // SRC_OBS_RETRYMETRICS_H_

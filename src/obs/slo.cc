@@ -132,6 +132,9 @@ void SloEngine::WriteJson(std::ostream& out, SimTime now) const {
     w.KeyValue("name", std::string_view(spec.name));
     w.KeyValue("service", std::string_view(spec.service));
     w.KeyValue("class", std::string_view(spec.class_name));
+    if (!spec.cohort.empty()) {
+      w.KeyValue("cohort", std::string_view(spec.cohort));
+    }
     w.KeyValue("threshold_ms", spec.threshold.ToMillis());
     w.KeyValue("objective", spec.objective);
     w.KeyValue("fast_window_s", spec.fast_window.ToSeconds());

@@ -38,6 +38,10 @@ struct SloSpec {
   std::string name;        // Unique, e.g. "dl.serving/critical/latency".
   std::string service;     // Owning subsystem, e.g. "dl.serving".
   std::string class_name;  // Priority class label ("critical", ...).
+  // Regional cohort label for client-tier SLOs (src/trace/session.h
+  // registers one tracker per cohort). Empty for fleet-wide SLOs; emitted
+  // in the JSON export only when set, so pre-cohort outputs are unchanged.
+  std::string cohort;
 
   // Latency objective: a request is "good" iff it completes within
   // `threshold`. Dropped/shed requests are always bad.

@@ -1,0 +1,144 @@
+#include "src/trace/loadgen.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace soccluster {
+
+OpenLoopSource::OpenLoopSource(Simulator* sim, double rate_per_s,
+                               Duration duration, Sink sink)
+    : OpenLoopSource(sim, rate_per_s, duration, std::move(sink),
+                     /*rng=*/nullptr, "source.arrival") {}
+
+OpenLoopSource::OpenLoopSource(Simulator* sim, double rate_per_s,
+                               Duration duration, Sink sink, Rng* rng,
+                               std::string label)
+    : sim_(sim), rate_(rate_per_s), end_time_(sim->Now() + duration),
+      sink_(std::move(sink)), rng_(rng), label_(std::move(label)) {
+  SOC_CHECK(sim_ != nullptr);
+  SOC_CHECK_GT(rate_, 0.0);
+  SOC_CHECK(sink_ != nullptr);
+  SOC_CHECK(!label_.empty());
+}
+
+void OpenLoopSource::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  Arm();
+}
+
+void OpenLoopSource::Arm() {
+  Rng& rng = rng_ != nullptr ? *rng_ : sim_->rng();
+  const Duration gap = Duration::SecondsF(rng.Exponential(rate_));
+  const SimTime next = sim_->Now() + gap;
+  if (next > end_time_) {
+    return;
+  }
+  sim_->ScheduleAt(
+      next,
+      [this] {
+        ++generated_;
+        sink_();
+        Arm();
+      },
+      label_);
+}
+
+double DiurnalShape::Value(SimTime t) const {
+  SOC_DCHECK_GT(day.nanos(), 0);
+  // Hours-of-day in "day" units, so a compressed day keeps the shape.
+  const double day_fraction =
+      std::fmod(static_cast<double>(t.nanos()) /
+                    static_cast<double>(day.nanos()),
+                1.0);
+  const double hour = day_fraction * 24.0 - phase_hours;
+  const double phase = (hour - peak_hour) / 24.0 * 2.0 * M_PI;
+  const double base = 0.5 * (1.0 + std::cos(phase));
+  const double shaped = std::pow(base, sharpen);
+  return trough_fraction + (1.0 - trough_fraction) * shaped;
+}
+
+double FlashCrowd::Multiplier(SimTime t) const {
+  if (t < start || peak_multiplier <= 1.0) {
+    return 1.0;
+  }
+  const Duration since = t - start;
+  if (since < ramp) {
+    const double f = ramp.nanos() > 0
+                         ? static_cast<double>(since.nanos()) /
+                               static_cast<double>(ramp.nanos())
+                         : 1.0;
+    return 1.0 + (peak_multiplier - 1.0) * f;
+  }
+  if (since < ramp + hold) {
+    return peak_multiplier;
+  }
+  if (decay.nanos() <= 0) {
+    return 1.0;
+  }
+  const Duration tail = since - ramp - hold;
+  const double f = std::exp(-static_cast<double>(tail.nanos()) /
+                            static_cast<double>(decay.nanos()));
+  return 1.0 + (peak_multiplier - 1.0) * f;
+}
+
+RateProcess::RateProcess(double peak_rate_per_s, DiurnalShape diurnal,
+                         MmppConfig mmpp, uint64_t seed)
+    : peak_rate_(peak_rate_per_s), diurnal_(diurnal), mmpp_(mmpp),
+      rng_(seed) {
+  SOC_CHECK_GT(peak_rate_, 0.0);
+  SOC_CHECK_GE(mmpp_.burst_multiplier, 1.0);
+  SOC_CHECK_GT(mmpp_.quiet_dwell.nanos(), 0);
+  SOC_CHECK_GT(mmpp_.burst_dwell.nanos(), 0);
+}
+
+double RateProcess::RateAt(SimTime t) {
+  if (mmpp_.burst_multiplier > 1.0) {
+    if (!mmpp_armed_) {
+      // First sample: start quiet, draw the first transition.
+      next_transition_ =
+          t + mmpp_.quiet_dwell * rng_.Exponential(1.0);
+      mmpp_armed_ = true;
+    }
+    while (t >= next_transition_) {
+      bursting_ = !bursting_;
+      const Duration dwell =
+          bursting_ ? mmpp_.burst_dwell : mmpp_.quiet_dwell;
+      next_transition_ = next_transition_ + dwell * rng_.Exponential(1.0);
+    }
+  }
+  double rate = peak_rate_ * diurnal_.Value(t);
+  if (bursting_) {
+    rate *= mmpp_.burst_multiplier;
+  }
+  for (const FlashCrowd& crowd : crowds_) {
+    rate *= crowd.Multiplier(t);
+  }
+  return rate;
+}
+
+double RateProcess::MaxRate() const {
+  double max_rate = peak_rate_;
+  if (mmpp_.burst_multiplier > 1.0) {
+    max_rate *= mmpp_.burst_multiplier;
+  }
+  for (const FlashCrowd& crowd : crowds_) {
+    if (crowd.peak_multiplier > 1.0) {
+      max_rate *= crowd.peak_multiplier;
+    }
+  }
+  return max_rate;
+}
+
+void RateProcess::DigestState(StateDigest& digest) const {
+  digest.Mix(bursting_);
+  digest.Mix(mmpp_armed_);
+  digest.Mix(next_transition_.nanos());
+  digest.Mix(rng_.StateFingerprint());
+}
+
+}  // namespace soccluster

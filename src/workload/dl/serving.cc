@@ -3,41 +3,9 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/obs/retrymetrics.h"
 
 namespace soccluster {
-
-OpenLoopSource::OpenLoopSource(Simulator* sim, double rate_per_s,
-                               Duration duration, Sink sink)
-    : sim_(sim), rate_(rate_per_s), end_time_(sim->Now() + duration),
-      sink_(std::move(sink)) {
-  SOC_CHECK(sim_ != nullptr);
-  SOC_CHECK_GT(rate_, 0.0);
-  SOC_CHECK(sink_ != nullptr);
-}
-
-void OpenLoopSource::Start() {
-  if (started_) {
-    return;
-  }
-  started_ = true;
-  Arm();
-}
-
-void OpenLoopSource::Arm() {
-  const Duration gap = Duration::SecondsF(sim_->rng().Exponential(rate_));
-  const SimTime next = sim_->Now() + gap;
-  if (next > end_time_) {
-    return;
-  }
-  sim_->ScheduleAt(
-      next,
-      [this] {
-        ++generated_;
-        sink_();
-        Arm();
-      },
-      "source.arrival");
-}
 
 namespace {
 
@@ -124,6 +92,9 @@ void SocServingFleet::OnAdmissionDrop(const AdmissionQueue::Item& item,
   tracer.EndSpan(request->queue_span);
   TraceRequestDrop(&tracer, &request->ctx, sim_->Now());
   slos_[static_cast<size_t>(request->priority)]->Record(sim_->Now(), false);
+  NotifyClient(request, reason == AdmissionQueue::DropReason::kExpired
+                            ? ClientOutcome::kExpired
+                            : ClientOutcome::kShed);
   if (reason == AdmissionQueue::DropReason::kExpired) {
     // The client has given up; starting the inference would waste a SoC
     // slot on a response nobody reads.
@@ -168,11 +139,15 @@ void SocServingFleet::SetDispatchLimit(int limit) {
 
 void SocServingFleet::SetRetryPolicy(RetryPolicy policy, uint64_t seed) {
   backoff_ = std::make_unique<RetryBackoff>(policy, seed);
+  AttachRetryMetrics(&sim_->metrics(), "dl.serving", backoff_.get(),
+                     /*budget=*/nullptr);
 }
 
 void SocServingFleet::SetRetryBudget(double tokens_per_success,
                                      double max_tokens) {
   budget_ = std::make_unique<RetryBudget>(tokens_per_success, max_tokens);
+  AttachRetryMetrics(&sim_->metrics(), "dl.serving", /*backoff=*/nullptr,
+                     budget_.get());
 }
 
 void SocServingFleet::EnableHedging(Duration hedge_delay) {
@@ -180,7 +155,16 @@ void SocServingFleet::EnableHedging(Duration hedge_delay) {
   hedge_delay_ = hedge_delay;
 }
 
-void SocServingFleet::Submit(Priority priority) {
+void SocServingFleet::NotifyClient(const RequestPtr& request,
+                                   ClientOutcome outcome) {
+  if (client_observer_ && request->client.attributed()) {
+    client_observer_(request->client.ticket, outcome,
+                     sim_->Now() - request->enqueue);
+  }
+}
+
+void SocServingFleet::Submit(Priority priority,
+                             const ClientAttribution& client) {
   submitted_metric_->Increment();
   if (breaker_ != nullptr && priority != Priority::kCritical &&
       !breaker_->Allow()) {
@@ -189,12 +173,25 @@ void SocServingFleet::Submit(Priority priority) {
     ++shed_;
     ++shed_of_[static_cast<size_t>(priority)];
     shed_metric_->Increment();
+    if (client_observer_ && client.attributed()) {
+      client_observer_(client.ticket, ClientOutcome::kShed, Duration::Zero());
+    }
     return;
+  }
+  // The effective deadline clamps to the client's own per-attempt budget
+  // when the server honors it — then the existing dispatch-time purge
+  // drops abandoned work for free.
+  Duration deadline = deadline_;
+  if (honor_client_deadline_ && client.attributed() &&
+      client.deadline.nanos() > 0 &&
+      (deadline.nanos() == 0 || client.deadline < deadline)) {
+    deadline = client.deadline;
   }
   auto request = std::make_shared<RequestState>();
   request->enqueue = sim_->Now();
   request->priority = priority;
-  request->deadline = deadline_;
+  request->deadline = deadline;
+  request->client = client;
   // The id is allocated before admission (unlike the spans) so the causal
   // chain can show the shed decision for requests that never get in.
   request->request_id = next_request_id_++;
@@ -202,7 +199,7 @@ void SocServingFleet::Submit(Priority priority) {
   request->ctx.priority = static_cast<int>(priority);
   Tracer& tracer = sim_->tracer();
   TraceRequestSubmit(&tracer, &request->ctx, "dl.serving", sim_->Now());
-  if (!admission_.Offer(priority, deadline_, request, &request->ctx)) {
+  if (!admission_.Offer(priority, deadline, request, &request->ctx)) {
     return;  // Shed; accounted in OnAdmissionDrop.
   }
   request->request_span =
@@ -234,6 +231,7 @@ void SocServingFleet::Abandon(const RequestPtr& request) {
   request->done = true;
   ++failed_;
   failed_metric_->Increment();
+  NotifyClient(request, ClientOutcome::kFailed);
   if (breaker_ != nullptr) {
     breaker_->RecordFailure();
   }
@@ -305,16 +303,20 @@ void SocServingFleet::TryDispatch() {
     const Duration service = Duration::SecondsF(
         1.0 / (PerSocThroughput() * soc.throttle_factor()));
     sim_->ScheduleAfter(
-        service, [this, chosen, request, attempt, fail_epoch, cpu_grant,
-                  infer_track_span, infer_span]() mutable {
+        service,
+        [this, chosen, request, attempt, fail_epoch, cpu_grant,
+         infer_track_span, infer_span]() mutable {
           FinishOn(chosen, std::move(request), attempt, fail_epoch, cpu_grant,
                    infer_track_span, infer_span);
-        });
+        },
+        "dl.serving.finish", event_anchor_);
     if (hedge_delay_.nanos() > 0) {
-      sim_->ScheduleAfter(hedge_delay_,
-                          [this, chosen, request, attempt, fail_epoch] {
-                            HedgeCheck(chosen, request, attempt, fail_epoch);
-                          });
+      sim_->ScheduleAfter(
+          hedge_delay_,
+          [this, chosen, request, attempt, fail_epoch] {
+            HedgeCheck(chosen, request, attempt, fail_epoch);
+          },
+          "dl.serving.hedge", event_anchor_);
     }
   }
 }
@@ -343,11 +345,14 @@ void SocServingFleet::RecordCompletion(int soc_index,
                                        const RequestPtr& request) {
   const Duration latency = sim_->Now() - request->enqueue;
   const double latency_ms = latency.ToMillis();
-  latencies_.Add(latency_ms);
-  latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
+  if (exact_latency_samples_) {
+    latencies_.Add(latency_ms);
+    latencies_of_[static_cast<size_t>(request->priority)].Add(latency_ms);
+  }
   latency_metric_->Observe(latency_ms);
   slos_[static_cast<size_t>(request->priority)]->RecordLatency(sim_->Now(),
                                                                latency);
+  NotifyClient(request, ClientOutcome::kSuccess);
   if (attempt_observer_) {
     // Evidence is the attempt's own latency (dispatch to here), not the
     // request's: central queueing delay is fleet-wide, and charging it to
@@ -450,12 +455,14 @@ void SocServingFleet::FinishOn(int soc_index, RequestPtr request, int attempt,
     TraceRequestRetry(&sim_->tracer(), &request->ctx, sim_->Now(),
                       SocTrack(soc_index));
     request->active_attempt = 0;
-    sim_->ScheduleAfter(backoff_->BackoffFor(request->attempts),
-                        [this, request]() mutable {
-                          if (!request->done) {
-                            Requeue(std::move(request));
-                          }
-                        });
+    sim_->ScheduleAfter(
+        backoff_->BackoffFor(request->attempts),
+        [this, request]() mutable {
+          if (!request->done) {
+            Requeue(std::move(request));
+          }
+        },
+        "dl.serving.retry_wait", event_anchor_);
   } else {
     Abandon(request);
   }

@@ -1,7 +1,8 @@
-// DES components of the DL-serving study (§5): an open-loop Poisson request
-// source, a per-SoC serving fleet (one engine per SoC, central FIFO queue),
-// and a batching server for discrete GPUs (TensorRT-style: collect up to
-// max_batch requests or wait out a timeout, then run the batch).
+// DES components of the DL-serving study (§5): a per-SoC serving fleet
+// (one engine per SoC, central FIFO queue) and a batching server for
+// discrete GPUs (TensorRT-style: collect up to max_batch requests or wait
+// out a timeout, then run the batch). Open-loop request sources live in
+// src/trace/loadgen.h.
 
 #ifndef SRC_WORKLOAD_DL_SERVING_H_
 #define SRC_WORKLOAD_DL_SERVING_H_
@@ -12,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/client.h"
 #include "src/base/priority.h"
 #include "src/base/retry.h"
 #include "src/base/stats.h"
@@ -26,27 +28,6 @@
 #include "src/workload/dl/model.h"
 
 namespace soccluster {
-
-// Poisson arrivals at `rate` req/s for `duration`, submitted via `sink`.
-class OpenLoopSource {
- public:
-  using Sink = std::function<void()>;
-
-  OpenLoopSource(Simulator* sim, double rate_per_s, Duration duration,
-                 Sink sink);
-  void Start();
-  int64_t generated() const { return generated_; }
-
- private:
-  void Arm();
-
-  Simulator* sim_;
-  double rate_;
-  SimTime end_time_;
-  Sink sink_;
-  int64_t generated_ = 0;
-  bool started_ = false;
-};
 
 // Serves single requests on a set of cluster SoCs. Each active SoC runs one
 // request at a time at the engine's service rate (scaled down while the SoC
@@ -144,7 +125,35 @@ class SocServingFleet {
   void EnableHedging(Duration hedge_delay);
 
   void Submit() { Submit(Priority::kStandard); }
-  void Submit(Priority priority);
+  void Submit(Priority priority) { Submit(priority, ClientAttribution{}); }
+  // Client-attributed submission (src/base/client.h): the outcome —
+  // success, shed, expiry, or abandonment — is reported exactly once to
+  // the client observer, tagged with the caller's ticket. The session tier
+  // (src/trace/session.h) drives the fleet through this overload.
+  void Submit(Priority priority, const ClientAttribution& client);
+  // Installs the single per-service outcome tap. Unattributed submissions
+  // (ticket 0) never invoke it.
+  void SetClientObserver(ClientObserver observer) {
+    client_observer_ = std::move(observer);
+  }
+  // When enabled, an attributed request's admission deadline is clamped to
+  // the client's own per-attempt deadline, so work the client has already
+  // abandoned is purged at dispatch instead of burning a SoC slot — the
+  // server-side half of retry-storm ride-out. Off by default.
+  void SetHonorClientDeadline(bool honor) { honor_client_deadline_ = honor; }
+  // Exact per-request latency samples (SampleStats) power digests and
+  // small-run baselines but cost O(requests) memory. Million-request
+  // session runs disable them and read the sketch-backed registry
+  // histogram instead. On by default.
+  void SetExactLatencySamples(bool exact) { exact_latency_samples_ = exact; }
+  // Seq-anchors the fleet's internal event chains (inference completions,
+  // hedge checks, retry requeues) into `group`. An open-loop session tier
+  // quantizes submissions onto its wheel grid, which makes equal-timestamp
+  // collisions between tier events and deterministic-latency completions
+  // systematic; sharing the tier's group (SessionTier::anchor_group) pins
+  // the admission pipeline's order under tie-break perturbation. Zero
+  // (default) leaves the events unanchored.
+  void SetEventAnchorGroup(uint64_t group) { event_anchor_ = group; }
 
   int64_t completed() const { return completed_; }
   int64_t shed() const { return shed_; }
@@ -190,6 +199,8 @@ class SocServingFleet {
     int attempts = 0;        // Dispatch attempts started.
     int active_attempt = 0;  // 0 when queued; else the in-flight attempt.
     bool done = false;
+    // Client attribution (ticket 0 = unattributed legacy submission).
+    ClientAttribution client;
     // Causal-trace context (observers-only; never digested).
     RequestContext ctx;
   };
@@ -216,6 +227,9 @@ class SocServingFleet {
   void RecordCompletion(int soc_index, const RequestPtr& request);
   // Gives up on the request (no retry possible).
   void Abandon(const RequestPtr& request);
+  // Reports a terminal outcome to the client observer (at most once per
+  // attributed request; observers-only, never digested).
+  void NotifyClient(const RequestPtr& request, ClientOutcome outcome);
   // Display track hosting SoC `i`'s synchronous spans.
   static int64_t SocTrack(int soc_index) { return 100 + soc_index; }
 
@@ -245,6 +259,10 @@ class SocServingFleet {
   DataSize response_size_;  // Zero: no response transfer.
   bool latency_includes_response_ = false;
   AttemptObserver attempt_observer_;  // Null: no evidence tap.
+  ClientObserver client_observer_;    // Null: no client tier attached.
+  bool honor_client_deadline_ = false;
+  uint64_t event_anchor_ = 0;  // Zero: unanchored (SetEventAnchorGroup).
+  bool exact_latency_samples_ = true;
   Duration deadline_;       // Zero: none.
   int dispatch_limit_ = 0;  // Zero: unbounded.
   int in_flight_ = 0;       // Requests currently holding an engine slot.

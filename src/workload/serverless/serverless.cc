@@ -88,6 +88,11 @@ void ServerlessPlatform::OnAdmissionDrop(const AdmissionQueue::Item& item,
                 AdmissionQueue::DropReasonName(reason));
   TraceRequestDrop(&tracer, &deferred->trace.ctx, sim_->Now());
   slos_[static_cast<size_t>(item.priority)]->Record(sim_->Now(), false);
+  NotifyClient(deferred->trace.client,
+               reason == AdmissionQueue::DropReason::kExpired
+                   ? ClientOutcome::kExpired
+                   : ClientOutcome::kShed,
+               sim_->Now() - item.enqueue);
   tracer.EndSpan(deferred->trace.span);
   if (breaker_ != nullptr && reason == AdmissionQueue::DropReason::kQueueFull) {
     breaker_->RecordFailure();
@@ -137,8 +142,17 @@ ServerlessPlatform::Instance* ServerlessPlatform::FindWarmInstance(
   return nullptr;
 }
 
+void ServerlessPlatform::NotifyClient(const ClientAttribution& client,
+                                      ClientOutcome outcome,
+                                      Duration latency) {
+  if (client_observer_ && client.attributed()) {
+    client_observer_(client.ticket, outcome, latency);
+  }
+}
+
 Status ServerlessPlatform::Invoke(const std::string& function,
-                                  Callback on_done, Priority priority) {
+                                  Callback on_done, Priority priority,
+                                  const ClientAttribution& client) {
   const auto it = functions_.find(function);
   if (it == functions_.end()) {
     return Status::NotFound("function " + function + " not registered");
@@ -152,6 +166,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
     ++stats_.qos_shed;
     qos_shed_metric_->Increment();
     slos_[static_cast<size_t>(priority)]->Record(sim_->Now(), false);
+    NotifyClient(client, ClientOutcome::kShed, Duration::Zero());
     return Status::Ok();  // Shed by policy, not an API error.
   }
   const SimTime enqueue = sim_->Now();
@@ -162,6 +177,7 @@ Status ServerlessPlatform::Invoke(const std::string& function,
   tracer.AddArg(trace.span, "function", function);
   trace.ctx.id = trace.id;
   trace.ctx.priority = static_cast<int>(priority);
+  trace.client = client;
   TraceRequestSubmit(&tracer, &trace.ctx, "serverless.request", sim_->Now());
 
   if (Instance* warm = FindWarmInstance(function)) {
@@ -206,6 +222,7 @@ void ServerlessPlatform::ColdStart(const FunctionSpec& spec, SimTime enqueue,
     tracer.AddArg(trace.span, "rejected", "true");
     TraceRequestDrop(&tracer, &trace.ctx, sim_->Now());
     slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
+    NotifyClient(trace.client, ClientOutcome::kShed, sim_->Now() - enqueue);
     tracer.EndSpan(trace.span);
     return;  // Shed, not an API error.
   }
@@ -226,6 +243,8 @@ void ServerlessPlatform::ColdStart(const FunctionSpec& spec, SimTime enqueue,
       TraceRequestDrop(&sim_->tracer(), &trace.ctx, sim_->Now());
       slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(),
                                                              false);
+      NotifyClient(trace.client, ClientOutcome::kFailed,
+                   sim_->Now() - enqueue);
       sim_->tracer().EndSpan(trace.span);
       return;  // SoC failed mid-provision.
     }
@@ -275,6 +294,7 @@ void ServerlessPlatform::RunOn(Instance* instance, const FunctionSpec& spec,
     tracer.AddArg(trace.span, "rejected", "true");
     TraceRequestDrop(&tracer, &trace.ctx, sim_->Now());
     slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
+    NotifyClient(trace.client, ClientOutcome::kShed, sim_->Now() - enqueue);
     tracer.EndSpan(trace.span);
     instance->busy = false;
     Evict(instance->id);
@@ -335,6 +355,7 @@ void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
     latency_metric_->Observe(latency_ms);
     slos_[static_cast<size_t>(trace.ctx.priority)]->RecordLatency(
         sim_->Now(), sim_->Now() - enqueue);
+    NotifyClient(trace.client, ClientOutcome::kSuccess, sim_->Now() - enqueue);
     TraceRequestComplete(&sim_->tracer(), &trace.ctx, sim_->Now());
   } else {
     ++stats_.failed;
@@ -342,6 +363,7 @@ void ServerlessPlatform::FinishInvocation(int64_t instance_id, SimTime enqueue,
     sim_->tracer().AddArg(trace.span, "failed", "true");
     TraceRequestDrop(&sim_->tracer(), &trace.ctx, sim_->Now());
     slos_[static_cast<size_t>(trace.ctx.priority)]->Record(sim_->Now(), false);
+    NotifyClient(trace.client, ClientOutcome::kFailed, sim_->Now() - enqueue);
   }
   sim_->tracer().EndSpan(trace.span);
   const auto it = instances_.find(instance_id);
@@ -437,33 +459,24 @@ Status ServerlessWorkload::Start(Duration duration) {
     cumulative += (1.0 / std::pow(rank, 1.1)) / normalizer;
     cumulative_popularity_.push_back(cumulative);
   }
-  Arm(sim_->Now() + duration);
+  source_ = std::make_unique<OpenLoopSource>(
+      sim_, total_rate_, duration, [this] { InvokeOne(); }, &rng_,
+      "serverless.arrival");
+  source_->Start();
   return Status::Ok();
 }
 
-void ServerlessWorkload::Arm(SimTime end) {
-  const SimTime next =
-      sim_->Now() + Duration::SecondsF(rng_.Exponential(total_rate_));
-  if (next > end) {
-    return;
-  }
-  sim_->ScheduleAt(
-      next,
-      [this, end] {
-    const double u = rng_.NextDouble();
-    size_t pick = cumulative_popularity_.size() - 1;
-    for (size_t i = 0; i < cumulative_popularity_.size(); ++i) {
-      if (u < cumulative_popularity_[i]) {
-        pick = i;
-        break;
-      }
+void ServerlessWorkload::InvokeOne() {
+  const double u = rng_.NextDouble();
+  size_t pick = cumulative_popularity_.size() - 1;
+  for (size_t i = 0; i < cumulative_popularity_.size(); ++i) {
+    if (u < cumulative_popularity_[i]) {
+      pick = i;
+      break;
     }
-    ++generated_;
-    const Status status = platform_->Invoke(names_[pick], nullptr);
-    SOC_CHECK(status.ok()) << status.ToString();
-    Arm(end);
-  },
-      "serverless.arrival");
+  }
+  const Status status = platform_->Invoke(names_[pick], nullptr);
+  SOC_CHECK(status.ok()) << status.ToString();
 }
 
 void ServerlessPlatform::DigestState(StateDigest& digest) const {

@@ -17,9 +17,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/base/client.h"
 #include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/base/stats.h"
@@ -29,6 +31,7 @@
 #include "src/qos/admission.h"
 #include "src/qos/breaker.h"
 #include "src/sched/placer.h"
+#include "src/trace/loadgen.h"
 
 namespace soccluster {
 
@@ -95,7 +98,13 @@ class ServerlessPlatform {
   // park in the qos admission queue until released (or their deferral
   // deadline lapses).
   Status Invoke(const std::string& function, Callback on_done,
-                Priority priority = Priority::kStandard);
+                Priority priority = Priority::kStandard,
+                const ClientAttribution& client = ClientAttribution{});
+  // Single per-service outcome tap (src/base/client.h): every attributed
+  // invocation reports success, shed, expiry, or failure exactly once.
+  void SetClientObserver(ClientObserver observer) {
+    client_observer_ = std::move(observer);
+  }
 
   // Brownout hooks: refuse classes below `floor`; park would-be cold
   // starts while `defer` is on (releasing drains the parked queue).
@@ -151,6 +160,9 @@ class ServerlessPlatform {
     uint64_t id = 0;
     SpanId span = 0;
     RequestContext ctx;
+    // Client attribution rides with the trace context (by value through
+    // the invocation's continuations).
+    ClientAttribution client;
   };
 
   // An invocation parked in the admission queue while cold-start deferral
@@ -178,6 +190,9 @@ class ServerlessPlatform {
   void DrainDeferred();
   void OnAdmissionDrop(const AdmissionQueue::Item& item,
                        AdmissionQueue::DropReason reason);
+  // Reports a terminal outcome for an attributed invocation.
+  void NotifyClient(const ClientAttribution& client, ClientOutcome outcome,
+                    Duration latency);
 
   Simulator* sim_;
   SocCluster* cluster_;
@@ -190,6 +205,7 @@ class ServerlessPlatform {
   AdmissionQueue admission_;
   CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
   AttemptObserver attempt_observer_;   // Null: no evidence tap.
+  ClientObserver client_observer_;     // Null: no client tier attached.
   Priority admit_floor_ = Priority::kBestEffort;
   bool defer_cold_starts_ = false;
   std::map<std::string, FunctionSpec> functions_;
@@ -219,10 +235,12 @@ class ServerlessWorkload {
   // Registers `num_functions` synthetic functions and starts arrivals for
   // `duration`.
   Status Start(Duration duration);
-  int64_t generated() const { return generated_; }
+  int64_t generated() const {
+    return source_ != nullptr ? source_->generated() : 0;
+  }
 
  private:
-  void Arm(SimTime end);
+  void InvokeOne();
 
   Simulator* sim_;
   ServerlessPlatform* platform_;
@@ -231,7 +249,11 @@ class ServerlessWorkload {
   Rng rng_;
   std::vector<std::string> names_;
   std::vector<double> cumulative_popularity_;
-  int64_t generated_ = 0;
+  // Poisson arrivals delegate to the shared open-loop source (the
+  // tier-owned arrival-process policy; see src/trace/loadgen.h), drawing
+  // from this workload's private RNG stream — the draw and schedule order
+  // match the historical inline loop bit for bit.
+  std::unique_ptr<OpenLoopSource> source_;
 };
 
 }  // namespace soccluster

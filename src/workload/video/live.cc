@@ -85,6 +85,14 @@ LiveTranscodingService::LiveTranscodingService(Simulator* sim,
 
 void LiveTranscodingService::OnAdmissionDrop(const AdmissionQueue::Item& item,
                                              AdmissionQueue::DropReason reason) {
+  auto pending = std::static_pointer_cast<PendingStream>(item.payload);
+  if (client_observer_ && pending->client.attributed()) {
+    client_observer_(pending->client.ticket,
+                     reason == AdmissionQueue::DropReason::kExpired
+                         ? ClientOutcome::kExpired
+                         : ClientOutcome::kShed,
+                     sim_->Now() - item.enqueue);
+  }
   ++requests_shed_;
   rejected_metric_->Increment();
   sim_->tracer().Instant("request_shed", "video.live");
@@ -262,7 +270,8 @@ Status LiveTranscodingService::StopStream(int64_t stream_id) {
 
 void LiveTranscodingService::RequestStream(VbenchVideo video,
                                            TranscodeBackend backend,
-                                           Priority priority) {
+                                           Priority priority,
+                                           const ClientAttribution& client) {
   SOC_CHECK(backend == TranscodeBackend::kSocCpu ||
             backend == TranscodeBackend::kSocHwCodec)
       << "LiveTranscodingService runs on the SoC Cluster only";
@@ -271,11 +280,15 @@ void LiveTranscodingService::RequestStream(VbenchVideo video,
     ++requests_shed_;
     rejected_metric_->Increment();
     sim_->tracer().Instant("request_shed", "video.live");
+    if (client_observer_ && client.attributed()) {
+      client_observer_(client.ticket, ClientOutcome::kShed, Duration::Zero());
+    }
     return;
   }
   auto pending = std::make_shared<PendingStream>();
   pending->video = video;
   pending->backend = backend;
+  pending->client = client;
   pending->ctx.id = next_request_id_++;
   pending->ctx.priority = static_cast<int>(priority);
   TraceRequestSubmit(&sim_->tracer(), &pending->ctx, "video.live.request",
@@ -311,6 +324,10 @@ void LiveTranscodingService::DrainPending() {
     // Stream-start SLO: the wait from submission to transcoding start.
     slos_[static_cast<size_t>(item->priority)]->RecordLatency(
         sim_->Now(), sim_->Now() - item->enqueue);
+    if (client_observer_ && pending->client.attributed()) {
+      client_observer_(pending->client.ticket, ClientOutcome::kSuccess,
+                       sim_->Now() - item->enqueue);
+    }
     stream.ctx = pending->ctx;  // Chain follows the stream until stop/drop.
     const int64_t id = next_id_++;
     const SpanId span = tracer.BeginAsyncSpan("stream", "video.live",

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 
+#include "src/base/client.h"
 #include "src/base/priority.h"
 #include "src/base/result.h"
 #include "src/cluster/cluster.h"
@@ -56,7 +57,18 @@ class LiveTranscodingService {
   // rung release drains the queue. Requests below the admission floor, or
   // arriving while the breaker is open (non-critical only), are shed.
   void RequestStream(VbenchVideo video, TranscodeBackend backend,
-                     Priority priority = Priority::kStandard);
+                     Priority priority = Priority::kStandard) {
+    RequestStream(video, backend, priority, ClientAttribution{});
+  }
+  // Client-attributed variant (src/base/client.h): the request's outcome
+  // — stream started, shed, or deferral expiry — reports exactly once to
+  // the client observer under the caller's ticket.
+  void RequestStream(VbenchVideo video, TranscodeBackend backend,
+                     Priority priority, const ClientAttribution& client);
+  // Single per-service outcome tap; unattributed requests never invoke it.
+  void SetClientObserver(ClientObserver observer) {
+    client_observer_ = std::move(observer);
+  }
 
   // Pending stream-start queue (policy knobs live on the queue itself).
   AdmissionQueue& admission() { return admission_; }
@@ -122,6 +134,7 @@ class LiveTranscodingService {
     VbenchVideo video;
     TranscodeBackend backend;
     RequestContext ctx;  // Owned here until the stream starts.
+    ClientAttribution client;
   };
 
   // Per-candidate demand of one stream at `cpu_scale` on the ladder, and
@@ -152,6 +165,7 @@ class LiveTranscodingService {
   Placer placer_;
   AdmissionQueue admission_;
   CircuitBreaker* breaker_ = nullptr;  // Not owned; null: no breaker.
+  ClientObserver client_observer_;     // Null: no client tier attached.
   Priority admit_floor_ = Priority::kBestEffort;
   int brownout_rung_ = 0;
   std::map<int64_t, Stream> streams_;

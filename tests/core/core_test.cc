@@ -8,6 +8,7 @@
 #include "src/core/orchestrator.h"
 #include "src/core/telemetry.h"
 #include "src/trace/gaming_trace.h"
+#include "src/trace/loadgen.h"
 
 namespace soccluster {
 namespace {

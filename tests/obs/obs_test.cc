@@ -17,6 +17,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/serving.h"
 
 namespace soccluster {

@@ -290,7 +290,7 @@ TEST_P(FlagshipScenario, OrderIndependentAcrossEightPermutations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, FlagshipScenario,
-                         ::testing::Range(0, 4), [](const auto& param_info) {
+                         ::testing::Range(0, 5), [](const auto& param_info) {
                            return std::string(
                                AllDetScenarios()[static_cast<size_t>(
                                                      param_info.param)]

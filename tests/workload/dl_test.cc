@@ -6,6 +6,7 @@
 #include "src/base/check.h"
 #include "src/cluster/cluster.h"
 #include "src/workload/dl/collab.h"
+#include "src/trace/loadgen.h"
 #include "src/workload/dl/engine.h"
 #include "src/workload/dl/model.h"
 #include "src/workload/dl/serving.h"

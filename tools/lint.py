@@ -71,6 +71,16 @@ Registered as the `lint.repo` ctest. Rules:
                 callback argument) are exempt — only the call's own
                 argument expressions are checked.
 
+  arrival       Service code must not roll its own arrival process: no
+                Exponential()/Poisson() inter-arrival draws under
+                src/{workload,core,qos,sched}. Arrival processes live in
+                src/trace/loadgen.h (OpenLoopSource, RateProcess) and
+                src/trace/session.h, and retry pacing in src/base/retry.h,
+                so every process that generates load is visible, seedable,
+                and reusable — an ad-hoc Exponential loop inside a service
+                is an invisible second load generator that no bench or
+                determinism scenario can reproduce or reason about.
+
   suppression    Every `lint:allow` marker must be well-formed and name a
                 rule that exists: a typo like `lint:allow(unit)` would
                 otherwise silently suppress nothing while looking like it
@@ -153,6 +163,13 @@ LAYERING_ALLOWLIST = {
 ADMISSION_DIRS = ("src/workload", "src/trace")
 ADMISSION_PATTERN = re.compile(r"\b(SetMaxQueue|max_queue_)\b")
 
+# Arrival processes belong to src/trace (loadgen/session) and retry
+# pacing to src/base/retry.h: a service drawing its own exponential or
+# Poisson inter-arrival gaps is an invisible second load generator.
+ARRIVAL_DIRS = ("src/workload", "src/core", "src/qos", "src/sched")
+ARRIVAL_PATTERN = re.compile(
+    r"[\w\])>]\s*(?:\.|->)\s*(Exponential|Poisson)\s*\(")
+
 # Per-SoC evidence aggregation belongs to the gray-failure scorer. Flag
 # stats containers keyed by SoC id and stats objects whose names say
 # "per-SoC latency/error"; the sanctioned path is SetAttemptObserver ->
@@ -200,7 +217,7 @@ ALLOW_ANY = re.compile(r"//\s*lint:allow\(([^)]*)\)")
 
 KNOWN_RULES = frozenset({
     "determinism", "units", "guards", "include-cc", "stdio", "layering",
-    "admission", "gray-evidence", "hot-label",
+    "admission", "gray-evidence", "hot-label", "arrival",
 })
 
 IGNORED_DIRS = {".git", "build", "third_party", ".github"}
@@ -334,6 +351,21 @@ class Linter:
                 "are owned by src/qos/admission.h — configure them through "
                 "the service's admission() accessor")
 
+    def lint_arrival(self, path, raw_lines, code_lines):
+        if not path.startswith(ARRIVAL_DIRS):
+            return
+        for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            m = ARRIVAL_PATTERN.search(code)
+            if m is None or allowed(raw, "arrival"):
+                continue
+            self.report(
+                path, lineno, "arrival",
+                f"ad-hoc `{m.group(1)}()` draw in service code; arrival "
+                "processes live in src/trace/loadgen.h (OpenLoopSource/"
+                "RateProcess) and src/trace/session.h, retry pacing in "
+                "src/base/retry.h — drive load through a seeded source "
+                "instead of a private inter-arrival loop")
+
     def lint_gray_evidence(self, path, raw_lines, code_lines):
         if not path.startswith(GRAY_EVIDENCE_DIRS):
             return
@@ -438,6 +470,7 @@ class Linter:
                 self.lint_stdio(path, raw_lines, code_lines)
                 self.lint_layering(path, raw_lines, code_lines)
                 self.lint_admission(path, raw_lines, code_lines)
+                self.lint_arrival(path, raw_lines, code_lines)
                 self.lint_gray_evidence(path, raw_lines, code_lines)
                 self.lint_hot_label(path, raw_lines, code_text)
                 self.lint_include_cc(path, raw_lines, code_lines)

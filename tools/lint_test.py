@@ -149,6 +149,52 @@ class AdmissionRuleTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class ArrivalRuleTest(unittest.TestCase):
+    def test_exponential_draw_flagged(self):
+        findings = run_rule(
+            "lint_arrival", "src/workload/x.cc",
+            "const double gap = rng_.Exponential(rate);\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[arrival]", findings[0])
+        self.assertIn("loadgen", findings[0])
+
+    def test_poisson_draw_flagged(self):
+        findings = run_rule(
+            "lint_arrival", "src/core/x.cc",
+            "int64_t n = sim->rng().Poisson(mean);\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_arrow_access_flagged(self):
+        findings = run_rule(
+            "lint_arrival", "src/qos/x.cc",
+            "double wait = rng->Exponential(1.0 / mtbf);\n")
+        self.assertEqual(len(findings), 1)
+
+    def test_trace_layer_exempt(self):
+        findings = run_rule(
+            "lint_arrival", "src/trace/loadgen.cc",
+            "const double gap = rng.Exponential(rate_);\n")
+        self.assertEqual(findings, [])
+
+    def test_cluster_fault_chains_exempt(self):
+        findings = run_rule(
+            "lint_arrival", "src/cluster/fault.cc",
+            "const double wait_s = rng_.Exponential(1.0 / mtbf);\n")
+        self.assertEqual(findings, [])
+
+    def test_comment_mention_clean(self):
+        findings = run_rule(
+            "lint_arrival", "src/workload/x.h",
+            "// Poisson arrivals delegate to the shared source.\n")
+        self.assertEqual(findings, [])
+
+    def test_suppressed(self):
+        findings = run_rule(
+            "lint_arrival", "src/workload/x.cc",
+            "double g = rng_.Exponential(r);  // lint:allow(arrival)\n")
+        self.assertEqual(findings, [])
+
+
 class GrayEvidenceRuleTest(unittest.TestCase):
     def test_per_soc_stats_map_flagged(self):
         findings = run_rule(
